@@ -1,0 +1,61 @@
+// Figure 14: L2 distance between estimated and measured (gold standard)
+// compatibility matrices on the 8 real-world dataset mimics.
+//
+// The paper's shape: DCEr gives the closest estimate across almost all
+// datasets and sparsity levels, with the distance shrinking as f grows;
+// MCE/LCE only catch up once labeled neighbors are plentiful.
+//
+// FGR_MAX_NODES (default 60000) caps mimic sizes as in bench_fig7.
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace fgr {
+namespace bench {
+namespace {
+
+void Run() {
+  const std::vector<double> fractions = {0.001, 0.01, 0.1};
+  const std::vector<Method> methods = {Method::kLce, Method::kMce,
+                                       Method::kDce, Method::kDcer};
+  const auto max_nodes = EnvInt64("FGR_MAX_NODES", 60000);
+
+  Table table({"dataset", "f", "LCE_L2", "MCE_L2", "DCE_L2", "DCEr_L2"});
+  for (const DatasetSpec& spec : RealWorldDatasetSpecs()) {
+    const double scale = std::min(
+        1.0,
+        static_cast<double>(max_nodes) / static_cast<double>(spec.num_nodes));
+    Rng rng(2400);
+    const Instance instance = MakeDatasetInstance(spec, scale, rng);
+    for (double f : fractions) {
+      std::vector<std::vector<double>> l2(methods.size());
+      for (int trial = 0; trial < Trials(); ++trial) {
+        Rng seed_rng(2500 + static_cast<std::uint64_t>(trial));
+        const Labeling seeds =
+            SampleStratifiedSeeds(instance.truth, f, seed_rng);
+        for (std::size_t m = 0; m < methods.size(); ++m) {
+          l2[m].push_back(RunMethod(methods[m], instance, seeds,
+                                    static_cast<std::uint64_t>(trial))
+                              .l2_to_gold);
+        }
+      }
+      table.NewRow().Add(spec.name).Add(f, 4);
+      for (std::size_t m = 0; m < methods.size(); ++m) {
+        table.Add(Aggregate(l2[m]).mean, 4);
+      }
+    }
+  }
+  Emit(table, "fig14",
+       "Fig 14: L2 distance of estimates from the measured gold standard");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fgr
+
+int main() {
+  fgr::bench::Run();
+  return 0;
+}

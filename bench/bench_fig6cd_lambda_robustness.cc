@@ -1,0 +1,100 @@
+// Figures 6c and 6d: robustness of the single hyperparameter λ.
+//
+// For a sweep of label sparsities f (at d=25) and of average degrees d (at
+// f=0.1), find the λ minimizing the L2 estimation error, and report every λ
+// whose error is within 10% of that optimum. The paper's shape: λ = 10 is
+// inside the near-optimal band almost everywhere; only at high f does a
+// small λ (learn from immediate neighbors) win.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace fgr {
+namespace bench {
+namespace {
+
+const std::vector<double>& LambdaGrid() {
+  static const auto& grid = *new std::vector<double>{
+      0.3, 1.0, 3.0, 10.0, 30.0, 100.0};
+  return grid;
+}
+
+// Mean L2(Ĥ, GS) per λ over trials for the given generator settings.
+std::vector<double> SweepLambdas(double degree, double fraction) {
+  std::vector<std::vector<double>> l2(LambdaGrid().size());
+  for (int trial = 0; trial < Trials(); ++trial) {
+    Rng rng(800 + static_cast<std::uint64_t>(trial));
+    const Instance instance =
+        MakeInstance(MakeSkewConfig(10000, degree, 3, 8.0), rng);
+    const Labeling seeds =
+        SampleStratifiedSeeds(instance.truth, fraction, rng);
+    const GraphStatistics stats =
+        ComputeGraphStatistics(instance.graph, seeds, 5);
+    for (std::size_t i = 0; i < LambdaGrid().size(); ++i) {
+      DceOptions options;
+      options.lambda = LambdaGrid()[i];
+      options.restarts = 10;
+      options.seed = static_cast<std::uint64_t>(trial);
+      const EstimationResult result =
+          EstimateDceFromStatistics(stats, 3, options);
+      l2[i].push_back(FrobeniusDistance(result.h, instance.gold));
+    }
+  }
+  std::vector<double> means;
+  means.reserve(l2.size());
+  for (const auto& values : l2) means.push_back(Aggregate(values).mean);
+  return means;
+}
+
+void EmitSweep(const std::string& axis_name,
+               const std::vector<double>& axis_values,
+               const std::string& csv_name, const std::string& title,
+               double fixed_degree, double fixed_fraction) {
+  Table table({axis_name, "opt_lambda", "opt_L2", "lambda10_L2",
+               "near_optimal_lambdas(+10%)"});
+  for (double value : axis_values) {
+    const double degree = axis_name == "d" ? value : fixed_degree;
+    const double fraction = axis_name == "f" ? value : fixed_fraction;
+    const std::vector<double> means = SweepLambdas(degree, fraction);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < means.size(); ++i) {
+      if (means[i] < means[best]) best = i;
+    }
+    std::string near_optimal;
+    for (std::size_t i = 0; i < means.size(); ++i) {
+      if (means[i] <= 1.1 * means[best]) {
+        if (!near_optimal.empty()) near_optimal += " ";
+        near_optimal += FormatDouble(LambdaGrid()[i], 1);
+      }
+    }
+    double lambda10 = 0.0;
+    for (std::size_t i = 0; i < LambdaGrid().size(); ++i) {
+      if (LambdaGrid()[i] == 10.0) lambda10 = means[i];
+    }
+    table.NewRow()
+        .Add(value, 3)
+        .Add(LambdaGrid()[best], 1)
+        .Add(means[best], 4)
+        .Add(lambda10, 4)
+        .Add(near_optimal);
+  }
+  Emit(table, csv_name, title);
+}
+
+void Run() {
+  EmitSweep("f", {0.01, 0.03, 0.1, 0.3}, "fig6c",
+            "Fig 6c: optimal lambda vs f (n=10k, h=8, d=25)", 25.0, 0.0);
+  EmitSweep("d", {5.0, 10.0, 25.0, 50.0}, "fig6d",
+            "Fig 6d: optimal lambda vs d (n=10k, h=8, f=0.1)", 0.0, 0.1);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fgr
+
+int main() {
+  fgr::bench::Run();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 6f: accuracy vs estimation time.
+//
+// n=10k, d=25, h=3, f=0.003. Each row is one method with its median
+// estimation time and mean end-to-end accuracy; Holdout is additionally
+// varied over b ∈ {1, 2, 4, 8} splits. The paper's shape: DCEr reaches
+// GS-level accuracy in milliseconds-to-fractions of the Holdout time
+// (2568× in the paper); extra Holdout splits buy a little accuracy at
+// proportional cost.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace fgr {
+namespace bench {
+namespace {
+
+void Run() {
+  struct Row {
+    std::string name;
+    Method method;
+    int splits;
+  };
+  const std::vector<Row> rows = {
+      {"GS", Method::kGoldStandard, 0},   {"MCE", Method::kMce, 0},
+      {"LCE", Method::kLce, 0},           {"DCE", Method::kDce, 0},
+      {"DCEr", Method::kDcer, 0},         {"Holdout b=1", Method::kHoldout, 1},
+      {"Holdout b=2", Method::kHoldout, 2},
+      {"Holdout b=4", Method::kHoldout, 4},
+      {"Holdout b=8", Method::kHoldout, 8},
+  };
+
+  Table table({"method", "est_time_median_sec", "accuracy_mean",
+               "accuracy_std"});
+  for (const Row& row : rows) {
+    std::vector<double> seconds;
+    std::vector<double> accuracy;
+    for (int trial = 0; trial < Trials(); ++trial) {
+      Rng rng(1100 + static_cast<std::uint64_t>(trial));
+      const Instance instance =
+          MakeInstance(MakeSkewConfig(10000, 25.0, 3, 3.0), rng);
+      const Labeling seeds =
+          SampleStratifiedSeeds(instance.truth, 0.003, rng);
+      const MethodOutcome outcome =
+          RunMethod(row.method, instance, seeds,
+                    static_cast<std::uint64_t>(trial),
+                    row.splits == 0 ? 1 : row.splits);
+      seconds.push_back(outcome.estimation_seconds);
+      accuracy.push_back(outcome.accuracy);
+    }
+    const SampleStats acc = Aggregate(accuracy);
+    table.NewRow()
+        .Add(row.name)
+        .Add(Aggregate(seconds).median, 5)
+        .Add(acc.mean, 4)
+        .Add(acc.stddev, 4);
+  }
+  Emit(table, "fig6f",
+       "Fig 6f: accuracy vs estimation time (n=10k, d=25, h=3, f=0.003)");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fgr
+
+int main() {
+  fgr::bench::Run();
+  return 0;
+}

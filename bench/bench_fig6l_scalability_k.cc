@@ -1,0 +1,60 @@
+// Figure 6l: estimation time vs number of classes k.
+//
+// n=10k, d=25, h=3, f=0.01, k ∈ 2..7. The paper's shape: Holdout is orders
+// of magnitude slower throughout; the factorized estimators grow mildly
+// with k (the O(m·k) summarization dominates at this size, with the
+// O(k⁴·r) optimization appearing at larger k).
+
+#include <vector>
+
+#include "bench_util.h"
+
+namespace fgr {
+namespace bench {
+namespace {
+
+void Run() {
+  Table table(
+      {"k", "LCE_sec", "MCE_sec", "DCE_sec", "DCEr_sec", "Holdout_sec"});
+  for (std::int64_t k = 2; k <= 7; ++k) {
+    std::vector<double> lce;
+    std::vector<double> mce;
+    std::vector<double> dce;
+    std::vector<double> dcer;
+    std::vector<double> holdout;
+    for (int trial = 0; trial < Trials(); ++trial) {
+      Rng rng(1600 + static_cast<std::uint64_t>(trial));
+      const Instance instance =
+          MakeInstance(MakeSkewConfig(10000, 25.0, k, 3.0), rng);
+      const Labeling seeds = SampleStratifiedSeeds(instance.truth, 0.01, rng);
+      lce.push_back(RunMethod(Method::kLce, instance, seeds, 1)
+                        .estimation_seconds);
+      mce.push_back(RunMethod(Method::kMce, instance, seeds, 1)
+                        .estimation_seconds);
+      dce.push_back(RunMethod(Method::kDce, instance, seeds, 1)
+                        .estimation_seconds);
+      dcer.push_back(RunMethod(Method::kDcer, instance, seeds, 1)
+                         .estimation_seconds);
+      holdout.push_back(RunMethod(Method::kHoldout, instance, seeds, 1)
+                            .estimation_seconds);
+    }
+    table.NewRow()
+        .Add(k)
+        .Add(Aggregate(lce).median, 4)
+        .Add(Aggregate(mce).median, 4)
+        .Add(Aggregate(dce).median, 4)
+        .Add(Aggregate(dcer).median, 4)
+        .Add(Aggregate(holdout).median, 3);
+  }
+  Emit(table, "fig6l",
+       "Fig 6l: estimation time vs k (n=10k, d=25, h=3, f=0.01)");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fgr
+
+int main() {
+  fgr::bench::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 8 (the dataset-statistics table) + Figure 13 (the gold-standard
+// compatibility matrices).
+//
+// For each of the 8 dataset mimics: published sizes, generated sizes at the
+// bench scale, DCEr runtime at f=0.01 (the paper's last column), and the
+// distance between the planted (published) compatibility matrix and the one
+// measured back from the generated mimic — the generator's fidelity check.
+//
+// FGR_MAX_NODES (default 60000) caps mimic sizes as in bench_fig7.
+
+#include <algorithm>
+
+#include "bench_util.h"
+
+namespace fgr {
+namespace bench {
+namespace {
+
+void Run() {
+  const auto max_nodes = EnvInt64("FGR_MAX_NODES", 60000);
+
+  Table table({"dataset", "n_paper", "m_paper", "k", "n_mimic", "m_mimic",
+               "avg_degree", "DCEr_sec", "planted_vs_measured_L2"});
+  for (const DatasetSpec& spec : RealWorldDatasetSpecs()) {
+    const double scale = std::min(
+        1.0,
+        static_cast<double>(max_nodes) / static_cast<double>(spec.num_nodes));
+    Rng rng(2021);
+    const Instance instance = MakeDatasetInstance(spec, scale, rng);
+    const Labeling seeds = SampleStratifiedSeeds(instance.truth, 0.01, rng);
+
+    DceOptions options;
+    options.restarts = 10;
+    const EstimationResult dcer =
+        EstimateDce(instance.graph, seeds, options);
+
+    // Generator fidelity: the raw symmetric edge-endpoint counts,
+    // Sinkhorn-normalized back to doubly-stochastic form, must reproduce
+    // the planted matrix. (The *row-normalized* view legitimately differs
+    // from the planted H under class imbalance; see DESIGN.md §4.)
+    const GraphStatistics full_stats = ComputeGraphStatistics(
+        instance.graph, instance.truth, /*max_length=*/1);
+    auto measured_ds = SinkhornNormalize(full_stats.m_raw.front());
+    FGR_CHECK(measured_ds.ok()) << measured_ds.status().ToString();
+    const DenseMatrix measured = std::move(measured_ds).value();
+
+    table.NewRow()
+        .Add(spec.name)
+        .Add(spec.num_nodes)
+        .Add(spec.num_edges)
+        .Add(spec.num_classes)
+        .Add(instance.graph.num_nodes())
+        .Add(instance.graph.num_edges())
+        .Add(instance.graph.average_degree(), 1)
+        .Add(dcer.total_seconds(), 3)
+        .Add(FrobeniusDistance(measured, spec.gold_compatibility), 4);
+
+    std::printf("\n%s gold-standard compatibility (planted, Fig 13):\n%s\n",
+                spec.name.c_str(), spec.gold_compatibility.ToString(2).c_str());
+  }
+  Emit(table, "fig8", "Fig 8: dataset statistics and DCEr runtime");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fgr
+
+int main() {
+  fgr::bench::Run();
+  return 0;
+}

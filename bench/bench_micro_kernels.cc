@@ -1,0 +1,140 @@
+// Micro-benchmarks (google-benchmark) for the library's hot kernels:
+// SpMM (the inner step of propagation and summarization), the full
+// factorized summarization, spectral radius, one LinBP run, and the DCE
+// objective/gradient evaluation (the graph-size-independent inner loop of
+// the optimization step).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "fgr/fgr.h"
+
+namespace fgr {
+namespace {
+
+struct Fixture {
+  Graph graph;
+  Labeling truth;
+  Labeling seeds;
+  double rho_w = 0.0;
+};
+
+const Fixture& SharedFixture(std::int64_t n, double degree) {
+  // Keyed cache so each size is generated once per process.
+  static auto& cache = *new std::map<std::int64_t, std::unique_ptr<Fixture>>();
+  auto& slot = cache[n];
+  if (!slot) {
+    Rng rng(99);
+    auto planted =
+        GeneratePlantedGraph(MakeSkewConfig(n, degree, 3, 3.0), rng);
+    FGR_CHECK(planted.ok());
+    slot = std::make_unique<Fixture>();
+    slot->graph = std::move(planted.value().graph);
+    slot->truth = std::move(planted.value().labels);
+    slot->seeds = SampleStratifiedSeeds(slot->truth, 0.01, rng);
+    slot->rho_w = SpectralRadius(slot->graph.adjacency());
+  }
+  return *slot;
+}
+
+void BM_SpMM(benchmark::State& state) {
+  const Fixture& fixture = SharedFixture(state.range(0), 25.0);
+  const DenseMatrix x = fixture.seeds.ToOneHot();
+  DenseMatrix out;
+  for (auto _ : state) {
+    fixture.graph.adjacency().Multiply(x, &out);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  state.counters["edges_per_sec"] = benchmark::Counter(
+      static_cast<double>(fixture.graph.num_edges() * 2),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SpMM)->Arg(10000)->Arg(100000);
+
+void BM_GraphSummarization(benchmark::State& state) {
+  const Fixture& fixture = SharedFixture(state.range(0), 25.0);
+  for (auto _ : state) {
+    const GraphStatistics stats =
+        ComputeGraphStatistics(fixture.graph, fixture.seeds, 5);
+    benchmark::DoNotOptimize(stats.p_hat.front()(0, 0));
+  }
+  state.counters["edges_per_sec"] = benchmark::Counter(
+      static_cast<double>(fixture.graph.num_edges() * 2 * 5),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GraphSummarization)->Arg(10000)->Arg(100000);
+
+void BM_SpectralRadius(benchmark::State& state) {
+  const Fixture& fixture = SharedFixture(state.range(0), 25.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpectralRadius(fixture.graph.adjacency()));
+  }
+}
+BENCHMARK(BM_SpectralRadius)->Arg(10000);
+
+void BM_LinBpPropagation(benchmark::State& state) {
+  const Fixture& fixture = SharedFixture(state.range(0), 25.0);
+  const DenseMatrix h = MakeSkewCompatibility(3, 3.0);
+  LinBpOptions options;
+  options.rho_w_hint = fixture.rho_w;
+  for (auto _ : state) {
+    const LinBpResult result =
+        RunLinBp(fixture.graph, fixture.seeds, h, options);
+    benchmark::DoNotOptimize(result.beliefs(0, 0));
+  }
+}
+BENCHMARK(BM_LinBpPropagation)->Arg(10000)->Arg(100000);
+
+void BM_DceObjectiveValue(benchmark::State& state) {
+  const auto k = state.range(0);
+  const DenseMatrix h = MakeSkewCompatibility(k, 3.0);
+  std::vector<DenseMatrix> p_hat;
+  DenseMatrix power = h;
+  for (int l = 1; l <= 5; ++l) {
+    if (l > 1) power = power.Multiply(h);
+    p_hat.push_back(power);
+  }
+  const DceObjective objective =
+      DceObjective::WithGeometricWeights(p_hat, 10.0);
+  const std::vector<double> params = ParametersFromCompatibility(h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(objective.Value(params));
+  }
+}
+BENCHMARK(BM_DceObjectiveValue)->Arg(3)->Arg(7);
+
+void BM_DceObjectiveGradient(benchmark::State& state) {
+  const auto k = state.range(0);
+  const DenseMatrix h = MakeSkewCompatibility(k, 3.0);
+  std::vector<DenseMatrix> p_hat;
+  DenseMatrix power = h;
+  for (int l = 1; l <= 5; ++l) {
+    if (l > 1) power = power.Multiply(h);
+    p_hat.push_back(power);
+  }
+  const DceObjective objective =
+      DceObjective::WithGeometricWeights(p_hat, 10.0);
+  const std::vector<double> params = ParametersFromCompatibility(h);
+  std::vector<double> gradient;
+  for (auto _ : state) {
+    objective.Gradient(params, &gradient);
+    benchmark::DoNotOptimize(gradient.data());
+  }
+}
+BENCHMARK(BM_DceObjectiveGradient)->Arg(3)->Arg(7);
+
+void BM_PlantedGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(1);
+    auto planted = GeneratePlantedGraph(
+        MakeSkewConfig(state.range(0), 25.0, 3, 3.0), rng);
+    benchmark::DoNotOptimize(planted.ok());
+  }
+}
+BENCHMARK(BM_PlantedGeneration)->Arg(10000);
+
+}  // namespace
+}  // namespace fgr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,166 @@
+// Shared plumbing for the figure/table regeneration benches.
+//
+// Every bench binary prints the same rows/series the paper's figure reports
+// (plus a CSV file next to the binary) and scales its workload through
+// environment variables:
+//   FGR_TRIALS  repeated trials per configuration (default 3)
+//   FGR_SCALE   multiplier on graph sizes where applicable (default bench
+//               specific; 1.0 = paper scale)
+//   FGR_FULL    set to 1 to run paper-scale sweeps (million-edge graphs)
+
+#ifndef FGR_BENCH_BENCH_UTIL_H_
+#define FGR_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "fgr/fgr.h"
+
+namespace fgr {
+namespace bench {
+
+inline int Trials() {
+  return static_cast<int>(EnvInt64("FGR_TRIALS", 3));
+}
+
+inline bool FullScale() { return EnvInt64("FGR_FULL", 0) != 0; }
+
+// The estimators the paper compares. kGoldStandard "estimates" by measuring
+// the fully labeled graph (the accuracy ceiling); kRandom labels uniformly.
+enum class Method {
+  kGoldStandard,
+  kLce,
+  kMce,
+  kDce,
+  kDcer,
+  kHoldout,
+  kHeuristic,
+};
+
+inline const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kGoldStandard: return "GS";
+    case Method::kLce: return "LCE";
+    case Method::kMce: return "MCE";
+    case Method::kDce: return "DCE";
+    case Method::kDcer: return "DCEr";
+    case Method::kHoldout: return "Holdout";
+    case Method::kHeuristic: return "Heuristic";
+  }
+  return "?";
+}
+
+// One end-to-end experiment instance: planted graph + ground truth + the
+// measured gold standard.
+struct Instance {
+  Graph graph;
+  Labeling truth;
+  DenseMatrix gold;
+  double rho_w = 0.0;
+};
+
+inline Instance MakeInstance(const PlantedGraphConfig& config, Rng& rng) {
+  auto planted = GeneratePlantedGraph(config, rng);
+  FGR_CHECK(planted.ok()) << planted.status().ToString();
+  Instance instance;
+  instance.graph = std::move(planted.value().graph);
+  instance.truth = std::move(planted.value().labels);
+  instance.gold = GoldStandardCompatibility(instance.graph, instance.truth).h;
+  instance.rho_w = SpectralRadius(instance.graph.adjacency());
+  return instance;
+}
+
+inline Instance MakeDatasetInstance(const DatasetSpec& spec, double scale,
+                                    Rng& rng) {
+  auto mimic = GenerateDatasetMimic(spec, scale, rng);
+  FGR_CHECK(mimic.ok()) << spec.name << ": " << mimic.status().ToString();
+  Instance instance;
+  instance.graph = std::move(mimic.value().graph);
+  instance.truth = std::move(mimic.value().labels);
+  instance.gold = GoldStandardCompatibility(instance.graph, instance.truth).h;
+  instance.rho_w = SpectralRadius(instance.graph.adjacency());
+  return instance;
+}
+
+struct MethodOutcome {
+  DenseMatrix h;
+  double estimation_seconds = 0.0;  // 0 for GS (nothing to estimate)
+  double accuracy = 0.0;
+  double l2_to_gold = 0.0;
+};
+
+// Runs one estimator with the paper's default settings and scores it with
+// LinBP (10 iterations, s = 0.5).
+inline MethodOutcome RunMethod(Method method, const Instance& instance,
+                               const Labeling& seeds, std::uint64_t seed,
+                               int holdout_splits = 1) {
+  MethodOutcome outcome;
+  switch (method) {
+    case Method::kGoldStandard:
+      outcome.h = instance.gold;
+      break;
+    case Method::kLce: {
+      const EstimationResult result = EstimateLce(instance.graph, seeds);
+      outcome.h = result.h;
+      outcome.estimation_seconds = result.total_seconds();
+      break;
+    }
+    case Method::kMce: {
+      const EstimationResult result = EstimateMce(instance.graph, seeds);
+      outcome.h = result.h;
+      outcome.estimation_seconds = result.total_seconds();
+      break;
+    }
+    case Method::kDce:
+    case Method::kDcer: {
+      DceOptions options;
+      options.restarts = method == Method::kDcer ? 10 : 1;
+      options.seed = seed;
+      const EstimationResult result =
+          EstimateDce(instance.graph, seeds, options);
+      outcome.h = result.h;
+      outcome.estimation_seconds = result.total_seconds();
+      break;
+    }
+    case Method::kHoldout: {
+      HoldoutOptions options;
+      options.seed = seed;
+      options.num_splits = holdout_splits;
+      options.linbp.rho_w_hint = instance.rho_w;
+      options.optimizer.max_iterations = 60;
+      options.max_propagations = 240 * holdout_splits;
+      const EstimationResult result =
+          EstimateHoldout(instance.graph, seeds, options);
+      outcome.h = result.h;
+      outcome.estimation_seconds = result.total_seconds();
+      break;
+    }
+    case Method::kHeuristic: {
+      // The heuristic "glances at the gold standard" for its H/L positions.
+      const EstimationResult result =
+          EstimateTwoValueHeuristic(instance.gold);
+      outcome.h = result.h;
+      outcome.estimation_seconds = result.total_seconds();
+      break;
+    }
+  }
+  LinBpOptions linbp;
+  linbp.rho_w_hint = instance.rho_w;
+  const LinBpResult prop = RunLinBp(instance.graph, seeds, outcome.h, linbp);
+  const Labeling predicted = LabelsFromBeliefs(prop.beliefs, seeds);
+  outcome.accuracy = MacroAccuracy(instance.truth, predicted, seeds);
+  outcome.l2_to_gold = FrobeniusDistance(outcome.h, instance.gold);
+  return outcome;
+}
+
+// Writes the table to stdout and to <name>.csv in the working directory.
+inline void Emit(const Table& table, const std::string& name,
+                 const std::string& title) {
+  table.Print(title);
+  table.WriteCsv(name + ".csv");
+}
+
+}  // namespace bench
+}  // namespace fgr
+
+#endif  // FGR_BENCH_BENCH_UTIL_H_

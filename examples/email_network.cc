@@ -1,0 +1,79 @@
+// Example 1.1 from the paper: a corporate email network.
+//
+// Three classes of users: marketing (0), engineering (1), and C-level
+// executives (2). Marketing mostly emails engineering and vice versa
+// (heterophily), while executives email amongst themselves (homophily).
+// Given the classes of only a handful of employees, infer everyone else's —
+// without being told how the departments interact.
+
+#include <cstdio>
+
+#include "fgr/fgr.h"
+
+int main() {
+  fgr::Rng rng(7);
+
+  // The unobserved interaction pattern (Fig. 1b): 0↔1 heavy, 2↔2 heavy.
+  fgr::PlantedGraphConfig config;
+  config.num_nodes = 20000;
+  config.num_edges = 200000;
+  config.class_fractions = {0.40, 0.45, 0.15};  // few executives
+  config.compatibility = fgr::DenseMatrix::FromRows(
+      {{0.20, 0.60, 0.20}, {0.60, 0.20, 0.20}, {0.20, 0.20, 0.60}});
+  config.degree_distribution = fgr::DegreeDistribution::kPowerLaw;
+
+  auto company = fgr::GeneratePlantedGraph(config, rng);
+  if (!company.ok()) {
+    std::fprintf(stderr, "%s\n", company.status().ToString().c_str());
+    return 1;
+  }
+  const fgr::Graph& graph = company.value().graph;
+  const fgr::Labeling& truth = company.value().labels;
+
+  // HR tells us the department of 0.2% of employees (~40 people).
+  const fgr::Labeling seeds = fgr::SampleStratifiedSeeds(truth, 0.002, rng);
+  std::printf("email network: %lld employees, %lld email edges, %lld known "
+              "departments\n\n",
+              static_cast<long long>(graph.num_nodes()),
+              static_cast<long long>(graph.num_edges()),
+              static_cast<long long>(seeds.NumLabeled()));
+
+  // Estimate how departments interact, from the sparse labels alone.
+  fgr::DceOptions options;
+  options.restarts = 10;
+  const fgr::EstimationResult estimate =
+      fgr::EstimateDce(graph, seeds, options);
+  std::printf("estimated department compatibilities:\n%s\n\n",
+              estimate.h.ToString(3).c_str());
+  std::printf("(planted: marketing<->engineering 0.60, exec<->exec 0.60)\n\n");
+
+  // Label everyone and report per-department accuracy.
+  const fgr::LinBpResult prop = fgr::RunLinBp(graph, seeds, estimate.h);
+  const fgr::Labeling predicted = fgr::LabelsFromBeliefs(prop.beliefs, seeds);
+
+  const char* names[] = {"marketing", "engineering", "executives"};
+  fgr::Table table({"department", "employees", "accuracy"});
+  for (fgr::ClassId c = 0; c < 3; ++c) {
+    std::int64_t total = 0;
+    std::int64_t correct = 0;
+    for (fgr::NodeId i = 0; i < graph.num_nodes(); ++i) {
+      if (truth.label(i) != c || seeds.is_labeled(i)) continue;
+      ++total;
+      correct += predicted.label(i) == c;
+    }
+    table.NewRow().Add(names[c]).Add(total).Add(
+        total ? static_cast<double>(correct) / static_cast<double>(total)
+              : 0.0);
+  }
+  table.Print("department inference from 0.2% labels");
+
+  // Contrast with a homophily-assuming baseline, which maps marketing to
+  // engineering and vice versa.
+  const fgr::Labeling harmonic = fgr::LabelsFromBeliefs(
+      fgr::RunHarmonicFunctions(graph, seeds).beliefs, seeds);
+  std::printf("\nmacro accuracy — DCEr+LinBP: %.3f | harmonic functions "
+              "(homophily): %.3f\n",
+              fgr::MacroAccuracy(truth, predicted, seeds),
+              fgr::MacroAccuracy(truth, harmonic, seeds));
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Online-auction fraud detection (the NetProbe-style scenario the paper's
+// introduction motivates).
+//
+// Three behavioral classes in a transaction graph:
+//   0 fraudster  — avoids other fraudsters, transacts heavily with
+//                  accomplices to farm reputation;
+//   1 accomplice — looks honest, links to both fraudsters and honest users;
+//   2 honest     — mostly trades with other honest users and accomplices.
+// A mix of homophily and heterophily that random walks cannot express.
+// We know the ground truth for a small set of convicted accounts and infer
+// the rest.
+
+#include <cstdio>
+
+#include "fgr/fgr.h"
+
+int main() {
+  fgr::Rng rng(13);
+
+  fgr::PlantedGraphConfig config;
+  config.num_nodes = 30000;
+  config.num_edges = 240000;
+  config.class_fractions = {0.10, 0.20, 0.70};
+  config.compatibility = fgr::DenseMatrix::FromRows({
+      {0.05, 0.80, 0.15},   // fraudsters: almost exclusively accomplices
+      {0.80, 0.05, 0.15},   // accomplices: mirror image
+      {0.15, 0.15, 0.70},   // honest users: homophilous
+  });
+  config.degree_distribution = fgr::DegreeDistribution::kPowerLaw;
+
+  auto market = fgr::GeneratePlantedGraph(config, rng);
+  if (!market.ok()) {
+    std::fprintf(stderr, "%s\n", market.status().ToString().c_str());
+    return 1;
+  }
+  const fgr::Graph& graph = market.value().graph;
+  const fgr::Labeling& truth = market.value().labels;
+
+  // 5% of accounts have adjudicated labels (stratified: convictions and
+  // verified-honest audits).
+  const fgr::Labeling seeds = fgr::SampleStratifiedSeeds(truth, 0.05, rng);
+  std::printf("auction graph: %lld accounts, %lld transactions, %lld "
+              "adjudicated accounts\n\n",
+              static_cast<long long>(graph.num_nodes()),
+              static_cast<long long>(graph.num_edges()),
+              static_cast<long long>(seeds.NumLabeled()));
+
+  fgr::DceOptions options;
+  options.restarts = 10;
+  const fgr::EstimationResult estimate =
+      fgr::EstimateDce(graph, seeds, options);
+  std::printf("estimated behavioral compatibilities:\n%s\n\n",
+              estimate.h.ToString(3).c_str());
+
+  const fgr::LinBpResult prop = fgr::RunLinBp(graph, seeds, estimate.h);
+  const fgr::Labeling predicted = fgr::LabelsFromBeliefs(prop.beliefs, seeds);
+
+  // Fraud-analyst view: precision/recall on the fraudster class.
+  std::int64_t true_positive = 0;
+  std::int64_t false_positive = 0;
+  std::int64_t false_negative = 0;
+  for (fgr::NodeId i = 0; i < graph.num_nodes(); ++i) {
+    if (seeds.is_labeled(i)) continue;
+    const bool is_fraud = truth.label(i) == 0;
+    const bool flagged = predicted.label(i) == 0;
+    true_positive += is_fraud && flagged;
+    false_positive += !is_fraud && flagged;
+    false_negative += is_fraud && !flagged;
+  }
+  const double precision =
+      true_positive + false_positive
+          ? static_cast<double>(true_positive) /
+                static_cast<double>(true_positive + false_positive)
+          : 0.0;
+  const double recall =
+      true_positive + false_negative
+          ? static_cast<double>(true_positive) /
+                static_cast<double>(true_positive + false_negative)
+          : 0.0;
+
+  std::printf("fraudster detection: precision %.3f, recall %.3f\n", precision,
+              recall);
+  std::printf("macro accuracy over all classes: %.3f\n",
+              fgr::MacroAccuracy(truth, predicted, seeds));
+
+  // Baseline comparison: MultiRankWalk assumes homophily and chases the
+  // accomplice edges in the wrong direction.
+  const fgr::Labeling walk_labels = fgr::LabelsFromBeliefs(
+      fgr::RunMultiRankWalk(graph, seeds).scores, seeds);
+  std::printf("MultiRankWalk (homophily) macro accuracy: %.3f\n",
+              fgr::MacroAccuracy(truth, walk_labels, seeds));
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Gender inference on the Pokec social-network mimic — heterophily at scale.
+//
+// Pokec users interact more with the opposite gender than their own (the
+// paper's Fig. 13 measures H = [0.44 0.56; 0.56 0.44]). This example builds
+// the mimic at a configurable scale (FGR_SCALE, default 2% ≈ 33k nodes /
+// 600k edges; FGR_SCALE=1 reproduces the full 1.6M-node graph) and shows
+// that (a) DCEr recovers the mild heterophily from 1% labels and (b) a
+// homophily method does worse than random here.
+
+#include <cstdio>
+
+#include "fgr/fgr.h"
+
+int main() {
+  const double scale = fgr::EnvDouble("FGR_SCALE", 0.02);
+  fgr::Rng rng(21);
+
+  auto spec = fgr::FindDatasetSpec("Pokec-Gender");
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  fgr::Stopwatch generate_timer;
+  auto mimic = fgr::GenerateDatasetMimic(spec.value(), scale, rng);
+  if (!mimic.ok()) {
+    std::fprintf(stderr, "%s\n", mimic.status().ToString().c_str());
+    return 1;
+  }
+  const fgr::Graph& graph = mimic.value().graph;
+  const fgr::Labeling& truth = mimic.value().labels;
+  std::printf("Pokec mimic (scale %.3f): %lld users, %lld friendships "
+              "(generated in %.1fs)\n",
+              scale, static_cast<long long>(graph.num_nodes()),
+              static_cast<long long>(graph.num_edges()),
+              generate_timer.Seconds());
+
+  const fgr::Labeling seeds = fgr::SampleStratifiedSeeds(truth, 0.01, rng);
+  std::printf("users who disclose their gender: %lld (1%%)\n\n",
+              static_cast<long long>(seeds.NumLabeled()));
+
+  fgr::DceOptions options;
+  options.restarts = 10;
+  const fgr::EstimationResult estimate =
+      fgr::EstimateDce(graph, seeds, options);
+  std::printf("estimated gender compatibilities "
+              "(summarize %.2fs + optimize %.2fs):\n%s\n",
+              estimate.seconds_summarization, estimate.seconds_optimization,
+              estimate.h.ToString(3).c_str());
+  std::printf("(measured on the fully labeled mimic: %.2f / %.2f)\n\n",
+              fgr::MeasuredNeighborStatistics(graph, truth)(0, 0),
+              fgr::MeasuredNeighborStatistics(graph, truth)(0, 1));
+
+  fgr::Stopwatch prop_timer;
+  const fgr::LinBpResult prop = fgr::RunLinBp(graph, seeds, estimate.h);
+  const fgr::Labeling predicted = fgr::LabelsFromBeliefs(prop.beliefs, seeds);
+  std::printf("LinBP propagation: %.2fs for %d iterations\n",
+              prop_timer.Seconds(), prop.iterations_run);
+  std::printf("gender prediction accuracy (DCEr + LinBP): %.3f\n",
+              fgr::MacroAccuracy(truth, predicted, seeds));
+
+  const fgr::Labeling harmonic = fgr::LabelsFromBeliefs(
+      fgr::RunHarmonicFunctions(graph, seeds).beliefs, seeds);
+  std::printf("harmonic functions (homophily assumption): %.3f\n",
+              fgr::MacroAccuracy(truth, harmonic, seeds));
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: the end-to-end pipeline in ~40 lines.
+//
+// 1. Generate a graph with planted class compatibilities (3 classes with
+//    heterophily, 10k nodes) and keep only 1% of the labels.
+// 2. Estimate the compatibility matrix with DCEr — no prior knowledge.
+// 3. Propagate labels with LinBP using the estimate.
+// 4. Compare against propagating with the measured gold standard.
+//
+//   ./quickstart [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fgr/fgr.h"
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  fgr::Rng rng(seed);
+
+  // A 10k-node graph, average degree 25, three classes where class 1 and 2
+  // attract each other (skew h = 3), labels on 1% of nodes.
+  auto planted = fgr::GeneratePlantedGraph(
+      fgr::MakeSkewConfig(10000, 25.0, 3, 3.0), rng);
+  if (!planted.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 planted.status().ToString().c_str());
+    return 1;
+  }
+  const fgr::Graph& graph = planted.value().graph;
+  const fgr::Labeling& truth = planted.value().labels;
+  const fgr::Labeling seeds = fgr::SampleStratifiedSeeds(truth, 0.01, rng);
+  std::printf("graph: n=%lld m=%lld, %lld seed labels (f=1%%)\n",
+              static_cast<long long>(graph.num_nodes()),
+              static_cast<long long>(graph.num_edges()),
+              static_cast<long long>(seeds.NumLabeled()));
+
+  // Estimate compatibilities with DCEr (ℓmax=5, λ=10, 10 restarts).
+  fgr::DceOptions options;
+  options.restarts = 10;
+  const fgr::EstimationResult estimate =
+      fgr::EstimateDce(graph, seeds, options);
+  std::printf("\nDCEr estimate (%.3fs summarize + %.3fs optimize):\n%s\n",
+              estimate.seconds_summarization, estimate.seconds_optimization,
+              estimate.h.ToString(3).c_str());
+
+  // Propagate with the estimate and with the gold standard.
+  const fgr::DenseMatrix gold =
+      fgr::GoldStandardCompatibility(graph, truth).h;
+  for (const auto& [name, h] :
+       {std::pair<const char*, const fgr::DenseMatrix&>{"DCEr", estimate.h},
+        {"gold standard", gold}}) {
+    const fgr::LinBpResult prop = fgr::RunLinBp(graph, seeds, h);
+    const fgr::Labeling predicted =
+        fgr::LabelsFromBeliefs(prop.beliefs, seeds);
+    std::printf("accuracy with %-13s : %.4f\n", name,
+                fgr::MacroAccuracy(truth, predicted, seeds));
+  }
+  return 0;
+}

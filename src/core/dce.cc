@@ -1,0 +1,170 @@
+#include "core/dce.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/compatibility.h"
+#include "util/check.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace fgr {
+
+DceObjective::DceObjective(std::vector<DenseMatrix> p_hat,
+                           std::vector<double> weights)
+    : p_hat_(std::move(p_hat)), weights_(std::move(weights)) {
+  FGR_CHECK(!p_hat_.empty());
+  FGR_CHECK_EQ(p_hat_.size(), weights_.size());
+  k_ = p_hat_.front().rows();
+  for (const DenseMatrix& p : p_hat_) {
+    FGR_CHECK(p.rows() == k_ && p.cols() == k_);
+  }
+}
+
+DceObjective DceObjective::WithGeometricWeights(std::vector<DenseMatrix> p_hat,
+                                                double lambda) {
+  FGR_CHECK_GT(lambda, 0.0);
+  std::vector<double> weights(p_hat.size());
+  double w = 1.0;
+  for (std::size_t l = 0; l < weights.size(); ++l) {
+    weights[l] = w;
+    w *= lambda;
+  }
+  return DceObjective(std::move(p_hat), std::move(weights));
+}
+
+double DceObjective::Value(const std::vector<double>& params) const {
+  const DenseMatrix h = CompatibilityFromParameters(params, k_);
+  double energy = 0.0;
+  DenseMatrix h_power = h;  // Hℓ, starting at ℓ = 1
+  for (std::size_t l = 0; l < p_hat_.size(); ++l) {
+    if (l > 0) h_power = h_power.Multiply(h);
+    const double distance = FrobeniusDistance(h_power, p_hat_[l]);
+    energy += weights_[l] * distance * distance;
+  }
+  return energy;
+}
+
+void DceObjective::Gradient(const std::vector<double>& params,
+                            std::vector<double>* gradient) const {
+  FGR_CHECK(gradient != nullptr);
+  const DenseMatrix h = CompatibilityFromParameters(params, k_);
+  const int lmax = max_path_length();
+
+  // Powers H^0 .. H^(2·ℓmax − 1); H^0 = I.
+  std::vector<DenseMatrix> powers;
+  powers.reserve(static_cast<std::size_t>(2 * lmax));
+  powers.push_back(DenseMatrix::Identity(k_));
+  for (int p = 1; p <= 2 * lmax - 1; ++p) {
+    powers.push_back(powers.back().Multiply(h));
+  }
+
+  // Entrywise gradient (Prop. 4.7):
+  //   G = Σℓ 2wℓ ( ℓ·H^(2ℓ−1) − Σ_{r=0}^{ℓ−1} H^r P̂(ℓ) H^(ℓ−1−r) ).
+  DenseMatrix g(k_, k_);
+  for (int l = 1; l <= lmax; ++l) {
+    const double w = 2.0 * weights_[static_cast<std::size_t>(l - 1)];
+    g.AddScaled(powers[static_cast<std::size_t>(2 * l - 1)],
+                w * static_cast<double>(l));
+    const DenseMatrix& z = p_hat_[static_cast<std::size_t>(l - 1)];
+    for (int r = 0; r <= l - 1; ++r) {
+      const DenseMatrix term =
+          powers[static_cast<std::size_t>(r)].Multiply(z).Multiply(
+              powers[static_cast<std::size_t>(l - 1 - r)]);
+      g.AddScaled(term, -w);
+    }
+  }
+  *gradient = ProjectGradientToParameters(g);
+}
+
+std::vector<std::vector<double>> MakeRestartPoints(std::int64_t k, int count,
+                                                   double delta,
+                                                   std::uint64_t seed) {
+  FGR_CHECK_GE(count, 1);
+  const std::int64_t num_params = NumFreeParameters(k);
+  const double center = 1.0 / static_cast<double>(k);
+  std::vector<std::vector<double>> points;
+  points.reserve(static_cast<std::size_t>(count));
+
+  // Start 0: the uninformative center.
+  points.emplace_back(static_cast<std::size_t>(num_params), center);
+
+  Rng rng(seed);
+  // How many distinct hyper-quadrant corners exist (2^k*, capped to avoid
+  // overflow for large k; beyond the cap we use random corners anyway).
+  const int corner_bits = static_cast<int>(std::min<std::int64_t>(num_params, 30));
+  const std::int64_t num_corners = std::int64_t{1} << corner_bits;
+
+  for (int i = 1; i < count; ++i) {
+    std::vector<double> point(static_cast<std::size_t>(num_params), center);
+    if (i - 1 < num_corners && num_params <= 30) {
+      // Deterministic corner: bit b of (i-1) picks the sign of parameter b.
+      const std::int64_t pattern = i - 1;
+      for (std::int64_t b = 0; b < num_params; ++b) {
+        const double sign = ((pattern >> b) & 1) ? 1.0 : -1.0;
+        point[static_cast<std::size_t>(b)] = center + sign * delta;
+      }
+    } else {
+      // Random point in the plausible box [0, 2/k].
+      for (double& value : point) {
+        value = rng.Uniform(0.0, 2.0 * center);
+      }
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+EstimationResult EstimateDceFromStatistics(const GraphStatistics& stats,
+                                           std::int64_t k,
+                                           const DceOptions& options) {
+  FGR_CHECK_GE(options.max_path_length, 1);
+  FGR_CHECK_GE(static_cast<int>(stats.p_hat.size()), options.max_path_length)
+      << "statistics hold " << stats.p_hat.size() << " path lengths, need "
+      << options.max_path_length;
+  Stopwatch timer;
+
+  std::vector<DenseMatrix> p_hat(
+      stats.p_hat.begin(),
+      stats.p_hat.begin() + options.max_path_length);
+  const DceObjective objective =
+      DceObjective::WithGeometricWeights(std::move(p_hat), options.lambda);
+
+  const double delta = options.restart_delta > 0.0
+                           ? options.restart_delta
+                           : 0.5 / static_cast<double>(k * k);
+  std::vector<std::vector<double>> starts =
+      MakeRestartPoints(k, options.restarts, delta, options.seed);
+  if (options.initial_params.has_value()) {
+    FGR_CHECK_EQ(static_cast<std::int64_t>(options.initial_params->size()),
+                 NumFreeParameters(k));
+    starts.front() = *options.initial_params;
+  }
+
+  EstimationResult result;
+  bool first = true;
+  for (const auto& start : starts) {
+    const OptimizeResult run = MinimizeLbfgs(objective, start, options.optimizer);
+    ++result.restarts_used;
+    if (first || run.value < result.energy) {
+      first = false;
+      result.energy = run.value;
+      result.params = run.x;
+      result.optimizer_iterations = run.iterations;
+    }
+  }
+  result.h = CompatibilityFromParameters(result.params, k);
+  result.seconds_summarization = stats.seconds;
+  result.seconds_optimization = timer.Seconds();
+  return result;
+}
+
+EstimationResult EstimateDce(const Graph& graph, const Labeling& seeds,
+                             const DceOptions& options) {
+  const GraphStatistics stats =
+      ComputeGraphStatistics(graph, seeds, options.max_path_length,
+                             options.path_type, options.variant);
+  return EstimateDceFromStatistics(stats, seeds.num_classes(), options);
+}
+
+}  // namespace fgr

@@ -1,0 +1,95 @@
+// Distant Compatibility Estimation — DCE and DCEr (Sections 4.4–4.8).
+//
+// DCE fits powers of the compatibility matrix against the observed length-ℓ
+// statistics by minimizing the distance-smoothed energy
+//   E(H) = Σ_{ℓ=1..ℓmax} wℓ ‖Hℓ − P̂(ℓ)‖²_F,   wℓ = λ^(ℓ−1)   (Eq. 13/14)
+// over the k* free parameters of H, using the explicit gradient of
+// Prop. 4.7. For ℓmax = 1 this degenerates to MCE (the convex myopic
+// estimator of Section 4.3). For ℓmax > 1 the energy is non-convex and DCEr
+// restarts the optimization from multiple points in parameter space.
+//
+// The two-step structure is the paper's key asset: ComputeGraphStatistics is
+// O(m·k·ℓmax) and runs once; every Value()/Gradient() evaluation afterwards
+// is O(k³·ℓmax) — independent of the graph.
+
+#ifndef FGR_CORE_DCE_H_
+#define FGR_CORE_DCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/estimation.h"
+#include "core/path_stats.h"
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "opt/lbfgs.h"
+#include "opt/objective.h"
+
+namespace fgr {
+
+struct DceOptions {
+  int max_path_length = 5;   // ℓmax; Result 1 recommends 5
+  double lambda = 10.0;      // weight scaling factor; Result 1 recommends 10
+  PathType path_type = PathType::kNonBacktracking;
+  NormalizationVariant variant = NormalizationVariant::kRowStochastic;
+  // Number of optimization starts. 1 = plain DCE (start at the
+  // uninformative 1/k point); the paper's DCEr uses 10 (Result 3).
+  int restarts = 1;
+  // Half-width δ of the hyper-quadrant restart displacement 1/k ± δ.
+  // Negative selects the default 0.5/k².
+  double restart_delta = -1.0;
+  std::uint64_t seed = 7;
+  LbfgsOptions optimizer;
+  // Overrides the first start point (used by the Fig. 6h "global minimum"
+  // baseline, which initializes at the gold standard).
+  std::optional<std::vector<double>> initial_params;
+};
+
+// The DCE energy as a differentiable objective over the free parameters.
+// Exposed so tests can validate the analytic gradient and benches can feed
+// it to alternative optimizers.
+class DceObjective : public DifferentiableObjective {
+ public:
+  // p_hat[ℓ-1] = P̂(ℓ); weights[ℓ-1] = wℓ. All matrices must be k×k.
+  DceObjective(std::vector<DenseMatrix> p_hat, std::vector<double> weights);
+
+  // Convenience: geometric weights wℓ = λ^(ℓ−1).
+  static DceObjective WithGeometricWeights(std::vector<DenseMatrix> p_hat,
+                                           double lambda);
+
+  double Value(const std::vector<double>& params) const override;
+  void Gradient(const std::vector<double>& params,
+                std::vector<double>* gradient) const override;
+
+  std::int64_t k() const { return k_; }
+  int max_path_length() const { return static_cast<int>(p_hat_.size()); }
+
+ private:
+  std::vector<DenseMatrix> p_hat_;
+  std::vector<double> weights_;
+  std::int64_t k_;
+};
+
+// End-to-end DCE/DCEr: summarize the graph, then optimize on the sketches.
+EstimationResult EstimateDce(const Graph& graph, const Labeling& seeds,
+                             const DceOptions& options = {});
+
+// Optimization-only entry point for precomputed statistics (lets benches
+// reuse one summarization across many optimizer settings). `k` is the number
+// of classes; `stats` must hold at least options.max_path_length matrices.
+EstimationResult EstimateDceFromStatistics(const GraphStatistics& stats,
+                                           std::int64_t k,
+                                           const DceOptions& options = {});
+
+// Generates the restart start points DCEr uses: the uninformative center
+// 1/k, then the 2^k* hyper-quadrant corners 1/k ± δ (cycled deterministically
+// via the bits of the restart index), then uniform-random points. Exposed
+// for tests and the restart-count bench.
+std::vector<std::vector<double>> MakeRestartPoints(std::int64_t k, int count,
+                                                   double delta,
+                                                   std::uint64_t seed);
+
+}  // namespace fgr
+
+#endif  // FGR_CORE_DCE_H_

@@ -1,0 +1,28 @@
+// Common result type shared by all compatibility estimators.
+
+#ifndef FGR_CORE_ESTIMATION_H_
+#define FGR_CORE_ESTIMATION_H_
+
+#include <vector>
+
+#include "matrix/dense.h"
+
+namespace fgr {
+
+struct EstimationResult {
+  DenseMatrix h;                       // estimated compatibility matrix (k×k)
+  std::vector<double> params;          // the k* free parameters behind h
+  double energy = 0.0;                 // final objective value
+  double seconds_summarization = 0.0;  // graph-side cost (O(m·k·ℓmax))
+  double seconds_optimization = 0.0;   // sketch-side cost (graph-size free)
+  int restarts_used = 0;               // optimization restarts performed
+  int optimizer_iterations = 0;        // iterations of the winning run
+
+  double total_seconds() const {
+    return seconds_summarization + seconds_optimization;
+  }
+};
+
+}  // namespace fgr
+
+#endif  // FGR_CORE_ESTIMATION_H_

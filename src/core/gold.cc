@@ -1,0 +1,25 @@
+#include "core/gold.h"
+
+#include "core/mce.h"
+#include "util/check.h"
+
+namespace fgr {
+
+DenseMatrix MeasuredNeighborStatistics(const Graph& graph,
+                                       const Labeling& labels,
+                                       NormalizationVariant variant) {
+  FGR_CHECK_EQ(labels.num_nodes(), graph.num_nodes());
+  FGR_CHECK_EQ(labels.NumLabeled(), labels.num_nodes())
+      << "gold standard requires a fully labeled graph";
+  const GraphStatistics stats = ComputeGraphStatistics(
+      graph, labels, /*max_length=*/1, PathType::kNonBacktracking, variant);
+  return stats.p_hat.front();
+}
+
+EstimationResult GoldStandardCompatibility(const Graph& graph,
+                                           const Labeling& labels) {
+  const DenseMatrix measured = MeasuredNeighborStatistics(graph, labels);
+  return ProjectToDoublyStochastic(measured);
+}
+
+}  // namespace fgr

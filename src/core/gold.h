@@ -1,0 +1,33 @@
+// Gold-standard compatibilities from a fully labeled graph (Section 5.3).
+//
+// When all labels are known, the compatibility matrix can simply be
+// *measured*: the relative frequencies of class pairs across edges,
+// P = rownorm(XᵀWX). The paper uses this as the gold standard (GS) that
+// estimators are compared against, projecting it to the closest symmetric
+// doubly-stochastic matrix when a proper H is required.
+
+#ifndef FGR_CORE_GOLD_H_
+#define FGR_CORE_GOLD_H_
+
+#include "core/estimation.h"
+#include "core/path_stats.h"
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "matrix/dense.h"
+
+namespace fgr {
+
+// Measured neighbor statistics on a fully labeled graph:
+// NormalizeStatistics(XᵀWX, variant). `labels` must label every node.
+DenseMatrix MeasuredNeighborStatistics(
+    const Graph& graph, const Labeling& labels,
+    NormalizationVariant variant = NormalizationVariant::kRowStochastic);
+
+// The gold standard: measured statistics projected to the closest symmetric
+// doubly-stochastic matrix.
+EstimationResult GoldStandardCompatibility(const Graph& graph,
+                                           const Labeling& labels);
+
+}  // namespace fgr
+
+#endif  // FGR_CORE_GOLD_H_

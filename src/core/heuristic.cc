@@ -1,0 +1,39 @@
+#include "core/heuristic.h"
+
+#include "core/mce.h"
+#include "util/check.h"
+
+namespace fgr {
+
+DenseMatrix TwoValuePattern(const DenseMatrix& reference) {
+  FGR_CHECK_EQ(reference.rows(), reference.cols());
+  const std::int64_t k = reference.rows();
+  const double mean =
+      reference.Sum() / static_cast<double>(k * k);
+  DenseMatrix pattern(k, k);
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (std::int64_t j = 0; j < k; ++j) {
+      pattern(i, j) = reference(i, j) > mean ? 1.0 : -1.0;
+    }
+  }
+  // Symmetrize in case the reference carries numeric asymmetry.
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (std::int64_t j = i + 1; j < k; ++j) {
+      const double v = (pattern(i, j) + pattern(j, i)) >= 0.0 ? 1.0 : -1.0;
+      pattern(i, j) = v;
+      pattern(j, i) = v;
+    }
+  }
+  return pattern;
+}
+
+EstimationResult EstimateTwoValueHeuristic(const DenseMatrix& reference,
+                                           const HeuristicOptions& options) {
+  const std::int64_t k = reference.rows();
+  DenseMatrix guess = TwoValuePattern(reference);
+  guess.Scale(options.epsilon);
+  guess.AddConstant(1.0 / static_cast<double>(k));
+  return ProjectToDoublyStochastic(guess);
+}
+
+}  // namespace fgr

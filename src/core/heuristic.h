@@ -1,0 +1,35 @@
+// The two-value "High/Low" heuristic baseline (Appendix E.1).
+//
+// Prior label-propagation work sidesteps compatibility estimation by
+// assuming H contains only two values — a high value H at positions a domain
+// expert would guess, and a low value L elsewhere. Following the paper's
+// formulation we (1) take the High/Low *positions* from a reference matrix
+// (equivalent to glancing at the gold standard), (2) assign ±ε around the
+// uninformative 1/k, and (3) project to the closest symmetric
+// doubly-stochastic matrix. Fig. 12 shows where this works (MovieLens) and
+// where the binary quantization destroys the signal (Prop-37).
+
+#ifndef FGR_CORE_HEURISTIC_H_
+#define FGR_CORE_HEURISTIC_H_
+
+#include "core/estimation.h"
+#include "matrix/dense.h"
+
+namespace fgr {
+
+struct HeuristicOptions {
+  // Magnitude of the high/low deviation from 1/k before projection.
+  double epsilon = 0.1;
+};
+
+// Builds the binary High/Low pattern from `reference` (entries above the
+// reference's mean entry count as High) and returns the projected guess.
+EstimationResult EstimateTwoValueHeuristic(const DenseMatrix& reference,
+                                           const HeuristicOptions& options = {});
+
+// The ±1 pattern matrix itself (exposed for tests and the Fig. 12 bench).
+DenseMatrix TwoValuePattern(const DenseMatrix& reference);
+
+}  // namespace fgr
+
+#endif  // FGR_CORE_HEURISTIC_H_

@@ -1,0 +1,69 @@
+#include "core/holdout.h"
+
+#include <utility>
+#include <vector>
+
+#include "core/compatibility.h"
+#include "eval/accuracy.h"
+#include "matrix/spectral.h"
+#include "util/check.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace fgr {
+
+EstimationResult EstimateHoldout(const Graph& graph, const Labeling& seeds,
+                                 const HoldoutOptions& options) {
+  FGR_CHECK_EQ(seeds.num_nodes(), graph.num_nodes());
+  FGR_CHECK_GE(options.num_splits, 1);
+  const std::int64_t k = seeds.num_classes();
+
+  Stopwatch timer;
+  Rng rng(options.seed);
+  const std::vector<HoldoutSplit> splits =
+      MakeHoldoutSplits(seeds, options.num_splits, rng);
+
+  // ρ(W) is invariant across candidate matrices: compute it once.
+  LinBpOptions linbp = options.linbp;
+  if (linbp.rho_w_hint <= 0.0) {
+    linbp.rho_w_hint = SpectralRadius(graph.adjacency());
+  }
+
+  int propagations = 0;
+  // E(H) = −Σ_splits Acc(H); out of budget → poison value so Nelder-Mead
+  // settles on what it has.
+  const FunctionObjective objective([&](const std::vector<double>& params) {
+    if (propagations >= options.max_propagations) return 1e30;
+    double energy = 0.0;
+    const DenseMatrix h = CompatibilityFromParameters(
+        params, static_cast<std::int64_t>(k));
+    for (const HoldoutSplit& split : splits) {
+      const LinBpResult prop = RunLinBp(graph, split.seed, h, linbp);
+      ++propagations;
+      const Labeling predicted = LabelsFromBeliefs(prop.beliefs, split.seed);
+      energy -= MacroAccuracy(split.holdout, predicted, split.seed);
+    }
+    return energy;
+  });
+
+  NelderMeadOptions nm = options.optimizer;
+  nm.initial_step = options.simplex_step > 0.0
+                        ? options.simplex_step
+                        : 0.5 / static_cast<double>(k);
+  const std::vector<double> start(
+      static_cast<std::size_t>(NumFreeParameters(k)),
+      1.0 / static_cast<double>(k));
+  const OptimizeResult run = MinimizeNelderMead(objective, start, nm);
+
+  EstimationResult result;
+  result.params = run.x;
+  result.h = CompatibilityFromParameters(run.x, k);
+  result.energy = run.value;
+  // Holdout has no summarization phase: every cost is inference-as-subroutine.
+  result.seconds_optimization = timer.Seconds();
+  result.restarts_used = 1;
+  result.optimizer_iterations = run.iterations;
+  return result;
+}
+
+}  // namespace fgr

@@ -1,0 +1,105 @@
+#include "core/lce.h"
+
+#include <utility>
+
+#include "core/compatibility.h"
+#include "matrix/spectral.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace fgr {
+
+LceObjective::LceObjective(DenseMatrix m, DenseMatrix b, double constant,
+                           double epsilon)
+    : m_(std::move(m)), b_(std::move(b)), constant_(constant),
+      epsilon_(epsilon) {
+  FGR_CHECK_EQ(m_.rows(), m_.cols());
+  FGR_CHECK_EQ(b_.rows(), b_.cols());
+  FGR_CHECK_EQ(m_.rows(), b_.rows());
+  FGR_CHECK_GT(epsilon_, 0.0);
+  k_ = m_.rows();
+}
+
+DenseMatrix LceObjective::CenteredFromParams(
+    const std::vector<double>& params) const {
+  DenseMatrix h = CompatibilityFromParameters(params, k_);
+  h.AddConstant(-1.0 / static_cast<double>(k_));
+  return h;
+}
+
+double LceObjective::Value(const std::vector<double>& params) const {
+  const DenseMatrix h = CenteredFromParams(params);
+  // E = c − 2ε·tr(H̃ᵀ M) + ε²·tr(H̃ᵀ B H̃).
+  double energy = constant_;
+  const DenseMatrix bh = b_.Multiply(h);
+  for (std::int64_t i = 0; i < k_; ++i) {
+    for (std::int64_t j = 0; j < k_; ++j) {
+      energy -= 2.0 * epsilon_ * h(i, j) * m_(i, j);
+      energy += epsilon_ * epsilon_ * h(i, j) * bh(i, j);
+    }
+  }
+  return energy;
+}
+
+void LceObjective::Gradient(const std::vector<double>& params,
+                            std::vector<double>* gradient) const {
+  FGR_CHECK(gradient != nullptr);
+  const DenseMatrix h = CenteredFromParams(params);
+  // ∂E/∂H = −2εM + 2ε²BH̃ (B symmetric; the constant −1/k shift has zero
+  // derivative).
+  DenseMatrix g = b_.Multiply(h);
+  g.Scale(2.0 * epsilon_ * epsilon_);
+  g.AddScaled(m_, -2.0 * epsilon_);
+  *gradient = ProjectGradientToParameters(g);
+}
+
+EstimationResult EstimateLce(const Graph& graph, const Labeling& seeds,
+                             const LceOptions& options) {
+  FGR_CHECK_EQ(seeds.num_nodes(), graph.num_nodes());
+  const std::int64_t k = seeds.num_classes();
+
+  Stopwatch summarize_timer;
+  // One O(m·k) pass: N = WX, then M = XᵀN and B = NᵀN (both k×k).
+  const DenseMatrix x = seeds.ToOneHot();
+  const DenseMatrix n = graph.adjacency().Multiply(x);
+  DenseMatrix m(k, k);
+  DenseMatrix b(k, k);
+  for (NodeId i = 0; i < seeds.num_nodes(); ++i) {
+    const double* n_row = n.RowPtr(i);
+    const ClassId c = seeds.label(i);
+    if (c != kUnlabeled) {
+      double* m_row = m.RowPtr(c);
+      for (std::int64_t j = 0; j < k; ++j) m_row[j] += n_row[j];
+    }
+    for (std::int64_t a = 0; a < k; ++a) {
+      if (n_row[a] == 0.0) continue;
+      double* b_row = b.RowPtr(a);
+      for (std::int64_t j = 0; j < k; ++j) b_row[j] += n_row[a] * n_row[j];
+    }
+  }
+  const double rho_w = SpectralRadius(graph.adjacency());
+  const double epsilon =
+      rho_w > 1e-12 ? options.convergence_scale / rho_w : 1.0;
+  const double seconds_summarization = summarize_timer.Seconds();
+
+  Stopwatch optimize_timer;
+  const LceObjective objective(std::move(m), std::move(b),
+                               static_cast<double>(seeds.NumLabeled()),
+                               epsilon);
+  const std::vector<double> start(
+      static_cast<std::size_t>(NumFreeParameters(k)),
+      1.0 / static_cast<double>(k));
+  const OptimizeResult run = MinimizeLbfgs(objective, start, options.optimizer);
+
+  EstimationResult result;
+  result.params = run.x;
+  result.h = CompatibilityFromParameters(run.x, k);
+  result.energy = run.value;
+  result.seconds_summarization = seconds_summarization;
+  result.seconds_optimization = optimize_timer.Seconds();
+  result.restarts_used = 1;
+  result.optimizer_iterations = run.iterations;
+  return result;
+}
+
+}  // namespace fgr

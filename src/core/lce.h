@@ -1,0 +1,66 @@
+// Linear Compatibility Estimation — LCE (Section 4.2).
+//
+// LCE minimizes the LinBP energy with the sparse labels standing in for the
+// final beliefs:
+//   E(H) = ‖X − W X (εH̃)‖²_F                          (Eq. 8)
+// where, exactly as in the convergent LinBP iteration, the compatibility
+// matrix enters as its centered residual H̃ = H − 1/k scaled by
+// ε = s/ρ(W) (ρ(H̃) ≤ 1 for a doubly-stochastic H, so this is the
+// conservative Eq. 2 scaling). The ε-scaling matters: without it the
+// quadratic term ‖WXH‖² of the many unlabeled rows swamps the label signal
+// and pushes the estimate toward the uniform matrix.
+//
+// The objective is a convex quadratic in H. Expanding it,
+//   E(H) = tr(XᵀX) − 2ε·tr(H̃ᵀ M) + ε²·tr(H̃ᵀ B H̃)
+// with M = XᵀWX (the ℓ=1 neighbor statistics) and B = (WX)ᵀ(WX) = XᵀW²X
+// (full-path ℓ=2 statistics; PSD). Both are k×k, so after one O(m·k)
+// summarization pass every objective evaluation is graph-size independent —
+// the same factorization trick DCE uses.
+
+#ifndef FGR_CORE_LCE_H_
+#define FGR_CORE_LCE_H_
+
+#include "core/estimation.h"
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "opt/lbfgs.h"
+#include "opt/objective.h"
+
+namespace fgr {
+
+struct LceOptions {
+  // LinBP convergence parameter s used for the ε = s/ρ(W) scaling.
+  double convergence_scale = 0.5;
+  LbfgsOptions optimizer;
+};
+
+// The LCE quadratic as a differentiable objective over the free parameters.
+class LceObjective : public DifferentiableObjective {
+ public:
+  // m = XᵀWX, b = XᵀW²X, constant = tr(XᵀX) = number of labeled nodes,
+  // epsilon = the LinBP scaling applied to the centered H̃.
+  LceObjective(DenseMatrix m, DenseMatrix b, double constant, double epsilon);
+
+  double Value(const std::vector<double>& params) const override;
+  void Gradient(const std::vector<double>& params,
+                std::vector<double>* gradient) const override;
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  // H̃ = H(params) − 1/k.
+  DenseMatrix CenteredFromParams(const std::vector<double>& params) const;
+
+  DenseMatrix m_;
+  DenseMatrix b_;
+  double constant_;
+  double epsilon_;
+  std::int64_t k_;
+};
+
+EstimationResult EstimateLce(const Graph& graph, const Labeling& seeds,
+                             const LceOptions& options = {});
+
+}  // namespace fgr
+
+#endif  // FGR_CORE_LCE_H_

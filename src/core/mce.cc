@@ -1,0 +1,29 @@
+#include "core/mce.h"
+
+#include "util/check.h"
+
+namespace fgr {
+
+EstimationResult EstimateMce(const Graph& graph, const Labeling& seeds,
+                             const MceOptions& options) {
+  DceOptions dce;
+  dce.max_path_length = 1;
+  dce.lambda = 1.0;  // single term: weight is irrelevant
+  dce.path_type = options.path_type;
+  dce.variant = options.variant;
+  dce.restarts = 1;  // Eq. 12 is convex
+  dce.optimizer = options.optimizer;
+  return EstimateDce(graph, seeds, dce);
+}
+
+EstimationResult ProjectToDoublyStochastic(const DenseMatrix& target) {
+  FGR_CHECK_EQ(target.rows(), target.cols());
+  DceOptions options;
+  options.max_path_length = 1;
+  GraphStatistics stats;
+  stats.m_raw.push_back(target);
+  stats.p_hat.push_back(target);
+  return EstimateDceFromStatistics(stats, target.rows(), options);
+}
+
+}  // namespace fgr

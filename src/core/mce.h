@@ -1,0 +1,35 @@
+// Myopic Compatibility Estimation — MCE (Section 4.3).
+//
+// MCE summarizes only immediate neighbors (ℓ = 1) and finds the closest
+// symmetric doubly-stochastic matrix to the normalized neighbor statistics:
+//   E(H) = ‖H − P̂‖²_F                                (Eq. 12)
+// It is the ℓmax = 1 special case of DCE and shares its machinery; this
+// header is the convex, restart-free convenience wrapper.
+
+#ifndef FGR_CORE_MCE_H_
+#define FGR_CORE_MCE_H_
+
+#include "core/dce.h"
+#include "core/estimation.h"
+#include "graph/graph.h"
+#include "graph/labels.h"
+
+namespace fgr {
+
+struct MceOptions {
+  NormalizationVariant variant = NormalizationVariant::kRowStochastic;
+  PathType path_type = PathType::kNonBacktracking;  // ℓ=1 paths never backtrack
+  LbfgsOptions optimizer;
+};
+
+EstimationResult EstimateMce(const Graph& graph, const Labeling& seeds,
+                             const MceOptions& options = {});
+
+// Projects an arbitrary k×k matrix onto the closest (Frobenius) symmetric
+// doubly-stochastic matrix via the same parameterized optimization. Used by
+// the gold-standard extraction and the heuristic baseline.
+EstimationResult ProjectToDoublyStochastic(const DenseMatrix& target);
+
+}  // namespace fgr
+
+#endif  // FGR_CORE_MCE_H_

@@ -1,0 +1,180 @@
+#include "core/path_stats.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace fgr {
+namespace {
+
+// M = Xᵀ N computed from the labeled-node list in O(n_labeled · k): row c of
+// M accumulates the N rows of nodes labeled c.
+DenseMatrix ReduceToClassCounts(const Labeling& seeds, const DenseMatrix& n_matrix) {
+  const std::int64_t k = seeds.num_classes();
+  DenseMatrix m(k, k);
+  for (NodeId i = 0; i < seeds.num_nodes(); ++i) {
+    const ClassId c = seeds.label(i);
+    if (c == kUnlabeled) continue;
+    const double* n_row = n_matrix.RowPtr(i);
+    double* m_row = m.RowPtr(c);
+    for (std::int64_t j = 0; j < k; ++j) m_row[j] += n_row[j];
+  }
+  return m;
+}
+
+}  // namespace
+
+DenseMatrix NormalizeStatistics(const DenseMatrix& m,
+                                NormalizationVariant variant) {
+  FGR_CHECK_EQ(m.rows(), m.cols());
+  const std::int64_t k = m.rows();
+  DenseMatrix p(k, k);
+  const std::vector<double> row_sums = m.RowSums();
+  switch (variant) {
+    case NormalizationVariant::kRowStochastic: {
+      for (std::int64_t i = 0; i < k; ++i) {
+        const double sum = row_sums[static_cast<std::size_t>(i)];
+        for (std::int64_t j = 0; j < k; ++j) {
+          p(i, j) = sum != 0.0 ? m(i, j) / sum
+                               : 1.0 / static_cast<double>(k);
+        }
+      }
+      return p;
+    }
+    case NormalizationVariant::kSymmetric: {
+      std::vector<double> inv_sqrt(static_cast<std::size_t>(k), 0.0);
+      for (std::int64_t i = 0; i < k; ++i) {
+        const double sum = row_sums[static_cast<std::size_t>(i)];
+        inv_sqrt[static_cast<std::size_t>(i)] =
+            sum > 0.0 ? 1.0 / std::sqrt(sum) : 0.0;
+      }
+      for (std::int64_t i = 0; i < k; ++i) {
+        for (std::int64_t j = 0; j < k; ++j) {
+          const double scaled = m(i, j) * inv_sqrt[static_cast<std::size_t>(i)] *
+                                inv_sqrt[static_cast<std::size_t>(j)];
+          p(i, j) = scaled;
+        }
+      }
+      // Classes with zero observations get the uninformative row.
+      for (std::int64_t i = 0; i < k; ++i) {
+        if (row_sums[static_cast<std::size_t>(i)] == 0.0) {
+          for (std::int64_t j = 0; j < k; ++j) {
+            p(i, j) = 1.0 / static_cast<double>(k);
+          }
+        }
+      }
+      return p;
+    }
+    case NormalizationVariant::kGlobalScale: {
+      double total = 0.0;
+      for (double sum : row_sums) total += sum;
+      if (total == 0.0) {
+        return DenseMatrix::Constant(k, k, 1.0 / static_cast<double>(k));
+      }
+      const double factor = static_cast<double>(k) / total;
+      for (std::int64_t i = 0; i < k; ++i) {
+        for (std::int64_t j = 0; j < k; ++j) p(i, j) = factor * m(i, j);
+      }
+      return p;
+    }
+  }
+  FGR_CHECK(false) << "unreachable normalization variant";
+  return p;
+}
+
+GraphStatistics ComputeGraphStatistics(const Graph& graph,
+                                       const Labeling& seeds, int max_length,
+                                       PathType path_type,
+                                       NormalizationVariant variant) {
+  FGR_CHECK_GE(max_length, 1);
+  FGR_CHECK_EQ(seeds.num_nodes(), graph.num_nodes());
+  Stopwatch timer;
+  GraphStatistics stats;
+  stats.path_type = path_type;
+  stats.variant = variant;
+
+  const SparseMatrix& w = graph.adjacency();
+  const std::vector<double>& degrees = graph.degrees();
+  const DenseMatrix x = seeds.ToOneHot();
+  const std::int64_t n = x.rows();
+  const std::int64_t k = x.cols();
+
+  // Rolling buffers for N(ℓ−2), N(ℓ−1), N(ℓ).
+  DenseMatrix n_prev2;       // N(ℓ−2)
+  DenseMatrix n_prev;        // N(ℓ−1)
+  DenseMatrix n_curr;        // scratch for the new N(ℓ)
+
+  // ℓ = 1: N(1) = W X.
+  w.Multiply(x, &n_prev);
+  stats.m_raw.push_back(ReduceToClassCounts(seeds, n_prev));
+
+  if (max_length >= 2) {
+    // ℓ = 2: N(2) = W N(1) − D X  (NB) or W N(1) (full).
+    w.Multiply(n_prev, &n_curr);
+    if (path_type == PathType::kNonBacktracking) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        const double d = degrees[static_cast<std::size_t>(i)];
+        const double* x_row = x.RowPtr(i);
+        double* row = n_curr.RowPtr(i);
+        for (std::int64_t j = 0; j < k; ++j) row[j] -= d * x_row[j];
+      }
+    }
+    stats.m_raw.push_back(ReduceToClassCounts(seeds, n_curr));
+    n_prev2 = std::move(n_prev);
+    n_prev = std::move(n_curr);
+    n_curr = DenseMatrix();
+  }
+
+  for (int length = 3; length <= max_length; ++length) {
+    // N(ℓ) = W N(ℓ−1) − (D − I) N(ℓ−2)  (NB) or W N(ℓ−1) (full).
+    w.Multiply(n_prev, &n_curr);
+    if (path_type == PathType::kNonBacktracking) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        const double dm1 = degrees[static_cast<std::size_t>(i)] - 1.0;
+        const double* prev2_row = n_prev2.RowPtr(i);
+        double* row = n_curr.RowPtr(i);
+        for (std::int64_t j = 0; j < k; ++j) row[j] -= dm1 * prev2_row[j];
+      }
+    }
+    stats.m_raw.push_back(ReduceToClassCounts(seeds, n_curr));
+    // Rotate buffers without reallocating.
+    std::swap(n_prev2, n_prev);
+    std::swap(n_prev, n_curr);
+  }
+
+  stats.p_hat.reserve(stats.m_raw.size());
+  for (const DenseMatrix& m : stats.m_raw) {
+    stats.p_hat.push_back(NormalizeStatistics(m, variant));
+  }
+  stats.seconds = timer.Seconds();
+  return stats;
+}
+
+SparseMatrix NonBacktrackingMatrixPower(const Graph& graph, int length) {
+  FGR_CHECK_GE(length, 1);
+  const SparseMatrix& w = graph.adjacency();
+  if (length == 1) return w;
+
+  const SparseMatrix d = SparseMatrix::Diagonal(graph.degrees());
+  // W(2) = W² − D.
+  SparseMatrix prev2 = w;                       // W(1)
+  SparseMatrix prev = SpAdd(SpGemm(w, w), d, -1.0);  // W(2)
+  if (length == 2) return prev;
+
+  // D − I as a diagonal matrix for the recurrence tail.
+  std::vector<double> dm1 = graph.degrees();
+  for (double& v : dm1) v -= 1.0;
+  const SparseMatrix d_minus_i = SparseMatrix::Diagonal(dm1);
+
+  for (int l = 3; l <= length; ++l) {
+    SparseMatrix next =
+        SpAdd(SpGemm(w, prev), SpGemm(d_minus_i, prev2), -1.0);
+    prev2 = std::move(prev);
+    prev = std::move(next);
+  }
+  return prev;
+}
+
+}  // namespace fgr

@@ -1,0 +1,80 @@
+#include "eval/accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fgr {
+namespace {
+
+void CheckShapes(const Labeling& ground_truth, const Labeling& predicted,
+                 const Labeling& seeds) {
+  FGR_CHECK_EQ(ground_truth.num_nodes(), predicted.num_nodes());
+  FGR_CHECK_EQ(ground_truth.num_nodes(), seeds.num_nodes());
+  FGR_CHECK_EQ(ground_truth.num_classes(), predicted.num_classes());
+}
+
+}  // namespace
+
+double MacroAccuracy(const Labeling& ground_truth, const Labeling& predicted,
+                     const Labeling& seeds) {
+  CheckShapes(ground_truth, predicted, seeds);
+  const ClassId k = ground_truth.num_classes();
+  std::vector<std::int64_t> total(static_cast<std::size_t>(k), 0);
+  std::vector<std::int64_t> correct(static_cast<std::size_t>(k), 0);
+  for (NodeId i = 0; i < ground_truth.num_nodes(); ++i) {
+    const ClassId truth = ground_truth.label(i);
+    if (truth == kUnlabeled || seeds.is_labeled(i)) continue;
+    ++total[static_cast<std::size_t>(truth)];
+    if (predicted.label(i) == truth) ++correct[static_cast<std::size_t>(truth)];
+  }
+  double sum = 0.0;
+  int classes_evaluated = 0;
+  for (ClassId c = 0; c < k; ++c) {
+    if (total[static_cast<std::size_t>(c)] == 0) continue;
+    sum += static_cast<double>(correct[static_cast<std::size_t>(c)]) /
+           static_cast<double>(total[static_cast<std::size_t>(c)]);
+    ++classes_evaluated;
+  }
+  return classes_evaluated == 0 ? 0.0 : sum / classes_evaluated;
+}
+
+double MicroAccuracy(const Labeling& ground_truth, const Labeling& predicted,
+                     const Labeling& seeds) {
+  CheckShapes(ground_truth, predicted, seeds);
+  std::int64_t total = 0;
+  std::int64_t correct = 0;
+  for (NodeId i = 0; i < ground_truth.num_nodes(); ++i) {
+    const ClassId truth = ground_truth.label(i);
+    if (truth == kUnlabeled || seeds.is_labeled(i)) continue;
+    ++total;
+    correct += (predicted.label(i) == truth);
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) /
+                                static_cast<double>(total);
+}
+
+SampleStats Aggregate(std::vector<double> values) {
+  SampleStats stats;
+  stats.count = values.size();
+  if (values.empty()) return stats;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  stats.mean = sum / static_cast<double>(values.size());
+  double variance = 0.0;
+  for (double v : values) {
+    variance += (v - stats.mean) * (v - stats.mean);
+  }
+  stats.stddev = values.size() > 1
+                     ? std::sqrt(variance / static_cast<double>(values.size() - 1))
+                     : 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  stats.median = values.size() % 2 == 1
+                     ? values[mid]
+                     : 0.5 * (values[mid - 1] + values[mid]);
+  return stats;
+}
+
+}  // namespace fgr

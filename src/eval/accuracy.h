@@ -1,0 +1,38 @@
+// Classification quality metrics.
+//
+// The paper's protocol: sample a stratified seed fraction f, estimate H,
+// propagate, then score the *remaining* (non-seed) nodes with macro-averaged
+// accuracy (the mean of per-class accuracies) to neutralize class imbalance.
+
+#ifndef FGR_EVAL_ACCURACY_H_
+#define FGR_EVAL_ACCURACY_H_
+
+#include <vector>
+
+#include "graph/labels.h"
+
+namespace fgr {
+
+// Macro-averaged accuracy of `predicted` against `ground_truth`, evaluated
+// over nodes that are labeled in `ground_truth` and NOT labeled in `seeds`
+// (i.e. the nodes the algorithm had to infer). Classes with no evaluation
+// nodes are skipped in the average. Returns 0 when nothing is evaluable.
+double MacroAccuracy(const Labeling& ground_truth, const Labeling& predicted,
+                     const Labeling& seeds);
+
+// Plain (micro) accuracy over the same evaluation set.
+double MicroAccuracy(const Labeling& ground_truth, const Labeling& predicted,
+                     const Labeling& seeds);
+
+// Mean / standard deviation / median of a sample of trial results.
+struct SampleStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double median = 0.0;
+  std::size_t count = 0;
+};
+SampleStats Aggregate(std::vector<double> values);
+
+}  // namespace fgr
+
+#endif  // FGR_EVAL_ACCURACY_H_

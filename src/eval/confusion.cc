@@ -1,0 +1,97 @@
+#include "eval/confusion.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace fgr {
+
+ConfusionMatrix::ConfusionMatrix(const Labeling& ground_truth,
+                                 const Labeling& predicted,
+                                 const Labeling& seeds)
+    : num_classes_(ground_truth.num_classes()),
+      counts_(ground_truth.num_classes(), ground_truth.num_classes()) {
+  FGR_CHECK_EQ(ground_truth.num_nodes(), predicted.num_nodes());
+  FGR_CHECK_EQ(ground_truth.num_nodes(), seeds.num_nodes());
+  FGR_CHECK_EQ(ground_truth.num_classes(), predicted.num_classes());
+  for (NodeId i = 0; i < ground_truth.num_nodes(); ++i) {
+    const ClassId truth = ground_truth.label(i);
+    const ClassId guess = predicted.label(i);
+    if (truth == kUnlabeled || guess == kUnlabeled || seeds.is_labeled(i)) {
+      continue;
+    }
+    counts_(truth, guess) += 1.0;
+    ++total_;
+  }
+}
+
+std::int64_t ConfusionMatrix::count(ClassId truth, ClassId predicted) const {
+  return static_cast<std::int64_t>(counts_(truth, predicted));
+}
+
+ClassMetrics ConfusionMatrix::Metrics(ClassId class_id) const {
+  FGR_CHECK(class_id >= 0 && class_id < num_classes_);
+  ClassMetrics metrics;
+  metrics.class_id = class_id;
+  double true_positive = counts_(class_id, class_id);
+  double predicted_positive = 0.0;
+  double actual_positive = 0.0;
+  for (ClassId c = 0; c < num_classes_; ++c) {
+    predicted_positive += counts_(c, class_id);
+    actual_positive += counts_(class_id, c);
+  }
+  metrics.support = static_cast<std::int64_t>(actual_positive);
+  metrics.precision =
+      predicted_positive > 0.0 ? true_positive / predicted_positive : 0.0;
+  metrics.recall =
+      actual_positive > 0.0 ? true_positive / actual_positive : 0.0;
+  const double denom = metrics.precision + metrics.recall;
+  metrics.f1 = denom > 0.0
+                   ? 2.0 * metrics.precision * metrics.recall / denom
+                   : 0.0;
+  return metrics;
+}
+
+std::vector<ClassMetrics> ConfusionMatrix::AllMetrics() const {
+  std::vector<ClassMetrics> all;
+  all.reserve(static_cast<std::size_t>(num_classes_));
+  for (ClassId c = 0; c < num_classes_; ++c) all.push_back(Metrics(c));
+  return all;
+}
+
+double ConfusionMatrix::MacroF1() const {
+  double sum = 0.0;
+  int contributing = 0;
+  for (const ClassMetrics& metrics : AllMetrics()) {
+    // Skip classes absent from both truth and predictions.
+    double predicted_positive = 0.0;
+    for (ClassId c = 0; c < num_classes_; ++c) {
+      predicted_positive += counts_(c, metrics.class_id);
+    }
+    if (metrics.support == 0 && predicted_positive == 0.0) continue;
+    sum += metrics.f1;
+    ++contributing;
+  }
+  return contributing > 0 ? sum / contributing : 0.0;
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::ostringstream out;
+  out << "true\\pred";
+  for (ClassId c = 0; c < num_classes_; ++c) out << '\t' << c;
+  out << "\trecall\n";
+  for (ClassId truth = 0; truth < num_classes_; ++truth) {
+    out << truth;
+    for (ClassId guess = 0; guess < num_classes_; ++guess) {
+      out << '\t' << count(truth, guess);
+    }
+    std::ostringstream recall;
+    recall.setf(std::ios::fixed);
+    recall.precision(3);
+    recall << Metrics(truth).recall;
+    out << '\t' << recall.str() << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace fgr

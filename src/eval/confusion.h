@@ -1,0 +1,59 @@
+// Confusion matrix and per-class precision/recall/F1.
+//
+// The accuracy numbers in the paper's figures are macro averages; when the
+// classes are asymmetric in importance (the fraud example: a missed
+// fraudster costs more than a mislabeled honest user), users need the full
+// per-class breakdown this module provides.
+
+#ifndef FGR_EVAL_CONFUSION_H_
+#define FGR_EVAL_CONFUSION_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/labels.h"
+#include "matrix/dense.h"
+
+namespace fgr {
+
+struct ClassMetrics {
+  ClassId class_id = 0;
+  std::int64_t support = 0;  // evaluation nodes whose true class this is
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+class ConfusionMatrix {
+ public:
+  // Accumulated over nodes labeled in `ground_truth` and not in `seeds`
+  // (the same evaluation set as MacroAccuracy).
+  ConfusionMatrix(const Labeling& ground_truth, const Labeling& predicted,
+                  const Labeling& seeds);
+
+  ClassId num_classes() const { return num_classes_; }
+
+  // counts(true_class, predicted_class).
+  std::int64_t count(ClassId truth, ClassId predicted) const;
+
+  std::int64_t total() const { return total_; }
+
+  ClassMetrics Metrics(ClassId class_id) const;
+  std::vector<ClassMetrics> AllMetrics() const;
+
+  // Unweighted mean of per-class F1 scores (classes with zero support and
+  // zero predictions are skipped).
+  double MacroF1() const;
+
+  // Rendered k×k table with totals, suitable for reports.
+  std::string ToString() const;
+
+ private:
+  ClassId num_classes_;
+  DenseMatrix counts_;  // k×k, rows = truth, cols = predicted
+  std::int64_t total_ = 0;
+};
+
+}  // namespace fgr
+
+#endif  // FGR_EVAL_CONFUSION_H_

@@ -1,0 +1,168 @@
+#include "gen/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/sinkhorn.h"
+#include "util/check.h"
+
+namespace fgr {
+namespace {
+
+DatasetSpec MakeSpec(std::string name, std::int64_t n, std::int64_t m,
+                     std::vector<double> fractions, DenseMatrix gold) {
+  DatasetSpec spec;
+  spec.name = std::move(name);
+  spec.num_nodes = n;
+  spec.num_edges = m;
+  spec.num_classes = gold.rows();
+  spec.class_fractions = std::move(fractions);
+  FGR_CHECK_EQ(static_cast<std::int64_t>(spec.class_fractions.size()),
+               spec.num_classes);
+  // Fig. 13 values are rounded to two decimals; Sinkhorn-normalize so the
+  // planted matrix is properly symmetric doubly stochastic.
+  Result<DenseMatrix> cleaned = SinkhornNormalize(gold);
+  FGR_CHECK(cleaned.ok()) << cleaned.status().ToString();
+  spec.gold_compatibility = std::move(cleaned).value();
+  return spec;
+}
+
+std::vector<DatasetSpec> BuildSpecs() {
+  std::vector<DatasetSpec> specs;
+
+  // Cora [Sen et al. 2008]: 7 ML paper categories, strong homophily.
+  specs.push_back(MakeSpec(
+      "Cora", 2708, 10858,
+      {0.30, 0.16, 0.15, 0.13, 0.11, 0.08, 0.07},
+      DenseMatrix::FromRows({
+          {0.81, 0.01, 0.04, 0.05, 0.06, 0.01, 0.02},
+          {0.01, 0.79, 0.02, 0.02, 0.09, 0.01, 0.07},
+          {0.04, 0.02, 0.81, 0.02, 0.03, 0.05, 0.04},
+          {0.05, 0.02, 0.02, 0.84, 0.05, 0.005, 0.02},
+          {0.06, 0.09, 0.03, 0.05, 0.70, 0.01, 0.06},
+          {0.01, 0.01, 0.05, 0.005, 0.01, 0.90, 0.02},
+          {0.02, 0.07, 0.04, 0.02, 0.06, 0.02, 0.78},
+      })));
+
+  // Citeseer [Sen et al. 2008]: 6 CS areas, homophily with a weak DB/IR mix.
+  specs.push_back(MakeSpec(
+      "Citeseer", 3312, 9428,
+      {0.18, 0.08, 0.21, 0.20, 0.18, 0.15},
+      DenseMatrix::FromRows({
+          {0.77, 0.005, 0.01, 0.13, 0.05, 0.03},
+          {0.005, 0.75, 0.06, 0.06, 0.03, 0.10},
+          {0.01, 0.06, 0.77, 0.10, 0.03, 0.03},
+          {0.13, 0.06, 0.10, 0.48, 0.06, 0.17},
+          {0.05, 0.03, 0.03, 0.06, 0.81, 0.02},
+          {0.03, 0.10, 0.03, 0.17, 0.02, 0.64},
+      })));
+
+  // Hep-Th [KDD Cup 2003]: 11 publication-year bands; banded near-diagonal
+  // structure (papers cite nearby years).
+  specs.push_back(MakeSpec(
+      "Hep-Th", 27770, 352807,
+      {0.05, 0.06, 0.07, 0.08, 0.09, 0.10, 0.10, 0.11, 0.11, 0.11, 0.12},
+      DenseMatrix::FromRows({
+          {0.10, 0.11, 0.14, 0.11, 0.11, 0.08, 0.08, 0.08, 0.04, 0.08, 0.08},
+          {0.11, 0.09, 0.12, 0.12, 0.10, 0.08, 0.09, 0.09, 0.05, 0.06, 0.09},
+          {0.14, 0.12, 0.11, 0.13, 0.11, 0.10, 0.09, 0.06, 0.03, 0.03, 0.06},
+          {0.11, 0.12, 0.13, 0.15, 0.12, 0.10, 0.08, 0.06, 0.03, 0.04, 0.06},
+          {0.11, 0.10, 0.11, 0.12, 0.17, 0.13, 0.08, 0.07, 0.03, 0.02, 0.05},
+          {0.08, 0.08, 0.10, 0.10, 0.13, 0.18, 0.12, 0.08, 0.04, 0.03, 0.06},
+          {0.08, 0.09, 0.09, 0.08, 0.08, 0.12, 0.17, 0.13, 0.07, 0.03, 0.06},
+          {0.08, 0.09, 0.06, 0.06, 0.07, 0.08, 0.13, 0.16, 0.14, 0.08, 0.07},
+          {0.04, 0.05, 0.03, 0.03, 0.03, 0.04, 0.07, 0.14, 0.28, 0.17, 0.11},
+          {0.08, 0.06, 0.03, 0.04, 0.02, 0.03, 0.03, 0.08, 0.17, 0.26, 0.20},
+          {0.08, 0.09, 0.06, 0.06, 0.05, 0.06, 0.06, 0.07, 0.11, 0.20, 0.16},
+      })));
+
+  // MovieLens [Sen et al. 2009]: users / movies / tags; tags never link to
+  // tags (H_33 = 0), strong heterophily.
+  specs.push_back(MakeSpec(
+      "MovieLens", 26850, 336742,
+      {0.20, 0.30, 0.50},
+      DenseMatrix::FromRows({
+          {0.08, 0.45, 0.47},
+          {0.45, 0.02, 0.53},
+          {0.47, 0.53, 0.001},
+      })));
+
+  // Enron [Liang et al. 2016]: person / email address / message / topic.
+  specs.push_back(MakeSpec(
+      "Enron", 46463, 613838,
+      {0.12, 0.33, 0.48, 0.07},
+      DenseMatrix::FromRows({
+          {0.62, 0.24, 0.001, 0.14},
+          {0.24, 0.06, 0.55, 0.16},
+          {0.001, 0.55, 0.001, 0.45},
+          {0.14, 0.16, 0.45, 0.25},
+      })));
+
+  // Prop-37 [Smith et al. 2013]: Twitter users / tweets / words.
+  specs.push_back(MakeSpec(
+      "Prop-37", 62383, 2167809,
+      {0.30, 0.50, 0.20},
+      DenseMatrix::FromRows({
+          {0.35, 0.26, 0.38},
+          {0.26, 0.12, 0.61},
+          {0.38, 0.61, 0.001},
+      })));
+
+  // Pokec-Gender [Takac & Zabovsky 2012]: two genders, mild heterophily
+  // (more interaction across genders than within).
+  specs.push_back(MakeSpec(
+      "Pokec-Gender", 1632803, 30622564,
+      {0.50, 0.50},
+      DenseMatrix::FromRows({
+          {0.44, 0.56},
+          {0.56, 0.44},
+      })));
+
+  // Flickr [McAuley & Leskovec 2012]: users / pictures / groups.
+  specs.push_back(MakeSpec(
+      "Flickr", 2007369, 18147504,
+      {0.30, 0.60, 0.10},
+      DenseMatrix::FromRows({
+          {0.17, 0.32, 0.51},
+          {0.32, 0.19, 0.49},
+          {0.51, 0.49, 0.001},
+      })));
+
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& RealWorldDatasetSpecs() {
+  static const std::vector<DatasetSpec>& specs =
+      *new std::vector<DatasetSpec>(BuildSpecs());
+  return specs;
+}
+
+Result<DatasetSpec> FindDatasetSpec(const std::string& name) {
+  for (const DatasetSpec& spec : RealWorldDatasetSpecs()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("no dataset spec named '" + name + "'");
+}
+
+Result<PlantedGraph> GenerateDatasetMimic(const DatasetSpec& spec,
+                                          double scale, Rng& rng) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  PlantedGraphConfig config;
+  config.num_nodes = std::max<std::int64_t>(
+      200, static_cast<std::int64_t>(
+               std::llround(scale * static_cast<double>(spec.num_nodes))));
+  const double edge_ratio =
+      static_cast<double>(spec.num_edges) / static_cast<double>(spec.num_nodes);
+  config.num_edges = static_cast<std::int64_t>(
+      std::llround(edge_ratio * static_cast<double>(config.num_nodes)));
+  config.class_fractions = spec.class_fractions;
+  config.compatibility = spec.gold_compatibility;
+  config.degree_distribution = DegreeDistribution::kPowerLaw;
+  return GeneratePlantedGraph(config, rng);
+}
+
+}  // namespace fgr

@@ -1,0 +1,77 @@
+#include "gen/degree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace fgr {
+namespace {
+
+// Scales non-negative weights to integers summing to `total` by largest
+// remainder, with a floor of 1 per entry when total ≥ n.
+std::vector<std::int64_t> RoundToTotal(const std::vector<double>& weights,
+                                       std::int64_t total) {
+  const std::size_t n = weights.size();
+  double weight_sum = 0.0;
+  for (double w : weights) weight_sum += w;
+  FGR_CHECK_GT(weight_sum, 0.0);
+
+  const bool enforce_floor = total >= static_cast<std::int64_t>(n);
+  std::vector<std::int64_t> result(n, 0);
+  std::vector<std::pair<double, std::size_t>> remainders(n);
+  std::int64_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exact = weights[i] / weight_sum * static_cast<double>(total);
+    std::int64_t floor_value = static_cast<std::int64_t>(std::floor(exact));
+    if (enforce_floor) floor_value = std::max<std::int64_t>(floor_value, 1);
+    result[i] = floor_value;
+    remainders[i] = {exact - std::floor(exact), i};
+    assigned += floor_value;
+  }
+  // Distribute the shortfall to the largest remainders (or trim overshoot
+  // from the smallest ones while respecting the floor).
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::size_t cursor = 0;
+  while (assigned < total) {
+    result[remainders[cursor % n].second] += 1;
+    ++assigned;
+    ++cursor;
+  }
+  cursor = n;
+  while (assigned > total) {
+    const std::size_t index = remainders[(cursor - 1) % n].second;
+    --cursor;
+    const std::int64_t floor_value = enforce_floor ? 1 : 0;
+    if (result[index] > floor_value) {
+      result[index] -= 1;
+      --assigned;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> MakeDegreeSequence(std::int64_t num_nodes,
+                                             std::int64_t num_edges,
+                                             DegreeDistribution distribution,
+                                             double power_exponent, Rng& rng) {
+  FGR_CHECK_GT(num_nodes, 0);
+  FGR_CHECK_GE(num_edges, 0);
+  const std::size_t n = static_cast<std::size_t>(num_nodes);
+  std::vector<double> weights(n, 1.0);
+  if (distribution == DegreeDistribution::kPowerLaw) {
+    FGR_CHECK_GT(power_exponent, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      weights[i] = std::pow(static_cast<double>(i + 1), -power_exponent);
+    }
+  }
+  std::vector<std::int64_t> degrees = RoundToTotal(weights, 2 * num_edges);
+  rng.Shuffle(degrees);
+  return degrees;
+}
+
+}  // namespace fgr

@@ -1,0 +1,33 @@
+// Degree-sequence generation for the synthetic graph generator.
+//
+// The paper's generator "actively controls the degree distributions" instead
+// of only fixing expectations. We generate an integer degree sequence whose
+// total equals exactly 2m (largest-remainder rounding) from either a uniform
+// profile or the paper's power-law profile with coefficient 0.3.
+
+#ifndef FGR_GEN_DEGREE_H_
+#define FGR_GEN_DEGREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace fgr {
+
+enum class DegreeDistribution {
+  kUniform,   // every node as close to 2m/n as integrality allows
+  kPowerLaw,  // d_i ∝ (i+1)^-exponent, shuffled across nodes
+};
+
+// Returns n degrees summing to exactly 2·num_edges, each ≥ 1 when
+// 2·num_edges ≥ n. The sequence is randomly permuted so degree and class
+// assignments are independent.
+std::vector<std::int64_t> MakeDegreeSequence(std::int64_t num_nodes,
+                                             std::int64_t num_edges,
+                                             DegreeDistribution distribution,
+                                             double power_exponent, Rng& rng);
+
+}  // namespace fgr
+
+#endif  // FGR_GEN_DEGREE_H_

@@ -1,0 +1,196 @@
+#include "gen/planted.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "core/compatibility.h"
+#include "gen/sinkhorn.h"
+#include "util/check.h"
+
+namespace fgr {
+namespace {
+
+// Largest-remainder rounding of class fractions to integer class sizes.
+std::vector<std::int64_t> ClassSizes(const std::vector<double>& fractions,
+                                     std::int64_t num_nodes) {
+  const std::size_t k = fractions.size();
+  std::vector<std::int64_t> sizes(k, 0);
+  std::vector<std::pair<double, std::size_t>> remainders(k);
+  std::int64_t assigned = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const double exact = fractions[c] * static_cast<double>(num_nodes);
+    sizes[c] = static_cast<std::int64_t>(std::floor(exact));
+    remainders[c] = {exact - std::floor(exact), c};
+    assigned += sizes[c];
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t i = 0; assigned < num_nodes; ++i, ++assigned) {
+    sizes[remainders[i % k].second] += 1;
+  }
+  return sizes;
+}
+
+}  // namespace
+
+PlantedGraphConfig MakeSkewConfig(std::int64_t num_nodes, double avg_degree,
+                                  std::int64_t num_classes, double skew,
+                                  DegreeDistribution distribution) {
+  PlantedGraphConfig config;
+  config.num_nodes = num_nodes;
+  config.num_edges = static_cast<std::int64_t>(
+      std::llround(avg_degree * static_cast<double>(num_nodes) / 2.0));
+  config.class_fractions.assign(static_cast<std::size_t>(num_classes),
+                                1.0 / static_cast<double>(num_classes));
+  config.compatibility = MakeSkewCompatibility(num_classes, skew);
+  config.degree_distribution = distribution;
+  return config;
+}
+
+Result<PlantedGraph> GeneratePlantedGraph(const PlantedGraphConfig& config,
+                                          Rng& rng) {
+  const std::int64_t n = config.num_nodes;
+  const std::int64_t k = config.compatibility.rows();
+  if (n <= 0) return Status::InvalidArgument("num_nodes must be positive");
+  if (config.num_edges < 0) {
+    return Status::InvalidArgument("num_edges must be non-negative");
+  }
+  if (config.compatibility.cols() != k || k == 0) {
+    return Status::InvalidArgument("compatibility matrix must be square");
+  }
+  if (static_cast<std::int64_t>(config.class_fractions.size()) != k) {
+    return Status::InvalidArgument(
+        "class_fractions size must match compatibility matrix");
+  }
+  double fraction_sum = 0.0;
+  for (double fraction : config.class_fractions) {
+    if (fraction < 0.0) {
+      return Status::InvalidArgument("class fractions must be non-negative");
+    }
+    fraction_sum += fraction;
+  }
+  if (std::fabs(fraction_sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument("class fractions must sum to 1, got " +
+                                   std::to_string(fraction_sum));
+  }
+  if (!IsSymmetric(config.compatibility, 1e-9)) {
+    return Status::InvalidArgument("compatibility matrix must be symmetric");
+  }
+
+  // 1. Node classes: contiguous blocks sized by largest-remainder rounding.
+  const std::vector<std::int64_t> sizes = ClassSizes(config.class_fractions, n);
+  Labeling labels(n, static_cast<ClassId>(k));
+  {
+    NodeId node = 0;
+    for (std::int64_t c = 0; c < k; ++c) {
+      for (std::int64_t i = 0; i < sizes[static_cast<std::size_t>(c)]; ++i) {
+        labels.set_label(node++, static_cast<ClassId>(c));
+      }
+    }
+  }
+
+  // 2. Degree sequence with exactly 2m stubs, randomly assigned to nodes.
+  const std::vector<std::int64_t> degrees =
+      MakeDegreeSequence(n, config.num_edges, config.degree_distribution,
+                         config.power_exponent, rng);
+
+  // 3. Per-class stub budgets.
+  std::vector<double> stub_budget(static_cast<std::size_t>(k), 0.0);
+  for (NodeId i = 0; i < n; ++i) {
+    stub_budget[static_cast<std::size_t>(labels.label(i))] +=
+        static_cast<double>(degrees[static_cast<std::size_t>(i)]);
+  }
+
+  // 4. Fit the symmetric endpoint-count matrix M to the budgets with the
+  //    compatibility pattern as kernel.
+  Result<DenseMatrix> fitted =
+      FitSymmetricMarginals(config.compatibility, stub_budget);
+  if (!fitted.ok()) return fitted.status();
+  const DenseMatrix& target = fitted.value();
+
+  // 5. Integer edge counts per class pair: edges(c,d) for c<d is M_cd
+  //    rounded; edges(c,c) is M_cc/2 rounded. Consumption may fall slightly
+  //    short of the stub budgets; the leftover stubs are discarded, which
+  //    only perturbs m at the O(k²) level.
+  DenseMatrix edge_counts(k, k);
+  for (std::int64_t c = 0; c < k; ++c) {
+    for (std::int64_t d = c; d < k; ++d) {
+      const double exact = c == d ? target(c, c) / 2.0 : target(c, d);
+      edge_counts(c, d) = std::floor(exact + 0.5);
+    }
+  }
+
+  // 6. Per-class stub lists (node repeated degree times), shuffled.
+  std::vector<std::vector<NodeId>> stubs(static_cast<std::size_t>(k));
+  for (std::int64_t c = 0; c < k; ++c) {
+    stubs[static_cast<std::size_t>(c)].reserve(
+        static_cast<std::size_t>(stub_budget[static_cast<std::size_t>(c)]));
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    auto& bucket = stubs[static_cast<std::size_t>(labels.label(i))];
+    for (std::int64_t s = 0; s < degrees[static_cast<std::size_t>(i)]; ++s) {
+      bucket.push_back(i);
+    }
+  }
+  for (auto& bucket : stubs) rng.Shuffle(bucket);
+
+  // 7. Wire edges by consuming stubs pair-by-pair. Cursors track how much of
+  //    each class's list is consumed across class pairs.
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(k), 0);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(config.num_edges));
+  for (std::int64_t c = 0; c < k; ++c) {
+    auto& c_stubs = stubs[static_cast<std::size_t>(c)];
+    for (std::int64_t d = c; d < k; ++d) {
+      auto& d_stubs = stubs[static_cast<std::size_t>(d)];
+      const auto count =
+          static_cast<std::int64_t>(edge_counts(c, d));
+      for (std::int64_t e = 0; e < count; ++e) {
+        if (cursor[static_cast<std::size_t>(c)] >= c_stubs.size()) break;
+        const NodeId u = c_stubs[cursor[static_cast<std::size_t>(c)]++];
+        if (cursor[static_cast<std::size_t>(d)] >= d_stubs.size()) break;
+        NodeId v = d_stubs[cursor[static_cast<std::size_t>(d)]];
+        if (u == v) {
+          // Self-pair: swap the partner stub with a random later one.
+          const std::size_t remaining =
+              d_stubs.size() - cursor[static_cast<std::size_t>(d)];
+          bool fixed = false;
+          for (int attempt = 0; attempt < 8 && remaining > 1; ++attempt) {
+            const std::size_t swap_with =
+                cursor[static_cast<std::size_t>(d)] + 1 +
+                static_cast<std::size_t>(
+                    rng.UniformInt(static_cast<std::int64_t>(remaining - 1)));
+            if (d_stubs[swap_with] != u) {
+              std::swap(d_stubs[cursor[static_cast<std::size_t>(d)]],
+                        d_stubs[swap_with]);
+              v = d_stubs[cursor[static_cast<std::size_t>(d)]];
+              fixed = true;
+              break;
+            }
+          }
+          if (!fixed) {
+            ++cursor[static_cast<std::size_t>(d)];  // discard the pair
+            continue;
+          }
+        }
+        ++cursor[static_cast<std::size_t>(d)];
+        edges.push_back({u, v});
+      }
+    }
+  }
+
+  // 8. Assemble (duplicate edges collapse inside FromEdges).
+  Result<Graph> graph = Graph::FromEdges(n, edges);
+  if (!graph.ok()) return graph.status();
+
+  PlantedGraph result;
+  result.graph = std::move(graph).value();
+  result.labels = std::move(labels);
+  result.target_statistics = target;
+  return result;
+}
+
+}  // namespace fgr

@@ -1,0 +1,60 @@
+// Planted-compatibility synthetic graph generator (Section 5, "Synthetic
+// graph generator").
+//
+// A stochastic-block-model variant with the paper's two generalizations:
+// (1) controlled degree distributions (uniform or power-law 0.3), and
+// (2) *planted* rather than expected graph properties — the generator fixes
+// a degree sequence, fits an edge-endpoint count matrix M with the desired
+// compatibility pattern to the per-class stub budgets (symmetric Sinkhorn),
+// and wires edges by stub matching within each class pair. The measured
+// neighbor statistics of the output match the planted H (exactly up to
+// integer rounding for balanced classes).
+//
+// Input tuple (n, m, α, H, dist) as in the paper.
+
+#ifndef FGR_GEN_PLANTED_H_
+#define FGR_GEN_PLANTED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/degree.h"
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "matrix/dense.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace fgr {
+
+struct PlantedGraphConfig {
+  std::int64_t num_nodes = 0;
+  std::int64_t num_edges = 0;  // target m; actual may be slightly lower
+  // α: fraction of nodes per class; must sum to ≈ 1.
+  std::vector<double> class_fractions;
+  // Desired symmetric compatibility pattern (typically doubly stochastic).
+  DenseMatrix compatibility;
+  DegreeDistribution degree_distribution = DegreeDistribution::kUniform;
+  double power_exponent = 0.3;  // used when degree_distribution == kPowerLaw
+};
+
+struct PlantedGraph {
+  Graph graph;
+  Labeling labels;  // full ground truth
+  // The fitted symmetric edge-endpoint target M (k×k, before rounding).
+  DenseMatrix target_statistics;
+};
+
+// Convenience constructor for the paper's balanced synthetic experiments:
+// k classes with equal fractions and the skew-h compatibility matrix.
+PlantedGraphConfig MakeSkewConfig(std::int64_t num_nodes, double avg_degree,
+                                  std::int64_t num_classes, double skew,
+                                  DegreeDistribution distribution =
+                                      DegreeDistribution::kPowerLaw);
+
+Result<PlantedGraph> GeneratePlantedGraph(const PlantedGraphConfig& config,
+                                          Rng& rng);
+
+}  // namespace fgr
+
+#endif  // FGR_GEN_PLANTED_H_

@@ -1,0 +1,94 @@
+#include "gen/sinkhorn.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fgr {
+
+Result<DenseMatrix> FitSymmetricMarginals(const DenseMatrix& kernel,
+                                          const std::vector<double>& targets,
+                                          const SinkhornOptions& options) {
+  const std::int64_t k = kernel.rows();
+  if (kernel.cols() != k) {
+    return Status::InvalidArgument("kernel must be square");
+  }
+  if (static_cast<std::int64_t>(targets.size()) != k) {
+    return Status::InvalidArgument("targets size must match kernel");
+  }
+  for (std::int64_t i = 0; i < k; ++i) {
+    if (targets[static_cast<std::size_t>(i)] < 0.0) {
+      return Status::InvalidArgument("targets must be non-negative");
+    }
+    for (std::int64_t j = 0; j < k; ++j) {
+      if (kernel(i, j) < 0.0) {
+        return Status::InvalidArgument("kernel entries must be non-negative");
+      }
+      if (std::fabs(kernel(i, j) - kernel(j, i)) > 1e-9) {
+        return Status::InvalidArgument("kernel must be symmetric");
+      }
+    }
+  }
+
+  // u_i = 0 for empty classes; positive init elsewhere.
+  std::vector<double> u(static_cast<std::size_t>(k), 0.0);
+  for (std::int64_t i = 0; i < k; ++i) {
+    if (targets[static_cast<std::size_t>(i)] > 0.0) {
+      double row_mass = 0.0;
+      for (std::int64_t j = 0; j < k; ++j) row_mass += kernel(i, j);
+      if (row_mass <= 0.0) {
+        return Status::FailedPrecondition(
+            "class " + std::to_string(i) +
+            " has positive target but an all-zero kernel row");
+      }
+      u[static_cast<std::size_t>(i)] =
+          std::sqrt(targets[static_cast<std::size_t>(i)] / row_mass);
+    }
+  }
+
+  // Damped fixed point: u_i ← sqrt(u_i · t_i / (K u)_i). The square root
+  // damping makes the symmetric iteration monotone instead of oscillating.
+  std::vector<double> ku(static_cast<std::size_t>(k), 0.0);
+  double error = 0.0;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    for (std::int64_t i = 0; i < k; ++i) {
+      double sum = 0.0;
+      for (std::int64_t j = 0; j < k; ++j) {
+        sum += kernel(i, j) * u[static_cast<std::size_t>(j)];
+      }
+      ku[static_cast<std::size_t>(i)] = sum;
+    }
+    error = 0.0;
+    for (std::int64_t i = 0; i < k; ++i) {
+      const double target = targets[static_cast<std::size_t>(i)];
+      if (target <= 0.0) continue;
+      const double row_sum = u[static_cast<std::size_t>(i)] *
+                             ku[static_cast<std::size_t>(i)];
+      if (row_sum <= 0.0) {
+        return Status::FailedPrecondition(
+            "marginal fitting degenerated for class " + std::to_string(i));
+      }
+      error = std::max(error, std::fabs(row_sum - target) / target);
+      u[static_cast<std::size_t>(i)] *= std::sqrt(target / row_sum);
+    }
+    if (error <= options.tolerance) break;
+  }
+
+  DenseMatrix fitted(k, k);
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (std::int64_t j = 0; j < k; ++j) {
+      fitted(i, j) = u[static_cast<std::size_t>(i)] * kernel(i, j) *
+                     u[static_cast<std::size_t>(j)];
+    }
+  }
+  return fitted;
+}
+
+Result<DenseMatrix> SinkhornNormalize(const DenseMatrix& matrix,
+                                      const SinkhornOptions& options) {
+  return FitSymmetricMarginals(
+      matrix, std::vector<double>(static_cast<std::size_t>(matrix.rows()), 1.0),
+      options);
+}
+
+}  // namespace fgr

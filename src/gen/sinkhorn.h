@@ -1,0 +1,44 @@
+// Symmetric iterative proportional fitting (Sinkhorn scaling).
+//
+// The planted-compatibility generator must turn a desired compatibility
+// pattern H into an edge-endpoint count matrix M whose row sums match each
+// class's stub budget (Σ of its node degrees). We find the symmetric matrix
+//   M = diag(u) · K · diag(u)
+// with prescribed row sums by fixed-point iteration on u. For balanced
+// classes this reduces to a plain scaling of K, so the measured neighbor
+// statistics equal H exactly; for imbalanced classes it is the closest
+// H-patterned symmetric matrix consistent with the marginals.
+
+#ifndef FGR_GEN_SINKHORN_H_
+#define FGR_GEN_SINKHORN_H_
+
+#include <vector>
+
+#include "matrix/dense.h"
+#include "util/status.h"
+
+namespace fgr {
+
+struct SinkhornOptions {
+  int max_iterations = 500;
+  double tolerance = 1e-10;  // max relative row-sum error
+};
+
+// Returns symmetric M = diag(u)·kernel·diag(u) with row sums ≈ targets.
+// Requirements: kernel symmetric with non-negative entries; targets
+// non-negative; every class with a positive target must have a positive
+// kernel row. Classes with target 0 get a zero row/column.
+Result<DenseMatrix> FitSymmetricMarginals(const DenseMatrix& kernel,
+                                          const std::vector<double>& targets,
+                                          const SinkhornOptions& options = {});
+
+// Projects a non-negative symmetric matrix onto (approximately) doubly
+// stochastic form by Sinkhorn scaling with unit targets. Used to clean up
+// hand-entered compatibility matrices (e.g. the paper's Fig. 13 tables,
+// which are rounded to two decimals).
+Result<DenseMatrix> SinkhornNormalize(const DenseMatrix& matrix,
+                                      const SinkhornOptions& options = {});
+
+}  // namespace fgr
+
+#endif  // FGR_GEN_SINKHORN_H_

@@ -1,0 +1,84 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace fgr {
+
+ComponentInfo ConnectedComponents(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  ComponentInfo info;
+  info.component_of.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<NodeId> queue;
+  std::vector<std::int64_t> sizes;
+  std::int64_t next_component = 0;
+  for (NodeId start = 0; start < n; ++start) {
+    if (info.component_of[static_cast<std::size_t>(start)] != -1) continue;
+    // BFS flood fill.
+    std::int64_t size = 0;
+    queue.clear();
+    queue.push_back(start);
+    info.component_of[static_cast<std::size_t>(start)] = next_component;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId u = queue[head];
+      ++size;
+      const auto& row_ptr = graph.adjacency().row_ptr();
+      const auto& col_idx = graph.adjacency().col_idx();
+      for (auto p = row_ptr[static_cast<std::size_t>(u)];
+           p < row_ptr[static_cast<std::size_t>(u) + 1]; ++p) {
+        const NodeId v = col_idx[static_cast<std::size_t>(p)];
+        if (info.component_of[static_cast<std::size_t>(v)] == -1) {
+          info.component_of[static_cast<std::size_t>(v)] = next_component;
+          queue.push_back(v);
+        }
+      }
+    }
+    sizes.push_back(size);
+    ++next_component;
+  }
+
+  // Relabel so component ids are ordered by descending size.
+  std::vector<std::int64_t> order(sizes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
+    return sizes[static_cast<std::size_t>(a)] >
+           sizes[static_cast<std::size_t>(b)];
+  });
+  std::vector<std::int64_t> rank(sizes.size());
+  info.component_sizes.resize(sizes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    rank[static_cast<std::size_t>(order[i])] = static_cast<std::int64_t>(i);
+    info.component_sizes[i] = sizes[static_cast<std::size_t>(order[i])];
+  }
+  for (auto& c : info.component_of) {
+    c = rank[static_cast<std::size_t>(c)];
+  }
+  return info;
+}
+
+std::int64_t NodesUnreachableFromSeeds(const Graph& graph,
+                                       const Labeling& seeds) {
+  FGR_CHECK_EQ(seeds.num_nodes(), graph.num_nodes());
+  const ComponentInfo info = ConnectedComponents(graph);
+  std::vector<bool> seeded(
+      static_cast<std::size_t>(info.num_components()), false);
+  for (NodeId i = 0; i < graph.num_nodes(); ++i) {
+    if (seeds.is_labeled(i)) {
+      seeded[static_cast<std::size_t>(
+          info.component_of[static_cast<std::size_t>(i)])] = true;
+    }
+  }
+  std::int64_t unreachable = 0;
+  for (NodeId i = 0; i < graph.num_nodes(); ++i) {
+    if (!seeded[static_cast<std::size_t>(
+            info.component_of[static_cast<std::size_t>(i)])]) {
+      ++unreachable;
+    }
+  }
+  return unreachable;
+}
+
+}  // namespace fgr

@@ -1,0 +1,91 @@
+#include "graph/graph.h"
+
+#include <string>
+
+namespace fgr {
+
+Result<Graph> Graph::FromEdges(NodeId num_nodes,
+                               const std::vector<Edge>& edges) {
+  if (num_nodes < 0) {
+    return Status::InvalidArgument("num_nodes must be non-negative");
+  }
+  std::vector<Triplet> triplets;
+  triplets.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    if (e.u < 0 || e.u >= num_nodes || e.v < 0 || e.v >= num_nodes) {
+      return Status::OutOfRange("edge endpoint out of range: (" +
+                                std::to_string(e.u) + ", " +
+                                std::to_string(e.v) + ")");
+    }
+    if (e.u == e.v) {
+      return Status::InvalidArgument("self-loop at node " +
+                                     std::to_string(e.u));
+    }
+    triplets.push_back({e.u, e.v, 1.0});
+    triplets.push_back({e.v, e.u, 1.0});
+  }
+  SparseMatrix adjacency =
+      SparseMatrix::FromTriplets(num_nodes, num_nodes, std::move(triplets));
+  // Collapse duplicate edges (FromTriplets summed them) back to weight 1.
+  std::vector<Triplet> deduped;
+  deduped.reserve(static_cast<std::size_t>(adjacency.nnz()));
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    for (auto p = adjacency.row_ptr()[static_cast<std::size_t>(i)];
+         p < adjacency.row_ptr()[static_cast<std::size_t>(i) + 1]; ++p) {
+      deduped.push_back(
+          {i, adjacency.col_idx()[static_cast<std::size_t>(p)], 1.0});
+    }
+  }
+  return FromAdjacency(
+      SparseMatrix::FromTriplets(num_nodes, num_nodes, std::move(deduped)));
+}
+
+Result<Graph> Graph::FromAdjacency(SparseMatrix adjacency) {
+  if (adjacency.rows() != adjacency.cols()) {
+    return Status::InvalidArgument("adjacency matrix must be square");
+  }
+  if (!adjacency.IsSymmetric()) {
+    return Status::InvalidArgument("adjacency matrix must be symmetric");
+  }
+  for (double d : adjacency.DiagonalEntries()) {
+    if (d != 0.0) {
+      return Status::InvalidArgument(
+          "adjacency matrix must have a zero diagonal (no self-loops)");
+    }
+  }
+  Graph graph;
+  graph.num_edges_ = adjacency.nnz() / 2;
+  graph.degrees_ = adjacency.RowSums();
+  graph.adjacency_ = std::move(adjacency);
+  return graph;
+}
+
+std::vector<NodeId> Graph::Neighbors(NodeId u) const {
+  FGR_CHECK(u >= 0 && u < num_nodes());
+  const auto& row_ptr = adjacency_.row_ptr();
+  const auto& col_idx = adjacency_.col_idx();
+  std::vector<NodeId> result;
+  result.reserve(static_cast<std::size_t>(
+      row_ptr[static_cast<std::size_t>(u) + 1] -
+      row_ptr[static_cast<std::size_t>(u)]));
+  for (auto p = row_ptr[static_cast<std::size_t>(u)];
+       p < row_ptr[static_cast<std::size_t>(u) + 1]; ++p) {
+    result.push_back(col_idx[static_cast<std::size_t>(p)]);
+  }
+  return result;
+}
+
+std::vector<Edge> Graph::UndirectedEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges_));
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (auto p = adjacency_.row_ptr()[static_cast<std::size_t>(u)];
+         p < adjacency_.row_ptr()[static_cast<std::size_t>(u) + 1]; ++p) {
+      const NodeId v = adjacency_.col_idx()[static_cast<std::size_t>(p)];
+      if (u < v) edges.push_back({u, v});
+    }
+  }
+  return edges;
+}
+
+}  // namespace fgr

@@ -1,0 +1,101 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fgr {
+namespace {
+
+bool IsCommentOrBlank(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Graph> ReadEdgeList(const std::string& path, NodeId num_nodes) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::vector<Edge> edges;
+  NodeId max_id = -1;
+  std::string line;
+  std::int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream fields(line);
+    NodeId u = 0;
+    NodeId v = 0;
+    if (!(fields >> u >> v)) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_number) +
+                                     ": expected 'u v'");
+    }
+    edges.push_back({u, v});
+    max_id = std::max({max_id, u, v});
+  }
+  if (num_nodes < 0) num_nodes = max_id + 1;
+  return Graph::FromEdges(num_nodes, edges);
+}
+
+Status WriteEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot write " + path);
+  out << "# fgr edge list: " << graph.num_nodes() << " nodes, "
+      << graph.num_edges() << " edges\n";
+  for (const Edge& e : graph.UndirectedEdges()) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::Ok();
+}
+
+Result<Labeling> ReadLabels(const std::string& path, NodeId num_nodes,
+                            ClassId num_classes) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  Labeling labels(num_nodes, num_classes);
+  std::string line;
+  std::int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream fields(line);
+    NodeId node = 0;
+    ClassId label = kUnlabeled;
+    if (!(fields >> node >> label)) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_number) +
+                                     ": expected 'node label'");
+    }
+    if (node < 0 || node >= num_nodes) {
+      return Status::OutOfRange(path + ":" + std::to_string(line_number) +
+                                ": node " + std::to_string(node));
+    }
+    if (label != kUnlabeled && (label < 0 || label >= num_classes)) {
+      return Status::OutOfRange(path + ":" + std::to_string(line_number) +
+                                ": label " + std::to_string(label));
+    }
+    labels.set_label(node, label);
+  }
+  return labels;
+}
+
+Status WriteLabels(const Labeling& labels, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot write " + path);
+  out << "# fgr labels: " << labels.num_nodes() << " nodes, "
+      << labels.num_classes() << " classes\n";
+  for (NodeId i = 0; i < labels.num_nodes(); ++i) {
+    out << i << ' ' << labels.label(i) << '\n';
+  }
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace fgr

@@ -1,0 +1,34 @@
+// Plain-text persistence for graphs and labelings.
+//
+// Formats:
+//   * edge list: one "u v" pair per line, '#' comments, header-free;
+//   * labels:    one "node class" pair per line ('-1' = unlabeled).
+// These are the formats the public SNAP-style datasets ship in, so a user
+// with the real Pokec/Cora files can load them directly.
+
+#ifndef FGR_GRAPH_IO_H_
+#define FGR_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "util/status.h"
+
+namespace fgr {
+
+// Reads an undirected edge list. Node ids must be in [0, num_nodes); if
+// num_nodes < 0 it is inferred as max id + 1.
+Result<Graph> ReadEdgeList(const std::string& path, NodeId num_nodes = -1);
+
+Status WriteEdgeList(const Graph& graph, const std::string& path);
+
+// Reads "node label" pairs; nodes not mentioned stay unlabeled.
+Result<Labeling> ReadLabels(const std::string& path, NodeId num_nodes,
+                            ClassId num_classes);
+
+Status WriteLabels(const Labeling& labels, const std::string& path);
+
+}  // namespace fgr
+
+#endif  // FGR_GRAPH_IO_H_

@@ -1,0 +1,135 @@
+#include "graph/labels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fgr {
+
+Labeling Labeling::FromVector(std::vector<ClassId> labels,
+                              ClassId num_classes) {
+  FGR_CHECK_GE(num_classes, 1);
+  for (ClassId label : labels) {
+    FGR_CHECK(label == kUnlabeled || (label >= 0 && label < num_classes))
+        << "label " << label << " outside [0, " << num_classes << ")";
+  }
+  Labeling result;
+  result.num_classes_ = num_classes;
+  result.labels_ = std::move(labels);
+  return result;
+}
+
+void Labeling::set_label(NodeId node, ClassId label) {
+  FGR_CHECK(node >= 0 && node < num_nodes());
+  FGR_CHECK(label == kUnlabeled || (label >= 0 && label < num_classes_));
+  labels_[static_cast<std::size_t>(node)] = label;
+}
+
+std::int64_t Labeling::NumLabeled() const {
+  std::int64_t count = 0;
+  for (ClassId label : labels_) count += (label != kUnlabeled);
+  return count;
+}
+
+double Labeling::LabeledFraction() const {
+  return labels_.empty()
+             ? 0.0
+             : static_cast<double>(NumLabeled()) /
+                   static_cast<double>(labels_.size());
+}
+
+std::vector<NodeId> Labeling::LabeledNodes() const {
+  std::vector<NodeId> nodes;
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    if (is_labeled(i)) nodes.push_back(i);
+  }
+  return nodes;
+}
+
+std::vector<std::int64_t> Labeling::ClassCounts() const {
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_classes_), 0);
+  for (ClassId label : labels_) {
+    if (label != kUnlabeled) ++counts[static_cast<std::size_t>(label)];
+  }
+  return counts;
+}
+
+DenseMatrix Labeling::ToOneHot() const {
+  DenseMatrix x(num_nodes(), num_classes_);
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    const ClassId label = labels_[static_cast<std::size_t>(i)];
+    if (label != kUnlabeled) x(i, label) = 1.0;
+  }
+  return x;
+}
+
+Labeling Labeling::Restrict(const std::vector<NodeId>& nodes) const {
+  Labeling result(num_nodes(), num_classes_);
+  for (NodeId node : nodes) {
+    result.set_label(node, label(node));
+  }
+  return result;
+}
+
+Labeling SampleStratifiedSeeds(const Labeling& ground_truth, double fraction,
+                               Rng& rng) {
+  FGR_CHECK(fraction > 0.0 && fraction <= 1.0)
+      << "seed fraction must be in (0, 1], got " << fraction;
+  const ClassId k = ground_truth.num_classes();
+  // Bucket nodes by class.
+  std::vector<std::vector<NodeId>> by_class(static_cast<std::size_t>(k));
+  for (NodeId i = 0; i < ground_truth.num_nodes(); ++i) {
+    const ClassId c = ground_truth.label(i);
+    FGR_CHECK(c != kUnlabeled) << "ground truth must be fully labeled";
+    by_class[static_cast<std::size_t>(c)].push_back(i);
+  }
+
+  Labeling seeds(ground_truth.num_nodes(), k);
+  std::int64_t total_taken = 0;
+  for (ClassId c = 0; c < k; ++c) {
+    auto& bucket = by_class[static_cast<std::size_t>(c)];
+    if (bucket.empty()) continue;
+    // Proportional allocation; rounding to nearest keeps Σ ≈ f·n while
+    // letting extremely rare classes drop out at extreme sparsity, matching
+    // random disclosure in the wild.
+    auto take = static_cast<std::int64_t>(
+        std::llround(fraction * static_cast<double>(bucket.size())));
+    take = std::min<std::int64_t>(take, static_cast<std::int64_t>(bucket.size()));
+    if (take <= 0) continue;
+    rng.Shuffle(bucket);
+    for (std::int64_t i = 0; i < take; ++i) {
+      seeds.set_label(bucket[static_cast<std::size_t>(i)], c);
+    }
+    total_taken += take;
+  }
+  if (total_taken == 0) {
+    // Degenerate sparsity: expose one random node so downstream algorithms
+    // always have at least one seed.
+    const NodeId node = rng.UniformInt(ground_truth.num_nodes());
+    seeds.set_label(node, ground_truth.label(node));
+  }
+  return seeds;
+}
+
+std::vector<HoldoutSplit> MakeHoldoutSplits(const Labeling& seeds,
+                                            int num_splits, Rng& rng) {
+  FGR_CHECK_GE(num_splits, 1);
+  std::vector<NodeId> labeled = seeds.LabeledNodes();
+  FGR_CHECK_GE(labeled.size(), 2u)
+      << "holdout requires at least two labeled nodes";
+  std::vector<HoldoutSplit> splits;
+  splits.reserve(static_cast<std::size_t>(num_splits));
+  for (int s = 0; s < num_splits; ++s) {
+    rng.Shuffle(labeled);
+    const std::size_t half = labeled.size() / 2;
+    Labeling seed_part(seeds.num_nodes(), seeds.num_classes());
+    Labeling holdout_part(seeds.num_nodes(), seeds.num_classes());
+    for (std::size_t i = 0; i < labeled.size(); ++i) {
+      auto& target = i < half ? seed_part : holdout_part;
+      target.set_label(labeled[i], seeds.label(labeled[i]));
+    }
+    splits.push_back({std::move(seed_part), std::move(holdout_part)});
+  }
+  return splits;
+}
+
+}  // namespace fgr

@@ -1,0 +1,90 @@
+// Node labels, seed sets, and the one-hot label matrix X.
+//
+// A Labeling assigns each node either a class in [0, k) or kUnlabeled. The
+// paper's algorithms consume the labeling through two views:
+//   * the explicit-belief matrix X (n×k, one-hot rows for labeled nodes,
+//     zero rows otherwise), and
+//   * the list of labeled node ids (used to form XᵀN products in O(nℓ·k)).
+
+#ifndef FGR_GRAPH_LABELS_H_
+#define FGR_GRAPH_LABELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "matrix/dense.h"
+#include "util/random.h"
+
+namespace fgr {
+
+using ClassId = std::int32_t;
+inline constexpr ClassId kUnlabeled = -1;
+
+class Labeling {
+ public:
+  Labeling() : num_classes_(0) {}
+
+  // All nodes start unlabeled.
+  Labeling(NodeId num_nodes, ClassId num_classes)
+      : num_classes_(num_classes),
+        labels_(static_cast<std::size_t>(num_nodes), kUnlabeled) {
+    FGR_CHECK_GE(num_classes, 1);
+  }
+
+  // Fully/partially labeled from a vector (entries must be kUnlabeled or in
+  // [0, num_classes)).
+  static Labeling FromVector(std::vector<ClassId> labels, ClassId num_classes);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(labels_.size()); }
+  ClassId num_classes() const { return num_classes_; }
+
+  ClassId label(NodeId node) const {
+    return labels_[static_cast<std::size_t>(node)];
+  }
+  void set_label(NodeId node, ClassId label);
+
+  bool is_labeled(NodeId node) const { return label(node) != kUnlabeled; }
+
+  std::int64_t NumLabeled() const;
+  double LabeledFraction() const;
+
+  // Node ids of all labeled nodes, ascending.
+  std::vector<NodeId> LabeledNodes() const;
+
+  // Per-class counts over labeled nodes.
+  std::vector<std::int64_t> ClassCounts() const;
+
+  // One-hot n×k matrix X (zero rows for unlabeled nodes).
+  DenseMatrix ToOneHot() const;
+
+  // Restriction of this labeling to the given nodes (all others unlabeled).
+  Labeling Restrict(const std::vector<NodeId>& nodes) const;
+
+  const std::vector<ClassId>& raw() const { return labels_; }
+
+ private:
+  ClassId num_classes_;
+  std::vector<ClassId> labels_;
+};
+
+// Samples ⌈f·n⌉ seed nodes from a fully labeled ground truth, stratified so
+// classes appear in proportion to their frequencies (the paper's protocol),
+// and returns the partial labeling exposing only those seeds. Guarantees at
+// least one seed overall (and per class when ⌈f·n_c⌉ ≥ 1).
+Labeling SampleStratifiedSeeds(const Labeling& ground_truth, double fraction,
+                               Rng& rng);
+
+// Splits the labeled nodes of `seeds` into `num_splits` disjoint folds for
+// the Holdout baseline. Fold i of the result pair holds (seed part, holdout
+// part) for split i.
+struct HoldoutSplit {
+  Labeling seed;
+  Labeling holdout;
+};
+std::vector<HoldoutSplit> MakeHoldoutSplits(const Labeling& seeds,
+                                            int num_splits, Rng& rng);
+
+}  // namespace fgr
+
+#endif  // FGR_GRAPH_LABELS_H_

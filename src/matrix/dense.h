@@ -1,0 +1,113 @@
+// Row-major dense matrix of doubles.
+//
+// Used for the n×k belief/label matrices (k is the number of classes, small)
+// and for the k×k compatibility and statistics matrices. The class keeps the
+// operation set deliberately small and explicit; the heavy n-scale work goes
+// through SparseMatrix::Multiply (SpMM).
+
+#ifndef FGR_MATRIX_DENSE_H_
+#define FGR_MATRIX_DENSE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fgr {
+
+class DenseMatrix {
+ public:
+  using Index = std::int64_t;
+
+  // Zero-initialized rows×cols matrix. An empty (0×0) matrix is allowed and
+  // is the default.
+  DenseMatrix() : rows_(0), cols_(0) {}
+  DenseMatrix(Index rows, Index cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), 0.0) {
+    FGR_CHECK_GE(rows, 0);
+    FGR_CHECK_GE(cols, 0);
+  }
+
+  // Builds from nested braces: DenseMatrix::FromRows({{1, 2}, {3, 4}}).
+  static DenseMatrix FromRows(
+      std::initializer_list<std::initializer_list<double>> rows);
+  static DenseMatrix Identity(Index n);
+  // Matrix with every entry equal to `value`.
+  static DenseMatrix Constant(Index rows, Index cols, double value);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double operator()(Index i, Index j) const {
+    FGR_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+  double& operator()(Index i, Index j) {
+    FGR_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  const double* RowPtr(Index i) const {
+    FGR_DCHECK(i >= 0 && i < rows_);
+    return data_.data() + i * cols_;
+  }
+  double* RowPtr(Index i) {
+    FGR_DCHECK(i >= 0 && i < rows_);
+    return data_.data() + i * cols_;
+  }
+
+  const std::vector<double>& data() const { return data_; }
+
+  void SetZero();
+  void Fill(double value);
+
+  // this += other / this -= other / this *= scalar. Dimensions must match.
+  void Add(const DenseMatrix& other);
+  void Sub(const DenseMatrix& other);
+  void Scale(double factor);
+  // this += factor * other (axpy).
+  void AddScaled(const DenseMatrix& other, double factor);
+  // Adds `value` to every entry ("broadcasting" in the paper's notation).
+  void AddConstant(double value);
+
+  DenseMatrix Transpose() const;
+
+  // Dense matrix product this(r×c) * other(c×p). Intended for small (k-sized)
+  // matrices; n-scale products go through SparseMatrix.
+  DenseMatrix Multiply(const DenseMatrix& other) const;
+
+  // this^p for a square matrix; p >= 0 (p == 0 gives identity).
+  DenseMatrix Power(int p) const;
+
+  double FrobeniusNorm() const;
+  double MaxAbs() const;
+  double Sum() const;
+  std::vector<double> RowSums() const;
+  std::vector<double> ColSums() const;
+
+  // Index of the maximum entry in row i; the smallest index wins ties so
+  // labeling is deterministic.
+  Index ArgmaxInRow(Index i) const;
+
+  // Multi-line human-readable rendering (tests, debugging, bench output).
+  std::string ToString(int precision = 4) const;
+
+ private:
+  Index rows_;
+  Index cols_;
+  std::vector<double> data_;
+};
+
+// ‖a − b‖_F without materializing the difference.
+double FrobeniusDistance(const DenseMatrix& a, const DenseMatrix& b);
+
+// True when ‖a − b‖_max <= tol.
+bool AllClose(const DenseMatrix& a, const DenseMatrix& b, double tol = 1e-9);
+
+}  // namespace fgr
+
+#endif  // FGR_MATRIX_DENSE_H_

@@ -1,0 +1,83 @@
+#include "matrix/hashimoto.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace fgr {
+
+DirectedEdgeSpace::DirectedEdgeSpace(const Graph& graph) {
+  const SparseMatrix& w = graph.adjacency();
+  const std::int64_t n = graph.num_nodes();
+  tails_.reserve(static_cast<std::size_t>(w.nnz()));
+  heads_.reserve(static_cast<std::size_t>(w.nnz()));
+  tail_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  // CSR order of the adjacency matrix is already (tail, head)-sorted.
+  for (NodeId u = 0; u < n; ++u) {
+    tail_offsets_[static_cast<std::size_t>(u)] =
+        static_cast<std::int64_t>(tails_.size());
+    for (auto p = w.row_ptr()[static_cast<std::size_t>(u)];
+         p < w.row_ptr()[static_cast<std::size_t>(u) + 1]; ++p) {
+      tails_.push_back(u);
+      heads_.push_back(w.col_idx()[static_cast<std::size_t>(p)]);
+    }
+  }
+  tail_offsets_[static_cast<std::size_t>(n)] =
+      static_cast<std::int64_t>(tails_.size());
+}
+
+std::int64_t DirectedEdgeSpace::StateOf(NodeId u, NodeId v) const {
+  FGR_CHECK(u >= 0 &&
+            u + 1 < static_cast<NodeId>(tail_offsets_.size()));
+  const auto begin = heads_.begin() + tail_offsets_[static_cast<std::size_t>(u)];
+  const auto end = heads_.begin() + tail_offsets_[static_cast<std::size_t>(u) + 1];
+  const auto it = std::lower_bound(begin, end, v);
+  FGR_CHECK(it != end && *it == v)
+      << "no directed edge " << u << "->" << v;
+  return static_cast<std::int64_t>(it - heads_.begin());
+}
+
+SparseMatrix BuildHashimotoMatrix(const Graph& graph,
+                                  const DirectedEdgeSpace& edges) {
+  const std::int64_t states = edges.num_states();
+  std::vector<Triplet> triplets;
+  for (std::int64_t s = 0; s < states; ++s) {
+    const NodeId u = edges.tail(s);
+    const NodeId v = edges.head(s);
+    // Successors: (v→w) for every neighbor w of v except backtracking to u.
+    for (NodeId w : graph.Neighbors(v)) {
+      if (w == u) continue;
+      triplets.push_back({s, edges.StateOf(v, w), 1.0});
+    }
+  }
+  return SparseMatrix::FromTriplets(states, states, std::move(triplets));
+}
+
+SparseMatrix NbPathCountsViaHashimoto(const Graph& graph, int length) {
+  FGR_CHECK_GE(length, 1);
+  const DirectedEdgeSpace edges(graph);
+  const SparseMatrix b = BuildHashimotoMatrix(graph, edges);
+
+  // B^(length−1) over the augmented state space.
+  SparseMatrix b_power = SparseMatrix::Identity(edges.num_states());
+  for (int step = 1; step < length; ++step) {
+    b_power = SpGemm(b_power, b);
+  }
+
+  // Aggregate states back to node pairs: (tail of source, head of target).
+  std::vector<Triplet> counts;
+  counts.reserve(static_cast<std::size_t>(b_power.nnz()));
+  for (std::int64_t s = 0; s < b_power.rows(); ++s) {
+    for (auto p = b_power.row_ptr()[static_cast<std::size_t>(s)];
+         p < b_power.row_ptr()[static_cast<std::size_t>(s) + 1]; ++p) {
+      const std::int64_t t = b_power.col_idx()[static_cast<std::size_t>(p)];
+      counts.push_back({edges.tail(s), edges.head(t),
+                        b_power.values()[static_cast<std::size_t>(p)]});
+    }
+  }
+  return SparseMatrix::FromTriplets(graph.num_nodes(), graph.num_nodes(),
+                                    std::move(counts));
+}
+
+}  // namespace fgr

@@ -1,0 +1,268 @@
+#include "matrix/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fgr {
+
+SparseMatrix SparseMatrix::FromTriplets(Index rows, Index cols,
+                                        std::vector<Triplet> triplets) {
+  FGR_CHECK_GE(rows, 0);
+  FGR_CHECK_GE(cols, 0);
+  SparseMatrix result;
+  result.rows_ = rows;
+  result.cols_ = cols;
+  result.row_ptr_.assign(static_cast<std::size_t>(rows) + 1, 0);
+
+  for (const Triplet& t : triplets) {
+    FGR_CHECK(t.row >= 0 && t.row < rows) << "triplet row " << t.row;
+    FGR_CHECK(t.col >= 0 && t.col < cols) << "triplet col " << t.col;
+  }
+
+  // Counting sort by row, then sort each row segment by column and merge
+  // duplicates. This is O(nnz log d) and avoids a global sort.
+  for (const Triplet& t : triplets) {
+    ++result.row_ptr_[static_cast<std::size_t>(t.row) + 1];
+  }
+  for (std::size_t i = 1; i < result.row_ptr_.size(); ++i) {
+    result.row_ptr_[i] += result.row_ptr_[i - 1];
+  }
+  std::vector<Index> cursor(result.row_ptr_.begin(),
+                            result.row_ptr_.end() - 1);
+  std::vector<Index> cols_tmp(triplets.size());
+  std::vector<double> values_tmp(triplets.size());
+  for (const Triplet& t : triplets) {
+    const Index pos = cursor[static_cast<std::size_t>(t.row)]++;
+    cols_tmp[static_cast<std::size_t>(pos)] = t.col;
+    values_tmp[static_cast<std::size_t>(pos)] = t.value;
+  }
+
+  result.col_idx_.reserve(triplets.size());
+  result.values_.reserve(triplets.size());
+  std::vector<Index> order;
+  std::vector<Index> final_row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  for (Index r = 0; r < rows; ++r) {
+    const Index begin = result.row_ptr_[static_cast<std::size_t>(r)];
+    const Index end = result.row_ptr_[static_cast<std::size_t>(r) + 1];
+    order.resize(static_cast<std::size_t>(end - begin));
+    for (Index i = begin; i < end; ++i) order[static_cast<std::size_t>(i - begin)] = i;
+    std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+      return cols_tmp[static_cast<std::size_t>(a)] <
+             cols_tmp[static_cast<std::size_t>(b)];
+    });
+    for (Index idx : order) {
+      const Index c = cols_tmp[static_cast<std::size_t>(idx)];
+      const double v = values_tmp[static_cast<std::size_t>(idx)];
+      if (!result.col_idx_.empty() &&
+          final_row_ptr[static_cast<std::size_t>(r) + 1] > 0 &&
+          result.col_idx_.back() == c) {
+        result.values_.back() += v;  // merge duplicate
+      } else {
+        result.col_idx_.push_back(c);
+        result.values_.push_back(v);
+        ++final_row_ptr[static_cast<std::size_t>(r) + 1];
+      }
+    }
+  }
+  for (std::size_t i = 1; i < final_row_ptr.size(); ++i) {
+    final_row_ptr[i] += final_row_ptr[i - 1];
+  }
+  result.row_ptr_ = std::move(final_row_ptr);
+  return result;
+}
+
+SparseMatrix SparseMatrix::Diagonal(const std::vector<double>& diagonal) {
+  const Index n = static_cast<Index>(diagonal.size());
+  SparseMatrix result;
+  result.rows_ = n;
+  result.cols_ = n;
+  result.row_ptr_.resize(static_cast<std::size_t>(n) + 1);
+  result.col_idx_.resize(static_cast<std::size_t>(n));
+  result.values_ = diagonal;
+  for (Index i = 0; i <= n; ++i) result.row_ptr_[static_cast<std::size_t>(i)] = i;
+  for (Index i = 0; i < n; ++i) result.col_idx_[static_cast<std::size_t>(i)] = i;
+  return result;
+}
+
+SparseMatrix SparseMatrix::Identity(Index n) {
+  return Diagonal(std::vector<double>(static_cast<std::size_t>(n), 1.0));
+}
+
+void SparseMatrix::Multiply(const DenseMatrix& x, DenseMatrix* out) const {
+  FGR_CHECK_EQ(cols_, x.rows()) << "SpMM shape mismatch";
+  FGR_CHECK(out != nullptr);
+  FGR_CHECK(out != &x) << "SpMM output must not alias the input";
+  if (out->rows() != rows_ || out->cols() != x.cols()) {
+    *out = DenseMatrix(rows_, x.cols());
+  } else {
+    out->SetZero();
+  }
+  const Index k = x.cols();
+  for (Index i = 0; i < rows_; ++i) {
+    double* out_row = out->RowPtr(i);
+    const Index begin = row_ptr_[static_cast<std::size_t>(i)];
+    const Index end = row_ptr_[static_cast<std::size_t>(i) + 1];
+    for (Index p = begin; p < end; ++p) {
+      const double v = values_[static_cast<std::size_t>(p)];
+      const double* x_row = x.RowPtr(col_idx_[static_cast<std::size_t>(p)]);
+      for (Index j = 0; j < k; ++j) out_row[j] += v * x_row[j];
+    }
+  }
+}
+
+DenseMatrix SparseMatrix::Multiply(const DenseMatrix& x) const {
+  DenseMatrix out;
+  Multiply(x, &out);
+  return out;
+}
+
+void SparseMatrix::MultiplyVector(const std::vector<double>& x,
+                                  std::vector<double>* y) const {
+  FGR_CHECK_EQ(cols_, static_cast<Index>(x.size()));
+  FGR_CHECK(y != nullptr);
+  y->assign(static_cast<std::size_t>(rows_), 0.0);
+  for (Index i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    const Index begin = row_ptr_[static_cast<std::size_t>(i)];
+    const Index end = row_ptr_[static_cast<std::size_t>(i) + 1];
+    for (Index p = begin; p < end; ++p) {
+      sum += values_[static_cast<std::size_t>(p)] *
+             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(p)])];
+    }
+    (*y)[static_cast<std::size_t>(i)] = sum;
+  }
+}
+
+std::vector<double> SparseMatrix::RowSums() const {
+  std::vector<double> sums(static_cast<std::size_t>(rows_), 0.0);
+  for (Index i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (Index p = row_ptr_[static_cast<std::size_t>(i)];
+         p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
+      sum += values_[static_cast<std::size_t>(p)];
+    }
+    sums[static_cast<std::size_t>(i)] = sum;
+  }
+  return sums;
+}
+
+std::vector<double> SparseMatrix::DiagonalEntries() const {
+  FGR_CHECK_EQ(rows_, cols_);
+  std::vector<double> diagonal(static_cast<std::size_t>(rows_), 0.0);
+  for (Index i = 0; i < rows_; ++i) {
+    diagonal[static_cast<std::size_t>(i)] = At(i, i);
+  }
+  return diagonal;
+}
+
+double SparseMatrix::At(Index row, Index col) const {
+  FGR_CHECK(row >= 0 && row < rows_);
+  FGR_CHECK(col >= 0 && col < cols_);
+  const auto begin = col_idx_.begin() + row_ptr_[static_cast<std::size_t>(row)];
+  const auto end = col_idx_.begin() + row_ptr_[static_cast<std::size_t>(row) + 1];
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+SparseMatrix SparseMatrix::Transpose() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(nnz()));
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index p = row_ptr_[static_cast<std::size_t>(i)];
+         p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
+      triplets.push_back({col_idx_[static_cast<std::size_t>(p)], i,
+                          values_[static_cast<std::size_t>(p)]});
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(triplets));
+}
+
+bool SparseMatrix::IsSymmetric() const {
+  if (rows_ != cols_) return false;
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index p = row_ptr_[static_cast<std::size_t>(i)];
+         p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
+      const Index j = col_idx_[static_cast<std::size_t>(p)];
+      if (At(j, i) != values_[static_cast<std::size_t>(p)]) return false;
+    }
+  }
+  return true;
+}
+
+void SparseMatrix::Scale(double factor) {
+  for (double& value : values_) value *= factor;
+}
+
+DenseMatrix SparseMatrix::ToDense() const {
+  DenseMatrix result(rows_, cols_);
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index p = row_ptr_[static_cast<std::size_t>(i)];
+         p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
+      result(i, col_idx_[static_cast<std::size_t>(p)]) +=
+          values_[static_cast<std::size_t>(p)];
+    }
+  }
+  return result;
+}
+
+SparseMatrix SpGemm(const SparseMatrix& a, const SparseMatrix& b) {
+  FGR_CHECK_EQ(a.cols(), b.rows()) << "SpGemm shape mismatch";
+  using Index = SparseMatrix::Index;
+  const Index rows = a.rows();
+  const Index cols = b.cols();
+
+  // Row-wise product with a dense accumulator + touched list (Gustavson).
+  std::vector<double> accumulator(static_cast<std::size_t>(cols), 0.0);
+  std::vector<bool> occupied(static_cast<std::size_t>(cols), false);
+  std::vector<Index> touched;
+  std::vector<Triplet> triplets;
+  for (Index i = 0; i < rows; ++i) {
+    touched.clear();
+    for (Index pa = a.row_ptr()[static_cast<std::size_t>(i)];
+         pa < a.row_ptr()[static_cast<std::size_t>(i) + 1]; ++pa) {
+      const Index k = a.col_idx()[static_cast<std::size_t>(pa)];
+      const double va = a.values()[static_cast<std::size_t>(pa)];
+      for (Index pb = b.row_ptr()[static_cast<std::size_t>(k)];
+           pb < b.row_ptr()[static_cast<std::size_t>(k) + 1]; ++pb) {
+        const Index j = b.col_idx()[static_cast<std::size_t>(pb)];
+        if (!occupied[static_cast<std::size_t>(j)]) {
+          occupied[static_cast<std::size_t>(j)] = true;
+          touched.push_back(j);
+        }
+        accumulator[static_cast<std::size_t>(j)] +=
+            va * b.values()[static_cast<std::size_t>(pb)];
+      }
+    }
+    for (Index j : touched) {
+      triplets.push_back({i, j, accumulator[static_cast<std::size_t>(j)]});
+      accumulator[static_cast<std::size_t>(j)] = 0.0;
+      occupied[static_cast<std::size_t>(j)] = false;
+    }
+  }
+  return SparseMatrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+SparseMatrix SpAdd(const SparseMatrix& a, const SparseMatrix& b, double scale) {
+  FGR_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  using Index = SparseMatrix::Index;
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index p = a.row_ptr()[static_cast<std::size_t>(i)];
+         p < a.row_ptr()[static_cast<std::size_t>(i) + 1]; ++p) {
+      triplets.push_back({i, a.col_idx()[static_cast<std::size_t>(p)],
+                          a.values()[static_cast<std::size_t>(p)]});
+    }
+  }
+  for (Index i = 0; i < b.rows(); ++i) {
+    for (Index p = b.row_ptr()[static_cast<std::size_t>(i)];
+         p < b.row_ptr()[static_cast<std::size_t>(i) + 1]; ++p) {
+      triplets.push_back({i, b.col_idx()[static_cast<std::size_t>(p)],
+                          scale * b.values()[static_cast<std::size_t>(p)]});
+    }
+  }
+  return SparseMatrix::FromTriplets(a.rows(), a.cols(), std::move(triplets));
+}
+
+}  // namespace fgr

@@ -1,0 +1,70 @@
+#include "opt/gradient_descent.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fgr {
+
+OptimizeResult MinimizeGradientDescent(
+    const DifferentiableObjective& objective, std::vector<double> x0,
+    const GradientDescentOptions& options) {
+  const std::size_t n = x0.size();
+  OptimizeResult result;
+  result.x = std::move(x0);
+  result.value = objective.Value(result.x);
+  ++result.function_evaluations;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<double> gradient;
+  std::vector<double> x_next(n);
+  // Warm-started step size: reuse roughly the scale that worked last time.
+  double step_hint = options.initial_step;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    objective.Gradient(result.x, &gradient);
+    double grad_max = 0.0;
+    double grad_sq = 0.0;
+    for (double g : gradient) {
+      grad_max = std::max(grad_max, std::fabs(g));
+      grad_sq += g * g;
+    }
+    if (grad_max <= options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    double step = std::min(2.0 * step_hint, options.initial_step);
+    bool step_found = false;
+    double value_next = result.value;
+    for (int ls = 0; ls < options.max_line_search_steps; ++ls) {
+      for (std::size_t j = 0; j < n; ++j) {
+        x_next[j] = result.x[j] - step * gradient[j];
+      }
+      value_next = objective.Value(x_next);
+      ++result.function_evaluations;
+      if (value_next <= result.value - options.armijo_c1 * step * grad_sq) {
+        step_found = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!step_found) break;
+    step_hint = step;
+
+    const double improvement = result.value - value_next;
+    result.x = x_next;
+    result.value = value_next;
+    if (improvement <=
+        options.value_tolerance * (std::fabs(result.value) + 1.0)) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace fgr

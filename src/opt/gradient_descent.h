@@ -1,0 +1,33 @@
+// Plain gradient descent with Armijo backtracking.
+//
+// Kept alongside L-BFGS as (a) a simpler reference implementation used in
+// optimizer cross-checks and (b) the optimizer for the gradient ablation
+// bench, which compares analytic-gradient descent, L-BFGS, and gradient-free
+// Nelder-Mead on the DCE energy.
+
+#ifndef FGR_OPT_GRADIENT_DESCENT_H_
+#define FGR_OPT_GRADIENT_DESCENT_H_
+
+#include <vector>
+
+#include "opt/lbfgs.h"
+#include "opt/objective.h"
+
+namespace fgr {
+
+struct GradientDescentOptions {
+  int max_iterations = 2000;
+  double initial_step = 1.0;
+  double gradient_tolerance = 1e-9;
+  double value_tolerance = 1e-14;
+  int max_line_search_steps = 40;
+  double armijo_c1 = 1e-4;
+};
+
+OptimizeResult MinimizeGradientDescent(
+    const DifferentiableObjective& objective, std::vector<double> x0,
+    const GradientDescentOptions& options = {});
+
+}  // namespace fgr
+
+#endif  // FGR_OPT_GRADIENT_DESCENT_H_

@@ -1,0 +1,176 @@
+#include "opt/lbfgs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/check.h"
+
+namespace fgr {
+namespace {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double MaxAbs(const std::vector<double>& v) {
+  double best = 0.0;
+  for (double x : v) best = std::max(best, std::fabs(x));
+  return best;
+}
+
+}  // namespace
+
+OptimizeResult MinimizeLbfgs(const DifferentiableObjective& objective,
+                             std::vector<double> x0,
+                             const LbfgsOptions& options) {
+  const std::size_t n = x0.size();
+  OptimizeResult result;
+  result.x = std::move(x0);
+  result.value = objective.Value(result.x);
+  ++result.function_evaluations;
+  if (n == 0) {  // Nothing to optimize (k = 1).
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<double> gradient;
+  objective.Gradient(result.x, &gradient);
+  FGR_CHECK_EQ(gradient.size(), n);
+
+  // (s, y) history for the two-loop recursion.
+  std::deque<std::vector<double>> s_history;
+  std::deque<std::vector<double>> y_history;
+  std::deque<double> rho_history;
+
+  std::vector<double> direction(n);
+  std::vector<double> x_next(n);
+  std::vector<double> gradient_next;
+  std::vector<double> alpha(static_cast<std::size_t>(options.history));
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    if (MaxAbs(gradient) <= options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Two-loop recursion: direction = -H_k * gradient.
+    direction = gradient;
+    const int hist = static_cast<int>(s_history.size());
+    for (int i = hist - 1; i >= 0; --i) {
+      alpha[static_cast<std::size_t>(i)] =
+          rho_history[static_cast<std::size_t>(i)] *
+          Dot(s_history[static_cast<std::size_t>(i)], direction);
+      const auto& y = y_history[static_cast<std::size_t>(i)];
+      for (std::size_t j = 0; j < n; ++j) {
+        direction[j] -= alpha[static_cast<std::size_t>(i)] * y[j];
+      }
+    }
+    if (hist > 0) {
+      // Initial Hessian scaling gamma = sᵀy / yᵀy.
+      const auto& s = s_history.back();
+      const auto& y = y_history.back();
+      const double gamma = Dot(s, y) / std::max(Dot(y, y), 1e-300);
+      for (double& d : direction) d *= gamma;
+    }
+    for (int i = 0; i < hist; ++i) {
+      const double beta = rho_history[static_cast<std::size_t>(i)] *
+                          Dot(y_history[static_cast<std::size_t>(i)], direction);
+      const auto& s = s_history[static_cast<std::size_t>(i)];
+      for (std::size_t j = 0; j < n; ++j) {
+        direction[j] += (alpha[static_cast<std::size_t>(i)] - beta) * s[j];
+      }
+    }
+    for (double& d : direction) d = -d;
+
+    double directional = Dot(gradient, direction);
+    if (directional >= 0.0) {
+      // Not a descent direction (can happen on non-convex DCE energies):
+      // fall back to steepest descent.
+      for (std::size_t j = 0; j < n; ++j) direction[j] = -gradient[j];
+      directional = -Dot(gradient, gradient);
+    }
+
+    // Weak-Wolfe line search (Lewis-Overton bisection): find a step with
+    // both sufficient decrease and enough curvature that sᵀy > 0.
+    double step = 1.0;
+    double step_lo = 0.0;
+    double step_hi = -1.0;  // -1 means "no upper bracket yet"
+    double value_next = result.value;
+    bool step_found = false;
+    for (int ls = 0; ls < options.max_line_search_steps; ++ls) {
+      for (std::size_t j = 0; j < n; ++j) {
+        x_next[j] = result.x[j] + step * direction[j];
+      }
+      value_next = objective.Value(x_next);
+      ++result.function_evaluations;
+      if (value_next >
+          result.value + options.armijo_c1 * step * directional) {
+        step_hi = step;  // too long: decrease violated
+      } else {
+        objective.Gradient(x_next, &gradient_next);
+        if (Dot(gradient_next, direction) <
+            options.wolfe_c2 * directional) {
+          step_lo = step;  // too short: curvature violated
+        } else {
+          step_found = true;
+          break;
+        }
+      }
+      step = step_hi > 0.0 ? 0.5 * (step_lo + step_hi) : 2.0 * step;
+    }
+    if (!step_found) {
+      // Accept the best Armijo point if we at least bracketed one; else we
+      // are at numerical resolution.
+      if (step_lo > 0.0) {
+        step = step_lo;
+        for (std::size_t j = 0; j < n; ++j) {
+          x_next[j] = result.x[j] + step * direction[j];
+        }
+        value_next = objective.Value(x_next);
+        ++result.function_evaluations;
+        objective.Gradient(x_next, &gradient_next);
+      } else {
+        result.converged =
+            MaxAbs(gradient) <= 1e2 * options.gradient_tolerance;
+        break;
+      }
+    }
+
+    // Curvature update.
+    std::vector<double> s(n);
+    std::vector<double> y(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      s[j] = x_next[j] - result.x[j];
+      y[j] = gradient_next[j] - gradient[j];
+    }
+    const double sy = Dot(s, y);
+    if (sy > 1e-12) {
+      if (static_cast<int>(s_history.size()) == options.history) {
+        s_history.pop_front();
+        y_history.pop_front();
+        rho_history.pop_front();
+      }
+      rho_history.push_back(1.0 / sy);
+      s_history.push_back(std::move(s));
+      y_history.push_back(std::move(y));
+    }
+
+    const double improvement = result.value - value_next;
+    result.x = x_next;
+    result.value = value_next;
+    gradient = gradient_next;
+    if (improvement >= 0.0 &&
+        improvement <=
+            options.value_tolerance * (std::fabs(result.value) + 1.0)) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace fgr

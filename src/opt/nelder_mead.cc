@@ -1,0 +1,131 @@
+#include "opt/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace fgr {
+
+OptimizeResult MinimizeNelderMead(const Objective& objective,
+                                  std::vector<double> x0,
+                                  const NelderMeadOptions& options) {
+  const std::size_t n = x0.size();
+  OptimizeResult result;
+  if (n == 0) {
+    result.x = std::move(x0);
+    result.value = objective.Value(result.x);
+    result.function_evaluations = 1;
+    result.converged = true;
+    return result;
+  }
+
+  // Initial simplex: x0 plus one vertex displaced along each axis.
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  std::vector<double> values(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    simplex[i + 1][i] += options.initial_step;
+  }
+  for (std::size_t i = 0; i <= n; ++i) {
+    values[i] = objective.Value(simplex[i]);
+    ++result.function_evaluations;
+  }
+
+  std::vector<std::size_t> order(n + 1);
+  std::vector<double> centroid(n);
+  std::vector<double> candidate(n);
+
+  auto sort_simplex = [&] {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  };
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    sort_simplex();
+    const std::size_t best = order[0];
+    const std::size_t worst = order[n];
+    const std::size_t second_worst = order[n - 1];
+
+    // Convergence checks on value spread and simplex size.
+    double diameter = 0.0;
+    for (std::size_t i = 0; i <= n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        diameter = std::max(diameter,
+                            std::fabs(simplex[i][j] - simplex[best][j]));
+      }
+    }
+    if (std::fabs(values[worst] - values[best]) <= options.value_tolerance &&
+        diameter <= options.simplex_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all vertices except the worst.
+    std::fill(centroid.begin(), centroid.end(), 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t j = 0; j < n; ++j) centroid[j] += simplex[i][j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto evaluate_at = [&](double coefficient) {
+      for (std::size_t j = 0; j < n; ++j) {
+        candidate[j] =
+            centroid[j] + coefficient * (centroid[j] - simplex[worst][j]);
+      }
+      ++result.function_evaluations;
+      return objective.Value(candidate);
+    };
+
+    const double reflected = evaluate_at(options.reflection);
+    if (reflected < values[best]) {
+      const std::vector<double> reflected_point = candidate;
+      const double expanded =
+          evaluate_at(options.reflection * options.expansion);
+      if (expanded < reflected) {
+        simplex[worst] = candidate;
+        values[worst] = expanded;
+      } else {
+        simplex[worst] = reflected_point;
+        values[worst] = reflected;
+      }
+      continue;
+    }
+    if (reflected < values[second_worst]) {
+      simplex[worst] = candidate;
+      values[worst] = reflected;
+      continue;
+    }
+    // Contraction (outside if the reflected point improved on the worst,
+    // inside otherwise).
+    const double contraction_coefficient =
+        reflected < values[worst] ? options.reflection * options.contraction
+                                  : -options.contraction;
+    const double contracted = evaluate_at(contraction_coefficient);
+    if (contracted < std::min(reflected, values[worst])) {
+      simplex[worst] = candidate;
+      values[worst] = contracted;
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == best) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        simplex[i][j] = simplex[best][j] +
+                        options.shrink * (simplex[i][j] - simplex[best][j]);
+      }
+      values[i] = objective.Value(simplex[i]);
+      ++result.function_evaluations;
+    }
+  }
+
+  sort_simplex();
+  result.x = simplex[order[0]];
+  result.value = values[order[0]];
+  return result;
+}
+
+}  // namespace fgr

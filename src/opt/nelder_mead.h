@@ -1,0 +1,39 @@
+// Nelder-Mead downhill-simplex minimizer.
+//
+// The Holdout baseline's energy (negative labeling accuracy over holdout
+// splits, Eq. 7 in the paper) is a piecewise-constant, non-differentiable
+// function of the compatibility parameters, so the paper optimizes it with
+// SciPy's Nelder-Mead. This is the equivalent from-scratch implementation
+// with the standard reflection/expansion/contraction/shrink coefficients.
+
+#ifndef FGR_OPT_NELDER_MEAD_H_
+#define FGR_OPT_NELDER_MEAD_H_
+
+#include <vector>
+
+#include "opt/lbfgs.h"
+#include "opt/objective.h"
+
+namespace fgr {
+
+struct NelderMeadOptions {
+  int max_iterations = 400;
+  // Edge length of the initial axis-aligned simplex around x0.
+  double initial_step = 0.1;
+  // Stop when the value spread across the simplex falls below this.
+  double value_tolerance = 1e-10;
+  // Stop when the simplex diameter falls below this.
+  double simplex_tolerance = 1e-10;
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+};
+
+OptimizeResult MinimizeNelderMead(const Objective& objective,
+                                  std::vector<double> x0,
+                                  const NelderMeadOptions& options = {});
+
+}  // namespace fgr
+
+#endif  // FGR_OPT_NELDER_MEAD_H_

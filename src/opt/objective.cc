@@ -1,0 +1,21 @@
+#include "opt/objective.h"
+
+namespace fgr {
+
+std::vector<double> NumericGradient(const Objective& objective,
+                                    const std::vector<double>& x,
+                                    double epsilon) {
+  std::vector<double> gradient(x.size(), 0.0);
+  std::vector<double> probe = x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    probe[i] = x[i] + epsilon;
+    const double plus = objective.Value(probe);
+    probe[i] = x[i] - epsilon;
+    const double minus = objective.Value(probe);
+    probe[i] = x[i];
+    gradient[i] = (plus - minus) / (2.0 * epsilon);
+  }
+  return gradient;
+}
+
+}  // namespace fgr

@@ -1,0 +1,73 @@
+// Objective-function interfaces for the optimizers in src/opt.
+//
+// Estimation objectives in this codebase are functions of the k* = k(k-1)/2
+// free parameters of the compatibility matrix. DCE/MCE/LCE provide analytic
+// gradients (Prop. 4.7 and the quadratic LCE gradient); the Holdout baseline
+// is gradient-free and only implements Value().
+
+#ifndef FGR_OPT_OBJECTIVE_H_
+#define FGR_OPT_OBJECTIVE_H_
+
+#include <functional>
+#include <vector>
+
+namespace fgr {
+
+// A scalar function of a parameter vector.
+class Objective {
+ public:
+  virtual ~Objective() = default;
+  virtual double Value(const std::vector<double>& x) const = 0;
+};
+
+// A scalar function with an analytic gradient.
+class DifferentiableObjective : public Objective {
+ public:
+  // Writes dValue/dx into `gradient` (resized by the callee).
+  virtual void Gradient(const std::vector<double>& x,
+                        std::vector<double>* gradient) const = 0;
+};
+
+// Adapters for ad-hoc lambdas (tests, Holdout).
+class FunctionObjective : public Objective {
+ public:
+  explicit FunctionObjective(
+      std::function<double(const std::vector<double>&)> fn)
+      : fn_(std::move(fn)) {}
+  double Value(const std::vector<double>& x) const override { return fn_(x); }
+
+ private:
+  std::function<double(const std::vector<double>&)> fn_;
+};
+
+class FunctionDifferentiableObjective : public DifferentiableObjective {
+ public:
+  FunctionDifferentiableObjective(
+      std::function<double(const std::vector<double>&)> value,
+      std::function<void(const std::vector<double>&, std::vector<double>*)>
+          gradient)
+      : value_(std::move(value)), gradient_(std::move(gradient)) {}
+
+  double Value(const std::vector<double>& x) const override {
+    return value_(x);
+  }
+  void Gradient(const std::vector<double>& x,
+                std::vector<double>* gradient) const override {
+    gradient_(x, gradient);
+  }
+
+ private:
+  std::function<double(const std::vector<double>&)> value_;
+  std::function<void(const std::vector<double>&, std::vector<double>*)>
+      gradient_;
+};
+
+// Central-difference numeric gradient; used by tests to validate analytic
+// gradients and as a fallback for objectives without one.
+std::vector<double> NumericGradient(const Objective& objective,
+                                    const std::vector<double>& x,
+                                    double epsilon = 1e-6);
+
+}  // namespace fgr
+
+#endif  // FGR_OPT_OBJECTIVE_H_

@@ -1,0 +1,45 @@
+#include "prop/harmonic.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fgr {
+
+HarmonicResult RunHarmonicFunctions(const Graph& graph, const Labeling& seeds,
+                                    const HarmonicOptions& options) {
+  FGR_CHECK_EQ(seeds.num_nodes(), graph.num_nodes());
+  const std::int64_t n = graph.num_nodes();
+  const std::int64_t k = seeds.num_classes();
+
+  HarmonicResult result;
+  DenseMatrix f = seeds.ToOneHot();
+  DenseMatrix wf;
+  const std::vector<double>& degrees = graph.degrees();
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations_run = iter + 1;
+    graph.adjacency().Multiply(f, &wf);
+    double delta = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (seeds.is_labeled(i)) continue;  // seeds stay clamped
+      const double d = degrees[static_cast<std::size_t>(i)];
+      if (d == 0.0) continue;  // isolated node: keep zero beliefs
+      double* f_row = f.RowPtr(i);
+      const double* wf_row = wf.RowPtr(i);
+      for (std::int64_t j = 0; j < k; ++j) {
+        const double next = wf_row[j] / d;
+        delta = std::max(delta, std::fabs(next - f_row[j]));
+        f_row[j] = next;
+      }
+    }
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.beliefs = std::move(f);
+  return result;
+}
+
+}  // namespace fgr

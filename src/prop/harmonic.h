@@ -1,0 +1,33 @@
+// Harmonic-functions label propagation (Zhu, Ghahramani & Lafferty 2003).
+//
+// The classic homophily-assuming SSL baseline: clamp seed beliefs and
+// repeatedly average neighbors, F_u ← (W F)_u / d_u for unlabeled u. Used by
+// the Fig. 6i sanity check, which shows homophily methods collapsing on
+// graphs with arbitrary (heterophilous) compatibilities.
+
+#ifndef FGR_PROP_HARMONIC_H_
+#define FGR_PROP_HARMONIC_H_
+
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "matrix/dense.h"
+
+namespace fgr {
+
+struct HarmonicOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-6;  // max-abs change convergence threshold
+};
+
+struct HarmonicResult {
+  DenseMatrix beliefs;
+  int iterations_run = 0;
+  bool converged = false;
+};
+
+HarmonicResult RunHarmonicFunctions(const Graph& graph, const Labeling& seeds,
+                                    const HarmonicOptions& options = {});
+
+}  // namespace fgr
+
+#endif  // FGR_PROP_HARMONIC_H_

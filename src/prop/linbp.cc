@@ -1,0 +1,117 @@
+#include "prop/linbp.h"
+
+#include <cmath>
+
+#include "matrix/spectral.h"
+#include "util/check.h"
+
+namespace fgr {
+
+LinBpResult RunLinBp(const Graph& graph, const Labeling& seeds,
+                     const DenseMatrix& h, const LinBpOptions& options) {
+  FGR_CHECK_EQ(seeds.num_nodes(), graph.num_nodes());
+  FGR_CHECK_EQ(h.rows(), h.cols());
+  FGR_CHECK_EQ(h.rows(), static_cast<std::int64_t>(seeds.num_classes()));
+  FGR_CHECK_GT(options.iterations, 0);
+  FGR_CHECK(options.convergence_scale > 0.0);
+
+  LinBpResult result;
+  // Center by the mean entry: identical to CenterCompatibility (−1/k) for a
+  // doubly-stochastic H, and — unlike a fixed −1/k shift — it maps H and
+  // H + c to the same residual matrix, which realizes Theorem 3.1's constant
+  // shift invariance exactly (same ε, same centered propagation).
+  DenseMatrix h_centered = h;
+  h_centered.AddConstant(-h.Sum() /
+                         static_cast<double>(h.rows() * h.cols()));
+  result.rho_w = options.rho_w_hint > 0.0 ? options.rho_w_hint
+                                          : SpectralRadius(graph.adjacency());
+  result.rho_h = SpectralRadius(h_centered);
+
+  // ε = s / (ρ(W)·ρ(H̃)); degenerate spectra (empty graph or uniform H,
+  // which carries no signal) fall back to a harmless ε.
+  const double denom = result.rho_w * result.rho_h;
+  result.epsilon =
+      denom > 1e-12 ? options.convergence_scale / denom
+                    : (result.rho_w > 1e-12
+                           ? options.convergence_scale / result.rho_w
+                           : options.convergence_scale);
+
+  DenseMatrix h_prop = options.centered || options.echo_cancellation
+                           ? h_centered
+                           : h;
+  h_prop.Scale(result.epsilon);
+
+  const DenseMatrix x = seeds.ToOneHot();
+  DenseMatrix f = x;
+  DenseMatrix wf;                  // W·F scratch
+  DenseMatrix f_next(x.rows(), x.cols());
+
+  // Echo cancellation needs Ĥ² and the degree-scaled term.
+  DenseMatrix h_prop_sq;
+  if (options.echo_cancellation) h_prop_sq = h_prop.Multiply(h_prop);
+  const std::vector<double>& degrees = graph.degrees();
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    result.iterations_run = iter + 1;
+    graph.adjacency().Multiply(f, &wf);
+    // f_next = X + (W F) H'   [row-block product with the small k×k matrix]
+    const std::int64_t k = h_prop.cols();
+    for (std::int64_t i = 0; i < f.rows(); ++i) {
+      const double* wf_row = wf.RowPtr(i);
+      const double* x_row = x.RowPtr(i);
+      double* out_row = f_next.RowPtr(i);
+      for (std::int64_t j = 0; j < k; ++j) {
+        double sum = x_row[j];
+        for (std::int64_t c = 0; c < k; ++c) {
+          sum += wf_row[c] * h_prop(c, j);
+        }
+        out_row[j] = sum;
+      }
+      if (options.echo_cancellation) {
+        // − d_i · (F H̃²)_i:
+        const double* f_row = f.RowPtr(i);
+        const double d = degrees[static_cast<std::size_t>(i)];
+        for (std::int64_t j = 0; j < k; ++j) {
+          double echo = 0.0;
+          for (std::int64_t c = 0; c < k; ++c) {
+            echo += f_row[c] * h_prop_sq(c, j);
+          }
+          out_row[j] -= d * echo;
+        }
+      }
+    }
+    if (options.early_stop_tolerance > 0.0) {
+      double delta = 0.0;
+      for (std::int64_t i = 0; i < f.rows(); ++i) {
+        const double* a = f.RowPtr(i);
+        const double* b = f_next.RowPtr(i);
+        for (std::int64_t j = 0; j < f.cols(); ++j) {
+          delta = std::max(delta, std::fabs(a[j] - b[j]));
+        }
+      }
+      std::swap(f, f_next);
+      if (delta < options.early_stop_tolerance) break;
+    } else {
+      std::swap(f, f_next);
+    }
+  }
+  result.beliefs = std::move(f);
+  return result;
+}
+
+Labeling LabelsFromBeliefs(const DenseMatrix& beliefs, const Labeling& seeds) {
+  FGR_CHECK_EQ(beliefs.rows(), seeds.num_nodes());
+  FGR_CHECK_EQ(beliefs.cols(),
+               static_cast<std::int64_t>(seeds.num_classes()));
+  Labeling labels(seeds.num_nodes(), seeds.num_classes());
+  for (NodeId i = 0; i < seeds.num_nodes(); ++i) {
+    if (seeds.is_labeled(i)) {
+      labels.set_label(i, seeds.label(i));
+    } else {
+      labels.set_label(i, static_cast<ClassId>(beliefs.ArgmaxInRow(i)));
+    }
+  }
+  return labels;
+}
+
+}  // namespace fgr

@@ -1,0 +1,65 @@
+#include "prop/randomwalk.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fgr {
+
+RandomWalkResult RunMultiRankWalk(const Graph& graph, const Labeling& seeds,
+                                  const RandomWalkOptions& options) {
+  FGR_CHECK_EQ(seeds.num_nodes(), graph.num_nodes());
+  FGR_CHECK(options.damping > 0.0 && options.damping < 1.0);
+  const std::int64_t n = graph.num_nodes();
+  const std::int64_t k = seeds.num_classes();
+
+  // Teleport matrix U: column c is uniform over class-c seeds.
+  DenseMatrix u(n, k);
+  std::vector<std::int64_t> counts = seeds.ClassCounts();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const ClassId c = seeds.label(i);
+    if (c == kUnlabeled) continue;
+    if (counts[static_cast<std::size_t>(c)] > 0) {
+      u(i, c) = 1.0 / static_cast<double>(counts[static_cast<std::size_t>(c)]);
+    }
+  }
+
+  // Pre-scale beliefs by inverse degree so each SpMM computes W D⁻¹ F.
+  const std::vector<double>& degrees = graph.degrees();
+  RandomWalkResult result;
+  DenseMatrix f = u;
+  DenseMatrix scaled(n, k);
+  DenseMatrix wf;
+  const double alpha = options.damping;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations_run = iter + 1;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double d = degrees[static_cast<std::size_t>(i)];
+      const double inv = d > 0.0 ? 1.0 / d : 0.0;  // dangling nodes drop mass
+      const double* f_row = f.RowPtr(i);
+      double* s_row = scaled.RowPtr(i);
+      for (std::int64_t j = 0; j < k; ++j) s_row[j] = inv * f_row[j];
+    }
+    graph.adjacency().Multiply(scaled, &wf);
+    double delta = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      double* f_row = f.RowPtr(i);
+      const double* wf_row = wf.RowPtr(i);
+      const double* u_row = u.RowPtr(i);
+      for (std::int64_t j = 0; j < k; ++j) {
+        const double next = (1.0 - alpha) * u_row[j] + alpha * wf_row[j];
+        delta = std::max(delta, std::fabs(next - f_row[j]));
+        f_row[j] = next;
+      }
+    }
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.scores = std::move(f);
+  return result;
+}
+
+}  // namespace fgr

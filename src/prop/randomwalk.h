@@ -1,0 +1,35 @@
+// MultiRankWalk: per-class random walks with restart (Lin & Cohen 2010).
+//
+// The random-walk formulation of Section 2.4 in the paper:
+//   F ← ᾱ·U + α·W_col·F
+// with W_col the column-normalized adjacency matrix and U the per-class
+// teleport distributions built from the seeds. A second homophily-assuming
+// baseline alongside harmonic functions.
+
+#ifndef FGR_PROP_RANDOMWALK_H_
+#define FGR_PROP_RANDOMWALK_H_
+
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "matrix/dense.h"
+
+namespace fgr {
+
+struct RandomWalkOptions {
+  double damping = 0.85;  // α: probability of following an edge
+  int max_iterations = 300;  // geometric decay α^t must undercut `tolerance`
+  double tolerance = 1e-9;
+};
+
+struct RandomWalkResult {
+  DenseMatrix scores;  // n×k ranking vectors, one column per class
+  int iterations_run = 0;
+  bool converged = false;
+};
+
+RandomWalkResult RunMultiRankWalk(const Graph& graph, const Labeling& seeds,
+                                  const RandomWalkOptions& options = {});
+
+}  // namespace fgr
+
+#endif  // FGR_PROP_RANDOMWALK_H_

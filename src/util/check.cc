@@ -1,0 +1,21 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fgr {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* cond,
+                 const std::string& message) {
+  std::fprintf(stderr, "FGR_CHECK failed at %s:%d: %s", file, line, cond);
+  if (!message.empty()) {
+    std::fprintf(stderr, " — %s", message.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace fgr

@@ -1,0 +1,71 @@
+// Lightweight assertion macros used across the fgr library.
+//
+// FGR_CHECK(cond) aborts with a diagnostic when `cond` is false; it is always
+// enabled, including in release builds, and is used to guard API contracts
+// (dimension mismatches, out-of-range classes, ...). FGR_DCHECK is compiled
+// out in release builds and guards internal invariants on hot paths.
+
+#ifndef FGR_UTIL_CHECK_H_
+#define FGR_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace fgr {
+namespace internal {
+
+// Terminates the process with a formatted diagnostic. Out-of-line so the
+// macro expansion stays small at every call site.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* cond,
+                              const std::string& message);
+
+// Stream-style message collector for the `FGR_CHECK(x) << "detail"` form.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* cond)
+      : file_(file), line_(line), cond_(cond) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, cond_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* cond_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace fgr
+
+#define FGR_CHECK(cond)                                               \
+  while (!(cond))                                                     \
+  ::fgr::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define FGR_CHECK_EQ(a, b) FGR_CHECK((a) == (b))
+#define FGR_CHECK_NE(a, b) FGR_CHECK((a) != (b))
+#define FGR_CHECK_LT(a, b) FGR_CHECK((a) < (b))
+#define FGR_CHECK_LE(a, b) FGR_CHECK((a) <= (b))
+#define FGR_CHECK_GT(a, b) FGR_CHECK((a) > (b))
+#define FGR_CHECK_GE(a, b) FGR_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define FGR_DCHECK(cond) \
+  while (false) ::fgr::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+#else
+#define FGR_DCHECK(cond) FGR_CHECK(cond)
+#endif
+
+#endif  // FGR_UTIL_CHECK_H_

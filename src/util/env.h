@@ -1,0 +1,23 @@
+// Environment-variable knobs for the benchmark harness.
+//
+// Benches scale workloads through environment variables (e.g. FGR_SCALE,
+// FGR_TRIALS) so the full suite runs in minutes by default but can be pushed
+// to paper-scale sizes without recompiling.
+
+#ifndef FGR_UTIL_ENV_H_
+#define FGR_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fgr {
+
+// Reads an integer/double/string environment variable, returning
+// `default_value` when unset or unparsable.
+std::int64_t EnvInt64(const char* name, std::int64_t default_value);
+double EnvDouble(const char* name, double default_value);
+std::string EnvString(const char* name, const std::string& default_value);
+
+}  // namespace fgr
+
+#endif  // FGR_UTIL_ENV_H_

@@ -1,0 +1,109 @@
+// Minimal Status / Result<T> error-handling types.
+//
+// The fgr library does not throw exceptions. Fallible operations (file I/O,
+// graph generation with infeasible parameters, optimizer failures) return
+// Status or Result<T>; contract violations use FGR_CHECK instead.
+
+#ifndef FGR_UTIL_STATUS_H_
+#define FGR_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace fgr {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+};
+
+// Human-readable name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the success path.
+class Status {
+ public:
+  // Success.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "InvalidArgument: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    FGR_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  // Requires ok().
+  const T& value() const& {
+    FGR_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    FGR_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    FGR_CHECK(ok()) << status_.ToString();
+    return *std::move(value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace fgr
+
+// Propagates a non-OK Status from the current function.
+#define FGR_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::fgr::Status fgr_status_tmp_ = (expr);    \
+    if (!fgr_status_tmp_.ok()) return fgr_status_tmp_; \
+  } while (false)
+
+#endif  // FGR_UTIL_STATUS_H_

@@ -1,0 +1,32 @@
+// Wall-clock timing helper used by the benchmark harness and by estimator
+// diagnostics (summarization vs optimization split).
+
+#ifndef FGR_UTIL_STOPWATCH_H_
+#define FGR_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace fgr {
+
+// Starts running on construction; Seconds() reads elapsed time without
+// stopping; Restart() resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fgr
+
+#endif  // FGR_UTIL_STOPWATCH_H_

@@ -1,0 +1,95 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace fgr {
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  FGR_CHECK(!columns_.empty());
+}
+
+Table& Table::NewRow() {
+  FGR_CHECK(rows_.empty() || rows_.back().size() == columns_.size())
+      << "previous row incomplete: " << rows_.back().size() << " of "
+      << columns_.size() << " cells";
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Add(const std::string& value) {
+  FGR_CHECK(!rows_.empty()) << "call NewRow() before Add()";
+  FGR_CHECK_LT(rows_.back().size(), columns_.size());
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::Add(double value, int precision) {
+  return Add(FormatDouble(value, precision));
+}
+
+Table& Table::Add(std::int64_t value) { return Add(std::to_string(value)); }
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << cell << std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  emit_row(columns_);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::ToCsv() const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << (c ? "," : "") << columns_[c];
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "," : "") << row[c];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void Table::Print(const std::string& title) const {
+  std::printf("\n== %s ==\n%s", title.c_str(), ToString().c_str());
+  std::fflush(stdout);
+}
+
+bool Table::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "fgr: could not write %s\n", path.c_str());
+    return false;
+  }
+  out << ToCsv();
+  return static_cast<bool>(out);
+}
+
+}  // namespace fgr

@@ -1,0 +1,53 @@
+// Tabular output for the benchmark harness.
+//
+// Every figure/table bench prints an aligned human-readable table to stdout
+// (the "same rows/series the paper reports") and can also persist the rows
+// as CSV for plotting.
+
+#ifndef FGR_UTIL_TABLE_H_
+#define FGR_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace fgr {
+
+// A simple column-ordered table of strings with typed append helpers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  // Starts a new row; subsequent Add* calls fill it left to right.
+  Table& NewRow();
+  Table& Add(const std::string& value);
+  Table& Add(double value, int precision = 4);
+  Table& Add(std::int64_t value);
+  Table& Add(int value) { return Add(static_cast<std::int64_t>(value)); }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  // Renders with aligned columns, e.g.
+  //   f        DCEr    GS
+  //   0.0100   0.812   0.815
+  std::string ToString() const;
+
+  // RFC-4180-ish CSV (no quoting needed for our numeric content).
+  std::string ToCsv() const;
+
+  // Prints ToString() to stdout with a title banner.
+  void Print(const std::string& title) const;
+
+  // Writes ToCsv() to `path`; returns false (with a stderr note) on failure.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision (helper shared with benches).
+std::string FormatDouble(double value, int precision = 4);
+
+}  // namespace fgr
+
+#endif  // FGR_UTIL_TABLE_H_

@@ -1,0 +1,89 @@
+#include "eval/accuracy.h"
+
+#include <gtest/gtest.h>
+
+namespace fgr {
+namespace {
+
+TEST(MacroAccuracyTest, PerfectPrediction) {
+  const Labeling truth = Labeling::FromVector({0, 1, 0, 1}, 2);
+  const Labeling predicted = Labeling::FromVector({0, 1, 0, 1}, 2);
+  const Labeling seeds(4, 2);
+  EXPECT_DOUBLE_EQ(MacroAccuracy(truth, predicted, seeds), 1.0);
+  EXPECT_DOUBLE_EQ(MicroAccuracy(truth, predicted, seeds), 1.0);
+}
+
+TEST(MacroAccuracyTest, SeedsAreExcluded) {
+  const Labeling truth = Labeling::FromVector({0, 1, 0, 1}, 2);
+  // Wrong on node 0, but node 0 is a seed → not evaluated.
+  const Labeling predicted = Labeling::FromVector({1, 1, 0, 1}, 2);
+  Labeling seeds(4, 2);
+  seeds.set_label(0, 0);
+  EXPECT_DOUBLE_EQ(MacroAccuracy(truth, predicted, seeds), 1.0);
+}
+
+TEST(MacroAccuracyTest, MacroAveragesClassImbalance) {
+  // 9 nodes of class 0 (all correct), 1 node of class 1 (wrong):
+  // micro = 0.9, macro = (1.0 + 0.0) / 2 = 0.5.
+  std::vector<ClassId> truth_labels(10, 0);
+  truth_labels[9] = 1;
+  std::vector<ClassId> predicted_labels(10, 0);
+  const Labeling truth = Labeling::FromVector(truth_labels, 2);
+  const Labeling predicted = Labeling::FromVector(predicted_labels, 2);
+  const Labeling seeds(10, 2);
+  EXPECT_DOUBLE_EQ(MicroAccuracy(truth, predicted, seeds), 0.9);
+  EXPECT_DOUBLE_EQ(MacroAccuracy(truth, predicted, seeds), 0.5);
+}
+
+TEST(MacroAccuracyTest, UnlabeledTruthNodesAreSkipped) {
+  Labeling truth(3, 2);
+  truth.set_label(0, 0);  // nodes 1, 2 have no ground truth
+  const Labeling predicted = Labeling::FromVector({0, 1, 1}, 2);
+  const Labeling seeds(3, 2);
+  EXPECT_DOUBLE_EQ(MacroAccuracy(truth, predicted, seeds), 1.0);
+}
+
+TEST(MacroAccuracyTest, ClassAbsentFromEvaluationIsSkipped) {
+  const Labeling truth = Labeling::FromVector({0, 0}, 3);
+  const Labeling predicted = Labeling::FromVector({0, 1}, 3);
+  const Labeling seeds(2, 3);
+  // Only class 0 present: accuracy 0.5 (not dragged down by empty classes).
+  EXPECT_DOUBLE_EQ(MacroAccuracy(truth, predicted, seeds), 0.5);
+}
+
+TEST(MacroAccuracyTest, NothingEvaluableReturnsZero) {
+  Labeling truth(2, 2);
+  const Labeling predicted = Labeling::FromVector({0, 1}, 2);
+  const Labeling seeds(2, 2);
+  EXPECT_DOUBLE_EQ(MacroAccuracy(truth, predicted, seeds), 0.0);
+  EXPECT_DOUBLE_EQ(MicroAccuracy(truth, predicted, seeds), 0.0);
+}
+
+TEST(AggregateTest, MeanStdMedian) {
+  const SampleStats stats = Aggregate({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 2.5);
+  EXPECT_DOUBLE_EQ(stats.median, 2.5);
+  EXPECT_NEAR(stats.stddev, 1.2909944, 1e-6);
+  EXPECT_EQ(stats.count, 4u);
+}
+
+TEST(AggregateTest, OddCountMedian) {
+  const SampleStats stats = Aggregate({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(stats.median, 3.0);
+}
+
+TEST(AggregateTest, SingleValue) {
+  const SampleStats stats = Aggregate({7.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 7.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(stats.median, 7.0);
+}
+
+TEST(AggregateTest, EmptyIsZeroed) {
+  const SampleStats stats = Aggregate({});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace fgr

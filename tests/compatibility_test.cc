@@ -1,0 +1,153 @@
+#include "core/compatibility.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "opt/objective.h"
+#include "util/random.h"
+
+namespace fgr {
+namespace {
+
+TEST(CompatibilityTest, NumFreeParameters) {
+  EXPECT_EQ(NumFreeParameters(1), 0);
+  EXPECT_EQ(NumFreeParameters(2), 1);
+  EXPECT_EQ(NumFreeParameters(3), 3);
+  EXPECT_EQ(NumFreeParameters(7), 21);  // the paper's "21 parameters" for Cora
+}
+
+TEST(CompatibilityTest, KOneIsTrivial) {
+  DenseMatrix h = CompatibilityFromParameters({}, 1);
+  EXPECT_EQ(h(0, 0), 1.0);
+}
+
+TEST(CompatibilityTest, PaperExampleK3) {
+  // The paper's explicit k=3 reconstruction from h = [H11, H21, H22].
+  const double h11 = 0.2;
+  const double h21 = 0.6;
+  const double h22 = 0.2;
+  DenseMatrix h = CompatibilityFromParameters({h11, h21, h22}, 3);
+  EXPECT_DOUBLE_EQ(h(0, 0), h11);
+  EXPECT_DOUBLE_EQ(h(0, 1), h21);
+  EXPECT_DOUBLE_EQ(h(1, 0), h21);
+  EXPECT_DOUBLE_EQ(h(1, 1), h22);
+  EXPECT_DOUBLE_EQ(h(0, 2), 1.0 - h11 - h21);
+  EXPECT_DOUBLE_EQ(h(1, 2), 1.0 - h21 - h22);
+  EXPECT_DOUBLE_EQ(h(2, 2), h11 + 2 * h21 + h22 - 1.0);
+  EXPECT_TRUE(IsDoublyStochastic(h));
+  EXPECT_TRUE(IsSymmetric(h));
+}
+
+class CompatibilityRoundTripTest : public testing::TestWithParam<int> {};
+
+TEST_P(CompatibilityRoundTripTest, EncodeDecodeRoundTrip) {
+  const std::int64_t k = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(k));
+  // Random feasible-ish parameters around 1/k.
+  std::vector<double> params(static_cast<std::size_t>(NumFreeParameters(k)));
+  for (double& p : params) {
+    p = 1.0 / static_cast<double>(k) + rng.Uniform(-0.05, 0.05);
+  }
+  const DenseMatrix h = CompatibilityFromParameters(params, k);
+  EXPECT_TRUE(IsSymmetric(h, 1e-12));
+  EXPECT_TRUE(IsDoublyStochastic(h, 1e-9));
+  const std::vector<double> recovered = ParametersFromCompatibility(h);
+  ASSERT_EQ(recovered.size(), params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_NEAR(recovered[i], params[i], 1e-12);
+  }
+}
+
+TEST_P(CompatibilityRoundTripTest, GradientProjectionMatchesChainRule) {
+  // For a random linear functional E(H) = Σ G∘H, the projected gradient must
+  // equal the numeric derivative of E(H(params)) — this validates the
+  // structure matrices S of Prop. 4.7.
+  const std::int64_t k = GetParam();
+  Rng rng(2000 + static_cast<std::uint64_t>(k));
+  DenseMatrix g(k, k);
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (std::int64_t j = 0; j < k; ++j) g(i, j) = rng.Uniform(-1, 1);
+  }
+  const std::vector<double> projected = ProjectGradientToParameters(g);
+
+  const FunctionObjective energy([&](const std::vector<double>& params) {
+    const DenseMatrix h = CompatibilityFromParameters(params, k);
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < k; ++i) {
+      for (std::int64_t j = 0; j < k; ++j) sum += g(i, j) * h(i, j);
+    }
+    return sum;
+  });
+  std::vector<double> at(static_cast<std::size_t>(NumFreeParameters(k)),
+                         1.0 / static_cast<double>(k));
+  const std::vector<double> numeric = NumericGradient(energy, at);
+  ASSERT_EQ(numeric.size(), projected.size());
+  for (std::size_t i = 0; i < numeric.size(); ++i) {
+    EXPECT_NEAR(projected[i], numeric[i], 1e-6) << "param " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllK, CompatibilityRoundTripTest,
+                         testing::Values(2, 3, 4, 5, 6, 7, 8));
+
+TEST(SkewCompatibilityTest, MatchesPaperK3) {
+  // h = 3: H = [1 3 1; 3 1 1; 1 1 3] / 5.
+  DenseMatrix h = MakeSkewCompatibility(3, 3.0);
+  EXPECT_DOUBLE_EQ(h(0, 1), 0.6);
+  EXPECT_DOUBLE_EQ(h(0, 0), 0.2);
+  EXPECT_DOUBLE_EQ(h(2, 2), 0.6);
+  EXPECT_TRUE(IsDoublyStochastic(h));
+}
+
+TEST(SkewCompatibilityTest, MatchesPaperK3H8) {
+  DenseMatrix h = MakeSkewCompatibility(3, 8.0);
+  EXPECT_DOUBLE_EQ(h(0, 1), 0.8);
+  EXPECT_DOUBLE_EQ(h(0, 0), 0.1);
+  EXPECT_DOUBLE_EQ(h(2, 2), 0.8);
+}
+
+class SkewSweepTest : public testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SkewSweepTest, AlwaysSymmetricDoublyStochastic) {
+  const auto [k, skew] = GetParam();
+  DenseMatrix h = MakeSkewCompatibility(k, skew);
+  EXPECT_TRUE(IsSymmetric(h, 1e-12));
+  EXPECT_TRUE(IsDoublyStochastic(h, 1e-9));
+  // Max/min entry ratio equals the skew parameter.
+  double lo = 1e300;
+  double hi = 0.0;
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (std::int64_t j = 0; j < k; ++j) {
+      lo = std::min(lo, h(i, j));
+      hi = std::max(hi, h(i, j));
+    }
+  }
+  EXPECT_NEAR(hi / lo, std::max(skew, 1.0 / skew), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SkewSweepTest,
+    testing::Combine(testing::Values(2, 3, 4, 5, 6, 7, 8),
+                     testing::Values(0.5, 2.0, 3.0, 8.0)));
+
+TEST(SkewCompatibilityTest, UniformAtSkewOne) {
+  DenseMatrix h = MakeSkewCompatibility(4, 1.0);
+  EXPECT_TRUE(AllClose(h, UniformCompatibility(4), 1e-12));
+}
+
+TEST(CenterCompatibilityTest, SubtractsOneOverK) {
+  DenseMatrix h = MakeSkewCompatibility(3, 3.0);
+  DenseMatrix centered = CenterCompatibility(h);
+  EXPECT_NEAR(centered(0, 0), 0.2 - 1.0 / 3.0, 1e-12);
+  // Centered rows sum to zero.
+  for (double sum : centered.RowSums()) EXPECT_NEAR(sum, 0.0, 1e-12);
+}
+
+TEST(CompatibilityDeathTest, WrongParameterCountChecks) {
+  EXPECT_DEATH(CompatibilityFromParameters({0.1}, 3), "");
+}
+
+}  // namespace
+}  // namespace fgr

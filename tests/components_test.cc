@@ -1,0 +1,91 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/planted.h"
+#include "util/random.h"
+
+namespace fgr {
+namespace {
+
+TEST(ComponentsTest, SingleComponent) {
+  const Graph graph = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}).value();
+  const ComponentInfo info = ConnectedComponents(graph);
+  EXPECT_EQ(info.num_components(), 1);
+  EXPECT_EQ(info.largest_size(), 4);
+  for (std::int64_t c : info.component_of) EXPECT_EQ(c, 0);
+}
+
+TEST(ComponentsTest, MultipleComponentsOrderedBySize) {
+  // Components: {0,1,2}, {3,4}, {5}.
+  const Graph graph =
+      Graph::FromEdges(6, {{0, 1}, {1, 2}, {3, 4}}).value();
+  const ComponentInfo info = ConnectedComponents(graph);
+  EXPECT_EQ(info.num_components(), 3);
+  EXPECT_EQ(info.component_sizes[0], 3);
+  EXPECT_EQ(info.component_sizes[1], 2);
+  EXPECT_EQ(info.component_sizes[2], 1);
+  EXPECT_EQ(info.component_of[0], info.component_of[2]);
+  EXPECT_EQ(info.component_of[3], info.component_of[4]);
+  EXPECT_NE(info.component_of[0], info.component_of[3]);
+  EXPECT_EQ(info.component_of[5], 2);  // singleton is the smallest
+}
+
+TEST(ComponentsTest, EmptyGraphAllSingletons) {
+  const Graph graph = Graph::FromEdges(3, {}).value();
+  const ComponentInfo info = ConnectedComponents(graph);
+  EXPECT_EQ(info.num_components(), 3);
+  EXPECT_EQ(info.largest_size(), 1);
+}
+
+TEST(ComponentsTest, ZeroNodeGraph) {
+  const Graph graph = Graph::FromEdges(0, {}).value();
+  const ComponentInfo info = ConnectedComponents(graph);
+  EXPECT_EQ(info.num_components(), 0);
+  EXPECT_EQ(info.largest_size(), 0);
+}
+
+TEST(ComponentsTest, ComponentSizesSumToN) {
+  Rng rng(1);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(500, 2.0, 2, 2.0), rng);
+  ASSERT_TRUE(planted.ok());
+  const ComponentInfo info = ConnectedComponents(planted.value().graph);
+  std::int64_t sum = 0;
+  for (std::int64_t size : info.component_sizes) sum += size;
+  EXPECT_EQ(sum, 500);
+  // Sizes must be sorted descending.
+  for (std::size_t i = 1; i < info.component_sizes.size(); ++i) {
+    EXPECT_LE(info.component_sizes[i], info.component_sizes[i - 1]);
+  }
+}
+
+TEST(UnreachableFromSeedsTest, CountsUnseededComponents) {
+  // {0,1,2} seeded, {3,4} not, {5} not.
+  const Graph graph =
+      Graph::FromEdges(6, {{0, 1}, {1, 2}, {3, 4}}).value();
+  Labeling seeds(6, 2);
+  seeds.set_label(1, 0);
+  EXPECT_EQ(NodesUnreachableFromSeeds(graph, seeds), 3);
+  seeds.set_label(5, 1);
+  EXPECT_EQ(NodesUnreachableFromSeeds(graph, seeds), 2);
+  seeds.set_label(4, 0);
+  EXPECT_EQ(NodesUnreachableFromSeeds(graph, seeds), 0);
+}
+
+TEST(UnreachableFromSeedsTest, NoSeedsMeansEverythingUnreachable) {
+  const Graph graph = Graph::FromEdges(3, {{0, 1}, {1, 2}}).value();
+  const Labeling seeds(3, 2);
+  EXPECT_EQ(NodesUnreachableFromSeeds(graph, seeds), 3);
+}
+
+TEST(UnreachableFromSeedsTest, DenseGraphFullyReachable) {
+  Rng rng(2);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(1000, 20.0, 3, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 0.01, rng);
+  // d=20 graphs are connected with overwhelming probability.
+  EXPECT_EQ(NodesUnreachableFromSeeds(planted.value().graph, seeds), 0);
+}
+
+}  // namespace
+}  // namespace fgr

@@ -1,0 +1,87 @@
+#include "eval/confusion.h"
+
+#include <gtest/gtest.h>
+
+namespace fgr {
+namespace {
+
+TEST(ConfusionMatrixTest, CountsAndTotals) {
+  const Labeling truth = Labeling::FromVector({0, 0, 1, 1, 1}, 2);
+  const Labeling predicted = Labeling::FromVector({0, 1, 1, 1, 0}, 2);
+  const Labeling seeds(5, 2);
+  const ConfusionMatrix cm(truth, predicted, seeds);
+  EXPECT_EQ(cm.total(), 5);
+  EXPECT_EQ(cm.count(0, 0), 1);
+  EXPECT_EQ(cm.count(0, 1), 1);
+  EXPECT_EQ(cm.count(1, 1), 2);
+  EXPECT_EQ(cm.count(1, 0), 1);
+}
+
+TEST(ConfusionMatrixTest, SeedsAndUnlabeledExcluded) {
+  Labeling truth(4, 2);
+  truth.set_label(0, 0);
+  truth.set_label(1, 1);  // node 2, 3 have no ground truth
+  const Labeling predicted = Labeling::FromVector({0, 0, 1, 1}, 2);
+  Labeling seeds(4, 2);
+  seeds.set_label(0, 0);  // node 0 is a seed
+  const ConfusionMatrix cm(truth, predicted, seeds);
+  EXPECT_EQ(cm.total(), 1);
+  EXPECT_EQ(cm.count(1, 0), 1);
+}
+
+TEST(ConfusionMatrixTest, PerClassMetrics) {
+  // Class 0: TP=3, FP=1, FN=1 → precision 0.75, recall 0.75.
+  const Labeling truth = Labeling::FromVector({0, 0, 0, 0, 1, 1}, 2);
+  const Labeling predicted = Labeling::FromVector({0, 0, 0, 1, 0, 1}, 2);
+  const Labeling seeds(6, 2);
+  const ConfusionMatrix cm(truth, predicted, seeds);
+  const ClassMetrics m0 = cm.Metrics(0);
+  EXPECT_EQ(m0.support, 4);
+  EXPECT_DOUBLE_EQ(m0.precision, 0.75);
+  EXPECT_DOUBLE_EQ(m0.recall, 0.75);
+  EXPECT_DOUBLE_EQ(m0.f1, 0.75);
+  const ClassMetrics m1 = cm.Metrics(1);
+  EXPECT_DOUBLE_EQ(m1.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m1.recall, 0.5);
+}
+
+TEST(ConfusionMatrixTest, PerfectPredictionHasUnitF1) {
+  const Labeling truth = Labeling::FromVector({0, 1, 2}, 3);
+  const Labeling seeds(3, 3);
+  const ConfusionMatrix cm(truth, truth, seeds);
+  EXPECT_DOUBLE_EQ(cm.MacroF1(), 1.0);
+  for (const ClassMetrics& m : cm.AllMetrics()) {
+    EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  }
+}
+
+TEST(ConfusionMatrixTest, AbsentClassSkippedInMacroF1) {
+  // Class 2 never appears in truth or predictions.
+  const Labeling truth = Labeling::FromVector({0, 1}, 3);
+  const Labeling predicted = Labeling::FromVector({0, 1}, 3);
+  const Labeling seeds(2, 3);
+  const ConfusionMatrix cm(truth, predicted, seeds);
+  EXPECT_DOUBLE_EQ(cm.MacroF1(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, ZeroDenominatorsAreSafe) {
+  const Labeling truth = Labeling::FromVector({0, 0}, 2);
+  const Labeling predicted = Labeling::FromVector({1, 1}, 2);
+  const Labeling seeds(2, 2);
+  const ConfusionMatrix cm(truth, predicted, seeds);
+  EXPECT_DOUBLE_EQ(cm.Metrics(0).recall, 0.0);
+  EXPECT_DOUBLE_EQ(cm.Metrics(1).precision, 0.0);
+  EXPECT_DOUBLE_EQ(cm.Metrics(0).f1, 0.0);
+}
+
+TEST(ConfusionMatrixTest, RendersTable) {
+  const Labeling truth = Labeling::FromVector({0, 1}, 2);
+  const Labeling seeds(2, 2);
+  const ConfusionMatrix cm(truth, truth, seeds);
+  const std::string rendered = cm.ToString();
+  EXPECT_NE(rendered.find("recall"), std::string::npos);
+  EXPECT_NE(rendered.find("1.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fgr

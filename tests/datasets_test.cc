@@ -1,0 +1,115 @@
+#include "gen/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/compatibility.h"
+#include "core/gold.h"
+#include "util/random.h"
+
+namespace fgr {
+namespace {
+
+TEST(DatasetSpecsTest, AllEightDatasetsPresent) {
+  const auto& specs = RealWorldDatasetSpecs();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(specs[0].name, "Cora");
+  EXPECT_EQ(specs[7].name, "Flickr");
+}
+
+TEST(DatasetSpecsTest, SizesMatchPaperTable) {
+  // Fig. 8 of the paper.
+  auto cora = FindDatasetSpec("Cora");
+  ASSERT_TRUE(cora.ok());
+  EXPECT_EQ(cora.value().num_nodes, 2708);
+  EXPECT_EQ(cora.value().num_edges, 10858);
+  EXPECT_EQ(cora.value().num_classes, 7);
+
+  auto pokec = FindDatasetSpec("Pokec-Gender");
+  ASSERT_TRUE(pokec.ok());
+  EXPECT_EQ(pokec.value().num_nodes, 1632803);
+  EXPECT_EQ(pokec.value().num_edges, 30622564);
+  EXPECT_EQ(pokec.value().num_classes, 2);
+}
+
+TEST(DatasetSpecsTest, LookupUnknownFails) {
+  EXPECT_FALSE(FindDatasetSpec("Reddit").ok());
+}
+
+class DatasetSpecSweep : public testing::TestWithParam<int> {};
+
+TEST_P(DatasetSpecSweep, SpecIsInternallyConsistent) {
+  const DatasetSpec& spec =
+      RealWorldDatasetSpecs()[static_cast<std::size_t>(GetParam())];
+  EXPECT_EQ(static_cast<std::int64_t>(spec.class_fractions.size()),
+            spec.num_classes);
+  double fraction_sum = 0.0;
+  for (double f : spec.class_fractions) {
+    EXPECT_GT(f, 0.0);
+    fraction_sum += f;
+  }
+  EXPECT_NEAR(fraction_sum, 1.0, 1e-9);
+  EXPECT_EQ(spec.gold_compatibility.rows(), spec.num_classes);
+  // Cleaned matrices must be proper compatibility matrices.
+  EXPECT_TRUE(IsSymmetric(spec.gold_compatibility, 1e-9));
+  EXPECT_TRUE(IsDoublyStochastic(spec.gold_compatibility, 1e-6));
+}
+
+TEST_P(DatasetSpecSweep, SmallScaleMimicGenerates) {
+  const DatasetSpec& spec =
+      RealWorldDatasetSpecs()[static_cast<std::size_t>(GetParam())];
+  Rng rng(42 + static_cast<std::uint64_t>(GetParam()));
+  auto mimic = GenerateDatasetMimic(spec, 0.01, rng);
+  ASSERT_TRUE(mimic.ok()) << spec.name << ": " << mimic.status().ToString();
+  const PlantedGraph& pg = mimic.value();
+  EXPECT_GE(pg.graph.num_nodes(), 200);
+  // Average degree within 20% of the real dataset's.
+  const double real_degree = 2.0 * static_cast<double>(spec.num_edges) /
+                             static_cast<double>(spec.num_nodes);
+  EXPECT_NEAR(pg.graph.average_degree(), real_degree, 0.2 * real_degree)
+      << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetSpecSweep,
+                         testing::Range(0, 8));
+
+TEST(DatasetMimicTest, MeasuredCompatibilityNearGold) {
+  // At a few percent scale the mimic must reproduce the planted gold matrix
+  // in its measured neighbor statistics.
+  auto spec = FindDatasetSpec("MovieLens");
+  ASSERT_TRUE(spec.ok());
+  Rng rng(7);
+  auto mimic = GenerateDatasetMimic(spec.value(), 0.05, rng);
+  ASSERT_TRUE(mimic.ok());
+  const DenseMatrix measured = MeasuredNeighborStatistics(
+      mimic.value().graph, mimic.value().labels);
+  // Imbalanced classes distort the row-normalized view; the dominant
+  // heterophily structure (tags never link to tags, strong 1-2/1-3 mixing)
+  // must survive.
+  EXPECT_LT(measured(2, 2), 0.05);
+  EXPECT_GT(measured(0, 1) + measured(0, 2), 0.8);
+}
+
+TEST(DatasetMimicTest, PokecIsHeterophilous) {
+  auto spec = FindDatasetSpec("Pokec-Gender");
+  ASSERT_TRUE(spec.ok());
+  Rng rng(8);
+  auto mimic = GenerateDatasetMimic(spec.value(), 0.002, rng);
+  ASSERT_TRUE(mimic.ok());
+  const DenseMatrix measured = MeasuredNeighborStatistics(
+      mimic.value().graph, mimic.value().labels);
+  EXPECT_GT(measured(0, 1), measured(0, 0));
+  EXPECT_GT(measured(1, 0), measured(1, 1));
+}
+
+TEST(DatasetMimicTest, RejectsBadScale) {
+  auto spec = FindDatasetSpec("Cora");
+  ASSERT_TRUE(spec.ok());
+  Rng rng(9);
+  EXPECT_FALSE(GenerateDatasetMimic(spec.value(), 0.0, rng).ok());
+  EXPECT_FALSE(GenerateDatasetMimic(spec.value(), 1.5, rng).ok());
+}
+
+}  // namespace
+}  // namespace fgr

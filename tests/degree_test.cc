@@ -1,0 +1,99 @@
+#include "gen/degree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace fgr {
+namespace {
+
+std::int64_t Sum(const std::vector<std::int64_t>& v) {
+  return std::accumulate(v.begin(), v.end(), std::int64_t{0});
+}
+
+TEST(DegreeTest, UniformSumsToTwiceEdges) {
+  Rng rng(1);
+  const auto degrees =
+      MakeDegreeSequence(100, 250, DegreeDistribution::kUniform, 0.3, rng);
+  EXPECT_EQ(degrees.size(), 100u);
+  EXPECT_EQ(Sum(degrees), 500);
+}
+
+TEST(DegreeTest, UniformIsNearlyConstant) {
+  Rng rng(2);
+  const auto degrees =
+      MakeDegreeSequence(100, 250, DegreeDistribution::kUniform, 0.3, rng);
+  const auto [lo, hi] = std::minmax_element(degrees.begin(), degrees.end());
+  EXPECT_GE(*lo, 4);
+  EXPECT_LE(*hi, 6);
+}
+
+TEST(DegreeTest, PowerLawSumsToTwiceEdges) {
+  Rng rng(3);
+  const auto degrees =
+      MakeDegreeSequence(1000, 10000, DegreeDistribution::kPowerLaw, 0.3, rng);
+  EXPECT_EQ(Sum(degrees), 20000);
+}
+
+TEST(DegreeTest, PowerLawIsSkewed) {
+  Rng rng(4);
+  const auto degrees =
+      MakeDegreeSequence(1000, 10000, DegreeDistribution::kPowerLaw, 0.3, rng);
+  const auto [lo, hi] = std::minmax_element(degrees.begin(), degrees.end());
+  EXPECT_GT(*hi, 2 * *lo) << "power-law sequence should be skewed";
+  EXPECT_GE(*lo, 1);
+}
+
+TEST(DegreeTest, HigherExponentSkewsMore) {
+  Rng rng_a(5);
+  Rng rng_b(5);
+  const auto mild =
+      MakeDegreeSequence(500, 5000, DegreeDistribution::kPowerLaw, 0.3, rng_a);
+  const auto strong =
+      MakeDegreeSequence(500, 5000, DegreeDistribution::kPowerLaw, 0.9, rng_b);
+  const std::int64_t mild_max = *std::max_element(mild.begin(), mild.end());
+  const std::int64_t strong_max =
+      *std::max_element(strong.begin(), strong.end());
+  EXPECT_GT(strong_max, mild_max);
+}
+
+TEST(DegreeTest, MinimumDegreeOneWhenFeasible) {
+  Rng rng(6);
+  const auto degrees =
+      MakeDegreeSequence(50, 25, DegreeDistribution::kUniform, 0.3, rng);
+  // 2m = 50 = n, so every node gets exactly degree 1.
+  for (std::int64_t d : degrees) EXPECT_EQ(d, 1);
+}
+
+TEST(DegreeTest, FewerStubsThanNodesAllowed) {
+  Rng rng(7);
+  const auto degrees =
+      MakeDegreeSequence(10, 2, DegreeDistribution::kUniform, 0.3, rng);
+  EXPECT_EQ(Sum(degrees), 4);
+  for (std::int64_t d : degrees) EXPECT_GE(d, 0);
+}
+
+TEST(DegreeTest, ShuffledAcrossNodes) {
+  Rng rng(8);
+  const auto degrees =
+      MakeDegreeSequence(2000, 40000, DegreeDistribution::kPowerLaw, 0.5, rng);
+  // If not shuffled, the sequence would be monotone decreasing; count
+  // ascents as evidence of shuffling.
+  int ascents = 0;
+  for (std::size_t i = 1; i < degrees.size(); ++i) {
+    ascents += degrees[i] > degrees[i - 1];
+  }
+  EXPECT_GT(ascents, 100);
+}
+
+TEST(DegreeDeathTest, RejectsZeroNodes) {
+  Rng rng(9);
+  EXPECT_DEATH(
+      MakeDegreeSequence(0, 5, DegreeDistribution::kUniform, 0.3, rng), "");
+}
+
+}  // namespace
+}  // namespace fgr

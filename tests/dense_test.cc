@@ -1,0 +1,160 @@
+#include "matrix/dense.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fgr {
+namespace {
+
+TEST(DenseMatrixTest, DefaultIsEmpty) {
+  DenseMatrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(DenseMatrixTest, ZeroInitialized) {
+  DenseMatrix m(3, 2);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 2; ++j) {
+      EXPECT_EQ(m(i, j), 0.0);
+    }
+  }
+}
+
+TEST(DenseMatrixTest, FromRowsAndAccess) {
+  DenseMatrix m = DenseMatrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(1, 2), 6.0);
+  m(1, 2) = 7.5;
+  EXPECT_EQ(m(1, 2), 7.5);
+}
+
+TEST(DenseMatrixTest, Identity) {
+  DenseMatrix id = DenseMatrix::Identity(3);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(DenseMatrixTest, ConstantAndFill) {
+  DenseMatrix m = DenseMatrix::Constant(2, 2, 0.25);
+  EXPECT_EQ(m(0, 1), 0.25);
+  m.Fill(-1.0);
+  EXPECT_EQ(m(1, 0), -1.0);
+  m.SetZero();
+  EXPECT_EQ(m(1, 1), 0.0);
+}
+
+TEST(DenseMatrixTest, AddSubScale) {
+  DenseMatrix a = DenseMatrix::FromRows({{1, 2}, {3, 4}});
+  DenseMatrix b = DenseMatrix::FromRows({{10, 20}, {30, 40}});
+  a.Add(b);
+  EXPECT_EQ(a(0, 0), 11.0);
+  a.Sub(b);
+  EXPECT_EQ(a(0, 0), 1.0);
+  a.Scale(2.0);
+  EXPECT_EQ(a(1, 1), 8.0);
+  a.AddScaled(b, 0.1);
+  EXPECT_DOUBLE_EQ(a(0, 1), 4.0 + 2.0);
+  a.AddConstant(1.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0 + 1.0 + 1.0);
+}
+
+TEST(DenseMatrixTest, MultiplyMatchesHandComputation) {
+  DenseMatrix a = DenseMatrix::FromRows({{1, 2}, {3, 4}});
+  DenseMatrix b = DenseMatrix::FromRows({{5, 6}, {7, 8}});
+  DenseMatrix c = a.Multiply(b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(DenseMatrixTest, MultiplyRectangular) {
+  DenseMatrix a = DenseMatrix::FromRows({{1, 0, 2}});
+  DenseMatrix b = DenseMatrix::FromRows({{1, 1}, {2, 2}, {3, 3}});
+  DenseMatrix c = a.Multiply(b);
+  EXPECT_EQ(c.rows(), 1);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_EQ(c(0, 0), 7.0);
+  EXPECT_EQ(c(0, 1), 7.0);
+}
+
+TEST(DenseMatrixTest, Transpose) {
+  DenseMatrix a = DenseMatrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  DenseMatrix t = a.Transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t(2, 0), 3.0);
+  EXPECT_EQ(t(0, 1), 4.0);
+}
+
+TEST(DenseMatrixTest, PowerZeroIsIdentity) {
+  DenseMatrix a = DenseMatrix::FromRows({{2, 1}, {1, 2}});
+  EXPECT_TRUE(AllClose(a.Power(0), DenseMatrix::Identity(2)));
+}
+
+TEST(DenseMatrixTest, PowerMatchesRepeatedMultiply) {
+  DenseMatrix a = DenseMatrix::FromRows({{0.2, 0.8}, {0.8, 0.2}});
+  DenseMatrix expected = a.Multiply(a).Multiply(a);
+  EXPECT_TRUE(AllClose(a.Power(3), expected, 1e-12));
+}
+
+TEST(DenseMatrixTest, FrobeniusNormAndDistance) {
+  DenseMatrix a = DenseMatrix::FromRows({{3, 4}});
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 5.0);
+  DenseMatrix b = DenseMatrix::FromRows({{0, 0}});
+  EXPECT_DOUBLE_EQ(FrobeniusDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(FrobeniusDistance(a, a), 0.0);
+}
+
+TEST(DenseMatrixTest, SumsAndMaxAbs) {
+  DenseMatrix a = DenseMatrix::FromRows({{1, -5}, {2, 3}});
+  EXPECT_DOUBLE_EQ(a.Sum(), 1.0);
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 5.0);
+  const auto row_sums = a.RowSums();
+  EXPECT_DOUBLE_EQ(row_sums[0], -4.0);
+  EXPECT_DOUBLE_EQ(row_sums[1], 5.0);
+  const auto col_sums = a.ColSums();
+  EXPECT_DOUBLE_EQ(col_sums[0], 3.0);
+  EXPECT_DOUBLE_EQ(col_sums[1], -2.0);
+}
+
+TEST(DenseMatrixTest, ArgmaxBreaksTiesTowardSmallestIndex) {
+  DenseMatrix a = DenseMatrix::FromRows({{1, 3, 3}, {2, 1, 0}});
+  EXPECT_EQ(a.ArgmaxInRow(0), 1);
+  EXPECT_EQ(a.ArgmaxInRow(1), 0);
+}
+
+TEST(DenseMatrixTest, AllCloseRespectsTolerance) {
+  DenseMatrix a = DenseMatrix::FromRows({{1.0}});
+  DenseMatrix b = DenseMatrix::FromRows({{1.0 + 1e-6}});
+  EXPECT_FALSE(AllClose(a, b, 1e-9));
+  EXPECT_TRUE(AllClose(a, b, 1e-5));
+  DenseMatrix c(2, 1);
+  EXPECT_FALSE(AllClose(a, c));  // shape mismatch
+}
+
+TEST(DenseMatrixDeathTest, MultiplyShapeMismatchChecks) {
+  DenseMatrix a(2, 3);
+  DenseMatrix b(2, 3);
+  EXPECT_DEATH(a.Multiply(b), "shape mismatch");
+}
+
+TEST(DenseMatrixDeathTest, PowerRequiresSquare) {
+  DenseMatrix a(2, 3);
+  EXPECT_DEATH(a.Power(2), "square");
+}
+
+TEST(DenseMatrixDeathTest, RaggedInitializerChecks) {
+  EXPECT_DEATH(DenseMatrix::FromRows({{1, 2}, {3}}), "ragged");
+}
+
+}  // namespace
+}  // namespace fgr

@@ -1,0 +1,186 @@
+// Failure injection and degenerate-input coverage across the pipeline:
+// empty graphs, isolated nodes, single-class seed sets, k = 1, and
+// path lengths beyond the graph's diameter. Every routine must degrade to a
+// well-defined (if uninformative) answer instead of crashing or emitting
+// NaNs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/compatibility.h"
+#include "core/dce.h"
+#include "core/holdout.h"
+#include "core/lce.h"
+#include "core/mce.h"
+#include "eval/accuracy.h"
+#include "gen/planted.h"
+#include "prop/harmonic.h"
+#include "prop/linbp.h"
+#include "util/random.h"
+
+namespace fgr {
+namespace {
+
+bool AllFinite(const DenseMatrix& m) {
+  for (std::int64_t i = 0; i < m.rows(); ++i) {
+    for (std::int64_t j = 0; j < m.cols(); ++j) {
+      if (!std::isfinite(m(i, j))) return false;
+    }
+  }
+  return true;
+}
+
+TEST(EdgeCaseTest, EstimationOnEdgelessGraph) {
+  const Graph graph = Graph::FromEdges(50, {}).value();
+  Labeling seeds(50, 3);
+  seeds.set_label(0, 0);
+  seeds.set_label(1, 1);
+  seeds.set_label(2, 2);
+  // No paths exist: statistics fall back to uniform, estimate is the
+  // uniform matrix.
+  const EstimationResult mce = EstimateMce(graph, seeds);
+  EXPECT_TRUE(AllFinite(mce.h));
+  EXPECT_LT(FrobeniusDistance(mce.h, UniformCompatibility(3)), 1e-4);
+
+  DceOptions options;
+  options.restarts = 3;
+  const EstimationResult dce = EstimateDce(graph, seeds, options);
+  EXPECT_TRUE(AllFinite(dce.h));
+  EXPECT_TRUE(IsDoublyStochastic(dce.h, 1e-6));
+}
+
+TEST(EdgeCaseTest, PropagationOnEdgelessGraph) {
+  const Graph graph = Graph::FromEdges(10, {}).value();
+  Labeling seeds(10, 2);
+  seeds.set_label(3, 1);
+  const LinBpResult result =
+      RunLinBp(graph, seeds, MakeSkewCompatibility(2, 2.0));
+  // With no edges, F = X.
+  EXPECT_TRUE(AllClose(result.beliefs, seeds.ToOneHot(), 1e-12));
+}
+
+TEST(EdgeCaseTest, SingleClassSeedsStayWellDefined) {
+  Rng rng(1);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(500, 8.0, 3, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  Labeling seeds(500, 3);
+  // Only class-0 seeds: rows 1, 2 of the statistics have no observations.
+  for (NodeId i = 0; i < 500; ++i) {
+    if (planted.value().labels.label(i) == 0 && seeds.NumLabeled() < 10) {
+      seeds.set_label(i, 0);
+    }
+  }
+  DceOptions options;
+  options.restarts = 5;
+  const EstimationResult result =
+      EstimateDce(planted.value().graph, seeds, options);
+  EXPECT_TRUE(AllFinite(result.h));
+  EXPECT_TRUE(IsSymmetric(result.h, 1e-6));
+  const LinBpResult prop =
+      RunLinBp(planted.value().graph, seeds, result.h);
+  EXPECT_TRUE(AllFinite(prop.beliefs));
+}
+
+TEST(EdgeCaseTest, SingleClassProblemIsTrivial) {
+  // k = 1: zero free parameters, H = [[1]].
+  const Graph graph = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}).value();
+  Labeling seeds(4, 1);
+  seeds.set_label(0, 0);
+  const EstimationResult result = EstimateMce(graph, seeds);
+  EXPECT_EQ(result.h.rows(), 1);
+  EXPECT_DOUBLE_EQ(result.h(0, 0), 1.0);
+  const LinBpResult prop = RunLinBp(graph, seeds, result.h);
+  const Labeling predicted = LabelsFromBeliefs(prop.beliefs, seeds);
+  for (NodeId i = 0; i < 4; ++i) EXPECT_EQ(predicted.label(i), 0);
+}
+
+TEST(EdgeCaseTest, PathLengthBeyondDiameter) {
+  // A 3-node path has no NB paths longer than 2; statistics for larger ℓ
+  // must be all-zero counts with the uniform fallback, not garbage.
+  const Graph graph = Graph::FromEdges(3, {{0, 1}, {1, 2}}).value();
+  const Labeling seeds = Labeling::FromVector({0, 1, 0}, 2);
+  const GraphStatistics stats = ComputeGraphStatistics(graph, seeds, 6);
+  ASSERT_EQ(stats.m_raw.size(), 6u);
+  for (std::size_t l = 2; l < 6; ++l) {  // ℓ ≥ 3 (index ≥ 2): no NB paths
+    EXPECT_DOUBLE_EQ(stats.m_raw[l].Sum(), 0.0) << "l=" << l + 1;
+    EXPECT_NEAR(stats.p_hat[l](0, 0), 0.5, 1e-12);
+  }
+}
+
+TEST(EdgeCaseTest, StarGraphNbPathsVanishAtLengthThree) {
+  // In a star every length-3 walk must backtrack through the hub.
+  const Graph star =
+      Graph::FromEdges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}}).value();
+  const SparseMatrix nb3 = NonBacktrackingMatrixPower(star, 3);
+  // (Structural zeros may remain stored; the counts must all be 0.)
+  EXPECT_DOUBLE_EQ(nb3.ToDense().MaxAbs(), 0.0);
+}
+
+TEST(EdgeCaseTest, HoldoutWithMinimumLabels) {
+  Rng rng(2);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(200, 6.0, 2, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  Labeling seeds(200, 2);
+  NodeId labeled = 0;
+  for (NodeId i = 0; i < 200 && labeled < 4; ++i) {
+    seeds.set_label(i, planted.value().labels.label(i));
+    ++labeled;
+  }
+  HoldoutOptions options;
+  options.optimizer.max_iterations = 10;
+  const EstimationResult result =
+      EstimateHoldout(planted.value().graph, seeds, options);
+  EXPECT_TRUE(AllFinite(result.h));
+}
+
+TEST(EdgeCaseTest, LceWithZeroLabeledNeighbors) {
+  // Two seeds in disjoint components: M = 0, B has only the seeds'
+  // neighborhoods. LCE must return a finite doubly-stochastic matrix.
+  const Graph graph =
+      Graph::FromEdges(6, {{0, 1}, {2, 3}, {4, 5}}).value();
+  Labeling seeds(6, 2);
+  seeds.set_label(0, 0);
+  seeds.set_label(2, 1);
+  const EstimationResult result = EstimateLce(graph, seeds);
+  EXPECT_TRUE(AllFinite(result.h));
+  EXPECT_TRUE(IsDoublyStochastic(result.h, 1e-6));
+}
+
+TEST(EdgeCaseTest, HarmonicWithAllNodesSeeded) {
+  const Graph graph = Graph::FromEdges(3, {{0, 1}, {1, 2}}).value();
+  const Labeling seeds = Labeling::FromVector({0, 1, 0}, 2);
+  const HarmonicResult result = RunHarmonicFunctions(graph, seeds);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(AllClose(result.beliefs, seeds.ToOneHot(), 1e-12));
+}
+
+TEST(EdgeCaseTest, AccuracyWhenPredictionMissesClasses) {
+  // Predictions never emit class 2; macro accuracy must not divide by zero.
+  const Labeling truth = Labeling::FromVector({0, 1, 2, 2}, 3);
+  const Labeling predicted = Labeling::FromVector({0, 1, 0, 1}, 3);
+  const Labeling seeds(4, 3);
+  const double accuracy = MacroAccuracy(truth, predicted, seeds);
+  EXPECT_NEAR(accuracy, (1.0 + 1.0 + 0.0) / 3.0, 1e-12);
+}
+
+TEST(EdgeCaseTest, GeneratorSingleClass) {
+  Rng rng(3);
+  PlantedGraphConfig config;
+  config.num_nodes = 100;
+  config.num_edges = 300;
+  config.class_fractions = {1.0};
+  config.compatibility = DenseMatrix::FromRows({{1.0}});
+  auto planted = GeneratePlantedGraph(config, rng);
+  ASSERT_TRUE(planted.ok());
+  EXPECT_GT(planted.value().graph.num_edges(), 280);
+}
+
+TEST(EdgeCaseTest, RestartPointsSingleCount) {
+  const auto points = MakeRestartPoints(4, 1, 0.01, 1);
+  ASSERT_EQ(points.size(), 1u);
+  for (double v : points[0]) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+}  // namespace
+}  // namespace fgr

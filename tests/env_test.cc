@@ -1,0 +1,54 @@
+#include "util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace fgr {
+namespace {
+
+class EnvTest : public testing::Test {
+ protected:
+  void TearDown() override { unsetenv("FGR_TEST_VARIABLE"); }
+};
+
+TEST_F(EnvTest, Int64DefaultWhenUnset) {
+  unsetenv("FGR_TEST_VARIABLE");
+  EXPECT_EQ(EnvInt64("FGR_TEST_VARIABLE", 42), 42);
+}
+
+TEST_F(EnvTest, Int64Parses) {
+  setenv("FGR_TEST_VARIABLE", "123", 1);
+  EXPECT_EQ(EnvInt64("FGR_TEST_VARIABLE", 42), 123);
+  setenv("FGR_TEST_VARIABLE", "-7", 1);
+  EXPECT_EQ(EnvInt64("FGR_TEST_VARIABLE", 42), -7);
+}
+
+TEST_F(EnvTest, Int64RejectsGarbage) {
+  setenv("FGR_TEST_VARIABLE", "12abc", 1);
+  EXPECT_EQ(EnvInt64("FGR_TEST_VARIABLE", 42), 42);
+  setenv("FGR_TEST_VARIABLE", "", 1);
+  EXPECT_EQ(EnvInt64("FGR_TEST_VARIABLE", 42), 42);
+}
+
+TEST_F(EnvTest, DoubleParses) {
+  setenv("FGR_TEST_VARIABLE", "0.25", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("FGR_TEST_VARIABLE", 1.0), 0.25);
+  setenv("FGR_TEST_VARIABLE", "1e-3", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("FGR_TEST_VARIABLE", 1.0), 1e-3);
+}
+
+TEST_F(EnvTest, DoubleRejectsGarbage) {
+  setenv("FGR_TEST_VARIABLE", "zero", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("FGR_TEST_VARIABLE", 1.5), 1.5);
+}
+
+TEST_F(EnvTest, StringPassesThrough) {
+  setenv("FGR_TEST_VARIABLE", "hello", 1);
+  EXPECT_EQ(EnvString("FGR_TEST_VARIABLE", "x"), "hello");
+  unsetenv("FGR_TEST_VARIABLE");
+  EXPECT_EQ(EnvString("FGR_TEST_VARIABLE", "fallback"), "fallback");
+}
+
+}  // namespace
+}  // namespace fgr

@@ -1,0 +1,56 @@
+#include "core/gold.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compatibility.h"
+#include "gen/planted.h"
+#include "util/random.h"
+
+namespace fgr {
+namespace {
+
+TEST(MeasuredStatisticsTest, HandBuiltGraph) {
+  // Triangle 0-1-2 with labels [0, 0, 1]:
+  // M = XᵀWX = [[2, 2], [2, 0]] → rownorm rows [0.5 0.5], [1 0].
+  const Graph graph = Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}}).value();
+  const Labeling labels = Labeling::FromVector({0, 0, 1}, 2);
+  const DenseMatrix p = MeasuredNeighborStatistics(graph, labels);
+  EXPECT_DOUBLE_EQ(p(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(p(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(p(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 0.0);
+}
+
+TEST(MeasuredStatisticsTest, RequiresFullLabels) {
+  const Graph graph = Graph::FromEdges(2, {{0, 1}}).value();
+  Labeling partial(2, 2);
+  partial.set_label(0, 0);
+  EXPECT_DEATH(MeasuredNeighborStatistics(graph, partial), "fully labeled");
+}
+
+TEST(GoldStandardTest, RecoversPlantedCompatibility) {
+  Rng rng(1);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(4000, 20.0, 3, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  const EstimationResult gs =
+      GoldStandardCompatibility(planted.value().graph, planted.value().labels);
+  EXPECT_TRUE(IsDoublyStochastic(gs.h, 1e-6));
+  EXPECT_LT(FrobeniusDistance(gs.h, MakeSkewCompatibility(3, 3.0)), 0.05);
+}
+
+TEST(GoldStandardTest, WorksOnImbalancedGraphs) {
+  Rng rng(2);
+  PlantedGraphConfig config = MakeSkewConfig(3000, 20.0, 3, 3.0);
+  config.class_fractions = {1.0 / 6, 1.0 / 3, 1.0 / 2};
+  auto planted = GeneratePlantedGraph(config, rng);
+  ASSERT_TRUE(planted.ok());
+  const EstimationResult gs =
+      GoldStandardCompatibility(planted.value().graph, planted.value().labels);
+  EXPECT_TRUE(IsSymmetric(gs.h, 1e-8));
+  EXPECT_TRUE(IsDoublyStochastic(gs.h, 1e-6));
+  // Heterophily orientation preserved despite imbalance.
+  EXPECT_GT(gs.h(0, 1), gs.h(0, 0));
+}
+
+}  // namespace
+}  // namespace fgr

@@ -1,0 +1,102 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fgr {
+namespace {
+
+TEST(GraphTest, FromEdgesBasic) {
+  auto result = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  ASSERT_TRUE(result.ok());
+  const Graph& graph = result.value();
+  EXPECT_EQ(graph.num_nodes(), 4);
+  EXPECT_EQ(graph.num_edges(), 3);
+  EXPECT_DOUBLE_EQ(graph.average_degree(), 1.5);
+  EXPECT_DOUBLE_EQ(graph.degrees()[1], 2.0);
+  EXPECT_TRUE(graph.adjacency().IsSymmetric());
+}
+
+TEST(GraphTest, DuplicateEdgesCollapse) {
+  auto result = Graph::FromEdges(3, {{0, 1}, {1, 0}, {0, 1}, {1, 2}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_edges(), 2);
+  EXPECT_EQ(result.value().adjacency().At(0, 1), 1.0);
+}
+
+TEST(GraphTest, SelfLoopRejected) {
+  auto result = Graph::FromEdges(3, {{1, 1}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, OutOfRangeEndpointRejected) {
+  auto result = Graph::FromEdges(3, {{0, 3}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  auto result = Graph::FromEdges(5, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_edges(), 0);
+  EXPECT_EQ(result.value().average_degree(), 0.0);
+}
+
+TEST(GraphTest, ZeroNodeGraph) {
+  auto result = Graph::FromEdges(0, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_nodes(), 0);
+}
+
+TEST(GraphTest, Neighbors) {
+  auto result = Graph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}});
+  ASSERT_TRUE(result.ok());
+  std::vector<NodeId> neighbors = result.value().Neighbors(0);
+  std::sort(neighbors.begin(), neighbors.end());
+  EXPECT_EQ(neighbors, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(result.value().Neighbors(3), std::vector<NodeId>{0});
+}
+
+TEST(GraphTest, UndirectedEdgesReportsEachOnce) {
+  auto result = Graph::FromEdges(3, {{2, 0}, {1, 2}});
+  ASSERT_TRUE(result.ok());
+  std::vector<Edge> edges = result.value().UndirectedEdges();
+  ASSERT_EQ(edges.size(), 2u);
+  for (const Edge& e : edges) EXPECT_LT(e.u, e.v);
+}
+
+TEST(GraphTest, FromAdjacencyRejectsAsymmetric) {
+  SparseMatrix asym = SparseMatrix::FromTriplets(2, 2, {{0, 1, 1.0}});
+  auto result = Graph::FromAdjacency(asym);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GraphTest, FromAdjacencyRejectsDiagonal) {
+  SparseMatrix with_loop = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, 1.0}, {0, 1, 1.0}, {1, 0, 1.0}});
+  auto result = Graph::FromAdjacency(with_loop);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GraphTest, FromAdjacencyAcceptsWeighted) {
+  SparseMatrix weighted = SparseMatrix::FromTriplets(
+      2, 2, {{0, 1, 2.5}, {1, 0, 2.5}});
+  auto result = Graph::FromAdjacency(weighted);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().degrees()[0], 2.5);
+}
+
+TEST(GraphTest, RoundTripThroughEdgeList) {
+  auto original = Graph::FromEdges(5, {{0, 4}, {1, 2}, {3, 4}, {0, 1}});
+  ASSERT_TRUE(original.ok());
+  auto rebuilt =
+      Graph::FromEdges(5, original.value().UndirectedEdges());
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_TRUE(AllClose(original.value().adjacency().ToDense(),
+                       rebuilt.value().adjacency().ToDense(), 0.0));
+}
+
+}  // namespace
+}  // namespace fgr

@@ -1,0 +1,101 @@
+#include "matrix/hashimoto.h"
+
+#include <gtest/gtest.h>
+
+#include "core/path_stats.h"
+#include "gen/planted.h"
+#include "util/random.h"
+
+namespace fgr {
+namespace {
+
+TEST(DirectedEdgeSpaceTest, TwoStatesPerUndirectedEdge) {
+  const Graph graph = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}).value();
+  const DirectedEdgeSpace edges(graph);
+  EXPECT_EQ(edges.num_states(), 2 * graph.num_edges());
+}
+
+TEST(DirectedEdgeSpaceTest, StateLookupRoundTrip) {
+  const Graph graph = Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}}).value();
+  const DirectedEdgeSpace edges(graph);
+  for (std::int64_t s = 0; s < edges.num_states(); ++s) {
+    EXPECT_EQ(edges.StateOf(edges.tail(s), edges.head(s)), s);
+  }
+}
+
+TEST(DirectedEdgeSpaceDeathTest, MissingEdgeChecks) {
+  const Graph graph = Graph::FromEdges(3, {{0, 1}}).value();
+  const DirectedEdgeSpace edges(graph);
+  EXPECT_DEATH(edges.StateOf(0, 2), "no directed edge");
+}
+
+TEST(HashimotoTest, PathGraphStructure) {
+  // Path 0-1-2: from state (0→1) the only non-backtracking continuation is
+  // (1→2); from (1→2) there is none (2 is a leaf).
+  const Graph graph = Graph::FromEdges(3, {{0, 1}, {1, 2}}).value();
+  const DirectedEdgeSpace edges(graph);
+  const SparseMatrix b = BuildHashimotoMatrix(graph, edges);
+  EXPECT_EQ(b.At(edges.StateOf(0, 1), edges.StateOf(1, 2)), 1.0);
+  EXPECT_EQ(b.At(edges.StateOf(0, 1), edges.StateOf(1, 0)), 0.0);
+  const std::int64_t from_leaf = edges.StateOf(1, 2);
+  for (std::int64_t t = 0; t < edges.num_states(); ++t) {
+    EXPECT_EQ(b.At(from_leaf, t), 0.0);
+  }
+}
+
+TEST(HashimotoTest, NnzMatchesDegreeFormula) {
+  // nnz(B) = Σ_v d_v (d_v − 1).
+  Rng rng(1);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(100, 6.0, 2, 2.0), rng);
+  ASSERT_TRUE(planted.ok());
+  const Graph& graph = planted.value().graph;
+  const DirectedEdgeSpace edges(graph);
+  const SparseMatrix b = BuildHashimotoMatrix(graph, edges);
+  double expected = 0.0;
+  for (double d : graph.degrees()) expected += d * (d - 1.0);
+  EXPECT_EQ(static_cast<double>(b.nnz()), expected);
+}
+
+class HashimotoSweep : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HashimotoSweep, AgreesWithFactorizedRecurrence) {
+  // The augmented-state-space reference must produce exactly the counts of
+  // the paper's n×n recurrence (Prop. 4.3).
+  const auto [seed, length] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  std::vector<Edge> raw;
+  for (int e = 0; e < 20; ++e) {
+    const NodeId u = rng.UniformInt(10);
+    const NodeId v = rng.UniformInt(10);
+    if (u != v) raw.push_back({u, v});
+  }
+  const Graph graph = Graph::FromEdges(10, raw).value();
+  const SparseMatrix via_hashimoto = NbPathCountsViaHashimoto(graph, length);
+  const SparseMatrix via_recurrence =
+      NonBacktrackingMatrixPower(graph, length);
+  EXPECT_TRUE(AllClose(via_hashimoto.ToDense(), via_recurrence.ToDense(),
+                       1e-9))
+      << "length " << length;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, HashimotoSweep,
+    testing::Combine(testing::Values(7, 8, 9), testing::Values(1, 2, 3, 4)));
+
+TEST(HashimotoTest, StateSpaceBlowupVersusFactorized) {
+  // The structural point of Section 2.6: the Hashimoto operator needs
+  // O(m·(d−1)) nonzeros before a single path is counted, while the
+  // factorized summarization touches only n×k intermediates.
+  Rng rng(2);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(500, 12.0, 3, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  const Graph& graph = planted.value().graph;
+  const DirectedEdgeSpace edges(graph);
+  const SparseMatrix b = BuildHashimotoMatrix(graph, edges);
+  const std::int64_t factorized_footprint =
+      graph.num_nodes() * 3;  // one n×k buffer
+  EXPECT_GT(b.nnz(), 10 * factorized_footprint);
+}
+
+}  // namespace
+}  // namespace fgr

@@ -1,0 +1,73 @@
+#include "core/heuristic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compatibility.h"
+
+namespace fgr {
+namespace {
+
+TEST(TwoValuePatternTest, ExtractsHighLowPositions) {
+  const DenseMatrix reference = MakeSkewCompatibility(3, 8.0);
+  const DenseMatrix pattern = TwoValuePattern(reference);
+  // High positions: (0,1), (1,0), (2,2).
+  EXPECT_EQ(pattern(0, 1), 1.0);
+  EXPECT_EQ(pattern(1, 0), 1.0);
+  EXPECT_EQ(pattern(2, 2), 1.0);
+  EXPECT_EQ(pattern(0, 0), -1.0);
+  EXPECT_EQ(pattern(1, 2), -1.0);
+}
+
+TEST(TwoValuePatternTest, PatternIsSymmetric) {
+  const DenseMatrix reference = DenseMatrix::FromRows(
+      {{0.35, 0.26, 0.38}, {0.26, 0.12, 0.61}, {0.38, 0.61, 0.0}});
+  const DenseMatrix pattern = TwoValuePattern(reference);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(pattern(i, j), pattern(j, i));
+    }
+  }
+}
+
+TEST(TwoValueHeuristicTest, ProducesValidCompatibility) {
+  const DenseMatrix reference = MakeSkewCompatibility(3, 8.0);
+  const EstimationResult result = EstimateTwoValueHeuristic(reference);
+  EXPECT_TRUE(IsSymmetric(result.h, 1e-8));
+  EXPECT_TRUE(IsDoublyStochastic(result.h, 1e-8));
+  // The binary guess keeps the high/low orientation.
+  EXPECT_GT(result.h(0, 1), result.h(0, 0));
+  EXPECT_GT(result.h(2, 2), result.h(2, 0));
+}
+
+TEST(TwoValueHeuristicTest, BinaryQuantizationLosesGradedStructure) {
+  // Prop-37-style matrix with three distinct levels in one row: after the
+  // two-value quantization the distinction between 0.26 and 0.38 from 0.35
+  // is collapsed — exactly the failure mode of Fig. 12c.
+  const DenseMatrix prop37 = DenseMatrix::FromRows(
+      {{0.35, 0.26, 0.38}, {0.26, 0.12, 0.61}, {0.38, 0.61, 0.0}});
+  const EstimationResult result = EstimateTwoValueHeuristic(prop37);
+  // 0.35 (diag) and 0.38 (off-diag) both quantize High → nearly equal after
+  // projection, destroying the graded signal the true matrix carries.
+  EXPECT_LT(std::abs(result.h(0, 0) - result.h(0, 2)), 0.05);
+  // Whereas the true matrix separates them from 0.26 clearly; quantization
+  // cannot reproduce three levels.
+  EXPECT_GT(FrobeniusDistance(result.h, prop37), 0.1);
+}
+
+TEST(TwoValueHeuristicTest, EpsilonControlsContrastBeforeProjection) {
+  const DenseMatrix reference = MakeSkewCompatibility(2, 4.0);
+  HeuristicOptions weak;
+  weak.epsilon = 0.01;
+  HeuristicOptions strong;
+  strong.epsilon = 0.3;
+  const EstimationResult weak_result =
+      EstimateTwoValueHeuristic(reference, weak);
+  const EstimationResult strong_result =
+      EstimateTwoValueHeuristic(reference, strong);
+  const double weak_contrast = weak_result.h(0, 1) - weak_result.h(0, 0);
+  const double strong_contrast = strong_result.h(0, 1) - strong_result.h(0, 0);
+  EXPECT_GT(strong_contrast, weak_contrast);
+}
+
+}  // namespace
+}  // namespace fgr

@@ -1,0 +1,106 @@
+#include "core/holdout.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compatibility.h"
+#include "core/path_stats.h"
+#include "eval/accuracy.h"
+#include "gen/planted.h"
+#include "prop/linbp.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace fgr {
+namespace {
+
+TEST(HoldoutTest, RecoversHeterophilyDirection) {
+  Rng rng(1);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(1500, 15.0, 3, 8.0), rng);
+  ASSERT_TRUE(planted.ok());
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 0.05, rng);
+
+  HoldoutOptions options;
+  options.optimizer.max_iterations = 60;
+  const EstimationResult result =
+      EstimateHoldout(planted.value().graph, seeds, options);
+  EXPECT_GT(result.h(0, 1), result.h(0, 0));
+  // Energy is the negative accuracy sum: must beat random labeling.
+  EXPECT_LT(result.energy, -0.4);
+}
+
+TEST(HoldoutTest, EstimateYieldsUsablePropagation) {
+  Rng rng(2);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(1500, 15.0, 3, 8.0), rng);
+  ASSERT_TRUE(planted.ok());
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 0.05, rng);
+
+  HoldoutOptions options;
+  options.optimizer.max_iterations = 60;
+  const EstimationResult estimate =
+      EstimateHoldout(planted.value().graph, seeds, options);
+  const Labeling predicted = LabelsFromBeliefs(
+      RunLinBp(planted.value().graph, seeds, estimate.h).beliefs, seeds);
+  const Labeling with_uniform = LabelsFromBeliefs(
+      RunLinBp(planted.value().graph, seeds, UniformCompatibility(3)).beliefs,
+      seeds);
+  const double est_acc =
+      MacroAccuracy(planted.value().labels, predicted, seeds);
+  const double uniform_acc =
+      MacroAccuracy(planted.value().labels, with_uniform, seeds);
+  EXPECT_GT(est_acc, uniform_acc + 0.15);
+}
+
+TEST(HoldoutTest, MultipleSplitsRun) {
+  Rng rng(3);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(800, 10.0, 2, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 0.1, rng);
+
+  HoldoutOptions options;
+  options.num_splits = 4;
+  options.optimizer.max_iterations = 30;
+  const EstimationResult result =
+      EstimateHoldout(planted.value().graph, seeds, options);
+  // Compound energy sums b accuracies: bounded by −b and 0.
+  EXPECT_LE(result.energy, 0.0);
+  EXPECT_GE(result.energy, -4.0);
+}
+
+TEST(HoldoutTest, PropagationBudgetIsRespected) {
+  Rng rng(4);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(500, 8.0, 3, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 0.1, rng);
+
+  HoldoutOptions cheap;
+  cheap.max_propagations = 10;
+  cheap.optimizer.max_iterations = 500;
+  const EstimationResult result =
+      EstimateHoldout(planted.value().graph, seeds, cheap);
+  // With only 10 propagations allowed the search must finish very quickly
+  // and still return a valid matrix.
+  EXPECT_TRUE(IsSymmetric(result.h, 1e-9));
+  EXPECT_TRUE(IsDoublyStochastic(result.h, 1e-9));
+}
+
+TEST(HoldoutTest, IsSlowerThanGraphSummarization) {
+  // The paper's core claim, in miniature: Holdout (inference as subroutine)
+  // costs far more than DCE-style summarization on the same instance.
+  Rng rng(5);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(2000, 15.0, 3, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 0.05, rng);
+
+  HoldoutOptions options;
+  options.optimizer.max_iterations = 40;
+  const EstimationResult holdout =
+      EstimateHoldout(planted.value().graph, seeds, options);
+
+  Stopwatch summarize_timer;
+  ComputeGraphStatistics(planted.value().graph, seeds, 5);
+  const double summarize_seconds = summarize_timer.Seconds();
+  EXPECT_GT(holdout.total_seconds(), 3.0 * summarize_seconds);
+}
+
+}  // namespace
+}  // namespace fgr

@@ -1,0 +1,185 @@
+// End-to-end tests of the paper's central claims, in miniature:
+// estimate H from sparse seeds, propagate with LinBP, and compare against
+// the gold standard and the baselines.
+
+#include <gtest/gtest.h>
+
+#include "core/compatibility.h"
+#include "core/dce.h"
+#include "core/gold.h"
+#include "core/lce.h"
+#include "core/mce.h"
+#include "eval/accuracy.h"
+#include "gen/datasets.h"
+#include "gen/planted.h"
+#include "prop/harmonic.h"
+#include "prop/linbp.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace fgr {
+namespace {
+
+struct Instance {
+  Graph graph;
+  Labeling truth;
+  Labeling seeds;
+  DenseMatrix gold;
+};
+
+Instance MakeInstance(std::uint64_t seed, std::int64_t n, double degree,
+                      double skew, double fraction) {
+  Rng rng(seed);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(n, degree, 3, skew), rng);
+  FGR_CHECK(planted.ok()) << planted.status().ToString();
+  Instance instance{std::move(planted.value().graph),
+                    std::move(planted.value().labels), Labeling(),
+                    DenseMatrix()};
+  instance.seeds = SampleStratifiedSeeds(instance.truth, fraction, rng);
+  instance.gold =
+      GoldStandardCompatibility(instance.graph, instance.truth).h;
+  return instance;
+}
+
+double PropagationAccuracy(const Instance& instance, const DenseMatrix& h) {
+  const Labeling predicted = LabelsFromBeliefs(
+      RunLinBp(instance.graph, instance.seeds, h).beliefs, instance.seeds);
+  return MacroAccuracy(instance.truth, predicted, instance.seeds);
+}
+
+TEST(IntegrationTest, DcerMatchesGoldStandardAccuracy) {
+  // Result 2: DCEr's end-to-end accuracy is within ~±0.02 of GS.
+  const Instance instance = MakeInstance(1, 5000, 20.0, 3.0, 0.03);
+  DceOptions options;
+  options.restarts = 10;
+  const EstimationResult dcer =
+      EstimateDce(instance.graph, instance.seeds, options);
+  const double dcer_accuracy = PropagationAccuracy(instance, dcer.h);
+  const double gs_accuracy = PropagationAccuracy(instance, instance.gold);
+  EXPECT_GT(gs_accuracy, 0.55) << "sanity: GS must label far above random";
+  EXPECT_GT(dcer_accuracy, gs_accuracy - 0.03);
+}
+
+TEST(IntegrationTest, DcerBeatsMceAtExtremeSparsity) {
+  // The ℓ-distance trick: at f where pairs of adjacent labeled nodes are
+  // vanishingly rare, MCE's myopic statistics carry almost no signal while
+  // DCEr still estimates H from longer paths. A single lucky labeled edge
+  // can rescue MCE on one instance, so compare averages over trials.
+  double dcer_total = 0.0;
+  double mce_total = 0.0;
+  const int trials = 3;
+  for (int trial = 0; trial < trials; ++trial) {
+    const Instance instance =
+        MakeInstance(100 + static_cast<std::uint64_t>(trial), 10000, 25.0,
+                     8.0, 0.001);
+    DceOptions dcer_options;
+    dcer_options.restarts = 10;
+    const EstimationResult dcer =
+        EstimateDce(instance.graph, instance.seeds, dcer_options);
+    const EstimationResult mce = EstimateMce(instance.graph, instance.seeds);
+    dcer_total += PropagationAccuracy(instance, dcer.h);
+    mce_total += PropagationAccuracy(instance, mce.h);
+  }
+  EXPECT_GT(dcer_total / trials, mce_total / trials + 0.08)
+      << "DCEr=" << dcer_total / trials << " MCE=" << mce_total / trials;
+}
+
+TEST(IntegrationTest, EstimatedHeterophilyBeatsHomophilyBaseline) {
+  // Fig. 6i: homophily methods collapse where estimation+LinBP thrives.
+  const Instance instance = MakeInstance(3, 4000, 15.0, 8.0, 0.05);
+  DceOptions options;
+  options.restarts = 10;
+  const EstimationResult dcer =
+      EstimateDce(instance.graph, instance.seeds, options);
+  const double dcer_accuracy = PropagationAccuracy(instance, dcer.h);
+
+  const Labeling harmonic_predicted = LabelsFromBeliefs(
+      RunHarmonicFunctions(instance.graph, instance.seeds).beliefs,
+      instance.seeds);
+  const double harmonic_accuracy =
+      MacroAccuracy(instance.truth, harmonic_predicted, instance.seeds);
+  EXPECT_GT(dcer_accuracy, harmonic_accuracy + 0.25);
+}
+
+TEST(IntegrationTest, EstimationIsFasterThanPropagationOnLargeGraphs) {
+  // Fig. 3b's headline: DCEr's cost is a fraction of LinBP's 10 iterations.
+  const Instance instance = MakeInstance(4, 30000, 10.0, 8.0, 0.01);
+  DceOptions options;
+  options.restarts = 10;
+  const EstimationResult dcer =
+      EstimateDce(instance.graph, instance.seeds, options);
+
+  Stopwatch prop_timer;
+  RunLinBp(instance.graph, instance.seeds, dcer.h);
+  const double propagation_seconds = prop_timer.Seconds();
+  EXPECT_LT(dcer.total_seconds(), propagation_seconds)
+      << "estimation " << dcer.total_seconds() << "s vs propagation "
+      << propagation_seconds << "s";
+}
+
+TEST(IntegrationTest, LceAndMceHaveSimilarAccuracyAtHighDensity) {
+  // "MCE and LCE both rely on labeled neighbors and have similar accuracy"
+  // (Section 5.1). Their estimated matrices differ (different objectives),
+  // but the propagation accuracy they induce is comparable.
+  const Instance instance = MakeInstance(5, 3000, 20.0, 3.0, 0.5);
+  const EstimationResult mce = EstimateMce(instance.graph, instance.seeds);
+  const EstimationResult lce = EstimateLce(instance.graph, instance.seeds);
+  const double mce_accuracy = PropagationAccuracy(instance, mce.h);
+  const double lce_accuracy = PropagationAccuracy(instance, lce.h);
+  EXPECT_NEAR(lce_accuracy, mce_accuracy, 0.05);
+  EXPECT_GT(lce_accuracy, 0.6);
+}
+
+TEST(IntegrationTest, ImbalancedGeneralHScenario) {
+  // Fig. 6j: imbalanced α with a general (non-skew-form) H.
+  Rng rng(6);
+  PlantedGraphConfig config;
+  config.num_nodes = 6000;
+  config.num_edges = 75000;
+  config.class_fractions = {1.0 / 6, 1.0 / 3, 1.0 / 2};
+  config.compatibility = DenseMatrix::FromRows(
+      {{0.2, 0.6, 0.2}, {0.6, 0.1, 0.3}, {0.2, 0.3, 0.5}});
+  auto planted = GeneratePlantedGraph(config, rng);
+  ASSERT_TRUE(planted.ok());
+  Instance instance{std::move(planted.value().graph),
+                    std::move(planted.value().labels), Labeling(),
+                    DenseMatrix()};
+  instance.seeds = SampleStratifiedSeeds(instance.truth, 0.02, rng);
+  instance.gold =
+      GoldStandardCompatibility(instance.graph, instance.truth).h;
+
+  DceOptions options;
+  options.restarts = 10;
+  const EstimationResult dcer =
+      EstimateDce(instance.graph, instance.seeds, options);
+  const double dcer_accuracy = PropagationAccuracy(instance, dcer.h);
+  const double gs_accuracy = PropagationAccuracy(instance, instance.gold);
+  EXPECT_GT(dcer_accuracy, gs_accuracy - 0.05);
+}
+
+TEST(IntegrationTest, DatasetMimicEndToEnd) {
+  // Miniature Fig. 7d: MovieLens mimic, DCEr ≈ GS.
+  auto spec = FindDatasetSpec("MovieLens");
+  ASSERT_TRUE(spec.ok());
+  Rng rng(7);
+  auto mimic = GenerateDatasetMimic(spec.value(), 0.1, rng);
+  ASSERT_TRUE(mimic.ok());
+  Instance instance{std::move(mimic.value().graph),
+                    std::move(mimic.value().labels), Labeling(),
+                    DenseMatrix()};
+  instance.seeds = SampleStratifiedSeeds(instance.truth, 0.01, rng);
+  instance.gold =
+      GoldStandardCompatibility(instance.graph, instance.truth).h;
+
+  DceOptions options;
+  options.restarts = 10;
+  const EstimationResult dcer =
+      EstimateDce(instance.graph, instance.seeds, options);
+  const double dcer_accuracy = PropagationAccuracy(instance, dcer.h);
+  const double gs_accuracy = PropagationAccuracy(instance, instance.gold);
+  EXPECT_GT(gs_accuracy, 0.6);
+  EXPECT_GT(dcer_accuracy, gs_accuracy - 0.08);
+}
+
+}  // namespace
+}  // namespace fgr

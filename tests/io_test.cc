@@ -1,0 +1,94 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace fgr {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(IoTest, EdgeListRoundTrip) {
+  auto graph = Graph::FromEdges(5, {{0, 1}, {2, 3}, {3, 4}, {0, 4}});
+  ASSERT_TRUE(graph.ok());
+  const std::string path = TempPath("roundtrip.edges");
+  ASSERT_TRUE(WriteEdgeList(graph.value(), path).ok());
+
+  auto loaded = ReadEdgeList(path, 5);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_edges(), 4);
+  EXPECT_TRUE(AllClose(loaded.value().adjacency().ToDense(),
+                       graph.value().adjacency().ToDense(), 0.0));
+}
+
+TEST(IoTest, EdgeListInfersNodeCount) {
+  const std::string path = TempPath("infer.edges");
+  {
+    std::ofstream out(path);
+    out << "# comment line\n0 1\n\n7 2\n";
+  }
+  auto loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_nodes(), 8);
+  EXPECT_EQ(loaded.value().num_edges(), 2);
+}
+
+TEST(IoTest, EdgeListMissingFile) {
+  auto loaded = ReadEdgeList(TempPath("does_not_exist.edges"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(IoTest, EdgeListMalformedLine) {
+  const std::string path = TempPath("malformed.edges");
+  {
+    std::ofstream out(path);
+    out << "0 1\nbanana\n";
+  }
+  auto loaded = ReadEdgeList(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IoTest, LabelsRoundTrip) {
+  Labeling labels(4, 3);
+  labels.set_label(0, 2);
+  labels.set_label(2, 0);
+  const std::string path = TempPath("labels.txt");
+  ASSERT_TRUE(WriteLabels(labels, path).ok());
+
+  auto loaded = ReadLabels(path, 4, 3);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().label(0), 2);
+  EXPECT_EQ(loaded.value().label(1), kUnlabeled);
+  EXPECT_EQ(loaded.value().label(2), 0);
+}
+
+TEST(IoTest, LabelsRejectOutOfRangeNode) {
+  const std::string path = TempPath("bad_node.txt");
+  {
+    std::ofstream out(path);
+    out << "9 0\n";
+  }
+  auto loaded = ReadLabels(path, 4, 3);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(IoTest, LabelsRejectOutOfRangeClass) {
+  const std::string path = TempPath("bad_class.txt");
+  {
+    std::ofstream out(path);
+    out << "0 7\n";
+  }
+  auto loaded = ReadLabels(path, 4, 3);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace fgr

@@ -1,0 +1,156 @@
+#include "graph/labels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace fgr {
+namespace {
+
+Labeling MakeBalancedTruth(NodeId n, ClassId k) {
+  Labeling truth(n, k);
+  for (NodeId i = 0; i < n; ++i) {
+    truth.set_label(i, static_cast<ClassId>(i % k));
+  }
+  return truth;
+}
+
+TEST(LabelingTest, StartsUnlabeled) {
+  Labeling labels(4, 3);
+  EXPECT_EQ(labels.NumLabeled(), 0);
+  EXPECT_FALSE(labels.is_labeled(2));
+  EXPECT_EQ(labels.label(2), kUnlabeled);
+}
+
+TEST(LabelingTest, SetAndCount) {
+  Labeling labels(4, 2);
+  labels.set_label(0, 1);
+  labels.set_label(3, 0);
+  EXPECT_EQ(labels.NumLabeled(), 2);
+  EXPECT_DOUBLE_EQ(labels.LabeledFraction(), 0.5);
+  EXPECT_EQ(labels.LabeledNodes(), (std::vector<NodeId>{0, 3}));
+  const auto counts = labels.ClassCounts();
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 1);
+  labels.set_label(0, kUnlabeled);
+  EXPECT_EQ(labels.NumLabeled(), 1);
+}
+
+TEST(LabelingTest, FromVectorValidates) {
+  Labeling labels = Labeling::FromVector({0, kUnlabeled, 1}, 2);
+  EXPECT_EQ(labels.num_nodes(), 3);
+  EXPECT_EQ(labels.NumLabeled(), 2);
+}
+
+TEST(LabelingDeathTest, FromVectorRejectsBadLabel) {
+  EXPECT_DEATH(Labeling::FromVector({0, 5}, 2), "outside");
+}
+
+TEST(LabelingTest, OneHot) {
+  Labeling labels(3, 2);
+  labels.set_label(0, 1);
+  DenseMatrix x = labels.ToOneHot();
+  EXPECT_EQ(x.rows(), 3);
+  EXPECT_EQ(x.cols(), 2);
+  EXPECT_EQ(x(0, 1), 1.0);
+  EXPECT_EQ(x(0, 0), 0.0);
+  EXPECT_EQ(x(1, 0), 0.0);
+  EXPECT_EQ(x(1, 1), 0.0);
+}
+
+TEST(LabelingTest, Restrict) {
+  Labeling labels = MakeBalancedTruth(6, 3);
+  Labeling restricted = labels.Restrict({0, 5});
+  EXPECT_EQ(restricted.NumLabeled(), 2);
+  EXPECT_EQ(restricted.label(0), 0);
+  EXPECT_EQ(restricted.label(5), 2);
+  EXPECT_EQ(restricted.label(1), kUnlabeled);
+}
+
+TEST(StratifiedSeedsTest, FractionRespected) {
+  Labeling truth = MakeBalancedTruth(900, 3);
+  Rng rng(5);
+  Labeling seeds = SampleStratifiedSeeds(truth, 0.1, rng);
+  EXPECT_EQ(seeds.NumLabeled(), 90);
+  // Stratification: 30 per class exactly for a balanced truth.
+  const auto counts = seeds.ClassCounts();
+  for (std::int64_t c : counts) EXPECT_EQ(c, 30);
+}
+
+TEST(StratifiedSeedsTest, SeedsMatchGroundTruthLabels) {
+  Labeling truth = MakeBalancedTruth(300, 3);
+  Rng rng(6);
+  Labeling seeds = SampleStratifiedSeeds(truth, 0.2, rng);
+  for (NodeId node : seeds.LabeledNodes()) {
+    EXPECT_EQ(seeds.label(node), truth.label(node));
+  }
+}
+
+TEST(StratifiedSeedsTest, ExtremeSparsityAlwaysYieldsOneSeed) {
+  Labeling truth = MakeBalancedTruth(100, 2);
+  Rng rng(7);
+  Labeling seeds = SampleStratifiedSeeds(truth, 1e-6, rng);
+  EXPECT_GE(seeds.NumLabeled(), 1);
+}
+
+TEST(StratifiedSeedsTest, FullFractionLabelsEverything) {
+  Labeling truth = MakeBalancedTruth(50, 5);
+  Rng rng(8);
+  Labeling seeds = SampleStratifiedSeeds(truth, 1.0, rng);
+  EXPECT_EQ(seeds.NumLabeled(), 50);
+}
+
+TEST(StratifiedSeedsTest, ImbalancedClassesProportional) {
+  Labeling truth(1000, 2);
+  for (NodeId i = 0; i < 1000; ++i) {
+    truth.set_label(i, i < 900 ? 0 : 1);
+  }
+  Rng rng(9);
+  Labeling seeds = SampleStratifiedSeeds(truth, 0.1, rng);
+  const auto counts = seeds.ClassCounts();
+  EXPECT_EQ(counts[0], 90);
+  EXPECT_EQ(counts[1], 10);
+}
+
+TEST(StratifiedSeedsDeathTest, RejectsZeroFraction) {
+  Labeling truth = MakeBalancedTruth(10, 2);
+  Rng rng(1);
+  EXPECT_DEATH(SampleStratifiedSeeds(truth, 0.0, rng), "fraction");
+}
+
+TEST(HoldoutSplitTest, PartitionIsDisjointAndComplete) {
+  Labeling truth = MakeBalancedTruth(100, 2);
+  Rng rng(3);
+  Labeling seeds = SampleStratifiedSeeds(truth, 0.5, rng);
+  const auto splits = MakeHoldoutSplits(seeds, 4, rng);
+  ASSERT_EQ(splits.size(), 4u);
+  for (const HoldoutSplit& split : splits) {
+    EXPECT_EQ(split.seed.NumLabeled() + split.holdout.NumLabeled(),
+              seeds.NumLabeled());
+    for (NodeId node : split.seed.LabeledNodes()) {
+      EXPECT_FALSE(split.holdout.is_labeled(node));
+      EXPECT_EQ(split.seed.label(node), seeds.label(node));
+    }
+  }
+}
+
+TEST(HoldoutSplitTest, DifferentSplitsDiffer) {
+  Labeling truth = MakeBalancedTruth(60, 3);
+  Rng rng(4);
+  Labeling seeds = SampleStratifiedSeeds(truth, 0.5, rng);
+  const auto splits = MakeHoldoutSplits(seeds, 2, rng);
+  // With 30 labeled nodes two random halvings almost surely differ.
+  bool any_difference = false;
+  for (NodeId i = 0; i < 60; ++i) {
+    if (splits[0].seed.is_labeled(i) != splits[1].seed.is_labeled(i)) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace fgr

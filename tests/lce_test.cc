@@ -1,0 +1,121 @@
+#include "core/lce.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/compatibility.h"
+#include "gen/planted.h"
+#include "matrix/spectral.h"
+#include "opt/objective.h"
+#include "util/random.h"
+
+namespace fgr {
+namespace {
+
+// Direct evaluation of ‖X − WX(εH̃)‖²_F for validation.
+double DirectLceEnergy(const Graph& graph, const Labeling& seeds,
+                       const DenseMatrix& h, double epsilon) {
+  const DenseMatrix x = seeds.ToOneHot();
+  const DenseMatrix wx = graph.adjacency().Multiply(x);
+  DenseMatrix h_scaled = h;
+  h_scaled.AddConstant(-1.0 / static_cast<double>(h.rows()));
+  h_scaled.Scale(epsilon);
+  DenseMatrix residual = x;
+  residual.Sub(wx.Multiply(h_scaled));
+  const double norm = residual.FrobeniusNorm();
+  return norm * norm;
+}
+
+struct LceParts {
+  DenseMatrix m;
+  DenseMatrix b;
+  double constant = 0.0;
+};
+
+LceParts BuildParts(const Graph& graph, const Labeling& seeds) {
+  const DenseMatrix x = seeds.ToOneHot();
+  const DenseMatrix n = graph.adjacency().Multiply(x);
+  LceParts parts;
+  parts.m = x.Transpose().Multiply(n);
+  parts.b = n.Transpose().Multiply(n);
+  parts.constant = static_cast<double>(seeds.NumLabeled());
+  return parts;
+}
+
+TEST(LceObjectiveTest, QuadraticFormMatchesDirectEnergy) {
+  Rng rng(1);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(300, 8.0, 3, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  const Graph& graph = planted.value().graph;
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 0.3, rng);
+
+  const LceParts parts = BuildParts(graph, seeds);
+  const double epsilon = 0.5 / SpectralRadius(graph.adjacency());
+  const LceObjective objective(parts.m, parts.b, parts.constant, epsilon);
+
+  for (double skew : {0.5, 1.0, 2.0, 8.0}) {
+    const DenseMatrix h = MakeSkewCompatibility(3, skew);
+    const double direct = DirectLceEnergy(graph, seeds, h, epsilon);
+    const double factorized =
+        objective.Value(ParametersFromCompatibility(h));
+    EXPECT_NEAR(factorized, direct, 1e-6 * std::max(1.0, direct))
+        << "skew " << skew;
+  }
+}
+
+TEST(LceObjectiveTest, GradientMatchesNumeric) {
+  Rng rng(2);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(200, 6.0, 4, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 0.5, rng);
+  const LceParts parts = BuildParts(planted.value().graph, seeds);
+  const LceObjective objective(parts.m, parts.b, parts.constant,
+                               /*epsilon=*/0.02);
+
+  std::vector<double> at(static_cast<std::size_t>(NumFreeParameters(4)));
+  for (double& v : at) v = 0.25 + rng.Uniform(-0.1, 0.1);
+  std::vector<double> analytic;
+  objective.Gradient(at, &analytic);
+  const std::vector<double> numeric = NumericGradient(objective, at, 1e-5);
+  for (std::size_t i = 0; i < analytic.size(); ++i) {
+    const double scale = std::max(1.0, std::fabs(numeric[i]));
+    EXPECT_NEAR(analytic[i], numeric[i], 1e-4 * scale) << "param " << i;
+  }
+}
+
+TEST(LceTest, RecoversHeterophilyDirectionWhenDenselyLabeled) {
+  Rng rng(3);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(4000, 20.0, 3, 8.0), rng);
+  ASSERT_TRUE(planted.ok());
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 0.5, rng);
+  const EstimationResult result = EstimateLce(planted.value().graph, seeds);
+  EXPECT_TRUE(IsDoublyStochastic(result.h, 1e-6));
+  EXPECT_GT(result.h(0, 1), result.h(0, 0));
+  EXPECT_GT(result.h(2, 2), result.h(2, 1));
+}
+
+TEST(LceTest, TracksMceAccuracyRegime) {
+  // At moderate density LCE must carry real signal (well away from the
+  // uniform matrix), the property the ε-scaling restores.
+  Rng rng(5);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(5000, 25.0, 3, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 0.05, rng);
+  const EstimationResult result = EstimateLce(planted.value().graph, seeds);
+  EXPECT_GT(FrobeniusDistance(result.h, UniformCompatibility(3)), 0.2);
+  EXPECT_GT(result.h(0, 1), result.h(0, 0));
+}
+
+TEST(LceTest, ReportsTimingSplit) {
+  Rng rng(4);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(500, 6.0, 2, 2.0), rng);
+  ASSERT_TRUE(planted.ok());
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 0.2, rng);
+  const EstimationResult result = EstimateLce(planted.value().graph, seeds);
+  EXPECT_GT(result.seconds_summarization, 0.0);
+  EXPECT_GT(result.seconds_optimization, 0.0);
+}
+
+}  // namespace
+}  // namespace fgr

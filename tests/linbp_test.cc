@@ -1,0 +1,182 @@
+#include "prop/linbp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/compatibility.h"
+#include "eval/accuracy.h"
+#include "gen/planted.h"
+#include "util/random.h"
+
+namespace fgr {
+namespace {
+
+struct TestGraph {
+  Graph graph;
+  Labeling truth;
+  Labeling seeds;
+};
+
+TestGraph MakePlanted(std::uint64_t seed, double skew, double fraction,
+                      std::int64_t n = 2000, double degree = 15.0) {
+  Rng rng(seed);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(n, degree, 3, skew), rng);
+  FGR_CHECK(planted.ok()) << planted.status().ToString();
+  TestGraph result{std::move(planted.value().graph),
+                   std::move(planted.value().labels), Labeling()};
+  result.seeds = SampleStratifiedSeeds(result.truth, fraction, rng);
+  return result;
+}
+
+TEST(LinBpTest, EpsilonScalesWithSpectra) {
+  TestGraph tg = MakePlanted(1, 3.0, 0.05);
+  const DenseMatrix h = MakeSkewCompatibility(3, 3.0);
+  const LinBpResult result = RunLinBp(tg.graph, tg.seeds, h);
+  EXPECT_GT(result.rho_w, 1.0);
+  EXPECT_GT(result.rho_h, 0.0);
+  EXPECT_NEAR(result.epsilon, 0.5 / (result.rho_w * result.rho_h), 1e-9);
+  EXPECT_EQ(result.iterations_run, 10);
+}
+
+TEST(LinBpTest, SeedsKeepTheirLabels) {
+  TestGraph tg = MakePlanted(2, 3.0, 0.1);
+  const LinBpResult result =
+      RunLinBp(tg.graph, tg.seeds, MakeSkewCompatibility(3, 3.0));
+  const Labeling predicted = LabelsFromBeliefs(result.beliefs, tg.seeds);
+  for (NodeId node : tg.seeds.LabeledNodes()) {
+    EXPECT_EQ(predicted.label(node), tg.seeds.label(node));
+  }
+  EXPECT_EQ(predicted.NumLabeled(), predicted.num_nodes());
+}
+
+TEST(LinBpTest, CenteringInvariance) {
+  // Theorem 3.1: centered and uncentered propagation give identical labels.
+  TestGraph tg = MakePlanted(3, 8.0, 0.03);
+  const DenseMatrix h = MakeSkewCompatibility(3, 8.0);
+
+  LinBpOptions uncentered;
+  LinBpOptions centered;
+  centered.centered = true;
+  const Labeling labels_uncentered = LabelsFromBeliefs(
+      RunLinBp(tg.graph, tg.seeds, h, uncentered).beliefs, tg.seeds);
+  const Labeling labels_centered = LabelsFromBeliefs(
+      RunLinBp(tg.graph, tg.seeds, h, centered).beliefs, tg.seeds);
+
+  std::int64_t disagreements = 0;
+  for (NodeId i = 0; i < tg.graph.num_nodes(); ++i) {
+    disagreements += labels_uncentered.label(i) != labels_centered.label(i);
+  }
+  // Exact ties can flip under floating-point noise; they are rare.
+  EXPECT_LE(disagreements, tg.graph.num_nodes() / 200);
+}
+
+TEST(LinBpTest, ConstantShiftOfHLeavesLabelsUnchanged) {
+  // The general form of Theorem 3.1: any constant added to H.
+  TestGraph tg = MakePlanted(4, 3.0, 0.05);
+  const DenseMatrix h = MakeSkewCompatibility(3, 3.0);
+  DenseMatrix h_shifted = h;
+  h_shifted.AddConstant(0.37);
+
+  // Use the same epsilon for both runs: shift invariance holds per-iteration
+  // only when the scaling matches, so pin it via identical spectra inputs.
+  LinBpOptions options;
+  options.centered = true;  // centering removes the shift entirely
+  const Labeling a = LabelsFromBeliefs(
+      RunLinBp(tg.graph, tg.seeds, h, options).beliefs, tg.seeds);
+  const Labeling b = LabelsFromBeliefs(
+      RunLinBp(tg.graph, tg.seeds, h_shifted, options).beliefs, tg.seeds);
+  std::int64_t disagreements = 0;
+  for (NodeId i = 0; i < tg.graph.num_nodes(); ++i) {
+    disagreements += a.label(i) != b.label(i);
+  }
+  EXPECT_LE(disagreements, tg.graph.num_nodes() / 200);
+}
+
+TEST(LinBpTest, FixedPointZeroesTheEnergy) {
+  // Prop. 3.2: at convergence F = X + εWFH̃, so the residual norm vanishes.
+  // The *centered* iteration is the one with the convergence guarantee
+  // (Eq. 2); the uncentered beliefs may grow unboundedly while labeling
+  // identically (Example C.1 / Fig. 10).
+  TestGraph tg = MakePlanted(5, 3.0, 0.1, /*n=*/500, /*degree=*/8.0);
+  const DenseMatrix h = MakeSkewCompatibility(3, 3.0);
+  LinBpOptions options;
+  options.iterations = 300;
+  options.convergence_scale = 0.4;
+  options.centered = true;
+  const LinBpResult result = RunLinBp(tg.graph, tg.seeds, h, options);
+
+  // Residual F − X − (W F)(εH̃).
+  DenseMatrix h_scaled = CenterCompatibility(h);
+  h_scaled.Scale(result.epsilon);
+  const DenseMatrix x = tg.seeds.ToOneHot();
+  DenseMatrix residual = result.beliefs;
+  residual.Sub(x);
+  residual.Sub(tg.graph.adjacency().Multiply(result.beliefs).Multiply(h_scaled));
+  EXPECT_LT(residual.FrobeniusNorm() / result.beliefs.FrobeniusNorm(), 1e-6);
+}
+
+TEST(LinBpTest, GoldStandardBeatsUniformH) {
+  TestGraph tg = MakePlanted(6, 8.0, 0.02);
+  const Labeling with_truth = LabelsFromBeliefs(
+      RunLinBp(tg.graph, tg.seeds, MakeSkewCompatibility(3, 8.0)).beliefs,
+      tg.seeds);
+  const Labeling with_uniform = LabelsFromBeliefs(
+      RunLinBp(tg.graph, tg.seeds, UniformCompatibility(3)).beliefs, tg.seeds);
+  const double acc_truth = MacroAccuracy(tg.truth, with_truth, tg.seeds);
+  const double acc_uniform = MacroAccuracy(tg.truth, with_uniform, tg.seeds);
+  EXPECT_GT(acc_truth, 0.7);
+  EXPECT_GT(acc_truth, acc_uniform + 0.2);
+}
+
+TEST(LinBpTest, EchoCancellationVariantRuns) {
+  TestGraph tg = MakePlanted(7, 3.0, 0.05, /*n=*/800, /*degree=*/10.0);
+  LinBpOptions options;
+  options.echo_cancellation = true;
+  const LinBpResult result =
+      RunLinBp(tg.graph, tg.seeds, MakeSkewCompatibility(3, 3.0), options);
+  const Labeling predicted = LabelsFromBeliefs(result.beliefs, tg.seeds);
+  const double accuracy = MacroAccuracy(tg.truth, predicted, tg.seeds);
+  EXPECT_GT(accuracy, 0.5);  // EC keeps labeling functional
+}
+
+TEST(LinBpTest, EarlyStopTerminatesBeforeMaxIterations) {
+  TestGraph tg = MakePlanted(8, 3.0, 0.1, /*n=*/500, /*degree=*/8.0);
+  LinBpOptions options;
+  options.iterations = 1000;
+  options.early_stop_tolerance = 1e-8;
+  options.centered = true;  // centered iteration contracts (Eq. 2)
+  const LinBpResult result =
+      RunLinBp(tg.graph, tg.seeds, MakeSkewCompatibility(3, 3.0), options);
+  EXPECT_LT(result.iterations_run, 1000);
+}
+
+TEST(LinBpTest, UniformHDegeneratesGracefully) {
+  // ρ(H̃) = 0 for the uniform matrix; ε must stay finite.
+  TestGraph tg = MakePlanted(9, 3.0, 0.1, /*n=*/300, /*degree=*/6.0);
+  const LinBpResult result =
+      RunLinBp(tg.graph, tg.seeds, UniformCompatibility(3));
+  EXPECT_TRUE(std::isfinite(result.epsilon));
+  EXPECT_TRUE(std::isfinite(result.beliefs.MaxAbs()));
+}
+
+TEST(LinBpTest, IsolatedNodesGetDefaultLabel) {
+  // Two components: an edge 0-1 and isolated node 2.
+  const Graph graph = Graph::FromEdges(3, {{0, 1}}).value();
+  Labeling seeds(3, 2);
+  seeds.set_label(0, 1);
+  const LinBpResult result =
+      RunLinBp(graph, seeds, MakeSkewCompatibility(2, 2.0));
+  const Labeling predicted = LabelsFromBeliefs(result.beliefs, seeds);
+  EXPECT_EQ(predicted.label(2), 0);  // zero beliefs → argmax ties to class 0
+}
+
+TEST(LinBpDeathTest, RejectsMismatchedShapes) {
+  const Graph graph = Graph::FromEdges(3, {{0, 1}}).value();
+  Labeling seeds(3, 2);
+  seeds.set_label(0, 1);
+  EXPECT_DEATH(RunLinBp(graph, seeds, MakeSkewCompatibility(3, 2.0)), "");
+}
+
+}  // namespace
+}  // namespace fgr

@@ -1,0 +1,82 @@
+#include "core/mce.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compatibility.h"
+#include "core/gold.h"
+#include "gen/planted.h"
+#include "util/random.h"
+
+namespace fgr {
+namespace {
+
+TEST(ProjectToDoublyStochasticTest, FixedPointOnFeasibleMatrix) {
+  const DenseMatrix h = MakeSkewCompatibility(3, 3.0);
+  const EstimationResult result = ProjectToDoublyStochastic(h);
+  EXPECT_LT(FrobeniusDistance(result.h, h), 1e-5);
+  EXPECT_NEAR(result.energy, 0.0, 1e-9);
+}
+
+TEST(ProjectToDoublyStochasticTest, ProjectsRowStochasticMatrix) {
+  // A row-stochastic but not doubly-stochastic target.
+  const DenseMatrix target =
+      DenseMatrix::FromRows({{0.5, 0.5}, {0.9, 0.1}});
+  const EstimationResult result = ProjectToDoublyStochastic(target);
+  EXPECT_TRUE(IsSymmetric(result.h, 1e-8));
+  EXPECT_TRUE(IsDoublyStochastic(result.h, 1e-8));
+  // Projection preserves the dominant orientation (H01 > H11).
+  EXPECT_GT(result.h(0, 1), result.h(1, 1));
+}
+
+TEST(ProjectToDoublyStochasticTest, UniformTargetStaysUniform) {
+  const EstimationResult result =
+      ProjectToDoublyStochastic(UniformCompatibility(4));
+  EXPECT_LT(FrobeniusDistance(result.h, UniformCompatibility(4)), 1e-6);
+}
+
+TEST(MceTest, RecoversHOnDenselyLabeledGraph) {
+  Rng rng(1);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(4000, 20.0, 3, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 0.5, rng);
+  const EstimationResult result = EstimateMce(planted.value().graph, seeds);
+  EXPECT_LT(FrobeniusDistance(result.h, MakeSkewCompatibility(3, 3.0)), 0.05);
+  EXPECT_TRUE(IsDoublyStochastic(result.h, 1e-6));
+}
+
+TEST(MceTest, DegradesGracefullyAtExtremeSparsity) {
+  // With almost no pairs of adjacent labeled nodes the statistics collapse
+  // to the uniform fallback; MCE must return a valid (if uninformative)
+  // matrix rather than exploding.
+  Rng rng(2);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(5000, 10.0, 3, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 0.001, rng);
+  const EstimationResult result = EstimateMce(planted.value().graph, seeds);
+  EXPECT_TRUE(IsSymmetric(result.h, 1e-6));
+  EXPECT_TRUE(IsDoublyStochastic(result.h, 1e-6));
+  EXPECT_LT(result.h.MaxAbs(), 2.0);
+}
+
+TEST(MceTest, VariantsProduceDifferentButValidEstimates) {
+  Rng rng(3);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(3000, 15.0, 3, 8.0), rng);
+  ASSERT_TRUE(planted.ok());
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 0.2, rng);
+  const DenseMatrix truth = MakeSkewCompatibility(3, 8.0);
+  for (auto variant :
+       {NormalizationVariant::kRowStochastic, NormalizationVariant::kSymmetric,
+        NormalizationVariant::kGlobalScale}) {
+    MceOptions options;
+    options.variant = variant;
+    const EstimationResult result =
+        EstimateMce(planted.value().graph, seeds, options);
+    EXPECT_TRUE(IsDoublyStochastic(result.h, 1e-6));
+    // All variants should find the heterophily direction at this density.
+    EXPECT_GT(result.h(0, 1), result.h(0, 0))
+        << "variant " << static_cast<int>(variant);
+  }
+}
+
+}  // namespace
+}  // namespace fgr

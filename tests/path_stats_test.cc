@@ -1,0 +1,214 @@
+#include "core/path_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "gen/planted.h"
+#include "util/random.h"
+
+namespace fgr {
+namespace {
+
+// Brute-force count of non-backtracking paths of length `length` from u to v
+// (paths may revisit nodes; only immediate edge reversal is forbidden).
+std::int64_t CountNbPaths(const Graph& graph, NodeId from, NodeId to,
+                          int length) {
+  std::int64_t count = 0;
+  // DFS over (current node, previous node, remaining steps).
+  std::function<void(NodeId, NodeId, int)> walk = [&](NodeId at, NodeId prev,
+                                                      int remaining) {
+    if (remaining == 0) {
+      count += (at == to);
+      return;
+    }
+    for (NodeId next : graph.Neighbors(at)) {
+      if (next == prev) continue;  // backtracking move
+      walk(next, at, remaining - 1);
+    }
+  };
+  walk(from, /*prev=*/-1, length);
+  return count;
+}
+
+Graph MakeFigure4Graph() {
+  // The paper's Fig. 4: blue i(0) — orange j(1) — green u(2), plus j's
+  // second neighbor back at i is the backtrack case; add one extra node so
+  // j has two distinct neighbors.
+  return Graph::FromEdges(3, {{0, 1}, {1, 2}}).value();
+}
+
+TEST(NbMatrixPowerTest, LengthOneIsAdjacency) {
+  const Graph graph = MakeFigure4Graph();
+  EXPECT_TRUE(AllClose(NonBacktrackingMatrixPower(graph, 1).ToDense(),
+                       graph.adjacency().ToDense(), 0.0));
+}
+
+TEST(NbMatrixPowerTest, LengthTwoIsWSquaredMinusD) {
+  const Graph graph =
+      Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}}).value();
+  const SparseMatrix w2 = SpGemm(graph.adjacency(), graph.adjacency());
+  const SparseMatrix d = SparseMatrix::Diagonal(graph.degrees());
+  EXPECT_TRUE(AllClose(NonBacktrackingMatrixPower(graph, 2).ToDense(),
+                       SpAdd(w2, d, -1.0).ToDense(), 1e-12));
+}
+
+TEST(NbMatrixPowerTest, Figure4Example) {
+  // From node 0, exactly one NB path of length 2 reaches node 2 and none
+  // returns to node 0 (that would backtrack).
+  const Graph graph = MakeFigure4Graph();
+  const SparseMatrix nb2 = NonBacktrackingMatrixPower(graph, 2);
+  EXPECT_EQ(nb2.At(0, 2), 1.0);
+  EXPECT_EQ(nb2.At(0, 0), 0.0);
+}
+
+class NbRecurrenceSweep
+    : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(NbRecurrenceSweep, MatchesBruteForceEnumeration) {
+  const auto [seed, length] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  // Small random graph: 8 nodes, ~12 edges.
+  std::vector<Edge> edges;
+  for (int e = 0; e < 14; ++e) {
+    const NodeId u = rng.UniformInt(8);
+    const NodeId v = rng.UniformInt(8);
+    if (u != v) edges.push_back({u, v});
+  }
+  const Graph graph = Graph::FromEdges(8, edges).value();
+  const SparseMatrix nb = NonBacktrackingMatrixPower(graph, length);
+  for (NodeId u = 0; u < 8; ++u) {
+    for (NodeId v = 0; v < 8; ++v) {
+      EXPECT_EQ(nb.At(u, v), CountNbPaths(graph, u, v, length))
+          << "u=" << u << " v=" << v << " ℓ=" << length;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, NbRecurrenceSweep,
+    testing::Combine(testing::Values(1, 2, 3), testing::Values(1, 2, 3, 4, 5)));
+
+TEST(GraphStatisticsTest, FactorizedMatchesExplicitNbPower) {
+  // The factorized Algorithm 4.4 must agree with XᵀW(ℓ)_NB·X computed the
+  // expensive way.
+  Rng rng(5);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(200, 6.0, 3, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  const Graph& graph = planted.value().graph;
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 0.5, rng);
+
+  const int lmax = 4;
+  const GraphStatistics stats = ComputeGraphStatistics(
+      graph, seeds, lmax, PathType::kNonBacktracking);
+  const DenseMatrix x = seeds.ToOneHot();
+  for (int l = 1; l <= lmax; ++l) {
+    const SparseMatrix nb = NonBacktrackingMatrixPower(graph, l);
+    const DenseMatrix expected =
+        x.Transpose().Multiply(nb.Multiply(x));
+    EXPECT_TRUE(AllClose(stats.m_raw[static_cast<std::size_t>(l - 1)],
+                         expected, 1e-9))
+        << "ℓ=" << l;
+  }
+}
+
+TEST(GraphStatisticsTest, FullPathsMatchAdjacencyPowers) {
+  Rng rng(6);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(150, 6.0, 2, 2.0), rng);
+  ASSERT_TRUE(planted.ok());
+  const Graph& graph = planted.value().graph;
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 0.4, rng);
+
+  const GraphStatistics stats =
+      ComputeGraphStatistics(graph, seeds, 3, PathType::kFull);
+  const DenseMatrix x = seeds.ToOneHot();
+  SparseMatrix w_power = graph.adjacency();
+  for (int l = 1; l <= 3; ++l) {
+    if (l > 1) w_power = SpGemm(graph.adjacency(), w_power);
+    const DenseMatrix expected =
+        x.Transpose().Multiply(w_power.Multiply(x));
+    EXPECT_TRUE(AllClose(stats.m_raw[static_cast<std::size_t>(l - 1)],
+                         expected, 1e-9))
+        << "ℓ=" << l;
+  }
+}
+
+TEST(GraphStatisticsTest, MRawIsSymmetricForLengthOne) {
+  Rng rng(7);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(300, 8.0, 3, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 1.0, rng);
+  const GraphStatistics stats =
+      ComputeGraphStatistics(planted.value().graph, seeds, 1);
+  const DenseMatrix& m = stats.m_raw[0];
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m(i, j), m(j, i));
+    }
+  }
+  // Total endpoint count equals 2m on a fully labeled graph.
+  EXPECT_DOUBLE_EQ(m.Sum(),
+                   2.0 * static_cast<double>(planted.value().graph.num_edges()));
+}
+
+TEST(NormalizeStatisticsTest, RowStochasticVariant) {
+  DenseMatrix m = DenseMatrix::FromRows({{2, 6}, {6, 2}});
+  DenseMatrix p = NormalizeStatistics(m, NormalizationVariant::kRowStochastic);
+  EXPECT_DOUBLE_EQ(p(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(p(0, 1), 0.75);
+  for (double sum : p.RowSums()) EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(NormalizeStatisticsTest, ZeroRowFallsBackToUniform) {
+  DenseMatrix m = DenseMatrix::FromRows({{0, 0}, {1, 3}});
+  DenseMatrix p = NormalizeStatistics(m, NormalizationVariant::kRowStochastic);
+  EXPECT_DOUBLE_EQ(p(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(p(0, 1), 0.5);
+}
+
+TEST(NormalizeStatisticsTest, SymmetricVariantKeepsSymmetry) {
+  DenseMatrix m = DenseMatrix::FromRows({{2, 6}, {6, 4}});
+  DenseMatrix p = NormalizeStatistics(m, NormalizationVariant::kSymmetric);
+  EXPECT_DOUBLE_EQ(p(0, 1), p(1, 0));
+  // P = D^-1/2 M D^-1/2 with D = diag(8, 10).
+  EXPECT_NEAR(p(0, 0), 2.0 / 8.0, 1e-12);
+  EXPECT_NEAR(p(0, 1), 6.0 / std::sqrt(80.0), 1e-12);
+}
+
+TEST(NormalizeStatisticsTest, GlobalScaleVariantMeanIsOneOverK) {
+  DenseMatrix m = DenseMatrix::FromRows({{2, 6}, {6, 4}});
+  DenseMatrix p = NormalizeStatistics(m, NormalizationVariant::kGlobalScale);
+  // Average entry must be 1/k = 0.5.
+  EXPECT_NEAR(p.Sum() / 4.0, 0.5, 1e-12);
+}
+
+TEST(NormalizeStatisticsTest, AllZeroMatrixIsUniform) {
+  DenseMatrix m(3, 3);
+  for (auto variant :
+       {NormalizationVariant::kRowStochastic,
+        NormalizationVariant::kSymmetric, NormalizationVariant::kGlobalScale}) {
+    DenseMatrix p = NormalizeStatistics(m, variant);
+    EXPECT_NEAR(p(1, 1), 1.0 / 3.0, 1e-12);
+  }
+}
+
+TEST(GraphStatisticsTest, NbDiagonalSmallerThanFullPaths) {
+  // Theorem 4.1's bias direction: full ℓ=2 paths overestimate diagonals
+  // (they include i→j→i), NB paths do not.
+  Rng rng(8);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(2000, 20.0, 3, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 0.3, rng);
+  const GraphStatistics nb = ComputeGraphStatistics(
+      planted.value().graph, seeds, 2, PathType::kNonBacktracking);
+  const GraphStatistics full = ComputeGraphStatistics(
+      planted.value().graph, seeds, 2, PathType::kFull);
+  for (std::int64_t c = 0; c < 3; ++c) {
+    EXPECT_LT(nb.p_hat[1](c, c), full.p_hat[1](c, c)) << "class " << c;
+  }
+}
+
+}  // namespace
+}  // namespace fgr

@@ -1,0 +1,158 @@
+#include "gen/planted.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/compatibility.h"
+#include "core/gold.h"
+#include "util/random.h"
+
+namespace fgr {
+namespace {
+
+TEST(PlantedGraphTest, SkewConfigBasics) {
+  const PlantedGraphConfig config = MakeSkewConfig(1000, 10.0, 3, 3.0);
+  EXPECT_EQ(config.num_nodes, 1000);
+  EXPECT_EQ(config.num_edges, 5000);
+  EXPECT_EQ(config.class_fractions.size(), 3u);
+  EXPECT_TRUE(IsDoublyStochastic(config.compatibility));
+}
+
+TEST(PlantedGraphTest, GeneratesRequestedSize) {
+  Rng rng(1);
+  auto planted =
+      GeneratePlantedGraph(MakeSkewConfig(2000, 10.0, 3, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  const PlantedGraph& pg = planted.value();
+  EXPECT_EQ(pg.graph.num_nodes(), 2000);
+  // Stub matching loses a few edges to duplicates/self-pairs; within 3%.
+  EXPECT_GT(pg.graph.num_edges(), 9700);
+  EXPECT_LE(pg.graph.num_edges(), 10000);
+  EXPECT_EQ(pg.labels.NumLabeled(), 2000);
+}
+
+TEST(PlantedGraphTest, ClassSizesFollowFractions) {
+  Rng rng(2);
+  PlantedGraphConfig config = MakeSkewConfig(1200, 8.0, 3, 3.0);
+  config.class_fractions = {1.0 / 6.0, 1.0 / 3.0, 1.0 / 2.0};
+  auto planted = GeneratePlantedGraph(config, rng);
+  ASSERT_TRUE(planted.ok());
+  const auto counts = planted.value().labels.ClassCounts();
+  EXPECT_EQ(counts[0], 200);
+  EXPECT_EQ(counts[1], 400);
+  EXPECT_EQ(counts[2], 600);
+}
+
+TEST(PlantedGraphTest, MeasuredStatisticsMatchPlantedH) {
+  // The heart of the generator: on a balanced graph the measured neighbor
+  // frequency distribution must reproduce the planted H.
+  Rng rng(3);
+  auto planted =
+      GeneratePlantedGraph(MakeSkewConfig(4000, 20.0, 3, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  const DenseMatrix measured = MeasuredNeighborStatistics(
+      planted.value().graph, planted.value().labels);
+  const DenseMatrix target = MakeSkewCompatibility(3, 3.0);
+  EXPECT_LT(FrobeniusDistance(measured, target), 0.03)
+      << "measured:\n"
+      << measured.ToString() << "\nplanted:\n"
+      << target.ToString();
+}
+
+TEST(PlantedGraphTest, MeasuredStatisticsMatchForHighSkew) {
+  Rng rng(4);
+  auto planted =
+      GeneratePlantedGraph(MakeSkewConfig(4000, 20.0, 3, 8.0), rng);
+  ASSERT_TRUE(planted.ok());
+  const DenseMatrix measured = MeasuredNeighborStatistics(
+      planted.value().graph, planted.value().labels);
+  EXPECT_LT(FrobeniusDistance(measured, MakeSkewCompatibility(3, 8.0)), 0.03);
+}
+
+TEST(PlantedGraphTest, PowerLawDegreesAreSkewed) {
+  Rng rng(5);
+  PlantedGraphConfig config = MakeSkewConfig(3000, 15.0, 3, 3.0);
+  config.degree_distribution = DegreeDistribution::kPowerLaw;
+  auto planted = GeneratePlantedGraph(config, rng);
+  ASSERT_TRUE(planted.ok());
+  const auto& degrees = planted.value().graph.degrees();
+  double max_degree = 0.0;
+  for (double d : degrees) max_degree = std::max(max_degree, d);
+  EXPECT_GT(max_degree, 2.0 * planted.value().graph.average_degree());
+}
+
+TEST(PlantedGraphTest, ImbalancedClassesStayFeasible) {
+  Rng rng(6);
+  PlantedGraphConfig config = MakeSkewConfig(3000, 25.0, 3, 3.0);
+  config.class_fractions = {1.0 / 6.0, 1.0 / 3.0, 1.0 / 2.0};
+  auto planted = GeneratePlantedGraph(config, rng);
+  ASSERT_TRUE(planted.ok());
+  // Marginals of the fitted target must match the per-class stub budgets
+  // (Sinkhorn guarantee) and the graph must be near the requested size.
+  EXPECT_GT(planted.value().graph.num_edges(), 36000);
+}
+
+TEST(PlantedGraphTest, ZeroDiagonalBlockRespected) {
+  // Tri-partite-ish pattern with no within-class-2 edges.
+  Rng rng(7);
+  PlantedGraphConfig config;
+  config.num_nodes = 1500;
+  config.num_edges = 9000;
+  config.class_fractions = {0.3, 0.3, 0.4};
+  config.compatibility = DenseMatrix::FromRows(
+      {{0.2, 0.3, 0.5}, {0.3, 0.2, 0.5}, {0.5, 0.5, 0.0}});
+  auto planted = GeneratePlantedGraph(config, rng);
+  ASSERT_TRUE(planted.ok());
+  // Count class-2-to-class-2 edges: must be zero.
+  const Graph& graph = planted.value().graph;
+  const Labeling& labels = planted.value().labels;
+  std::int64_t within = 0;
+  for (const Edge& e : graph.UndirectedEdges()) {
+    if (labels.label(e.u) == 2 && labels.label(e.v) == 2) ++within;
+  }
+  EXPECT_EQ(within, 0);
+}
+
+TEST(PlantedGraphTest, DeterministicGivenSeed) {
+  Rng rng_a(8);
+  Rng rng_b(8);
+  auto a = GeneratePlantedGraph(MakeSkewConfig(500, 6.0, 2, 2.0), rng_a);
+  auto b = GeneratePlantedGraph(MakeSkewConfig(500, 6.0, 2, 2.0), rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().graph.num_edges(), b.value().graph.num_edges());
+  EXPECT_TRUE(AllClose(a.value().graph.adjacency().ToDense(),
+                       b.value().graph.adjacency().ToDense(), 0.0));
+}
+
+TEST(PlantedGraphTest, RejectsBadFractions) {
+  Rng rng(9);
+  PlantedGraphConfig config = MakeSkewConfig(100, 5.0, 2, 2.0);
+  config.class_fractions = {0.9, 0.9};
+  EXPECT_FALSE(GeneratePlantedGraph(config, rng).ok());
+}
+
+TEST(PlantedGraphTest, RejectsAsymmetricCompatibility) {
+  Rng rng(10);
+  PlantedGraphConfig config = MakeSkewConfig(100, 5.0, 2, 2.0);
+  config.compatibility = DenseMatrix::FromRows({{0.3, 0.7}, {0.6, 0.4}});
+  EXPECT_FALSE(GeneratePlantedGraph(config, rng).ok());
+}
+
+TEST(PlantedGraphTest, RejectsFractionCountMismatch) {
+  Rng rng(11);
+  PlantedGraphConfig config = MakeSkewConfig(100, 5.0, 3, 2.0);
+  config.class_fractions = {0.5, 0.5};
+  EXPECT_FALSE(GeneratePlantedGraph(config, rng).ok());
+}
+
+TEST(PlantedGraphTest, RejectsNonPositiveNodes) {
+  Rng rng(12);
+  PlantedGraphConfig config = MakeSkewConfig(100, 5.0, 2, 2.0);
+  config.num_nodes = 0;
+  EXPECT_FALSE(GeneratePlantedGraph(config, rng).ok());
+}
+
+}  // namespace
+}  // namespace fgr

@@ -1,0 +1,167 @@
+// Cross-module property sweeps: invariants that must hold across the whole
+// (k, skew, degree distribution, sparsity) configuration space, exercised
+// with parameterized gtest suites.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/compatibility.h"
+#include "core/dce.h"
+#include "core/gold.h"
+#include "core/path_stats.h"
+#include "eval/accuracy.h"
+#include "gen/planted.h"
+#include "graph/components.h"
+#include "prop/linbp.h"
+#include "util/random.h"
+
+namespace fgr {
+namespace {
+
+using GenParam = std::tuple<int /*k*/, double /*skew*/, int /*dist*/>;
+
+class GeneratorPropertySweep : public testing::TestWithParam<GenParam> {};
+
+TEST_P(GeneratorPropertySweep, PlantedGraphInvariants) {
+  const auto [k, skew, dist] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(k * 100 + dist) + 7);
+  PlantedGraphConfig config = MakeSkewConfig(
+      3000, 12.0, k, skew,
+      dist == 0 ? DegreeDistribution::kUniform : DegreeDistribution::kPowerLaw);
+  auto planted = GeneratePlantedGraph(config, rng);
+  ASSERT_TRUE(planted.ok());
+  const Graph& graph = planted.value().graph;
+  const Labeling& labels = planted.value().labels;
+
+  // Structural invariants.
+  EXPECT_TRUE(graph.adjacency().IsSymmetric());
+  EXPECT_EQ(labels.num_nodes(), graph.num_nodes());
+  EXPECT_EQ(labels.NumLabeled(), graph.num_nodes());
+  // Size within 5% of the request (stub matching loses a little).
+  EXPECT_GE(graph.num_edges(), static_cast<std::int64_t>(
+                                   0.95 * static_cast<double>(config.num_edges)));
+  EXPECT_LE(graph.num_edges(), config.num_edges);
+
+  // The measured neighbor statistics reproduce the planted compatibility
+  // (balanced classes → exact match up to sampling noise).
+  const DenseMatrix measured = MeasuredNeighborStatistics(graph, labels);
+  EXPECT_LT(FrobeniusDistance(measured, config.compatibility), 0.12)
+      << "k=" << k << " skew=" << skew << " dist=" << dist;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratorPropertySweep,
+    testing::Combine(testing::Values(2, 3, 5, 7),
+                     testing::Values(2.0, 5.0, 8.0), testing::Values(0, 1)));
+
+class EndToEndSweep
+    : public testing::TestWithParam<std::tuple<int /*k*/, double /*f*/>> {};
+
+TEST_P(EndToEndSweep, DcerNeverFarBelowGoldStandard) {
+  // The paper's Result 2, as an invariant over (k, f): DCEr's end-to-end
+  // accuracy stays within a small margin of propagating with the measured
+  // gold standard.
+  const auto [k, f] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(k) * 31 +
+          static_cast<std::uint64_t>(f * 1e4));
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(6000, 20.0, k, 5.0), rng);
+  ASSERT_TRUE(planted.ok());
+  const Graph& graph = planted.value().graph;
+  const Labeling& truth = planted.value().labels;
+  const Labeling seeds = SampleStratifiedSeeds(truth, f, rng);
+  const DenseMatrix gold = GoldStandardCompatibility(graph, truth).h;
+
+  DceOptions options;
+  options.restarts = 10;
+  const EstimationResult dcer = EstimateDce(graph, seeds, options);
+
+  auto accuracy_with = [&](const DenseMatrix& h) {
+    const LinBpResult prop = RunLinBp(graph, seeds, h);
+    return MacroAccuracy(truth, LabelsFromBeliefs(prop.beliefs, seeds), seeds);
+  };
+  const double gs_accuracy = accuracy_with(gold);
+  const double dcer_accuracy = accuracy_with(dcer.h);
+  EXPECT_GT(dcer_accuracy, gs_accuracy - 0.06)
+      << "k=" << k << " f=" << f << " GS=" << gs_accuracy
+      << " DCEr=" << dcer_accuracy;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EndToEndSweep,
+                         testing::Combine(testing::Values(2, 3, 4),
+                                          testing::Values(0.01, 0.05, 0.2)));
+
+class StatisticsSweep : public testing::TestWithParam<int> {};
+
+TEST_P(StatisticsSweep, RowStochasticStatisticsStayStochastic) {
+  // Every P̂(ℓ) under variant 1 must be row-stochastic for any ℓ, even at
+  // sparsities where some classes observe nothing.
+  const int lmax = GetParam();
+  Rng rng(static_cast<std::uint64_t>(lmax) + 400);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(2000, 10.0, 4, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  for (double f : {0.002, 0.05, 0.5}) {
+    const Labeling seeds =
+        SampleStratifiedSeeds(planted.value().labels, f, rng);
+    const GraphStatistics stats =
+        ComputeGraphStatistics(planted.value().graph, seeds, lmax);
+    for (const DenseMatrix& p : stats.p_hat) {
+      for (double sum : p.RowSums()) {
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, StatisticsSweep,
+                         testing::Values(1, 2, 3, 5, 8));
+
+TEST(PropertyTest, DceEnergyDecreasesWithRestarts) {
+  // More restarts can only improve (never worsen) the best energy found.
+  Rng rng(42);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(4000, 15.0, 4, 8.0), rng);
+  ASSERT_TRUE(planted.ok());
+  const Labeling seeds =
+      SampleStratifiedSeeds(planted.value().labels, 0.005, rng);
+  const GraphStatistics stats =
+      ComputeGraphStatistics(planted.value().graph, seeds, 5);
+  double previous = 1e300;
+  for (int restarts : {1, 2, 5, 10}) {
+    DceOptions options;
+    options.restarts = restarts;
+    options.seed = 9;  // same start sequence: prefixes are nested
+    const EstimationResult result =
+        EstimateDceFromStatistics(stats, 4, options);
+    EXPECT_LE(result.energy, previous + 1e-12);
+    previous = result.energy;
+  }
+}
+
+TEST(PropertyTest, UnreachableNodesBoundAccuracyLoss) {
+  // On a deliberately fragmented graph, nodes in seedless components are
+  // exactly the ones no method can label; check the diagnostic agrees with
+  // propagation behavior (their beliefs stay zero).
+  Rng rng(43);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(2000, 1.2, 2, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  const Graph& graph = planted.value().graph;
+  const Labeling seeds =
+      SampleStratifiedSeeds(planted.value().labels, 0.01, rng);
+  const std::int64_t unreachable = NodesUnreachableFromSeeds(graph, seeds);
+  EXPECT_GT(unreachable, 0) << "d=1.2 graph should be fragmented";
+
+  const LinBpResult prop =
+      RunLinBp(graph, seeds, MakeSkewCompatibility(2, 3.0));
+  std::int64_t zero_belief_nodes = 0;
+  for (NodeId i = 0; i < graph.num_nodes(); ++i) {
+    const double* row = prop.beliefs.RowPtr(i);
+    if (row[0] == 0.0 && row[1] == 0.0) ++zero_belief_nodes;
+  }
+  // Every unreachable node must have exactly-zero beliefs; reachable nodes
+  // beyond the 10-iteration horizon may too, so this is a lower bound.
+  EXPECT_GE(zero_belief_nodes, unreachable);
+}
+
+}  // namespace
+}  // namespace fgr

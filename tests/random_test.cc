@@ -1,0 +1,130 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace fgr {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int identical = 0;
+  for (int i = 0; i < 100; ++i) {
+    identical += (a.Next() == b.Next());
+  }
+  EXPECT_LT(identical, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntBoundsAndCoverage) {
+  Rng rng(5);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) {
+    const std::int64_t v = rng.UniformInt(7);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 7);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 200);
+}
+
+TEST(RngDeathTest, UniformIntRejectsNonPositiveBound) {
+  Rng rng(6);
+  EXPECT_DEATH(rng.UniformInt(0), "");
+}
+
+TEST(RngTest, NormalMomentsSane) {
+  Rng rng(7);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    const double z = rng.Normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / samples, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / samples, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(8);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(9);
+  std::vector<double> weights = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[rng.Discrete(weights)];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.4);
+}
+
+TEST(RngDeathTest, DiscreteRejectsAllZeroWeights) {
+  Rng rng(10);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_DEATH(rng.Discrete(weights), "positive weight");
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(11);
+  std::vector<int> values(50);
+  std::iota(values.begin(), values.end(), 0);
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(12);
+  Rng child = parent.Fork();
+  // The fork must not replay the parent's stream.
+  int identical = 0;
+  for (int i = 0; i < 50; ++i) {
+    identical += (parent.Next() == child.Next());
+  }
+  EXPECT_LT(identical, 3);
+}
+
+}  // namespace
+}  // namespace fgr

@@ -1,0 +1,77 @@
+#include "prop/randomwalk.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/accuracy.h"
+#include "gen/planted.h"
+#include "prop/linbp.h"
+#include "util/random.h"
+
+namespace fgr {
+namespace {
+
+TEST(RandomWalkTest, ConvergesOnSmallGraph) {
+  const Graph graph =
+      Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}).value();
+  Labeling seeds(4, 2);
+  seeds.set_label(0, 0);
+  seeds.set_label(2, 1);
+  const RandomWalkResult result = RunMultiRankWalk(graph, seeds);
+  EXPECT_TRUE(result.converged);
+  // Node 1 is equidistant from both seeds: scores tie.
+  EXPECT_NEAR(result.scores(1, 0), result.scores(1, 1), 1e-6);
+  // Node 0 ranks higher for its own class than node 2 does.
+  EXPECT_GT(result.scores(0, 0), result.scores(2, 0));
+}
+
+TEST(RandomWalkTest, MassConservationPerClass) {
+  // Column sums stay 1 for a graph without dangling nodes: the walk is a
+  // proper probability distribution per class.
+  Rng rng(1);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(500, 8.0, 2, 2.0), rng);
+  ASSERT_TRUE(planted.ok());
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 0.1, rng);
+  const RandomWalkResult result =
+      RunMultiRankWalk(planted.value().graph, seeds);
+  const auto sums = result.scores.ColSums();
+  for (double s : sums) EXPECT_NEAR(s, 1.0, 1e-6);
+}
+
+TEST(RandomWalkTest, GoodOnHomophilyGraphs) {
+  Rng rng(2);
+  PlantedGraphConfig config;
+  config.num_nodes = 2000;
+  config.num_edges = 15000;
+  config.class_fractions = {0.5, 0.5};
+  config.compatibility = DenseMatrix::FromRows({{0.85, 0.15}, {0.15, 0.85}});
+  auto planted = GeneratePlantedGraph(config, rng);
+  ASSERT_TRUE(planted.ok());
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 0.05, rng);
+  const Labeling predicted = LabelsFromBeliefs(
+      RunMultiRankWalk(planted.value().graph, seeds).scores, seeds);
+  EXPECT_GT(MacroAccuracy(planted.value().labels, predicted, seeds), 0.8);
+}
+
+TEST(RandomWalkTest, WeakOnHeterophilyGraphs) {
+  Rng rng(3);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(2000, 15.0, 2, 8.0), rng);
+  ASSERT_TRUE(planted.ok());
+  Labeling seeds = SampleStratifiedSeeds(planted.value().labels, 0.05, rng);
+  const Labeling predicted = LabelsFromBeliefs(
+      RunMultiRankWalk(planted.value().graph, seeds).scores, seeds);
+  // Under strong heterophily the walk actively labels nodes with the class
+  // of their (opposite-class) neighbors: below coin-flip accuracy.
+  EXPECT_LT(MacroAccuracy(planted.value().labels, predicted, seeds), 0.5);
+}
+
+TEST(RandomWalkDeathTest, RejectsBadDamping) {
+  const Graph graph = Graph::FromEdges(2, {{0, 1}}).value();
+  Labeling seeds(2, 2);
+  seeds.set_label(0, 0);
+  RandomWalkOptions options;
+  options.damping = 1.5;
+  EXPECT_DEATH(RunMultiRankWalk(graph, seeds, options), "");
+}
+
+}  // namespace
+}  // namespace fgr

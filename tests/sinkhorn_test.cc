@@ -1,0 +1,128 @@
+#include "gen/sinkhorn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/compatibility.h"
+#include "util/random.h"
+
+namespace fgr {
+namespace {
+
+TEST(SinkhornTest, FitsMarginalsOnUniformKernel) {
+  const DenseMatrix kernel = DenseMatrix::Constant(3, 3, 1.0);
+  const std::vector<double> targets = {10.0, 20.0, 30.0};
+  auto fitted = FitSymmetricMarginals(kernel, targets);
+  ASSERT_TRUE(fitted.ok());
+  const auto sums = fitted.value().RowSums();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(sums[i], targets[i], 1e-6 * targets[i]);
+  }
+}
+
+class SinkhornSweepTest : public testing::TestWithParam<int> {};
+
+TEST_P(SinkhornSweepTest, FitsRandomSymmetricKernels) {
+  const std::int64_t k = GetParam();
+  Rng rng(100 + static_cast<std::uint64_t>(k));
+  DenseMatrix kernel(k, k);
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (std::int64_t j = i; j < k; ++j) {
+      const double v = rng.Uniform(0.05, 1.0);
+      kernel(i, j) = v;
+      kernel(j, i) = v;
+    }
+  }
+  std::vector<double> targets(static_cast<std::size_t>(k));
+  for (double& t : targets) t = rng.Uniform(5.0, 100.0);
+
+  auto fitted = FitSymmetricMarginals(kernel, targets);
+  ASSERT_TRUE(fitted.ok());
+  const DenseMatrix& m = fitted.value();
+  EXPECT_TRUE(IsSymmetric(m, 1e-9));
+  const auto sums = m.RowSums();
+  for (std::int64_t i = 0; i < k; ++i) {
+    EXPECT_NEAR(sums[static_cast<std::size_t>(i)],
+                targets[static_cast<std::size_t>(i)],
+                1e-6 * targets[static_cast<std::size_t>(i)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllK, SinkhornSweepTest,
+                         testing::Values(2, 3, 4, 5, 8, 11));
+
+TEST(SinkhornTest, PreservesKernelPatternForBalancedTargets) {
+  // Balanced targets on a doubly-stochastic kernel: M must be a scalar
+  // multiple of the kernel.
+  const DenseMatrix kernel = MakeSkewCompatibility(3, 3.0);
+  auto fitted =
+      FitSymmetricMarginals(kernel, {100.0, 100.0, 100.0});
+  ASSERT_TRUE(fitted.ok());
+  DenseMatrix expected = kernel;
+  expected.Scale(100.0);
+  EXPECT_TRUE(AllClose(fitted.value(), expected, 1e-6));
+}
+
+TEST(SinkhornTest, ZeroTargetClassGetsZeroRow) {
+  const DenseMatrix kernel = DenseMatrix::Constant(3, 3, 1.0);
+  auto fitted = FitSymmetricMarginals(kernel, {10.0, 0.0, 10.0});
+  ASSERT_TRUE(fitted.ok());
+  const DenseMatrix& m = fitted.value();
+  for (std::int64_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(m(1, j), 0.0);
+    EXPECT_EQ(m(j, 1), 0.0);
+  }
+  EXPECT_NEAR(m.RowSums()[0], 10.0, 1e-6);
+}
+
+TEST(SinkhornTest, HandlesZeroKernelEntries) {
+  // MovieLens-like pattern: class 2 never links to itself.
+  DenseMatrix kernel = DenseMatrix::FromRows(
+      {{0.1, 0.4, 0.5}, {0.4, 0.1, 0.5}, {0.5, 0.5, 0.0}});
+  auto fitted = FitSymmetricMarginals(kernel, {50.0, 50.0, 80.0});
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_EQ(fitted.value()(2, 2), 0.0);
+  const auto sums = fitted.value().RowSums();
+  EXPECT_NEAR(sums[2], 80.0, 1e-4);
+}
+
+TEST(SinkhornTest, RejectsAsymmetricKernel) {
+  DenseMatrix kernel = DenseMatrix::FromRows({{1.0, 0.5}, {0.2, 1.0}});
+  auto fitted = FitSymmetricMarginals(kernel, {1.0, 1.0});
+  EXPECT_FALSE(fitted.ok());
+}
+
+TEST(SinkhornTest, RejectsNegativeKernel) {
+  DenseMatrix kernel = DenseMatrix::FromRows({{1.0, -0.5}, {-0.5, 1.0}});
+  auto fitted = FitSymmetricMarginals(kernel, {1.0, 1.0});
+  EXPECT_FALSE(fitted.ok());
+}
+
+TEST(SinkhornTest, RejectsNegativeTargets) {
+  auto fitted = FitSymmetricMarginals(DenseMatrix::Identity(2), {1.0, -1.0});
+  EXPECT_FALSE(fitted.ok());
+}
+
+TEST(SinkhornTest, RejectsPositiveTargetWithZeroKernelRow) {
+  DenseMatrix kernel(2, 2);
+  kernel(0, 0) = 1.0;  // row 1 all zero
+  auto fitted = FitSymmetricMarginals(kernel, {1.0, 1.0});
+  EXPECT_FALSE(fitted.ok());
+  EXPECT_EQ(fitted.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SinkhornNormalizeTest, MakesDoublyStochastic) {
+  // A rounded Fig. 13-style matrix with row sums slightly off 1.
+  DenseMatrix rough = DenseMatrix::FromRows(
+      {{0.44, 0.57}, {0.57, 0.44}});
+  auto cleaned = SinkhornNormalize(rough);
+  ASSERT_TRUE(cleaned.ok());
+  EXPECT_TRUE(IsDoublyStochastic(cleaned.value(), 1e-8));
+  EXPECT_TRUE(IsSymmetric(cleaned.value(), 1e-9));
+  // The heterophily ordering must survive normalization.
+  EXPECT_GT(cleaned.value()(0, 1), cleaned.value()(0, 0));
+}
+
+}  // namespace
+}  // namespace fgr

@@ -1,0 +1,156 @@
+#include "matrix/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "matrix/dense.h"
+#include "util/random.h"
+
+namespace fgr {
+namespace {
+
+SparseMatrix MakeExample() {
+  // [ 0 2 0 ]
+  // [ 2 0 1 ]
+  // [ 0 1 0 ]
+  return SparseMatrix::FromTriplets(
+      3, 3, {{0, 1, 2.0}, {1, 0, 2.0}, {1, 2, 1.0}, {2, 1, 1.0}});
+}
+
+TEST(SparseMatrixTest, FromTripletsSortsAndStores) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 3, {{1, 2, 5.0}, {0, 1, 3.0}, {1, 0, 4.0}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_EQ(m.At(0, 1), 3.0);
+  EXPECT_EQ(m.At(1, 0), 4.0);
+  EXPECT_EQ(m.At(1, 2), 5.0);
+  EXPECT_EQ(m.At(0, 0), 0.0);
+}
+
+TEST(SparseMatrixTest, DuplicateTripletsAreSummed) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      1, 2, {{0, 1, 1.5}, {0, 1, 2.5}, {0, 0, 1.0}});
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_EQ(m.At(0, 1), 4.0);
+  EXPECT_EQ(m.At(0, 0), 1.0);
+}
+
+TEST(SparseMatrixTest, EmptyMatrix) {
+  SparseMatrix m = SparseMatrix::FromTriplets(0, 0, {});
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_EQ(m.rows(), 0);
+}
+
+TEST(SparseMatrixTest, MultiplyDenseMatchesToDense) {
+  SparseMatrix m = MakeExample();
+  DenseMatrix x = DenseMatrix::FromRows({{1, 0}, {0, 1}, {2, 2}});
+  DenseMatrix expected = m.ToDense().Multiply(x);
+  EXPECT_TRUE(AllClose(m.Multiply(x), expected, 1e-12));
+}
+
+TEST(SparseMatrixTest, MultiplyReusesOutputBuffer) {
+  SparseMatrix m = MakeExample();
+  DenseMatrix x = DenseMatrix::FromRows({{1, 0}, {0, 1}, {2, 2}});
+  DenseMatrix out(3, 2);
+  out.Fill(99.0);  // stale contents must be cleared
+  m.Multiply(x, &out);
+  EXPECT_TRUE(AllClose(out, m.ToDense().Multiply(x), 1e-12));
+}
+
+TEST(SparseMatrixTest, MultiplyVector) {
+  SparseMatrix m = MakeExample();
+  std::vector<double> y;
+  m.MultiplyVector({1.0, 2.0, 3.0}, &y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+}
+
+TEST(SparseMatrixTest, RowSumsAndDiagonal) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 1, 3.0}});
+  const auto sums = m.RowSums();
+  EXPECT_DOUBLE_EQ(sums[0], 3.0);
+  EXPECT_DOUBLE_EQ(sums[1], 3.0);
+  const auto diag = m.DiagonalEntries();
+  EXPECT_DOUBLE_EQ(diag[0], 1.0);
+  EXPECT_DOUBLE_EQ(diag[1], 3.0);
+}
+
+TEST(SparseMatrixTest, DiagonalFactoryAndIdentity) {
+  SparseMatrix d = SparseMatrix::Diagonal({1.0, 2.0, 3.0});
+  EXPECT_EQ(d.nnz(), 3);
+  EXPECT_EQ(d.At(1, 1), 2.0);
+  EXPECT_EQ(d.At(0, 1), 0.0);
+  SparseMatrix id = SparseMatrix::Identity(2);
+  EXPECT_EQ(id.At(0, 0), 1.0);
+  EXPECT_EQ(id.At(1, 1), 1.0);
+}
+
+TEST(SparseMatrixTest, TransposeRoundTrip) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 3, {{0, 2, 1.0}, {1, 0, 2.0}});
+  SparseMatrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t.At(2, 0), 1.0);
+  EXPECT_EQ(t.At(0, 1), 2.0);
+  EXPECT_TRUE(AllClose(t.Transpose().ToDense(), m.ToDense(), 0.0));
+}
+
+TEST(SparseMatrixTest, IsSymmetric) {
+  EXPECT_TRUE(MakeExample().IsSymmetric());
+  SparseMatrix asym =
+      SparseMatrix::FromTriplets(2, 2, {{0, 1, 1.0}});
+  EXPECT_FALSE(asym.IsSymmetric());
+  SparseMatrix value_asym = SparseMatrix::FromTriplets(
+      2, 2, {{0, 1, 1.0}, {1, 0, 2.0}});
+  EXPECT_FALSE(value_asym.IsSymmetric());
+}
+
+TEST(SparseMatrixTest, Scale) {
+  SparseMatrix m = MakeExample();
+  m.Scale(0.5);
+  EXPECT_EQ(m.At(0, 1), 1.0);
+}
+
+TEST(SpGemmTest, MatchesDenseProduct) {
+  Rng rng(11);
+  // Random sparse matrices, checked against the dense reference.
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Triplet> ta;
+    std::vector<Triplet> tb;
+    for (int e = 0; e < 25; ++e) {
+      ta.push_back({rng.UniformInt(6), rng.UniformInt(5), rng.Uniform(-2, 2)});
+      tb.push_back({rng.UniformInt(5), rng.UniformInt(7), rng.Uniform(-2, 2)});
+    }
+    SparseMatrix a = SparseMatrix::FromTriplets(6, 5, ta);
+    SparseMatrix b = SparseMatrix::FromTriplets(5, 7, tb);
+    DenseMatrix expected = a.ToDense().Multiply(b.ToDense());
+    EXPECT_TRUE(AllClose(SpGemm(a, b).ToDense(), expected, 1e-10));
+  }
+}
+
+TEST(SpAddTest, MatchesDenseSum) {
+  SparseMatrix a = SparseMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {1, 1, 2.0}});
+  SparseMatrix b = SparseMatrix::FromTriplets(2, 2, {{0, 0, 3.0}, {0, 1, 4.0}});
+  DenseMatrix sum = SpAdd(a, b, -2.0).ToDense();
+  EXPECT_DOUBLE_EQ(sum(0, 0), 1.0 - 6.0);
+  EXPECT_DOUBLE_EQ(sum(0, 1), -8.0);
+  EXPECT_DOUBLE_EQ(sum(1, 1), 2.0);
+}
+
+TEST(SparseMatrixDeathTest, OutOfRangeTripletChecks) {
+  EXPECT_DEATH(SparseMatrix::FromTriplets(1, 1, {{0, 5, 1.0}}), "col");
+  EXPECT_DEATH(SparseMatrix::FromTriplets(1, 1, {{5, 0, 1.0}}), "row");
+}
+
+TEST(SparseMatrixDeathTest, MultiplyShapeChecks) {
+  SparseMatrix m = MakeExample();
+  DenseMatrix wrong(2, 2);
+  EXPECT_DEATH(m.Multiply(wrong), "shape mismatch");
+}
+
+}  // namespace
+}  // namespace fgr

@@ -1,0 +1,75 @@
+#include "matrix/spectral.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matrix/dense.h"
+#include "matrix/sparse.h"
+
+namespace fgr {
+namespace {
+
+TEST(SpectralTest, DiagonalSparseMatrix) {
+  SparseMatrix d = SparseMatrix::Diagonal({1.0, -4.0, 2.0});
+  EXPECT_NEAR(SpectralRadius(d), 4.0, 1e-6);
+}
+
+TEST(SpectralTest, DenseTwoByTwoAnalytic) {
+  // Eigenvalues of [[2, 1], [1, 2]] are 1 and 3.
+  DenseMatrix m = DenseMatrix::FromRows({{2, 1}, {1, 2}});
+  EXPECT_NEAR(SpectralRadius(m), 3.0, 1e-6);
+}
+
+TEST(SpectralTest, DenseNegativeDominantEigenvalue) {
+  // [[0, 2], [2, 0]] has eigenvalues ±2; the radius is 2.
+  DenseMatrix m = DenseMatrix::FromRows({{0, 2}, {2, 0}});
+  EXPECT_NEAR(SpectralRadius(m), 2.0, 1e-6);
+}
+
+TEST(SpectralTest, CompleteGraphAdjacency) {
+  // K_4 adjacency has spectral radius n-1 = 3.
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i != j) triplets.push_back({i, j, 1.0});
+    }
+  }
+  SparseMatrix k4 = SparseMatrix::FromTriplets(4, 4, triplets);
+  EXPECT_NEAR(SpectralRadius(k4), 3.0, 1e-5);
+}
+
+TEST(SpectralTest, PathGraphKnownRadius) {
+  // Path on 3 nodes: eigenvalues {−√2, 0, √2}.
+  SparseMatrix path = SparseMatrix::FromTriplets(
+      3, 3, {{0, 1, 1.0}, {1, 0, 1.0}, {1, 2, 1.0}, {2, 1, 1.0}});
+  EXPECT_NEAR(SpectralRadius(path), std::sqrt(2.0), 1e-6);
+}
+
+TEST(SpectralTest, ScalingIsLinear) {
+  DenseMatrix m = DenseMatrix::FromRows({{2, 1}, {1, 2}});
+  const double base = SpectralRadius(m);
+  m.Scale(2.5);
+  EXPECT_NEAR(SpectralRadius(m), 2.5 * base, 1e-5);
+}
+
+TEST(SpectralTest, ZeroMatrixHasZeroRadius) {
+  DenseMatrix z(3, 3);
+  EXPECT_EQ(SpectralRadius(z), 0.0);
+  SparseMatrix empty = SparseMatrix::FromTriplets(3, 3, {});
+  EXPECT_EQ(SpectralRadius(empty), 0.0);
+}
+
+TEST(SpectralTest, EmptyMatrix) {
+  DenseMatrix m(0, 0);
+  EXPECT_EQ(SpectralRadius(m), 0.0);
+}
+
+TEST(SpectralTest, DoublyStochasticMatrixHasRadiusOne) {
+  DenseMatrix h = DenseMatrix::FromRows(
+      {{0.2, 0.6, 0.2}, {0.6, 0.2, 0.2}, {0.2, 0.2, 0.6}});
+  EXPECT_NEAR(SpectralRadius(h), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace fgr

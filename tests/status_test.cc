@@ -1,0 +1,74 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fgr {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad k");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 7);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultDeathTest, ValueOnErrorChecks) {
+  Result<int> result(Status::Internal("boom"));
+  EXPECT_DEATH(result.value(), "boom");
+}
+
+TEST(ReturnIfErrorTest, PropagatesError) {
+  auto fails = [] { return Status::OutOfRange("limit"); };
+  auto wrapper = [&]() -> Status {
+    FGR_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ReturnIfErrorTest, PassesThroughOk) {
+  auto succeeds = [] { return Status::Ok(); };
+  auto wrapper = [&]() -> Status {
+    FGR_RETURN_IF_ERROR(succeeds());
+    return Status::Internal("reached end");
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace fgr

@@ -1,0 +1,62 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace fgr {
+namespace {
+
+TEST(TableTest, FormatsAlignedColumns) {
+  Table table({"name", "value"});
+  table.NewRow().Add("alpha").Add(1.5, 2);
+  table.NewRow().Add("b").Add(std::int64_t{42});
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("name"), std::string::npos);
+  EXPECT_NE(rendered.find("1.50"), std::string::npos);
+  EXPECT_NE(rendered.find("42"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table table({"a", "b"});
+  table.NewRow().Add(std::int64_t{1}).Add(std::int64_t{2});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, WriteCsvToFile) {
+  Table table({"x"});
+  table.NewRow().Add(3.25, 2);
+  const std::string path = testing::TempDir() + "/table_test.csv";
+  ASSERT_TRUE(table.WriteCsv(path));
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "x\n3.25\n");
+}
+
+TEST(TableTest, FormatDoublePrecision) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(TableDeathTest, AddWithoutRowChecks) {
+  Table table({"a"});
+  EXPECT_DEATH(table.Add("oops"), "NewRow");
+}
+
+TEST(TableDeathTest, TooManyCellsChecks) {
+  Table table({"a"});
+  table.NewRow().Add("x");
+  EXPECT_DEATH(table.Add("y"), "");
+}
+
+TEST(TableDeathTest, IncompleteRowChecks) {
+  Table table({"a", "b"});
+  table.NewRow().Add("x");
+  EXPECT_DEATH(table.NewRow(), "incomplete");
+}
+
+}  // namespace
+}  // namespace fgr
