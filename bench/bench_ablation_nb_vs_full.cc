@@ -1,6 +1,7 @@
 // Ablation: non-backtracking path correction on vs off inside DCE.
 //
-// DESIGN.md calls out the NB correction (Section 4.5 / Theorem 4.1) as a
+// docs/ARCHITECTURE.md calls out the NB correction (Section 4.5 /
+// Theorem 4.1) as a
 // design choice worth isolating: the factorized recurrence costs the same
 // either way, but full paths bias the diagonal of every even-length
 // statistic by O(1/d). The effect is strongest for small average degree.

@@ -1,7 +1,8 @@
 // Figures 7a-7h: end-to-end accuracy on the 8 real-world dataset mimics.
 //
 // Each mimic plants the paper's published gold-standard compatibility
-// matrix (Fig. 13) at the published n, m, k (Fig. 8); see DESIGN.md §4 for
+// matrix (Fig. 13) at the published n, m, k (Fig. 8); see
+// docs/ARCHITECTURE.md ("Dataset mimics") for
 // the substitution rationale. The paper's shape: DCEr tracks GS on every
 // dataset across the sparsity range, while MCE/LCE need orders of magnitude
 // more labels.

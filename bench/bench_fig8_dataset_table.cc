@@ -37,7 +37,8 @@ void Run() {
     // Generator fidelity: the raw symmetric edge-endpoint counts,
     // Sinkhorn-normalized back to doubly-stochastic form, must reproduce
     // the planted matrix. (The *row-normalized* view legitimately differs
-    // from the planted H under class imbalance; see DESIGN.md §4.)
+    // from the planted H under class imbalance; see docs/ARCHITECTURE.md,
+    // "Dataset mimics".)
     const GraphStatistics full_stats = ComputeGraphStatistics(
         instance.graph, instance.truth, /*max_length=*/1);
     auto measured_ds = SinkhornNormalize(full_stats.m_raw.front());

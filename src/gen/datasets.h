@@ -10,7 +10,7 @@
 // the user/item/tag graphs, near-balanced genders for Pokec, year bands for
 // Hep-Th). Every algorithm under test consumes only (W, X), so the mimics
 // exercise exactly the signal/sparsity regime of the originals. See
-// DESIGN.md §4 for the substitution rationale.
+// docs/ARCHITECTURE.md ("Dataset mimics") for the substitution rationale.
 
 #ifndef FGR_GEN_DATASETS_H_
 #define FGR_GEN_DATASETS_H_
@@ -32,7 +32,7 @@ struct DatasetSpec {
   std::int64_t num_edges = 0;
   std::int64_t num_classes = 0;
   // Class proportions α (documented estimates; the paper does not publish
-  // them — see DESIGN.md §4).
+  // them — see docs/ARCHITECTURE.md, "Dataset mimics").
   std::vector<double> class_fractions;
   // Gold-standard compatibility matrix as published in Fig. 13 (rounded to
   // two decimals there; cleaned to doubly-stochastic at load).

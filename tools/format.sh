@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# clang-format over the whole tree.
+#
+#   tools/format.sh          check mode: exit 1 if any file needs formatting
+#   tools/format.sh --fix    rewrite files in place
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [[ -z "$CLANG_FORMAT" ]]; then
+  for candidate in clang-format clang-format-19 clang-format-18 \
+                   clang-format-17 clang-format-16 clang-format-15 \
+                   clang-format-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CLANG_FORMAT="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$CLANG_FORMAT" ]]; then
+  echo "error: clang-format not found (set \$CLANG_FORMAT to override)" >&2
+  exit 2
+fi
+
+mapfile -t files < <(git ls-files 'src/**/*.h' 'src/**/*.cc' \
+  'tests/*.cc' 'bench/*.h' 'bench/*.cc' 'examples/*.cc' 'tools/*.cc')
+
+if [[ "${1:-}" == "--fix" ]]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "formatted ${#files[@]} files"
+else
+  "$CLANG_FORMAT" --dry-run --Werror "${files[@]}"
+  echo "format check passed (${#files[@]} files)"
+fi

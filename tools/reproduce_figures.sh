@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Regenerate every paper figure/table reproduction in one shot.
+#
+#   tools/reproduce_figures.sh [build-dir] [out-dir]
+#
+# Configures with -DFGR_BUILD_BENCH=ON, builds, runs every bench_* binary,
+# and collects the CSVs each bench writes next to itself into out-dir
+# (default: <build-dir>/figures). Workload knobs pass through the
+# environment: FGR_TRIALS, FGR_SCALE, FGR_FULL=1 for paper-scale sweeps
+# (see bench/bench_util.h). docs/ARCHITECTURE.md maps each binary to its
+# paper figure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+out_dir="${2:-$build_dir/figures}"
+
+cmake -B "$build_dir" -S . -DFGR_BUILD_BENCH=ON
+cmake --build "$build_dir" -j
+
+mkdir -p "$out_dir"
+failed=()
+for bench in "$build_dir"/bench_*; do
+  [[ -x "$bench" && ! -d "$bench" ]] || continue
+  name="$(basename "$bench")"
+  echo "=== $name"
+  if (cd "$(dirname "$bench")" && "./$name") \
+      > "$out_dir/$name.txt" 2>&1; then
+    tail -3 "$out_dir/$name.txt"
+  else
+    echo "    FAILED (log: $out_dir/$name.txt)"
+    failed+=("$name")
+  fi
+done
+mv -f "$build_dir"/*.csv "$out_dir"/ 2>/dev/null || true
+
+echo
+echo "outputs in $out_dir"
+if ((${#failed[@]})); then
+  echo "failed: ${failed[*]}" >&2
+  exit 1
+fi
