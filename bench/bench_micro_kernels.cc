@@ -1,12 +1,20 @@
 // Micro-benchmarks (google-benchmark) for the library's hot kernels:
-// SpMM (the inner step of propagation and summarization), the full
-// factorized summarization, spectral radius, one LinBP run, and the DCE
-// objective/gradient evaluation (the graph-size-independent inner loop of
-// the optimization step).
+// SpMM and the fused transpose SpMM (the inner step of propagation and
+// summarization), CSR assembly, the full factorized summarization, spectral
+// radius, one LinBP run, the DCE objective/gradient evaluation (the
+// graph-size-independent inner loop of the optimization step), and the
+// numeric gradient.
+//
+// Kernels that ride the parallel backend take a trailing thread-count
+// argument (benchmark name suffix `/threads:N` reads as the last `/N`);
+// 1 thread is the serial baseline. Thread counts beyond the machine's core
+// count measure oversubscription, not speedup.
 
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <memory>
+#include <vector>
 
 #include "fgr/fgr.h"
 
@@ -38,43 +46,108 @@ const Fixture& SharedFixture(std::int64_t n, double degree) {
   return *slot;
 }
 
+DenseMatrix RandomBeliefs(std::int64_t n, std::int64_t k) {
+  Rng rng(7);
+  DenseMatrix x(n, k);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < k; ++j) x(i, j) = rng.Uniform(0.0, 1.0);
+  }
+  return x;
+}
+
 void BM_SpMM(benchmark::State& state) {
   const Fixture& fixture = SharedFixture(state.range(0), 25.0);
-  const DenseMatrix x = fixture.seeds.ToOneHot();
+  const std::int64_t k = state.range(1);
+  SetNumThreads(static_cast<int>(state.range(2)));
+  const DenseMatrix x = RandomBeliefs(state.range(0), k);
   DenseMatrix out;
   for (auto _ : state) {
     fixture.graph.adjacency().Multiply(x, &out);
     benchmark::DoNotOptimize(out.data().data());
   }
+  SetNumThreads(0);
   state.counters["edges_per_sec"] = benchmark::Counter(
       static_cast<double>(fixture.graph.num_edges() * 2),
       benchmark::Counter::kIsIterationInvariantRate);
 }
-BENCHMARK(BM_SpMM)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_SpMM)
+    ->ArgsProduct({{10000}, {2, 5, 10}, {1, 2, 4, 8}})
+    ->ArgsProduct({{100000}, {5}, {1, 2, 4, 8}})
+    ->ArgNames({"n", "k", "threads"});
+
+void BM_SpMMTransposed(benchmark::State& state) {
+  const Fixture& fixture = SharedFixture(state.range(0), 25.0);
+  const std::int64_t k = state.range(1);
+  SetNumThreads(static_cast<int>(state.range(2)));
+  const DenseMatrix x = RandomBeliefs(state.range(0), k);
+  DenseMatrix out;
+  for (auto _ : state) {
+    fixture.graph.adjacency().MultiplyTransposed(x, &out);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  SetNumThreads(0);
+  state.counters["edges_per_sec"] = benchmark::Counter(
+      static_cast<double>(fixture.graph.num_edges() * 2),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SpMMTransposed)
+    ->ArgsProduct({{10000}, {5}, {1, 2, 4, 8}})
+    ->ArgNames({"n", "k", "threads"});
+
+void BM_CsrFromTriplets(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::int64_t nnz = n * 25;
+  SetNumThreads(static_cast<int>(state.range(1)));
+  Rng rng(3);
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(nnz));
+  for (std::int64_t i = 0; i < nnz; ++i) {
+    triplets.push_back({rng.UniformInt(n), rng.UniformInt(n), 1.0});
+  }
+  for (auto _ : state) {
+    const SparseMatrix m = SparseMatrix::FromTriplets(n, n, triplets);
+    benchmark::DoNotOptimize(m.nnz());
+  }
+  SetNumThreads(0);
+  state.counters["triplets_per_sec"] = benchmark::Counter(
+      static_cast<double>(nnz), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_CsrFromTriplets)
+    ->ArgsProduct({{10000}, {1, 2, 4, 8}})
+    ->ArgNames({"n", "threads"});
 
 void BM_GraphSummarization(benchmark::State& state) {
   const Fixture& fixture = SharedFixture(state.range(0), 25.0);
+  SetNumThreads(static_cast<int>(state.range(1)));
   for (auto _ : state) {
     const GraphStatistics stats =
         ComputeGraphStatistics(fixture.graph, fixture.seeds, 5);
     benchmark::DoNotOptimize(stats.p_hat.front()(0, 0));
   }
+  SetNumThreads(0);
   state.counters["edges_per_sec"] = benchmark::Counter(
       static_cast<double>(fixture.graph.num_edges() * 2 * 5),
       benchmark::Counter::kIsIterationInvariantRate);
 }
-BENCHMARK(BM_GraphSummarization)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_GraphSummarization)
+    ->ArgsProduct({{10000, 100000}, {1, 2, 4, 8}})
+    ->ArgNames({"n", "threads"});
 
 void BM_SpectralRadius(benchmark::State& state) {
   const Fixture& fixture = SharedFixture(state.range(0), 25.0);
+  SetNumThreads(static_cast<int>(state.range(1)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(SpectralRadius(fixture.graph.adjacency()));
   }
+  SetNumThreads(0);
 }
-BENCHMARK(BM_SpectralRadius)->Arg(10000);
+BENCHMARK(BM_SpectralRadius)
+    ->ArgsProduct({{10000}, {1, 4}})
+    ->ArgNames({"n", "threads"});
 
 void BM_LinBpPropagation(benchmark::State& state) {
   const Fixture& fixture = SharedFixture(state.range(0), 25.0);
+  SetNumThreads(static_cast<int>(state.range(1)));
   const DenseMatrix h = MakeSkewCompatibility(3, 3.0);
   LinBpOptions options;
   options.rho_w_hint = fixture.rho_w;
@@ -83,8 +156,11 @@ void BM_LinBpPropagation(benchmark::State& state) {
         RunLinBp(fixture.graph, fixture.seeds, h, options);
     benchmark::DoNotOptimize(result.beliefs(0, 0));
   }
+  SetNumThreads(0);
 }
-BENCHMARK(BM_LinBpPropagation)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_LinBpPropagation)
+    ->ArgsProduct({{10000, 100000}, {1, 2, 4, 8}})
+    ->ArgNames({"n", "threads"});
 
 void BM_DceObjectiveValue(benchmark::State& state) {
   const auto k = state.range(0);
@@ -124,15 +200,42 @@ void BM_DceObjectiveGradient(benchmark::State& state) {
 }
 BENCHMARK(BM_DceObjectiveGradient)->Arg(3)->Arg(7);
 
+void BM_NumericGradient(benchmark::State& state) {
+  const auto k = state.range(0);
+  SetNumThreads(static_cast<int>(state.range(1)));
+  const DenseMatrix h = MakeSkewCompatibility(k, 3.0);
+  std::vector<DenseMatrix> p_hat;
+  DenseMatrix power = h;
+  for (int l = 1; l <= 5; ++l) {
+    if (l > 1) power = power.Multiply(h);
+    p_hat.push_back(power);
+  }
+  const DceObjective objective =
+      DceObjective::WithGeometricWeights(p_hat, 10.0);
+  const std::vector<double> params = ParametersFromCompatibility(h);
+  for (auto _ : state) {
+    const std::vector<double> gradient = NumericGradient(objective, params);
+    benchmark::DoNotOptimize(gradient.data());
+  }
+  SetNumThreads(0);
+}
+BENCHMARK(BM_NumericGradient)
+    ->ArgsProduct({{7}, {1, 2, 4, 8}})
+    ->ArgNames({"k", "threads"});
+
 void BM_PlantedGeneration(benchmark::State& state) {
+  SetNumThreads(static_cast<int>(state.range(1)));
   for (auto _ : state) {
     Rng rng(1);
     auto planted = GeneratePlantedGraph(
         MakeSkewConfig(state.range(0), 25.0, 3, 3.0), rng);
     benchmark::DoNotOptimize(planted.ok());
   }
+  SetNumThreads(0);
 }
-BENCHMARK(BM_PlantedGeneration)->Arg(10000);
+BENCHMARK(BM_PlantedGeneration)
+    ->ArgsProduct({{10000}, {1, 4}})
+    ->ArgNames({"n", "threads"});
 
 }  // namespace
 }  // namespace fgr

@@ -5,6 +5,7 @@
 
 #include "core/compatibility.h"
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
 
@@ -92,7 +93,8 @@ std::vector<std::vector<double>> MakeRestartPoints(std::int64_t k, int count,
   Rng rng(seed);
   // How many distinct hyper-quadrant corners exist (2^k*, capped to avoid
   // overflow for large k; beyond the cap we use random corners anyway).
-  const int corner_bits = static_cast<int>(std::min<std::int64_t>(num_params, 30));
+  const int corner_bits =
+      static_cast<int>(std::min<std::int64_t>(num_params, 30));
   const std::int64_t num_corners = std::int64_t{1} << corner_bits;
 
   for (int i = 1; i < count; ++i) {
@@ -141,10 +143,21 @@ EstimationResult EstimateDceFromStatistics(const GraphStatistics& stats,
     starts.front() = *options.initial_params;
   }
 
+  // Restarts are independent L-BFGS runs; each run is identical to its
+  // serial counterpart, and the winner is selected by scanning runs in start
+  // order with a strict '<', so the result does not depend on thread count.
+  std::vector<OptimizeResult> runs(starts.size());
+  ParallelFor(
+      0, static_cast<std::int64_t>(starts.size()),
+      [&](std::int64_t s) {
+        runs[static_cast<std::size_t>(s)] = MinimizeLbfgs(
+            objective, starts[static_cast<std::size_t>(s)], options.optimizer);
+      },
+      /*grain=*/1);
+
   EstimationResult result;
   bool first = true;
-  for (const auto& start : starts) {
-    const OptimizeResult run = MinimizeLbfgs(objective, start, options.optimizer);
+  for (const OptimizeResult& run : runs) {
     ++result.restarts_used;
     if (first || run.value < result.energy) {
       first = false;

@@ -5,6 +5,7 @@
 #include "core/compatibility.h"
 #include "matrix/spectral.h"
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 
 namespace fgr {
@@ -62,20 +63,40 @@ EstimationResult EstimateLce(const Graph& graph, const Labeling& seeds,
   // One O(m·k) pass: N = WX, then M = XᵀN and B = NᵀN (both k×k).
   const DenseMatrix x = seeds.ToOneHot();
   const DenseMatrix n = graph.adjacency().Multiply(x);
-  DenseMatrix m(k, k);
-  DenseMatrix b(k, k);
-  for (NodeId i = 0; i < seeds.num_nodes(); ++i) {
-    const double* n_row = n.RowPtr(i);
-    const ClassId c = seeds.label(i);
-    if (c != kUnlabeled) {
-      double* m_row = m.RowPtr(c);
-      for (std::int64_t j = 0; j < k; ++j) m_row[j] += n_row[j];
-    }
-    for (std::int64_t a = 0; a < k; ++a) {
-      if (n_row[a] == 0.0) continue;
-      double* b_row = b.RowPtr(a);
-      for (std::int64_t j = 0; j < k; ++j) b_row[j] += n_row[a] * n_row[j];
-    }
+  // M = XᵀN and B = NᵀN accumulate across nodes into shared k×k rows, so the
+  // parallel version keeps one (M, B) partial per shard and combines them in
+  // shard order (deterministic for a fixed thread count).
+  const std::int64_t num_nodes = seeds.num_nodes();
+  const int shards = NumShards(num_nodes, /*grain=*/4096);
+  std::vector<DenseMatrix> m_partials(static_cast<std::size_t>(shards),
+                                      DenseMatrix(k, k));
+  std::vector<DenseMatrix> b_partials(static_cast<std::size_t>(shards),
+                                      DenseMatrix(k, k));
+  ParallelForShards(
+      0, num_nodes, shards, [&](std::int64_t lo, std::int64_t hi, int shard) {
+        DenseMatrix& m_local = m_partials[static_cast<std::size_t>(shard)];
+        DenseMatrix& b_local = b_partials[static_cast<std::size_t>(shard)];
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const double* n_row = n.RowPtr(i);
+          const ClassId c = seeds.label(static_cast<NodeId>(i));
+          if (c != kUnlabeled) {
+            double* m_row = m_local.RowPtr(c);
+            for (std::int64_t j = 0; j < k; ++j) m_row[j] += n_row[j];
+          }
+          for (std::int64_t a = 0; a < k; ++a) {
+            if (n_row[a] == 0.0) continue;
+            double* b_row = b_local.RowPtr(a);
+            for (std::int64_t j = 0; j < k; ++j) {
+              b_row[j] += n_row[a] * n_row[j];
+            }
+          }
+        }
+      });
+  DenseMatrix m = std::move(m_partials.front());
+  DenseMatrix b = std::move(b_partials.front());
+  for (std::size_t s = 1; s < m_partials.size(); ++s) {
+    m.Add(m_partials[s]);
+    b.Add(b_partials[s]);
   }
   const double rho_w = SpectralRadius(graph.adjacency());
   const double epsilon =

@@ -4,23 +4,37 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 
 namespace fgr {
 namespace {
 
 // M = Xᵀ N computed from the labeled-node list in O(n_labeled · k): row c of
-// M accumulates the N rows of nodes labeled c.
-DenseMatrix ReduceToClassCounts(const Labeling& seeds, const DenseMatrix& n_matrix) {
+// M accumulates the N rows of nodes labeled c. Different nodes share class
+// rows, so the parallel version accumulates one k×k partial per shard and
+// combines them in shard order (deterministic for a fixed thread count;
+// differs from the serial sum only by floating-point reassociation).
+DenseMatrix ReduceToClassCounts(const Labeling& seeds,
+                                const DenseMatrix& n_matrix) {
   const std::int64_t k = seeds.num_classes();
-  DenseMatrix m(k, k);
-  for (NodeId i = 0; i < seeds.num_nodes(); ++i) {
-    const ClassId c = seeds.label(i);
-    if (c == kUnlabeled) continue;
-    const double* n_row = n_matrix.RowPtr(i);
-    double* m_row = m.RowPtr(c);
-    for (std::int64_t j = 0; j < k; ++j) m_row[j] += n_row[j];
-  }
+  const std::int64_t n = seeds.num_nodes();
+  const int shards = NumShards(n, /*grain=*/4096);
+  std::vector<DenseMatrix> partials(static_cast<std::size_t>(shards),
+                                    DenseMatrix(k, k));
+  ParallelForShards(
+      0, n, shards, [&](std::int64_t lo, std::int64_t hi, int shard) {
+        DenseMatrix& m = partials[static_cast<std::size_t>(shard)];
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const ClassId c = seeds.label(static_cast<NodeId>(i));
+          if (c == kUnlabeled) continue;
+          const double* n_row = n_matrix.RowPtr(i);
+          double* m_row = m.RowPtr(c);
+          for (std::int64_t j = 0; j < k; ++j) m_row[j] += n_row[j];
+        }
+      });
+  DenseMatrix m = std::move(partials.front());
+  for (std::size_t s = 1; s < partials.size(); ++s) m.Add(partials[s]);
   return m;
 }
 
@@ -52,7 +66,8 @@ DenseMatrix NormalizeStatistics(const DenseMatrix& m,
       }
       for (std::int64_t i = 0; i < k; ++i) {
         for (std::int64_t j = 0; j < k; ++j) {
-          const double scaled = m(i, j) * inv_sqrt[static_cast<std::size_t>(i)] *
+          const double scaled = m(i, j) *
+                                inv_sqrt[static_cast<std::size_t>(i)] *
                                 inv_sqrt[static_cast<std::size_t>(j)];
           p(i, j) = scaled;
         }
@@ -114,12 +129,12 @@ GraphStatistics ComputeGraphStatistics(const Graph& graph,
     // ℓ = 2: N(2) = W N(1) − D X  (NB) or W N(1) (full).
     w.Multiply(n_prev, &n_curr);
     if (path_type == PathType::kNonBacktracking) {
-      for (std::int64_t i = 0; i < n; ++i) {
+      ParallelFor(0, n, [&](std::int64_t i) {
         const double d = degrees[static_cast<std::size_t>(i)];
         const double* x_row = x.RowPtr(i);
         double* row = n_curr.RowPtr(i);
         for (std::int64_t j = 0; j < k; ++j) row[j] -= d * x_row[j];
-      }
+      });
     }
     stats.m_raw.push_back(ReduceToClassCounts(seeds, n_curr));
     n_prev2 = std::move(n_prev);
@@ -131,12 +146,12 @@ GraphStatistics ComputeGraphStatistics(const Graph& graph,
     // N(ℓ) = W N(ℓ−1) − (D − I) N(ℓ−2)  (NB) or W N(ℓ−1) (full).
     w.Multiply(n_prev, &n_curr);
     if (path_type == PathType::kNonBacktracking) {
-      for (std::int64_t i = 0; i < n; ++i) {
+      ParallelFor(0, n, [&](std::int64_t i) {
         const double dm1 = degrees[static_cast<std::size_t>(i)] - 1.0;
         const double* prev2_row = n_prev2.RowPtr(i);
         double* row = n_curr.RowPtr(i);
         for (std::int64_t j = 0; j < k; ++j) row[j] -= dm1 * prev2_row[j];
-      }
+      });
     }
     stats.m_raw.push_back(ReduceToClassCounts(seeds, n_curr));
     // Rotate buffers without reallocating.

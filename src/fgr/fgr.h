@@ -50,6 +50,7 @@
 #include "prop/linbp.h"
 #include "prop/randomwalk.h"
 #include "util/env.h"
+#include "util/parallel.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/stopwatch.h"

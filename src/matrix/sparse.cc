@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace fgr {
 
 SparseMatrix SparseMatrix::FromTriplets(Index rows, Index cols,
@@ -37,36 +39,73 @@ SparseMatrix SparseMatrix::FromTriplets(Index rows, Index cols,
     values_tmp[static_cast<std::size_t>(pos)] = t.value;
   }
 
-  result.col_idx_.reserve(triplets.size());
-  result.values_.reserve(triplets.size());
-  std::vector<Index> order;
+  // Per-row sort + duplicate merge, compacted to the front of each row
+  // segment. Rows are independent, so this phase is row-parallel; each row
+  // runs the same serial code on per-shard scratch buffers (reused across
+  // rows, cleared per row), keeping assembly bit-reproducible at any thread
+  // count without per-row allocations.
+  std::vector<Index> unique_counts(static_cast<std::size_t>(rows), 0);
+  ParallelForShards(
+      0, rows, NumShards(rows, /*grain=*/256),
+      [&](Index row_begin, Index row_end, int /*shard*/) {
+        std::vector<Index> order;
+        std::vector<Index> merged_cols;
+        std::vector<double> merged_values;
+        for (Index r = row_begin; r < row_end; ++r) {
+          const Index begin = result.row_ptr_[static_cast<std::size_t>(r)];
+          const Index end = result.row_ptr_[static_cast<std::size_t>(r) + 1];
+          if (begin == end) continue;
+          order.resize(static_cast<std::size_t>(end - begin));
+          for (Index i = begin; i < end; ++i) {
+            order[static_cast<std::size_t>(i - begin)] = i;
+          }
+          std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+            return cols_tmp[static_cast<std::size_t>(a)] <
+                   cols_tmp[static_cast<std::size_t>(b)];
+          });
+          merged_cols.clear();
+          merged_values.clear();
+          for (Index idx : order) {
+            const Index c = cols_tmp[static_cast<std::size_t>(idx)];
+            const double v = values_tmp[static_cast<std::size_t>(idx)];
+            if (!merged_cols.empty() && merged_cols.back() == c) {
+              merged_values.back() += v;  // merge duplicate
+            } else {
+              merged_cols.push_back(c);
+              merged_values.push_back(v);
+            }
+          }
+          std::copy(merged_cols.begin(), merged_cols.end(),
+                    cols_tmp.begin() + static_cast<std::ptrdiff_t>(begin));
+          std::copy(merged_values.begin(), merged_values.end(),
+                    values_tmp.begin() + static_cast<std::ptrdiff_t>(begin));
+          unique_counts[static_cast<std::size_t>(r)] =
+              static_cast<Index>(merged_cols.size());
+        }
+      });
+
   std::vector<Index> final_row_ptr(static_cast<std::size_t>(rows) + 1, 0);
   for (Index r = 0; r < rows; ++r) {
-    const Index begin = result.row_ptr_[static_cast<std::size_t>(r)];
-    const Index end = result.row_ptr_[static_cast<std::size_t>(r) + 1];
-    order.resize(static_cast<std::size_t>(end - begin));
-    for (Index i = begin; i < end; ++i) order[static_cast<std::size_t>(i - begin)] = i;
-    std::sort(order.begin(), order.end(), [&](Index a, Index b) {
-      return cols_tmp[static_cast<std::size_t>(a)] <
-             cols_tmp[static_cast<std::size_t>(b)];
-    });
-    for (Index idx : order) {
-      const Index c = cols_tmp[static_cast<std::size_t>(idx)];
-      const double v = values_tmp[static_cast<std::size_t>(idx)];
-      if (!result.col_idx_.empty() &&
-          final_row_ptr[static_cast<std::size_t>(r) + 1] > 0 &&
-          result.col_idx_.back() == c) {
-        result.values_.back() += v;  // merge duplicate
-      } else {
-        result.col_idx_.push_back(c);
-        result.values_.push_back(v);
-        ++final_row_ptr[static_cast<std::size_t>(r) + 1];
-      }
-    }
+    final_row_ptr[static_cast<std::size_t>(r) + 1] =
+        final_row_ptr[static_cast<std::size_t>(r)] +
+        unique_counts[static_cast<std::size_t>(r)];
   }
-  for (std::size_t i = 1; i < final_row_ptr.size(); ++i) {
-    final_row_ptr[i] += final_row_ptr[i - 1];
-  }
+  const Index total = final_row_ptr[static_cast<std::size_t>(rows)];
+  result.col_idx_.resize(static_cast<std::size_t>(total));
+  result.values_.resize(static_cast<std::size_t>(total));
+  ParallelFor(
+      0, rows,
+      [&](Index r) {
+        const Index src = result.row_ptr_[static_cast<std::size_t>(r)];
+        const Index dst = final_row_ptr[static_cast<std::size_t>(r)];
+        const Index count = unique_counts[static_cast<std::size_t>(r)];
+        std::copy_n(cols_tmp.begin() + static_cast<std::ptrdiff_t>(src), count,
+                    result.col_idx_.begin() + static_cast<std::ptrdiff_t>(dst));
+        std::copy_n(values_tmp.begin() + static_cast<std::ptrdiff_t>(src),
+                    count,
+                    result.values_.begin() + static_cast<std::ptrdiff_t>(dst));
+      },
+      /*grain=*/1024);
   result.row_ptr_ = std::move(final_row_ptr);
   return result;
 }
@@ -79,8 +118,12 @@ SparseMatrix SparseMatrix::Diagonal(const std::vector<double>& diagonal) {
   result.row_ptr_.resize(static_cast<std::size_t>(n) + 1);
   result.col_idx_.resize(static_cast<std::size_t>(n));
   result.values_ = diagonal;
-  for (Index i = 0; i <= n; ++i) result.row_ptr_[static_cast<std::size_t>(i)] = i;
-  for (Index i = 0; i < n; ++i) result.col_idx_[static_cast<std::size_t>(i)] = i;
+  for (Index i = 0; i <= n; ++i) {
+    result.row_ptr_[static_cast<std::size_t>(i)] = i;
+  }
+  for (Index i = 0; i < n; ++i) {
+    result.col_idx_[static_cast<std::size_t>(i)] = i;
+  }
   return result;
 }
 
@@ -98,7 +141,7 @@ void SparseMatrix::Multiply(const DenseMatrix& x, DenseMatrix* out) const {
     out->SetZero();
   }
   const Index k = x.cols();
-  for (Index i = 0; i < rows_; ++i) {
+  ParallelFor(0, rows_, [&](Index i) {
     double* out_row = out->RowPtr(i);
     const Index begin = row_ptr_[static_cast<std::size_t>(i)];
     const Index end = row_ptr_[static_cast<std::size_t>(i) + 1];
@@ -107,7 +150,7 @@ void SparseMatrix::Multiply(const DenseMatrix& x, DenseMatrix* out) const {
       const double* x_row = x.RowPtr(col_idx_[static_cast<std::size_t>(p)]);
       for (Index j = 0; j < k; ++j) out_row[j] += v * x_row[j];
     }
-  }
+  });
 }
 
 DenseMatrix SparseMatrix::Multiply(const DenseMatrix& x) const {
@@ -116,12 +159,66 @@ DenseMatrix SparseMatrix::Multiply(const DenseMatrix& x) const {
   return out;
 }
 
+void SparseMatrix::MultiplyTransposed(const DenseMatrix& x,
+                                      DenseMatrix* out) const {
+  FGR_CHECK_EQ(rows_, x.rows()) << "transposed SpMM shape mismatch";
+  FGR_CHECK(out != nullptr);
+  FGR_CHECK(out != &x) << "SpMM output must not alias the input";
+  if (out->rows() != cols_ || out->cols() != x.cols()) {
+    *out = DenseMatrix(cols_, x.cols());
+  } else {
+    out->SetZero();
+  }
+  const Index k = x.cols();
+  // Rows of A scatter into rows of Aᵀx, so row-parallelism needs per-shard
+  // output buffers; they are combined in shard order, which keeps results
+  // deterministic for a fixed thread count.
+  const int shards = NumShards(rows_);
+  const auto accumulate = [&](Index row_begin, Index row_end,
+                              DenseMatrix* target) {
+    for (Index i = row_begin; i < row_end; ++i) {
+      const double* x_row = x.RowPtr(i);
+      const Index begin = row_ptr_[static_cast<std::size_t>(i)];
+      const Index end = row_ptr_[static_cast<std::size_t>(i) + 1];
+      for (Index p = begin; p < end; ++p) {
+        const double v = values_[static_cast<std::size_t>(p)];
+        double* t_row = target->RowPtr(col_idx_[static_cast<std::size_t>(p)]);
+        for (Index j = 0; j < k; ++j) t_row[j] += v * x_row[j];
+      }
+    }
+  };
+  if (shards == 1) {
+    accumulate(0, rows_, out);
+    return;
+  }
+  std::vector<DenseMatrix> partials(static_cast<std::size_t>(shards),
+                                    DenseMatrix(cols_, k));
+  ParallelForShards(0, rows_, shards, [&](Index lo, Index hi, int shard) {
+    accumulate(lo, hi, &partials[static_cast<std::size_t>(shard)]);
+  });
+  ParallelFor(0, cols_, [&](Index i) {
+    double* out_row = out->RowPtr(i);
+    for (const DenseMatrix& partial : partials) {
+      const double* p_row = partial.RowPtr(i);
+      for (Index j = 0; j < k; ++j) out_row[j] += p_row[j];
+    }
+  });
+}
+
+DenseMatrix SparseMatrix::MultiplyTransposed(const DenseMatrix& x) const {
+  DenseMatrix out;
+  MultiplyTransposed(x, &out);
+  return out;
+}
+
 void SparseMatrix::MultiplyVector(const std::vector<double>& x,
                                   std::vector<double>* y) const {
-  FGR_CHECK_EQ(cols_, static_cast<Index>(x.size()));
+  FGR_CHECK_EQ(cols_, static_cast<Index>(x.size()))
+      << "SpMV shape mismatch";
   FGR_CHECK(y != nullptr);
+  FGR_CHECK(y != &x) << "SpMV output must not alias the input";
   y->assign(static_cast<std::size_t>(rows_), 0.0);
-  for (Index i = 0; i < rows_; ++i) {
+  ParallelFor(0, rows_, [&](Index i) {
     double sum = 0.0;
     const Index begin = row_ptr_[static_cast<std::size_t>(i)];
     const Index end = row_ptr_[static_cast<std::size_t>(i) + 1];
@@ -130,19 +227,19 @@ void SparseMatrix::MultiplyVector(const std::vector<double>& x,
              x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(p)])];
     }
     (*y)[static_cast<std::size_t>(i)] = sum;
-  }
+  });
 }
 
 std::vector<double> SparseMatrix::RowSums() const {
   std::vector<double> sums(static_cast<std::size_t>(rows_), 0.0);
-  for (Index i = 0; i < rows_; ++i) {
+  ParallelFor(0, rows_, [&](Index i) {
     double sum = 0.0;
     for (Index p = row_ptr_[static_cast<std::size_t>(i)];
          p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
       sum += values_[static_cast<std::size_t>(p)];
     }
     sums[static_cast<std::size_t>(i)] = sum;
-  }
+  });
   return sums;
 }
 
@@ -159,7 +256,8 @@ double SparseMatrix::At(Index row, Index col) const {
   FGR_CHECK(row >= 0 && row < rows_);
   FGR_CHECK(col >= 0 && col < cols_);
   const auto begin = col_idx_.begin() + row_ptr_[static_cast<std::size_t>(row)];
-  const auto end = col_idx_.begin() + row_ptr_[static_cast<std::size_t>(row) + 1];
+  const auto end =
+      col_idx_.begin() + row_ptr_[static_cast<std::size_t>(row) + 1];
   const auto it = std::lower_bound(begin, end, col);
   if (it == end || *it != col) return 0.0;
   return values_[static_cast<std::size_t>(it - col_idx_.begin())];

@@ -50,13 +50,27 @@ class SparseMatrix {
   const std::vector<Index>& col_idx() const { return col_idx_; }
   const std::vector<double>& values() const { return values_; }
 
-  // out = this × x. `out` is resized/zeroed internally; it must not alias x.
+  // out = this × x. Checks x.rows() == cols(); `out` is resized/zeroed
+  // internally and must not alias x. Row-parallel under the ParallelFor
+  // backend; results are bit-identical for any thread count because each
+  // output row is accumulated by exactly one worker in serial order.
   void Multiply(const DenseMatrix& x, DenseMatrix* out) const;
 
   // Convenience wrapper returning a fresh matrix.
   DenseMatrix Multiply(const DenseMatrix& x) const;
 
-  // y = this × x for a vector.
+  // out = thisᵀ × x without materializing the transpose. Checks
+  // x.rows() == rows(); `out` is resized/zeroed internally and must not
+  // alias x. Single-threaded results match Transpose().Multiply(x) bit for
+  // bit; multi-threaded results combine per-shard partial sums and agree to
+  // floating-point reassociation (~1e-12 relative).
+  void MultiplyTransposed(const DenseMatrix& x, DenseMatrix* out) const;
+
+  // Convenience wrapper returning a fresh matrix.
+  DenseMatrix MultiplyTransposed(const DenseMatrix& x) const;
+
+  // y = this × x for a vector. Checks x.size() == cols(); row-parallel and
+  // bit-reproducible across thread counts like Multiply.
   void MultiplyVector(const std::vector<double>& x,
                       std::vector<double>* y) const;
 

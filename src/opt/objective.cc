@@ -1,20 +1,32 @@
 #include "opt/objective.h"
 
+#include "util/parallel.h"
+
 namespace fgr {
 
 std::vector<double> NumericGradient(const Objective& objective,
                                     const std::vector<double>& x,
                                     double epsilon) {
   std::vector<double> gradient(x.size(), 0.0);
-  std::vector<double> probe = x;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    probe[i] = x[i] + epsilon;
-    const double plus = objective.Value(probe);
-    probe[i] = x[i] - epsilon;
-    const double minus = objective.Value(probe);
-    probe[i] = x[i];
-    gradient[i] = (plus - minus) / (2.0 * epsilon);
-  }
+  const std::int64_t n = static_cast<std::int64_t>(x.size());
+  // Coordinates are independent (each needs two Value() calls), so shards
+  // probe with private copies of x; Objective::Value must be const-thread-
+  // safe, which every objective in this library is. Each coordinate computes
+  // exactly the serial result, so the gradient is bit-reproducible.
+  const int shards = NumShards(n, /*grain=*/1);
+  ParallelForShards(0, n, shards,
+                    [&](std::int64_t lo, std::int64_t hi, int /*shard*/) {
+                      std::vector<double> probe = x;
+                      for (std::int64_t i = lo; i < hi; ++i) {
+                        const std::size_t c = static_cast<std::size_t>(i);
+                        probe[c] = x[c] + epsilon;
+                        const double plus = objective.Value(probe);
+                        probe[c] = x[c] - epsilon;
+                        const double minus = objective.Value(probe);
+                        probe[c] = x[c];
+                        gradient[c] = (plus - minus) / (2.0 * epsilon);
+                      }
+                    });
   return gradient;
 }
 

@@ -1,8 +1,10 @@
 #include "prop/harmonic.h"
 
 #include <cmath>
+#include <vector>
 
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace fgr {
 
@@ -20,19 +22,29 @@ HarmonicResult RunHarmonicFunctions(const Graph& graph, const Labeling& seeds,
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations_run = iter + 1;
     graph.adjacency().Multiply(f, &wf);
+    // Row updates are independent; the convergence delta is a sharded
+    // max-reduction, which is order-independent and therefore exact.
+    const int shards = NumShards(n);
+    std::vector<double> shard_delta(static_cast<std::size_t>(shards), 0.0);
+    ParallelForShards(0, n, shards,
+                      [&](std::int64_t lo, std::int64_t hi, int shard) {
+                        double local = 0.0;
+                        for (std::int64_t i = lo; i < hi; ++i) {
+                          if (seeds.is_labeled(i)) continue;  // seeds clamped
+                          const double d = degrees[static_cast<std::size_t>(i)];
+                          if (d == 0.0) continue;  // isolated: keep zeros
+                          double* f_row = f.RowPtr(i);
+                          const double* wf_row = wf.RowPtr(i);
+                          for (std::int64_t j = 0; j < k; ++j) {
+                            const double next = wf_row[j] / d;
+                            local = std::max(local, std::fabs(next - f_row[j]));
+                            f_row[j] = next;
+                          }
+                        }
+                        shard_delta[static_cast<std::size_t>(shard)] = local;
+                      });
     double delta = 0.0;
-    for (std::int64_t i = 0; i < n; ++i) {
-      if (seeds.is_labeled(i)) continue;  // seeds stay clamped
-      const double d = degrees[static_cast<std::size_t>(i)];
-      if (d == 0.0) continue;  // isolated node: keep zero beliefs
-      double* f_row = f.RowPtr(i);
-      const double* wf_row = wf.RowPtr(i);
-      for (std::int64_t j = 0; j < k; ++j) {
-        const double next = wf_row[j] / d;
-        delta = std::max(delta, std::fabs(next - f_row[j]));
-        f_row[j] = next;
-      }
-    }
+    for (double local : shard_delta) delta = std::max(delta, local);
     if (delta < options.tolerance) {
       result.converged = true;
       break;

@@ -4,6 +4,7 @@
 
 #include "matrix/spectral.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace fgr {
 
@@ -56,7 +57,7 @@ LinBpResult RunLinBp(const Graph& graph, const Labeling& seeds,
     graph.adjacency().Multiply(f, &wf);
     // f_next = X + (W F) H'   [row-block product with the small k×k matrix]
     const std::int64_t k = h_prop.cols();
-    for (std::int64_t i = 0; i < f.rows(); ++i) {
+    ParallelFor(0, f.rows(), [&](std::int64_t i) {
       const double* wf_row = wf.RowPtr(i);
       const double* x_row = x.RowPtr(i);
       double* out_row = f_next.RowPtr(i);
@@ -79,16 +80,27 @@ LinBpResult RunLinBp(const Graph& graph, const Labeling& seeds,
           out_row[j] -= d * echo;
         }
       }
-    }
+    });
     if (options.early_stop_tolerance > 0.0) {
+      // Sharded max-reduction: max is order-independent, so the threaded
+      // delta matches the serial one exactly.
+      const int shards = NumShards(f.rows());
+      std::vector<double> shard_delta(static_cast<std::size_t>(shards), 0.0);
+      ParallelForShards(
+          0, f.rows(), shards,
+          [&](std::int64_t lo, std::int64_t hi, int shard) {
+            double local = 0.0;
+            for (std::int64_t i = lo; i < hi; ++i) {
+              const double* a = f.RowPtr(i);
+              const double* b = f_next.RowPtr(i);
+              for (std::int64_t j = 0; j < f.cols(); ++j) {
+                local = std::max(local, std::fabs(a[j] - b[j]));
+              }
+            }
+            shard_delta[static_cast<std::size_t>(shard)] = local;
+          });
       double delta = 0.0;
-      for (std::int64_t i = 0; i < f.rows(); ++i) {
-        const double* a = f.RowPtr(i);
-        const double* b = f_next.RowPtr(i);
-        for (std::int64_t j = 0; j < f.cols(); ++j) {
-          delta = std::max(delta, std::fabs(a[j] - b[j]));
-        }
-      }
+      for (double local : shard_delta) delta = std::max(delta, local);
       std::swap(f, f_next);
       if (delta < options.early_stop_tolerance) break;
     } else {

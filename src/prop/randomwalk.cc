@@ -1,8 +1,10 @@
 #include "prop/randomwalk.h"
 
 #include <cmath>
+#include <vector>
 
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace fgr {
 
@@ -34,25 +36,36 @@ RandomWalkResult RunMultiRankWalk(const Graph& graph, const Labeling& seeds,
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations_run = iter + 1;
-    for (std::int64_t i = 0; i < n; ++i) {
+    ParallelFor(0, n, [&](std::int64_t i) {
       const double d = degrees[static_cast<std::size_t>(i)];
       const double inv = d > 0.0 ? 1.0 / d : 0.0;  // dangling nodes drop mass
       const double* f_row = f.RowPtr(i);
       double* s_row = scaled.RowPtr(i);
       for (std::int64_t j = 0; j < k; ++j) s_row[j] = inv * f_row[j];
-    }
+    });
     graph.adjacency().Multiply(scaled, &wf);
+    // Sharded max-reduction keeps the threaded delta exactly equal to the
+    // serial one (max is order-independent).
+    const int shards = NumShards(n);
+    std::vector<double> shard_delta(static_cast<std::size_t>(shards), 0.0);
+    ParallelForShards(0, n, shards,
+                      [&](std::int64_t lo, std::int64_t hi, int shard) {
+                        double local = 0.0;
+                        for (std::int64_t i = lo; i < hi; ++i) {
+                          double* f_row = f.RowPtr(i);
+                          const double* wf_row = wf.RowPtr(i);
+                          const double* u_row = u.RowPtr(i);
+                          for (std::int64_t j = 0; j < k; ++j) {
+                            const double next =
+                                (1.0 - alpha) * u_row[j] + alpha * wf_row[j];
+                            local = std::max(local, std::fabs(next - f_row[j]));
+                            f_row[j] = next;
+                          }
+                        }
+                        shard_delta[static_cast<std::size_t>(shard)] = local;
+                      });
     double delta = 0.0;
-    for (std::int64_t i = 0; i < n; ++i) {
-      double* f_row = f.RowPtr(i);
-      const double* wf_row = wf.RowPtr(i);
-      const double* u_row = u.RowPtr(i);
-      for (std::int64_t j = 0; j < k; ++j) {
-        const double next = (1.0 - alpha) * u_row[j] + alpha * wf_row[j];
-        delta = std::max(delta, std::fabs(next - f_row[j]));
-        f_row[j] = next;
-      }
-    }
+    for (double local : shard_delta) delta = std::max(delta, local);
     if (delta < options.tolerance) {
       result.converged = true;
       break;

@@ -1,8 +1,9 @@
-// Environment-variable knobs for the benchmark harness.
+// Environment-variable knobs for the benchmark harness and runtime.
 //
 // Benches scale workloads through environment variables (e.g. FGR_SCALE,
 // FGR_TRIALS) so the full suite runs in minutes by default but can be pushed
-// to paper-scale sizes without recompiling.
+// to paper-scale sizes without recompiling. The library itself reads
+// FGR_NUM_THREADS (see util/parallel.h).
 
 #ifndef FGR_UTIL_ENV_H_
 #define FGR_UTIL_ENV_H_

@@ -1,0 +1,70 @@
+#include "util/parallel.h"
+
+#include <atomic>
+
+#include "util/env.h"
+
+#ifdef FGR_WITH_OPENMP
+#include <omp.h>
+#endif
+
+namespace fgr {
+namespace {
+
+// 0 = automatic (FGR_NUM_THREADS env var, else hardware threads).
+std::atomic<int> g_configured_threads{0};
+
+// Generous upper bound so a typo'd env value cannot fork-bomb the process.
+constexpr int kMaxThreads = 1024;
+
+}  // namespace
+
+bool ParallelismEnabled() {
+#ifdef FGR_WITH_OPENMP
+  return true;
+#else
+  return false;
+#endif
+}
+
+void SetNumThreads(int threads) {
+  FGR_CHECK_GE(threads, 0);
+  g_configured_threads.store(std::min(threads, kMaxThreads),
+                             std::memory_order_relaxed);
+}
+
+int NumThreads() {
+#ifdef FGR_WITH_OPENMP
+  const int configured = g_configured_threads.load(std::memory_order_relaxed);
+  if (configured > 0) return configured;
+  const std::int64_t env = EnvInt64("FGR_NUM_THREADS", 0);
+  if (env > 0) {
+    return static_cast<int>(std::min<std::int64_t>(env, kMaxThreads));
+  }
+  return std::max(1, omp_get_num_procs());
+#else
+  return 1;
+#endif
+}
+
+namespace internal {
+
+int ResolveWorkers(std::int64_t iterations, std::int64_t grain) {
+  if (iterations <= 0 || !ParallelismEnabled()) return 1;
+  if (grain < 1) grain = 1;
+  const std::int64_t grain_cap = (iterations + grain - 1) / grain;
+  return static_cast<int>(std::min<std::int64_t>(
+      NumThreads(), std::max<std::int64_t>(1, grain_cap)));
+}
+
+void ExceptionCollector::Rethrow() {
+  if (first_) std::rethrow_exception(first_);
+}
+
+void ExceptionCollector::Capture(std::exception_ptr exception) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!first_) first_ = std::move(exception);
+}
+
+}  // namespace internal
+}  // namespace fgr

@@ -1,0 +1,160 @@
+// Parallel execution backend for the row-partitioned hot loops.
+//
+// The numeric core (SpMM, propagation iterations, summarization, objective
+// evaluation) is embarrassingly row-parallel. This header provides the one
+// abstraction those kernels build on:
+//
+//   * ParallelFor(begin, end, fn)        — fn(i) for each i in [begin, end);
+//   * ParallelForShards(begin, end, s, fn) — the range split into exactly `s`
+//     contiguous shards, fn(shard_begin, shard_end, shard_index); callers use
+//     this for reductions (one partial accumulator per shard, combined in
+//     shard order so results are deterministic for a fixed thread count).
+//
+// Backend: OpenMP when the library is built with FGR_WITH_OPENMP (see the
+// CMake option of the same name), a plain serial loop otherwise. The thread
+// count is resolved per call site: SetNumThreads() wins, then the
+// FGR_NUM_THREADS environment variable, then the hardware thread count.
+// With 1 thread every kernel takes the exact serial code path, so
+// single-threaded runs stay bit-reproducible against the pre-parallel
+// library.
+
+#ifndef FGR_UTIL_PARALLEL_H_
+#define FGR_UTIL_PARALLEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "util/check.h"
+
+#ifdef FGR_WITH_OPENMP
+#include <omp.h>
+#endif
+
+namespace fgr {
+
+// True when the library was compiled with the OpenMP backend.
+bool ParallelismEnabled();
+
+// Overrides the worker-thread count for all subsequent parallel kernels.
+// `threads` >= 1 pins the count; 0 restores automatic resolution
+// (FGR_NUM_THREADS env var, else the hardware thread count). In a serial
+// build the setting is recorded but every kernel still runs on one thread.
+void SetNumThreads(int threads);
+
+// The worker-thread count parallel kernels will use right now. Always 1 in
+// a serial build.
+int NumThreads();
+
+namespace internal {
+
+// Caps the worker count so every worker gets at least `grain` iterations;
+// returns 1 when parallelism is disabled or not worthwhile.
+int ResolveWorkers(std::int64_t iterations, std::int64_t grain);
+
+// Captures the first exception thrown inside a parallel region so it can be
+// rethrown on the calling thread. OpenMP terminates the process when an
+// exception escapes a parallel loop body, so every body must be wrapped.
+class ExceptionCollector {
+ public:
+  template <typename Fn>
+  void Run(Fn&& fn) noexcept {
+    try {
+      fn();
+    } catch (...) {
+      Capture(std::current_exception());
+    }
+  }
+
+  // Rethrows the first captured exception, if any.
+  void Rethrow();
+
+ private:
+  void Capture(std::exception_ptr exception);
+
+  std::mutex mutex_;
+  std::exception_ptr first_;
+};
+
+}  // namespace internal
+
+// Minimum iterations per worker before fanning out pays for itself. Row
+// kernels touch O(degree · k) doubles per iteration, so a few hundred rows
+// amortize the fork/join cost comfortably.
+inline constexpr std::int64_t kDefaultGrain = 512;
+
+// Runs fn(i) for every i in [begin, end). Iterations must be independent;
+// exceptions thrown by fn are rethrown on the calling thread (first wins).
+template <typename Fn>
+void ParallelFor(std::int64_t begin, std::int64_t end, Fn&& fn,
+                 std::int64_t grain = kDefaultGrain) {
+  if (end <= begin) return;
+  const int workers = internal::ResolveWorkers(end - begin, grain);
+#ifdef FGR_WITH_OPENMP
+  if (workers > 1) {
+    internal::ExceptionCollector exceptions;
+#pragma omp parallel for schedule(static) num_threads(workers)
+    for (std::int64_t i = begin; i < end; ++i) {
+      exceptions.Run([&] { fn(i); });
+    }
+    exceptions.Rethrow();
+    return;
+  }
+#endif
+  (void)workers;
+  for (std::int64_t i = begin; i < end; ++i) fn(i);
+}
+
+// Number of shards ParallelForShards should use for a reduction over
+// `iterations` items: the resolved worker count, grain-capped. Callers size
+// their per-shard accumulators with this.
+inline int NumShards(std::int64_t iterations,
+                     std::int64_t grain = kDefaultGrain) {
+  return internal::ResolveWorkers(iterations, grain);
+}
+
+// Splits [begin, end) into exactly `shards` contiguous, balanced,
+// ascending-order shards and runs fn(shard_begin, shard_end, shard_index)
+// for each, concurrently when possible. Shard boundaries depend only on the
+// range and shard count, so per-shard partial results combined in shard
+// order give deterministic totals for a fixed thread setting.
+template <typename Fn>
+void ParallelForShards(std::int64_t begin, std::int64_t end, int shards,
+                       Fn&& fn) {
+  const std::int64_t count = end - begin;
+  if (count <= 0) return;
+  FGR_CHECK_GE(shards, 1);
+  if (shards > count) shards = static_cast<int>(count);
+  const std::int64_t base = count / shards;
+  const std::int64_t extra = count % shards;
+  const auto shard_range = [&](int s) {
+    const std::int64_t lo =
+        begin + s * base + std::min<std::int64_t>(s, extra);
+    const std::int64_t hi = lo + base + (s < extra ? 1 : 0);
+    return std::pair<std::int64_t, std::int64_t>(lo, hi);
+  };
+#ifdef FGR_WITH_OPENMP
+  if (shards > 1) {
+    internal::ExceptionCollector exceptions;
+#pragma omp parallel for schedule(static, 1) num_threads(shards)
+    for (int s = 0; s < shards; ++s) {
+      exceptions.Run([&] {
+        const auto [lo, hi] = shard_range(s);
+        fn(lo, hi, s);
+      });
+    }
+    exceptions.Rethrow();
+    return;
+  }
+#endif
+  for (int s = 0; s < shards; ++s) {
+    const auto [lo, hi] = shard_range(s);
+    fn(lo, hi, s);
+  }
+}
+
+}  // namespace fgr
+
+#endif  // FGR_UTIL_PARALLEL_H_

@@ -1,0 +1,232 @@
+// Determinism and serial-vs-threaded equivalence tests for the parallel
+// backend. Row-partitioned kernels (SpMM, SpMV, CSR assembly) must match the
+// serial results bit for bit at any thread count; sharded reductions
+// (transpose-multiply, summarization, LCE/DCE end-to-end) reassociate
+// floating-point sums and must match within tolerance.
+
+#include <cmath>
+#include <vector>
+
+#include "fgr/fgr.h"
+#include "gtest/gtest.h"
+#include "util/parallel.h"
+
+namespace fgr {
+namespace {
+
+class ThreadGuard {
+ public:
+  ~ThreadGuard() { SetNumThreads(0); }
+};
+
+SparseMatrix RandomSparse(std::int64_t rows, std::int64_t cols,
+                          std::int64_t nnz, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(nnz));
+  for (std::int64_t i = 0; i < nnz; ++i) {
+    triplets.push_back(
+        {rng.UniformInt(rows), rng.UniformInt(cols), rng.Uniform(-2.0, 2.0)});
+  }
+  return SparseMatrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+DenseMatrix RandomDense(std::int64_t rows, std::int64_t cols,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix x(rows, cols);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < cols; ++j) x(i, j) = rng.Uniform(-1.0, 1.0);
+  }
+  return x;
+}
+
+void ExpectBitIdentical(const DenseMatrix& a, const DenseMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(a.data(), b.data());
+}
+
+struct PlantedFixture {
+  Graph graph;
+  Labeling truth;
+  Labeling seeds;
+};
+
+PlantedFixture MakePlantedFixture(std::int64_t n) {
+  Rng rng(4242);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(n, 8.0, 3, 3.0), rng);
+  FGR_CHECK(planted.ok());
+  PlantedFixture fixture;
+  fixture.graph = std::move(planted.value().graph);
+  fixture.truth = std::move(planted.value().labels);
+  fixture.seeds = SampleStratifiedSeeds(fixture.truth, 0.05, rng);
+  return fixture;
+}
+
+TEST(ParallelEquivalenceTest, SpmmIsBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const SparseMatrix w = RandomSparse(3000, 3000, 30000, 7);
+  const DenseMatrix x = RandomDense(3000, 5, 11);
+
+  SetNumThreads(1);
+  const DenseMatrix serial = w.Multiply(x);
+  for (int threads : {2, 4, 8}) {
+    SetNumThreads(threads);
+    ExpectBitIdentical(w.Multiply(x), serial);
+  }
+}
+
+TEST(ParallelEquivalenceTest, SpmvIsBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const SparseMatrix w = RandomSparse(5000, 4000, 40000, 13);
+  Rng rng(17);
+  std::vector<double> x(4000);
+  for (double& v : x) v = rng.Uniform(-1.0, 1.0);
+
+  SetNumThreads(1);
+  std::vector<double> serial;
+  w.MultiplyVector(x, &serial);
+  SetNumThreads(4);
+  std::vector<double> threaded;
+  w.MultiplyVector(x, &threaded);
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST(ParallelEquivalenceTest, FromTripletsIsBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  // Include duplicate coordinates so the merge path is exercised.
+  Rng rng(23);
+  std::vector<Triplet> triplets;
+  for (std::int64_t i = 0; i < 50000; ++i) {
+    triplets.push_back(
+        {rng.UniformInt(2000), rng.UniformInt(500), rng.Uniform(-1.0, 1.0)});
+  }
+
+  SetNumThreads(1);
+  const SparseMatrix serial = SparseMatrix::FromTriplets(2000, 500, triplets);
+  SetNumThreads(4);
+  const SparseMatrix threaded = SparseMatrix::FromTriplets(2000, 500, triplets);
+
+  EXPECT_EQ(serial.row_ptr(), threaded.row_ptr());
+  EXPECT_EQ(serial.col_idx(), threaded.col_idx());
+  EXPECT_EQ(serial.values(), threaded.values());
+}
+
+TEST(ParallelEquivalenceTest, TransposedMultiplyMatchesMaterializedTranspose) {
+  ThreadGuard guard;
+  const SparseMatrix w = RandomSparse(1500, 900, 20000, 29);
+  const DenseMatrix x = RandomDense(1500, 4, 31);
+  const DenseMatrix reference = w.Transpose().Multiply(x);
+
+  // One thread scatters in the same order the materialized transpose
+  // accumulates, so the fused kernel is bit-identical serially.
+  SetNumThreads(1);
+  ExpectBitIdentical(w.MultiplyTransposed(x), reference);
+
+  // Threaded shard partials reassociate sums: tolerance comparison.
+  SetNumThreads(4);
+  EXPECT_TRUE(AllClose(w.MultiplyTransposed(x), reference, 1e-12));
+}
+
+TEST(ParallelEquivalenceTest, LinBpBeliefsMatchAcrossThreadCounts) {
+  ThreadGuard guard;
+  const PlantedFixture fixture = MakePlantedFixture(2000);
+  const DenseMatrix h = MakeSkewCompatibility(3, 3.0);
+
+  SetNumThreads(1);
+  const LinBpResult serial = RunLinBp(fixture.graph, fixture.seeds, h, {});
+  SetNumThreads(4);
+  const LinBpResult threaded = RunLinBp(fixture.graph, fixture.seeds, h, {});
+
+  EXPECT_EQ(serial.iterations_run, threaded.iterations_run);
+  EXPECT_TRUE(AllClose(serial.beliefs, threaded.beliefs, 1e-9));
+}
+
+TEST(ParallelEquivalenceTest, HarmonicBeliefsMatchAcrossThreadCounts) {
+  ThreadGuard guard;
+  const PlantedFixture fixture = MakePlantedFixture(2000);
+
+  SetNumThreads(1);
+  const HarmonicResult serial =
+      RunHarmonicFunctions(fixture.graph, fixture.seeds, {});
+  SetNumThreads(4);
+  const HarmonicResult threaded =
+      RunHarmonicFunctions(fixture.graph, fixture.seeds, {});
+
+  EXPECT_EQ(serial.iterations_run, threaded.iterations_run);
+  EXPECT_TRUE(AllClose(serial.beliefs, threaded.beliefs, 1e-9));
+}
+
+TEST(ParallelEquivalenceTest, DceEstimateMatchesAcrossThreadCounts) {
+  ThreadGuard guard;
+  const PlantedFixture fixture = MakePlantedFixture(2000);
+  DceOptions options;
+  options.restarts = 4;
+
+  SetNumThreads(1);
+  const EstimationResult serial =
+      EstimateDce(fixture.graph, fixture.seeds, options);
+  SetNumThreads(4);
+  const EstimationResult threaded =
+      EstimateDce(fixture.graph, fixture.seeds, options);
+
+  EXPECT_EQ(serial.restarts_used, threaded.restarts_used);
+  EXPECT_NEAR(serial.energy, threaded.energy,
+              1e-8 * (1.0 + std::fabs(serial.energy)));
+  EXPECT_TRUE(AllClose(serial.h, threaded.h, 1e-6));
+}
+
+TEST(ParallelEquivalenceTest, LceEstimateMatchesAcrossThreadCounts) {
+  ThreadGuard guard;
+  const PlantedFixture fixture = MakePlantedFixture(2000);
+
+  SetNumThreads(1);
+  const EstimationResult serial = EstimateLce(fixture.graph, fixture.seeds, {});
+  SetNumThreads(4);
+  const EstimationResult threaded =
+      EstimateLce(fixture.graph, fixture.seeds, {});
+
+  EXPECT_NEAR(serial.energy, threaded.energy,
+              1e-8 * (1.0 + std::fabs(serial.energy)));
+  EXPECT_TRUE(AllClose(serial.h, threaded.h, 1e-6));
+}
+
+TEST(ParallelEquivalenceTest, NumericGradientIsBitIdenticalAcrossThreads) {
+  ThreadGuard guard;
+  const FunctionObjective objective([](const std::vector<double>& x) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      sum += (static_cast<double>(i) + 1.0) * x[i] * x[i];
+    }
+    return sum;
+  });
+  const std::vector<double> x = {0.3, -1.2, 0.7, 2.5, -0.4, 1.1};
+
+  SetNumThreads(1);
+  const std::vector<double> serial = NumericGradient(objective, x);
+  SetNumThreads(4);
+  const std::vector<double> threaded = NumericGradient(objective, x);
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST(ParallelEquivalenceTest, SummarizationMatchesAcrossThreadCounts) {
+  ThreadGuard guard;
+  const PlantedFixture fixture = MakePlantedFixture(3000);
+
+  SetNumThreads(1);
+  const GraphStatistics serial =
+      ComputeGraphStatistics(fixture.graph, fixture.seeds, 5);
+  SetNumThreads(4);
+  const GraphStatistics threaded =
+      ComputeGraphStatistics(fixture.graph, fixture.seeds, 5);
+
+  ASSERT_EQ(serial.p_hat.size(), threaded.p_hat.size());
+  for (std::size_t l = 0; l < serial.p_hat.size(); ++l) {
+    EXPECT_TRUE(AllClose(serial.p_hat[l], threaded.p_hat[l], 1e-9))
+        << "path length " << l + 1;
+  }
+}
+
+}  // namespace
+}  // namespace fgr

@@ -1,0 +1,161 @@
+// Unit tests for the ParallelFor backend (src/util/parallel.h): thread-count
+// resolution, range coverage, shard partitioning, and exception propagation.
+
+#include "util/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace fgr {
+namespace {
+
+// Restores automatic thread resolution when a test exits.
+class ThreadGuard {
+ public:
+  ~ThreadGuard() { SetNumThreads(0); }
+};
+
+TEST(ParallelConfigTest, SetNumThreadsOverridesResolution) {
+  ThreadGuard guard;
+  SetNumThreads(3);
+  if (ParallelismEnabled()) {
+    EXPECT_EQ(NumThreads(), 3);
+  } else {
+    EXPECT_EQ(NumThreads(), 1);  // serial build pins every kernel to 1
+  }
+  SetNumThreads(0);
+  EXPECT_GE(NumThreads(), 1);
+}
+
+TEST(ParallelConfigTest, EnvVariableOverridesDefault) {
+  ThreadGuard guard;
+  SetNumThreads(0);
+  ASSERT_EQ(setenv("FGR_NUM_THREADS", "2", /*overwrite=*/1), 0);
+  if (ParallelismEnabled()) {
+    EXPECT_EQ(NumThreads(), 2);
+  } else {
+    EXPECT_EQ(NumThreads(), 1);
+  }
+  // An explicit SetNumThreads wins over the environment.
+  SetNumThreads(5);
+  if (ParallelismEnabled()) {
+    EXPECT_EQ(NumThreads(), 5);
+  }
+  ASSERT_EQ(unsetenv("FGR_NUM_THREADS"), 0);
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokes) {
+  ThreadGuard guard;
+  SetNumThreads(4);
+  int calls = 0;
+  ParallelFor(5, 5, [&](std::int64_t) { ++calls; });
+  ParallelFor(7, 2, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, RangeSmallerThanThreadCount) {
+  ThreadGuard guard;
+  SetNumThreads(8);
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(
+      0, 3, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; },
+      /*grain=*/1);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EveryIndexVisitedExactlyOnce) {
+  ThreadGuard guard;
+  SetNumThreads(4);
+  constexpr std::int64_t kBegin = 13;
+  constexpr std::int64_t kEnd = 7013;
+  std::vector<std::atomic<int>> hits(kEnd - kBegin);
+  ParallelFor(
+      kBegin, kEnd,
+      [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i - kBegin)]; },
+      /*grain=*/64);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, PropagatesExceptionsFromWorkers) {
+  ThreadGuard guard;
+  SetNumThreads(4);
+  const auto throwing_body = [](std::int64_t i) {
+    if (i == 537) throw std::runtime_error("worker failure");
+  };
+  EXPECT_THROW(ParallelFor(0, 1000, throwing_body, /*grain=*/1),
+               std::runtime_error);
+  // The serial path (1 thread) must propagate identically.
+  SetNumThreads(1);
+  EXPECT_THROW(ParallelFor(0, 1000, throwing_body, /*grain=*/1),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, GrainCapsWorkerFanOut) {
+  // A range smaller than one grain must resolve to a single worker.
+  EXPECT_EQ(internal::ResolveWorkers(100, 512), 1);
+  EXPECT_GE(internal::ResolveWorkers(100, 1), 1);
+}
+
+TEST(ParallelForShardsTest, ShardsCoverRangeExactlyOnceInOrder) {
+  ThreadGuard guard;
+  SetNumThreads(4);
+  constexpr std::int64_t kBegin = 3;
+  constexpr std::int64_t kEnd = 103;
+  for (int shards : {1, 2, 3, 7}) {
+    std::vector<std::atomic<int>> hits(kEnd - kBegin);
+    std::atomic<int> shard_calls{0};
+    ParallelForShards(kBegin, kEnd, shards,
+                      [&](std::int64_t lo, std::int64_t hi, int shard) {
+                        EXPECT_GE(shard, 0);
+                        EXPECT_LT(shard, shards);
+                        EXPECT_LT(lo, hi);
+                        ++shard_calls;
+                        for (std::int64_t i = lo; i < hi; ++i) {
+                          ++hits[static_cast<std::size_t>(i - kBegin)];
+                        }
+                      });
+    EXPECT_EQ(shard_calls.load(), shards);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForShardsTest, MoreShardsThanItemsStillCoversRange) {
+  ThreadGuard guard;
+  SetNumThreads(8);
+  std::vector<std::atomic<int>> hits(4);
+  ParallelForShards(0, 4, 16, [&](std::int64_t lo, std::int64_t hi, int) {
+    for (std::int64_t i = lo; i < hi; ++i) ++hits[static_cast<std::size_t>(i)];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForShardsTest, PropagatesExceptions) {
+  ThreadGuard guard;
+  SetNumThreads(4);
+  EXPECT_THROW(ParallelForShards(0, 100, 4,
+                                 [&](std::int64_t, std::int64_t, int shard) {
+                                   if (shard == 2) {
+                                     throw std::runtime_error("shard failure");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ParallelForShardsTest, NumShardsMatchesThreadSetting) {
+  ThreadGuard guard;
+  SetNumThreads(4);
+  if (ParallelismEnabled()) {
+    EXPECT_EQ(NumShards(1 << 20), 4);
+  } else {
+    EXPECT_EQ(NumShards(1 << 20), 1);
+  }
+  EXPECT_EQ(NumShards(0), 1);  // degenerate range still yields one shard
+}
+
+}  // namespace
+}  // namespace fgr
