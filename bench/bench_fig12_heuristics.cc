@@ -15,10 +15,7 @@ namespace bench {
 namespace {
 
 void RunDataset(const char* name, Table& table) {
-  auto spec = FindDatasetSpec(name);
-  FGR_CHECK(spec.ok());
-  Rng rng(2200);
-  const Instance instance = MakeDatasetInstance(spec.value(), 1.0, rng);
+  const Instance instance = MakeDatasetInstance(name, 1.0, 2200);
 
   const std::vector<double> fractions = {0.001, 0.01, 0.1, 0.3};
   for (double f : fractions) {

@@ -27,8 +27,7 @@ void Run() {
     const double scale = std::min(
         1.0,
         static_cast<double>(max_nodes) / static_cast<double>(spec.num_nodes));
-    Rng rng(2400);
-    const Instance instance = MakeDatasetInstance(spec, scale, rng);
+    const Instance instance = MakeDatasetInstance(spec.name, scale, 2400);
     for (double f : fractions) {
       std::vector<std::vector<double>> l2(methods.size());
       for (int trial = 0; trial < Trials(); ++trial) {

@@ -32,8 +32,7 @@ void Run() {
   for (const DatasetSpec& spec : RealWorldDatasetSpecs()) {
     const double scale = std::min(
         1.0, static_cast<double>(max_nodes) / static_cast<double>(spec.num_nodes));
-    Rng rng(2020);
-    const Instance instance = MakeDatasetInstance(spec, scale, rng);
+    const Instance instance = MakeDatasetInstance(spec.name, scale, 2020);
     for (double f : fractions) {
       std::vector<std::vector<double>> accuracy(methods.size());
       for (int trial = 0; trial < Trials(); ++trial) {

@@ -25,8 +25,8 @@ void Run() {
     const double scale = std::min(
         1.0,
         static_cast<double>(max_nodes) / static_cast<double>(spec.num_nodes));
+    const Instance instance = MakeDatasetInstance(spec.name, scale, 2021);
     Rng rng(2021);
-    const Instance instance = MakeDatasetInstance(spec, scale, rng);
     const Labeling seeds = SampleStratifiedSeeds(instance.truth, 0.01, rng);
 
     DceOptions options;

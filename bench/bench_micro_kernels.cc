@@ -14,6 +14,9 @@
 
 #include <map>
 #include <memory>
+#include <numeric>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "fgr/fgr.h"
@@ -232,9 +235,89 @@ void BM_PlantedGeneration(benchmark::State& state) {
     benchmark::DoNotOptimize(planted.ok());
   }
   SetNumThreads(0);
+  state.counters["edges_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.range(0)) * 12.5,
+      benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_PlantedGeneration)
-    ->ArgsProduct({{10000}, {1, 4}})
+    ->ArgsProduct({{10000, 100000}, {1, 2, 4, 8}})
+    ->ArgNames({"n", "threads"});
+
+// Ingestion benchmarks: the same planted graph written once as a text edge
+// list and as a .fgrbin cache, then re-read per iteration. The fgrbin read
+// is the O(read) bar the text parser is measured against.
+const std::string& IngestionFixturePath(std::int64_t n, bool binary) {
+  static auto& cache = *new std::map<std::pair<std::int64_t, bool>,
+                                     std::unique_ptr<std::string>>();
+  auto& slot = cache[{n, binary}];
+  if (!slot) {
+    const Fixture& fixture = SharedFixture(n, 25.0);
+    std::string path = "/tmp/fgr_bench_ingest_" + std::to_string(n) +
+                       (binary ? ".fgrbin" : ".edges");
+    if (binary) {
+      LabeledGraph data;
+      data.name = "bench";
+      data.graph = fixture.graph;
+      data.labels = fixture.truth;
+      FGR_CHECK(WriteFgrBin(data, path).ok());
+    } else {
+      FGR_CHECK(WriteEdgeList(fixture.graph, path).ok());
+    }
+    slot = std::make_unique<std::string>(std::move(path));
+  }
+  return *slot;
+}
+
+void BM_EdgeListParse(benchmark::State& state) {
+  const std::string& path = IngestionFixturePath(state.range(0), false);
+  SetNumThreads(static_cast<int>(state.range(1)));
+  EdgeListReadOptions options;
+  options.streaming = state.range(2) != 0;
+  std::int64_t edges = 0;
+  for (auto _ : state) {
+    auto graph = ReadEdgeList(path, options);
+    FGR_CHECK(graph.ok()) << graph.status().ToString();
+    edges = graph.value().num_edges();
+    benchmark::DoNotOptimize(edges);
+  }
+  SetNumThreads(0);
+  state.counters["edges_per_sec"] = benchmark::Counter(
+      static_cast<double>(edges),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_EdgeListParse)
+    ->ArgsProduct({{100000}, {1, 2, 4, 8}, {0, 1}})
+    ->ArgNames({"n", "threads", "streaming"});
+
+void BM_FgrBinRead(benchmark::State& state) {
+  const std::string& path = IngestionFixturePath(state.range(0), true);
+  SetNumThreads(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto loaded = ReadFgrBin(path);
+    FGR_CHECK(loaded.ok()) << loaded.status().ToString();
+    benchmark::DoNotOptimize(loaded.value().graph.num_edges());
+  }
+  SetNumThreads(0);
+}
+BENCHMARK(BM_FgrBinRead)
+    ->ArgsProduct({{100000}, {1, 4}})
+    ->ArgNames({"n", "threads"});
+
+void BM_DeterministicShuffle(benchmark::State& state) {
+  SetNumThreads(static_cast<int>(state.range(1)));
+  std::vector<NodeId> values(static_cast<std::size_t>(state.range(0)));
+  std::iota(values.begin(), values.end(), 0);
+  for (auto _ : state) {
+    DeterministicShuffle(values, 99);
+    benchmark::DoNotOptimize(values.data());
+  }
+  SetNumThreads(0);
+  state.counters["items_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.range(0)),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_DeterministicShuffle)
+    ->ArgsProduct({{1000000}, {1, 2, 4, 8}})
     ->ArgNames({"n", "threads"});
 
 }  // namespace

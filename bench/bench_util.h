@@ -70,13 +70,24 @@ inline Instance MakeInstance(const PlantedGraphConfig& config, Rng& rng) {
   return instance;
 }
 
-inline Instance MakeDatasetInstance(const DatasetSpec& spec, double scale,
-                                    Rng& rng) {
-  auto mimic = GenerateDatasetMimic(spec, scale, rng);
-  FGR_CHECK(mimic.ok()) << spec.name << ": " << mimic.status().ToString();
+// Resolves `name` through the dataset registry and loads it at `scale`.
+// Registered mimics generate from `seed`; with FGR_DATA_DIR set, a real
+// downloaded dataset transparently replaces the mimic (scale then has no
+// effect — files have one size) and the same figures run on real data.
+inline Instance MakeDatasetInstance(const std::string& name, double scale,
+                                    std::uint64_t seed) {
+  auto source = ResolveGraphSource(name);
+  FGR_CHECK(source.ok()) << source.status().ToString();
+  LoadOptions options;
+  options.scale = scale;
+  options.seed = seed;
+  auto loaded = source.value()->Load(options);
+  FGR_CHECK(loaded.ok()) << name << ": " << loaded.status().ToString();
   Instance instance;
-  instance.graph = std::move(mimic.value().graph);
-  instance.truth = std::move(mimic.value().labels);
+  instance.graph = std::move(loaded.value().graph);
+  instance.truth = std::move(loaded.value().labels);
+  FGR_CHECK(instance.truth.NumLabeled() == instance.graph.num_nodes())
+      << name << ": the figure benches need fully labeled ground truth";
   instance.gold = GoldStandardCompatibility(instance.graph, instance.truth).h;
   instance.rho_w = SpectralRadius(instance.graph.adjacency());
   return instance;

@@ -22,7 +22,12 @@ int main() {
       {{0.20, 0.60, 0.20}, {0.60, 0.20, 0.20}, {0.20, 0.20, 0.60}});
   config.degree_distribution = fgr::DegreeDistribution::kPowerLaw;
 
-  auto company = fgr::GeneratePlantedGraph(config, rng);
+  // A programmatic GraphSource: the same interface the CLI and benches use
+  // to reach registered datasets, here over a bespoke scenario config.
+  const fgr::PlantedSource source("email-network", config);
+  fgr::LoadOptions load_options;
+  load_options.seed = 7;
+  auto company = source.Load(load_options);
   if (!company.ok()) {
     std::fprintf(stderr, "%s\n", company.status().ToString().c_str());
     return 1;

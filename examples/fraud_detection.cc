@@ -28,7 +28,11 @@ int main() {
   });
   config.degree_distribution = fgr::DegreeDistribution::kPowerLaw;
 
-  auto market = fgr::GeneratePlantedGraph(config, rng);
+  // Load through the GraphSource layer, as any registry consumer would.
+  const fgr::PlantedSource source("auction-fraud", config);
+  fgr::LoadOptions load_options;
+  load_options.seed = 13;
+  auto market = source.Load(load_options);
   if (!market.ok()) {
     std::fprintf(stderr, "%s\n", market.status().ToString().c_str());
     return 1;

@@ -18,9 +18,13 @@ int main(int argc, char** argv) {
   fgr::Rng rng(seed);
 
   // A 10k-node graph, average degree 25, three classes where class 1 and 2
-  // attract each other (skew h = 3), labels on 1% of nodes.
-  auto planted = fgr::GeneratePlantedGraph(
-      fgr::MakeSkewConfig(10000, 25.0, 3, 3.0), rng);
+  // attract each other (skew h = 3), labels on 1% of nodes — loaded through
+  // the GraphSource layer every dataset consumer shares.
+  const fgr::PlantedSource source("quickstart",
+                                  fgr::MakeSkewConfig(10000, 25.0, 3, 3.0));
+  fgr::LoadOptions load_options;
+  load_options.seed = seed;
+  auto planted = source.Load(load_options);
   if (!planted.ok()) {
     std::fprintf(stderr, "generation failed: %s\n",
                  planted.status().ToString().c_str());

@@ -1,0 +1,228 @@
+#include "data/fgrbin.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace fgr {
+namespace {
+
+constexpr char kMagic[8] = {'f', 'g', 'r', 'b', 'i', 'n', '0', '1'};
+constexpr std::uint32_t kEndianCheck = 0x01020304u;
+
+constexpr std::uint32_t kFlagUnitWeights = 1u << 0;
+constexpr std::uint32_t kFlagHasLabels = 1u << 1;
+constexpr std::uint32_t kFlagHasGold = 1u << 2;
+
+struct Header {
+  char magic[8];
+  std::uint32_t endian_check;
+  std::uint32_t flags;
+  std::int64_t num_nodes;
+  std::int64_t nnz;
+  std::int32_t num_classes;
+  std::int32_t gold_k;
+};
+static_assert(sizeof(Header) == 40, "fgrbin header must pack to 40 bytes");
+
+template <typename T>
+bool WritePod(std::ofstream& out, const T* data, std::size_t count) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(T)));
+  return static_cast<bool>(out);
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* data, std::size_t count) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+Status Truncated(const std::string& path) {
+  return Status::InvalidArgument(path + ": truncated fgrbin file");
+}
+
+}  // namespace
+
+Status WriteFgrBin(const LabeledGraph& data, const std::string& path) {
+  return WriteFgrBin(data.graph, &data.labels,
+                     data.gold.has_value() ? &*data.gold : nullptr, path);
+}
+
+Status WriteFgrBin(const Graph& graph, const Labeling* labels,
+                   const DenseMatrix* gold, const std::string& path) {
+  const SparseMatrix& adjacency = graph.adjacency();
+  Header header;
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.endian_check = kEndianCheck;
+  header.flags = 0;
+  header.num_nodes = graph.num_nodes();
+  header.nnz = adjacency.nnz();
+  header.num_classes = 0;
+  header.gold_k = 0;
+  const bool unit_weights = graph.IsUnweighted();
+  if (unit_weights) header.flags |= kFlagUnitWeights;
+  const bool has_labels = labels != nullptr &&
+                          labels->num_nodes() == graph.num_nodes() &&
+                          labels->NumLabeled() > 0;
+  if (has_labels) {
+    header.flags |= kFlagHasLabels;
+    header.num_classes = labels->num_classes();
+  }
+  if (gold != nullptr) {
+    header.flags |= kFlagHasGold;
+    header.gold_k = static_cast<std::int32_t>(gold->rows());
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot write " + path);
+  bool ok = WritePod(out, &header, 1);
+  ok = ok && WritePod(out, adjacency.row_ptr().data(),
+                      adjacency.row_ptr().size());
+  ok = ok && WritePod(out, adjacency.col_idx().data(),
+                      adjacency.col_idx().size());
+  if (!unit_weights) {
+    ok = ok && WritePod(out, adjacency.values().data(),
+                        adjacency.values().size());
+  }
+  if (has_labels) {
+    ok = ok && WritePod(out, labels->raw().data(), labels->raw().size());
+  }
+  if (gold != nullptr) {
+    ok = ok && WritePod(out, gold->data().data(), gold->data().size());
+  }
+  out.flush();
+  if (!ok || !out) return Status::Internal("write failed for " + path);
+  return Status::Ok();
+}
+
+Result<LabeledGraph> ReadFgrBin(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  Header header;
+  if (!ReadPod(in, &header, 1)) return Truncated(path);
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not an fgrbin file");
+  }
+  if (header.endian_check != kEndianCheck) {
+    return Status::InvalidArgument(
+        path + ": fgrbin file written on an incompatible (byte-swapped) "
+        "machine");
+  }
+  if (header.num_nodes < 0 || header.nnz < 0 || header.num_classes < 0 ||
+      header.gold_k < 0) {
+    return Status::InvalidArgument(path + ": negative size in fgrbin header");
+  }
+  // Size sanity before any allocation, so a corrupted header cannot trigger
+  // a terabyte resize: the declared sections must fit the actual file.
+  in.seekg(0, std::ios::end);
+  const std::int64_t file_size = static_cast<std::int64_t>(in.tellg());
+  in.seekg(static_cast<std::streamoff>(sizeof(Header)), std::ios::beg);
+  constexpr std::int64_t kMaxCount = std::int64_t{1} << 48;
+  // gold_k² · 8 must not overflow the int64 `expected` below.
+  constexpr std::int32_t kMaxClasses = 1 << 15;
+  if (header.num_nodes >= kMaxCount || header.nnz >= kMaxCount ||
+      header.gold_k >= kMaxClasses || header.num_classes >= kMaxClasses) {
+    return Status::InvalidArgument(path + ": fgrbin header sizes implausible");
+  }
+  std::int64_t expected = static_cast<std::int64_t>(sizeof(Header)) +
+                          (header.num_nodes + 1 + header.nnz) * 8;
+  if ((header.flags & kFlagUnitWeights) == 0) expected += header.nnz * 8;
+  if ((header.flags & kFlagHasLabels) != 0) expected += header.num_nodes * 4;
+  if ((header.flags & kFlagHasGold) != 0) {
+    expected += static_cast<std::int64_t>(header.gold_k) * header.gold_k * 8;
+  }
+  if (file_size < expected) return Truncated(path);
+
+  const std::size_t n = static_cast<std::size_t>(header.num_nodes);
+  const std::size_t nnz = static_cast<std::size_t>(header.nnz);
+
+  std::vector<SparseMatrix::Index> row_ptr(n + 1);
+  if (!ReadPod(in, row_ptr.data(), row_ptr.size())) return Truncated(path);
+  std::vector<SparseMatrix::Index> col_idx(nnz);
+  if (!ReadPod(in, col_idx.data(), col_idx.size())) return Truncated(path);
+  std::vector<double> values;
+  if ((header.flags & kFlagUnitWeights) != 0) {
+    values.assign(nnz, 1.0);
+  } else {
+    values.resize(nnz);
+    if (!ReadPod(in, values.data(), values.size())) return Truncated(path);
+    // Same invariant Graph::FromEdges enforces on the text path: weights
+    // must be positive and finite, or degree-normalized propagation
+    // divides by garbage downstream.
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (!(values[i] > 0.0) || !std::isfinite(values[i])) {
+        return Status::InvalidArgument(
+            path + ": non-positive or non-finite edge weight at entry " +
+            std::to_string(i));
+      }
+    }
+  }
+
+  Result<SparseMatrix> adjacency =
+      SparseMatrix::FromCsr(header.num_nodes, header.num_nodes,
+                            std::move(row_ptr), std::move(col_idx),
+                            std::move(values));
+  if (!adjacency.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   adjacency.status().message());
+  }
+  Result<Graph> graph = Graph::FromAdjacency(std::move(adjacency).value());
+  if (!graph.ok()) {
+    return Status::InvalidArgument(path + ": " + graph.status().message());
+  }
+
+  LabeledGraph result;
+  result.name = path;
+  result.graph = std::move(graph).value();
+
+  if ((header.flags & kFlagHasLabels) != 0) {
+    if (header.num_classes < 1) {
+      return Status::InvalidArgument(path +
+                                     ": labels section without classes");
+    }
+    std::vector<ClassId> labels(n);
+    if (!ReadPod(in, labels.data(), labels.size())) return Truncated(path);
+    for (ClassId label : labels) {
+      if (label != kUnlabeled &&
+          (label < 0 || label >= header.num_classes)) {
+        return Status::InvalidArgument(
+            path + ": label " + std::to_string(label) + " outside [0, " +
+            std::to_string(header.num_classes) + ")");
+      }
+    }
+    result.labels = Labeling::FromVector(std::move(labels),
+                                         header.num_classes);
+  } else {
+    result.labels = Labeling(header.num_nodes, 1);
+  }
+
+  if ((header.flags & kFlagHasGold) != 0) {
+    if ((header.flags & kFlagHasLabels) != 0 &&
+        header.gold_k != header.num_classes) {
+      return Status::InvalidArgument(
+          path + ": gold matrix is " + std::to_string(header.gold_k) + "x" +
+          std::to_string(header.gold_k) + " but the labels have " +
+          std::to_string(header.num_classes) + " classes");
+    }
+    const std::size_t k = static_cast<std::size_t>(header.gold_k);
+    std::vector<double> gold(k * k);
+    if (!ReadPod(in, gold.data(), gold.size())) return Truncated(path);
+    DenseMatrix matrix(header.gold_k, header.gold_k);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        matrix(static_cast<DenseMatrix::Index>(i),
+               static_cast<DenseMatrix::Index>(j)) = gold[i * k + j];
+      }
+    }
+    result.gold = std::move(matrix);
+  }
+  return result;
+}
+
+}  // namespace fgr

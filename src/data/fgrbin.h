@@ -1,0 +1,57 @@
+// The .fgrbin on-disk binary CSR cache.
+//
+// Parsing a SNAP-style text edge list is O(bytes) of tokenization plus a
+// full CSR assembly; the binary cache stores the finished CSR (plus labels
+// and the gold matrix when known) so a graph parses once and every later
+// run reloads it with straight sequential reads — O(read), no tokenizing,
+// no sorting.
+//
+// Layout (all integers little-endian, fixed-width):
+//   offset  size  field
+//   0       8     magic "fgrbin01"
+//   8       4     endianness check 0x01020304 (readers reject a mismatch)
+//   12      4     flags: bit0 = unit weights (values section omitted)
+//                        bit1 = labels section present
+//                        bit2 = gold-matrix section present
+//   16      8     num_nodes n        (int64)
+//   24      8     nnz                (int64; 2m for an undirected graph)
+//   32      4     num_classes        (int32; 0 when no labels section)
+//   36      4     gold k             (int32; 0 when no gold section)
+//   40      —     row_ptr            (n+1 × int64)
+//           —     col_idx            (nnz × int64)
+//           —     values             (nnz × double, unless unit weights)
+//           —     labels             (n × int32, -1 = unlabeled)
+//           —     gold               (k×k × double, row-major)
+//
+// Readers fully validate structure (magic, sizes, CSR invariants via
+// SparseMatrix::FromCsr, symmetry via Graph::FromAdjacency, label range),
+// so a truncated or corrupted cache yields an error Status, never UB.
+
+#ifndef FGR_DATA_FGRBIN_H_
+#define FGR_DATA_FGRBIN_H_
+
+#include <string>
+
+#include "data/graph_source.h"
+#include "util/status.h"
+
+namespace fgr {
+
+// Conventional file extension, shared by the CLI and FileSource.
+inline constexpr char kFgrBinExtension[] = ".fgrbin";
+
+// Writes graph + labels (when any node is labeled) + gold (when present).
+Status WriteFgrBin(const LabeledGraph& data, const std::string& path);
+
+// Same, over borrowed pieces — no LabeledGraph (and thus no CSR copy)
+// needs to be assembled to write a cache. `labels`/`gold` may be null.
+Status WriteFgrBin(const Graph& graph, const Labeling* labels,
+                   const DenseMatrix* gold, const std::string& path);
+
+// Loads a cache written by WriteFgrBin. The result's name is `path` unless
+// the caller renames it.
+Result<LabeledGraph> ReadFgrBin(const std::string& path);
+
+}  // namespace fgr
+
+#endif  // FGR_DATA_FGRBIN_H_

@@ -1,0 +1,118 @@
+#include "data/file_source.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+#include "data/fgrbin.h"
+
+namespace fgr {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// mtime, or the epoch when the file is missing/unreadable.
+fs::file_time_type ModifiedTime(const std::string& path) {
+  std::error_code error;
+  const fs::file_time_type time = fs::last_write_time(path, error);
+  return error ? fs::file_time_type::min() : time;
+}
+
+// "<path minus extension>.labels" sibling convention.
+std::string DefaultLabelsPath(const std::string& path) {
+  return fs::path(path).replace_extension(".labels").string();
+}
+
+}  // namespace
+
+FileSource::FileSource(std::string name, std::string path,
+                       FileSourceOptions options)
+    : name_(std::move(name)),
+      path_(std::move(path)),
+      options_(std::move(options)) {}
+
+std::string FileSource::Describe() const {
+  return (EndsWith(path_, kFgrBinExtension) ? "binary cache file: "
+                                            : "edge-list file: ") +
+         path_;
+}
+
+Result<LabeledGraph> FileSource::Load(const LoadOptions& options) const {
+  ClassId num_classes = options_.num_classes;
+  if (num_classes < 0) num_classes = options.num_classes;
+
+  if (EndsWith(path_, kFgrBinExtension)) {
+    Result<LabeledGraph> loaded = ReadFgrBin(path_);
+    if (!loaded.ok()) return loaded.status();
+    loaded.value().name = name_;
+    if (!loaded.value().gold.has_value()) loaded.value().gold = options_.gold;
+    // An explicit label file overrides whatever the cache embeds.
+    if (!options_.labels_path.empty()) {
+      Result<Labeling> labels = ReadLabels(
+          options_.labels_path, loaded.value().graph.num_nodes(), num_classes);
+      if (!labels.ok()) return labels.status();
+      loaded.value().labels = std::move(labels).value();
+    }
+    return loaded;
+  }
+
+  std::string labels_path = options_.labels_path;
+  if (labels_path.empty() && IsRegularFile(DefaultLabelsPath(path_))) {
+    labels_path = DefaultLabelsPath(path_);
+  }
+
+  LabeledGraph result;
+  result.name = name_;
+  result.gold = options_.gold;
+
+  // The auto-cache stores the graph only — labels always come from the
+  // label file, so swapping label files next to an unchanged edge list can
+  // never serve stale labels from the cache.
+  const std::string cache_path = path_ + kFgrBinExtension;
+  bool loaded_from_cache = false;
+  // Strictly newer, so an edge list rewritten within the filesystem's
+  // mtime granularity of the cache write re-parses instead of silently
+  // serving the stale cache (the failure mode of >=); an equal-tick cache
+  // merely costs one redundant parse.
+  if (options_.auto_cache && IsRegularFile(cache_path) &&
+      ModifiedTime(cache_path) > ModifiedTime(path_)) {
+    Result<LabeledGraph> cached = ReadFgrBin(cache_path);
+    if (cached.ok()) {
+      result.graph = std::move(cached.value().graph);
+      loaded_from_cache = true;
+    }
+    // A corrupted cache falls back to the text parse below.
+  }
+  if (!loaded_from_cache) {
+    EdgeListReadOptions read_options;
+    read_options.streaming = options_.streaming;
+    Result<Graph> graph = ReadEdgeList(path_, read_options);
+    if (!graph.ok()) return graph.status();
+    result.graph = std::move(graph).value();
+  }
+
+  if (!labels_path.empty()) {
+    Result<Labeling> labels =
+        ReadLabels(labels_path, result.graph.num_nodes(), num_classes);
+    if (!labels.ok()) return labels.status();
+    result.labels = std::move(labels).value();
+  } else {
+    result.labels =
+        Labeling(result.graph.num_nodes(), std::max<ClassId>(num_classes, 1));
+  }
+
+  if (options_.auto_cache && !loaded_from_cache) {
+    // Best-effort: a read-only data directory must not fail the load. The
+    // borrowed-pieces overload avoids copying the CSR just to write it.
+    (void)WriteFgrBin(result.graph, /*labels=*/nullptr, /*gold=*/nullptr,
+                      cache_path);
+  }
+  return result;
+}
+
+}  // namespace fgr

@@ -1,0 +1,52 @@
+#include "data/graph_source.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace fgr {
+
+Result<PlantedGraphConfig> ScalePlantedConfig(const PlantedGraphConfig& config,
+                                              double scale) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1], got " +
+                                   std::to_string(scale));
+  }
+  if (scale == 1.0) return config;
+  PlantedGraphConfig scaled = config;
+  scaled.num_nodes = std::max<std::int64_t>(
+      200, static_cast<std::int64_t>(
+               std::llround(scale * static_cast<double>(config.num_nodes))));
+  const double edge_ratio =
+      config.num_nodes > 0
+          ? static_cast<double>(config.num_edges) /
+                static_cast<double>(config.num_nodes)
+          : 0.0;
+  scaled.num_edges = static_cast<std::int64_t>(
+      std::llround(edge_ratio * static_cast<double>(scaled.num_nodes)));
+  return scaled;
+}
+
+std::string PlantedSource::Describe() const {
+  return "planted graph: n=" + std::to_string(config_.num_nodes) +
+         " m=" + std::to_string(config_.num_edges) +
+         " k=" + std::to_string(config_.compatibility.rows());
+}
+
+Result<LabeledGraph> PlantedSource::Load(const LoadOptions& options) const {
+  Result<PlantedGraphConfig> scaled =
+      ScalePlantedConfig(config_, options.scale);
+  if (!scaled.ok()) return scaled.status();
+  Rng rng(options.seed);
+  Result<PlantedGraph> planted = GeneratePlantedGraph(scaled.value(), rng);
+  if (!planted.ok()) return planted.status();
+  LabeledGraph result;
+  result.name = name_;
+  result.graph = std::move(planted.value().graph);
+  result.labels = std::move(planted.value().labels);
+  result.gold = config_.compatibility;
+  return result;
+}
+
+}  // namespace fgr

@@ -1,0 +1,28 @@
+#include "data/mimic_source.h"
+
+#include <string>
+
+#include "util/random.h"
+
+namespace fgr {
+
+std::string MimicSource::Describe() const {
+  return "mimic of the paper dataset: n=" + std::to_string(spec_.num_nodes) +
+         " m=" + std::to_string(spec_.num_edges) +
+         " k=" + std::to_string(spec_.num_classes);
+}
+
+Result<LabeledGraph> MimicSource::Load(const LoadOptions& options) const {
+  Rng rng(options.seed);
+  Result<PlantedGraph> mimic =
+      GenerateDatasetMimic(spec_, options.scale, rng);
+  if (!mimic.ok()) return mimic.status();
+  LabeledGraph result;
+  result.name = spec_.name;
+  result.graph = std::move(mimic.value().graph);
+  result.labels = std::move(mimic.value().labels);
+  result.gold = spec_.gold_compatibility;
+  return result;
+}
+
+}  // namespace fgr

@@ -1,0 +1,40 @@
+// MimicSource: the paper's eight real-world datasets as GraphSources.
+//
+// Wraps gen/datasets.h — each source generates the published-size planted
+// mimic of one dataset (Cora, Citeseer, ..., Flickr) and reports the
+// published Fig. 13 gold-standard compatibility matrix alongside it. The
+// global registry (data/registry.h) preregisters one MimicSource per spec;
+// pointing FGR_DATA_DIR at real downloaded files swaps these out without
+// touching any consumer.
+
+#ifndef FGR_DATA_MIMIC_SOURCE_H_
+#define FGR_DATA_MIMIC_SOURCE_H_
+
+#include <utility>
+
+#include "data/graph_source.h"
+#include "gen/datasets.h"
+
+namespace fgr {
+
+class MimicSource : public GraphSource {
+ public:
+  explicit MimicSource(DatasetSpec spec) : spec_(std::move(spec)) {}
+
+  const std::string& name() const override { return spec_.name; }
+  std::string Describe() const override;
+
+  const DatasetSpec& spec() const { return spec_; }
+
+  // Generates the mimic at options.scale from options.seed; the result's
+  // labels are the full planted ground truth and `gold` the published
+  // compatibility matrix.
+  Result<LabeledGraph> Load(const LoadOptions& options) const override;
+
+ private:
+  DatasetSpec spec_;
+};
+
+}  // namespace fgr
+
+#endif  // FGR_DATA_MIMIC_SOURCE_H_

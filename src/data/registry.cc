@@ -1,0 +1,131 @@
+#include "data/registry.h"
+
+#include <cctype>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "data/file_source.h"
+#include "data/fgrbin.h"
+#include "data/mimic_source.h"
+#include "gen/datasets.h"
+#include "util/env.h"
+
+namespace fgr {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A FileSource over real files standing in for a registered source: file
+// naming by slug, gold matrix and class count carried over from the spec
+// when the source is one of the paper mimics. Probes use IsRegularFile
+// (graph/io.h), never a bare exists(): a directory that happens to share a
+// dataset name must not shadow the registered source.
+std::shared_ptr<const GraphSource> DataDirOverride(
+    const GraphSource& registered, const std::string& data_dir) {
+  const std::string stem =
+      (fs::path(data_dir) / DatasetSlug(registered.name())).string();
+  std::string graph_path;
+  if (IsRegularFile(stem + kFgrBinExtension)) {
+    graph_path = stem + kFgrBinExtension;
+  } else if (IsRegularFile(stem + ".edges")) {
+    graph_path = stem + ".edges";
+  } else {
+    return nullptr;
+  }
+  FileSourceOptions options;
+  if (IsRegularFile(stem + ".labels")) options.labels_path = stem + ".labels";
+  if (const auto* mimic = dynamic_cast<const MimicSource*>(&registered)) {
+    options.num_classes = static_cast<ClassId>(mimic->spec().num_classes);
+    options.gold = mimic->spec().gold_compatibility;
+  }
+  return std::make_shared<FileSource>(registered.name(), graph_path,
+                                      std::move(options));
+}
+
+}  // namespace
+
+void DatasetRegistry::Register(std::shared_ptr<const GraphSource> source) {
+  FGR_CHECK(source != nullptr);
+  for (auto& existing : sources_) {
+    if (existing->name() == source->name()) {
+      existing = std::move(source);
+      return;
+    }
+  }
+  sources_.push_back(std::move(source));
+}
+
+std::shared_ptr<const GraphSource> DatasetRegistry::Find(
+    const std::string& name) const {
+  for (const auto& source : sources_) {
+    if (source->name() == name) return source;
+  }
+  return nullptr;
+}
+
+std::vector<std::shared_ptr<const GraphSource>> DatasetRegistry::List() const {
+  return sources_;
+}
+
+std::vector<std::string> DatasetRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(sources_.size());
+  for (const auto& source : sources_) names.push_back(source->name());
+  return names;
+}
+
+DatasetRegistry& DatasetRegistry::Global() {
+  static DatasetRegistry& registry = *[] {
+    auto* built = new DatasetRegistry();
+    for (const DatasetSpec& spec : RealWorldDatasetSpecs()) {
+      built->Register(std::make_shared<MimicSource>(spec));
+    }
+    return built;
+  }();
+  return registry;
+}
+
+std::string DatasetSlug(const std::string& name) {
+  std::string slug;
+  slug.reserve(name.size());
+  for (char c : name) {
+    const auto uc = static_cast<unsigned char>(c);
+    slug.push_back(std::isalnum(uc) ? static_cast<char>(std::tolower(uc))
+                                    : '-');
+  }
+  return slug;
+}
+
+Result<std::shared_ptr<const GraphSource>> ResolveGraphSource(
+    const std::string& name_or_path, const DatasetRegistry& registry) {
+  // An existing file wins over a name collision: paths are explicit.
+  if (IsRegularFile(name_or_path)) {
+    return std::shared_ptr<const GraphSource>(std::make_shared<FileSource>(
+        name_or_path, name_or_path, FileSourceOptions{}));
+  }
+  if (std::shared_ptr<const GraphSource> registered =
+          registry.Find(name_or_path)) {
+    const std::string data_dir = EnvString("FGR_DATA_DIR", "");
+    if (!data_dir.empty()) {
+      if (std::shared_ptr<const GraphSource> override_source =
+              DataDirOverride(*registered, data_dir)) {
+        return override_source;
+      }
+    }
+    return registered;
+  }
+  std::string known;
+  for (const std::string& name : registry.Names()) {
+    known += known.empty() ? name : ", " + name;
+  }
+  return Status::NotFound("no dataset named '" + name_or_path +
+                          "' and no such file; known datasets: " + known);
+}
+
+Result<std::shared_ptr<const GraphSource>> ResolveGraphSource(
+    const std::string& name_or_path) {
+  return ResolveGraphSource(name_or_path, DatasetRegistry::Global());
+}
+
+}  // namespace fgr

@@ -1,0 +1,68 @@
+// The dataset registry: name → GraphSource.
+//
+// The global registry preregisters the paper's eight dataset mimics;
+// consumers resolve anything the user can type — a registered name, a path
+// to an edge list, or a path to a .fgrbin cache — through
+// ResolveGraphSource and get back a GraphSource they Load() without caring
+// which kind it is.
+//
+// Real data can shadow the mimics without code changes: when FGR_DATA_DIR
+// is set and contains "<slug>.fgrbin" or "<slug>.edges" (slug = the dataset
+// name lowercased, non-alphanumerics mapped to '-', e.g. Pokec-Gender →
+// pokec-gender.edges, labels in "<slug>.labels"), resolving that dataset
+// name returns a FileSource over those files — carrying the spec's
+// published gold matrix and class count — so the paper-figure benches run
+// on the real download unchanged.
+
+#ifndef FGR_DATA_REGISTRY_H_
+#define FGR_DATA_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/graph_source.h"
+
+namespace fgr {
+
+class DatasetRegistry {
+ public:
+  // Replaces any existing source with the same name. Not thread-safe;
+  // register sources at startup.
+  void Register(std::shared_ptr<const GraphSource> source);
+
+  // nullptr when no source has this (case-sensitive) name.
+  std::shared_ptr<const GraphSource> Find(const std::string& name) const;
+
+  // Registration order.
+  std::vector<std::shared_ptr<const GraphSource>> List() const;
+
+  std::vector<std::string> Names() const;
+
+  // The process-wide registry, preloaded with the eight paper mimics.
+  static DatasetRegistry& Global();
+
+ private:
+  std::vector<std::shared_ptr<const GraphSource>> sources_;
+};
+
+// Resolves a user-supplied dataset reference against `registry`:
+//   1. an existing file path → FileSource over it (edge list or .fgrbin);
+//   2. a registered name with real files under FGR_DATA_DIR → FileSource
+//      over those files, inheriting the spec's gold matrix and classes;
+//   3. a registered name → the registered source;
+//   4. otherwise NotFound, listing the known names.
+Result<std::shared_ptr<const GraphSource>> ResolveGraphSource(
+    const std::string& name_or_path, const DatasetRegistry& registry);
+
+// Same, against the global registry.
+Result<std::shared_ptr<const GraphSource>> ResolveGraphSource(
+    const std::string& name_or_path);
+
+// The FGR_DATA_DIR file-name slug for a dataset name, e.g. "Pokec-Gender"
+// → "pokec-gender".
+std::string DatasetSlug(const std::string& name);
+
+}  // namespace fgr
+
+#endif  // FGR_DATA_REGISTRY_H_

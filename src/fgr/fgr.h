@@ -28,6 +28,11 @@
 #include "core/lce.h"
 #include "core/mce.h"
 #include "core/path_stats.h"
+#include "data/fgrbin.h"
+#include "data/file_source.h"
+#include "data/graph_source.h"
+#include "data/mimic_source.h"
+#include "data/registry.h"
 #include "eval/accuracy.h"
 #include "eval/confusion.h"
 #include "gen/datasets.h"
@@ -52,6 +57,7 @@
 #include "util/env.h"
 #include "util/parallel.h"
 #include "util/random.h"
+#include "util/shuffle.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 #include "util/table.h"

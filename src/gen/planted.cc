@@ -9,6 +9,8 @@
 #include "core/compatibility.h"
 #include "gen/sinkhorn.h"
 #include "util/check.h"
+#include "util/parallel.h"
+#include "util/shuffle.h"
 
 namespace fgr {
 namespace {
@@ -123,64 +125,121 @@ Result<PlantedGraph> GeneratePlantedGraph(const PlantedGraphConfig& config,
     }
   }
 
-  // 6. Per-class stub lists (node repeated degree times), shuffled.
-  std::vector<std::vector<NodeId>> stubs(static_cast<std::size_t>(k));
+  // 6. Per-class stub lists (node repeated degree times). Classes occupy
+  //    contiguous node blocks, so each node's slot range inside its class
+  //    bucket follows from a degree prefix sum; the fill is then
+  //    node-parallel. Each bucket is shuffled with the thread-count-
+  //    invariant DeterministicShuffle (seeded from the caller's Rng), which
+  //    keeps generation reproducible from the seed on any machine.
+  std::vector<NodeId> class_start(static_cast<std::size_t>(k) + 1, 0);
   for (std::int64_t c = 0; c < k; ++c) {
-    stubs[static_cast<std::size_t>(c)].reserve(
-        static_cast<std::size_t>(stub_budget[static_cast<std::size_t>(c)]));
+    class_start[static_cast<std::size_t>(c) + 1] =
+        class_start[static_cast<std::size_t>(c)] +
+        sizes[static_cast<std::size_t>(c)];
   }
+  std::vector<std::int64_t> stub_offset(static_cast<std::size_t>(n) + 1, 0);
   for (NodeId i = 0; i < n; ++i) {
-    auto& bucket = stubs[static_cast<std::size_t>(labels.label(i))];
-    for (std::int64_t s = 0; s < degrees[static_cast<std::size_t>(i)]; ++s) {
-      bucket.push_back(i);
-    }
+    const bool class_boundary =
+        i == class_start[static_cast<std::size_t>(labels.label(i))];
+    stub_offset[static_cast<std::size_t>(i) + 1] =
+        (class_boundary ? 0 : stub_offset[static_cast<std::size_t>(i)]) +
+        degrees[static_cast<std::size_t>(i)];
   }
-  for (auto& bucket : stubs) rng.Shuffle(bucket);
-
-  // 7. Wire edges by consuming stubs pair-by-pair. Cursors track how much of
-  //    each class's list is consumed across class pairs.
-  std::vector<std::size_t> cursor(static_cast<std::size_t>(k), 0);
-  std::vector<Edge> edges;
-  edges.reserve(static_cast<std::size_t>(config.num_edges));
+  std::vector<std::vector<NodeId>> stubs(static_cast<std::size_t>(k));
+  std::vector<std::uint64_t> shuffle_seed(static_cast<std::size_t>(k));
   for (std::int64_t c = 0; c < k; ++c) {
-    auto& c_stubs = stubs[static_cast<std::size_t>(c)];
-    for (std::int64_t d = c; d < k; ++d) {
-      auto& d_stubs = stubs[static_cast<std::size_t>(d)];
-      const auto count =
-          static_cast<std::int64_t>(edge_counts(c, d));
-      for (std::int64_t e = 0; e < count; ++e) {
-        if (cursor[static_cast<std::size_t>(c)] >= c_stubs.size()) break;
-        const NodeId u = c_stubs[cursor[static_cast<std::size_t>(c)]++];
-        if (cursor[static_cast<std::size_t>(d)] >= d_stubs.size()) break;
-        NodeId v = d_stubs[cursor[static_cast<std::size_t>(d)]];
-        if (u == v) {
-          // Self-pair: swap the partner stub with a random later one.
-          const std::size_t remaining =
-              d_stubs.size() - cursor[static_cast<std::size_t>(d)];
-          bool fixed = false;
-          for (int attempt = 0; attempt < 8 && remaining > 1; ++attempt) {
-            const std::size_t swap_with =
-                cursor[static_cast<std::size_t>(d)] + 1 +
-                static_cast<std::size_t>(
-                    rng.UniformInt(static_cast<std::int64_t>(remaining - 1)));
-            if (d_stubs[swap_with] != u) {
-              std::swap(d_stubs[cursor[static_cast<std::size_t>(d)]],
-                        d_stubs[swap_with]);
-              v = d_stubs[cursor[static_cast<std::size_t>(d)]];
-              fixed = true;
-              break;
-            }
-          }
-          if (!fixed) {
-            ++cursor[static_cast<std::size_t>(d)];  // discard the pair
-            continue;
-          }
+    stubs[static_cast<std::size_t>(c)].resize(
+        static_cast<std::size_t>(stub_budget[static_cast<std::size_t>(c)]));
+    shuffle_seed[static_cast<std::size_t>(c)] = rng.Next();
+  }
+  ParallelFor(
+      0, n,
+      [&](NodeId i) {
+        auto& bucket = stubs[static_cast<std::size_t>(labels.label(i))];
+        const std::int64_t offset =
+            stub_offset[static_cast<std::size_t>(i) + 1] -
+            degrees[static_cast<std::size_t>(i)];
+        for (std::int64_t s = 0; s < degrees[static_cast<std::size_t>(i)];
+             ++s) {
+          bucket[static_cast<std::size_t>(offset + s)] = i;
         }
-        ++cursor[static_cast<std::size_t>(d)];
-        edges.push_back({u, v});
+      },
+      /*grain=*/2048);
+  for (std::int64_t c = 0; c < k; ++c) {
+    DeterministicShuffle(stubs[static_cast<std::size_t>(c)],
+                         shuffle_seed[static_cast<std::size_t>(c)]);
+  }
+
+  // 7. Wire edges by consuming the shuffled stub lists pair-by-pair. With
+  //    the lists fixed, each class pair's slice of its lists is known up
+  //    front (a diagonal pair consumes two stubs per edge, an off-diagonal
+  //    pair one from each class), so the wiring is edge-parallel. A
+  //    diagonal pair can draw the same node for both endpoints; those
+  //    self-pairs are dropped rather than repaired in place, which only
+  //    costs O(Σ (dᵢ/L)²·m) edges — the same order as the duplicate
+  //    collapse — and keeps the wiring free of cross-edge data flow.
+  struct PairPlan {
+    std::int64_t c = 0;
+    std::int64_t d = 0;
+    std::int64_t start_c = 0;  // first stub consumed from class c
+    std::int64_t start_d = 0;  // first stub consumed from class d
+    std::int64_t take = 0;     // edges attempted
+    std::int64_t base = 0;     // slot range [base, base + take) in `edges`
+  };
+  std::vector<std::int64_t> cursor(static_cast<std::size_t>(k), 0);
+  std::vector<PairPlan> plans;
+  std::int64_t total_slots = 0;
+  for (std::int64_t c = 0; c < k; ++c) {
+    const auto c_size = static_cast<std::int64_t>(
+        stubs[static_cast<std::size_t>(c)].size());
+    for (std::int64_t d = c; d < k; ++d) {
+      const auto count = static_cast<std::int64_t>(edge_counts(c, d));
+      PairPlan plan;
+      plan.c = c;
+      plan.d = d;
+      plan.start_c = cursor[static_cast<std::size_t>(c)];
+      if (c == d) {
+        plan.take = std::min(
+            count, (c_size - cursor[static_cast<std::size_t>(c)]) / 2);
+        plan.start_d = plan.start_c + 1;
+        cursor[static_cast<std::size_t>(c)] += 2 * plan.take;
+      } else {
+        const auto d_size = static_cast<std::int64_t>(
+            stubs[static_cast<std::size_t>(d)].size());
+        plan.take = std::min(
+            {count, c_size - cursor[static_cast<std::size_t>(c)],
+             d_size - cursor[static_cast<std::size_t>(d)]});
+        plan.start_d = cursor[static_cast<std::size_t>(d)];
+        cursor[static_cast<std::size_t>(c)] += plan.take;
+        cursor[static_cast<std::size_t>(d)] += plan.take;
       }
+      if (plan.take <= 0) continue;
+      plan.base = total_slots;
+      total_slots += plan.take;
+      plans.push_back(plan);
     }
   }
+  std::vector<Edge> edges(static_cast<std::size_t>(total_slots));
+  for (const PairPlan& plan : plans) {
+    const auto& c_stubs = stubs[static_cast<std::size_t>(plan.c)];
+    const auto& d_stubs = stubs[static_cast<std::size_t>(plan.d)];
+    const std::int64_t stride = plan.c == plan.d ? 2 : 1;
+    ParallelFor(
+        0, plan.take,
+        [&](std::int64_t e) {
+          const NodeId u =
+              c_stubs[static_cast<std::size_t>(plan.start_c + stride * e)];
+          const NodeId v =
+              d_stubs[static_cast<std::size_t>(plan.start_d + stride * e)];
+          // Dropped self-pairs become sentinels, compacted below.
+          edges[static_cast<std::size_t>(plan.base + e)] =
+              u == v ? Edge{-1, -1} : Edge{u, v};
+        },
+        /*grain=*/4096);
+  }
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [](const Edge& e) { return e.u < 0; }),
+              edges.end());
 
   // 8. Assemble (duplicate edges collapse inside FromEdges).
   Result<Graph> graph = Graph::FromEdges(n, edges);

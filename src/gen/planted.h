@@ -11,6 +11,12 @@
 // integer rounding for balanced classes).
 //
 // Input tuple (n, m, α, H, dist) as in the paper.
+//
+// The expensive stages — stub-list construction, the per-class stub
+// shuffle, edge wiring, and CSR assembly — run on the ParallelFor backend,
+// and the shuffle uses counter-based keys (util/shuffle.h), so the
+// generated graph depends only on (config, rng seed), never on the thread
+// count.
 
 #ifndef FGR_GEN_PLANTED_H_
 #define FGR_GEN_PLANTED_H_

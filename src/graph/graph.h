@@ -20,18 +20,23 @@ namespace fgr {
 using NodeId = std::int64_t;
 
 // An undirected edge; the builder symmetrizes it into both (u,v) and (v,u).
+// Weight 1 on every edge means the graph is unweighted (a 0/1 adjacency
+// matrix); any other positive weight makes it weighted.
 struct Edge {
   NodeId u = 0;
   NodeId v = 0;
+  double weight = 1.0;
 };
 
 class Graph {
  public:
   Graph() = default;
 
-  // Builds an unweighted, undirected graph on `num_nodes` nodes.
-  // Self-loops are rejected; duplicate edges are collapsed to a single edge.
-  // Fails when an endpoint is out of [0, num_nodes).
+  // Builds an undirected graph on `num_nodes` nodes. When every edge has
+  // weight 1 the graph is unweighted and duplicate edges are collapsed to a
+  // single edge; with explicit weights, duplicate edges sum. Self-loops,
+  // endpoints outside [0, num_nodes), and non-positive or non-finite
+  // weights are rejected.
   static Result<Graph> FromEdges(NodeId num_nodes,
                                  const std::vector<Edge>& edges);
 
@@ -59,8 +64,11 @@ class Graph {
   // Neighbors of node u (column indices of row u).
   std::vector<NodeId> Neighbors(NodeId u) const;
 
-  // Undirected edge list (each edge reported once, u < v).
+  // Undirected edge list (each edge reported once, u < v, with its weight).
   std::vector<Edge> UndirectedEdges() const;
+
+  // True when every adjacency entry is exactly 1 (a 0/1 matrix).
+  bool IsUnweighted() const;
 
  private:
   SparseMatrix adjacency_;

@@ -1,99 +1,465 @@
 #include "graph/io.h"
 
 #include <algorithm>
-#include <cctype>
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
-#include <sstream>
 #include <string>
+#include <string_view>
+#include <system_error>
+#include <utility>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FGR_IO_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "util/parallel.h"
 
 namespace fgr {
 namespace {
 
-bool IsCommentOrBlank(const std::string& line) {
+constexpr char kEdgeHeaderPrefix[] = "# fgr edge list:";
+constexpr char kLabelHeaderPrefix[] = "# fgr labels:";
+
+Status RequireRegularFile(const std::string& path) {
+  std::error_code error;
+  if (!std::filesystem::exists(path, error) || error) {
+    return Status::NotFound("cannot open " + path);
+  }
+  if (!IsRegularFile(path)) {
+    return Status::InvalidArgument(path + " is not a regular file");
+  }
+  return Status::Ok();
+}
+
+bool IsCommentOrBlank(std::string_view line) {
   for (char c : line) {
     if (c == '#') return true;
-    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+    if (c != ' ' && c != '\t' && c != '\r') return false;
   }
   return true;
 }
 
-}  // namespace
+// Offending content shown in parse errors, truncated to keep messages sane.
+std::string TrimForError(std::string_view line) {
+  constexpr std::size_t kMaxShown = 60;
+  if (line.size() <= kMaxShown) return std::string(line);
+  return std::string(line.substr(0, kMaxShown)) + "...";
+}
 
-Result<Graph> ReadEdgeList(const std::string& path, NodeId num_nodes) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open " + path);
+const char* SkipSpace(const char* p, const char* end) {
+  while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  return p;
+}
+
+// Parses the "# fgr <kind>: A <noun>, B <noun>" header comment; returns
+// false when `line` is not such a header.
+bool ParseHeaderCounts(std::string_view line, const char* prefix,
+                       std::int64_t* a, std::int64_t* b) {
+  if (line.substr(0, std::strlen(prefix)) != prefix) return false;
+  long long first = -1;
+  long long second = -1;
+  // The noun words are matched loosely so "edges" / "edges, weighted" and
+  // future variants all parse.
+  if (std::sscanf(std::string(line.substr(std::strlen(prefix))).c_str(),
+                  " %lld %*s %lld", &first, &second) < 1) {
+    return false;
+  }
+  *a = first;
+  *b = second;
+  return true;
+}
+
+// One contiguous run of whole lines, parsed independently of its siblings.
+struct SliceOutcome {
   std::vector<Edge> edges;
   NodeId max_id = -1;
-  std::string line;
-  std::int64_t line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (IsCommentOrBlank(line)) continue;
-    std::istringstream fields(line);
-    NodeId u = 0;
-    NodeId v = 0;
-    if (!(fields >> u >> v)) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_number) +
-                                     ": expected 'u v'");
+  std::int64_t lines = 0;           // lines consumed before stopping
+  bool failed = false;              // parse error on line index `lines`
+  std::string error_line;
+};
+
+// "u v" or "u v weight" with '#' comments and blank lines skipped.
+void ParseEdgeSlice(const char* begin, const char* end, SliceOutcome* out) {
+  const char* p = begin;
+  while (p < end) {
+    const char* newline =
+        static_cast<const char*>(std::memchr(p, '\n', end - p));
+    const char* line_end = newline ? newline : end;
+    const std::string_view line(p, static_cast<std::size_t>(line_end - p));
+    const char* next = newline ? newline + 1 : end;
+    if (IsCommentOrBlank(line)) {
+      ++out->lines;
+      p = next;
+      continue;
     }
-    edges.push_back({u, v});
-    max_id = std::max({max_id, u, v});
+    Edge edge;
+    const char* cursor = SkipSpace(p, line_end);
+    auto u_result = std::from_chars(cursor, line_end, edge.u);
+    bool ok = u_result.ec == std::errc();
+    if (ok) {
+      cursor = SkipSpace(u_result.ptr, line_end);
+      ok = cursor > u_result.ptr || cursor == line_end;  // separator present
+      auto v_result = std::from_chars(cursor, line_end, edge.v);
+      ok = ok && v_result.ec == std::errc();
+      if (ok) {
+        cursor = SkipSpace(v_result.ptr, line_end);
+        if (cursor != line_end) {
+          ok = cursor > v_result.ptr;  // separator before the weight
+          auto w_result = std::from_chars(cursor, line_end, edge.weight);
+          ok = ok && w_result.ec == std::errc() &&
+               SkipSpace(w_result.ptr, line_end) == line_end;
+        }
+      }
+    }
+    if (!ok) {
+      out->failed = true;
+      out->error_line = TrimForError(line);
+      return;
+    }
+    out->edges.push_back(edge);
+    out->max_id = std::max({out->max_id, edge.u, edge.v});
+    ++out->lines;
+    p = next;
   }
+}
+
+// Splits [data, data + size) into per-worker slices at newline boundaries,
+// parses them concurrently, and appends the edges in file order.
+// `first_line` is the 1-based line number of the buffer's first line;
+// `lines_consumed` is incremented by the number of lines in the buffer.
+Status ParseEdgeBuffer(const std::string& path, const char* data,
+                       std::int64_t size, std::int64_t first_line,
+                       std::vector<Edge>* edges, NodeId* max_id,
+                       std::int64_t* lines_consumed) {
+  if (size <= 0) return Status::Ok();
+  const int shards = NumShards(size, /*grain=*/1 << 16);
+  std::vector<std::pair<const char*, const char*>> slices;
+  const char* previous_end = data;
+  for (int s = 1; s <= shards; ++s) {
+    const char* end = s == shards ? data + size : data + size * s / shards;
+    // Snap forward past the line straddling the boundary.
+    if (s != shards) {
+      const char* newline =
+          static_cast<const char*>(std::memchr(end, '\n', data + size - end));
+      end = newline ? newline + 1 : data + size;
+    }
+    if (end > previous_end) slices.emplace_back(previous_end, end);
+    previous_end = end;
+  }
+
+  std::vector<SliceOutcome> outcomes(slices.size());
+  ParallelFor(
+      0, static_cast<std::int64_t>(slices.size()),
+      [&](std::int64_t s) {
+        ParseEdgeSlice(slices[static_cast<std::size_t>(s)].first,
+                       slices[static_cast<std::size_t>(s)].second,
+                       &outcomes[static_cast<std::size_t>(s)]);
+      },
+      /*grain=*/1);
+
+  std::size_t total = edges->size();
+  for (const SliceOutcome& outcome : outcomes) total += outcome.edges.size();
+  if (total > edges->capacity()) {
+    // Geometric headroom: the streaming loop calls this once per chunk, and
+    // reserving the exact size each time would reallocate-and-copy the
+    // whole accumulated vector per chunk.
+    edges->reserve(std::max(total, edges->capacity() * 2));
+  }
+  std::int64_t line = first_line;
+  for (const SliceOutcome& outcome : outcomes) {
+    if (outcome.failed) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line + outcome.lines) +
+          ": expected 'u v' or 'u v weight', got \"" + outcome.error_line +
+          "\"");
+    }
+    edges->insert(edges->end(), outcome.edges.begin(), outcome.edges.end());
+    *max_id = std::max(*max_id, outcome.max_id);
+    line += outcome.lines;
+  }
+  *lines_consumed += line - first_line;
+  return Status::Ok();
+}
+
+// Whole-file view: mmap when the platform has it, slurp otherwise.
+class FileView {
+ public:
+  ~FileView() {
+#ifdef FGR_IO_HAS_MMAP
+    if (mapped_ != nullptr && size_ > 0) {
+      ::munmap(mapped_, static_cast<std::size_t>(size_));
+    }
+#endif
+  }
+
+  Status Open(const std::string& path) {
+#ifdef FGR_IO_HAS_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      struct stat info;
+      if (::fstat(fd, &info) == 0 && S_ISREG(info.st_mode)) {
+        size_ = static_cast<std::int64_t>(info.st_size);
+        if (size_ > 0) {
+          void* mapped = ::mmap(nullptr, static_cast<std::size_t>(size_),
+                                PROT_READ, MAP_PRIVATE, fd, 0);
+          if (mapped != MAP_FAILED) mapped_ = mapped;
+        }
+        ::close(fd);
+        if (size_ == 0 || mapped_ != nullptr) return Status::Ok();
+      } else {
+        ::close(fd);
+      }
+    }
+#endif
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("cannot open " + path);
+    contents_.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    size_ = static_cast<std::int64_t>(contents_.size());
+    return Status::Ok();
+  }
+
+  const char* data() const {
+    return mapped_ != nullptr ? static_cast<const char*>(mapped_)
+                              : contents_.data();
+  }
+  std::int64_t size() const { return size_; }
+
+ private:
+  void* mapped_ = nullptr;
+  std::int64_t size_ = 0;
+  std::string contents_;
+};
+
+// Extracts the node count from an fgr edge-list header at the start of the
+// buffer, if present.
+NodeId HeaderNodeCount(const char* data, std::int64_t size) {
+  const char* newline =
+      static_cast<const char*>(std::memchr(data, '\n', size));
+  const std::string_view first_line(
+      data, static_cast<std::size_t>((newline ? newline : data + size) - data));
+  std::int64_t nodes = -1;
+  std::int64_t edges = -1;
+  if (ParseHeaderCounts(first_line, kEdgeHeaderPrefix, &nodes, &edges)) {
+    return nodes;
+  }
+  return -1;
+}
+
+}  // namespace
+
+bool IsRegularFile(const std::string& path) {
+  std::error_code error;
+  return std::filesystem::is_regular_file(path, error) && !error;
+}
+
+Result<Graph> ReadEdgeList(const std::string& path, NodeId num_nodes) {
+  EdgeListReadOptions options;
+  options.num_nodes = num_nodes;
+  return ReadEdgeList(path, options);
+}
+
+Result<Graph> ReadEdgeList(const std::string& path,
+                           const EdgeListReadOptions& options) {
+  FGR_RETURN_IF_ERROR(RequireRegularFile(path));
+  std::vector<Edge> edges;
+  NodeId max_id = -1;
+  NodeId header_nodes = -1;
+  std::int64_t lines = 0;
+
+  if (!options.streaming) {
+    FileView file;
+    FGR_RETURN_IF_ERROR(file.Open(path));
+    header_nodes = HeaderNodeCount(file.data(), file.size());
+    FGR_RETURN_IF_ERROR(ParseEdgeBuffer(path, file.data(), file.size(),
+                                        /*first_line=*/1, &edges, &max_id,
+                                        &lines));
+  } else {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("cannot open " + path);
+    const std::int64_t chunk_bytes = std::max<std::int64_t>(
+        options.chunk_bytes, 64 * 1024);
+    std::string data;
+    bool first_chunk = true;
+    for (;;) {
+      // `data` carries the partial trailing line of the previous chunk.
+      const std::size_t carried = data.size();
+      data.resize(carried + static_cast<std::size_t>(chunk_bytes));
+      in.read(data.data() + carried, chunk_bytes);
+      data.resize(carried + static_cast<std::size_t>(in.gcount()));
+      if (first_chunk) {
+        header_nodes = HeaderNodeCount(data.data(),
+                                       static_cast<std::int64_t>(data.size()));
+        first_chunk = false;
+      }
+      if (in.gcount() == 0) {
+        // EOF: whatever is left is a final line without a newline.
+        FGR_RETURN_IF_ERROR(ParseEdgeBuffer(
+            path, data.data(), static_cast<std::int64_t>(data.size()),
+            lines + 1, &edges, &max_id, &lines));
+        break;
+      }
+      const std::size_t last_newline = data.rfind('\n');
+      if (last_newline == std::string::npos) continue;  // line spans chunks
+      FGR_RETURN_IF_ERROR(ParseEdgeBuffer(
+          path, data.data(), static_cast<std::int64_t>(last_newline) + 1,
+          lines + 1, &edges, &max_id, &lines));
+      data.erase(0, last_newline + 1);
+    }
+  }
+
+  NodeId num_nodes = options.num_nodes;
+  if (num_nodes < 0) num_nodes = header_nodes;
   if (num_nodes < 0) num_nodes = max_id + 1;
   return Graph::FromEdges(num_nodes, edges);
 }
 
 Status WriteEdgeList(const Graph& graph, const std::string& path) {
-  std::ofstream out(path);
+  std::ofstream out(path, std::ios::binary);
   if (!out) return Status::Internal("cannot write " + path);
-  out << "# fgr edge list: " << graph.num_nodes() << " nodes, "
-      << graph.num_edges() << " edges\n";
+  const bool weighted = !graph.IsUnweighted();
+  out << kEdgeHeaderPrefix << ' ' << graph.num_nodes() << " nodes, "
+      << graph.num_edges() << " edges" << (weighted ? ", weighted" : "")
+      << '\n';
+  std::string buffer;
+  buffer.reserve(1 << 20);
+  char line[96];
   for (const Edge& e : graph.UndirectedEdges()) {
-    out << e.u << ' ' << e.v << '\n';
+    int written;
+    if (weighted) {
+      // 17 significant digits: doubles survive the text round-trip exactly.
+      written = std::snprintf(line, sizeof(line),
+                              "%" PRId64 " %" PRId64 " %.17g\n", e.u, e.v,
+                              e.weight);
+    } else {
+      written = std::snprintf(line, sizeof(line), "%" PRId64 " %" PRId64 "\n",
+                              e.u, e.v);
+    }
+    buffer.append(line, static_cast<std::size_t>(written));
+    if (buffer.size() > (1 << 20) - 128) {
+      out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+      buffer.clear();
+    }
   }
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
   if (!out) return Status::Internal("write failed for " + path);
   return Status::Ok();
 }
 
 Result<Labeling> ReadLabels(const std::string& path, NodeId num_nodes,
                             ClassId num_classes) {
+  FGR_RETURN_IF_ERROR(RequireRegularFile(path));
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open " + path);
-  Labeling labels(num_nodes, num_classes);
   std::string line;
   std::int64_t line_number = 0;
+
+  // Records parsed before the node/class counts are known (headerless files
+  // with inference requested).
+  std::vector<std::pair<NodeId, ClassId>> records;
+  NodeId max_node = -1;
+  ClassId max_label = -1;
   while (std::getline(in, line)) {
     ++line_number;
-    if (IsCommentOrBlank(line)) continue;
-    std::istringstream fields(line);
-    NodeId node = 0;
-    ClassId label = kUnlabeled;
-    if (!(fields >> node >> label)) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_number) +
-                                     ": expected 'node label'");
+    if (IsCommentOrBlank(line)) {
+      std::int64_t header_nodes = -1;
+      std::int64_t header_classes = -1;
+      if (ParseHeaderCounts(line, kLabelHeaderPrefix, &header_nodes,
+                            &header_classes)) {
+        if (num_nodes < 0) num_nodes = header_nodes;
+        if (num_classes < 0 && header_classes > 0) {
+          num_classes = static_cast<ClassId>(header_classes);
+        }
+      }
+      continue;
     }
-    if (node < 0 || node >= num_nodes) {
+    const char* begin = line.data();
+    const char* end = line.data() + line.size();
+    NodeId node = 0;
+    long long raw_label = 0;
+    const char* cursor = SkipSpace(begin, end);
+    auto node_result = std::from_chars(cursor, end, node);
+    bool ok = node_result.ec == std::errc();
+    if (ok) {
+      cursor = SkipSpace(node_result.ptr, end);
+      ok = cursor > node_result.ptr;
+      auto label_result = std::from_chars(cursor, end, raw_label);
+      ok = ok && label_result.ec == std::errc() &&
+           SkipSpace(label_result.ptr, end) == end;
+    }
+    if (!ok) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) +
+          ": expected 'node label', got \"" + TrimForError(line) + "\"");
+    }
+    const ClassId label = static_cast<ClassId>(raw_label);
+    if (node < 0 || (num_nodes >= 0 && node >= num_nodes)) {
       return Status::OutOfRange(path + ":" + std::to_string(line_number) +
                                 ": node " + std::to_string(node));
     }
-    if (label != kUnlabeled && (label < 0 || label >= num_classes)) {
+    if (label != kUnlabeled &&
+        (label < 0 || (num_classes >= 0 && label >= num_classes))) {
       return Status::OutOfRange(path + ":" + std::to_string(line_number) +
                                 ": label " + std::to_string(label));
     }
-    labels.set_label(node, label);
+    records.emplace_back(node, label);
+    max_node = std::max(max_node, node);
+    max_label = std::max(max_label, label);
   }
+  if (num_nodes < 0) num_nodes = max_node + 1;
+  if (num_classes < 0) num_classes = max_label + 1;
+  if (num_classes < 1) {
+    return Status::InvalidArgument(
+        path + ": cannot infer the class count (no labeled node and no "
+        "fgr header)");
+  }
+  // Re-validate against the final counts: records parsed before a late
+  // header fixed them were only checked against the provisional bounds.
+  for (const auto& [node, label] : records) {
+    if (node >= num_nodes) {
+      return Status::OutOfRange(path + ": node " + std::to_string(node) +
+                                " outside the header's " +
+                                std::to_string(num_nodes) + " nodes");
+    }
+    if (label != kUnlabeled && label >= num_classes) {
+      return Status::OutOfRange(path + ": label " + std::to_string(label) +
+                                " outside the header's " +
+                                std::to_string(num_classes) + " classes");
+    }
+  }
+  Labeling labels(num_nodes, num_classes);
+  for (const auto& [node, label] : records) labels.set_label(node, label);
   return labels;
 }
 
 Status WriteLabels(const Labeling& labels, const std::string& path) {
-  std::ofstream out(path);
+  std::ofstream out(path, std::ios::binary);
   if (!out) return Status::Internal("cannot write " + path);
-  out << "# fgr labels: " << labels.num_nodes() << " nodes, "
+  out << kLabelHeaderPrefix << ' ' << labels.num_nodes() << " nodes, "
       << labels.num_classes() << " classes\n";
+  std::string buffer;
+  buffer.reserve(1 << 20);
+  char line[64];
   for (NodeId i = 0; i < labels.num_nodes(); ++i) {
-    out << i << ' ' << labels.label(i) << '\n';
+    const int written =
+        std::snprintf(line, sizeof(line), "%" PRId64 " %d\n", i,
+                      static_cast<int>(labels.label(i)));
+    buffer.append(line, static_cast<std::size_t>(written));
+    if (buffer.size() > (1 << 20) - 128) {
+      out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+      buffer.clear();
+    }
   }
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
   if (!out) return Status::Internal("write failed for " + path);
   return Status::Ok();
 }

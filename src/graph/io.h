@@ -1,14 +1,26 @@
 // Plain-text persistence for graphs and labelings.
 //
 // Formats:
-//   * edge list: one "u v" pair per line, '#' comments, header-free;
-//   * labels:    one "node class" pair per line ('-1' = unlabeled).
-// These are the formats the public SNAP-style datasets ship in, so a user
-// with the real Pokec/Cora files can load them directly.
+//   * edge list: one "u v" (or "u v weight") line per line, '#' comments,
+//     header-free — the format the public SNAP datasets ship in, so a user
+//     with the real Pokec/Cora files can load them directly. Files written
+//     by WriteEdgeList carry a "# fgr edge list: N nodes, M edges" header
+//     comment that ReadEdgeList recognizes, which makes round-trips exact
+//     even when trailing nodes are isolated (a bare edge list cannot
+//     distinguish "node 7 has no edges" from "there is no node 7").
+//   * labels: one "node class" pair per line ('-1' = unlabeled), with an
+//     analogous "# fgr labels: N nodes, K classes" header.
+//
+// ReadEdgeList parses in bounded-memory chunks with parallel per-chunk
+// tokenization (see EdgeListReadOptions), so multi-gigabyte edge lists
+// stream through a fixed text buffer and saturate the cores; only the edges
+// themselves are held in memory. Malformed lines fail with the file, line
+// number, and offending content.
 
 #ifndef FGR_GRAPH_IO_H_
 #define FGR_GRAPH_IO_H_
 
+#include <cstdint>
 #include <string>
 
 #include "graph/graph.h"
@@ -17,15 +29,38 @@
 
 namespace fgr {
 
-// Reads an undirected edge list. Node ids must be in [0, num_nodes); if
-// num_nodes < 0 it is inferred as max id + 1.
-Result<Graph> ReadEdgeList(const std::string& path, NodeId num_nodes = -1);
+struct EdgeListReadOptions {
+  // Node count; -1 infers it (header comment when present, else max id + 1).
+  NodeId num_nodes = -1;
+  // Streaming mode parses the file through a fixed-size text buffer; with
+  // streaming off the whole file is mapped (or slurped) and tokenized in one
+  // parallel pass. Both modes produce identical graphs.
+  bool streaming = true;
+  // Text-buffer size for streaming mode. Must exceed the longest line.
+  std::int64_t chunk_bytes = 16 * 1024 * 1024;
+};
 
+// True when `path` names an existing regular file. The readers (and every
+// path-probing caller in the data layer) use this instead of a bare
+// exists() check because std::ifstream "successfully" opens a directory on
+// Linux and reads zero bytes — which would parse as an empty graph.
+bool IsRegularFile(const std::string& path);
+
+// Reads an undirected, optionally weighted edge list. Node ids must be in
+// [0, num_nodes); see EdgeListReadOptions::num_nodes for inference.
+Result<Graph> ReadEdgeList(const std::string& path, NodeId num_nodes = -1);
+Result<Graph> ReadEdgeList(const std::string& path,
+                           const EdgeListReadOptions& options);
+
+// Writes "u v" lines (or "u v weight" with 17 significant digits — exact
+// double round-trip — when the graph is weighted) plus the fgr header.
 Status WriteEdgeList(const Graph& graph, const std::string& path);
 
-// Reads "node label" pairs; nodes not mentioned stay unlabeled.
-Result<Labeling> ReadLabels(const std::string& path, NodeId num_nodes,
-                            ClassId num_classes);
+// Reads "node label" pairs; nodes not mentioned stay unlabeled. Pass -1 for
+// num_nodes / num_classes to take them from the fgr header comment (an
+// error if the file has none).
+Result<Labeling> ReadLabels(const std::string& path, NodeId num_nodes = -1,
+                            ClassId num_classes = -1);
 
 Status WriteLabels(const Labeling& labels, const std::string& path);
 

@@ -1,7 +1,10 @@
 #include "matrix/sparse.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "util/parallel.h"
 
@@ -110,6 +113,68 @@ SparseMatrix SparseMatrix::FromTriplets(Index rows, Index cols,
   return result;
 }
 
+Result<SparseMatrix> SparseMatrix::FromCsr(Index rows, Index cols,
+                                           std::vector<Index> row_ptr,
+                                           std::vector<Index> col_idx,
+                                           std::vector<double> values) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("CSR dimensions must be non-negative");
+  }
+  if (static_cast<Index>(row_ptr.size()) != rows + 1) {
+    return Status::InvalidArgument(
+        "CSR row_ptr must have rows + 1 entries, got " +
+        std::to_string(row_ptr.size()));
+  }
+  const Index nnz = static_cast<Index>(col_idx.size());
+  if (static_cast<Index>(values.size()) != nnz) {
+    return Status::InvalidArgument("CSR col_idx/values length mismatch");
+  }
+  if (row_ptr.front() != 0 || row_ptr.back() != nnz) {
+    return Status::InvalidArgument("CSR row_ptr must span [0, nnz]");
+  }
+  // Per-shard validation: monotone row_ptr, strictly ascending in-range
+  // columns within each row. First error (lowest row) wins.
+  const int shards = NumShards(rows, /*grain=*/4096);
+  std::vector<std::string> shard_error(static_cast<std::size_t>(shards));
+  ParallelForShards(0, rows, shards, [&](Index lo, Index hi, int s) {
+    for (Index r = lo; r < hi; ++r) {
+      const Index begin = row_ptr[static_cast<std::size_t>(r)];
+      const Index end = row_ptr[static_cast<std::size_t>(r) + 1];
+      if (begin > end || begin < 0 || end > nnz) {
+        shard_error[static_cast<std::size_t>(s)] =
+            "non-monotone row_ptr at row " + std::to_string(r);
+        return;
+      }
+      Index previous = -1;
+      for (Index p = begin; p < end; ++p) {
+        const Index c = col_idx[static_cast<std::size_t>(p)];
+        if (c < 0 || c >= cols) {
+          shard_error[static_cast<std::size_t>(s)] =
+              "column " + std::to_string(c) + " out of range at row " +
+              std::to_string(r);
+          return;
+        }
+        if (c <= previous) {
+          shard_error[static_cast<std::size_t>(s)] =
+              "columns not strictly ascending in row " + std::to_string(r);
+          return;
+        }
+        previous = c;
+      }
+    }
+  });
+  for (const std::string& error : shard_error) {
+    if (!error.empty()) return Status::InvalidArgument("CSR: " + error);
+  }
+  SparseMatrix result;
+  result.rows_ = rows;
+  result.cols_ = cols;
+  result.row_ptr_ = std::move(row_ptr);
+  result.col_idx_ = std::move(col_idx);
+  result.values_ = std::move(values);
+  return result;
+}
+
 SparseMatrix SparseMatrix::Diagonal(const std::vector<double>& diagonal) {
   const Index n = static_cast<Index>(diagonal.size());
   SparseMatrix result;
@@ -141,16 +206,25 @@ void SparseMatrix::Multiply(const DenseMatrix& x, DenseMatrix* out) const {
     out->SetZero();
   }
   const Index k = x.cols();
-  ParallelFor(0, rows_, [&](Index i) {
-    double* out_row = out->RowPtr(i);
-    const Index begin = row_ptr_[static_cast<std::size_t>(i)];
-    const Index end = row_ptr_[static_cast<std::size_t>(i) + 1];
-    for (Index p = begin; p < end; ++p) {
-      const double v = values_[static_cast<std::size_t>(p)];
-      const double* x_row = x.RowPtr(col_idx_[static_cast<std::size_t>(p)]);
-      for (Index j = 0; j < k; ++j) out_row[j] += v * x_row[j];
-    }
-  });
+  // nnz-balanced shards: a row-count split stalls on hub rows of power-law
+  // graphs; splitting by row_ptr prefix sums gives every worker the same
+  // number of multiply-adds. Each row is still written by exactly one
+  // worker, so results stay bit-identical at any thread count.
+  ParallelForShards(
+      ShardByWeight(row_ptr_, NumShards(rows_)),
+      [&](Index row_begin, Index row_end, int /*shard*/) {
+        for (Index i = row_begin; i < row_end; ++i) {
+          double* out_row = out->RowPtr(i);
+          const Index begin = row_ptr_[static_cast<std::size_t>(i)];
+          const Index end = row_ptr_[static_cast<std::size_t>(i) + 1];
+          for (Index p = begin; p < end; ++p) {
+            const double v = values_[static_cast<std::size_t>(p)];
+            const double* x_row =
+                x.RowPtr(col_idx_[static_cast<std::size_t>(p)]);
+            for (Index j = 0; j < k; ++j) out_row[j] += v * x_row[j];
+          }
+        }
+      });
 }
 
 DenseMatrix SparseMatrix::Multiply(const DenseMatrix& x) const {
@@ -172,8 +246,11 @@ void SparseMatrix::MultiplyTransposed(const DenseMatrix& x,
   const Index k = x.cols();
   // Rows of A scatter into rows of Aᵀx, so row-parallelism needs per-shard
   // output buffers; they are combined in shard order, which keeps results
-  // deterministic for a fixed thread count.
-  const int shards = NumShards(rows_);
+  // deterministic for a fixed thread count. Shard boundaries are
+  // nnz-balanced so hub rows do not serialize the scatter.
+  const std::vector<Index> boundaries =
+      ShardByWeight(row_ptr_, NumShards(rows_));
+  const int shards = static_cast<int>(boundaries.size()) - 1;
   const auto accumulate = [&](Index row_begin, Index row_end,
                               DenseMatrix* target) {
     for (Index i = row_begin; i < row_end; ++i) {
@@ -193,7 +270,7 @@ void SparseMatrix::MultiplyTransposed(const DenseMatrix& x,
   }
   std::vector<DenseMatrix> partials(static_cast<std::size_t>(shards),
                                     DenseMatrix(cols_, k));
-  ParallelForShards(0, rows_, shards, [&](Index lo, Index hi, int shard) {
+  ParallelForShards(boundaries, [&](Index lo, Index hi, int shard) {
     accumulate(lo, hi, &partials[static_cast<std::size_t>(shard)]);
   });
   ParallelFor(0, cols_, [&](Index i) {
@@ -218,16 +295,21 @@ void SparseMatrix::MultiplyVector(const std::vector<double>& x,
   FGR_CHECK(y != nullptr);
   FGR_CHECK(y != &x) << "SpMV output must not alias the input";
   y->assign(static_cast<std::size_t>(rows_), 0.0);
-  ParallelFor(0, rows_, [&](Index i) {
-    double sum = 0.0;
-    const Index begin = row_ptr_[static_cast<std::size_t>(i)];
-    const Index end = row_ptr_[static_cast<std::size_t>(i) + 1];
-    for (Index p = begin; p < end; ++p) {
-      sum += values_[static_cast<std::size_t>(p)] *
-             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(p)])];
-    }
-    (*y)[static_cast<std::size_t>(i)] = sum;
-  });
+  ParallelForShards(
+      ShardByWeight(row_ptr_, NumShards(rows_)),
+      [&](Index row_begin, Index row_end, int /*shard*/) {
+        for (Index i = row_begin; i < row_end; ++i) {
+          double sum = 0.0;
+          const Index begin = row_ptr_[static_cast<std::size_t>(i)];
+          const Index end = row_ptr_[static_cast<std::size_t>(i) + 1];
+          for (Index p = begin; p < end; ++p) {
+            sum += values_[static_cast<std::size_t>(p)] *
+                   x[static_cast<std::size_t>(
+                       col_idx_[static_cast<std::size_t>(p)])];
+          }
+          (*y)[static_cast<std::size_t>(i)] = sum;
+        }
+      });
 }
 
 std::vector<double> SparseMatrix::RowSums() const {
@@ -278,18 +360,37 @@ SparseMatrix SparseMatrix::Transpose() const {
 
 bool SparseMatrix::IsSymmetric() const {
   if (rows_ != cols_) return false;
-  for (Index i = 0; i < rows_; ++i) {
-    for (Index p = row_ptr_[static_cast<std::size_t>(i)];
-         p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
-      const Index j = col_idx_[static_cast<std::size_t>(p)];
-      if (At(j, i) != values_[static_cast<std::size_t>(p)]) return false;
-    }
-  }
-  return true;
+  // Row-parallel with an early-out flag: each entry (i, j) looks up (j, i)
+  // by binary search. This runs on every FromAdjacency call, including the
+  // 30M-entry matrices the binary dataset cache reloads.
+  std::atomic<bool> symmetric{true};
+  ParallelForShards(
+      ShardByWeight(row_ptr_, NumShards(rows_)),
+      [&](Index row_begin, Index row_end, int /*shard*/) {
+        for (Index i = row_begin; i < row_end; ++i) {
+          if (!symmetric.load(std::memory_order_relaxed)) return;
+          for (Index p = row_ptr_[static_cast<std::size_t>(i)];
+               p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
+            const Index j = col_idx_[static_cast<std::size_t>(p)];
+            if (At(j, i) != values_[static_cast<std::size_t>(p)]) {
+              symmetric.store(false, std::memory_order_relaxed);
+              return;
+            }
+          }
+        }
+      });
+  return symmetric.load(std::memory_order_relaxed);
 }
 
 void SparseMatrix::Scale(double factor) {
   for (double& value : values_) value *= factor;
+}
+
+void SparseMatrix::SetAllValues(double value) {
+  ParallelFor(
+      0, static_cast<Index>(values_.size()),
+      [&](Index i) { values_[static_cast<std::size_t>(i)] = value; },
+      /*grain=*/1 << 16);
 }
 
 DenseMatrix SparseMatrix::ToDense() const {

@@ -16,6 +16,7 @@
 
 #include "matrix/dense.h"
 #include "util/check.h"
+#include "util/status.h"
 
 namespace fgr {
 
@@ -37,6 +38,16 @@ class SparseMatrix {
   static SparseMatrix FromTriplets(Index rows, Index cols,
                                    std::vector<Triplet> triplets);
 
+  // Adopts pre-assembled CSR arrays without copying or re-sorting — the
+  // O(read) path for the .fgrbin binary cache. The arrays are validated
+  // (monotone row_ptr bracketed by [0, nnz], strictly ascending in-range
+  // columns per row, matching lengths) because they typically come from
+  // disk; a malformed input yields an error Status, never a crash.
+  static Result<SparseMatrix> FromCsr(Index rows, Index cols,
+                                      std::vector<Index> row_ptr,
+                                      std::vector<Index> col_idx,
+                                      std::vector<double> values);
+
   // Diagonal matrix with the given entries.
   static SparseMatrix Diagonal(const std::vector<double>& diagonal);
 
@@ -52,8 +63,10 @@ class SparseMatrix {
 
   // out = this × x. Checks x.rows() == cols(); `out` is resized/zeroed
   // internally and must not alias x. Row-parallel under the ParallelFor
-  // backend; results are bit-identical for any thread count because each
-  // output row is accumulated by exactly one worker in serial order.
+  // backend with nnz-balanced shard boundaries (ShardByWeight over row_ptr),
+  // so skewed degree sequences do not serialize on the hub rows; results are
+  // bit-identical for any thread count because each output row is
+  // accumulated by exactly one worker in serial order.
   void Multiply(const DenseMatrix& x, DenseMatrix* out) const;
 
   // Convenience wrapper returning a fresh matrix.
@@ -90,6 +103,11 @@ class SparseMatrix {
 
   // Scales all stored values by `factor`.
   void Scale(double factor);
+
+  // Overwrites every stored value with `value` (the structure is unchanged).
+  // Graph::FromEdges uses this to collapse duplicate unweighted edges that
+  // FromTriplets summed back to weight 1 without a second assembly pass.
+  void SetAllValues(double value);
 
   DenseMatrix ToDense() const;
 

@@ -1,5 +1,6 @@
 #include "util/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "util/env.h"
@@ -45,6 +46,30 @@ int NumThreads() {
 #else
   return 1;
 #endif
+}
+
+std::vector<std::int64_t> ShardByWeight(const std::vector<std::int64_t>& prefix,
+                                        int shards) {
+  FGR_CHECK_GE(shards, 1);
+  FGR_CHECK_GE(prefix.size(), 1u);
+  const std::int64_t rows = static_cast<std::int64_t>(prefix.size()) - 1;
+  std::vector<std::int64_t> boundaries;
+  boundaries.push_back(0);
+  if (rows <= 0) return boundaries;
+  const std::int64_t base = prefix.front();
+  const std::int64_t total = prefix.back() - base;
+  for (int s = 1; s < shards; ++s) {
+    // First row whose cumulative weight reaches the s-th equal-weight
+    // target; empty shards collapse (duplicate boundaries are skipped).
+    const std::int64_t target =
+        base + total / shards * s + total % shards * s / shards;
+    const auto it = std::lower_bound(prefix.begin(), prefix.end(), target);
+    const std::int64_t row =
+        std::min<std::int64_t>(rows, it - prefix.begin());
+    if (row > boundaries.back()) boundaries.push_back(row);
+  }
+  if (boundaries.back() < rows) boundaries.push_back(rows);
+  return boundaries;
 }
 
 namespace internal {

@@ -26,6 +26,7 @@
 #include <exception>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 #include "util/check.h"
 
@@ -152,6 +153,45 @@ void ParallelForShards(std::int64_t begin, std::int64_t end, int shards,
   for (int s = 0; s < shards; ++s) {
     const auto [lo, hi] = shard_range(s);
     fn(lo, hi, s);
+  }
+}
+
+// Splits the rows of a CSR-style prefix-sum array into at most `shards`
+// contiguous ranges of approximately equal total weight. `prefix` has
+// rows + 1 monotone entries (row r spans weight prefix[r+1] - prefix[r]);
+// a CSR row_ptr is exactly this shape, making the split nnz-balanced where
+// the plain count split is row-balanced — the difference between idle and
+// busy workers on power-law degree sequences. Returns the shard boundaries
+// (first 0, last rows, strictly increasing, size ≤ shards + 1); boundaries
+// depend only on (prefix, shards), so per-shard reductions stay
+// deterministic for a fixed thread setting.
+std::vector<std::int64_t> ShardByWeight(const std::vector<std::int64_t>& prefix,
+                                        int shards);
+
+// Runs fn(shard_begin, shard_end, shard_index) over explicit shard
+// boundaries as produced by ShardByWeight (boundaries[s] to
+// boundaries[s + 1] for each s), concurrently when possible.
+template <typename Fn>
+void ParallelForShards(const std::vector<std::int64_t>& boundaries, Fn&& fn) {
+  const int shards = static_cast<int>(boundaries.size()) - 1;
+  if (shards <= 0) return;
+#ifdef FGR_WITH_OPENMP
+  if (shards > 1) {
+    internal::ExceptionCollector exceptions;
+#pragma omp parallel for schedule(static, 1) num_threads(shards)
+    for (int s = 0; s < shards; ++s) {
+      exceptions.Run([&] {
+        fn(boundaries[static_cast<std::size_t>(s)],
+           boundaries[static_cast<std::size_t>(s) + 1], s);
+      });
+    }
+    exceptions.Rethrow();
+    return;
+  }
+#endif
+  for (int s = 0; s < shards; ++s) {
+    fn(boundaries[static_cast<std::size_t>(s)],
+       boundaries[static_cast<std::size_t>(s) + 1], s);
   }
 }
 

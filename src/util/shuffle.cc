@@ -1,0 +1,109 @@
+#include "util/shuffle.h"
+
+#include <algorithm>
+
+#include "util/parallel.h"
+
+namespace fgr {
+namespace {
+
+// The i-th key of the SplitMix64 stream seeded with `seed`.
+inline std::uint64_t KeyAt(std::uint64_t seed, std::int64_t i) {
+  std::uint64_t z =
+      seed + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(i) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::vector<std::int64_t> ShufflePermutation(std::int64_t size,
+                                             std::uint64_t seed) {
+  std::vector<std::int64_t> perm(
+      static_cast<std::size_t>(std::max<std::int64_t>(size, 0)));
+  if (size <= 0) return perm;
+  if (size == 1) {
+    perm[0] = 0;
+    return perm;
+  }
+
+  constexpr int kBucketBits = 8;
+  constexpr int kBuckets = 1 << kBucketBits;
+  struct Entry {
+    std::uint64_t key;
+    std::int64_t index;
+  };
+
+  // Histogram over the key's top bits, one partial count vector per shard.
+  // The shard count may vary with the thread setting: the scatter below
+  // lands entries within a bucket in shard order, but the per-bucket sort
+  // erases that order, so the final permutation depends only on the keys.
+  const int shards = NumShards(size, /*grain=*/4096);
+  std::vector<std::vector<std::int64_t>> counts(
+      static_cast<std::size_t>(shards),
+      std::vector<std::int64_t>(kBuckets, 0));
+  ParallelForShards(0, size, shards,
+                    [&](std::int64_t lo, std::int64_t hi, int s) {
+                      auto& local = counts[static_cast<std::size_t>(s)];
+                      for (std::int64_t i = lo; i < hi; ++i) {
+                        ++local[KeyAt(seed, i) >> (64 - kBucketBits)];
+                      }
+                    });
+
+  // Bucket-major offsets so the scatter lands bucket-contiguous.
+  std::vector<std::int64_t> bucket_begin(kBuckets + 1, 0);
+  std::vector<std::vector<std::int64_t>> offsets(
+      static_cast<std::size_t>(shards),
+      std::vector<std::int64_t>(kBuckets, 0));
+  std::int64_t running = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    bucket_begin[static_cast<std::size_t>(b)] = running;
+    for (int s = 0; s < shards; ++s) {
+      offsets[static_cast<std::size_t>(s)][static_cast<std::size_t>(b)] =
+          running;
+      running +=
+          counts[static_cast<std::size_t>(s)][static_cast<std::size_t>(b)];
+    }
+  }
+  bucket_begin[kBuckets] = running;
+
+  std::vector<Entry> entries(static_cast<std::size_t>(size));
+  ParallelForShards(
+      0, size, shards, [&](std::int64_t lo, std::int64_t hi, int s) {
+        std::vector<std::int64_t> cursor =
+            offsets[static_cast<std::size_t>(s)];
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const std::uint64_t key = KeyAt(seed, i);
+          entries[static_cast<std::size_t>(
+              cursor[key >> (64 - kBucketBits)]++)] = {key, i};
+        }
+      });
+
+  // Per-bucket sort; ties broken by original index so the permutation is
+  // unique (and thus thread-count independent) even on key collisions.
+  ParallelFor(
+      0, kBuckets,
+      [&](std::int64_t b) {
+        std::sort(
+            entries.begin() +
+                static_cast<std::ptrdiff_t>(
+                    bucket_begin[static_cast<std::size_t>(b)]),
+            entries.begin() +
+                static_cast<std::ptrdiff_t>(
+                    bucket_begin[static_cast<std::size_t>(b) + 1]),
+            [](const Entry& a, const Entry& b_entry) {
+              return a.key < b_entry.key ||
+                     (a.key == b_entry.key && a.index < b_entry.index);
+            });
+      },
+      /*grain=*/1);
+
+  ParallelFor(0, size, [&](std::int64_t i) {
+    perm[static_cast<std::size_t>(i)] =
+        entries[static_cast<std::size_t>(i)].index;
+  });
+  return perm;
+}
+
+}  // namespace fgr

@@ -1,0 +1,54 @@
+// Thread-count-invariant parallel shuffle.
+//
+// The planted-graph generator needs to permute stub lists with up to 2m
+// entries (61M for the full Pokec mimic); a serial Fisher-Yates walk over
+// an Rng dominates generation time and cannot be parallelized without
+// changing its output. DeterministicShuffle instead sorts the elements by
+// counter-based pseudo-random keys (SplitMix64 of seed + index): the result
+// depends only on (values, seed), never on the worker count, so generated
+// graphs are identical whether the library runs on 1 thread or 64.
+//
+// The sort is a bucket sort on the key's top bits (buckets are balanced
+// because the keys are uniform) with per-bucket std::sort, both phases
+// parallelized over the ParallelFor backend. Ties — adjacent duplicate keys
+// are ~n²/2⁶⁴ rare but must not introduce nondeterminism — are broken by
+// original index.
+
+#ifndef FGR_UTIL_SHUFFLE_H_
+#define FGR_UTIL_SHUFFLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace fgr {
+
+// The permutation DeterministicShuffle applies: result[i] is the original
+// index of the element that ends up at position i. Depends only on
+// (size, seed). Exposed so callers can permute several parallel arrays
+// consistently.
+std::vector<std::int64_t> ShufflePermutation(std::int64_t size,
+                                             std::uint64_t seed);
+
+// Uniformly shuffles `values` in place, deterministically in (values, seed)
+// and independent of the thread count.
+template <typename T>
+void DeterministicShuffle(std::vector<T>& values, std::uint64_t seed) {
+  if (values.size() < 2) return;
+  const std::vector<std::int64_t> perm =
+      ShufflePermutation(static_cast<std::int64_t>(values.size()), seed);
+  std::vector<T> shuffled(values.size());
+  ParallelFor(
+      0, static_cast<std::int64_t>(values.size()),
+      [&](std::int64_t i) {
+        shuffled[static_cast<std::size_t>(i)] =
+            values[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])];
+      },
+      /*grain=*/8192);
+  values = std::move(shuffled);
+}
+
+}  // namespace fgr
+
+#endif  // FGR_UTIL_SHUFFLE_H_

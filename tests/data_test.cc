@@ -1,0 +1,351 @@
+// Tests for the src/data GraphSource layer: registry lookup/resolution,
+// mimic/planted/file sources, the .fgrbin binary cache, and the
+// FGR_DATA_DIR real-data override.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fgr/fgr.h"
+
+namespace fgr {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+LabeledGraph SmallLabeledGraph(bool weighted) {
+  LabeledGraph data;
+  data.name = "small";
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}};
+  if (weighted) {
+    edges[0].weight = 0.125;
+    edges[3].weight = 2.75;
+    edges[4].weight = 1.0 / 3.0;
+  }
+  auto graph = Graph::FromEdges(5, edges);  // node 4 isolated
+  FGR_CHECK(graph.ok());
+  data.graph = std::move(graph).value();
+  data.labels = Labeling(5, 3);
+  data.labels.set_label(0, 0);
+  data.labels.set_label(1, 1);
+  data.labels.set_label(3, 2);
+  data.gold = DenseMatrix::FromRows(
+      {{0.2, 0.6, 0.2}, {0.6, 0.2, 0.2}, {0.2, 0.2, 0.6}});
+  return data;
+}
+
+// --- registry -------------------------------------------------------------
+
+TEST(RegistryTest, GlobalHasTheEightMimics) {
+  const auto names = DatasetRegistry::Global().Names();
+  ASSERT_GE(names.size(), 8u);
+  EXPECT_EQ(names[0], "Cora");
+  EXPECT_EQ(names[7], "Flickr");
+  EXPECT_NE(DatasetRegistry::Global().Find("Pokec-Gender"), nullptr);
+  EXPECT_EQ(DatasetRegistry::Global().Find("Reddit"), nullptr);
+}
+
+TEST(RegistryTest, RegisterReplacesByName) {
+  DatasetRegistry registry;
+  registry.Register(std::make_shared<CallbackSource>(
+      "x", "first", [](const LoadOptions&) -> Result<LabeledGraph> {
+        return Status::Internal("first");
+      }));
+  registry.Register(std::make_shared<CallbackSource>(
+      "x", "second", [](const LoadOptions&) -> Result<LabeledGraph> {
+        return Status::Internal("second");
+      }));
+  ASSERT_EQ(registry.List().size(), 1u);
+  EXPECT_EQ(registry.Find("x")->Describe(), "second");
+}
+
+TEST(RegistryTest, ResolveUnknownNameListsKnownDatasets) {
+  auto resolved = ResolveGraphSource("definitely-not-a-dataset");
+  ASSERT_FALSE(resolved.ok());
+  EXPECT_EQ(resolved.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(resolved.status().message().find("Cora"), std::string::npos);
+}
+
+TEST(RegistryTest, ResolvePathReturnsFileSource) {
+  const std::string path = TempPath("resolve_path.edges");
+  ASSERT_TRUE(WriteEdgeList(SmallLabeledGraph(false).graph, path).ok());
+  auto resolved = ResolveGraphSource(path);
+  ASSERT_TRUE(resolved.ok());
+  auto loaded = resolved.value()->Load({});
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().graph.num_nodes(), 5);
+  EXPECT_EQ(loaded.value().graph.num_edges(), 5);
+}
+
+TEST(RegistryTest, DatasetSlugLowercasesAndDashes) {
+  EXPECT_EQ(DatasetSlug("Pokec-Gender"), "pokec-gender");
+  EXPECT_EQ(DatasetSlug("Hep-Th"), "hep-th");
+  EXPECT_EQ(DatasetSlug("Prop 37"), "prop-37");
+}
+
+TEST(RegistryTest, DataDirOverrideShadowsMimic) {
+  const std::string dir = TempPath("datadir");
+  std::filesystem::create_directories(dir);
+  const LabeledGraph small = SmallLabeledGraph(false);
+  ASSERT_TRUE(WriteEdgeList(small.graph, dir + "/citeseer.edges").ok());
+  ASSERT_TRUE(WriteLabels(small.labels, dir + "/citeseer.labels").ok());
+  ASSERT_EQ(setenv("FGR_DATA_DIR", dir.c_str(), 1), 0);
+  auto resolved = ResolveGraphSource("Citeseer");
+  unsetenv("FGR_DATA_DIR");
+  ASSERT_TRUE(resolved.ok());
+  auto loaded = resolved.value()->Load({});
+  ASSERT_TRUE(loaded.ok());
+  // The real file's size, the spec's class count and gold matrix.
+  EXPECT_EQ(loaded.value().graph.num_nodes(), 5);
+  EXPECT_EQ(loaded.value().labels.num_classes(), 6);
+  ASSERT_TRUE(loaded.value().gold.has_value());
+  EXPECT_EQ(loaded.value().gold->rows(), 6);
+}
+
+// --- generated sources ----------------------------------------------------
+
+TEST(MimicSourceTest, LoadsScaledMimicWithGold) {
+  auto spec = FindDatasetSpec("MovieLens");
+  ASSERT_TRUE(spec.ok());
+  const MimicSource source(spec.value());
+  LoadOptions options;
+  options.scale = 0.01;
+  options.seed = 5;
+  auto loaded = source.Load(options);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_GE(loaded.value().graph.num_nodes(), 200);
+  EXPECT_LT(loaded.value().graph.num_nodes(), spec.value().num_nodes);
+  EXPECT_EQ(loaded.value().labels.NumLabeled(),
+            loaded.value().graph.num_nodes());
+  ASSERT_TRUE(loaded.value().gold.has_value());
+  EXPECT_TRUE(AllClose(*loaded.value().gold,
+                       spec.value().gold_compatibility, 0.0));
+}
+
+TEST(PlantedSourceTest, LoadIsDeterministicInSeed) {
+  const PlantedSource source("p", MakeSkewConfig(600, 8.0, 3, 3.0));
+  LoadOptions options;
+  options.seed = 11;
+  auto a = source.Load(options);
+  auto b = source.Load(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(AllClose(a.value().graph.adjacency().ToDense(),
+                       b.value().graph.adjacency().ToDense(), 0.0));
+  options.seed = 12;
+  auto c = source.Load(options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(AllClose(a.value().graph.adjacency().ToDense(),
+                        c.value().graph.adjacency().ToDense(), 0.0));
+}
+
+TEST(PlantedSourceTest, RejectsBadScale) {
+  const PlantedSource source("p", MakeSkewConfig(600, 8.0, 3, 3.0));
+  LoadOptions options;
+  options.scale = 0.0;
+  EXPECT_FALSE(source.Load(options).ok());
+  options.scale = 1.5;
+  EXPECT_FALSE(source.Load(options).ok());
+}
+
+// --- fgrbin ---------------------------------------------------------------
+
+TEST(FgrBinTest, RoundTripsGraphLabelsAndGold) {
+  const LabeledGraph original = SmallLabeledGraph(false);
+  const std::string path = TempPath("roundtrip.fgrbin");
+  ASSERT_TRUE(WriteFgrBin(original, path).ok());
+
+  auto loaded = ReadFgrBin(path);
+  ASSERT_TRUE(loaded.ok());
+  const LabeledGraph& result = loaded.value();
+  EXPECT_EQ(result.graph.num_nodes(), original.graph.num_nodes());
+  EXPECT_EQ(result.graph.adjacency().row_ptr(),
+            original.graph.adjacency().row_ptr());
+  EXPECT_EQ(result.graph.adjacency().col_idx(),
+            original.graph.adjacency().col_idx());
+  EXPECT_EQ(result.graph.adjacency().values(),
+            original.graph.adjacency().values());
+  EXPECT_EQ(result.labels.raw(), original.labels.raw());
+  EXPECT_EQ(result.labels.num_classes(), original.labels.num_classes());
+  ASSERT_TRUE(result.gold.has_value());
+  EXPECT_TRUE(AllClose(*result.gold, *original.gold, 0.0));
+}
+
+TEST(FgrBinTest, RoundTripsWeightedValuesExactly) {
+  const LabeledGraph original = SmallLabeledGraph(true);
+  const std::string path = TempPath("weighted.fgrbin");
+  ASSERT_TRUE(WriteFgrBin(original, path).ok());
+  auto loaded = ReadFgrBin(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().graph.adjacency().values(),
+            original.graph.adjacency().values());
+}
+
+TEST(FgrBinTest, UnitWeightGraphsOmitTheValuesSection) {
+  LabeledGraph unweighted = SmallLabeledGraph(false);
+  LabeledGraph weighted = SmallLabeledGraph(true);
+  const std::string unweighted_path = TempPath("unit.fgrbin");
+  const std::string weighted_path = TempPath("nonunit.fgrbin");
+  ASSERT_TRUE(WriteFgrBin(unweighted, unweighted_path).ok());
+  ASSERT_TRUE(WriteFgrBin(weighted, weighted_path).ok());
+  EXPECT_LT(std::filesystem::file_size(unweighted_path),
+            std::filesystem::file_size(weighted_path));
+}
+
+TEST(FgrBinTest, RejectsWrongMagic) {
+  const std::string path = TempPath("not_fgrbin.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not an fgrbin file, padded to forty bytes ......";
+  }
+  auto loaded = ReadFgrBin(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FgrBinTest, RejectsTruncatedFile) {
+  const LabeledGraph original = SmallLabeledGraph(false);
+  const std::string path = TempPath("full.fgrbin");
+  ASSERT_TRUE(WriteFgrBin(original, path).ok());
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 8);
+  auto loaded = ReadFgrBin(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("truncated"), std::string::npos);
+}
+
+TEST(FgrBinTest, RejectsGoldDimensionMismatchedWithClasses) {
+  LabeledGraph inconsistent = SmallLabeledGraph(false);
+  inconsistent.gold = DenseMatrix::FromRows({{0.2, 0.8}, {0.8, 0.2}});
+  const std::string path = TempPath("gold_mismatch.fgrbin");
+  ASSERT_TRUE(WriteFgrBin(inconsistent, path).ok());
+  auto loaded = ReadFgrBin(path);  // 2x2 gold vs 3-class labels
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FgrBinTest, RejectsMissingFile) {
+  auto loaded = ReadFgrBin(TempPath("no_such.fgrbin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+// --- file source ----------------------------------------------------------
+
+TEST(FileSourceTest, LoadsTextWithExplicitLabels) {
+  const LabeledGraph small = SmallLabeledGraph(false);
+  const std::string edges = TempPath("fs.edges");
+  const std::string labels = TempPath("fs_custom.labels");
+  ASSERT_TRUE(WriteEdgeList(small.graph, edges).ok());
+  ASSERT_TRUE(WriteLabels(small.labels, labels).ok());
+
+  FileSourceOptions options;
+  options.labels_path = labels;
+  const FileSource source("fs", edges, options);
+  auto loaded = source.Load({});
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().labels.raw(), small.labels.raw());
+  EXPECT_TRUE(AllClose(loaded.value().graph.adjacency().ToDense(),
+                       small.graph.adjacency().ToDense(), 0.0));
+}
+
+TEST(FileSourceTest, PicksUpSiblingLabelsFile) {
+  const LabeledGraph small = SmallLabeledGraph(false);
+  const std::string edges = TempPath("sibling.edges");
+  ASSERT_TRUE(WriteEdgeList(small.graph, edges).ok());
+  ASSERT_TRUE(WriteLabels(small.labels, TempPath("sibling.labels")).ok());
+  const FileSource source("sibling", edges);
+  auto loaded = source.Load({});
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().labels.raw(), small.labels.raw());
+}
+
+TEST(FileSourceTest, AutoCacheServesGraphAfterTextIsGone) {
+  const LabeledGraph small = SmallLabeledGraph(false);
+  const std::string edges = TempPath("cached.edges");
+  ASSERT_TRUE(WriteEdgeList(small.graph, edges).ok());
+  const FileSource source("cached", edges);
+  ASSERT_TRUE(source.Load({}).ok());  // parses text, writes the cache
+  ASSERT_TRUE(std::filesystem::exists(edges + kFgrBinExtension));
+
+  std::filesystem::remove(edges);  // only the cache remains
+  auto loaded = source.Load({});
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(AllClose(loaded.value().graph.adjacency().ToDense(),
+                       small.graph.adjacency().ToDense(), 0.0));
+}
+
+TEST(FileSourceTest, AutoCacheOffDoesNotWriteACache) {
+  const LabeledGraph small = SmallLabeledGraph(false);
+  const std::string edges = TempPath("uncached.edges");
+  ASSERT_TRUE(WriteEdgeList(small.graph, edges).ok());
+  FileSourceOptions options;
+  options.auto_cache = false;
+  const FileSource source("uncached", edges, options);
+  ASSERT_TRUE(source.Load({}).ok());
+  EXPECT_FALSE(std::filesystem::exists(edges + kFgrBinExtension));
+}
+
+TEST(FileSourceTest, ExplicitFgrBinPathLoadsEmbeddedLabels) {
+  const LabeledGraph small = SmallLabeledGraph(false);
+  const std::string path = TempPath("explicit.fgrbin");
+  ASSERT_TRUE(WriteFgrBin(small, path).ok());
+  const FileSource source("explicit", path);
+  auto loaded = source.Load({});
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().labels.raw(), small.labels.raw());
+  ASSERT_TRUE(loaded.value().gold.has_value());
+}
+
+TEST(FileSourceTest, MissingFileIsNotFound) {
+  const FileSource source("missing", TempPath("missing.edges"));
+  auto loaded = source.Load({});
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FileSourceTest, UnlabeledFileGetsEmptyLabeling) {
+  const LabeledGraph small = SmallLabeledGraph(false);
+  const std::string edges = TempPath("nolabels_dir");
+  std::filesystem::create_directories(edges);
+  const std::string path = edges + "/plain.edges";
+  ASSERT_TRUE(WriteEdgeList(small.graph, path).ok());
+  const FileSource source("plain", path);
+  LoadOptions options;
+  options.num_classes = 4;
+  auto loaded = source.Load(options);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded.value().has_labels());
+  EXPECT_EQ(loaded.value().labels.num_classes(), 4);
+}
+
+// --- callback source ------------------------------------------------------
+
+TEST(CallbackSourceTest, ForwardsOptionsAndResult) {
+  const CallbackSource source(
+      "cb", "test source",
+      [](const LoadOptions& options) -> Result<LabeledGraph> {
+        if (options.scale != 0.5) return Status::Internal("wrong scale");
+        return SmallLabeledGraph(false);
+      });
+  LoadOptions options;
+  options.scale = 0.5;
+  auto loaded = source.Load(options);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().graph.num_nodes(), 5);
+  options.scale = 1.0;
+  EXPECT_FALSE(source.Load(options).ok());
+}
+
+}  // namespace
+}  // namespace fgr

@@ -6,6 +6,9 @@
 #include <fstream>
 #include <string>
 
+#include "gen/planted.h"
+#include "util/random.h"
+
 namespace fgr {
 namespace {
 
@@ -44,15 +47,153 @@ TEST(IoTest, EdgeListMissingFile) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
 }
 
-TEST(IoTest, EdgeListMalformedLine) {
+TEST(IoTest, EdgeListMalformedLineReportsLineNumberAndContent) {
   const std::string path = TempPath("malformed.edges");
   {
     std::ofstream out(path);
-    out << "0 1\nbanana\n";
+    out << "0 1\n# a comment\n\n2 3\nbanana split\n4 5\n";
   }
   auto loaded = ReadEdgeList(path);
-  EXPECT_FALSE(loaded.ok());
+  ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  // Line 5 carries the garbage; the error names it and quotes the content.
+  EXPECT_NE(loaded.status().message().find(":5:"), std::string::npos)
+      << loaded.status().message();
+  EXPECT_NE(loaded.status().message().find("banana split"), std::string::npos)
+      << loaded.status().message();
+}
+
+TEST(IoTest, EdgeListRejectsTrailingGarbageAfterWeight) {
+  const std::string path = TempPath("trailing.edges");
+  {
+    std::ofstream out(path);
+    out << "0 1 2.5 extra\n";
+  }
+  auto loaded = ReadEdgeList(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find(":1:"), std::string::npos);
+}
+
+TEST(IoTest, WeightedEdgeListRoundTripsExactly) {
+  auto graph = Graph::FromEdges(
+      4, {{0, 1, 0.1}, {1, 2, 1.0 / 3.0}, {2, 3, 12345.678901234567}});
+  ASSERT_TRUE(graph.ok());
+  const std::string path = TempPath("weighted.edges");
+  ASSERT_TRUE(WriteEdgeList(graph.value(), path).ok());
+
+  auto loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  // Bit-exact values: 17 significant digits survive the text round-trip.
+  EXPECT_EQ(loaded.value().adjacency().values(),
+            graph.value().adjacency().values());
+  EXPECT_EQ(loaded.value().adjacency().col_idx(),
+            graph.value().adjacency().col_idx());
+}
+
+TEST(IoTest, RoundTripPreservesTrailingIsolatedNodes) {
+  // A bare edge list cannot represent "node 6 exists but has no edges";
+  // the fgr header makes the round-trip exact anyway.
+  auto graph = Graph::FromEdges(7, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(graph.ok());
+  const std::string path = TempPath("isolated.edges");
+  ASSERT_TRUE(WriteEdgeList(graph.value(), path).ok());
+
+  auto loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_nodes(), 7);
+  EXPECT_EQ(loaded.value().num_edges(), 2);
+}
+
+TEST(IoTest, StreamingAndWholeFileLoadersAgree) {
+  Rng rng(77);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(1500, 12.0, 3, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  const std::string path = TempPath("streaming.edges");
+  ASSERT_TRUE(WriteEdgeList(planted.value().graph, path).ok());
+
+  EdgeListReadOptions whole;
+  whole.streaming = false;
+  auto whole_file = ReadEdgeList(path, whole);
+  ASSERT_TRUE(whole_file.ok());
+
+  EdgeListReadOptions streaming;
+  streaming.streaming = true;
+  streaming.chunk_bytes = 4096;  // force many chunks
+  auto streamed = ReadEdgeList(path, streaming);
+  ASSERT_TRUE(streamed.ok());
+
+  EXPECT_EQ(streamed.value().num_nodes(), whole_file.value().num_nodes());
+  EXPECT_EQ(streamed.value().adjacency().row_ptr(),
+            whole_file.value().adjacency().row_ptr());
+  EXPECT_EQ(streamed.value().adjacency().col_idx(),
+            whole_file.value().adjacency().col_idx());
+  EXPECT_EQ(streamed.value().adjacency().values(),
+            whole_file.value().adjacency().values());
+}
+
+TEST(IoTest, StreamingErrorReportsGlobalLineNumber) {
+  const std::string path = TempPath("streaming_error.edges");
+  {
+    std::ofstream out(path);
+    for (int i = 0; i < 999; ++i) out << i << ' ' << i + 1 << '\n';
+    out << "oops\n";
+  }
+  EdgeListReadOptions options;
+  options.chunk_bytes = 4096;
+  auto loaded = ReadEdgeList(path, options);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(":1000:"), std::string::npos)
+      << loaded.status().message();
+}
+
+TEST(IoTest, ReadLabelsInfersCountsFromHeader) {
+  Labeling labels(6, 4);
+  labels.set_label(1, 3);
+  labels.set_label(5, 0);
+  const std::string path = TempPath("header_labels.txt");
+  ASSERT_TRUE(WriteLabels(labels, path).ok());
+
+  auto loaded = ReadLabels(path);  // both counts from the header
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_nodes(), 6);
+  EXPECT_EQ(loaded.value().num_classes(), 4);
+  EXPECT_EQ(loaded.value().raw(), labels.raw());
+}
+
+TEST(IoTest, DirectoryPathsAreRejectedNotParsedAsEmpty) {
+  // std::ifstream "opens" a directory and reads zero bytes; both readers
+  // must reject it instead of returning an empty graph/labeling.
+  auto graph = ReadEdgeList(testing::TempDir());
+  ASSERT_FALSE(graph.ok());
+  auto labels = ReadLabels(testing::TempDir(), 4, 2);
+  ASSERT_FALSE(labels.ok());
+}
+
+TEST(IoTest, ReadLabelsRejectsRecordExceedingALateHeader) {
+  // A record parsed before the header fixed the counts must still be
+  // range-checked once the counts are known — as an error, not a crash.
+  const std::string path = TempPath("late_header.labels");
+  {
+    std::ofstream out(path);
+    out << "5 0\n# fgr labels: 3 nodes, 2 classes\n";
+  }
+  auto loaded = ReadLabels(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(IoTest, ReadLabelsMalformedLineReportsContent) {
+  const std::string path = TempPath("bad_labels.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\nnot a label line\n";
+  }
+  auto loaded = ReadLabels(path, 4, 3);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("not a label line"),
+            std::string::npos);
 }
 
 TEST(IoTest, LabelsRoundTrip) {

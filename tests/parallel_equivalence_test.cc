@@ -210,6 +210,71 @@ TEST(ParallelEquivalenceTest, NumericGradientIsBitIdenticalAcrossThreads) {
   EXPECT_EQ(serial, threaded);
 }
 
+TEST(ParallelEquivalenceTest, PlantedGenerationIsBitIdenticalAcrossThreads) {
+  // The generator's parallel stages (stub fill, DeterministicShuffle, edge
+  // wiring, CSR assembly) are all thread-count invariant, so the same seed
+  // must give the same graph — not merely a statistically equivalent one.
+  ThreadGuard guard;
+  SetNumThreads(1);
+  Rng serial_rng(31);
+  auto serial =
+      GeneratePlantedGraph(MakeSkewConfig(3000, 15.0, 3, 3.0), serial_rng);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : {2, 4, 8}) {
+    SetNumThreads(threads);
+    Rng threaded_rng(31);
+    auto threaded =
+        GeneratePlantedGraph(MakeSkewConfig(3000, 15.0, 3, 3.0), threaded_rng);
+    ASSERT_TRUE(threaded.ok());
+    EXPECT_EQ(threaded.value().graph.num_edges(),
+              serial.value().graph.num_edges());
+    EXPECT_EQ(threaded.value().graph.adjacency().row_ptr(),
+              serial.value().graph.adjacency().row_ptr());
+    EXPECT_EQ(threaded.value().graph.adjacency().col_idx(),
+              serial.value().graph.adjacency().col_idx());
+    EXPECT_EQ(threaded.value().labels.raw(), serial.value().labels.raw());
+  }
+}
+
+TEST(ParallelEquivalenceTest, DatasetMimicIsBitIdenticalAcrossThreads) {
+  auto spec = FindDatasetSpec("MovieLens");
+  ASSERT_TRUE(spec.ok());
+  ThreadGuard guard;
+  SetNumThreads(1);
+  Rng serial_rng(5);
+  auto serial = GenerateDatasetMimic(spec.value(), 0.02, serial_rng);
+  ASSERT_TRUE(serial.ok());
+  SetNumThreads(4);
+  Rng threaded_rng(5);
+  auto threaded = GenerateDatasetMimic(spec.value(), 0.02, threaded_rng);
+  ASSERT_TRUE(threaded.ok());
+  EXPECT_EQ(threaded.value().graph.adjacency().col_idx(),
+            serial.value().graph.adjacency().col_idx());
+  EXPECT_EQ(threaded.value().labels.raw(), serial.value().labels.raw());
+}
+
+TEST(ParallelEquivalenceTest, EdgeListParsingMatchesAcrossThreadCounts) {
+  ThreadGuard guard;
+  SetNumThreads(1);
+  Rng rng(67);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(2000, 10.0, 3, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  const std::string path = testing::TempDir() + "/parallel_parse.edges";
+  ASSERT_TRUE(WriteEdgeList(planted.value().graph, path).ok());
+
+  auto serial = ReadEdgeList(path);
+  ASSERT_TRUE(serial.ok());
+  SetNumThreads(4);
+  auto threaded = ReadEdgeList(path);
+  ASSERT_TRUE(threaded.ok());
+  EXPECT_EQ(threaded.value().adjacency().row_ptr(),
+            serial.value().adjacency().row_ptr());
+  EXPECT_EQ(threaded.value().adjacency().col_idx(),
+            serial.value().adjacency().col_idx());
+  EXPECT_EQ(threaded.value().adjacency().values(),
+            serial.value().adjacency().values());
+}
+
 TEST(ParallelEquivalenceTest, SummarizationMatchesAcrossThreadCounts) {
   ThreadGuard guard;
   const PlantedFixture fixture = MakePlantedFixture(3000);

@@ -3,11 +3,14 @@
 
 #include "util/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
+
+#include "util/shuffle.h"
 
 #include "gtest/gtest.h"
 
@@ -155,6 +158,107 @@ TEST(ParallelForShardsTest, NumShardsMatchesThreadSetting) {
     EXPECT_EQ(NumShards(1 << 20), 1);
   }
   EXPECT_EQ(NumShards(0), 1);  // degenerate range still yields one shard
+}
+
+TEST(ShardByWeightTest, BalancesUniformWeights) {
+  std::vector<std::int64_t> prefix(101);
+  for (int i = 0; i <= 100; ++i) prefix[static_cast<std::size_t>(i)] = i * 3;
+  const auto boundaries = ShardByWeight(prefix, 4);
+  ASSERT_EQ(boundaries.size(), 5u);
+  EXPECT_EQ(boundaries.front(), 0);
+  EXPECT_EQ(boundaries.back(), 100);
+  for (std::size_t s = 0; s + 1 < boundaries.size(); ++s) {
+    EXPECT_LT(boundaries[s], boundaries[s + 1]);
+    const std::int64_t weight =
+        prefix[static_cast<std::size_t>(boundaries[s + 1])] -
+        prefix[static_cast<std::size_t>(boundaries[s])];
+    EXPECT_NEAR(static_cast<double>(weight), 75.0, 3.0);
+  }
+}
+
+TEST(ShardByWeightTest, HubRowDoesNotStarveTheRest) {
+  // Row 0 carries 10k of the ~10.1k total weight; the hub must be split off
+  // into its own shard so the remaining rows do not ride (and wait) on it.
+  std::vector<std::int64_t> prefix = {0, 10000};
+  for (int i = 0; i < 100; ++i) prefix.push_back(prefix.back() + 1);
+  const auto boundaries = ShardByWeight(prefix, 4);
+  EXPECT_EQ(boundaries.front(), 0);
+  EXPECT_EQ(boundaries.back(), 101);
+  // The hub row is its own first shard.
+  ASSERT_GE(boundaries.size(), 3u);
+  EXPECT_EQ(boundaries[1], 1);
+}
+
+TEST(ShardByWeightTest, DegenerateInputs) {
+  EXPECT_EQ(ShardByWeight({0}, 4), (std::vector<std::int64_t>{0}));
+  EXPECT_EQ(ShardByWeight({0, 0, 0}, 4),
+            (std::vector<std::int64_t>{0, 2}));  // all-empty rows: one shard
+  EXPECT_EQ(ShardByWeight({0, 5}, 8), (std::vector<std::int64_t>{0, 1}));
+}
+
+TEST(ShardByWeightTest, RunsEveryRowExactlyOnceThroughParallelForShards) {
+  ThreadGuard guard;
+  SetNumThreads(4);
+  std::vector<std::int64_t> prefix(501, 0);
+  for (int i = 0; i < 500; ++i) {
+    prefix[static_cast<std::size_t>(i) + 1] =
+        prefix[static_cast<std::size_t>(i)] + (i % 7 == 0 ? 50 : 1);
+  }
+  std::vector<std::atomic<int>> hits(500);
+  ParallelForShards(ShardByWeight(prefix, NumShards(500, /*grain=*/1)),
+                    [&](std::int64_t lo, std::int64_t hi, int /*shard*/) {
+                      for (std::int64_t i = lo; i < hi; ++i) {
+                        ++hits[static_cast<std::size_t>(i)];
+                      }
+                    });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ShufflePermutationTest, IsAPermutation) {
+  const auto perm = ShufflePermutation(1000, 42);
+  std::vector<bool> seen(1000, false);
+  for (std::int64_t index : perm) {
+    ASSERT_GE(index, 0);
+    ASSERT_LT(index, 1000);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(index)]);
+    seen[static_cast<std::size_t>(index)] = true;
+  }
+}
+
+TEST(ShufflePermutationTest, ThreadCountInvariant) {
+  ThreadGuard guard;
+  SetNumThreads(1);
+  const auto serial = ShufflePermutation(20000, 7);
+  for (int threads : {2, 4, 8}) {
+    SetNumThreads(threads);
+    EXPECT_EQ(ShufflePermutation(20000, 7), serial) << threads << " threads";
+  }
+}
+
+TEST(ShufflePermutationTest, SeedChangesTheOrder) {
+  EXPECT_NE(ShufflePermutation(1000, 1), ShufflePermutation(1000, 2));
+}
+
+TEST(ShufflePermutationTest, ActuallyShuffles) {
+  // A fixed point at every position would mean no shuffle at all; with
+  // n = 1000 the expected number of fixed points is 1.
+  const auto perm = ShufflePermutation(1000, 3);
+  std::int64_t fixed_points = 0;
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    fixed_points += perm[static_cast<std::size_t>(i)] == i;
+  }
+  EXPECT_LT(fixed_points, 20);
+}
+
+TEST(DeterministicShuffleTest, PreservesMultiset) {
+  std::vector<int> values = {5, 5, 5, 1, 2, 3, 3, 9};
+  std::vector<int> shuffled = values;
+  DeterministicShuffle(shuffled, 11);
+  std::vector<int> sorted_original = values;
+  std::vector<int> sorted_shuffled = shuffled;
+  std::sort(sorted_original.begin(), sorted_original.end());
+  std::sort(sorted_shuffled.begin(), sorted_shuffled.end());
+  EXPECT_EQ(sorted_original, sorted_shuffled);
 }
 
 }  // namespace

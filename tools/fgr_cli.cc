@@ -1,26 +1,48 @@
-// fgr command-line tool: generate / estimate / label on edge-list files.
+// fgr command-line tool: run the estimation pipeline on any dataset the
+// registry can resolve — a registered mimic name, a SNAP-style edge-list
+// file, or a .fgrbin binary cache.
 //
 // Subcommands:
-//   fgr_cli generate <edges.txt> <labels.txt> --nodes N --edges M --classes K
-//           [--skew H] [--seed S] [--powerlaw]
-//       Writes a planted-compatibility graph and its full ground truth.
+//   fgr_cli --dataset <name|path> [--labels seeds.txt] [--classes K]
+//           [--f FRAC] [--scale S] [--seed N] [--restarts R] [--lmax L]
+//           [--lambda X] [--out predicted.txt]
+//       End-to-end: load the dataset, estimate the compatibility matrix
+//       with DCEr, propagate labels with LinBP, report accuracy when the
+//       ground truth is known, and optionally write the predicted labels.
+//       Fully labeled sources (mimics, converted caches) expose only a
+//       stratified --f fraction (default 1%) as seeds.
 //
-//   fgr_cli estimate <edges.txt> <labels.txt> --classes K
+//   fgr_cli datasets list
+//       Print every registered dataset (name, description, published size).
+//
+//   fgr_cli datasets convert <name|path> <out.fgrbin> [--labels file]
+//           [--classes K] [--scale S] [--seed N]
+//       Load any resolvable dataset and write it as a binary cache —
+//       including labels and the gold matrix when known — so later runs
+//       reload it in O(read).
+//
+//   fgr_cli generate <edges.txt> <labels.txt> --nodes N --edges M
+//           --classes K [--skew H] [--seed S] [--powerlaw]
+//       Write a planted-compatibility graph and its full ground truth.
+//
+//   fgr_cli estimate <name|edges.txt> <labels.txt> --classes K
 //           [--restarts R] [--lmax L] [--lambda X]
-//       Estimates the compatibility matrix from a (partially) labeled
-//       edge-list graph and prints it. Labels file uses -1 for unlabeled.
+//       Estimate and print the compatibility matrix. Labels use -1 for
+//       unlabeled nodes.
 //
-//   fgr_cli label <edges.txt> <labels.txt> <out_labels.txt> --classes K
+//   fgr_cli label <name|edges.txt> <labels.txt> <out.txt> --classes K
 //           [--restarts R]
 //       Estimate + LinBP propagation; writes a fully labeled file.
 //
-// This is the end-to-end path a downstream user with real data (e.g. the
-// SNAP Pokec files) would drive.
+// Setting FGR_DATA_DIR redirects registered names (e.g. Pokec-Gender) to
+// real downloaded files; see data/registry.h.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fgr/fgr.h"
@@ -43,6 +65,11 @@ class Flags {
   double Double(const std::string& name, double fallback) const {
     const std::string* raw = Find(name);
     return raw ? std::strtod(raw->c_str(), nullptr) : fallback;
+  }
+  std::string Str(const std::string& name,
+                  const std::string& fallback = "") const {
+    const std::string* raw = Find(name);
+    return raw ? *raw : fallback;
   }
   bool Bool(const std::string& name) const {
     for (const std::string& arg : args_) {
@@ -68,15 +95,176 @@ int Fail(const std::string& message) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  fgr_cli generate <edges> <labels> --nodes N --edges M "
-               "--classes K [--skew H] [--seed S] [--powerlaw]\n"
-               "  fgr_cli estimate <edges> <labels> --classes K "
-               "[--restarts R] [--lmax L] [--lambda X]\n"
-               "  fgr_cli label <edges> <labels> <out> --classes K "
-               "[--restarts R]\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  fgr_cli --dataset <name|path> [--labels seeds] [--classes K]\n"
+      "          [--f FRAC] [--scale S] [--seed N] [--restarts R]\n"
+      "          [--lmax L] [--lambda X] [--out predicted]\n"
+      "  fgr_cli datasets list\n"
+      "  fgr_cli datasets convert <name|path> <out.fgrbin> [--labels file]\n"
+      "          [--classes K] [--scale S] [--seed N]\n"
+      "  fgr_cli generate <edges> <labels> --nodes N --edges M --classes K\n"
+      "          [--skew H] [--seed S] [--powerlaw]\n"
+      "  fgr_cli estimate <name|edges> <labels> --classes K [--restarts R]\n"
+      "          [--lmax L] [--lambda X]\n"
+      "  fgr_cli label <name|edges> <labels> <out> --classes K "
+      "[--restarts R]\n");
   return 2;
+}
+
+// Resolves and loads a dataset reference through the registry (names and
+// file paths alike); `labels_path` (when non-empty) overrides the source's
+// own labels, whatever kind of source resolved.
+Result<LabeledGraph> LoadDataset(const std::string& reference,
+                                 const std::string& labels_path,
+                                 const Flags& flags) {
+  LoadOptions options;
+  options.scale = flags.Double("scale", 1.0);
+  options.seed = static_cast<std::uint64_t>(flags.Int("seed", 42));
+  options.num_classes = static_cast<ClassId>(flags.Int("classes", -1));
+  auto source = ResolveGraphSource(reference);
+  if (!source.ok()) return source.status();
+  Result<LabeledGraph> loaded = source.value()->Load(options);
+  if (!loaded.ok()) return loaded.status();
+  if (!labels_path.empty()) {
+    ClassId num_classes = options.num_classes;
+    if (num_classes < 1 && loaded.value().has_labels()) {
+      num_classes = loaded.value().labels.num_classes();
+    }
+    Result<Labeling> labels = ReadLabels(
+        labels_path, loaded.value().graph.num_nodes(), num_classes);
+    if (!labels.ok()) return labels.status();
+    loaded.value().labels = std::move(labels).value();
+  }
+  return loaded;
+}
+
+struct Problem {
+  LabeledGraph data;
+  Labeling seeds;      // what the estimator sees
+  bool truth_known = false;  // labels are the full ground truth
+};
+
+// With `sample_when_full` (the end-to-end runner), fully labeled sources
+// expose only a stratified --f fraction as seeds so there is something left
+// to predict; estimate/label take the label file exactly as given.
+Result<Problem> MakeProblem(const std::string& reference,
+                            const std::string& labels_path,
+                            const Flags& flags, bool sample_when_full) {
+  Result<LabeledGraph> loaded = LoadDataset(reference, labels_path, flags);
+  if (!loaded.ok()) return loaded.status();
+  Problem problem;
+  problem.data = std::move(loaded).value();
+  if (!problem.data.has_labels()) {
+    return Status::FailedPrecondition(
+        "dataset '" + reference +
+        "' has no labels; pass --labels <file> with seed labels");
+  }
+  if (problem.data.labels.num_classes() < 2) {
+    return Status::FailedPrecondition(
+        "dataset '" + reference +
+        "' resolves to fewer than 2 classes; pass --classes K");
+  }
+  const NodeId n = problem.data.graph.num_nodes();
+  problem.truth_known = problem.data.labels.NumLabeled() == n;
+  if (problem.truth_known && sample_when_full) {
+    Rng rng(static_cast<std::uint64_t>(flags.Int("seed", 42)) + 1);
+    problem.seeds = SampleStratifiedSeeds(problem.data.labels,
+                                          flags.Double("f", 0.01), rng);
+  } else {
+    problem.seeds = problem.data.labels;
+  }
+  return problem;
+}
+
+EstimationResult Estimate(const Graph& graph, const Labeling& seeds,
+                          const Flags& flags) {
+  DceOptions options;
+  options.restarts = static_cast<int>(flags.Int("restarts", 10));
+  options.max_path_length = static_cast<int>(flags.Int("lmax", 5));
+  options.lambda = flags.Double("lambda", 10.0);
+  return EstimateDce(graph, seeds, options);
+}
+
+int RunEndToEnd(const Flags& flags) {
+  const std::string reference = flags.Str("dataset");
+  if (reference.empty()) return Usage();
+  auto problem = MakeProblem(reference, flags.Str("labels"), flags,
+                             /*sample_when_full=*/true);
+  if (!problem.ok()) return Fail(problem.status().ToString());
+  const Graph& graph = problem.value().data.graph;
+  const Labeling& seeds = problem.value().seeds;
+
+  std::printf("dataset %s: n=%lld m=%lld k=%d, %lld seed labels (f=%.4f%%)\n",
+              problem.value().data.name.c_str(),
+              static_cast<long long>(graph.num_nodes()),
+              static_cast<long long>(graph.num_edges()),
+              static_cast<int>(seeds.num_classes()),
+              static_cast<long long>(seeds.NumLabeled()),
+              100.0 * seeds.LabeledFraction());
+
+  const EstimationResult estimate = Estimate(graph, seeds, flags);
+  std::printf("estimated compatibility matrix "
+              "(%.3fs summarization + %.3fs optimization):\n%s\n",
+              estimate.seconds_summarization, estimate.seconds_optimization,
+              estimate.h.ToString(4).c_str());
+  if (problem.value().data.gold.has_value()) {
+    std::printf("L2 distance to the known gold matrix: %.4f\n",
+                FrobeniusDistance(estimate.h, *problem.value().data.gold));
+  }
+
+  const LinBpResult prop = RunLinBp(graph, seeds, estimate.h);
+  const Labeling predicted = LabelsFromBeliefs(prop.beliefs, seeds);
+  std::printf("LinBP: %d iterations\n", prop.iterations_run);
+  if (problem.value().truth_known) {
+    std::printf("accuracy vs ground truth (unlabeled nodes): %.4f\n",
+                MacroAccuracy(problem.value().data.labels, predicted, seeds));
+  }
+  const std::string out_path = flags.Str("out");
+  if (!out_path.empty()) {
+    const Status status = WriteLabels(predicted, out_path);
+    if (!status.ok()) return Fail(status.ToString());
+    std::printf("wrote %lld predicted labels to %s\n",
+                static_cast<long long>(predicted.num_nodes()),
+                out_path.c_str());
+  }
+  return 0;
+}
+
+int RunDatasetsList() {
+  Table table({"name", "n", "m", "k", "source"});
+  for (const auto& source : DatasetRegistry::Global().List()) {
+    const auto* mimic = dynamic_cast<const MimicSource*>(source.get());
+    table.NewRow().Add(source->name());
+    if (mimic != nullptr) {
+      table.Add(mimic->spec().num_nodes)
+          .Add(mimic->spec().num_edges)
+          .Add(mimic->spec().num_classes);
+    } else {
+      table.Add("-").Add("-").Add("-");
+    }
+    table.Add(source->Describe());
+  }
+  table.Print("registered datasets (resolve with --dataset <name>; "
+              "FGR_DATA_DIR overrides with real files)");
+  return 0;
+}
+
+int RunDatasetsConvert(const std::string& reference,
+                       const std::string& out_path, const Flags& flags) {
+  auto loaded = LoadDataset(reference, flags.Str("labels"), flags);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const Status status = WriteFgrBin(loaded.value(), out_path);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("converted %s (n=%lld m=%lld%s%s) -> %s\n",
+              loaded.value().name.c_str(),
+              static_cast<long long>(loaded.value().graph.num_nodes()),
+              static_cast<long long>(loaded.value().graph.num_edges()),
+              loaded.value().has_labels() ? ", labels" : "",
+              loaded.value().gold.has_value() ? ", gold" : "",
+              out_path.c_str());
+  return 0;
 }
 
 int RunGenerate(const std::string& edges_path, const std::string& labels_path,
@@ -104,43 +292,24 @@ int RunGenerate(const std::string& edges_path, const std::string& labels_path,
   return 0;
 }
 
-struct LoadedProblem {
-  Graph graph;
-  Labeling seeds;
-};
-
-Result<LoadedProblem> Load(const std::string& edges_path,
-                           const std::string& labels_path, ClassId classes) {
-  auto graph = ReadEdgeList(edges_path);
-  if (!graph.ok()) return graph.status();
-  auto labels =
-      ReadLabels(labels_path, graph.value().num_nodes(), classes);
-  if (!labels.ok()) return labels.status();
-  LoadedProblem problem;
-  problem.graph = std::move(graph).value();
-  problem.seeds = std::move(labels).value();
-  return problem;
-}
-
-EstimationResult Estimate(const LoadedProblem& problem, const Flags& flags) {
-  DceOptions options;
-  options.restarts = static_cast<int>(flags.Int("restarts", 10));
-  options.max_path_length = static_cast<int>(flags.Int("lmax", 5));
-  options.lambda = flags.Double("lambda", 10.0);
-  return EstimateDce(problem.graph, problem.seeds, options);
-}
-
-int RunEstimate(const std::string& edges_path, const std::string& labels_path,
+int RunEstimate(const std::string& reference, const std::string& labels_path,
                 const Flags& flags) {
-  const ClassId classes = static_cast<ClassId>(flags.Int("classes", 0));
-  if (classes < 2) return Fail("--classes K (K >= 2) is required");
-  auto problem = Load(edges_path, labels_path, classes);
+  // The legacy subcommands keep their explicit contract: a headerless seed
+  // file cannot prove the class count (a class absent from the seeds would
+  // silently shrink K), so --classes stays mandatory here.
+  if (flags.Int("classes", 0) < 2) {
+    return Fail("--classes K (K >= 2) is required");
+  }
+  auto problem = MakeProblem(reference, labels_path, flags,
+                             /*sample_when_full=*/false);
   if (!problem.ok()) return Fail(problem.status().ToString());
 
-  const EstimationResult estimate = Estimate(problem.value(), flags);
+  const Graph& graph = problem.value().data.graph;
+  const EstimationResult estimate =
+      Estimate(graph, problem.value().seeds, flags);
   std::printf("graph: n=%lld m=%lld, %lld labeled (f=%.4f%%)\n",
-              static_cast<long long>(problem.value().graph.num_nodes()),
-              static_cast<long long>(problem.value().graph.num_edges()),
+              static_cast<long long>(graph.num_nodes()),
+              static_cast<long long>(graph.num_edges()),
               static_cast<long long>(problem.value().seeds.NumLabeled()),
               100.0 * problem.value().seeds.LabeledFraction());
   std::printf("estimated compatibility matrix "
@@ -150,18 +319,20 @@ int RunEstimate(const std::string& edges_path, const std::string& labels_path,
   return 0;
 }
 
-int RunLabel(const std::string& edges_path, const std::string& labels_path,
+int RunLabel(const std::string& reference, const std::string& labels_path,
              const std::string& out_path, const Flags& flags) {
-  const ClassId classes = static_cast<ClassId>(flags.Int("classes", 0));
-  if (classes < 2) return Fail("--classes K (K >= 2) is required");
-  auto problem = Load(edges_path, labels_path, classes);
+  if (flags.Int("classes", 0) < 2) {
+    return Fail("--classes K (K >= 2) is required");
+  }
+  auto problem = MakeProblem(reference, labels_path, flags,
+                             /*sample_when_full=*/false);
   if (!problem.ok()) return Fail(problem.status().ToString());
 
-  const EstimationResult estimate = Estimate(problem.value(), flags);
-  const LinBpResult prop =
-      RunLinBp(problem.value().graph, problem.value().seeds, estimate.h);
-  const Labeling predicted =
-      LabelsFromBeliefs(prop.beliefs, problem.value().seeds);
+  const Graph& graph = problem.value().data.graph;
+  const Labeling& seeds = problem.value().seeds;
+  const EstimationResult estimate = Estimate(graph, seeds, flags);
+  const LinBpResult prop = RunLinBp(graph, seeds, estimate.h);
+  const Labeling predicted = LabelsFromBeliefs(prop.beliefs, seeds);
   const Status status = WriteLabels(predicted, out_path);
   if (!status.ok()) return Fail(status.ToString());
   std::printf("estimated H, propagated %d LinBP iterations, wrote %lld "
@@ -174,6 +345,18 @@ int RunLabel(const std::string& edges_path, const std::string& labels_path,
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command.rfind("--", 0) == 0) {
+    // No subcommand: the end-to-end path, e.g. `fgr_cli --dataset Cora`.
+    return RunEndToEnd(Flags(argc, argv, 1));
+  }
+  if (command == "datasets" && argc >= 3) {
+    const std::string action = argv[2];
+    if (action == "list") return RunDatasetsList();
+    if (action == "convert" && argc >= 5) {
+      return RunDatasetsConvert(argv[3], argv[4], Flags(argc, argv, 5));
+    }
+    return Usage();
+  }
   if (command == "generate" && argc >= 4) {
     return RunGenerate(argv[2], argv[3], Flags(argc, argv, 4));
   }
