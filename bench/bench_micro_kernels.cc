@@ -303,6 +303,34 @@ BENCHMARK(BM_FgrBinRead)
     ->ArgsProduct({{100000}, {1, 4}})
     ->ArgNames({"n", "threads"});
 
+// In-core vs streamed summarization: the same graph summarized from RAM
+// and from its .fgrbin cache at a sweep of panel sizes. rows_per_panel = 0
+// is the budget-default single panel (pure streaming overhead: ℓmax passes
+// of sequential reads); small panels add per-panel seek/validate cost. The
+// gap to BM_GraphSummarization is the price of never materializing the CSR.
+void BM_StreamingSummarization(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::string& path = IngestionFixturePath(n, true);
+  const Fixture& fixture = SharedFixture(n, 25.0);
+  SetNumThreads(static_cast<int>(state.range(2)));
+  BlockRowReaderOptions options;
+  options.rows_per_panel = state.range(1);
+  for (auto _ : state) {
+    auto stats = ComputeGraphStatisticsStreaming(
+        path, fixture.seeds, 5, PathType::kNonBacktracking,
+        NormalizationVariant::kRowStochastic, options);
+    FGR_CHECK(stats.ok()) << stats.status().ToString();
+    benchmark::DoNotOptimize(stats.value().p_hat.front()(0, 0));
+  }
+  SetNumThreads(0);
+  state.counters["edges_per_sec"] = benchmark::Counter(
+      static_cast<double>(fixture.graph.num_edges() * 2 * 5),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_StreamingSummarization)
+    ->ArgsProduct({{100000}, {0, 1024, 8192, 65536}, {1, 4}})
+    ->ArgNames({"n", "panel_rows", "threads"});
+
 void BM_DeterministicShuffle(benchmark::State& state) {
   SetNumThreads(static_cast<int>(state.range(1)));
   std::vector<NodeId> values(static_cast<std::size_t>(state.range(0)));

@@ -54,6 +54,59 @@ void LceObjective::Gradient(const std::vector<double>& params,
   *gradient = ProjectGradientToParameters(g);
 }
 
+// M = XᵀN and B = NᵀN accumulate across nodes into shared k×k rows, so the
+// parallel version keeps one (M, B) partial per shard and combines them in
+// shard order (deterministic for a fixed thread count).
+void AccumulateLceStatistics(const Labeling& seeds, const DenseMatrix& n,
+                             std::int64_t row_begin, std::int64_t row_end,
+                             DenseMatrix* m, DenseMatrix* b) {
+  FGR_CHECK(m != nullptr && b != nullptr);
+  const std::int64_t k = seeds.num_classes();
+  FGR_CHECK(m->rows() == k && m->cols() == k);
+  FGR_CHECK(b->rows() == k && b->cols() == k);
+  FGR_CHECK(row_begin >= 0 && row_begin <= row_end &&
+            row_end <= n.rows());
+  const auto accumulate = [&](std::int64_t lo, std::int64_t hi,
+                              DenseMatrix* m_local, DenseMatrix* b_local) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const double* n_row = n.RowPtr(i);
+      const ClassId c = seeds.label(static_cast<NodeId>(i));
+      if (c != kUnlabeled) {
+        double* m_row = m_local->RowPtr(c);
+        for (std::int64_t j = 0; j < k; ++j) m_row[j] += n_row[j];
+      }
+      for (std::int64_t a = 0; a < k; ++a) {
+        if (n_row[a] == 0.0) continue;
+        double* b_row = b_local->RowPtr(a);
+        for (std::int64_t j = 0; j < k; ++j) {
+          b_row[j] += n_row[a] * n_row[j];
+        }
+      }
+    }
+  };
+  const int shards = NumShards(row_end - row_begin, /*grain=*/4096);
+  if (shards == 1) {
+    // Serial: accumulate straight into the outputs in row order, so folding
+    // the same rows as one range or many ascending panels is bit-identical.
+    accumulate(row_begin, row_end, m, b);
+    return;
+  }
+  std::vector<DenseMatrix> m_partials(static_cast<std::size_t>(shards),
+                                      DenseMatrix(k, k));
+  std::vector<DenseMatrix> b_partials(static_cast<std::size_t>(shards),
+                                      DenseMatrix(k, k));
+  ParallelForShards(row_begin, row_end, shards,
+                    [&](std::int64_t lo, std::int64_t hi, int shard) {
+                      accumulate(lo, hi,
+                                 &m_partials[static_cast<std::size_t>(shard)],
+                                 &b_partials[static_cast<std::size_t>(shard)]);
+                    });
+  for (std::size_t s = 0; s < m_partials.size(); ++s) {
+    m->Add(m_partials[s]);
+    b->Add(b_partials[s]);
+  }
+}
+
 EstimationResult EstimateLce(const Graph& graph, const Labeling& seeds,
                              const LceOptions& options) {
   FGR_CHECK_EQ(seeds.num_nodes(), graph.num_nodes());
@@ -63,41 +116,9 @@ EstimationResult EstimateLce(const Graph& graph, const Labeling& seeds,
   // One O(m·k) pass: N = WX, then M = XᵀN and B = NᵀN (both k×k).
   const DenseMatrix x = seeds.ToOneHot();
   const DenseMatrix n = graph.adjacency().Multiply(x);
-  // M = XᵀN and B = NᵀN accumulate across nodes into shared k×k rows, so the
-  // parallel version keeps one (M, B) partial per shard and combines them in
-  // shard order (deterministic for a fixed thread count).
-  const std::int64_t num_nodes = seeds.num_nodes();
-  const int shards = NumShards(num_nodes, /*grain=*/4096);
-  std::vector<DenseMatrix> m_partials(static_cast<std::size_t>(shards),
-                                      DenseMatrix(k, k));
-  std::vector<DenseMatrix> b_partials(static_cast<std::size_t>(shards),
-                                      DenseMatrix(k, k));
-  ParallelForShards(
-      0, num_nodes, shards, [&](std::int64_t lo, std::int64_t hi, int shard) {
-        DenseMatrix& m_local = m_partials[static_cast<std::size_t>(shard)];
-        DenseMatrix& b_local = b_partials[static_cast<std::size_t>(shard)];
-        for (std::int64_t i = lo; i < hi; ++i) {
-          const double* n_row = n.RowPtr(i);
-          const ClassId c = seeds.label(static_cast<NodeId>(i));
-          if (c != kUnlabeled) {
-            double* m_row = m_local.RowPtr(c);
-            for (std::int64_t j = 0; j < k; ++j) m_row[j] += n_row[j];
-          }
-          for (std::int64_t a = 0; a < k; ++a) {
-            if (n_row[a] == 0.0) continue;
-            double* b_row = b_local.RowPtr(a);
-            for (std::int64_t j = 0; j < k; ++j) {
-              b_row[j] += n_row[a] * n_row[j];
-            }
-          }
-        }
-      });
-  DenseMatrix m = std::move(m_partials.front());
-  DenseMatrix b = std::move(b_partials.front());
-  for (std::size_t s = 1; s < m_partials.size(); ++s) {
-    m.Add(m_partials[s]);
-    b.Add(b_partials[s]);
-  }
+  DenseMatrix m(k, k);
+  DenseMatrix b(k, k);
+  AccumulateLceStatistics(seeds, n, 0, seeds.num_nodes(), &m, &b);
   const double rho_w = SpectralRadius(graph.adjacency());
   const double epsilon =
       rho_w > 1e-12 ? options.convergence_scale / rho_w : 1.0;

@@ -61,6 +61,16 @@ class LceObjective : public DifferentiableObjective {
 EstimationResult EstimateLce(const Graph& graph, const Labeling& seeds,
                              const LceOptions& options = {});
 
+// Folds the LCE statistics M += XᵀN and B += NᵀN over rows [row_begin,
+// row_end) of N = WX — the panel-shaped accumulation the out-of-core path
+// shares with the in-core estimator: a block-row panel of W yields exactly
+// those rows of N, so the k×k accumulators never need the whole product.
+// Partials accumulate in shard order within the range (deterministic for a
+// fixed thread count); callers fold ranges in ascending order.
+void AccumulateLceStatistics(const Labeling& seeds, const DenseMatrix& n,
+                             std::int64_t row_begin, std::int64_t row_end,
+                             DenseMatrix* m, DenseMatrix* b);
+
 }  // namespace fgr
 
 #endif  // FGR_CORE_LCE_H_

@@ -8,37 +8,6 @@
 #include "util/stopwatch.h"
 
 namespace fgr {
-namespace {
-
-// M = Xᵀ N computed from the labeled-node list in O(n_labeled · k): row c of
-// M accumulates the N rows of nodes labeled c. Different nodes share class
-// rows, so the parallel version accumulates one k×k partial per shard and
-// combines them in shard order (deterministic for a fixed thread count;
-// differs from the serial sum only by floating-point reassociation).
-DenseMatrix ReduceToClassCounts(const Labeling& seeds,
-                                const DenseMatrix& n_matrix) {
-  const std::int64_t k = seeds.num_classes();
-  const std::int64_t n = seeds.num_nodes();
-  const int shards = NumShards(n, /*grain=*/4096);
-  std::vector<DenseMatrix> partials(static_cast<std::size_t>(shards),
-                                    DenseMatrix(k, k));
-  ParallelForShards(
-      0, n, shards, [&](std::int64_t lo, std::int64_t hi, int shard) {
-        DenseMatrix& m = partials[static_cast<std::size_t>(shard)];
-        for (std::int64_t i = lo; i < hi; ++i) {
-          const ClassId c = seeds.label(static_cast<NodeId>(i));
-          if (c == kUnlabeled) continue;
-          const double* n_row = n_matrix.RowPtr(i);
-          double* m_row = m.RowPtr(c);
-          for (std::int64_t j = 0; j < k; ++j) m_row[j] += n_row[j];
-        }
-      });
-  DenseMatrix m = std::move(partials.front());
-  for (std::size_t s = 1; s < partials.size(); ++s) m.Add(partials[s]);
-  return m;
-}
-
-}  // namespace
 
 DenseMatrix NormalizeStatistics(const DenseMatrix& m,
                                 NormalizationVariant variant) {
@@ -99,72 +68,143 @@ DenseMatrix NormalizeStatistics(const DenseMatrix& m,
   return p;
 }
 
-GraphStatistics ComputeGraphStatistics(const Graph& graph,
-                                       const Labeling& seeds, int max_length,
-                                       PathType path_type,
-                                       NormalizationVariant variant) {
+PanelSummarizer::PanelSummarizer(const Labeling& seeds, int max_length,
+                                 PathType path_type)
+    : seeds_(seeds), max_length_(max_length), path_type_(path_type) {
   FGR_CHECK_GE(max_length, 1);
-  FGR_CHECK_EQ(seeds.num_nodes(), graph.num_nodes());
-  Stopwatch timer;
-  GraphStatistics stats;
-  stats.path_type = path_type;
-  stats.variant = variant;
+  x_ = seeds_.ToOneHot();
+  degrees_.assign(static_cast<std::size_t>(seeds_.num_nodes()), 0.0);
+  m_raw_.reserve(static_cast<std::size_t>(max_length));
+}
 
-  const SparseMatrix& w = graph.adjacency();
-  const std::vector<double>& degrees = graph.degrees();
-  const DenseMatrix x = seeds.ToOneHot();
-  const std::int64_t n = x.rows();
-  const std::int64_t k = x.cols();
+void PanelSummarizer::BeginPass(int length) {
+  FGR_CHECK_EQ(current_length_, 0) << "EndPass missing before BeginPass";
+  FGR_CHECK_EQ(length, static_cast<int>(m_raw_.size()) + 1)
+      << "passes must run in order ℓ = 1..max_length";
+  FGR_CHECK_LE(length, max_length_);
+  current_length_ = length;
+  next_row_ = 0;
+  if (n_curr_.rows() != x_.rows() || n_curr_.cols() != x_.cols()) {
+    n_curr_ = DenseMatrix(x_.rows(), x_.cols());
+  }
+  m_raw_.emplace_back(seeds_.num_classes(), seeds_.num_classes());
+}
 
-  // Rolling buffers for N(ℓ−2), N(ℓ−1), N(ℓ).
-  DenseMatrix n_prev2;       // N(ℓ−2)
-  DenseMatrix n_prev;        // N(ℓ−1)
-  DenseMatrix n_curr;        // scratch for the new N(ℓ)
+void PanelSummarizer::AbsorbPanel(const CsrPanelView& panel) {
+  FGR_CHECK_GT(current_length_, 0) << "AbsorbPanel outside a pass";
+  FGR_CHECK_EQ(panel.first_row(), next_row_)
+      << "panels must tile rows in ascending order";
+  FGR_CHECK_EQ(panel.cols(), x_.rows());
+  const std::int64_t lo = panel.first_row();
+  const std::int64_t hi = lo + panel.rows();
+  FGR_CHECK_LE(hi, x_.rows());
+  const std::int64_t k = x_.cols();
 
-  // ℓ = 1: N(1) = W X.
-  w.Multiply(x, &n_prev);
-  stats.m_raw.push_back(ReduceToClassCounts(seeds, n_prev));
+  // N(ℓ) rows of this panel: W N(ℓ−1), with N(0) = X.
+  const DenseMatrix& source = current_length_ == 1 ? x_ : n_prev_;
+  panel.MultiplyInto(source, &n_curr_);
 
-  if (max_length >= 2) {
-    // ℓ = 2: N(2) = W N(1) − D X  (NB) or W N(1) (full).
-    w.Multiply(n_prev, &n_curr);
-    if (path_type == PathType::kNonBacktracking) {
-      ParallelFor(0, n, [&](std::int64_t i) {
-        const double d = degrees[static_cast<std::size_t>(i)];
-        const double* x_row = x.RowPtr(i);
-        double* row = n_curr.RowPtr(i);
+  if (current_length_ == 1) {
+    panel.RowSumsInto(degrees_.data() + lo);
+  } else if (path_type_ == PathType::kNonBacktracking) {
+    if (current_length_ == 2) {
+      // ℓ = 2: N(2) = W N(1) − D X.
+      ParallelFor(lo, hi, [&](std::int64_t i) {
+        const double d = degrees_[static_cast<std::size_t>(i)];
+        const double* x_row = x_.RowPtr(i);
+        double* row = n_curr_.RowPtr(i);
         for (std::int64_t j = 0; j < k; ++j) row[j] -= d * x_row[j];
       });
-    }
-    stats.m_raw.push_back(ReduceToClassCounts(seeds, n_curr));
-    n_prev2 = std::move(n_prev);
-    n_prev = std::move(n_curr);
-    n_curr = DenseMatrix();
-  }
-
-  for (int length = 3; length <= max_length; ++length) {
-    // N(ℓ) = W N(ℓ−1) − (D − I) N(ℓ−2)  (NB) or W N(ℓ−1) (full).
-    w.Multiply(n_prev, &n_curr);
-    if (path_type == PathType::kNonBacktracking) {
-      ParallelFor(0, n, [&](std::int64_t i) {
-        const double dm1 = degrees[static_cast<std::size_t>(i)] - 1.0;
-        const double* prev2_row = n_prev2.RowPtr(i);
-        double* row = n_curr.RowPtr(i);
+    } else {
+      // ℓ ≥ 3: N(ℓ) = W N(ℓ−1) − (D − I) N(ℓ−2).
+      ParallelFor(lo, hi, [&](std::int64_t i) {
+        const double dm1 = degrees_[static_cast<std::size_t>(i)] - 1.0;
+        const double* prev2_row = n_prev2_.RowPtr(i);
+        double* row = n_curr_.RowPtr(i);
         for (std::int64_t j = 0; j < k; ++j) row[j] -= dm1 * prev2_row[j];
       });
     }
-    stats.m_raw.push_back(ReduceToClassCounts(seeds, n_curr));
-    // Rotate buffers without reallocating.
-    std::swap(n_prev2, n_prev);
-    std::swap(n_prev, n_curr);
   }
 
+  FoldClassCounts(lo, hi);
+  next_row_ = hi;
+}
+
+// M(ℓ) += Xᵀ N(ℓ) over the panel rows: row c of M accumulates the N rows of
+// nodes labeled c. Different nodes share class rows, so the parallel version
+// accumulates one k×k partial per shard and combines them in shard order
+// (deterministic for a fixed thread count; serial runs add node by node in
+// row order, matching the in-core whole-panel pass exactly).
+void PanelSummarizer::FoldClassCounts(std::int64_t row_begin,
+                                      std::int64_t row_end) {
+  const std::int64_t k = seeds_.num_classes();
+  DenseMatrix& m = m_raw_.back();
+  const auto accumulate = [&](std::int64_t lo, std::int64_t hi,
+                              DenseMatrix* target) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const ClassId c = seeds_.label(static_cast<NodeId>(i));
+      if (c == kUnlabeled) continue;
+      const double* n_row = n_curr_.RowPtr(i);
+      double* m_row = target->RowPtr(c);
+      for (std::int64_t j = 0; j < k; ++j) m_row[j] += n_row[j];
+    }
+  };
+  const int shards = NumShards(row_end - row_begin, /*grain=*/4096);
+  if (shards == 1) {
+    // Serial: accumulate straight into M, node by node in row order. Every
+    // panel shape then produces the exact same addition sequence as the
+    // in-core whole-matrix pass — bit-identical, not merely close.
+    accumulate(row_begin, row_end, &m);
+    return;
+  }
+  std::vector<DenseMatrix> partials(static_cast<std::size_t>(shards),
+                                    DenseMatrix(k, k));
+  ParallelForShards(row_begin, row_end, shards,
+                    [&](std::int64_t lo, std::int64_t hi, int shard) {
+                      accumulate(lo, hi,
+                                 &partials[static_cast<std::size_t>(shard)]);
+                    });
+  for (const DenseMatrix& partial : partials) m.Add(partial);
+}
+
+void PanelSummarizer::EndPass() {
+  FGR_CHECK_GT(current_length_, 0) << "EndPass outside a pass";
+  FGR_CHECK_EQ(next_row_, x_.rows()) << "panels did not cover every row";
+  // Rotate the recurrence buffers without reallocating.
+  std::swap(n_prev2_, n_prev_);
+  std::swap(n_prev_, n_curr_);
+  current_length_ = 0;
+}
+
+GraphStatistics PanelSummarizer::Finish(NormalizationVariant variant) {
+  FGR_CHECK_EQ(current_length_, 0) << "Finish inside a pass";
+  FGR_CHECK_EQ(static_cast<int>(m_raw_.size()), max_length_)
+      << "Finish before the final pass";
+  GraphStatistics stats;
+  stats.path_type = path_type_;
+  stats.variant = variant;
+  stats.m_raw = std::move(m_raw_);
   stats.p_hat.reserve(stats.m_raw.size());
   for (const DenseMatrix& m : stats.m_raw) {
     stats.p_hat.push_back(NormalizeStatistics(m, variant));
   }
-  stats.seconds = timer.Seconds();
+  stats.seconds = timer_.Seconds();
   return stats;
+}
+
+GraphStatistics ComputeGraphStatistics(const Graph& graph,
+                                       const Labeling& seeds, int max_length,
+                                       PathType path_type,
+                                       NormalizationVariant variant) {
+  FGR_CHECK_EQ(seeds.num_nodes(), graph.num_nodes());
+  PanelSummarizer summarizer(seeds, max_length, path_type);
+  const CsrPanelView whole = graph.adjacency().View();
+  for (int length = 1; length <= max_length; ++length) {
+    summarizer.BeginPass(length);
+    summarizer.AbsorbPanel(whole);
+    summarizer.EndPass();
+  }
+  return summarizer.Finish(variant);
 }
 
 SparseMatrix NonBacktrackingMatrixPower(const Graph& graph, int length) {

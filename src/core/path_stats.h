@@ -20,6 +20,8 @@
 #include "graph/graph.h"
 #include "graph/labels.h"
 #include "matrix/dense.h"
+#include "matrix/sparse.h"
+#include "util/stopwatch.h"
 
 namespace fgr {
 
@@ -50,6 +52,56 @@ GraphStatistics ComputeGraphStatistics(
     const Graph& graph, const Labeling& seeds, int max_length,
     PathType path_type = PathType::kNonBacktracking,
     NormalizationVariant variant = NormalizationVariant::kRowStochastic);
+
+// Folds the ℓ-length path statistics panel by panel — the engine behind
+// both the in-core ComputeGraphStatistics and the out-of-core streaming
+// path (data/streaming_estimation.h). One instance drives max_length
+// passes over the adjacency matrix; pass ℓ must see the matrix's row
+// panels in ascending, exactly-tiling order and produces M(ℓ). The
+// resident state is the compact side of the factorization only: the one-hot
+// X plus three rolling n×k recurrence buffers and the degree vector — W
+// itself is whatever panel the caller is holding.
+//
+// The in-core path feeds one whole-matrix panel per pass, so streamed and
+// in-core results agree bit-for-bit in serial runs (identical operation
+// order: SpMM rows and the M accumulation both proceed in row order) and
+// to floating-point reassociation when threaded (the M reduction combines
+// per-shard partials whose boundaries depend on the panel shape).
+class PanelSummarizer {
+ public:
+  PanelSummarizer(const Labeling& seeds, int max_length, PathType path_type);
+
+  int max_length() const { return max_length_; }
+
+  // Passes run in order ℓ = 1..max_length; within a pass, AbsorbPanel must
+  // cover rows [0, n) in ascending contiguous order.
+  void BeginPass(int length);
+  void AbsorbPanel(const CsrPanelView& panel);
+  void EndPass();
+
+  // Weighted degrees observed during pass 1 (valid after EndPass of ℓ=1).
+  const std::vector<double>& degrees() const { return degrees_; }
+
+  // After the final EndPass: normalizes the accumulated M(ℓ) into a
+  // GraphStatistics. Consumes the accumulated state.
+  GraphStatistics Finish(NormalizationVariant variant);
+
+ private:
+  void FoldClassCounts(std::int64_t row_begin, std::int64_t row_end);
+
+  Labeling seeds_;
+  int max_length_;
+  PathType path_type_;
+  Stopwatch timer_;
+  DenseMatrix x_;               // one-hot seeds (n×k)
+  std::vector<double> degrees_;
+  DenseMatrix n_prev2_;         // N(ℓ−2)
+  DenseMatrix n_prev_;          // N(ℓ−1)
+  DenseMatrix n_curr_;          // N(ℓ) being assembled this pass
+  std::vector<DenseMatrix> m_raw_;
+  int current_length_ = 0;      // 0 = not inside a pass
+  std::int64_t next_row_ = 0;   // coverage check within the pass
+};
 
 // Normalizes a raw count matrix with the chosen variant. Zero rows (classes
 // with no observed paths) fall back to the uninformative 1/k row so sparse

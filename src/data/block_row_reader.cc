@@ -1,0 +1,205 @@
+#include "data/block_row_reader.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace fgr {
+namespace {
+
+using Index = SparseMatrix::Index;
+
+// Bytes a resident panel of `rows` rows and `nnz` entries occupies: the
+// local row_ptr slice plus col_idx plus the values buffer (materialized to
+// 1.0 even for unit-weight files, so the budget is format-independent).
+std::int64_t PanelBytes(std::int64_t rows, std::int64_t nnz) {
+  return (rows + 1) * 8 + nnz * 16;
+}
+
+Status Corrupt(const std::string& path, const std::string& detail) {
+  return Status::InvalidArgument(path + ": " + detail);
+}
+
+}  // namespace
+
+Result<BlockRowReader> BlockRowReader::Open(const std::string& path,
+                                            BlockRowReaderOptions options) {
+  if (options.memory_budget_bytes < 1 && options.rows_per_panel < 1) {
+    return Status::InvalidArgument(
+        "block-row memory budget must be positive");
+  }
+
+  BlockRowReader reader;
+  reader.path_ = path;
+  reader.in_.open(path, std::ios::binary);
+  if (!reader.in_) return Status::NotFound("cannot open " + path);
+  // Header validation on the stream we keep: no second open, no window for
+  // the file to be swapped between validation and streaming.
+  Result<FgrBinInfo> info = InspectFgrBin(reader.in_, path);
+  if (!info.ok()) return info.status();
+  reader.info_ = info.value();
+
+  const std::int64_t n = reader.info_.num_nodes;
+  const std::int64_t nnz = reader.info_.nnz;
+  reader.in_.seekg(
+      static_cast<std::streamoff>(reader.info_.row_ptr_offset));
+
+  // One bounded pass over row_ptr: validate it globally (monotone, spanning
+  // [0, nnz]) and fix the greedy panel cuts. The scan buffer is itself
+  // budget-capped; boundaries cost 16 bytes per panel.
+  std::vector<Index> chunk;
+  const std::int64_t chunk_rows = std::clamp<std::int64_t>(
+      options.memory_budget_bytes / 8, 4096, std::int64_t{1} << 20);
+  reader.panel_rows_.push_back(0);
+  reader.panel_ptrs_.push_back(0);
+  std::int64_t previous = -1;   // row_ptr[row] of the last row scanned
+  std::int64_t panel_start_row = 0;
+  std::int64_t panel_start_ptr = 0;
+  for (std::int64_t row = 0; row <= n;) {
+    const std::int64_t count = std::min(chunk_rows, n + 1 - row);
+    chunk.resize(static_cast<std::size_t>(count));
+    if (!reader.in_.read(reinterpret_cast<char*>(chunk.data()),
+                         static_cast<std::streamsize>(count * 8))) {
+      return Corrupt(path, "truncated fgrbin file");
+    }
+    for (std::int64_t i = 0; i < count; ++i, ++row) {
+      const std::int64_t ptr = chunk[static_cast<std::size_t>(i)];
+      if (row == 0 && ptr != 0) {
+        return Corrupt(path, "CSR: row_ptr must start at 0");
+      }
+      if (ptr < previous || ptr > nnz) {
+        return Corrupt(path, "CSR: non-monotone row_ptr at row " +
+                                 std::to_string(row - 1));
+      }
+      const std::int64_t prev_ptr = previous;  // row_ptr[row - 1]
+      previous = ptr;
+      if (row == 0) continue;
+      // `ptr` is row_ptr[row], the end of row `row - 1`: the candidate
+      // panel [panel_start_row, row) holds ptr - panel_start_ptr entries.
+      // Cut before row `row - 1` when including it blows the budget (never
+      // below one row) or completes a fixed-size panel.
+      const std::int64_t rows_in_panel = row - panel_start_row;
+      const bool over_budget =
+          options.rows_per_panel < 1 && rows_in_panel > 1 &&
+          PanelBytes(rows_in_panel, ptr - panel_start_ptr) >
+              options.memory_budget_bytes;
+      const bool fixed_cut = options.rows_per_panel > 0 &&
+                             rows_in_panel > options.rows_per_panel;
+      if (over_budget || fixed_cut) {
+        panel_start_row = row - 1;
+        panel_start_ptr = prev_ptr;
+        reader.panel_rows_.push_back(panel_start_row);
+        reader.panel_ptrs_.push_back(panel_start_ptr);
+      }
+    }
+  }
+  if (previous != nnz) {
+    return Corrupt(path, "CSR: row_ptr must span [0, nnz]");
+  }
+  if (n > 0) {
+    reader.panel_rows_.push_back(n);
+    reader.panel_ptrs_.push_back(nnz);
+  }
+  return reader;
+}
+
+Status BlockRowReader::NextPanel(CsrPanel* panel) {
+  FGR_CHECK(panel != nullptr);
+  if (Done()) {
+    return Status::FailedPrecondition(path_ + ": stream exhausted");
+  }
+  const std::int64_t p = next_panel_;
+  const std::int64_t row_begin = panel_rows_[static_cast<std::size_t>(p)];
+  const std::int64_t row_end = panel_rows_[static_cast<std::size_t>(p) + 1];
+  const std::int64_t ptr_begin = panel_ptrs_[static_cast<std::size_t>(p)];
+  const std::int64_t ptr_end = panel_ptrs_[static_cast<std::size_t>(p) + 1];
+  const std::int64_t rows = row_end - row_begin;
+  const std::int64_t nnz = ptr_end - ptr_begin;
+
+  panel->first_row = row_begin;
+  panel->row_ptr.resize(static_cast<std::size_t>(rows) + 1);
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(info_.row_ptr_offset + row_begin * 8));
+  if (!in_.read(reinterpret_cast<char*>(panel->row_ptr.data()),
+                static_cast<std::streamsize>((rows + 1) * 8))) {
+    return Corrupt(path_, "truncated fgrbin file");
+  }
+  // Re-validate the slice against the boundaries fixed at Open — a block
+  // that changed on disk since then fails here, loudly.
+  if (panel->row_ptr.front() != ptr_begin ||
+      panel->row_ptr.back() != ptr_end) {
+    return Corrupt(path_, "row_ptr slice changed since Open at rows [" +
+                              std::to_string(row_begin) + ", " +
+                              std::to_string(row_end) + ")");
+  }
+  for (std::size_t i = 0; i + 1 < panel->row_ptr.size(); ++i) {
+    if (panel->row_ptr[i] > panel->row_ptr[i + 1]) {
+      return Corrupt(path_, "CSR: non-monotone row_ptr at row " +
+                                std::to_string(row_begin +
+                                               static_cast<std::int64_t>(i)));
+    }
+  }
+  for (Index& value : panel->row_ptr) value -= ptr_begin;
+
+  panel->col_idx.resize(static_cast<std::size_t>(nnz));
+  in_.seekg(static_cast<std::streamoff>(info_.col_idx_offset + ptr_begin * 8));
+  if (!in_.read(reinterpret_cast<char*>(panel->col_idx.data()),
+                static_cast<std::streamsize>(nnz * 8))) {
+    return Corrupt(path_, "truncated fgrbin file");
+  }
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const Index begin = panel->row_ptr[static_cast<std::size_t>(r)];
+    const Index end = panel->row_ptr[static_cast<std::size_t>(r) + 1];
+    Index previous = -1;
+    for (Index q = begin; q < end; ++q) {
+      const Index c = panel->col_idx[static_cast<std::size_t>(q)];
+      if (c < 0 || c >= info_.num_nodes) {
+        return Corrupt(path_, "CSR: column " + std::to_string(c) +
+                                  " out of range at row " +
+                                  std::to_string(row_begin + r));
+      }
+      if (c <= previous) {
+        return Corrupt(path_, "CSR: columns not strictly ascending in row " +
+                                  std::to_string(row_begin + r));
+      }
+      if (c == row_begin + r) {
+        return Corrupt(path_, "adjacency matrix must have no diagonal "
+                              "entries (row " +
+                                  std::to_string(row_begin + r) + ")");
+      }
+      previous = c;
+    }
+  }
+
+  if (info_.unit_weights) {
+    panel->values.assign(static_cast<std::size_t>(nnz), 1.0);
+  } else {
+    panel->values.resize(static_cast<std::size_t>(nnz));
+    in_.seekg(
+        static_cast<std::streamoff>(info_.values_offset + ptr_begin * 8));
+    if (!in_.read(reinterpret_cast<char*>(panel->values.data()),
+                  static_cast<std::streamsize>(nnz * 8))) {
+      return Corrupt(path_, "truncated fgrbin file");
+    }
+    for (std::int64_t q = 0; q < nnz; ++q) {
+      const double v = panel->values[static_cast<std::size_t>(q)];
+      if (!(v > 0.0) || !std::isfinite(v)) {
+        return Corrupt(path_,
+                       "non-positive or non-finite edge weight at entry " +
+                           std::to_string(ptr_begin + q));
+      }
+    }
+  }
+  ++next_panel_;
+  return Status::Ok();
+}
+
+Status BlockRowReader::Rewind() {
+  next_panel_ = 0;
+  // Clear any eof/fail state from the previous pass; a genuinely broken
+  // stream surfaces as a read error on the next NextPanel().
+  in_.clear();
+  return Status::Ok();
+}
+
+}  // namespace fgr

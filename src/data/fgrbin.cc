@@ -47,7 +47,82 @@ Status Truncated(const std::string& path) {
   return Status::InvalidArgument(path + ": truncated fgrbin file");
 }
 
+// Header validation shared by ReadFgrBin and InspectFgrBin; `in` must be
+// freshly opened. Leaves the stream positioned at the end of the header.
+Result<FgrBinInfo> InspectStream(std::ifstream& in, const std::string& path) {
+  Header header;
+  if (!ReadPod(in, &header, 1)) return Truncated(path);
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not an fgrbin file");
+  }
+  if (header.endian_check != kEndianCheck) {
+    return Status::InvalidArgument(
+        path + ": fgrbin file written on an incompatible (byte-swapped) "
+        "machine");
+  }
+  if (header.num_nodes < 0 || header.nnz < 0 || header.num_classes < 0 ||
+      header.gold_k < 0) {
+    return Status::InvalidArgument(path + ": negative size in fgrbin header");
+  }
+  // Size sanity before any allocation, so a corrupted header cannot trigger
+  // a terabyte resize: the declared sections must fit the actual file.
+  in.seekg(0, std::ios::end);
+  const std::int64_t file_size = static_cast<std::int64_t>(in.tellg());
+  in.seekg(static_cast<std::streamoff>(sizeof(Header)), std::ios::beg);
+  constexpr std::int64_t kMaxCount = std::int64_t{1} << 48;
+  // gold_k² · 8 must not overflow the int64 section arithmetic below.
+  constexpr std::int32_t kMaxClasses = 1 << 15;
+  if (header.num_nodes >= kMaxCount || header.nnz >= kMaxCount ||
+      header.gold_k >= kMaxClasses || header.num_classes >= kMaxClasses) {
+    return Status::InvalidArgument(path + ": fgrbin header sizes implausible");
+  }
+
+  FgrBinInfo info;
+  info.num_nodes = header.num_nodes;
+  info.nnz = header.nnz;
+  info.unit_weights = (header.flags & kFlagUnitWeights) != 0;
+  info.has_labels = (header.flags & kFlagHasLabels) != 0;
+  info.has_gold = (header.flags & kFlagHasGold) != 0;
+  info.num_classes = header.num_classes;
+  info.gold_k = header.gold_k;
+  info.file_size = file_size;
+  if (info.has_labels && info.num_classes < 1) {
+    return Status::InvalidArgument(path + ": labels section without classes");
+  }
+  if (info.has_gold && info.has_labels && info.gold_k != info.num_classes) {
+    return Status::InvalidArgument(
+        path + ": gold matrix is " + std::to_string(info.gold_k) + "x" +
+        std::to_string(info.gold_k) + " but the labels have " +
+        std::to_string(info.num_classes) + " classes");
+  }
+
+  info.row_ptr_offset = static_cast<std::int64_t>(sizeof(Header));
+  info.col_idx_offset = info.row_ptr_offset + (info.num_nodes + 1) * 8;
+  info.values_offset = info.col_idx_offset + info.nnz * 8;
+  info.labels_offset =
+      info.values_offset + (info.unit_weights ? 0 : info.nnz * 8);
+  info.gold_offset =
+      info.labels_offset + (info.has_labels ? info.num_nodes * 4 : 0);
+  const std::int64_t expected =
+      info.gold_offset +
+      (info.has_gold
+           ? static_cast<std::int64_t>(info.gold_k) * info.gold_k * 8
+           : 0);
+  if (file_size < expected) return Truncated(path);
+  return info;
+}
+
 }  // namespace
+
+Result<FgrBinInfo> InspectFgrBin(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return InspectStream(in, path);
+}
+
+Result<FgrBinInfo> InspectFgrBin(std::ifstream& in, const std::string& path) {
+  return InspectStream(in, path);
+}
 
 Status WriteFgrBin(const LabeledGraph& data, const std::string& path) {
   return WriteFgrBin(data.graph, &data.labels,
@@ -104,50 +179,19 @@ Status WriteFgrBin(const Graph& graph, const Labeling* labels,
 Result<LabeledGraph> ReadFgrBin(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open " + path);
-  Header header;
-  if (!ReadPod(in, &header, 1)) return Truncated(path);
-  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument(path + ": not an fgrbin file");
-  }
-  if (header.endian_check != kEndianCheck) {
-    return Status::InvalidArgument(
-        path + ": fgrbin file written on an incompatible (byte-swapped) "
-        "machine");
-  }
-  if (header.num_nodes < 0 || header.nnz < 0 || header.num_classes < 0 ||
-      header.gold_k < 0) {
-    return Status::InvalidArgument(path + ": negative size in fgrbin header");
-  }
-  // Size sanity before any allocation, so a corrupted header cannot trigger
-  // a terabyte resize: the declared sections must fit the actual file.
-  in.seekg(0, std::ios::end);
-  const std::int64_t file_size = static_cast<std::int64_t>(in.tellg());
-  in.seekg(static_cast<std::streamoff>(sizeof(Header)), std::ios::beg);
-  constexpr std::int64_t kMaxCount = std::int64_t{1} << 48;
-  // gold_k² · 8 must not overflow the int64 `expected` below.
-  constexpr std::int32_t kMaxClasses = 1 << 15;
-  if (header.num_nodes >= kMaxCount || header.nnz >= kMaxCount ||
-      header.gold_k >= kMaxClasses || header.num_classes >= kMaxClasses) {
-    return Status::InvalidArgument(path + ": fgrbin header sizes implausible");
-  }
-  std::int64_t expected = static_cast<std::int64_t>(sizeof(Header)) +
-                          (header.num_nodes + 1 + header.nnz) * 8;
-  if ((header.flags & kFlagUnitWeights) == 0) expected += header.nnz * 8;
-  if ((header.flags & kFlagHasLabels) != 0) expected += header.num_nodes * 4;
-  if ((header.flags & kFlagHasGold) != 0) {
-    expected += static_cast<std::int64_t>(header.gold_k) * header.gold_k * 8;
-  }
-  if (file_size < expected) return Truncated(path);
+  Result<FgrBinInfo> inspected = InspectStream(in, path);
+  if (!inspected.ok()) return inspected.status();
+  const FgrBinInfo& info = inspected.value();
 
-  const std::size_t n = static_cast<std::size_t>(header.num_nodes);
-  const std::size_t nnz = static_cast<std::size_t>(header.nnz);
+  const std::size_t n = static_cast<std::size_t>(info.num_nodes);
+  const std::size_t nnz = static_cast<std::size_t>(info.nnz);
 
   std::vector<SparseMatrix::Index> row_ptr(n + 1);
   if (!ReadPod(in, row_ptr.data(), row_ptr.size())) return Truncated(path);
   std::vector<SparseMatrix::Index> col_idx(nnz);
   if (!ReadPod(in, col_idx.data(), col_idx.size())) return Truncated(path);
   std::vector<double> values;
-  if ((header.flags & kFlagUnitWeights) != 0) {
+  if (info.unit_weights) {
     values.assign(nnz, 1.0);
   } else {
     values.resize(nnz);
@@ -165,7 +209,7 @@ Result<LabeledGraph> ReadFgrBin(const std::string& path) {
   }
 
   Result<SparseMatrix> adjacency =
-      SparseMatrix::FromCsr(header.num_nodes, header.num_nodes,
+      SparseMatrix::FromCsr(info.num_nodes, info.num_nodes,
                             std::move(row_ptr), std::move(col_idx),
                             std::move(values));
   if (!adjacency.ok()) {
@@ -181,39 +225,28 @@ Result<LabeledGraph> ReadFgrBin(const std::string& path) {
   result.name = path;
   result.graph = std::move(graph).value();
 
-  if ((header.flags & kFlagHasLabels) != 0) {
-    if (header.num_classes < 1) {
-      return Status::InvalidArgument(path +
-                                     ": labels section without classes");
-    }
+  if (info.has_labels) {
     std::vector<ClassId> labels(n);
     if (!ReadPod(in, labels.data(), labels.size())) return Truncated(path);
     for (ClassId label : labels) {
       if (label != kUnlabeled &&
-          (label < 0 || label >= header.num_classes)) {
+          (label < 0 || label >= info.num_classes)) {
         return Status::InvalidArgument(
             path + ": label " + std::to_string(label) + " outside [0, " +
-            std::to_string(header.num_classes) + ")");
+            std::to_string(info.num_classes) + ")");
       }
     }
     result.labels = Labeling::FromVector(std::move(labels),
-                                         header.num_classes);
+                                         info.num_classes);
   } else {
-    result.labels = Labeling(header.num_nodes, 1);
+    result.labels = Labeling(info.num_nodes, 1);
   }
 
-  if ((header.flags & kFlagHasGold) != 0) {
-    if ((header.flags & kFlagHasLabels) != 0 &&
-        header.gold_k != header.num_classes) {
-      return Status::InvalidArgument(
-          path + ": gold matrix is " + std::to_string(header.gold_k) + "x" +
-          std::to_string(header.gold_k) + " but the labels have " +
-          std::to_string(header.num_classes) + " classes");
-    }
-    const std::size_t k = static_cast<std::size_t>(header.gold_k);
+  if (info.has_gold) {
+    const std::size_t k = static_cast<std::size_t>(info.gold_k);
     std::vector<double> gold(k * k);
     if (!ReadPod(in, gold.data(), gold.size())) return Truncated(path);
-    DenseMatrix matrix(header.gold_k, header.gold_k);
+    DenseMatrix matrix(info.gold_k, info.gold_k);
     for (std::size_t i = 0; i < k; ++i) {
       for (std::size_t j = 0; j < k; ++j) {
         matrix(static_cast<DenseMatrix::Index>(i),

@@ -30,6 +30,8 @@
 #ifndef FGR_DATA_FGRBIN_H_
 #define FGR_DATA_FGRBIN_H_
 
+#include <cstdint>
+#include <fstream>
 #include <string>
 
 #include "data/graph_source.h"
@@ -39,6 +41,40 @@ namespace fgr {
 
 // Conventional file extension, shared by the CLI and FileSource.
 inline constexpr char kFgrBinExtension[] = ".fgrbin";
+
+// Parsed and validated .fgrbin header: section sizes and byte offsets. The
+// block-row streaming reader (data/block_row_reader.h) uses it to seek row
+// panels without loading the file; ReadFgrBin validates through the same
+// code path, so both readers reject exactly the same corrupt headers.
+struct FgrBinInfo {
+  std::int64_t num_nodes = 0;
+  std::int64_t nnz = 0;
+  bool unit_weights = false;   // values section omitted; weights are 1.0
+  bool has_labels = false;
+  bool has_gold = false;
+  std::int32_t num_classes = 0;
+  std::int32_t gold_k = 0;
+  std::int64_t file_size = 0;
+  // Byte offsets of the sections; values/labels/gold offsets are
+  // meaningful only when the corresponding section is present.
+  std::int64_t row_ptr_offset = 0;
+  std::int64_t col_idx_offset = 0;
+  std::int64_t values_offset = 0;
+  std::int64_t labels_offset = 0;
+  std::int64_t gold_offset = 0;
+};
+
+// Reads and fully validates the 40-byte header against the actual file size
+// (magic, endianness, plausible sizes, flag consistency, every declared
+// section in bounds), so a header that lies about its sizes can never
+// trigger an OOM-scale allocation downstream.
+Result<FgrBinInfo> InspectFgrBin(const std::string& path);
+
+// Same, over a freshly opened stream the caller keeps: on success the
+// stream is positioned at the end of the header, ready for section reads
+// (what ReadFgrBin and BlockRowReader::Open do). `path` is only used in
+// error messages.
+Result<FgrBinInfo> InspectFgrBin(std::ifstream& in, const std::string& path);
 
 // Writes graph + labels (when any node is labeled) + gold (when present).
 Status WriteFgrBin(const LabeledGraph& data, const std::string& path);

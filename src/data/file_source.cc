@@ -75,18 +75,30 @@ Result<LabeledGraph> FileSource::Load(const LoadOptions& options) const {
   // never serve stale labels from the cache.
   const std::string cache_path = path_ + kFgrBinExtension;
   bool loaded_from_cache = false;
-  // Strictly newer, so an edge list rewritten within the filesystem's
-  // mtime granularity of the cache write re-parses instead of silently
-  // serving the stale cache (the failure mode of >=); an equal-tick cache
-  // merely costs one redundant parse.
-  if (options_.auto_cache && IsRegularFile(cache_path) &&
-      ModifiedTime(cache_path) > ModifiedTime(path_)) {
-    Result<LabeledGraph> cached = ReadFgrBin(cache_path);
-    if (cached.ok()) {
-      result.graph = std::move(cached.value().graph);
-      loaded_from_cache = true;
+  if (options_.auto_cache && IsRegularFile(cache_path)) {
+    // Strictly newer, so an edge list rewritten within the filesystem's
+    // mtime granularity of the cache write re-parses instead of silently
+    // serving the stale cache (the failure mode of >=); an equal-tick cache
+    // merely costs one redundant parse.
+    if (ModifiedTime(cache_path) > ModifiedTime(path_)) {
+      Result<LabeledGraph> cached = ReadFgrBin(cache_path);
+      if (cached.ok()) {
+        result.graph = std::move(cached.value().graph);
+        loaded_from_cache = true;
+      }
+      // A corrupted cache falls back to the text parse below.
+    } else if (ModifiedTime(cache_path) < ModifiedTime(path_)) {
+      // The cache strictly predates the edge list it was derived from:
+      // invalidate it now rather than merely skipping it, so direct .fgrbin
+      // consumers (ResolveGraphSource on the cache path, estimate
+      // --memory-budget) cannot pick up a cache this load already knows is
+      // stale — even if the rewrite below fails on a read-only data
+      // directory. Equal-tick caches are merely ambiguous (a fresh cache
+      // written within the source's mtime granularity looks the same), so
+      // they are skipped and rewritten, never destroyed.
+      std::error_code error;
+      fs::remove(cache_path, error);
     }
-    // A corrupted cache falls back to the text parse below.
   }
   if (!loaded_from_cache) {
     EdgeListReadOptions read_options;

@@ -1,0 +1,48 @@
+#include "data/streaming_estimation.h"
+
+#include <utility>
+
+namespace fgr {
+
+Result<GraphStatistics> ComputeGraphStatisticsStreaming(
+    const std::string& path, const Labeling& seeds, int max_length,
+    PathType path_type, NormalizationVariant variant,
+    const BlockRowReaderOptions& reader_options) {
+  Result<BlockRowReader> opened = BlockRowReader::Open(path, reader_options);
+  if (!opened.ok()) return opened.status();
+  BlockRowReader& reader = opened.value();
+  if (reader.num_nodes() != seeds.num_nodes()) {
+    return Status::InvalidArgument(
+        path + ": cache has " + std::to_string(reader.num_nodes()) +
+        " nodes but the seed labeling has " +
+        std::to_string(seeds.num_nodes()));
+  }
+
+  PanelSummarizer summarizer(seeds, max_length, path_type);
+  CsrPanel panel;
+  for (int length = 1; length <= max_length; ++length) {
+    Status rewound = reader.Rewind();
+    if (!rewound.ok()) return rewound;
+    summarizer.BeginPass(length);
+    while (!reader.Done()) {
+      Status status = reader.NextPanel(&panel);
+      if (!status.ok()) return status;
+      summarizer.AbsorbPanel(panel.View(reader.num_nodes()));
+    }
+    summarizer.EndPass();
+  }
+  return summarizer.Finish(variant);
+}
+
+Result<EstimationResult> EstimateDceStreaming(
+    const std::string& path, const Labeling& seeds, const DceOptions& options,
+    const BlockRowReaderOptions& reader_options) {
+  Result<GraphStatistics> stats = ComputeGraphStatisticsStreaming(
+      path, seeds, options.max_path_length, options.path_type,
+      options.variant, reader_options);
+  if (!stats.ok()) return stats.status();
+  return EstimateDceFromStatistics(stats.value(), seeds.num_classes(),
+                                   options);
+}
+
+}  // namespace fgr

@@ -28,11 +28,13 @@
 #include "core/lce.h"
 #include "core/mce.h"
 #include "core/path_stats.h"
+#include "data/block_row_reader.h"
 #include "data/fgrbin.h"
 #include "data/file_source.h"
 #include "data/graph_source.h"
 #include "data/mimic_source.h"
 #include "data/registry.h"
+#include "data/streaming_estimation.h"
 #include "eval/accuracy.h"
 #include "eval/confusion.h"
 #include "gen/datasets.h"

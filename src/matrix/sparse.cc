@@ -10,6 +10,95 @@
 
 namespace fgr {
 
+void CsrPanelView::MultiplyInto(const DenseMatrix& x, DenseMatrix* out) const {
+  FGR_CHECK_EQ(cols_, x.rows()) << "SpMM shape mismatch";
+  FGR_CHECK(out != nullptr);
+  FGR_CHECK(out != &x) << "SpMM output must not alias the input";
+  FGR_CHECK_EQ(out->cols(), x.cols());
+  FGR_CHECK_GE(out->rows(), first_row_ + rows_);
+  const Index k = x.cols();
+  const Index base = row_ptr_[0];
+  // nnz-balanced shards: a row-count split stalls on hub rows of power-law
+  // graphs; splitting by row_ptr prefix sums gives every worker the same
+  // number of multiply-adds. Each row is still written by exactly one
+  // worker, so results stay bit-identical at any thread count.
+  ParallelForShards(
+      ShardByWeight(row_ptr_, rows_, NumShards(rows_)),
+      [&](Index row_begin, Index row_end, int /*shard*/) {
+        for (Index i = row_begin; i < row_end; ++i) {
+          double* out_row = out->RowPtr(first_row_ + i);
+          for (Index j = 0; j < k; ++j) out_row[j] = 0.0;
+          const Index begin = row_ptr_[i] - base;
+          const Index end = row_ptr_[i + 1] - base;
+          for (Index p = begin; p < end; ++p) {
+            const double v = values_[p];
+            const double* x_row = x.RowPtr(col_idx_[p]);
+            for (Index j = 0; j < k; ++j) out_row[j] += v * x_row[j];
+          }
+        }
+      });
+}
+
+void CsrPanelView::MultiplyTransposedAddInto(const DenseMatrix& x,
+                                             DenseMatrix* out) const {
+  FGR_CHECK(out != nullptr);
+  FGR_CHECK(out != &x) << "SpMM output must not alias the input";
+  FGR_CHECK_GE(x.rows(), first_row_ + rows_);
+  FGR_CHECK_EQ(out->rows(), cols_);
+  FGR_CHECK_EQ(out->cols(), x.cols());
+  const Index k = x.cols();
+  const Index base = row_ptr_[0];
+  // Rows of the panel scatter into rows of the transposed product, so
+  // row-parallelism needs per-shard output buffers; they are combined in
+  // shard order, which keeps results deterministic for a fixed thread
+  // count. Shard boundaries are nnz-balanced so hub rows do not serialize
+  // the scatter.
+  const auto accumulate = [&](Index row_begin, Index row_end,
+                              DenseMatrix* target) {
+    for (Index i = row_begin; i < row_end; ++i) {
+      const double* x_row = x.RowPtr(first_row_ + i);
+      const Index begin = row_ptr_[i] - base;
+      const Index end = row_ptr_[i + 1] - base;
+      for (Index p = begin; p < end; ++p) {
+        const double v = values_[p];
+        double* t_row = target->RowPtr(col_idx_[p]);
+        for (Index j = 0; j < k; ++j) t_row[j] += v * x_row[j];
+      }
+    }
+  };
+  const std::vector<Index> boundaries =
+      ShardByWeight(row_ptr_, rows_, NumShards(rows_));
+  const int shards = static_cast<int>(boundaries.size()) - 1;
+  if (shards <= 0) return;
+  if (shards == 1) {
+    accumulate(boundaries[0], boundaries[1], out);
+    return;
+  }
+  std::vector<DenseMatrix> partials(static_cast<std::size_t>(shards),
+                                    DenseMatrix(cols_, k));
+  ParallelForShards(boundaries, [&](Index lo, Index hi, int shard) {
+    accumulate(lo, hi, &partials[static_cast<std::size_t>(shard)]);
+  });
+  ParallelFor(0, cols_, [&](Index i) {
+    double* out_row = out->RowPtr(i);
+    for (const DenseMatrix& partial : partials) {
+      const double* p_row = partial.RowPtr(i);
+      for (Index j = 0; j < k; ++j) out_row[j] += p_row[j];
+    }
+  });
+}
+
+void CsrPanelView::RowSumsInto(double* out) const {
+  const Index base = row_ptr_[0];
+  ParallelFor(0, rows_, [&](Index i) {
+    double sum = 0.0;
+    const Index begin = row_ptr_[i] - base;
+    const Index end = row_ptr_[i + 1] - base;
+    for (Index p = begin; p < end; ++p) sum += values_[p];
+    out[i] = sum;
+  });
+}
+
 SparseMatrix SparseMatrix::FromTriplets(Index rows, Index cols,
                                         std::vector<Triplet> triplets) {
   FGR_CHECK_GE(rows, 0);
@@ -202,29 +291,8 @@ void SparseMatrix::Multiply(const DenseMatrix& x, DenseMatrix* out) const {
   FGR_CHECK(out != &x) << "SpMM output must not alias the input";
   if (out->rows() != rows_ || out->cols() != x.cols()) {
     *out = DenseMatrix(rows_, x.cols());
-  } else {
-    out->SetZero();
   }
-  const Index k = x.cols();
-  // nnz-balanced shards: a row-count split stalls on hub rows of power-law
-  // graphs; splitting by row_ptr prefix sums gives every worker the same
-  // number of multiply-adds. Each row is still written by exactly one
-  // worker, so results stay bit-identical at any thread count.
-  ParallelForShards(
-      ShardByWeight(row_ptr_, NumShards(rows_)),
-      [&](Index row_begin, Index row_end, int /*shard*/) {
-        for (Index i = row_begin; i < row_end; ++i) {
-          double* out_row = out->RowPtr(i);
-          const Index begin = row_ptr_[static_cast<std::size_t>(i)];
-          const Index end = row_ptr_[static_cast<std::size_t>(i) + 1];
-          for (Index p = begin; p < end; ++p) {
-            const double v = values_[static_cast<std::size_t>(p)];
-            const double* x_row =
-                x.RowPtr(col_idx_[static_cast<std::size_t>(p)]);
-            for (Index j = 0; j < k; ++j) out_row[j] += v * x_row[j];
-          }
-        }
-      });
+  View().MultiplyInto(x, out);
 }
 
 DenseMatrix SparseMatrix::Multiply(const DenseMatrix& x) const {
@@ -243,43 +311,7 @@ void SparseMatrix::MultiplyTransposed(const DenseMatrix& x,
   } else {
     out->SetZero();
   }
-  const Index k = x.cols();
-  // Rows of A scatter into rows of Aᵀx, so row-parallelism needs per-shard
-  // output buffers; they are combined in shard order, which keeps results
-  // deterministic for a fixed thread count. Shard boundaries are
-  // nnz-balanced so hub rows do not serialize the scatter.
-  const std::vector<Index> boundaries =
-      ShardByWeight(row_ptr_, NumShards(rows_));
-  const int shards = static_cast<int>(boundaries.size()) - 1;
-  const auto accumulate = [&](Index row_begin, Index row_end,
-                              DenseMatrix* target) {
-    for (Index i = row_begin; i < row_end; ++i) {
-      const double* x_row = x.RowPtr(i);
-      const Index begin = row_ptr_[static_cast<std::size_t>(i)];
-      const Index end = row_ptr_[static_cast<std::size_t>(i) + 1];
-      for (Index p = begin; p < end; ++p) {
-        const double v = values_[static_cast<std::size_t>(p)];
-        double* t_row = target->RowPtr(col_idx_[static_cast<std::size_t>(p)]);
-        for (Index j = 0; j < k; ++j) t_row[j] += v * x_row[j];
-      }
-    }
-  };
-  if (shards == 1) {
-    accumulate(0, rows_, out);
-    return;
-  }
-  std::vector<DenseMatrix> partials(static_cast<std::size_t>(shards),
-                                    DenseMatrix(cols_, k));
-  ParallelForShards(boundaries, [&](Index lo, Index hi, int shard) {
-    accumulate(lo, hi, &partials[static_cast<std::size_t>(shard)]);
-  });
-  ParallelFor(0, cols_, [&](Index i) {
-    double* out_row = out->RowPtr(i);
-    for (const DenseMatrix& partial : partials) {
-      const double* p_row = partial.RowPtr(i);
-      for (Index j = 0; j < k; ++j) out_row[j] += p_row[j];
-    }
-  });
+  View().MultiplyTransposedAddInto(x, out);
 }
 
 DenseMatrix SparseMatrix::MultiplyTransposed(const DenseMatrix& x) const {
@@ -343,6 +375,19 @@ double SparseMatrix::At(Index row, Index col) const {
   const auto it = std::lower_bound(begin, end, col);
   if (it == end || *it != col) return 0.0;
   return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+CsrPanelView SparseMatrix::View() const { return PanelView(0, rows_); }
+
+CsrPanelView SparseMatrix::PanelView(Index row_begin, Index row_end) const {
+  FGR_CHECK(row_begin >= 0 && row_begin <= row_end && row_end <= rows_);
+  // col_idx/values point at the panel's own first entry; the kernels index
+  // them with row_ptr[r] - row_ptr[0], so the global slice lines up.
+  const std::size_t base =
+      static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(row_begin)]);
+  return CsrPanelView(row_begin, row_end - row_begin, cols_,
+                      row_ptr_.data() + row_begin, col_idx_.data() + base,
+                      values_.data() + base);
 }
 
 SparseMatrix SparseMatrix::Transpose() const {

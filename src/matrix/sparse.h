@@ -27,6 +27,64 @@ struct Triplet {
   double value = 0.0;
 };
 
+// A non-owning view of a contiguous block of CSR rows — the unit the
+// out-of-core estimation path streams through the SpMM and summarization
+// kernels. The view covers global rows [first_row, first_row + rows) of a
+// matrix whose full column space stays addressable, so Multiply gathers
+// from every row of the dense operand while writing only the panel's
+// output rows. SparseMatrix::Multiply/MultiplyTransposed run on a
+// whole-matrix view of their own storage, so a streamed panel takes
+// exactly the in-core kernel: per-row results are bit-identical, and only
+// sharded reductions reassociate.
+class CsrPanelView {
+ public:
+  using Index = std::int64_t;
+
+  // `row_ptr` has num_rows + 1 entries and may carry an arbitrary base
+  // offset (a slice of a full CSR row_ptr keeps its global values);
+  // col_idx / values hold the panel's own entries, indexed by
+  // row_ptr[r] - row_ptr[0].
+  CsrPanelView(Index first_row, Index num_rows, Index num_cols,
+               const Index* row_ptr, const Index* col_idx,
+               const double* values)
+      : first_row_(first_row), rows_(num_rows), cols_(num_cols),
+        row_ptr_(row_ptr), col_idx_(col_idx), values_(values) {
+    FGR_CHECK_GE(first_row, 0);
+    FGR_CHECK_GE(num_rows, 0);
+    FGR_CHECK_GE(num_cols, 0);
+  }
+
+  Index first_row() const { return first_row_; }
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index nnz() const { return row_ptr_[rows_] - row_ptr_[0]; }
+
+  // Writes rows [first_row, first_row + rows) of out = matrix × x, zeroing
+  // exactly those rows first; other rows of `out` are untouched. Checks
+  // x.rows() == cols() and that `out` is tall enough. Row-parallel with
+  // nnz-balanced shards; each output row is accumulated by one worker in
+  // serial order, so results are bit-identical at any thread count.
+  void MultiplyInto(const DenseMatrix& x, DenseMatrix* out) const;
+
+  // Adds the panel's contribution to matrixᵀ × x into `out` (cols() ×
+  // x.cols(), zeroed by the caller before the pass). Rows scatter into
+  // shared output rows, so the threaded version combines per-shard
+  // partials in shard order (deterministic for a fixed thread count,
+  // reassociated relative to serial).
+  void MultiplyTransposedAddInto(const DenseMatrix& x, DenseMatrix* out) const;
+
+  // Row sums of the panel (weighted degrees), written to out[0..rows()).
+  void RowSumsInto(double* out) const;
+
+ private:
+  Index first_row_;
+  Index rows_;
+  Index cols_;
+  const Index* row_ptr_;
+  const Index* col_idx_;
+  const double* values_;
+};
+
 class SparseMatrix {
  public:
   using Index = std::int64_t;
@@ -95,6 +153,12 @@ class SparseMatrix {
 
   // Entry lookup by binary search within the row. O(log nnz_row).
   double At(Index row, Index col) const;
+
+  // Non-owning views over this matrix's storage: the whole matrix, or the
+  // row panel [row_begin, row_end). The view stays valid only while this
+  // matrix is alive and unmodified.
+  CsrPanelView View() const;
+  CsrPanelView PanelView(Index row_begin, Index row_end) const;
 
   SparseMatrix Transpose() const;
 

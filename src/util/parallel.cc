@@ -50,22 +50,27 @@ int NumThreads() {
 
 std::vector<std::int64_t> ShardByWeight(const std::vector<std::int64_t>& prefix,
                                         int shards) {
-  FGR_CHECK_GE(shards, 1);
   FGR_CHECK_GE(prefix.size(), 1u);
-  const std::int64_t rows = static_cast<std::int64_t>(prefix.size()) - 1;
+  return ShardByWeight(prefix.data(),
+                       static_cast<std::int64_t>(prefix.size()) - 1, shards);
+}
+
+std::vector<std::int64_t> ShardByWeight(const std::int64_t* prefix,
+                                        std::int64_t rows, int shards) {
+  FGR_CHECK_GE(shards, 1);
+  FGR_CHECK_GE(rows, 0);
   std::vector<std::int64_t> boundaries;
   boundaries.push_back(0);
   if (rows <= 0) return boundaries;
-  const std::int64_t base = prefix.front();
-  const std::int64_t total = prefix.back() - base;
+  const std::int64_t base = prefix[0];
+  const std::int64_t total = prefix[rows] - base;
   for (int s = 1; s < shards; ++s) {
     // First row whose cumulative weight reaches the s-th equal-weight
     // target; empty shards collapse (duplicate boundaries are skipped).
     const std::int64_t target =
         base + total / shards * s + total % shards * s / shards;
-    const auto it = std::lower_bound(prefix.begin(), prefix.end(), target);
-    const std::int64_t row =
-        std::min<std::int64_t>(rows, it - prefix.begin());
+    const auto it = std::lower_bound(prefix, prefix + rows + 1, target);
+    const std::int64_t row = std::min<std::int64_t>(rows, it - prefix);
     if (row > boundaries.back()) boundaries.push_back(row);
   }
   if (boundaries.back() < rows) boundaries.push_back(rows);

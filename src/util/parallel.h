@@ -168,6 +168,14 @@ void ParallelForShards(std::int64_t begin, std::int64_t end, int shards,
 std::vector<std::int64_t> ShardByWeight(const std::vector<std::int64_t>& prefix,
                                         int shards);
 
+// Raw-span overload for CSR panel views: `prefix` points at rows + 1
+// monotone entries that may carry an arbitrary base offset (a slice of a
+// full row_ptr keeps its global values). Boundaries are relative to the
+// slice (first 0, last rows), exactly as the vector overload returns them
+// for a whole row_ptr.
+std::vector<std::int64_t> ShardByWeight(const std::int64_t* prefix,
+                                        std::int64_t rows, int shards);
+
 // Runs fn(shard_begin, shard_end, shard_index) over explicit shard
 // boundaries as produced by ShardByWeight (boundaries[s] to
 // boundaries[s + 1] for each s), concurrently when possible.

@@ -2,6 +2,7 @@
 // mimic/planted/file sources, the .fgrbin binary cache, and the
 // FGR_DATA_DIR real-data override.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -283,6 +284,60 @@ TEST(FileSourceTest, AutoCacheServesGraphAfterTextIsGone) {
   ASSERT_TRUE(loaded.ok());
   EXPECT_TRUE(AllClose(loaded.value().graph.adjacency().ToDense(),
                        small.graph.adjacency().ToDense(), 0.0));
+}
+
+TEST(FileSourceTest, StaleCacheIsInvalidatedWhenSourceIsNewer) {
+  const LabeledGraph small = SmallLabeledGraph(false);
+  const std::string edges = TempPath("stale.edges");
+  const std::string cache = edges + kFgrBinExtension;
+  ASSERT_TRUE(WriteEdgeList(small.graph, edges).ok());
+  const FileSource source("stale", edges);
+  ASSERT_TRUE(source.Load({}).ok());  // parses text, writes the cache
+  ASSERT_TRUE(std::filesystem::exists(cache));
+
+  // Rewrite the edge list with a different graph and force its mtime
+  // strictly past the cache's (rewrites inside the fs timestamp granularity
+  // would otherwise make this test flaky).
+  auto bigger = Graph::FromEdges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4},
+                                     {4, 5}, {5, 0}, {0, 3}});
+  ASSERT_TRUE(bigger.ok());
+  ASSERT_TRUE(WriteEdgeList(bigger.value(), edges).ok());
+  std::filesystem::last_write_time(
+      edges, std::filesystem::last_write_time(cache) +
+                 std::chrono::seconds(2));
+
+  auto loaded = source.Load({});
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().graph.num_nodes(), 6);
+  EXPECT_EQ(loaded.value().graph.num_edges(), 7);
+  // The stale cache was replaced, so direct .fgrbin consumers see the new
+  // graph too.
+  auto cached = ReadFgrBin(cache);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cached.value().graph.num_nodes(), 6);
+}
+
+TEST(FileSourceTest, StaleCacheIsRemovedEvenWhenTheReparseFails) {
+  const LabeledGraph small = SmallLabeledGraph(false);
+  const std::string edges = TempPath("stale_bad.edges");
+  const std::string cache = edges + kFgrBinExtension;
+  ASSERT_TRUE(WriteEdgeList(small.graph, edges).ok());
+  const FileSource source("stale_bad", edges);
+  ASSERT_TRUE(source.Load({}).ok());
+  ASSERT_TRUE(std::filesystem::exists(cache));
+
+  {
+    std::ofstream out(edges, std::ios::trunc);
+    out << "this is not an edge list\n";
+  }
+  std::filesystem::last_write_time(
+      edges, std::filesystem::last_write_time(cache) +
+                 std::chrono::seconds(2));
+
+  // The reload fails on the garbage text — but the cache this load already
+  // knew was stale must be gone, not left for a later direct .fgrbin read.
+  EXPECT_FALSE(source.Load({}).ok());
+  EXPECT_FALSE(std::filesystem::exists(cache));
 }
 
 TEST(FileSourceTest, AutoCacheOffDoesNotWriteACache) {

@@ -1,0 +1,194 @@
+// Golden-number regression over the 8 mimic datasets at a fixed seed: the
+// raw M(ℓ) path-count matrices (compared exactly — they are integer-valued
+// on the unweighted mimics, so any difference is real drift, not float
+// noise), the estimated compatibility matrix H, and the LinBP propagation
+// accuracy (compared within tolerances that absorb thread-count
+// reassociation but catch algorithmic drift).
+//
+// Regenerating after an intentional change:
+//   FGR_UPDATE_GOLDEN=1 ./build/datasets_golden_test
+// rewrites tests/golden/*.golden in the source tree (the directory is baked
+// in at compile time); commit the diff alongside the change that caused it.
+// The goldens assume a correctly-rounding libm (any modern glibc): the
+// power-law degree sampler calls std::pow, so an exotic libm could alter
+// the generated graphs themselves.
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fgr/fgr.h"
+
+#ifndef FGR_GOLDEN_DIR
+#define FGR_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace fgr {
+namespace {
+
+constexpr double kScale = 0.005;
+constexpr double kSeedFraction = 0.05;
+constexpr int kMaxLength = 5;
+// H drifts ~1e-6 across thread counts (reassociated statistics pushed
+// through L-BFGS); 1e-4 stays an order of magnitude above that noise while
+// catching any real change to the estimator.
+constexpr double kHTolerance = 1e-4;
+// Macro accuracy moves by ~1/n_c if a borderline argmax flips; 0.02 absorbs
+// one flip in the smallest class of the smallest mimic.
+constexpr double kAccuracyTolerance = 0.02;
+
+struct GoldenRecord {
+  std::string name;
+  std::int64_t nodes = 0;
+  std::int64_t edges = 0;
+  std::int64_t classes = 0;
+  std::vector<DenseMatrix> m_raw;
+  DenseMatrix h;
+  double accuracy = 0.0;
+};
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(FGR_GOLDEN_DIR) + "/" + DatasetSlug(name) + ".golden";
+}
+
+// Runs the fixed-seed pipeline the goldens pin down.
+GoldenRecord ComputeRecord(const DatasetSpec& spec) {
+  Rng rng(42);
+  auto mimic = GenerateDatasetMimic(spec, kScale, rng);
+  FGR_CHECK(mimic.ok()) << mimic.status().ToString();
+  const Graph& graph = mimic.value().graph;
+  const Labeling& truth = mimic.value().labels;
+  Rng seed_rng(43);
+  const Labeling seeds = SampleStratifiedSeeds(truth, kSeedFraction, seed_rng);
+
+  GoldenRecord record;
+  record.name = spec.name;
+  record.nodes = graph.num_nodes();
+  record.edges = graph.num_edges();
+  record.classes = seeds.num_classes();
+
+  const GraphStatistics stats =
+      ComputeGraphStatistics(graph, seeds, kMaxLength);
+  record.m_raw = stats.m_raw;
+
+  DceOptions options;
+  options.restarts = 2;
+  const EstimationResult estimate =
+      EstimateDceFromStatistics(stats, seeds.num_classes(), options);
+  record.h = estimate.h;
+
+  const LinBpResult prop = RunLinBp(graph, seeds, estimate.h);
+  const Labeling predicted = LabelsFromBeliefs(prop.beliefs, seeds);
+  record.accuracy = MacroAccuracy(truth, predicted, seeds);
+  return record;
+}
+
+void WriteMatrix(std::ofstream& out, const DenseMatrix& m) {
+  for (std::int64_t i = 0; i < m.rows(); ++i) {
+    for (std::int64_t j = 0; j < m.cols(); ++j) {
+      out << (j > 0 ? " " : "") << m(i, j);
+    }
+    out << "\n";
+  }
+}
+
+bool WriteRecord(const GoldenRecord& record, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << std::setprecision(17);  // exact double round-trip
+  out << "fgr-golden 1\n";
+  out << "name " << record.name << "\n";
+  out << "scale " << kScale << " f " << kSeedFraction << "\n";
+  out << "nodes " << record.nodes << " edges " << record.edges << " classes "
+      << record.classes << "\n";
+  for (std::size_t l = 0; l < record.m_raw.size(); ++l) {
+    out << "M " << l + 1 << "\n";
+    WriteMatrix(out, record.m_raw[l]);
+  }
+  out << "H\n";
+  WriteMatrix(out, record.h);
+  out << "accuracy " << record.accuracy << "\n";
+  out << "end\n";
+  return static_cast<bool>(out);
+}
+
+bool ReadMatrix(std::ifstream& in, std::int64_t k, DenseMatrix* m) {
+  *m = DenseMatrix(k, k);
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (std::int64_t j = 0; j < k; ++j) {
+      if (!(in >> (*m)(i, j))) return false;
+    }
+  }
+  return true;
+}
+
+bool ReadRecord(const std::string& path, GoldenRecord* record) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string token;
+  int version = 0;
+  if (!(in >> token >> version) || token != "fgr-golden" || version != 1) {
+    return false;
+  }
+  if (!(in >> token >> record->name) || token != "name") return false;
+  double scale = 0.0, fraction = 0.0;
+  if (!(in >> token >> scale >> token >> fraction)) return false;
+  if (scale != kScale || fraction != kSeedFraction) return false;
+  if (!(in >> token >> record->nodes >> token >> record->edges >> token >>
+        record->classes)) {
+    return false;
+  }
+  record->m_raw.clear();
+  for (int l = 1; l <= kMaxLength; ++l) {
+    int length = 0;
+    if (!(in >> token >> length) || token != "M" || length != l) return false;
+    DenseMatrix m;
+    if (!ReadMatrix(in, record->classes, &m)) return false;
+    record->m_raw.push_back(std::move(m));
+  }
+  if (!(in >> token) || token != "H") return false;
+  if (!ReadMatrix(in, record->classes, &record->h)) return false;
+  if (!(in >> token >> record->accuracy) || token != "accuracy") return false;
+  return true;
+}
+
+TEST(DatasetsGoldenTest, MimicPipelineMatchesCheckedInGoldens) {
+  const bool update = std::getenv("FGR_UPDATE_GOLDEN") != nullptr;
+  for (const DatasetSpec& spec : RealWorldDatasetSpecs()) {
+    SCOPED_TRACE(spec.name);
+    const GoldenRecord actual = ComputeRecord(spec);
+    const std::string path = GoldenPath(spec.name);
+    if (update) {
+      ASSERT_TRUE(WriteRecord(actual, path)) << "cannot write " << path;
+      continue;
+    }
+    GoldenRecord golden;
+    ASSERT_TRUE(ReadRecord(path, &golden))
+        << "cannot read " << path
+        << " — regenerate with FGR_UPDATE_GOLDEN=1 ./datasets_golden_test";
+    EXPECT_EQ(golden.nodes, actual.nodes);
+    EXPECT_EQ(golden.edges, actual.edges);
+    EXPECT_EQ(golden.classes, actual.classes);
+    ASSERT_EQ(golden.m_raw.size(), actual.m_raw.size());
+    for (std::size_t l = 0; l < golden.m_raw.size(); ++l) {
+      // Exact: the mimics are unweighted, so every M entry is an integer
+      // path count — representable exactly and invariant to thread count.
+      EXPECT_TRUE(AllClose(golden.m_raw[l], actual.m_raw[l], 0.0))
+          << "M(" << l + 1 << ") drifted";
+    }
+    EXPECT_TRUE(AllClose(golden.h, actual.h, kHTolerance))
+        << "H drifted beyond " << kHTolerance << "\ngolden:\n"
+        << golden.h.ToString(8) << "\nactual:\n" << actual.h.ToString(8);
+    EXPECT_NEAR(golden.accuracy, actual.accuracy, kAccuracyTolerance);
+  }
+  if (update) {
+    GTEST_SKIP() << "golden files regenerated under " << FGR_GOLDEN_DIR;
+  }
+}
+
+}  // namespace
+}  // namespace fgr

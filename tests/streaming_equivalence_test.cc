@@ -1,0 +1,350 @@
+// Equivalence tests for the out-of-core estimation path: streaming a
+// .fgrbin cache block-row by block-row through PanelSummarizer must match
+// the in-core path — bit for bit in serial runs (the panels take exactly
+// the in-core kernel in the same operation order), and within the
+// tolerance parallel_equivalence_test already uses for sharded reductions
+// when threaded. Panel shapes sweep the degenerate single row, a prime
+// width (panels misaligned with every internal boundary), an aligned power
+// of two, and the whole graph in one panel.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fgr/fgr.h"
+
+namespace fgr {
+namespace {
+
+class ThreadGuard {
+ public:
+  ~ThreadGuard() { SetNumThreads(0); }
+};
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+struct StreamFixture {
+  Graph graph;
+  Labeling truth;
+  Labeling seeds;
+  std::string path;  // .fgrbin cache of `graph`
+};
+
+StreamFixture MakeStreamFixture(std::int64_t n, const std::string& name,
+                                bool weighted = false) {
+  Rng rng(4242);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(n, 8.0, 3, 3.0), rng);
+  FGR_CHECK(planted.ok());
+  StreamFixture fixture;
+  fixture.graph = std::move(planted.value().graph);
+  if (weighted) {
+    // Re-weight the planted edges deterministically so the values section
+    // is present and exercised.
+    std::vector<Edge> edges = fixture.graph.UndirectedEdges();
+    for (Edge& edge : edges) {
+      edge.weight = 0.25 + 1.5 / static_cast<double>(1 + (edge.u + edge.v) % 7);
+    }
+    auto reweighted = Graph::FromEdges(fixture.graph.num_nodes(), edges);
+    FGR_CHECK(reweighted.ok());
+    fixture.graph = std::move(reweighted).value();
+  }
+  fixture.truth = std::move(planted.value().labels);
+  fixture.seeds = SampleStratifiedSeeds(fixture.truth, 0.05, rng);
+  fixture.path = TempPath(name + ".fgrbin");
+  FGR_CHECK(WriteFgrBin(fixture.graph, nullptr, nullptr, fixture.path).ok());
+  return fixture;
+}
+
+std::vector<std::int64_t> PanelSweep(std::int64_t n) {
+  // One row, a prime, an aligned power of two, the whole graph.
+  return {1, 97, 256, n};
+}
+
+BlockRowReaderOptions PanelOptions(std::int64_t rows_per_panel) {
+  BlockRowReaderOptions options;
+  options.rows_per_panel = rows_per_panel;
+  return options;
+}
+
+// --- block-row reader -----------------------------------------------------
+
+TEST(BlockRowReaderTest, PanelsTileTheGraphAndMatchTheCsr) {
+  const StreamFixture fixture = MakeStreamFixture(500, "reader_tile");
+  auto reader = BlockRowReader::Open(fixture.path, PanelOptions(97));
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.value().num_nodes(), 500);
+  EXPECT_EQ(reader.value().nnz(), fixture.graph.adjacency().nnz());
+  EXPECT_EQ(reader.value().num_panels(), (500 + 96) / 97);
+
+  const SparseMatrix& adjacency = fixture.graph.adjacency();
+  CsrPanel panel;
+  std::int64_t row = 0;
+  while (!reader.value().Done()) {
+    ASSERT_TRUE(reader.value().NextPanel(&panel).ok());
+    EXPECT_EQ(panel.first_row, row);
+    for (std::int64_t r = 0; r < panel.rows(); ++r) {
+      const std::int64_t global = panel.first_row + r;
+      const std::int64_t begin =
+          adjacency.row_ptr()[static_cast<std::size_t>(global)];
+      const std::int64_t end =
+          adjacency.row_ptr()[static_cast<std::size_t>(global) + 1];
+      ASSERT_EQ(panel.row_ptr[static_cast<std::size_t>(r) + 1] -
+                    panel.row_ptr[static_cast<std::size_t>(r)],
+                end - begin);
+      for (std::int64_t p = begin; p < end; ++p) {
+        const std::int64_t local =
+            panel.row_ptr[static_cast<std::size_t>(r)] + (p - begin);
+        EXPECT_EQ(panel.col_idx[static_cast<std::size_t>(local)],
+                  adjacency.col_idx()[static_cast<std::size_t>(p)]);
+        EXPECT_EQ(panel.values[static_cast<std::size_t>(local)],
+                  adjacency.values()[static_cast<std::size_t>(p)]);
+      }
+    }
+    row += panel.rows();
+  }
+  EXPECT_EQ(row, 500);
+  EXPECT_FALSE(reader.value().NextPanel(&panel).ok());  // exhausted
+  ASSERT_TRUE(reader.value().Rewind().ok());
+  EXPECT_FALSE(reader.value().Done());
+}
+
+TEST(BlockRowReaderTest, BudgetBoundsThePanelPayload) {
+  const StreamFixture fixture = MakeStreamFixture(800, "reader_budget");
+  BlockRowReaderOptions options;
+  options.memory_budget_bytes = 4096;
+  auto reader = BlockRowReader::Open(fixture.path, options);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_GT(reader.value().num_panels(), 1);
+  CsrPanel panel;
+  while (!reader.value().Done()) {
+    ASSERT_TRUE(reader.value().NextPanel(&panel).ok());
+    const std::int64_t bytes =
+        (panel.rows() + 1) * 8 + panel.nnz() * 16;
+    // Every multi-row panel respects the budget; a single row may exceed it.
+    if (panel.rows() > 1) {
+      EXPECT_LE(bytes, options.memory_budget_bytes);
+    }
+  }
+}
+
+TEST(BlockRowReaderTest, WholeGraphBudgetYieldsOnePanel) {
+  const StreamFixture fixture = MakeStreamFixture(300, "reader_one_panel");
+  auto reader = BlockRowReader::Open(fixture.path, {});  // default 64 MB
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value().num_panels(), 1);
+}
+
+TEST(BlockRowReaderTest, FileTruncatedAfterOpenFailsMidStream) {
+  const StreamFixture fixture = MakeStreamFixture(400, "reader_truncated");
+  const std::string copy = TempPath("reader_truncated_copy.fgrbin");
+  std::filesystem::copy_file(
+      fixture.path, copy, std::filesystem::copy_options::overwrite_existing);
+  auto reader = BlockRowReader::Open(copy, PanelOptions(64));
+  ASSERT_TRUE(reader.ok());
+  std::filesystem::resize_file(copy,
+                               std::filesystem::file_size(copy) / 2);
+  CsrPanel panel;
+  Status status = Status::Ok();
+  while (status.ok() && !reader.value().Done()) {
+    status = reader.value().NextPanel(&panel);
+  }
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+// --- panel kernels --------------------------------------------------------
+
+TEST(CsrPanelViewTest, PanelwiseMultiplyIsBitIdenticalToFullSpmm) {
+  const StreamFixture fixture = MakeStreamFixture(700, "panel_spmm", true);
+  const SparseMatrix& w = fixture.graph.adjacency();
+  const DenseMatrix x = fixture.seeds.ToOneHot();
+  const DenseMatrix reference = w.Multiply(x);
+
+  for (std::int64_t rows : PanelSweep(700)) {
+    DenseMatrix out(w.rows(), x.cols());
+    for (std::int64_t lo = 0; lo < w.rows(); lo += rows) {
+      const std::int64_t hi = std::min<std::int64_t>(lo + rows, w.rows());
+      w.PanelView(lo, hi).MultiplyInto(x, &out);
+    }
+    ASSERT_EQ(out.data(), reference.data()) << "panel rows " << rows;
+  }
+}
+
+TEST(CsrPanelViewTest, PanelwiseTransposedMultiplyMatchesFullKernel) {
+  ThreadGuard guard;
+  SetNumThreads(1);
+  const StreamFixture fixture = MakeStreamFixture(600, "panel_spmmt", true);
+  const SparseMatrix& w = fixture.graph.adjacency();
+  const DenseMatrix x = fixture.seeds.ToOneHot();
+  const DenseMatrix reference = w.MultiplyTransposed(x);
+
+  for (std::int64_t rows : PanelSweep(600)) {
+    DenseMatrix out(w.cols(), x.cols());
+    for (std::int64_t lo = 0; lo < w.rows(); lo += rows) {
+      const std::int64_t hi = std::min<std::int64_t>(lo + rows, w.rows());
+      w.PanelView(lo, hi).MultiplyTransposedAddInto(x, &out);
+    }
+    // Serial panels scatter in exactly the full kernel's order.
+    ASSERT_EQ(out.data(), reference.data()) << "panel rows " << rows;
+  }
+}
+
+// --- streamed statistics --------------------------------------------------
+
+TEST(StreamingEquivalenceTest, SerialStreamedStatisticsAreBitIdentical) {
+  ThreadGuard guard;
+  SetNumThreads(1);
+  const StreamFixture fixture = MakeStreamFixture(1500, "stats_serial");
+  const GraphStatistics in_core =
+      ComputeGraphStatistics(fixture.graph, fixture.seeds, 5);
+
+  for (std::int64_t rows : PanelSweep(1500)) {
+    auto streamed = ComputeGraphStatisticsStreaming(
+        fixture.path, fixture.seeds, 5, PathType::kNonBacktracking,
+        NormalizationVariant::kRowStochastic, PanelOptions(rows));
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    ASSERT_EQ(streamed.value().m_raw.size(), in_core.m_raw.size());
+    for (std::size_t l = 0; l < in_core.m_raw.size(); ++l) {
+      EXPECT_EQ(streamed.value().m_raw[l].data(), in_core.m_raw[l].data())
+          << "panel rows " << rows << ", path length " << l + 1;
+      EXPECT_EQ(streamed.value().p_hat[l].data(), in_core.p_hat[l].data())
+          << "panel rows " << rows << ", path length " << l + 1;
+    }
+  }
+}
+
+TEST(StreamingEquivalenceTest, WeightedGraphStreamsBitIdenticallyToo) {
+  ThreadGuard guard;
+  SetNumThreads(1);
+  const StreamFixture fixture =
+      MakeStreamFixture(900, "stats_weighted", true);
+  const GraphStatistics in_core =
+      ComputeGraphStatistics(fixture.graph, fixture.seeds, 4);
+  auto streamed = ComputeGraphStatisticsStreaming(
+      fixture.path, fixture.seeds, 4, PathType::kNonBacktracking,
+      NormalizationVariant::kRowStochastic, PanelOptions(97));
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  for (std::size_t l = 0; l < in_core.m_raw.size(); ++l) {
+    EXPECT_EQ(streamed.value().m_raw[l].data(), in_core.m_raw[l].data());
+  }
+}
+
+TEST(StreamingEquivalenceTest, ThreadedStreamedStatisticsMatchTolerance) {
+  ThreadGuard guard;
+  const StreamFixture fixture = MakeStreamFixture(1500, "stats_threaded");
+  SetNumThreads(1);
+  const GraphStatistics reference =
+      ComputeGraphStatistics(fixture.graph, fixture.seeds, 5);
+
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    for (std::int64_t rows : PanelSweep(1500)) {
+      auto streamed = ComputeGraphStatisticsStreaming(
+          fixture.path, fixture.seeds, 5, PathType::kNonBacktracking,
+          NormalizationVariant::kRowStochastic, PanelOptions(rows));
+      ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+      for (std::size_t l = 0; l < reference.p_hat.size(); ++l) {
+        EXPECT_TRUE(AllClose(streamed.value().p_hat[l], reference.p_hat[l],
+                             1e-9))
+            << threads << " threads, panel rows " << rows << ", length "
+            << l + 1;
+      }
+    }
+  }
+}
+
+TEST(StreamingEquivalenceTest, FullPathVariantStreamsIdentically) {
+  ThreadGuard guard;
+  SetNumThreads(1);
+  const StreamFixture fixture = MakeStreamFixture(800, "stats_full_paths");
+  const GraphStatistics in_core = ComputeGraphStatistics(
+      fixture.graph, fixture.seeds, 3, PathType::kFull);
+  auto streamed = ComputeGraphStatisticsStreaming(
+      fixture.path, fixture.seeds, 3, PathType::kFull,
+      NormalizationVariant::kRowStochastic, PanelOptions(1));
+  ASSERT_TRUE(streamed.ok());
+  for (std::size_t l = 0; l < in_core.m_raw.size(); ++l) {
+    EXPECT_EQ(streamed.value().m_raw[l].data(), in_core.m_raw[l].data());
+  }
+}
+
+TEST(StreamingEquivalenceTest, RejectsSeedCountMismatch) {
+  const StreamFixture fixture = MakeStreamFixture(300, "stats_mismatch");
+  const Labeling wrong(299, 3);
+  auto streamed = ComputeGraphStatisticsStreaming(fixture.path, wrong, 3);
+  ASSERT_FALSE(streamed.ok());
+  EXPECT_EQ(streamed.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- LCE M/B panel accumulators -------------------------------------------
+
+TEST(StreamingEquivalenceTest, LceStatisticsFoldTheSameOverPanelRanges) {
+  ThreadGuard guard;
+  SetNumThreads(1);
+  const StreamFixture fixture = MakeStreamFixture(500, "lce_ranges", true);
+  const std::int64_t k = fixture.seeds.num_classes();
+  const DenseMatrix n =
+      fixture.graph.adjacency().Multiply(fixture.seeds.ToOneHot());
+
+  DenseMatrix m_whole(k, k), b_whole(k, k);
+  AccumulateLceStatistics(fixture.seeds, n, 0, n.rows(), &m_whole, &b_whole);
+
+  // Panel-shaped folding in ascending ranges — what a streamed LCE would
+  // do with the rows of N produced from each W panel — must agree exactly
+  // in serial runs.
+  for (std::int64_t rows : PanelSweep(500)) {
+    DenseMatrix m(k, k), b(k, k);
+    for (std::int64_t lo = 0; lo < n.rows(); lo += rows) {
+      const std::int64_t hi = std::min<std::int64_t>(lo + rows, n.rows());
+      AccumulateLceStatistics(fixture.seeds, n, lo, hi, &m, &b);
+    }
+    EXPECT_EQ(m.data(), m_whole.data()) << "panel rows " << rows;
+    EXPECT_EQ(b.data(), b_whole.data()) << "panel rows " << rows;
+  }
+}
+
+// --- end-to-end DCE over the mimic datasets -------------------------------
+
+// Acceptance gate: streamed EstimateDceStreaming must land within 1e-9 of
+// the in-core estimate on every mimic dataset, at panel sizes down to a
+// single block-row, in both the serial and 4-thread CI runs (the suite
+// executes under both settings). The mimics are scaled down so the sweep
+// stays fast; the estimation problem (planted gold H, power-law degrees,
+// class skew) is unchanged by scale.
+TEST(StreamingEquivalenceTest, StreamedDceMatchesInCoreOnAllMimics) {
+  for (const DatasetSpec& spec : RealWorldDatasetSpecs()) {
+    Rng rng(7);
+    auto mimic = GenerateDatasetMimic(spec, 0.001, rng);
+    ASSERT_TRUE(mimic.ok()) << spec.name;
+    const Graph& graph = mimic.value().graph;
+    Rng seed_rng(11);
+    const Labeling seeds =
+        SampleStratifiedSeeds(mimic.value().labels, 0.05, seed_rng);
+    const std::string path =
+        TempPath("mimic_" + DatasetSlug(spec.name) + ".fgrbin");
+    ASSERT_TRUE(WriteFgrBin(graph, nullptr, nullptr, path).ok());
+
+    DceOptions options;
+    options.restarts = 2;
+    const EstimationResult in_core = EstimateDce(graph, seeds, options);
+    for (std::int64_t rows : {std::int64_t{1}, graph.num_nodes()}) {
+      auto streamed =
+          EstimateDceStreaming(path, seeds, options, PanelOptions(rows));
+      ASSERT_TRUE(streamed.ok())
+          << spec.name << ": " << streamed.status().ToString();
+      EXPECT_TRUE(AllClose(streamed.value().h, in_core.h, 1e-9))
+          << spec.name << " at panel rows " << rows << "\nstreamed:\n"
+          << streamed.value().h.ToString(12) << "\nin-core:\n"
+          << in_core.h.ToString(12);
+      EXPECT_EQ(streamed.value().restarts_used, in_core.restarts_used);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fgr

@@ -26,9 +26,12 @@
 //       Write a planted-compatibility graph and its full ground truth.
 //
 //   fgr_cli estimate <name|edges.txt> <labels.txt> --classes K
-//           [--restarts R] [--lmax L] [--lambda X]
+//           [--restarts R] [--lmax L] [--lambda X] [--memory-budget MB]
 //       Estimate and print the compatibility matrix. Labels use -1 for
-//       unlabeled nodes.
+//       unlabeled nodes. With --memory-budget the dataset must be a
+//       .fgrbin cache; the CSR is then streamed block-row by block-row
+//       under the budget instead of materialized (out-of-core estimation
+//       for graphs larger than RAM).
 //
 //   fgr_cli label <name|edges.txt> <labels.txt> <out.txt> --classes K
 //           [--restarts R]
@@ -107,7 +110,7 @@ int Usage() {
       "  fgr_cli generate <edges> <labels> --nodes N --edges M --classes K\n"
       "          [--skew H] [--seed S] [--powerlaw]\n"
       "  fgr_cli estimate <name|edges> <labels> --classes K [--restarts R]\n"
-      "          [--lmax L] [--lambda X]\n"
+      "          [--lmax L] [--lambda X] [--memory-budget MB]\n"
       "  fgr_cli label <name|edges> <labels> <out> --classes K "
       "[--restarts R]\n");
   return 2;
@@ -178,13 +181,34 @@ Result<Problem> MakeProblem(const std::string& reference,
   return problem;
 }
 
-EstimationResult Estimate(const Graph& graph, const Labeling& seeds,
-                          const Flags& flags) {
+DceOptions MakeDceOptions(const Flags& flags) {
   DceOptions options;
   options.restarts = static_cast<int>(flags.Int("restarts", 10));
   options.max_path_length = static_cast<int>(flags.Int("lmax", 5));
   options.lambda = flags.Double("lambda", 10.0);
-  return EstimateDce(graph, seeds, options);
+  return options;
+}
+
+// Shared by the in-core and streaming `estimate` paths: the streaming-e2e
+// CI job diffs their outputs bit for bit, so there is exactly one copy of
+// these format strings.
+void PrintEstimateReport(std::int64_t num_nodes, std::int64_t num_edges,
+                         const Labeling& seeds,
+                         const EstimationResult& estimate) {
+  std::printf("graph: n=%lld m=%lld, %lld labeled (f=%.4f%%)\n",
+              static_cast<long long>(num_nodes),
+              static_cast<long long>(num_edges),
+              static_cast<long long>(seeds.NumLabeled()),
+              100.0 * seeds.LabeledFraction());
+  std::printf("estimated compatibility matrix "
+              "(%.3fs summarization + %.3fs optimization, energy %.3g):\n%s\n",
+              estimate.seconds_summarization, estimate.seconds_optimization,
+              estimate.energy, estimate.h.ToString(4).c_str());
+}
+
+EstimationResult Estimate(const Graph& graph, const Labeling& seeds,
+                          const Flags& flags) {
+  return EstimateDce(graph, seeds, MakeDceOptions(flags));
 }
 
 int RunEndToEnd(const Flags& flags) {
@@ -292,6 +316,38 @@ int RunGenerate(const std::string& edges_path, const std::string& labels_path,
   return 0;
 }
 
+// Out-of-core estimation: stream the .fgrbin cache's block-rows through the
+// summarizer under the budget instead of materializing the CSR. The output
+// matches the in-core path line for line (timings aside), so CI diffs the
+// two directly.
+int RunEstimateStreaming(const std::string& reference,
+                         const std::string& labels_path, const Flags& flags,
+                         std::int64_t budget_mb) {
+  const std::string extension(kFgrBinExtension);
+  if (reference.size() < extension.size() ||
+      reference.compare(reference.size() - extension.size(),
+                        extension.size(), extension) != 0) {
+    return Fail("--memory-budget streams a .fgrbin cache; convert first: "
+                "fgr_cli datasets convert " + reference + " <out" +
+                extension + ">");
+  }
+  auto info = InspectFgrBin(reference);
+  if (!info.ok()) return Fail(info.status().ToString());
+  auto seeds = ReadLabels(labels_path, info.value().num_nodes,
+                          static_cast<ClassId>(flags.Int("classes", -1)));
+  if (!seeds.ok()) return Fail(seeds.status().ToString());
+
+  BlockRowReaderOptions reader_options;
+  reader_options.memory_budget_bytes = budget_mb << 20;
+  auto estimate = EstimateDceStreaming(reference, seeds.value(),
+                                       MakeDceOptions(flags), reader_options);
+  if (!estimate.ok()) return Fail(estimate.status().ToString());
+
+  PrintEstimateReport(info.value().num_nodes, info.value().nnz / 2,
+                      seeds.value(), estimate.value());
+  return 0;
+}
+
 int RunEstimate(const std::string& reference, const std::string& labels_path,
                 const Flags& flags) {
   // The legacy subcommands keep their explicit contract: a headerless seed
@@ -300,6 +356,10 @@ int RunEstimate(const std::string& reference, const std::string& labels_path,
   if (flags.Int("classes", 0) < 2) {
     return Fail("--classes K (K >= 2) is required");
   }
+  const std::int64_t budget_mb = flags.Int("memory-budget", 0);
+  if (budget_mb > 0) {
+    return RunEstimateStreaming(reference, labels_path, flags, budget_mb);
+  }
   auto problem = MakeProblem(reference, labels_path, flags,
                              /*sample_when_full=*/false);
   if (!problem.ok()) return Fail(problem.status().ToString());
@@ -307,15 +367,8 @@ int RunEstimate(const std::string& reference, const std::string& labels_path,
   const Graph& graph = problem.value().data.graph;
   const EstimationResult estimate =
       Estimate(graph, problem.value().seeds, flags);
-  std::printf("graph: n=%lld m=%lld, %lld labeled (f=%.4f%%)\n",
-              static_cast<long long>(graph.num_nodes()),
-              static_cast<long long>(graph.num_edges()),
-              static_cast<long long>(problem.value().seeds.NumLabeled()),
-              100.0 * problem.value().seeds.LabeledFraction());
-  std::printf("estimated compatibility matrix "
-              "(%.3fs summarization + %.3fs optimization, energy %.3g):\n%s\n",
-              estimate.seconds_summarization, estimate.seconds_optimization,
-              estimate.energy, estimate.h.ToString(4).c_str());
+  PrintEstimateReport(graph.num_nodes(), graph.num_edges(),
+                      problem.value().seeds, estimate);
   return 0;
 }
 
