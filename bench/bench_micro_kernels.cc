@@ -12,10 +12,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -330,6 +332,130 @@ void BM_StreamingSummarization(benchmark::State& state) {
 BENCHMARK(BM_StreamingSummarization)
     ->ArgsProduct({{100000}, {0, 1024, 8192, 65536}, {1, 4}})
     ->ArgNames({"n", "panel_rows", "threads"});
+
+// Serving-layer benchmarks: a planted graph converted once to a .fgrbin
+// whose embedded labels are a 1% stratified seed set (the daemon's seed
+// contract), queried through the transport-free request path and over
+// real loopback TCP.
+const std::string& ServeFixturePath(std::int64_t n) {
+  static auto& cache =
+      *new std::map<std::int64_t, std::unique_ptr<std::string>>();
+  auto& slot = cache[n];
+  if (!slot) {
+    const Fixture& fixture = SharedFixture(n, 25.0);
+    std::string path = "/tmp/fgr_bench_serve_" + std::to_string(n) +
+                       ".fgrbin";
+    LabeledGraph data;
+    data.name = "bench-serve";
+    data.graph = fixture.graph;
+    data.labels = fixture.seeds;
+    FGR_CHECK(WriteFgrBin(data, path).ok());
+    std::remove(FgrSumPathFor(path).c_str());  // benches start cold
+    slot = std::make_unique<std::string>(std::move(path));
+  }
+  return *slot;
+}
+
+std::string ServeEstimateRequest(const std::string& path) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("op").Value("estimate");
+  writer.Key("dataset").Value(path);
+  writer.Key("restarts").Value(std::int64_t{4});
+  writer.EndObject();
+  return writer.Take();
+}
+
+// Cold estimate: a fresh server per iteration pays mmap open + full CSR
+// validation + the O(m·k·ℓmax) summarization before optimizing.
+void BM_ServeQueryCold(benchmark::State& state) {
+  const std::string& path = ServeFixturePath(state.range(0));
+  const std::string request = ServeEstimateRequest(path);
+  SetNumThreads(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    ServerOptions options;
+    options.persist_summaries = false;  // keep every iteration cold
+    FgrServer server(options);
+    std::string response = server.HandleRequestLine(request);
+    FGR_CHECK(response.find("\"ok\":true") != std::string::npos)
+        << response;
+    benchmark::DoNotOptimize(response.data());
+  }
+  SetNumThreads(0);
+}
+BENCHMARK(BM_ServeQueryCold)
+    ->ArgsProduct({{100000}, {1, 4}})
+    ->ArgNames({"n", "threads"});
+
+// Warm estimate: the summary cache already holds M(ℓ), so a query is pure
+// protocol + k-scale optimization — the latency repeated traffic sees.
+void BM_ServeQueryWarm(benchmark::State& state) {
+  const std::string& path = ServeFixturePath(state.range(0));
+  const std::string request = ServeEstimateRequest(path);
+  SetNumThreads(static_cast<int>(state.range(1)));
+  ServerOptions options;
+  options.persist_summaries = false;
+  FgrServer server(options);
+  {
+    std::string warmup = server.HandleRequestLine(request);
+    FGR_CHECK(warmup.find("\"ok\":true") != std::string::npos) << warmup;
+  }
+  for (auto _ : state) {
+    std::string response = server.HandleRequestLine(request);
+    benchmark::DoNotOptimize(response.data());
+  }
+  SetNumThreads(0);
+}
+BENCHMARK(BM_ServeQueryWarm)
+    ->ArgsProduct({{100000}, {1, 4}})
+    ->ArgNames({"n", "threads"});
+
+// Warm queries over real loopback TCP with concurrent clients: measures
+// the full daemon path (accept queue, worker pool, framing) under load.
+// Each iteration runs `clients` threads × kRequestsPerClient requests;
+// items_per_sec is the aggregate query throughput.
+void BM_ServeQueryConcurrent(benchmark::State& state) {
+  const std::string& path = ServeFixturePath(state.range(0));
+  const std::string request = ServeEstimateRequest(path);
+  const int clients = static_cast<int>(state.range(1));
+  constexpr int kRequestsPerClient = 8;
+
+  ServerOptions options;
+  options.port = 0;
+  options.worker_threads = clients;
+  options.persist_summaries = false;
+  FgrServer server(options);
+  FGR_CHECK(server.Start().ok());
+  {
+    std::string warmup =
+        server.HandleRequestLine(ServeEstimateRequest(path));
+    FGR_CHECK(warmup.find("\"ok\":true") != std::string::npos) << warmup;
+  }
+
+  const auto run_client = [&] {
+    auto client = LineClient::Connect(server.host(), server.port());
+    FGR_CHECK(client.ok()) << client.status().ToString();
+    for (int r = 0; r < kRequestsPerClient; ++r) {
+      auto response = client.value().Exchange(request);
+      FGR_CHECK(response.ok()) << response.status().ToString();
+    }
+  };
+
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) threads.emplace_back(run_client);
+    for (std::thread& thread : threads) thread.join();
+  }
+  server.Stop();
+  state.counters["queries_per_sec"] = benchmark::Counter(
+      static_cast<double>(clients * kRequestsPerClient),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ServeQueryConcurrent)
+    ->ArgsProduct({{100000}, {1, 4, 8}})
+    ->ArgNames({"n", "clients"})
+    ->UseRealTime();
 
 void BM_DeterministicShuffle(benchmark::State& state) {
   SetNumThreads(static_cast<int>(state.range(1)));

@@ -124,6 +124,33 @@ Result<FgrBinInfo> InspectFgrBin(std::ifstream& in, const std::string& path) {
   return InspectStream(in, path);
 }
 
+Result<Labeling> MakeValidatedLabeling(std::vector<ClassId> labels,
+                                       std::int32_t num_classes,
+                                       const std::string& path) {
+  for (ClassId label : labels) {
+    if (label != kUnlabeled && (label < 0 || label >= num_classes)) {
+      return Status::InvalidArgument(
+          path + ": label " + std::to_string(label) + " outside [0, " +
+          std::to_string(num_classes) + ")");
+    }
+  }
+  return Labeling::FromVector(std::move(labels), num_classes);
+}
+
+Result<Labeling> ReadFgrBinLabels(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  Result<FgrBinInfo> inspected = InspectStream(in, path);
+  if (!inspected.ok()) return inspected.status();
+  const FgrBinInfo& info = inspected.value();
+  if (!info.has_labels) return Labeling(info.num_nodes, 1);
+
+  in.seekg(static_cast<std::streamoff>(info.labels_offset), std::ios::beg);
+  std::vector<ClassId> labels(static_cast<std::size_t>(info.num_nodes));
+  if (!ReadPod(in, labels.data(), labels.size())) return Truncated(path);
+  return MakeValidatedLabeling(std::move(labels), info.num_classes, path);
+}
+
 Status WriteFgrBin(const LabeledGraph& data, const std::string& path) {
   return WriteFgrBin(data.graph, &data.labels,
                      data.gold.has_value() ? &*data.gold : nullptr, path);
@@ -228,16 +255,10 @@ Result<LabeledGraph> ReadFgrBin(const std::string& path) {
   if (info.has_labels) {
     std::vector<ClassId> labels(n);
     if (!ReadPod(in, labels.data(), labels.size())) return Truncated(path);
-    for (ClassId label : labels) {
-      if (label != kUnlabeled &&
-          (label < 0 || label >= info.num_classes)) {
-        return Status::InvalidArgument(
-            path + ": label " + std::to_string(label) + " outside [0, " +
-            std::to_string(info.num_classes) + ")");
-      }
-    }
-    result.labels = Labeling::FromVector(std::move(labels),
-                                         info.num_classes);
+    Result<Labeling> validated =
+        MakeValidatedLabeling(std::move(labels), info.num_classes, path);
+    if (!validated.ok()) return validated.status();
+    result.labels = std::move(validated).value();
   } else {
     result.labels = Labeling(info.num_nodes, 1);
   }

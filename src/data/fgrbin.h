@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "data/graph_source.h"
 #include "util/status.h"
@@ -87,6 +88,22 @@ Status WriteFgrBin(const Graph& graph, const Labeling* labels,
 // Loads a cache written by WriteFgrBin. The result's name is `path` unless
 // the caller renames it.
 Result<LabeledGraph> ReadFgrBin(const std::string& path);
+
+// Reads only the labels section (validated exactly like ReadFgrBin does) —
+// O(header + n·4 bytes), no CSR load. The serving layer uses this to get
+// the seed labeling of a cache too large for residency, which it then
+// summarizes through the streaming reader. A cache without a labels
+// section yields the all-unlabeled 1-class labeling, matching ReadFgrBin.
+Result<Labeling> ReadFgrBinLabels(const std::string& path);
+
+// Range-validates raw label-section values (each must be kUnlabeled or in
+// [0, num_classes)) and wraps them in a Labeling. The one validation every
+// .fgrbin reader — full, labels-only, and mmap — applies, so they all
+// reject exactly the same corrupt label sections. `path` is only used in
+// error messages.
+Result<Labeling> MakeValidatedLabeling(std::vector<ClassId> labels,
+                                       std::int32_t num_classes,
+                                       const std::string& path);
 
 }  // namespace fgr
 

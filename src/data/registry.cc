@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <filesystem>
+#include <mutex>
+#include <shared_mutex>
 #include <system_error>
 #include <utility>
 
@@ -47,6 +49,7 @@ std::shared_ptr<const GraphSource> DataDirOverride(
 
 void DatasetRegistry::Register(std::shared_ptr<const GraphSource> source) {
   FGR_CHECK(source != nullptr);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   for (auto& existing : sources_) {
     if (existing->name() == source->name()) {
       existing = std::move(source);
@@ -58,6 +61,7 @@ void DatasetRegistry::Register(std::shared_ptr<const GraphSource> source) {
 
 std::shared_ptr<const GraphSource> DatasetRegistry::Find(
     const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   for (const auto& source : sources_) {
     if (source->name() == name) return source;
   }
@@ -65,10 +69,12 @@ std::shared_ptr<const GraphSource> DatasetRegistry::Find(
 }
 
 std::vector<std::shared_ptr<const GraphSource>> DatasetRegistry::List() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return sources_;
 }
 
 std::vector<std::string> DatasetRegistry::Names() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(sources_.size());
   for (const auto& source : sources_) names.push_back(source->name());

@@ -18,6 +18,7 @@
 #define FGR_DATA_REGISTRY_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -25,10 +26,14 @@
 
 namespace fgr {
 
+// Thread-safe: lookups take a shared lock and registration an exclusive
+// one, so server worker threads can resolve datasets (including the
+// FGR_DATA_DIR override probe, which runs on a snapshot returned by Find)
+// while another thread registers sources. Sources themselves are immutable
+// once registered (shared_ptr<const GraphSource>).
 class DatasetRegistry {
  public:
-  // Replaces any existing source with the same name. Not thread-safe;
-  // register sources at startup.
+  // Replaces any existing source with the same name.
   void Register(std::shared_ptr<const GraphSource> source);
 
   // nullptr when no source has this (case-sensitive) name.
@@ -43,6 +48,7 @@ class DatasetRegistry {
   static DatasetRegistry& Global();
 
  private:
+  mutable std::shared_mutex mutex_;
   std::vector<std::shared_ptr<const GraphSource>> sources_;
 };
 

@@ -33,6 +33,7 @@
 #include "data/file_source.h"
 #include "data/graph_source.h"
 #include "data/mimic_source.h"
+#include "data/mmap_fgrbin.h"
 #include "data/registry.h"
 #include "data/streaming_estimation.h"
 #include "eval/accuracy.h"
@@ -56,6 +57,10 @@
 #include "prop/harmonic.h"
 #include "prop/linbp.h"
 #include "prop/randomwalk.h"
+#include "serve/dataset_cache.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/summary_cache.h"
 #include "util/env.h"
 #include "util/parallel.h"
 #include "util/random.h"

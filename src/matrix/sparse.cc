@@ -21,22 +21,32 @@ void CsrPanelView::MultiplyInto(const DenseMatrix& x, DenseMatrix* out) const {
   // nnz-balanced shards: a row-count split stalls on hub rows of power-law
   // graphs; splitting by row_ptr prefix sums gives every worker the same
   // number of multiply-adds. Each row is still written by exactly one
-  // worker, so results stay bit-identical at any thread count.
-  ParallelForShards(
-      ShardByWeight(row_ptr_, rows_, NumShards(rows_)),
-      [&](Index row_begin, Index row_end, int /*shard*/) {
-        for (Index i = row_begin; i < row_end; ++i) {
-          double* out_row = out->RowPtr(first_row_ + i);
-          for (Index j = 0; j < k; ++j) out_row[j] = 0.0;
-          const Index begin = row_ptr_[i] - base;
-          const Index end = row_ptr_[i + 1] - base;
-          for (Index p = begin; p < end; ++p) {
-            const double v = values_[p];
-            const double* x_row = x.RowPtr(col_idx_[p]);
-            for (Index j = 0; j < k; ++j) out_row[j] += v * x_row[j];
+  // worker, so results stay bit-identical at any thread count. The weight
+  // accessor is a template parameter: unit-weight views (values_ == nullptr)
+  // get a loop with no values load at all, and 1.0·x == x exactly, so both
+  // instantiations produce identical bits.
+  const auto run = [&](auto value_at) {
+    ParallelForShards(
+        ShardByWeight(row_ptr_, rows_, NumShards(rows_)),
+        [&](Index row_begin, Index row_end, int /*shard*/) {
+          for (Index i = row_begin; i < row_end; ++i) {
+            double* out_row = out->RowPtr(first_row_ + i);
+            for (Index j = 0; j < k; ++j) out_row[j] = 0.0;
+            const Index begin = row_ptr_[i] - base;
+            const Index end = row_ptr_[i + 1] - base;
+            for (Index p = begin; p < end; ++p) {
+              const double v = value_at(p);
+              const double* x_row = x.RowPtr(col_idx_[p]);
+              for (Index j = 0; j < k; ++j) out_row[j] += v * x_row[j];
+            }
           }
-        }
-      });
+        });
+  };
+  if (values_ == nullptr) {
+    run([](Index) { return 1.0; });
+  } else {
+    run([this](Index p) { return values_[p]; });
+  }
 }
 
 void CsrPanelView::MultiplyTransposedAddInto(const DenseMatrix& x,
@@ -55,15 +65,22 @@ void CsrPanelView::MultiplyTransposedAddInto(const DenseMatrix& x,
   // the scatter.
   const auto accumulate = [&](Index row_begin, Index row_end,
                               DenseMatrix* target) {
-    for (Index i = row_begin; i < row_end; ++i) {
-      const double* x_row = x.RowPtr(first_row_ + i);
-      const Index begin = row_ptr_[i] - base;
-      const Index end = row_ptr_[i + 1] - base;
-      for (Index p = begin; p < end; ++p) {
-        const double v = values_[p];
-        double* t_row = target->RowPtr(col_idx_[p]);
-        for (Index j = 0; j < k; ++j) t_row[j] += v * x_row[j];
+    const auto run = [&](auto value_at) {
+      for (Index i = row_begin; i < row_end; ++i) {
+        const double* x_row = x.RowPtr(first_row_ + i);
+        const Index begin = row_ptr_[i] - base;
+        const Index end = row_ptr_[i + 1] - base;
+        for (Index p = begin; p < end; ++p) {
+          const double v = value_at(p);
+          double* t_row = target->RowPtr(col_idx_[p]);
+          for (Index j = 0; j < k; ++j) t_row[j] += v * x_row[j];
+        }
       }
+    };
+    if (values_ == nullptr) {
+      run([](Index) { return 1.0; });
+    } else {
+      run([this](Index p) { return values_[p]; });
     }
   };
   const std::vector<Index> boundaries =
@@ -90,6 +107,14 @@ void CsrPanelView::MultiplyTransposedAddInto(const DenseMatrix& x,
 
 void CsrPanelView::RowSumsInto(double* out) const {
   const Index base = row_ptr_[0];
+  if (values_ == nullptr) {
+    // Unit weights: the row sum is the entry count. Small integers are
+    // exact doubles, so this matches summing explicit 1.0s bit for bit.
+    ParallelFor(0, rows_, [&](Index i) {
+      out[i] = static_cast<double>(row_ptr_[i + 1] - row_ptr_[i]);
+    });
+    return;
+  }
   ParallelFor(0, rows_, [&](Index i) {
     double sum = 0.0;
     const Index begin = row_ptr_[i] - base;
@@ -97,6 +122,36 @@ void CsrPanelView::RowSumsInto(double* out) const {
     for (Index p = begin; p < end; ++p) sum += values_[p];
     out[i] = sum;
   });
+}
+
+void CsrPanelView::MultiplyVectorInto(const std::vector<double>& x,
+                                      std::vector<double>* y) const {
+  FGR_CHECK_EQ(cols_, static_cast<Index>(x.size())) << "SpMV shape mismatch";
+  FGR_CHECK(y != nullptr);
+  FGR_CHECK(y != &x) << "SpMV output must not alias the input";
+  FGR_CHECK_GE(static_cast<Index>(y->size()), first_row_ + rows_);
+  const Index base = row_ptr_[0];
+  const auto run = [&](auto value_at) {
+    ParallelForShards(
+        ShardByWeight(row_ptr_, rows_, NumShards(rows_)),
+        [&](Index row_begin, Index row_end, int /*shard*/) {
+          for (Index i = row_begin; i < row_end; ++i) {
+            double sum = 0.0;
+            const Index begin = row_ptr_[i] - base;
+            const Index end = row_ptr_[i + 1] - base;
+            for (Index p = begin; p < end; ++p) {
+              sum += value_at(p) *
+                     x[static_cast<std::size_t>(col_idx_[p])];
+            }
+            (*y)[static_cast<std::size_t>(first_row_ + i)] = sum;
+          }
+        });
+  };
+  if (values_ == nullptr) {
+    run([](Index) { return 1.0; });
+  } else {
+    run([this](Index p) { return values_[p]; });
+  }
 }
 
 SparseMatrix SparseMatrix::FromTriplets(Index rows, Index cols,
@@ -327,21 +382,7 @@ void SparseMatrix::MultiplyVector(const std::vector<double>& x,
   FGR_CHECK(y != nullptr);
   FGR_CHECK(y != &x) << "SpMV output must not alias the input";
   y->assign(static_cast<std::size_t>(rows_), 0.0);
-  ParallelForShards(
-      ShardByWeight(row_ptr_, NumShards(rows_)),
-      [&](Index row_begin, Index row_end, int /*shard*/) {
-        for (Index i = row_begin; i < row_end; ++i) {
-          double sum = 0.0;
-          const Index begin = row_ptr_[static_cast<std::size_t>(i)];
-          const Index end = row_ptr_[static_cast<std::size_t>(i) + 1];
-          for (Index p = begin; p < end; ++p) {
-            sum += values_[static_cast<std::size_t>(p)] *
-                   x[static_cast<std::size_t>(
-                       col_idx_[static_cast<std::size_t>(p)])];
-          }
-          (*y)[static_cast<std::size_t>(i)] = sum;
-        }
-      });
+  View().MultiplyVectorInto(x, y);
 }
 
 std::vector<double> SparseMatrix::RowSums() const {

@@ -43,7 +43,12 @@ class CsrPanelView {
   // `row_ptr` has num_rows + 1 entries and may carry an arbitrary base
   // offset (a slice of a full CSR row_ptr keeps its global values);
   // col_idx / values hold the panel's own entries, indexed by
-  // row_ptr[r] - row_ptr[0].
+  // row_ptr[r] - row_ptr[0]. `values` may be nullptr, which means every
+  // entry has weight exactly 1.0 (a 0/1 adjacency matrix) — the kernels
+  // then skip the values load entirely. This is what lets the mmap'd
+  // .fgrbin reader (data/mmap_fgrbin.h) serve unit-weight caches without
+  // materializing an nnz-sized values array: multiplying by a literal 1.0
+  // is bit-identical to multiplying by a stored 1.0.
   CsrPanelView(Index first_row, Index num_rows, Index num_cols,
                const Index* row_ptr, const Index* col_idx,
                const double* values)
@@ -58,6 +63,9 @@ class CsrPanelView {
   Index rows() const { return rows_; }
   Index cols() const { return cols_; }
   Index nnz() const { return row_ptr_[rows_] - row_ptr_[0]; }
+
+  // True when the view carries no values array (every weight is 1.0).
+  bool unit_weights() const { return values_ == nullptr; }
 
   // Writes rows [first_row, first_row + rows) of out = matrix × x, zeroing
   // exactly those rows first; other rows of `out` are untouched. Checks
@@ -75,6 +83,15 @@ class CsrPanelView {
 
   // Row sums of the panel (weighted degrees), written to out[0..rows()).
   void RowSumsInto(double* out) const;
+
+  // y[first_row .. first_row + rows) = panel × x for a vector; other
+  // entries of `y` are untouched. Checks x.size() == cols() and that `y`
+  // is long enough. Row-parallel and bit-reproducible across thread counts
+  // like MultiplyInto. SparseMatrix::MultiplyVector runs on a whole-matrix
+  // view of this kernel, so power iteration over a mapped cache and over an
+  // in-core matrix takes the identical code path.
+  void MultiplyVectorInto(const std::vector<double>& x,
+                          std::vector<double>* y) const;
 
  private:
   Index first_row_;

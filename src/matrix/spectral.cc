@@ -50,10 +50,18 @@ double PowerIterate(std::int64_t n, MultiplyFn&& multiply,
 double SpectralRadius(const SparseMatrix& matrix,
                       const PowerIterationOptions& options) {
   FGR_CHECK_EQ(matrix.rows(), matrix.cols());
+  return SpectralRadius(matrix.View(), options);
+}
+
+double SpectralRadius(const CsrPanelView& view,
+                      const PowerIterationOptions& options) {
+  FGR_CHECK_EQ(view.first_row(), 0) << "spectral radius needs a whole matrix";
+  FGR_CHECK_EQ(view.rows(), view.cols());
   return PowerIterate(
-      matrix.rows(),
-      [&matrix](const std::vector<double>& x, std::vector<double>* y) {
-        matrix.MultiplyVector(x, y);
+      view.rows(),
+      [&view](const std::vector<double>& x, std::vector<double>* y) {
+        y->assign(x.size(), 0.0);
+        view.MultiplyVectorInto(x, y);
       },
       options);
 }

@@ -28,6 +28,12 @@ struct PowerIterationOptions {
 double SpectralRadius(const SparseMatrix& matrix,
                       const PowerIterationOptions& options = {});
 
+// Same, over a whole-matrix CsrPanelView (first_row 0, rows == cols) — the
+// form the serving layer uses on mmap'd .fgrbin caches. The SparseMatrix
+// overload delegates here, so both paths run the identical iteration.
+double SpectralRadius(const CsrPanelView& view,
+                      const PowerIterationOptions& options = {});
+
 // Spectral radius of a symmetric dense matrix (intended for k×k H).
 double SpectralRadius(const DenseMatrix& matrix,
                       const PowerIterationOptions& options = {});

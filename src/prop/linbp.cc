@@ -10,7 +10,18 @@ namespace fgr {
 
 LinBpResult RunLinBp(const Graph& graph, const Labeling& seeds,
                      const DenseMatrix& h, const LinBpOptions& options) {
-  FGR_CHECK_EQ(seeds.num_nodes(), graph.num_nodes());
+  return RunLinBp(graph.adjacency().View(), graph.degrees(), seeds, h,
+                  options);
+}
+
+LinBpResult RunLinBp(const CsrPanelView& adjacency,
+                     const std::vector<double>& degrees,
+                     const Labeling& seeds, const DenseMatrix& h,
+                     const LinBpOptions& options) {
+  FGR_CHECK_EQ(adjacency.first_row(), 0) << "LinBP needs the whole matrix";
+  FGR_CHECK_EQ(adjacency.rows(), adjacency.cols());
+  FGR_CHECK_EQ(seeds.num_nodes(), adjacency.rows());
+  FGR_CHECK_EQ(static_cast<std::int64_t>(degrees.size()), adjacency.rows());
   FGR_CHECK_EQ(h.rows(), h.cols());
   FGR_CHECK_EQ(h.rows(), static_cast<std::int64_t>(seeds.num_classes()));
   FGR_CHECK_GT(options.iterations, 0);
@@ -25,7 +36,7 @@ LinBpResult RunLinBp(const Graph& graph, const Labeling& seeds,
   h_centered.AddConstant(-h.Sum() /
                          static_cast<double>(h.rows() * h.cols()));
   result.rho_w = options.rho_w_hint > 0.0 ? options.rho_w_hint
-                                          : SpectralRadius(graph.adjacency());
+                                          : SpectralRadius(adjacency);
   result.rho_h = SpectralRadius(h_centered);
 
   // ε = s / (ρ(W)·ρ(H̃)); degenerate spectra (empty graph or uniform H,
@@ -44,17 +55,16 @@ LinBpResult RunLinBp(const Graph& graph, const Labeling& seeds,
 
   const DenseMatrix x = seeds.ToOneHot();
   DenseMatrix f = x;
-  DenseMatrix wf;                  // W·F scratch
+  DenseMatrix wf(x.rows(), x.cols());  // W·F scratch
   DenseMatrix f_next(x.rows(), x.cols());
 
   // Echo cancellation needs Ĥ² and the degree-scaled term.
   DenseMatrix h_prop_sq;
   if (options.echo_cancellation) h_prop_sq = h_prop.Multiply(h_prop);
-  const std::vector<double>& degrees = graph.degrees();
 
   for (int iter = 0; iter < options.iterations; ++iter) {
     result.iterations_run = iter + 1;
-    graph.adjacency().Multiply(f, &wf);
+    adjacency.MultiplyInto(f, &wf);
     // f_next = X + (W F) H'   [row-block product with the small k×k matrix]
     const std::int64_t k = h_prop.cols();
     ParallelFor(0, f.rows(), [&](std::int64_t i) {

@@ -54,6 +54,16 @@ struct LinBpResult {
 LinBpResult RunLinBp(const Graph& graph, const Labeling& seeds,
                      const DenseMatrix& h, const LinBpOptions& options = {});
 
+// Same, over a whole-matrix adjacency view plus its weighted degrees — the
+// form the serving layer uses to propagate directly on an mmap'd .fgrbin
+// cache without materializing a Graph. The Graph overload delegates here
+// (graph.adjacency().View(), graph.degrees()), so both paths run the
+// identical kernels and agree bit for bit.
+LinBpResult RunLinBp(const CsrPanelView& adjacency,
+                     const std::vector<double>& degrees,
+                     const Labeling& seeds, const DenseMatrix& h,
+                     const LinBpOptions& options = {});
+
 // Argmax labeling from a belief matrix; seeds keep their given labels.
 Labeling LabelsFromBeliefs(const DenseMatrix& beliefs, const Labeling& seeds);
 

@@ -1,0 +1,54 @@
+// A bounded map of per-key shared state for the serving caches.
+//
+// Both caches serialize expensive per-dataset work (a cold mmap open, a
+// summarization) on a mutex owned by a per-key state object, so concurrent
+// misses on the same dataset coalesce while different datasets proceed in
+// parallel. This template is that map, in one place: StateFor returns the
+// state for `key`, creating it on first use, and — once the map outgrows
+// `max_entries` — sweeps idle entries (held by nobody but the map) so a
+// rotating dataset population cannot grow the bookkeeping without bound.
+// Losing a swept entry is harmless: the worst case is one redundant
+// open/compute if two requests for that key ever race again.
+
+#ifndef FGR_SERVE_KEYED_STATE_H_
+#define FGR_SERVE_KEYED_STATE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace fgr {
+
+template <typename State>
+class KeyedStateMap {
+ public:
+  explicit KeyedStateMap(std::size_t max_entries = 1024)
+      : max_entries_(max_entries) {}
+
+  std::shared_ptr<State> StateFor(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<State>& state = states_[key];
+    if (state == nullptr) state = std::make_shared<State>();
+    std::shared_ptr<State> result = state;
+    if (states_.size() > max_entries_) {
+      for (auto it = states_.begin(); it != states_.end();) {
+        if (it->second.use_count() == 1 && it->second != result) {
+          it = states_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    return result;
+  }
+
+ private:
+  std::size_t max_entries_;
+  std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<State>> states_;
+};
+
+}  // namespace fgr
+
+#endif  // FGR_SERVE_KEYED_STATE_H_

@@ -1,0 +1,655 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+#include "core/dce.h"
+#include "data/streaming_estimation.h"
+#include "prop/linbp.h"
+
+namespace fgr {
+namespace {
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+std::string CanonicalPath(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::path canonical =
+      std::filesystem::weakly_canonical(std::filesystem::path(path), ec);
+  return ec ? path : canonical.string();
+}
+
+// Sends the whole buffer; MSG_NOSIGNAL turns a dead peer into an error
+// return instead of SIGPIPE.
+bool SendAll(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+DatasetSummary SummaryFromStatistics(GraphStatistics stats, PathType path_type,
+                                     int max_length, std::int64_t num_nodes,
+                                     std::int32_t num_classes) {
+  DatasetSummary summary;
+  summary.path_type = path_type;
+  summary.max_length = max_length;
+  summary.num_nodes = num_nodes;
+  summary.num_classes = num_classes;
+  summary.m_raw = std::move(stats.m_raw);
+  summary.seconds = stats.seconds;
+  return summary;
+}
+
+void AppendMatrix(JsonWriter* writer, const DenseMatrix& m) {
+  writer->BeginArray();
+  for (DenseMatrix::Index i = 0; i < m.rows(); ++i) {
+    writer->BeginArray();
+    for (DenseMatrix::Index j = 0; j < m.cols(); ++j) {
+      writer->Value(m(i, j));
+    }
+    writer->EndArray();
+  }
+  writer->EndArray();
+}
+
+}  // namespace
+
+struct FgrServer::EstimateOutcome {
+  std::shared_ptr<const MappedFgrBin> mapped;  // null when streamed
+  std::string canonical_path;
+  // The seed labeling: a borrowed view into the mapping (which `mapped`
+  // pins) on the resident path — the warm hot path never copies the
+  // n-sized labels — or owned storage on the streamed path.
+  Labeling streamed_seeds;
+  const Labeling* seeds = nullptr;
+  std::int64_t num_nodes = 0;
+  std::int64_t num_edges = 0;
+  SummarySource source = SummarySource::kComputed;
+  EstimationResult estimate;
+};
+
+FgrServer::FgrServer(ServerOptions options)
+    : options_(std::move(options)),
+      datasets_(options_.dataset_budget_bytes),
+      summaries_(options_.persist_summaries) {}
+
+FgrServer::~FgrServer() { Stop(); }
+
+Result<std::uint64_t> FgrServer::StreamingContentHash(
+    const std::string& path) {
+  std::error_code ec;
+  const std::filesystem::file_time_type mtime =
+      std::filesystem::last_write_time(path, ec);
+  if (ec) return Status::NotFound("cannot stat " + path);
+  const std::uintmax_t file_size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::NotFound("cannot stat " + path);
+  {
+    std::lock_guard<std::mutex> lock(streamed_hash_mutex_);
+    auto found = streamed_hashes_.find(path);
+    if (found != streamed_hashes_.end() &&
+        found->second.mtime == mtime &&
+        found->second.file_size == file_size) {
+      return found->second.hash;
+    }
+  }
+  Result<std::uint64_t> hashed = HashFileContents(path);
+  if (!hashed.ok()) return hashed.status();
+  std::lock_guard<std::mutex> lock(streamed_hash_mutex_);
+  // Cheap bound for rotating dataset populations; a dropped entry only
+  // costs one re-hash.
+  if (streamed_hashes_.size() > 1024) streamed_hashes_.clear();
+  streamed_hashes_[path] = {mtime, file_size, hashed.value()};
+  return hashed.value();
+}
+
+Status FgrServer::Preload(const std::string& path) {
+  Result<std::shared_ptr<const MappedFgrBin>> acquired =
+      datasets_.Acquire(path);
+  if (!acquired.ok()) return acquired.status();
+  return Status::Ok();
+}
+
+Status FgrServer::RunEstimate(const Request& request, bool need_graph,
+                              EstimateOutcome* outcome) {
+  const std::string& dataset = request.dataset;
+  if (!EndsWith(dataset, kFgrBinExtension)) {
+    return Status::InvalidArgument(
+        dataset + ": fgrd serves .fgrbin caches; convert first: "
+        "fgr_cli datasets convert <name|path> <out.fgrbin>");
+  }
+  const PathType path_type = request.options.path_type;
+
+  std::uint64_t content_hash = 0;
+  SummaryCache::ComputeFn compute;
+
+  // Acquire canonicalizes internally; the resident branch reads the
+  // canonical key back from the mapping rather than resolving the path a
+  // second time on the warm hot path.
+  Result<std::shared_ptr<const MappedFgrBin>> acquired =
+      datasets_.Acquire(dataset);
+  if (acquired.ok()) {
+    const std::shared_ptr<const MappedFgrBin> mapped = acquired.value();
+    outcome->mapped = mapped;
+    outcome->canonical_path = mapped->path();
+    outcome->seeds = &mapped->labels();
+    outcome->num_nodes = mapped->num_nodes();
+    outcome->num_edges = mapped->num_edges();
+    content_hash = mapped->content_hash();
+    // Resident: one whole-matrix panel per pass over the mapped CSR — the
+    // exact AbsorbPanel sequence ComputeGraphStatistics runs in-core, so
+    // the statistics match the offline CLI bit for bit. The lambda
+    // captures only the mapping (which owns the labels); the summarizer
+    // copies them once, and only on the cold path that runs it.
+    compute = [mapped, path_type](int max_length) -> Result<DatasetSummary> {
+      PanelSummarizer summarizer(mapped->labels(), max_length, path_type);
+      const CsrPanelView whole = mapped->View();
+      for (int length = 1; length <= max_length; ++length) {
+        summarizer.BeginPass(length);
+        summarizer.AbsorbPanel(whole);
+        summarizer.EndPass();
+      }
+      return SummaryFromStatistics(
+          summarizer.Finish(NormalizationVariant::kRowStochastic), path_type,
+          max_length, mapped->num_nodes(),
+          static_cast<std::int32_t>(mapped->labels().num_classes()));
+    };
+  } else if (acquired.status().code() == StatusCode::kFailedPrecondition) {
+    // Too large for residency: estimates stream, propagation is refused
+    // (LinBP needs ℓ·iterations random access to W's full width).
+    outcome->canonical_path = CanonicalPath(dataset);
+    const std::string& path = outcome->canonical_path;
+    if (need_graph) {
+      return Status::FailedPrecondition(
+          path + ": dataset exceeds the residency budget; 'label' needs a "
+          "resident graph — raise --budget or use offline fgr_cli label");
+    }
+    // The (mtime, size) the content hash is valid for; the compute
+    // callback re-stats after streaming so a file rewritten mid-pass can
+    // never be cached (or persisted) under the old hash.
+    std::error_code stat_ec;
+    const std::filesystem::file_time_type mtime_before =
+        std::filesystem::last_write_time(path, stat_ec);
+    if (stat_ec) return Status::NotFound("cannot stat " + path);
+    const std::uintmax_t size_before =
+        std::filesystem::file_size(path, stat_ec);
+    if (stat_ec) return Status::NotFound("cannot stat " + path);
+
+    Result<std::uint64_t> hashed = StreamingContentHash(path);
+    if (!hashed.ok()) return hashed.status();
+    content_hash = hashed.value();
+    Result<Labeling> seeds = ReadFgrBinLabels(path);
+    if (!seeds.ok()) return seeds.status();
+    outcome->streamed_seeds = std::move(seeds).value();
+    outcome->seeds = &outcome->streamed_seeds;
+    Result<FgrBinInfo> info = InspectFgrBin(path);
+    if (!info.ok()) return info.status();
+    outcome->num_nodes = info.value().num_nodes;
+    outcome->num_edges = info.value().nnz / 2;
+    // The lambda runs synchronously inside GetOrCompute below (outcome
+    // outlives it), so it borrows the seeds instead of copying the
+    // n-sized labeling — warm hits never pay for a labeling the callback
+    // would not even run on.
+    const Labeling* streaming_seeds = &outcome->streamed_seeds;
+    const std::int64_t budget = options_.streaming_budget_bytes;
+    compute = [path, streaming_seeds, path_type, budget, mtime_before,
+               size_before](int max_length) -> Result<DatasetSummary> {
+      BlockRowReaderOptions reader_options;
+      reader_options.memory_budget_bytes = budget;
+      Result<GraphStatistics> stats = ComputeGraphStatisticsStreaming(
+          path, *streaming_seeds, max_length, path_type,
+          NormalizationVariant::kRowStochastic, reader_options);
+      if (!stats.ok()) return stats.status();
+      // Fail before anything is cached when the bytes changed under the
+      // pass: the hash above would no longer describe these statistics.
+      std::error_code ec;
+      if (std::filesystem::last_write_time(path, ec) != mtime_before ||
+          ec || std::filesystem::file_size(path, ec) != size_before || ec) {
+        return Status::Internal(
+            path + ": dataset changed while being summarized; retry");
+      }
+      return SummaryFromStatistics(
+          std::move(stats).value(), path_type, max_length,
+          streaming_seeds->num_nodes(),
+          static_cast<std::int32_t>(streaming_seeds->num_classes()));
+    };
+  } else {
+    return acquired.status();
+  }
+
+  const std::string& path = outcome->canonical_path;
+  if (outcome->seeds->NumLabeled() == 0) {
+    return Status::FailedPrecondition(
+        path + ": cache has no label section to seed from; convert with "
+        "--labels <seeds>");
+  }
+  if (outcome->seeds->num_classes() < 2) {
+    return Status::FailedPrecondition(
+        path + ": cache labels have fewer than 2 classes");
+  }
+
+  Result<std::shared_ptr<const DatasetSummary>> summary =
+      summaries_.GetOrCompute(path, content_hash, path_type,
+                              request.options.max_path_length, compute,
+                              &outcome->source);
+  if (!summary.ok()) return summary.status();
+
+  GraphStatistics stats = StatisticsFromSummary(
+      *summary.value(), request.options.max_path_length,
+      request.options.variant);
+  if (outcome->source == SummarySource::kComputed) {
+    // Report the real graph-pass cost on the query that paid it; cache
+    // hits report 0, which is the point.
+    stats.seconds = summary.value()->seconds;
+  }
+  outcome->estimate = EstimateDceFromStatistics(
+      stats, outcome->seeds->num_classes(), request.options);
+  return Status::Ok();
+}
+
+std::string FgrServer::HandleEstimate(const Request& request) {
+  EstimateOutcome outcome;
+  Status status = RunEstimate(request, /*need_graph=*/false, &outcome);
+  if (!status.ok()) {
+    ++errors_;
+    return ErrorResponseLine(status);
+  }
+  ++estimates_;
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("ok").Value(true);
+  writer.Key("op").Value("estimate");
+  writer.Key("dataset").Value(request.dataset);
+  writer.Key("resident").Value(outcome.mapped != nullptr);
+  writer.Key("summary_source").Value(SummarySourceName(outcome.source));
+  writer.Key("n").Value(outcome.num_nodes);
+  writer.Key("m").Value(outcome.num_edges);
+  writer.Key("k").Value(
+      static_cast<std::int64_t>(outcome.seeds->num_classes()));
+  writer.Key("labeled").Value(outcome.seeds->NumLabeled());
+  writer.Key("energy").Value(outcome.estimate.energy);
+  writer.Key("restarts_used").Value(outcome.estimate.restarts_used);
+  writer.Key("optimizer_iterations")
+      .Value(outcome.estimate.optimizer_iterations);
+  writer.Key("seconds_summarization")
+      .Value(outcome.estimate.seconds_summarization);
+  writer.Key("seconds_optimization")
+      .Value(outcome.estimate.seconds_optimization);
+  writer.Key("h");
+  AppendMatrix(&writer, outcome.estimate.h);
+  writer.EndObject();
+  return writer.Take();
+}
+
+std::string FgrServer::HandleLabel(const Request& request) {
+  EstimateOutcome outcome;
+  Status status = RunEstimate(request, /*need_graph=*/true, &outcome);
+  if (!status.ok()) {
+    ++errors_;
+    return ErrorResponseLine(status);
+  }
+  // Propagate straight over the mapped adjacency — the view overload runs
+  // the identical kernels RunLinBp(graph, ...) runs in-core.
+  const LinBpResult prop =
+      RunLinBp(outcome.mapped->View(), outcome.mapped->degrees(),
+               *outcome.seeds, outcome.estimate.h);
+  const Labeling predicted =
+      LabelsFromBeliefs(prop.beliefs, *outcome.seeds);
+  ++labels_;
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("ok").Value(true);
+  writer.Key("op").Value("label");
+  writer.Key("dataset").Value(request.dataset);
+  writer.Key("resident").Value(true);
+  writer.Key("summary_source").Value(SummarySourceName(outcome.source));
+  writer.Key("n").Value(outcome.num_nodes);
+  writer.Key("m").Value(outcome.num_edges);
+  writer.Key("k").Value(
+      static_cast<std::int64_t>(outcome.seeds->num_classes()));
+  writer.Key("labeled").Value(outcome.seeds->NumLabeled());
+  writer.Key("energy").Value(outcome.estimate.energy);
+  writer.Key("linbp_iterations").Value(prop.iterations_run);
+  writer.Key("h");
+  AppendMatrix(&writer, outcome.estimate.h);
+  writer.Key("labels");
+  writer.BeginArray();
+  for (NodeId i = 0; i < predicted.num_nodes(); ++i) {
+    writer.Value(static_cast<std::int64_t>(predicted.label(i)));
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return writer.Take();
+}
+
+std::string FgrServer::HandleStats() {
+  const SummaryCache::Counters summary = summaries_.counters();
+  const DatasetCache::Counters data = datasets_.counters();
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("ok").Value(true);
+  writer.Key("op").Value("stats");
+  writer.Key("uptime_seconds").Value(uptime_.Seconds());
+  writer.Key("requests").Value(requests_.load());
+  writer.Key("errors").Value(errors_.load());
+  writer.Key("estimates").Value(estimates_.load());
+  writer.Key("labels").Value(labels_.load());
+  writer.Key("connections").Value(connections_.load());
+  writer.Key("workers").Value(options_.worker_threads);
+  writer.Key("summary");
+  writer.BeginObject();
+  writer.Key("memory_hits").Value(summary.memory_hits);
+  writer.Key("disk_hits").Value(summary.disk_hits);
+  writer.Key("computed").Value(summary.computed);
+  writer.Key("invalidations").Value(summary.invalidations);
+  writer.EndObject();
+  writer.Key("datasets");
+  writer.BeginObject();
+  writer.Key("hits").Value(data.hits);
+  writer.Key("misses").Value(data.misses);
+  writer.Key("evictions").Value(data.evictions);
+  writer.Key("stale_reopens").Value(data.stale_reopens);
+  writer.Key("resident").Value(datasets_.entries());
+  writer.Key("resident_bytes").Value(datasets_.resident_bytes());
+  writer.Key("budget_bytes").Value(datasets_.byte_budget());
+  writer.EndObject();
+  writer.EndObject();
+  return writer.Take();
+}
+
+std::string FgrServer::HandleDatasets() {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("ok").Value(true);
+  writer.Key("op").Value("datasets");
+  writer.Key("resident");
+  writer.BeginArray();
+  for (const std::string& path : datasets_.ResidentPaths()) {
+    writer.Value(path);
+  }
+  writer.EndArray();
+  writer.Key("resident_bytes").Value(datasets_.resident_bytes());
+  writer.Key("budget_bytes").Value(datasets_.byte_budget());
+  writer.EndObject();
+  return writer.Take();
+}
+
+std::string FgrServer::HandleRequestLine(const std::string& line) {
+  ++requests_;
+  if (static_cast<std::int64_t>(line.size()) > options_.max_request_bytes) {
+    ++errors_;
+    return ErrorResponseLine(Status::InvalidArgument(
+        "request of " + std::to_string(line.size()) +
+        " bytes exceeds the " + std::to_string(options_.max_request_bytes) +
+        "-byte limit"));
+  }
+  Result<Request> parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    ++errors_;
+    return ErrorResponseLine(parsed.status());
+  }
+  switch (parsed.value().op) {
+    case RequestOp::kEstimate:
+      return HandleEstimate(parsed.value());
+    case RequestOp::kLabel:
+      return HandleLabel(parsed.value());
+    case RequestOp::kStats:
+      return HandleStats();
+    case RequestOp::kDatasets:
+      return HandleDatasets();
+  }
+  ++errors_;
+  return ErrorResponseLine(Status::Internal("unreachable op"));
+}
+
+Status FgrServer::Start() {
+  if (running_.load()) return Status::FailedPrecondition("already started");
+  stopping_.store(false);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in address;
+  std::memset(&address, 0, sizeof(address));
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &address.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot parse host '" + options_.host +
+                                   "' (use a dotted IPv4 address)");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    const int error = errno;
+    ::close(fd);
+    return Status::Internal("bind to " + options_.host + ":" +
+                            std::to_string(options_.port) + " failed: " +
+                            std::strerror(error));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status::Internal("listen() failed");
+  }
+  socklen_t length = sizeof(address);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&address),
+                    &length) != 0) {
+    ::close(fd);
+    return Status::Internal("getsockname() failed");
+  }
+  port_ = static_cast<int>(ntohs(address.sin_port));
+  listen_fd_.store(fd);
+
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  const int workers = options_.worker_threads > 0 ? options_.worker_threads
+                                                  : 1;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::Ok();
+}
+
+void FgrServer::Stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+
+  // Retire the listen fd (shutdown wakes a blocked accept on Linux) but
+  // close it only after the accept thread joins — closing first would let
+  // the kernel recycle the fd number into a racing accept() call.
+  const int listen_fd = listen_fd_.exchange(-1);
+  if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd >= 0) ::close(listen_fd);
+
+  {
+    // Empty critical section: a worker that evaluated its wait predicate
+    // before stopping_ was set cannot block again until we release the
+    // queue mutex, so the notify below can never be lost.
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+  }
+  queue_cv_.notify_all();
+  {
+    // Wake workers blocked in recv() on live connections.
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Close connections that were queued but never picked up.
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  for (int fd : pending_connections_) ::close(fd);
+  pending_connections_.clear();
+}
+
+void FgrServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) return;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      if (errno == EINTR) continue;
+      // Transient resource pressure (fd exhaustion, a connection reset in
+      // the backlog) must not permanently stop a long-lived daemon from
+      // accepting; back off briefly and keep going. Anything else means
+      // the listen socket itself is gone.
+      if (errno == EMFILE || errno == ENFILE || errno == ECONNABORTED ||
+          errno == EAGAIN || errno == ENOBUFS || errno == ENOMEM ||
+          errno == EPROTO) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      return;
+    }
+    ++connections_;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      pending_connections_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void FgrServer::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load() || !pending_connections_.empty();
+      });
+      if (pending_connections_.empty()) return;  // stopping
+      fd = pending_connections_.front();
+      pending_connections_.pop_front();
+    }
+    {
+      std::lock_guard<std::mutex> lock(active_mutex_);
+      active_fds_.insert(fd);
+    }
+    ServeConnection(fd);
+    {
+      std::lock_guard<std::mutex> lock(active_mutex_);
+      active_fds_.erase(fd);
+    }
+    ::close(fd);
+  }
+}
+
+void FgrServer::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping_.load()) {
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) continue;
+      return;  // peer closed or error
+    }
+    buffer.append(chunk, static_cast<std::size_t>(got));
+
+    std::size_t start = 0;
+    std::size_t newline;
+    while ((newline = buffer.find('\n', start)) != std::string::npos) {
+      std::string line = buffer.substr(start, newline - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      start = newline + 1;
+      const std::string response = HandleRequestLine(line) + "\n";
+      if (!SendAll(fd, response.data(), response.size())) return;
+    }
+    buffer.erase(0, start);
+
+    // A partial line beyond the limit can never become a valid request;
+    // answer once and drop the connection instead of buffering forever.
+    if (static_cast<std::int64_t>(buffer.size()) >
+        options_.max_request_bytes) {
+      ++requests_;
+      ++errors_;
+      const std::string response =
+          ErrorResponseLine(Status::InvalidArgument(
+              "request exceeds the " +
+              std::to_string(options_.max_request_bytes) +
+              "-byte limit")) +
+          "\n";
+      SendAll(fd, response.data(), response.size());
+      return;
+    }
+  }
+}
+
+std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> pieces;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) pieces.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return pieces;
+}
+
+Status RunDaemon(const std::string& name, const ServerOptions& options,
+                 const std::vector<std::string>& preload) {
+  // Block the shutdown signals before any thread spawns so every thread
+  // inherits the mask and sigwait below is the one consumer.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  FgrServer server(options);
+  FGR_RETURN_IF_ERROR(server.Start());
+  for (const std::string& path : preload) {
+    Status status = server.Preload(path);
+    if (!status.ok()) {
+      server.Stop();
+      return Status(status.code(),
+                    "preload of " + path + " failed: " + status.message());
+    }
+  }
+  std::printf(
+      "%s: serving on %s:%d (workers=%d, budget=%lld MB, preloaded=%zu)\n",
+      name.c_str(), server.host().c_str(), server.port(),
+      options.worker_threads,
+      static_cast<long long>(options.dataset_budget_bytes >> 20),
+      preload.size());
+  std::fflush(stdout);  // scripts scrape the port from this line
+
+  int received = 0;
+  sigwait(&signals, &received);
+  std::printf("%s: received %s, shutting down\n", name.c_str(),
+              received == SIGINT ? "SIGINT" : "SIGTERM");
+  std::fflush(stdout);
+  server.Stop();
+  return Status::Ok();
+}
+
+}  // namespace fgr

@@ -1,0 +1,172 @@
+// fgrd: the long-lived estimation-serving daemon.
+//
+// FgrServer answers line-delimited JSON requests (serve/protocol.h) over a
+// TCP listen socket: an accept thread hands connections to a fixed worker
+// pool; each worker serves one connection at a time, one request per line.
+// Request lifecycle for estimate/label:
+//
+//   resolve .fgrbin path
+//     → DatasetCache::Acquire        (mmap residency, LRU byte budget;
+//                                     over-budget files fall to streaming)
+//     → SummaryCache::GetOrCompute   (M(ℓ) statistics keyed on the file's
+//                                     content hash; memory → .fgrsum
+//                                     sidecar → PanelSummarizer over the
+//                                     mapped view, or the BlockRowReader
+//                                     streaming pass for non-resident
+//                                     datasets)
+//     → EstimateDceFromStatistics    (k-scale restarts, graph-free)
+//     → [label only] RunLinBp over the mapped view + LabelsFromBeliefs.
+//
+// Seeds are the dataset's own label section: summaries are then a pure
+// function of (file bytes, path type, ℓ), which is what makes them
+// cacheable. Results match the offline CLI bit for bit in serial runs
+// because every stage above is the same code path fgr_cli estimate/label
+// executes on a loaded Graph.
+//
+// HandleRequestLine is the transport-free core — tests and benches call it
+// directly; the socket loop is a thin line-framing shell around it.
+
+#ifndef FGR_SERVE_SERVER_H_
+#define FGR_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/dataset_cache.h"
+#include "serve/protocol.h"
+#include "serve/summary_cache.h"
+#include "util/stopwatch.h"
+
+namespace fgr {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 7411;  // 0: pick an ephemeral port (read it back via port())
+  int worker_threads = 4;
+  // Byte budget for mmap'd dataset residency (DatasetCache). Datasets
+  // larger than this are never mapped; their estimates run through the
+  // streaming summarizer and label requests are refused.
+  std::int64_t dataset_budget_bytes = std::int64_t{1} << 30;
+  // Panel budget handed to BlockRowReader for non-resident datasets.
+  std::int64_t streaming_budget_bytes = std::int64_t{64} << 20;
+  // A request line longer than this is answered with an error and the
+  // connection is closed (malformed or hostile client).
+  std::int64_t max_request_bytes = std::int64_t{1} << 20;
+  // Persist freshly computed summaries as .fgrsum sidecars.
+  bool persist_summaries = true;
+};
+
+class FgrServer {
+ public:
+  explicit FgrServer(ServerOptions options);
+  ~FgrServer();
+
+  FgrServer(const FgrServer&) = delete;
+  FgrServer& operator=(const FgrServer&) = delete;
+
+  // Binds, listens, and spawns the accept + worker threads.
+  Status Start();
+
+  // Stops accepting, shuts down in-flight connections, joins all threads.
+  // Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(); }
+
+  // The bound port (resolves option port 0 to the ephemeral choice).
+  int port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  // Maps a dataset into residency ahead of traffic. Summaries stay cold
+  // (they load from .fgrsum or compute on first use).
+  Status Preload(const std::string& path);
+
+  // Parses and dispatches one request line, returning one response line
+  // (no trailing newline). Never throws; all failures become
+  // {"ok":false,...} responses. Safe to call concurrently.
+  std::string HandleRequestLine(const std::string& line);
+
+  const DatasetCache& datasets() const { return datasets_; }
+  const SummaryCache& summaries() const { return summaries_; }
+
+ private:
+  struct EstimateOutcome;
+
+  // Content hash of a non-resident (streamed) dataset, cached on
+  // (mtime, size) so repeat queries skip the full-file re-read — the
+  // streamed analogue of the dataset cache's staleness check.
+  Result<std::uint64_t> StreamingContentHash(const std::string& path);
+
+  Status RunEstimate(const Request& request, bool need_graph,
+                     EstimateOutcome* outcome);
+  std::string HandleEstimate(const Request& request);
+  std::string HandleLabel(const Request& request);
+  std::string HandleStats();
+  std::string HandleDatasets();
+
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+
+  ServerOptions options_;
+  DatasetCache datasets_;
+  SummaryCache summaries_;
+
+  struct StreamedHash {
+    std::filesystem::file_time_type mtime;
+    std::uintmax_t file_size = 0;
+    std::uint64_t hash = 0;
+  };
+  std::mutex streamed_hash_mutex_;
+  std::map<std::string, StreamedHash> streamed_hashes_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  // Atomic: Stop() retires the fd while the accept thread reads it. The
+  // fd is only close()d after the accept thread joins, so its number can
+  // never be recycled under a racing accept().
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_connections_;
+
+  std::mutex active_mutex_;
+  std::set<int> active_fds_;  // connections currently served, for Stop()
+
+  Stopwatch uptime_;
+  std::atomic<std::int64_t> requests_{0};
+  std::atomic<std::int64_t> errors_{0};
+  std::atomic<std::int64_t> estimates_{0};
+  std::atomic<std::int64_t> labels_{0};
+  std::atomic<std::int64_t> connections_{0};
+};
+
+// "a.fgrbin,b.fgrbin" → {"a.fgrbin", "b.fgrbin"} (empty pieces dropped) —
+// the --preload flag syntax shared by fgrd and `fgr_cli serve`.
+std::vector<std::string> SplitCommaList(const std::string& list);
+
+// Runs a server until SIGINT/SIGTERM: blocks the signals, starts the
+// server, preloads `preload` datasets (fatal when one fails), prints
+// "<name>: serving on <host>:<port> ..." on stdout (flushed, so scripts
+// can scrape an ephemeral port), waits for a signal, stops. Shared by the
+// fgrd binary and `fgr_cli serve`.
+Status RunDaemon(const std::string& name, const ServerOptions& options,
+                 const std::vector<std::string>& preload);
+
+}  // namespace fgr
+
+#endif  // FGR_SERVE_SERVER_H_

@@ -1,0 +1,270 @@
+// Tests for the zero-copy mmap .fgrbin reader: equivalence with ReadFgrBin
+// (views, degrees, labels, gold, and the kernels that run over them, bit
+// for bit), content hashing, and rejection of corrupt files.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fgr/fgr.h"
+
+namespace fgr {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// A small planted graph with a stratified partial labeling, written as a
+// .fgrbin (labels + gold included).
+struct Fixture {
+  LabeledGraph data;
+  Labeling seeds;
+  std::string path;
+};
+
+Fixture MakeFixture(const std::string& name, bool weighted) {
+  Rng rng(17);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(400, 8.0, 3, 3.0), rng);
+  FGR_CHECK(planted.ok());
+  Fixture fixture;
+  fixture.data.name = name;
+  fixture.data.graph = std::move(planted.value().graph);
+  if (weighted) {
+    // Reweight the edges deterministically so the values section exists.
+    std::vector<Edge> edges = fixture.data.graph.UndirectedEdges();
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      edges[i].weight = 0.25 + static_cast<double>(i % 7) * 0.375;
+    }
+    auto reweighted =
+        Graph::FromEdges(fixture.data.graph.num_nodes(), edges);
+    FGR_CHECK(reweighted.ok());
+    fixture.data.graph = std::move(reweighted).value();
+  }
+  fixture.seeds = SampleStratifiedSeeds(planted.value().labels, 0.05, rng);
+  fixture.data.labels = fixture.seeds;
+  fixture.data.gold = DenseMatrix::FromRows(
+      {{0.2, 0.6, 0.2}, {0.6, 0.2, 0.2}, {0.2, 0.2, 0.6}});
+  fixture.path = TempPath(name + ".fgrbin");
+  FGR_CHECK(WriteFgrBin(fixture.data, fixture.path).ok());
+  return fixture;
+}
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(MappedFgrBinTest, MatchesReadFgrBin) {
+  for (const bool weighted : {false, true}) {
+    Fixture fixture =
+        MakeFixture(weighted ? "mmap_eq_w" : "mmap_eq_u", weighted);
+    auto loaded = ReadFgrBin(fixture.path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    auto mapped = MappedFgrBin::Open(fixture.path);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    const MappedFgrBin& m = mapped.value();
+
+    EXPECT_EQ(m.num_nodes(), loaded.value().graph.num_nodes());
+    EXPECT_EQ(m.num_edges(), loaded.value().graph.num_edges());
+    EXPECT_EQ(m.View().unit_weights(), !weighted);
+    EXPECT_EQ(m.labels().raw(), loaded.value().labels.raw());
+    EXPECT_EQ(m.labels().num_classes(),
+              loaded.value().labels.num_classes());
+    ASSERT_TRUE(m.gold().has_value());
+    EXPECT_EQ(m.gold()->data(), loaded.value().gold->data());
+    EXPECT_EQ(m.degrees(), loaded.value().graph.degrees());
+
+    // The mapped view and the in-core matrix must run the SpMM kernel to
+    // identical bits (unit-weight views multiply by an implicit 1.0).
+    const DenseMatrix x = fixture.seeds.ToOneHot();
+    DenseMatrix from_mapped(m.num_nodes(), x.cols());
+    m.View().MultiplyInto(x, &from_mapped);
+    const DenseMatrix from_loaded =
+        loaded.value().graph.adjacency().Multiply(x);
+    EXPECT_EQ(from_mapped.data(), from_loaded.data());
+  }
+}
+
+TEST(MappedFgrBinTest, SummarizationOverMappedViewIsBitIdentical) {
+  Fixture fixture = MakeFixture("mmap_summarize", /*weighted=*/false);
+  auto loaded = ReadFgrBin(fixture.path);
+  ASSERT_TRUE(loaded.ok());
+  auto mapped = MappedFgrBin::Open(fixture.path);
+  ASSERT_TRUE(mapped.ok());
+
+  const int lmax = 5;
+  const GraphStatistics in_core = ComputeGraphStatistics(
+      loaded.value().graph, fixture.seeds, lmax);
+  PanelSummarizer summarizer(fixture.seeds, lmax,
+                             PathType::kNonBacktracking);
+  const CsrPanelView whole = mapped.value().View();
+  for (int length = 1; length <= lmax; ++length) {
+    summarizer.BeginPass(length);
+    summarizer.AbsorbPanel(whole);
+    summarizer.EndPass();
+  }
+  const GraphStatistics streamed =
+      summarizer.Finish(NormalizationVariant::kRowStochastic);
+  ASSERT_EQ(streamed.m_raw.size(), in_core.m_raw.size());
+  for (std::size_t l = 0; l < in_core.m_raw.size(); ++l) {
+    EXPECT_EQ(streamed.m_raw[l].data(), in_core.m_raw[l].data())
+        << "M(" << l + 1 << ") differs";
+  }
+}
+
+TEST(MappedFgrBinTest, LinBpOverMappedViewIsBitIdentical) {
+  Fixture fixture = MakeFixture("mmap_linbp", /*weighted=*/false);
+  auto loaded = ReadFgrBin(fixture.path);
+  ASSERT_TRUE(loaded.ok());
+  auto mapped = MappedFgrBin::Open(fixture.path);
+  ASSERT_TRUE(mapped.ok());
+
+  const DenseMatrix h = DenseMatrix::FromRows(
+      {{0.2, 0.6, 0.2}, {0.6, 0.2, 0.2}, {0.2, 0.2, 0.6}});
+  const LinBpResult in_core =
+      RunLinBp(loaded.value().graph, fixture.seeds, h);
+  const LinBpResult over_view =
+      RunLinBp(mapped.value().View(), mapped.value().degrees(),
+               fixture.seeds, h);
+  EXPECT_EQ(over_view.epsilon, in_core.epsilon);
+  EXPECT_EQ(over_view.beliefs.data(), in_core.beliefs.data());
+}
+
+TEST(MappedFgrBinTest, ContentHashTracksContent) {
+  Fixture fixture = MakeFixture("mmap_hash", /*weighted=*/false);
+  auto mapped = MappedFgrBin::Open(fixture.path);
+  ASSERT_TRUE(mapped.ok());
+  auto hashed = HashFileContents(fixture.path);
+  ASSERT_TRUE(hashed.ok());
+  EXPECT_EQ(mapped.value().content_hash(), hashed.value());
+
+  // Rewriting with different labels must change the hash.
+  Labeling flipped = fixture.seeds;
+  for (NodeId i = 0; i < flipped.num_nodes(); ++i) {
+    if (flipped.is_labeled(i)) {
+      flipped.set_label(i, (flipped.label(i) + 1) % 3);
+      break;
+    }
+  }
+  LabeledGraph changed = fixture.data;
+  changed.labels = flipped;
+  ASSERT_TRUE(WriteFgrBin(changed, fixture.path).ok());
+  auto remapped = MappedFgrBin::Open(fixture.path);
+  ASSERT_TRUE(remapped.ok());
+  EXPECT_NE(remapped.value().content_hash(), mapped.value().content_hash());
+}
+
+TEST(MappedFgrBinTest, RejectsTruncationAtEveryQuarter) {
+  Fixture fixture = MakeFixture("mmap_trunc", /*weighted=*/true);
+  const std::vector<char> bytes = ReadAll(fixture.path);
+  const std::string mangled = TempPath("mmap_trunc_cut.fgrbin");
+  for (const double fraction : {0.1, 0.35, 0.6, 0.85}) {
+    std::vector<char> cut(
+        bytes.begin(),
+        bytes.begin() + static_cast<std::ptrdiff_t>(
+                            static_cast<double>(bytes.size()) * fraction));
+    WriteAll(mangled, cut);
+    auto mapped = MappedFgrBin::Open(mangled);
+    EXPECT_FALSE(mapped.ok()) << "fraction " << fraction;
+  }
+}
+
+TEST(MappedFgrBinTest, RejectsCorruptColumnAndAsymmetry) {
+  Fixture fixture = MakeFixture("mmap_corrupt", /*weighted=*/false);
+  auto info = InspectFgrBin(fixture.path);
+  ASSERT_TRUE(info.ok());
+  std::vector<char> bytes = ReadAll(fixture.path);
+
+  // Out-of-range column: overwrite the first col_idx with n + 7.
+  {
+    std::vector<char> mangled = bytes;
+    const std::int64_t bad = info.value().num_nodes + 7;
+    std::memcpy(mangled.data() + info.value().col_idx_offset, &bad,
+                sizeof(bad));
+    const std::string path = TempPath("mmap_corrupt_col.fgrbin");
+    WriteAll(path, mangled);
+    auto mapped = MappedFgrBin::Open(path);
+    ASSERT_FALSE(mapped.ok());
+    EXPECT_NE(mapped.status().message().find("out of range"),
+              std::string::npos);
+  }
+
+  // Asymmetry: point one entry of a 2+-entry row at a node that does not
+  // point back. Find a row with >= 2 entries and retarget its first entry
+  // to its second target's... simplest: swap a column value to another
+  // valid, ascending-preserving node id that breaks symmetry — overwrite
+  // the *last* col_idx entry with n - 1 only works if ascending holds and
+  // (n-1, x) lacks the mirror. Construct explicitly instead.
+  {
+    auto asym_graph = Graph::FromEdges(
+        4, {{0, 1}, {1, 2}, {2, 3}});
+    ASSERT_TRUE(asym_graph.ok());
+    const std::string path = TempPath("mmap_corrupt_asym.fgrbin");
+    ASSERT_TRUE(
+        WriteFgrBin(asym_graph.value(), nullptr, nullptr, path).ok());
+    auto asym_info = InspectFgrBin(path);
+    ASSERT_TRUE(asym_info.ok());
+    std::vector<char> mangled = ReadAll(path);
+    // Row 0 has the single entry (0,1); retarget it to (0,3). Columns stay
+    // ascending and in range, but (3,0) does not exist.
+    const std::int64_t bad = 3;
+    std::memcpy(mangled.data() + asym_info.value().col_idx_offset, &bad,
+                sizeof(bad));
+    WriteAll(path, mangled);
+    auto mapped = MappedFgrBin::Open(path);
+    ASSERT_FALSE(mapped.ok());
+    EXPECT_NE(mapped.status().message().find("not symmetric"),
+              std::string::npos);
+  }
+}
+
+TEST(MappedFgrBinTest, MoveTransfersTheMapping) {
+  Fixture fixture = MakeFixture("mmap_move", /*weighted=*/false);
+  auto mapped = MappedFgrBin::Open(fixture.path);
+  ASSERT_TRUE(mapped.ok());
+  const std::uint64_t hash = mapped.value().content_hash();
+  MappedFgrBin moved = std::move(mapped).value();
+  EXPECT_EQ(moved.content_hash(), hash);
+  EXPECT_GT(moved.resident_bytes(), 0);
+  const DenseMatrix x = moved.labels().ToOneHot();
+  DenseMatrix out(moved.num_nodes(), x.cols());
+  moved.View().MultiplyInto(x, &out);  // must not crash post-move
+}
+
+TEST(ReadFgrBinLabelsTest, MatchesFullRead) {
+  Fixture fixture = MakeFixture("labels_only", /*weighted=*/false);
+  auto full = ReadFgrBin(fixture.path);
+  ASSERT_TRUE(full.ok());
+  auto labels = ReadFgrBinLabels(fixture.path);
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  EXPECT_EQ(labels.value().raw(), full.value().labels.raw());
+  EXPECT_EQ(labels.value().num_classes(),
+            full.value().labels.num_classes());
+
+  // A label-free cache yields the all-unlabeled 1-class labeling.
+  auto bare_graph = Graph::FromEdges(3, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(bare_graph.ok());
+  const std::string bare = TempPath("labels_only_bare.fgrbin");
+  ASSERT_TRUE(WriteFgrBin(bare_graph.value(), nullptr, nullptr, bare).ok());
+  auto none = ReadFgrBinLabels(bare);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.value().NumLabeled(), 0);
+  EXPECT_EQ(none.value().num_nodes(), 3);
+}
+
+}  // namespace
+}  // namespace fgr

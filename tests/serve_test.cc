@@ -1,0 +1,776 @@
+// Tests for the src/serve subsystem: the line-JSON protocol (malformed,
+// unknown-op, oversized requests), the .fgrsum summary cache (round trip,
+// hash invalidation, ℓmax extension, disk hits), LRU dataset residency
+// under a byte budget, the server request handlers against the offline
+// estimators (bit-for-bit in pinned-serial runs), and a multi-client
+// TCP concurrency test.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fgr/fgr.h"
+
+namespace fgr {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+struct Fixture {
+  LabeledGraph data;
+  Labeling seeds;
+  std::string path;
+};
+
+// A planted graph with a stratified 5% seed labeling written as .fgrbin —
+// the daemon's seeds are the embedded labels, so the offline comparison
+// uses the same partial labeling.
+Fixture MakeFixture(const std::string& name, std::uint64_t seed = 17,
+                    std::int64_t nodes = 400) {
+  Rng rng(seed);
+  auto planted =
+      GeneratePlantedGraph(MakeSkewConfig(nodes, 8.0, 3, 3.0), rng);
+  FGR_CHECK(planted.ok());
+  Fixture fixture;
+  fixture.data.name = name;
+  fixture.data.graph = std::move(planted.value().graph);
+  fixture.seeds = SampleStratifiedSeeds(planted.value().labels, 0.05, rng);
+  fixture.data.labels = fixture.seeds;
+  fixture.path = TempPath(name + ".fgrbin");
+  FGR_CHECK(WriteFgrBin(fixture.data, fixture.path).ok());
+  return fixture;
+}
+
+DceOptions TestDceOptions() {
+  DceOptions options;
+  options.restarts = 3;
+  options.max_path_length = 4;
+  return options;
+}
+
+std::string EstimateRequest(const std::string& dataset,
+                            const std::string& op = "estimate") {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("op").Value(op);
+  writer.Key("dataset").Value(dataset);
+  writer.Key("restarts").Value(std::int64_t{3});
+  writer.Key("lmax").Value(std::int64_t{4});
+  writer.EndObject();
+  return writer.Take();
+}
+
+Json MustParse(const std::string& line) {
+  auto parsed = ParseJson(line);
+  FGR_CHECK(parsed.ok()) << parsed.status().ToString() << " in " << line;
+  return std::move(parsed).value();
+}
+
+DenseMatrix MatrixFrom(const Json& response, const std::string& key) {
+  const Json* h = response.Find(key);
+  FGR_CHECK(h != nullptr && h->type() == Json::Type::kArray);
+  const auto k = static_cast<std::int64_t>(h->items().size());
+  DenseMatrix matrix(k, k);
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (std::int64_t j = 0; j < k; ++j) {
+      matrix(i, j) = h->items()[static_cast<std::size_t>(i)]
+                         .items()[static_cast<std::size_t>(j)]
+                         .number_value();
+    }
+  }
+  return matrix;
+}
+
+// --- protocol -------------------------------------------------------------
+
+TEST(ProtocolTest, RejectsMalformedJson) {
+  for (const char* bad :
+       {"", "{", "not json at all", "{\"op\":\"estimate\"",
+        "{\"op\":}", "{\"op\":\"estimate\",}", "{\"op\":\"a\" \"b\":1}",
+        "\x01\x02", "{\"op\":\"estimate\",\"lambda\":1e}", "[1,2,3"}) {
+    auto parsed = ParseRequest(bad);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << bad;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ProtocolTest, RejectsNonObjectAndBadOps) {
+  auto array = ParseRequest("[1,2,3]");
+  ASSERT_FALSE(array.ok());
+  EXPECT_NE(array.status().message().find("must be a JSON object"),
+            std::string::npos);
+
+  auto missing = ParseRequest("{\"dataset\":\"x.fgrbin\"}");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("missing \"op\""),
+            std::string::npos);
+
+  auto unknown = ParseRequest("{\"op\":\"frobnicate\"}");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("unknown op"),
+            std::string::npos);
+
+  auto no_dataset = ParseRequest("{\"op\":\"estimate\"}");
+  ASSERT_FALSE(no_dataset.ok());
+  EXPECT_NE(no_dataset.status().message().find("requires a \"dataset\""),
+            std::string::npos);
+}
+
+TEST(ProtocolTest, RejectsOutOfRangeKnobs) {
+  const std::string base = "\"op\":\"estimate\",\"dataset\":\"d.fgrbin\"";
+  EXPECT_FALSE(ParseRequest("{" + base + ",\"restarts\":0}").ok());
+  EXPECT_FALSE(ParseRequest("{" + base + ",\"restarts\":5000}").ok());
+  EXPECT_FALSE(ParseRequest("{" + base + ",\"lmax\":0}").ok());
+  EXPECT_FALSE(ParseRequest("{" + base + ",\"lmax\":64}").ok());
+  EXPECT_FALSE(ParseRequest("{" + base + ",\"lambda\":0}").ok());
+  EXPECT_FALSE(ParseRequest("{" + base + ",\"lambda\":-3}").ok());
+  EXPECT_FALSE(ParseRequest("{" + base + ",\"variant\":4}").ok());
+  EXPECT_FALSE(ParseRequest("{" + base + ",\"path_type\":\"zig\"}").ok());
+}
+
+TEST(ProtocolTest, DefaultsMatchTheOfflineCli) {
+  auto parsed =
+      ParseRequest("{\"op\":\"estimate\",\"dataset\":\"d.fgrbin\"}");
+  ASSERT_TRUE(parsed.ok());
+  const DceOptions& options = parsed.value().options;
+  const DceOptions defaults;  // library defaults = CLI defaults
+  EXPECT_EQ(options.restarts, 10);  // fgr_cli --restarts default
+  EXPECT_EQ(options.max_path_length, defaults.max_path_length);
+  EXPECT_EQ(options.lambda, defaults.lambda);
+  EXPECT_EQ(options.seed, defaults.seed);
+  EXPECT_EQ(options.variant, defaults.variant);
+  EXPECT_EQ(options.path_type, defaults.path_type);
+}
+
+TEST(ProtocolTest, DoublesRoundTripExactly) {
+  const double values[] = {0.1 + 0.2, 1.0 / 3.0, 6.02214076e23,
+                           -1.6e-35, 5.0, 0.0};
+  for (const double value : values) {
+    JsonWriter writer;
+    writer.BeginObject();
+    writer.Key("x").Value(value);
+    writer.EndObject();
+    const Json parsed = MustParse(writer.Take());
+    EXPECT_EQ(parsed.GetNumber("x", -1), value);
+  }
+}
+
+TEST(ProtocolTest, StringEscapingRoundTrips) {
+  const std::string nasty = "a\"b\\c\nd\te\rf\x01g/h";
+  const Json parsed = MustParse("{\"s\":" + JsonQuote(nasty) + "}");
+  EXPECT_EQ(parsed.GetString("s", ""), nasty);
+  // And the Dump of the parse re-parses to the same string.
+  const Json again = MustParse(parsed.Dump());
+  EXPECT_EQ(again.GetString("s", ""), nasty);
+}
+
+// --- summary cache --------------------------------------------------------
+
+DatasetSummary MakeSummary(int max_length, std::uint64_t hash,
+                           double salt = 0.0) {
+  DatasetSummary summary;
+  summary.path_type = PathType::kNonBacktracking;
+  summary.max_length = max_length;
+  summary.num_nodes = 42;
+  summary.num_classes = 3;
+  summary.content_hash = hash;
+  for (int l = 1; l <= max_length; ++l) {
+    DenseMatrix m(3, 3);
+    for (std::int64_t i = 0; i < 3; ++i) {
+      for (std::int64_t j = 0; j < 3; ++j) {
+        m(i, j) = salt + static_cast<double>(l * 100 + i * 10 + j) / 7.0;
+      }
+    }
+    summary.m_raw.push_back(std::move(m));
+  }
+  return summary;
+}
+
+TEST(FgrSumTest, RoundTripsExactBits) {
+  const std::string path = TempPath("roundtrip.fgrsum");
+  const DatasetSummary written = MakeSummary(4, 0xabcdef0123456789ull);
+  ASSERT_TRUE(WriteFgrSum(written, path).ok());
+  auto read = ReadFgrSum(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().max_length, 4);
+  EXPECT_EQ(read.value().content_hash, written.content_hash);
+  EXPECT_EQ(read.value().num_nodes, written.num_nodes);
+  EXPECT_EQ(read.value().path_type, written.path_type);
+  for (int l = 0; l < 4; ++l) {
+    EXPECT_EQ(read.value().m_raw[l].data(), written.m_raw[l].data());
+  }
+}
+
+TEST(FgrSumTest, RejectsCorruptFiles) {
+  const std::string path = TempPath("corrupt.fgrsum");
+  ASSERT_TRUE(WriteFgrSum(MakeSummary(3, 7), path).ok());
+  // Truncate mid-matrix.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    bytes.resize(bytes.size() - 13);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_FALSE(ReadFgrSum(path).ok());
+  // Wrong magic.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "definitely not an fgrsum file with enough bytes to not be "
+           "truncated at the header";
+  }
+  auto bad_magic = ReadFgrSum(path);
+  ASSERT_FALSE(bad_magic.ok());
+  EXPECT_NE(bad_magic.status().message().find("not an fgrsum"),
+            std::string::npos);
+  EXPECT_FALSE(ReadFgrSum(TempPath("missing.fgrsum")).ok());
+}
+
+TEST(SummaryCacheTest, ComputesOnceThenHitsMemory) {
+  SummaryCache cache(/*persist_sidecars=*/false);
+  const std::string key = TempPath("cache_a.fgrbin");
+  int computed = 0;
+  const auto compute = [&](int length) -> Result<DatasetSummary> {
+    ++computed;
+    return MakeSummary(length, 0);
+  };
+  SummarySource source;
+  for (int i = 0; i < 3; ++i) {
+    auto summary = cache.GetOrCompute(key, 11, PathType::kNonBacktracking,
+                                      4, compute, &source);
+    ASSERT_TRUE(summary.ok());
+    EXPECT_EQ(source, i == 0 ? SummarySource::kComputed
+                             : SummarySource::kMemory);
+  }
+  EXPECT_EQ(computed, 1);
+  EXPECT_EQ(cache.counters().memory_hits, 2);
+  EXPECT_EQ(cache.counters().computed, 1);
+}
+
+TEST(SummaryCacheTest, ContentHashChangeInvalidates) {
+  SummaryCache cache(/*persist_sidecars=*/false);
+  const std::string key = TempPath("cache_b.fgrbin");
+  int computed = 0;
+  const auto compute = [&](int length) -> Result<DatasetSummary> {
+    ++computed;
+    return MakeSummary(length, 0, static_cast<double>(computed));
+  };
+  SummarySource source;
+  ASSERT_TRUE(cache.GetOrCompute(key, 1, PathType::kNonBacktracking, 2,
+                                 compute, &source)
+                  .ok());
+  auto after_change = cache.GetOrCompute(
+      key, 2, PathType::kNonBacktracking, 2, compute, &source);
+  ASSERT_TRUE(after_change.ok());
+  EXPECT_EQ(source, SummarySource::kComputed);
+  EXPECT_EQ(computed, 2);
+  EXPECT_EQ(cache.counters().invalidations, 1);
+  // The new hash serves hits again.
+  ASSERT_TRUE(cache.GetOrCompute(key, 2, PathType::kNonBacktracking, 2,
+                                 compute, &source)
+                  .ok());
+  EXPECT_EQ(source, SummarySource::kMemory);
+}
+
+TEST(SummaryCacheTest, LongerRequestRecomputesShorterReuses) {
+  SummaryCache cache(/*persist_sidecars=*/false);
+  const std::string key = TempPath("cache_c.fgrbin");
+  std::vector<int> lengths;
+  const auto compute = [&](int length) -> Result<DatasetSummary> {
+    lengths.push_back(length);
+    return MakeSummary(length, 0);
+  };
+  SummarySource source;
+  ASSERT_TRUE(cache.GetOrCompute(key, 5, PathType::kNonBacktracking, 3,
+                                 compute, &source)
+                  .ok());
+  EXPECT_EQ(source, SummarySource::kComputed);
+  // ℓmax 5 > cached 3: the prefix property cannot help, recompute.
+  ASSERT_TRUE(cache.GetOrCompute(key, 5, PathType::kNonBacktracking, 5,
+                                 compute, &source)
+                  .ok());
+  EXPECT_EQ(source, SummarySource::kComputed);
+  // ℓmax 2 ≤ cached 5: prefix hit.
+  auto shorter = cache.GetOrCompute(key, 5, PathType::kNonBacktracking, 2,
+                                    compute, &source);
+  ASSERT_TRUE(shorter.ok());
+  EXPECT_EQ(source, SummarySource::kMemory);
+  EXPECT_EQ(shorter.value()->max_length, 5);
+  EXPECT_EQ(lengths, (std::vector<int>{3, 5}));
+
+  // StatisticsFromSummary takes the prefix and normalizes it exactly as
+  // the summarizer would.
+  const GraphStatistics stats = StatisticsFromSummary(
+      *shorter.value(), 2, NormalizationVariant::kRowStochastic);
+  ASSERT_EQ(stats.m_raw.size(), 2u);
+  EXPECT_EQ(stats.m_raw[0].data(), shorter.value()->m_raw[0].data());
+  EXPECT_EQ(stats.p_hat[1].data(),
+            NormalizeStatistics(shorter.value()->m_raw[1],
+                                NormalizationVariant::kRowStochastic)
+                .data());
+}
+
+TEST(SummaryCacheTest, PersistsAndReloadsSidecars) {
+  const std::string key = TempPath("cache_d.fgrbin");
+  int computed = 0;
+  const auto compute = [&](int length) -> Result<DatasetSummary> {
+    ++computed;
+    return MakeSummary(length, 0);
+  };
+  SummarySource source;
+  {
+    SummaryCache cache(/*persist_sidecars=*/true);
+    ASSERT_TRUE(cache.GetOrCompute(key, 9, PathType::kNonBacktracking, 4,
+                                   compute, &source)
+                    .ok());
+    EXPECT_EQ(source, SummarySource::kComputed);
+  }
+  // A fresh cache (new process, conceptually) hits the sidecar.
+  {
+    SummaryCache cache(/*persist_sidecars=*/true);
+    ASSERT_TRUE(cache.GetOrCompute(key, 9, PathType::kNonBacktracking, 4,
+                                   compute, &source)
+                    .ok());
+    EXPECT_EQ(source, SummarySource::kDisk);
+    // But a different hash must not: the sidecar is stale.
+    ASSERT_TRUE(cache.GetOrCompute(key, 10, PathType::kNonBacktracking, 4,
+                                   compute, &source)
+                    .ok());
+    EXPECT_EQ(source, SummarySource::kComputed);
+  }
+  EXPECT_EQ(computed, 2);
+}
+
+// --- dataset cache --------------------------------------------------------
+
+TEST(DatasetCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  Fixture a = MakeFixture("lru_a", 21);
+  Fixture b = MakeFixture("lru_b", 22);
+  Fixture c = MakeFixture("lru_c", 23);
+  // Budget fits roughly two datasets (each ~n·12 + nnz·8 bytes).
+  std::ifstream probe(a.path, std::ios::binary | std::ios::ate);
+  const std::int64_t file_size = static_cast<std::int64_t>(probe.tellg());
+  DatasetCache cache(2 * file_size + file_size / 2);
+
+  ASSERT_TRUE(cache.Acquire(a.path).ok());
+  ASSERT_TRUE(cache.Acquire(b.path).ok());
+  EXPECT_EQ(cache.entries(), 2);
+  // Touch A so B is the LRU victim when C arrives.
+  ASSERT_TRUE(cache.Acquire(a.path).ok());
+  ASSERT_TRUE(cache.Acquire(c.path).ok());
+  EXPECT_EQ(cache.entries(), 2);
+  EXPECT_GE(cache.counters().evictions, 1);
+  const std::vector<std::string> resident = cache.ResidentPaths();
+  ASSERT_EQ(resident.size(), 2u);
+  EXPECT_NE(resident[0].find("lru_c"), std::string::npos);
+  EXPECT_NE(resident[1].find("lru_a"), std::string::npos);
+  EXPECT_LE(cache.resident_bytes(), cache.byte_budget());
+
+  // An evicted dataset reloads on demand (a miss, not an error).
+  const auto before = cache.counters();
+  ASSERT_TRUE(cache.Acquire(b.path).ok());
+  EXPECT_EQ(cache.counters().misses, before.misses + 1);
+}
+
+TEST(DatasetCacheTest, RefusesFilesLargerThanTheBudget) {
+  Fixture fixture = MakeFixture("over_budget", 24);
+  DatasetCache cache(1024);  // 1 KB: smaller than any real cache
+  auto acquired = cache.Acquire(fixture.path);
+  ASSERT_FALSE(acquired.ok());
+  EXPECT_EQ(acquired.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(acquired.status().message().find("residency budget"),
+            std::string::npos);
+}
+
+TEST(DatasetCacheTest, ReopensWhenTheFileChanges) {
+  Fixture fixture = MakeFixture("stale", 25);
+  DatasetCache cache(std::int64_t{64} << 20);
+  auto first = cache.Acquire(fixture.path);
+  ASSERT_TRUE(first.ok());
+  const std::uint64_t original_hash = first.value()->content_hash();
+
+  // Rewrite with one extra node so size (and content) change.
+  Fixture bigger = MakeFixture("stale_tmp", 26, 410);
+  std::ifstream in(bigger.path, std::ios::binary);
+  std::ofstream out(fixture.path, std::ios::binary | std::ios::trunc);
+  out << in.rdbuf();
+  out.close();
+
+  auto second = cache.Acquire(fixture.path);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second.value()->content_hash(), original_hash);
+  EXPECT_GE(cache.counters().stale_reopens, 1);
+}
+
+// --- server handlers (transport-free) -------------------------------------
+
+TEST(ServerTest, RejectsUnknownDatasetAndWrongExtension) {
+  FgrServer server(ServerOptions{});
+  const Json missing = MustParse(
+      server.HandleRequestLine(EstimateRequest(TempPath("nope.fgrbin"))));
+  EXPECT_FALSE(missing.Find("ok")->bool_value());
+  EXPECT_EQ(missing.GetString("code", ""), "NotFound");
+
+  const Json wrong_kind = MustParse(
+      server.HandleRequestLine(EstimateRequest(TempPath("graph.edges"))));
+  EXPECT_FALSE(wrong_kind.Find("ok")->bool_value());
+  EXPECT_NE(wrong_kind.GetString("error", "").find("convert first"),
+            std::string::npos);
+}
+
+TEST(ServerTest, RejectsOversizedRequests) {
+  ServerOptions options;
+  options.max_request_bytes = 64;
+  FgrServer server(options);
+  const std::string big(200, 'x');
+  const Json response = MustParse(server.HandleRequestLine(big));
+  EXPECT_FALSE(response.Find("ok")->bool_value());
+  EXPECT_NE(response.GetString("error", "").find("64-byte limit"),
+            std::string::npos);
+}
+
+TEST(ServerTest, RejectsLabelFreeCaches) {
+  auto graph = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  ASSERT_TRUE(graph.ok());
+  const std::string path = TempPath("no_labels.fgrbin");
+  ASSERT_TRUE(WriteFgrBin(graph.value(), nullptr, nullptr, path).ok());
+  FgrServer server(ServerOptions{});
+  const Json response =
+      MustParse(server.HandleRequestLine(EstimateRequest(path)));
+  EXPECT_FALSE(response.Find("ok")->bool_value());
+  EXPECT_NE(response.GetString("error", "").find("no label section"),
+            std::string::npos);
+}
+
+TEST(ServerTest, EstimateMatchesOfflineBitForBitWhenSerial) {
+  SetNumThreads(1);
+  Fixture fixture = MakeFixture("serve_serial", 31);
+  const EstimationResult offline =
+      EstimateDce(fixture.data.graph, fixture.seeds, TestDceOptions());
+
+  ServerOptions options;
+  options.persist_summaries = false;
+  FgrServer server(options);
+  const Json response =
+      MustParse(server.HandleRequestLine(EstimateRequest(fixture.path)));
+  SetNumThreads(0);
+  ASSERT_TRUE(response.Find("ok")->bool_value())
+      << response.GetString("error", "");
+  EXPECT_EQ(response.GetString("summary_source", ""), "computed");
+  EXPECT_EQ(response.GetInt("n", 0), fixture.data.graph.num_nodes());
+  EXPECT_EQ(response.GetInt("m", 0), fixture.data.graph.num_edges());
+  EXPECT_EQ(response.GetInt("labeled", 0), fixture.seeds.NumLabeled());
+  EXPECT_EQ(response.GetNumber("energy", -1), offline.energy);
+  const DenseMatrix h = MatrixFrom(response, "h");
+  EXPECT_EQ(h.data(), offline.h.data());  // bit-for-bit, serial
+}
+
+TEST(ServerTest, LabelMatchesOfflinePipelineBitForBitWhenSerial) {
+  SetNumThreads(1);
+  Fixture fixture = MakeFixture("serve_label", 32);
+  const EstimationResult offline_estimate =
+      EstimateDce(fixture.data.graph, fixture.seeds, TestDceOptions());
+  const LinBpResult offline_prop =
+      RunLinBp(fixture.data.graph, fixture.seeds, offline_estimate.h);
+  const Labeling offline_labels =
+      LabelsFromBeliefs(offline_prop.beliefs, fixture.seeds);
+
+  ServerOptions options;
+  options.persist_summaries = false;
+  FgrServer server(options);
+  const Json response = MustParse(
+      server.HandleRequestLine(EstimateRequest(fixture.path, "label")));
+  SetNumThreads(0);
+  ASSERT_TRUE(response.Find("ok")->bool_value())
+      << response.GetString("error", "");
+  const Json* labels = response.Find("labels");
+  ASSERT_NE(labels, nullptr);
+  ASSERT_EQ(static_cast<NodeId>(labels->items().size()),
+            offline_labels.num_nodes());
+  for (NodeId i = 0; i < offline_labels.num_nodes(); ++i) {
+    EXPECT_EQ(static_cast<ClassId>(
+                  labels->items()[static_cast<std::size_t>(i)]
+                      .number_value()),
+              offline_labels.label(i))
+        << "node " << i;
+  }
+}
+
+TEST(ServerTest, RepeatEstimateHitsTheSummaryCache) {
+  Fixture fixture = MakeFixture("serve_repeat", 33);
+  ServerOptions options;
+  options.persist_summaries = false;
+  FgrServer server(options);
+
+  const Json first =
+      MustParse(server.HandleRequestLine(EstimateRequest(fixture.path)));
+  ASSERT_TRUE(first.Find("ok")->bool_value());
+  EXPECT_EQ(first.GetString("summary_source", ""), "computed");
+
+  const Json second =
+      MustParse(server.HandleRequestLine(EstimateRequest(fixture.path)));
+  ASSERT_TRUE(second.Find("ok")->bool_value());
+  EXPECT_EQ(second.GetString("summary_source", ""), "memory");
+  // Identical request against identical statistics: identical answer.
+  EXPECT_EQ(MatrixFrom(second, "h").data(), MatrixFrom(first, "h").data());
+  EXPECT_EQ(second.GetNumber("seconds_summarization", -1), 0.0);
+
+  EXPECT_EQ(server.summaries().counters().computed, 1);
+  EXPECT_EQ(server.summaries().counters().memory_hits, 1);
+}
+
+TEST(ServerTest, RewritingTheCacheInvalidatesTheSummary) {
+  Fixture fixture = MakeFixture("serve_invalidate", 34);
+  ServerOptions options;
+  options.persist_summaries = false;
+  FgrServer server(options);
+  const Json first =
+      MustParse(server.HandleRequestLine(EstimateRequest(fixture.path)));
+  ASSERT_TRUE(first.Find("ok")->bool_value());
+
+  // Replace the file with a different graph (different size → the dataset
+  // cache reopens → new content hash → summary recomputes).
+  Fixture other = MakeFixture("serve_invalidate_new", 35, 410);
+  std::ifstream in(other.path, std::ios::binary);
+  std::ofstream out(fixture.path, std::ios::binary | std::ios::trunc);
+  out << in.rdbuf();
+  out.close();
+
+  const Json second =
+      MustParse(server.HandleRequestLine(EstimateRequest(fixture.path)));
+  ASSERT_TRUE(second.Find("ok")->bool_value())
+      << second.GetString("error", "");
+  EXPECT_EQ(second.GetString("summary_source", ""), "computed");
+  EXPECT_EQ(second.GetInt("n", 0), 410);
+  EXPECT_EQ(server.summaries().counters().invalidations, 1);
+}
+
+TEST(ServerTest, OverBudgetDatasetsStreamEstimatesAndRefuseLabels) {
+  SetNumThreads(1);
+  Fixture fixture = MakeFixture("serve_stream", 36);
+  const EstimationResult offline =
+      EstimateDce(fixture.data.graph, fixture.seeds, TestDceOptions());
+
+  ServerOptions options;
+  options.dataset_budget_bytes = 1024;  // nothing fits
+  options.streaming_budget_bytes = 8192;  // force multiple panels too
+  options.persist_summaries = false;
+  FgrServer server(options);
+  const Json estimate =
+      MustParse(server.HandleRequestLine(EstimateRequest(fixture.path)));
+  SetNumThreads(0);
+  ASSERT_TRUE(estimate.Find("ok")->bool_value())
+      << estimate.GetString("error", "");
+  EXPECT_FALSE(estimate.Find("resident")->bool_value());
+  // Streamed serial summarization is bit-identical to in-core.
+  EXPECT_EQ(MatrixFrom(estimate, "h").data(), offline.h.data());
+
+  const Json label = MustParse(
+      server.HandleRequestLine(EstimateRequest(fixture.path, "label")));
+  EXPECT_FALSE(label.Find("ok")->bool_value());
+  EXPECT_NE(label.GetString("error", "").find("residency budget"),
+            std::string::npos);
+}
+
+TEST(ServerTest, StatsAndDatasetsOpsReportCounters) {
+  Fixture fixture = MakeFixture("serve_stats", 37);
+  ServerOptions options;
+  options.persist_summaries = false;
+  FgrServer server(options);
+  MustParse(server.HandleRequestLine(EstimateRequest(fixture.path)));
+  MustParse(server.HandleRequestLine(EstimateRequest(fixture.path)));
+  MustParse(server.HandleRequestLine("{\"op\":\"notreal\"}"));
+
+  const Json stats = MustParse(server.HandleRequestLine("{\"op\":\"stats\"}"));
+  ASSERT_TRUE(stats.Find("ok")->bool_value());
+  EXPECT_EQ(stats.GetInt("estimates", -1), 2);
+  EXPECT_EQ(stats.GetInt("errors", -1), 1);
+  EXPECT_EQ(stats.Find("summary")->GetInt("computed", -1), 1);
+  EXPECT_EQ(stats.Find("summary")->GetInt("memory_hits", -1), 1);
+  EXPECT_EQ(stats.Find("datasets")->GetInt("resident", -1), 1);
+
+  const Json datasets =
+      MustParse(server.HandleRequestLine("{\"op\":\"datasets\"}"));
+  ASSERT_TRUE(datasets.Find("ok")->bool_value());
+  ASSERT_EQ(datasets.Find("resident")->items().size(), 1u);
+  EXPECT_NE(datasets.Find("resident")
+                ->items()[0]
+                .string_value()
+                .find("serve_stats"),
+            std::string::npos);
+}
+
+// --- sockets + concurrency ------------------------------------------------
+
+// The library's own reference client (serve/protocol.h LineClient) drives
+// the socket tests, with failures turned into FGR_CHECK aborts.
+std::string MustExchange(LineClient* client, const std::string& request) {
+  auto response = client->Exchange(request);
+  FGR_CHECK(response.ok()) << response.status().ToString();
+  return std::move(response).value();
+}
+
+LineClient MustConnect(const std::string& host, int port) {
+  auto client = LineClient::Connect(host, port);
+  FGR_CHECK(client.ok()) << client.status().ToString();
+  return std::move(client).value();
+}
+
+TEST(ServerSocketTest, ConcurrentClientsMatchOfflineWithin1e9) {
+  Fixture fixture_a = MakeFixture("sock_a", 41);
+  Fixture fixture_b = MakeFixture("sock_b", 42);
+  const EstimationResult offline_a =
+      EstimateDce(fixture_a.data.graph, fixture_a.seeds, TestDceOptions());
+  const EstimationResult offline_b =
+      EstimateDce(fixture_b.data.graph, fixture_b.seeds, TestDceOptions());
+  const Labeling offline_labels_a = LabelsFromBeliefs(
+      RunLinBp(fixture_a.data.graph, fixture_a.seeds, offline_a.h).beliefs,
+      fixture_a.seeds);
+
+  ServerOptions options;
+  options.port = 0;  // ephemeral
+  options.worker_threads = 4;
+  options.persist_summaries = false;
+  FgrServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 3;
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      LineClient client = MustConnect(server.host(), server.port());
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const bool use_a = (c + r) % 2 == 0;
+        const Fixture& fixture = use_a ? fixture_a : fixture_b;
+        const EstimationResult& offline = use_a ? offline_a : offline_b;
+        const Json response =
+            MustParse(MustExchange(&client, EstimateRequest(fixture.path)));
+        if (!response.Find("ok")->bool_value()) {
+          failures[c] = response.GetString("error", "?");
+          return;
+        }
+        const DenseMatrix h = MatrixFrom(response, "h");
+        for (std::size_t i = 0; i < h.data().size(); ++i) {
+          if (std::abs(h.data()[i] - offline.h.data()[i]) > 1e-9) {
+            failures[c] = "H mismatch beyond 1e-9";
+            return;
+          }
+        }
+      }
+      // One label request per client against dataset A.
+      const Json labeled =
+          MustParse(MustExchange(&client, EstimateRequest(fixture_a.path,
+                                                    "label")));
+      if (!labeled.Find("ok")->bool_value()) {
+        failures[c] = labeled.GetString("error", "?");
+        return;
+      }
+      const Json* labels = labeled.Find("labels");
+      for (NodeId i = 0; i < offline_labels_a.num_nodes(); ++i) {
+        if (static_cast<ClassId>(
+                labels->items()[static_cast<std::size_t>(i)]
+                    .number_value()) != offline_labels_a.label(i)) {
+          failures[c] = "labels mismatch";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+
+  // Exactly two summaries were computed (one per dataset) no matter how
+  // the 16 estimate requests interleaved — concurrent misses coalesce.
+  EXPECT_EQ(server.summaries().counters().computed, 2);
+  server.Stop();
+}
+
+TEST(ServerSocketTest, SurvivesGarbageAndPipelinedRequests) {
+  Fixture fixture = MakeFixture("sock_garbage", 43);
+  ServerOptions options;
+  options.port = 0;
+  options.worker_threads = 2;
+  options.persist_summaries = false;
+  FgrServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  LineClient client = MustConnect(server.host(), server.port());
+  const Json garbage = MustParse(MustExchange(&client, "this is not json"));
+  EXPECT_FALSE(garbage.Find("ok")->bool_value());
+  // The connection stays usable after a bad request.
+  const Json stats = MustParse(MustExchange(&client, "{\"op\":\"stats\"}"));
+  EXPECT_TRUE(stats.Find("ok")->bool_value());
+  // Pipelined: two requests in one write still get two responses in order.
+  const Json first = MustParse(MustExchange(&client, 
+      "{\"op\":\"datasets\"}\n{\"op\":\"stats\"}"));
+  EXPECT_EQ(first.GetString("op", ""), "datasets");
+  server.Stop();
+}
+
+// --- registry thread safety (satellite regression) ------------------------
+
+TEST(RegistryThreadTest, ConcurrentRegisterAndLookupIsSafe) {
+  DatasetRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (t % 2 == 0) {
+          // Writers register fresh and overwrite shared names.
+          const std::string name =
+              "source-" + std::to_string(t) + "-" + std::to_string(i);
+          registry.Register(std::make_shared<CallbackSource>(
+              name, "threaded",
+              [](const LoadOptions&) -> Result<LabeledGraph> {
+                return Status::Internal("unused");
+              }));
+          registry.Register(std::make_shared<CallbackSource>(
+              "shared", "threaded",
+              [](const LoadOptions&) -> Result<LabeledGraph> {
+                return Status::Internal("unused");
+              }));
+        } else {
+          // Readers resolve names and snapshot the listing concurrently.
+          (void)registry.Find("shared");
+          (void)registry.Names();
+          (void)registry.List();
+          (void)ResolveGraphSource("shared", registry);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Every writer's sources landed, and "shared" was replaced, not
+  // duplicated.
+  int shared_count = 0;
+  for (const std::string& name : registry.Names()) {
+    if (name == "shared") ++shared_count;
+  }
+  EXPECT_EQ(shared_count, 1);
+  EXPECT_EQ(registry.Names().size(),
+            static_cast<std::size_t>(kThreads / 2 * kPerThread + 1));
+  EXPECT_NE(registry.Find("source-0-49"), nullptr);
+}
+
+}  // namespace
+}  // namespace fgr

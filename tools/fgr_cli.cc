@@ -37,9 +37,27 @@
 //           [--restarts R]
 //       Estimate + LinBP propagation; writes a fully labeled file.
 //
+//   fgr_cli serve [--port N] [--workers W] [--budget MB] [--preload ...]
+//       Run the fgrd serving daemon in-process (same protocol and flags as
+//       the standalone fgrd binary; see tools/fgrd.cc).
+//
+//   fgr_cli query estimate <dataset.fgrbin> [--restarts R] [--lmax L]
+//           [--lambda X] [--dce-seed N] [--port P] [--host H]
+//   fgr_cli query label <dataset.fgrbin> <out.txt> [--port P] [--host H]
+//   fgr_cli query stats | datasets [--port P] [--host H]
+//       Send one request to a running fgrd and print the result. estimate
+//       prints the exact report the offline `estimate` subcommand prints
+//       (the JSON carries full-precision doubles, so the matrices match
+//       bit for bit); label writes the returned labels with WriteLabels,
+//       byte-identical to the offline `label` output file.
+//
+// Every subcommand accepts --threads N, which pins the compute-kernel
+// thread count; precedence is --threads > FGR_NUM_THREADS > hardware.
+//
 // Setting FGR_DATA_DIR redirects registered names (e.g. Pokec-Gender) to
 // real downloaded files; see data/registry.h.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -112,7 +130,16 @@ int Usage() {
       "  fgr_cli estimate <name|edges> <labels> --classes K [--restarts R]\n"
       "          [--lmax L] [--lambda X] [--memory-budget MB]\n"
       "  fgr_cli label <name|edges> <labels> <out> --classes K "
-      "[--restarts R]\n");
+      "[--restarts R]\n"
+      "  fgr_cli serve [--port N] [--host H] [--workers W] [--budget MB]\n"
+      "          [--streaming-budget MB] [--preload a.fgrbin,b] "
+      "[--no-summaries]\n"
+      "  fgr_cli query estimate <dataset.fgrbin> [--restarts R] [--lmax L]\n"
+      "          [--lambda X] [--dce-seed N] [--port P] [--host H]\n"
+      "  fgr_cli query label <dataset.fgrbin> <out> [--port P] [--host H]\n"
+      "  fgr_cli query stats|datasets [--port P] [--host H]\n"
+      "(any subcommand: --threads N pins the kernel thread count;\n"
+      " precedence --threads > FGR_NUM_THREADS > hardware)\n");
   return 2;
 }
 
@@ -186,20 +213,32 @@ DceOptions MakeDceOptions(const Flags& flags) {
   options.restarts = static_cast<int>(flags.Int("restarts", 10));
   options.max_path_length = static_cast<int>(flags.Int("lmax", 5));
   options.lambda = flags.Double("lambda", 10.0);
+  // --dce-seed pins the restart RNG, and `query` forwards the same flag
+  // to the daemon, so served and offline runs stay reproducible against
+  // each other for any seed. Deliberately not the generation --seed flag:
+  // that one predates the serving layer with different semantics (and a
+  // different default), and coupling them would silently change results
+  // of pre-existing commands.
+  options.seed = static_cast<std::uint64_t>(flags.Int("dce-seed", 7));
   return options;
 }
 
-// Shared by the in-core and streaming `estimate` paths: the streaming-e2e
-// CI job diffs their outputs bit for bit, so there is exactly one copy of
-// these format strings.
+// Shared by the in-core, streaming, and served `estimate` paths: the
+// streaming-e2e and serve-e2e CI jobs diff their outputs bit for bit, so
+// there is exactly one copy of these format strings. The labeled fraction
+// is computed exactly as Labeling::LabeledFraction does, so a count-only
+// caller (the query client) prints the same digits.
 void PrintEstimateReport(std::int64_t num_nodes, std::int64_t num_edges,
-                         const Labeling& seeds,
+                         std::int64_t num_labeled,
                          const EstimationResult& estimate) {
+  const double fraction =
+      num_nodes == 0 ? 0.0
+                     : static_cast<double>(num_labeled) /
+                           static_cast<double>(num_nodes);
   std::printf("graph: n=%lld m=%lld, %lld labeled (f=%.4f%%)\n",
               static_cast<long long>(num_nodes),
               static_cast<long long>(num_edges),
-              static_cast<long long>(seeds.NumLabeled()),
-              100.0 * seeds.LabeledFraction());
+              static_cast<long long>(num_labeled), 100.0 * fraction);
   std::printf("estimated compatibility matrix "
               "(%.3fs summarization + %.3fs optimization, energy %.3g):\n%s\n",
               estimate.seconds_summarization, estimate.seconds_optimization,
@@ -344,7 +383,7 @@ int RunEstimateStreaming(const std::string& reference,
   if (!estimate.ok()) return Fail(estimate.status().ToString());
 
   PrintEstimateReport(info.value().num_nodes, info.value().nnz / 2,
-                      seeds.value(), estimate.value());
+                      seeds.value().NumLabeled(), estimate.value());
   return 0;
 }
 
@@ -368,7 +407,7 @@ int RunEstimate(const std::string& reference, const std::string& labels_path,
   const EstimationResult estimate =
       Estimate(graph, problem.value().seeds, flags);
   PrintEstimateReport(graph.num_nodes(), graph.num_edges(),
-                      problem.value().seeds, estimate);
+                      problem.value().seeds.NumLabeled(), estimate);
   return 0;
 }
 
@@ -395,8 +434,199 @@ int RunLabel(const std::string& reference, const std::string& labels_path,
   return 0;
 }
 
+// --- the fgrd client ------------------------------------------------------
+
+// Sends `request` over a fresh connection (serve/protocol.h LineClient),
+// parses the response, and fails on {"ok":false,...}.
+Result<Json> QueryServer(const Flags& flags, const std::string& request) {
+  const std::string host = flags.Str("host", "127.0.0.1");
+  const int port = static_cast<int>(flags.Int("port", 7411));
+  auto client = LineClient::Connect(host, port);
+  if (!client.ok()) return client.status();
+  auto raw = client.value().Exchange(request);
+  if (!raw.ok()) return raw.status();
+  auto parsed = ParseJson(raw.value());
+  if (!parsed.ok()) {
+    return Status::Internal("cannot parse fgrd response: " +
+                            parsed.status().message());
+  }
+  const Json* ok = parsed.value().Find("ok");
+  if (ok == nullptr || ok->type() != Json::Type::kBool) {
+    return Status::Internal("fgrd response is missing \"ok\"");
+  }
+  if (!ok->bool_value()) {
+    return Status(StatusCode::kInternal,
+                  "fgrd: " + parsed.value().GetString("code", "Error") +
+                      ": " + parsed.value().GetString("error", "unknown"));
+  }
+  return parsed;
+}
+
+// The estimate/label knobs of a query request, forwarded verbatim so the
+// daemon's defaults (which equal this CLI's defaults) apply when omitted.
+std::string BuildQueryRequest(const std::string& op,
+                              const std::string& dataset,
+                              const Flags& flags) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("op").Value(op);
+  writer.Key("dataset").Value(dataset);
+  writer.Key("restarts").Value(flags.Int("restarts", 10));
+  writer.Key("lmax").Value(flags.Int("lmax", 5));
+  writer.Key("lambda").Value(flags.Double("lambda", 10.0));
+  writer.Key("seed").Value(flags.Int("dce-seed", 7));
+  writer.EndObject();
+  return writer.Take();
+}
+
+// Rebuilds the k×k H matrix from the response's nested "h" array; %.17g
+// serialization makes this bit-exact.
+Result<DenseMatrix> MatrixFromResponse(const Json& response) {
+  const Json* h = response.Find("h");
+  if (h == nullptr || h->type() != Json::Type::kArray || h->items().empty()) {
+    return Status::Internal("fgrd response is missing \"h\"");
+  }
+  const std::int64_t k = static_cast<std::int64_t>(h->items().size());
+  DenseMatrix matrix(k, k);
+  for (std::int64_t i = 0; i < k; ++i) {
+    const Json& row = h->items()[static_cast<std::size_t>(i)];
+    if (row.type() != Json::Type::kArray ||
+        static_cast<std::int64_t>(row.items().size()) != k) {
+      return Status::Internal("fgrd response \"h\" is not square");
+    }
+    for (std::int64_t j = 0; j < k; ++j) {
+      matrix(i, j) = row.items()[static_cast<std::size_t>(j)].number_value();
+    }
+  }
+  return matrix;
+}
+
+int RunQueryEstimate(const std::string& dataset, const Flags& flags) {
+  auto response =
+      QueryServer(flags, BuildQueryRequest("estimate", dataset, flags));
+  if (!response.ok()) return Fail(response.status().ToString());
+  const Json& json = response.value();
+  auto h = MatrixFromResponse(json);
+  if (!h.ok()) return Fail(h.status().ToString());
+
+  EstimationResult estimate;
+  estimate.h = std::move(h).value();
+  estimate.energy = json.GetNumber("energy", 0.0);
+  estimate.seconds_summarization = json.GetNumber("seconds_summarization", 0.0);
+  estimate.seconds_optimization = json.GetNumber("seconds_optimization", 0.0);
+  // The cache provenance goes to stderr so stdout stays diffable against
+  // the offline `estimate` report.
+  std::fprintf(stderr, "fgrd: summary %s, %s\n",
+               json.GetString("summary_source", "?").c_str(),
+               json.Find("resident") != nullptr &&
+                       json.Find("resident")->bool_value()
+                   ? "resident"
+                   : "streamed");
+  PrintEstimateReport(json.GetInt("n", 0), json.GetInt("m", 0),
+                      json.GetInt("labeled", 0), estimate);
+  return 0;
+}
+
+int RunQueryLabel(const std::string& dataset, const std::string& out_path,
+                  const Flags& flags) {
+  auto response =
+      QueryServer(flags, BuildQueryRequest("label", dataset, flags));
+  if (!response.ok()) return Fail(response.status().ToString());
+  const Json& json = response.value();
+  const Json* labels = json.Find("labels");
+  if (labels == nullptr || labels->type() != Json::Type::kArray) {
+    return Fail("fgrd response is missing \"labels\"");
+  }
+  const ClassId num_classes =
+      static_cast<ClassId>(json.GetInt("k", 0));
+  if (num_classes < 1) return Fail("fgrd response is missing \"k\"");
+  std::vector<ClassId> raw;
+  raw.reserve(labels->items().size());
+  for (const Json& value : labels->items()) {
+    // Validate before Labeling::FromVector, whose range FGR_CHECK would
+    // abort the client on a garbled or version-skewed response. Labels
+    // must be integers — a 1.9 is a corrupt response, not class 1.
+    const double entry = value.number_value();
+    if (value.type() != Json::Type::kNumber || !(entry >= 0.0) ||
+        entry >= static_cast<double>(num_classes) ||
+        entry != std::floor(entry)) {
+      return Fail("fgrd response contains a label outside [0, " +
+                  std::to_string(num_classes) + ")");
+    }
+    raw.push_back(static_cast<ClassId>(entry));
+  }
+  const Labeling predicted = Labeling::FromVector(std::move(raw),
+                                                  num_classes);
+  const Status status = WriteLabels(predicted, out_path);
+  if (!status.ok()) return Fail(status.ToString());
+  std::fprintf(stderr, "fgrd: summary %s\n",
+               json.GetString("summary_source", "?").c_str());
+  std::printf("estimated H, propagated %d LinBP iterations, wrote %lld "
+              "labels to %s\n",
+              static_cast<int>(json.GetInt("linbp_iterations", 0)),
+              static_cast<long long>(predicted.num_nodes()),
+              out_path.c_str());
+  return 0;
+}
+
+int RunQuery(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string op = argv[2];
+  if (op == "estimate" && argc >= 4) {
+    return RunQueryEstimate(argv[3], Flags(argc, argv, 4));
+  }
+  if (op == "label" && argc >= 5) {
+    return RunQueryLabel(argv[3], argv[4], Flags(argc, argv, 5));
+  }
+  if (op == "stats" || op == "datasets") {
+    const Flags flags(argc, argv, 3);
+    auto response = QueryServer(flags, "{\"op\":\"" + op + "\"}");
+    if (!response.ok()) return Fail(response.status().ToString());
+    std::printf("%s\n", response.value().Dump().c_str());
+    return 0;
+  }
+  return Usage();
+}
+
+int RunServe(const Flags& flags) {
+  ServerOptions options;
+  options.port = static_cast<int>(flags.Int("port", options.port));
+  options.host = flags.Str("host", options.host);
+  options.worker_threads =
+      static_cast<int>(flags.Int("workers", options.worker_threads));
+  // The same validation the fgrd binary enforces: without it an
+  // out-of-range port would be silently truncated by the uint16 cast.
+  if (options.port < 0 || options.port > 65535) {
+    return Fail("--port must be in [0, 65535]");
+  }
+  if (options.worker_threads < 1) return Fail("--workers must be >= 1");
+  // -1 = flag absent: --budget 0 is meaningful (no residency, stream
+  // every estimate), exactly as the fgrd binary accepts it.
+  const std::int64_t budget_mb = flags.Int("budget", -1);
+  if (budget_mb >= 0) options.dataset_budget_bytes = budget_mb << 20;
+  const std::int64_t streaming_mb = flags.Int("streaming-budget", -1);
+  if (streaming_mb == 0) return Fail("--streaming-budget must be >= 1 MB");
+  if (streaming_mb > 0) options.streaming_budget_bytes = streaming_mb << 20;
+  options.persist_summaries = !flags.Bool("no-summaries");
+  const std::vector<std::string> preload =
+      SplitCommaList(flags.Str("preload"));
+  const Status status = RunDaemon("fgr_cli serve", options, preload);
+  if (!status.ok()) return Fail(status.ToString());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  // --threads is global: it pins the kernel thread count for whichever
+  // subcommand runs. Precedence: --threads > FGR_NUM_THREADS > hardware.
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      const long long threads = std::atoll(argv[i + 1]);
+      if (threads < 1) return Fail("--threads must be >= 1");
+      SetNumThreads(static_cast<int>(threads));
+      break;
+    }
+  }
   const std::string command = argv[1];
   if (command.rfind("--", 0) == 0) {
     // No subcommand: the end-to-end path, e.g. `fgr_cli --dataset Cora`.
@@ -418,6 +648,12 @@ int Main(int argc, char** argv) {
   }
   if (command == "label" && argc >= 5) {
     return RunLabel(argv[2], argv[3], argv[4], Flags(argc, argv, 5));
+  }
+  if (command == "query") {
+    return RunQuery(argc, argv);
+  }
+  if (command == "serve") {
+    return RunServe(Flags(argc, argv, 2));
   }
   return Usage();
 }

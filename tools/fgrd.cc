@@ -1,0 +1,88 @@
+// fgrd: the fgr estimation-serving daemon.
+//
+//   fgrd [--port N] [--host A.B.C.D] [--workers W] [--threads T]
+//        [--budget MB] [--streaming-budget MB] [--preload a.fgrbin,b.fgrbin]
+//        [--no-summaries]
+//
+// Serves estimate / label / stats / datasets requests over a line-delimited
+// JSON TCP protocol (see src/serve/protocol.h). Datasets are .fgrbin caches
+// referenced by path in each request; hot ones stay mmap-resident under
+// --budget, and per-dataset summarization statistics persist as .fgrsum
+// sidecars so a repeated estimate query skips the graph pass entirely.
+//
+//   --port 0 picks an ephemeral port; the bound port is printed on the
+//     "fgrd: serving on host:port" line (flushed, scrapeable).
+//   --threads pins the compute-kernel thread count (fgr::SetNumThreads).
+//     Precedence: --threads > FGR_NUM_THREADS > hardware concurrency.
+//   --workers sizes the connection worker pool (concurrent requests).
+//   --preload maps the listed caches before accepting traffic.
+//   --no-summaries disables writing .fgrsum sidecars (summaries are then
+//     cached in memory only).
+//
+// Query it with `fgr_cli query` or any line-JSON client:
+//   printf '{"op":"estimate","dataset":"g.fgrbin"}\n' | nc 127.0.0.1 7411
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fgr/fgr.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: fgrd [--port N] [--host A.B.C.D] [--workers W] [--threads T]\n"
+      "            [--budget MB] [--streaming-budget MB]\n"
+      "            [--preload a.fgrbin,b.fgrbin] [--no-summaries]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fgr::ServerOptions options;
+  std::vector<std::string> preload;
+  long long threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--port" && has_value) {
+      options.port = std::atoi(argv[++i]);
+    } else if (arg == "--host" && has_value) {
+      options.host = argv[++i];
+    } else if (arg == "--workers" && has_value) {
+      options.worker_threads = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && has_value) {
+      threads = std::atoll(argv[++i]);
+    } else if (arg == "--budget" && has_value) {
+      options.dataset_budget_bytes = std::atoll(argv[++i]) << 20;
+    } else if (arg == "--streaming-budget" && has_value) {
+      options.streaming_budget_bytes = std::atoll(argv[++i]) << 20;
+    } else if (arg == "--preload" && has_value) {
+      preload = fgr::SplitCommaList(argv[++i]);
+    } else if (arg == "--no-summaries") {
+      options.persist_summaries = false;
+    } else {
+      return Usage();
+    }
+  }
+  if (options.port < 0 || options.port > 65535 ||
+      options.worker_threads < 1 || options.dataset_budget_bytes < 0 ||
+      options.streaming_budget_bytes < 1 || threads < 0) {
+    return Usage();
+  }
+  // --threads wins over FGR_NUM_THREADS, which wins over the hardware
+  // count (see util/parallel.h).
+  if (threads > 0) fgr::SetNumThreads(static_cast<int>(threads));
+
+  const fgr::Status status = fgr::RunDaemon("fgrd", options, preload);
+  if (!status.ok()) {
+    std::fprintf(stderr, "fgrd: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
