@@ -57,7 +57,8 @@ void Run() {
 }  // namespace bench
 }  // namespace fgr
 
-int main() {
+int main(int argc, char** argv) {
+  fgr::bench::Init(argc, argv);
   fgr::bench::Run();
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <numeric>
@@ -477,4 +478,35 @@ BENCHMARK(BM_DeterministicShuffle)
 }  // namespace
 }  // namespace fgr
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with the harness-wide `--json <path>` flag:
+// google-benchmark already writes structured JSON, so --json simply maps to
+// --benchmark_out=<path> --benchmark_out_format=json and the orchestrator
+// normalizes that schema alongside the table benches' (bench_util.h).
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::vector<std::string> owned;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  owned.reserve(2);
+  if (argc > 0) args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    std::string json_path;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+      continue;
+    }
+    owned.push_back("--benchmark_out=" + json_path);
+    owned.push_back("--benchmark_out_format=json");
+    for (std::string& flag : owned) args.push_back(flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -7,10 +7,21 @@
 //   FGR_SCALE   multiplier on graph sizes where applicable (default bench
 //               specific; 1.0 = paper scale)
 //   FGR_FULL    set to 1 to run paper-scale sweeps (million-edge graphs)
+//
+// Structured output: every bench main() calls Init(argc, argv), which
+// understands `--json <path>`. When given, Emit() additionally records each
+// table as a case in one util/bench_json.h run object (provenance + per-
+// case wall/CPU timings + the table cells) and rewrites <path> after every
+// case, so even a bench that dies mid-sweep leaves its completed cases
+// behind for tools/bench_orchestrator.py.
 
 #ifndef FGR_BENCH_BENCH_UTIL_H_
 #define FGR_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <string>
 #include <vector>
 
@@ -24,6 +35,55 @@ inline int Trials() {
 }
 
 inline bool FullScale() { return EnvInt64("FGR_FULL", 0) != 0; }
+
+// Mutable state behind Init()/Emit(): the run object accumulating cases,
+// the output path, and the per-case stopwatches.
+struct BenchIo {
+  bool initialized = false;
+  std::string json_path;
+  BenchRunJson run;
+  Stopwatch case_wall;
+  std::clock_t case_cpu = 0;
+};
+
+inline BenchIo& Io() {
+  static BenchIo io;
+  return io;
+}
+
+// Parses the shared bench command line (currently just `--json <path>` and
+// `--help`) and starts the run clock. Call first in every bench main().
+inline void Init(int argc, char** argv) {
+  BenchIo& io = Io();
+  std::string name = argc > 0 ? argv[0] : "bench";
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+      io.json_path = argv[++i];
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      io.json_path = arg + 7;
+    } else if (std::strcmp(arg, "--help") == 0 ||
+               std::strcmp(arg, "-h") == 0) {
+      std::printf(
+          "usage: %s [--json <path>]\n"
+          "Workload knobs come from the environment: FGR_TRIALS, FGR_SCALE,"
+          " FGR_FULL=1,\nFGR_NUM_THREADS, FGR_DATA_DIR"
+          " (see bench/bench_util.h).\n",
+          name.c_str());
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n",
+                   name.c_str(), arg);
+      std::exit(2);
+    }
+  }
+  io.run = MakeBenchRun(name);
+  io.case_wall.Restart();
+  io.case_cpu = std::clock();
+  io.initialized = true;
+}
 
 // The estimators the paper compares. kGoldStandard "estimates" by measuring
 // the fully labeled graph (the accuracy ceiling); kRandom labels uniformly.
@@ -164,11 +224,28 @@ inline MethodOutcome RunMethod(Method method, const Instance& instance,
   return outcome;
 }
 
-// Writes the table to stdout and to <name>.csv in the working directory.
+// Writes the table to stdout, to <name>.csv in the working directory, and —
+// when Init() saw `--json <path>` — as one more case in the run JSON. The
+// case's wall/CPU timings cover everything since Init() or the previous
+// Emit(), i.e. the work that produced this table.
 inline void Emit(const Table& table, const std::string& name,
                  const std::string& title) {
   table.Print(title);
   table.WriteCsv(name + ".csv");
+  BenchIo& io = Io();
+  if (!io.initialized) return;
+  const double wall_seconds = io.case_wall.Seconds();
+  const std::clock_t cpu_now = std::clock();
+  const double cpu_seconds =
+      static_cast<double>(cpu_now - io.case_cpu) / CLOCKS_PER_SEC;
+  AddBenchCase(io.run, table, name, title, wall_seconds, cpu_seconds);
+  io.case_wall.Restart();
+  io.case_cpu = cpu_now;
+  if (io.json_path.empty()) return;
+  const Status written = WriteBenchRunJson(io.run, io.json_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "bench json: %s\n", written.ToString().c_str());
+  }
 }
 
 }  // namespace bench

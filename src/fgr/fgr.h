@@ -61,6 +61,7 @@
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/summary_cache.h"
+#include "util/bench_json.h"
 #include "util/env.h"
 #include "util/parallel.h"
 #include "util/random.h"

@@ -1,0 +1,210 @@
+#include "util/bench_json.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "serve/protocol.h"
+#include "util/env.h"
+#include "util/parallel.h"
+
+namespace fgr {
+namespace {
+
+std::string HostName() {
+  char buffer[256] = {};
+  if (gethostname(buffer, sizeof(buffer) - 1) != 0) return "unknown";
+  return buffer;
+}
+
+std::string UtcTimestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc = {};
+  gmtime_r(&now, &utc);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
+}
+
+void WriteCase(JsonWriter& writer, const BenchCaseJson& c) {
+  writer.BeginObject();
+  writer.Key("name").Value(c.name);
+  writer.Key("title").Value(c.title);
+  writer.Key("wall_seconds").Value(c.wall_seconds);
+  writer.Key("cpu_seconds").Value(c.cpu_seconds);
+  writer.Key("columns").BeginArray();
+  for (const std::string& column : c.columns) writer.Value(column);
+  writer.EndArray();
+  writer.Key("rows").BeginArray();
+  for (const auto& row : c.rows) {
+    writer.BeginArray();
+    for (const std::string& cell : row) writer.Value(cell);
+    writer.EndArray();
+  }
+  writer.EndArray();
+  writer.EndObject();
+}
+
+Result<std::vector<std::string>> ParseStringArray(const Json& value,
+                                                  const char* what) {
+  if (value.type() != Json::Type::kArray) {
+    return Status::InvalidArgument(std::string(what) + " must be an array");
+  }
+  std::vector<std::string> out;
+  out.reserve(value.items().size());
+  for (const Json& item : value.items()) {
+    if (item.type() != Json::Type::kString) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " entries must be strings");
+    }
+    out.push_back(item.string_value());
+  }
+  return out;
+}
+
+Result<BenchCaseJson> ParseCase(const Json& json) {
+  if (json.type() != Json::Type::kObject) {
+    return Status::InvalidArgument("bench case must be an object");
+  }
+  BenchCaseJson c;
+  c.name = json.GetString("name", "");
+  c.title = json.GetString("title", "");
+  c.wall_seconds = json.GetNumber("wall_seconds", 0.0);
+  c.cpu_seconds = json.GetNumber("cpu_seconds", 0.0);
+  const Json* columns = json.Find("columns");
+  if (columns == nullptr) {
+    return Status::InvalidArgument("bench case is missing \"columns\"");
+  }
+  auto parsed_columns = ParseStringArray(*columns, "\"columns\"");
+  if (!parsed_columns.ok()) return parsed_columns.status();
+  c.columns = std::move(parsed_columns).value();
+  const Json* rows = json.Find("rows");
+  if (rows == nullptr || rows->type() != Json::Type::kArray) {
+    return Status::InvalidArgument("bench case is missing a \"rows\" array");
+  }
+  for (const Json& row : rows->items()) {
+    auto parsed_row = ParseStringArray(row, "\"rows\" entry");
+    if (!parsed_row.ok()) return parsed_row.status();
+    if (parsed_row.value().size() != c.columns.size()) {
+      return Status::InvalidArgument(
+          "bench case row width does not match its columns");
+    }
+    c.rows.push_back(std::move(parsed_row).value());
+  }
+  return c;
+}
+
+}  // namespace
+
+BenchRunJson MakeBenchRun(const std::string& bench_name) {
+  BenchRunJson run;
+  run.bench = bench_name;
+  run.git_sha = EnvString("FGR_GIT_SHA", "unknown");
+  run.hostname = HostName();
+  run.timestamp_utc = UtcTimestamp();
+  run.data_dir = EnvString("FGR_DATA_DIR", "");
+  run.threads = NumThreads();
+  run.trials = static_cast<int>(EnvInt64("FGR_TRIALS", 3));
+  run.scale = EnvDouble("FGR_SCALE", 1.0);
+  run.full_scale = EnvInt64("FGR_FULL", 0) != 0;
+  return run;
+}
+
+void AddBenchCase(BenchRunJson& run, const Table& table,
+                  const std::string& name, const std::string& title,
+                  double wall_seconds, double cpu_seconds) {
+  BenchCaseJson c;
+  c.name = name;
+  c.title = title;
+  c.columns = table.columns();
+  c.rows = table.rows();
+  c.wall_seconds = wall_seconds;
+  c.cpu_seconds = cpu_seconds;
+  run.cases.push_back(std::move(c));
+}
+
+std::string BenchRunToJson(const BenchRunJson& run) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("schema_version").Value(run.schema_version);
+  writer.Key("bench").Value(run.bench);
+  writer.Key("git_sha").Value(run.git_sha);
+  writer.Key("hostname").Value(run.hostname);
+  writer.Key("timestamp_utc").Value(run.timestamp_utc);
+  writer.Key("data_dir").Value(run.data_dir);
+  writer.Key("threads").Value(run.threads);
+  writer.Key("trials").Value(run.trials);
+  writer.Key("scale").Value(run.scale);
+  writer.Key("full_scale").Value(run.full_scale);
+  writer.Key("cases").BeginArray();
+  for (const BenchCaseJson& c : run.cases) WriteCase(writer, c);
+  writer.EndArray();
+  writer.EndObject();
+  return writer.Take();
+}
+
+Result<BenchRunJson> ParseBenchRunJson(const std::string& text) {
+  auto parsed = ParseJson(text);
+  if (!parsed.ok()) return parsed.status();
+  const Json& json = parsed.value();
+  if (json.type() != Json::Type::kObject) {
+    return Status::InvalidArgument("bench run must be a JSON object");
+  }
+  BenchRunJson run;
+  run.schema_version =
+      static_cast<int>(json.GetInt("schema_version", -1));
+  if (run.schema_version != kBenchJsonSchemaVersion) {
+    return Status::InvalidArgument(
+        "unsupported bench JSON schema_version " +
+        std::to_string(run.schema_version) + " (expected " +
+        std::to_string(kBenchJsonSchemaVersion) + ")");
+  }
+  run.bench = json.GetString("bench", "");
+  run.git_sha = json.GetString("git_sha", "unknown");
+  run.hostname = json.GetString("hostname", "unknown");
+  run.timestamp_utc = json.GetString("timestamp_utc", "");
+  run.data_dir = json.GetString("data_dir", "");
+  run.threads = static_cast<int>(json.GetInt("threads", 1));
+  run.trials = static_cast<int>(json.GetInt("trials", 0));
+  run.scale = json.GetNumber("scale", 1.0);
+  const Json* full = json.Find("full_scale");
+  run.full_scale = full != nullptr && full->type() == Json::Type::kBool &&
+                   full->bool_value();
+  const Json* cases = json.Find("cases");
+  if (cases == nullptr || cases->type() != Json::Type::kArray) {
+    return Status::InvalidArgument("bench run is missing a \"cases\" array");
+  }
+  for (const Json& item : cases->items()) {
+    auto parsed_case = ParseCase(item);
+    if (!parsed_case.ok()) return parsed_case.status();
+    run.cases.push_back(std::move(parsed_case).value());
+  }
+  return run;
+}
+
+Status WriteBenchRunJson(const BenchRunJson& run, const std::string& path) {
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open " + temp + " for writing");
+    }
+    out << BenchRunToJson(run) << "\n";
+    if (!out.flush()) {
+      return Status::Internal("short write to " + temp);
+    }
+  }
+  std::error_code error;
+  std::filesystem::rename(temp, path, error);
+  if (error) {
+    return Status::Internal("rename " + temp + " -> " + path + ": " +
+                            error.message());
+  }
+  return Status::Ok();
+}
+
+}  // namespace fgr

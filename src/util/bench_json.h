@@ -1,0 +1,79 @@
+// Structured JSON output for the benchmark harness.
+//
+// Every bench executable can be pointed at a file with `--json <path>` and
+// writes one *bench run* object there: provenance (git sha, hostname, UTC
+// timestamp, thread count, the FGR_TRIALS/FGR_SCALE/FGR_FULL knobs,
+// FGR_DATA_DIR when real data shadows the mimics) plus one *case* per
+// emitted table — the same columns/rows the human-readable table prints,
+// with per-case wall and CPU timings. tools/bench_orchestrator.py collects
+// these files, merges them into the top-level BENCH_*.json trajectory, and
+// renders BENCHMARK_REPORT.md; tools/perf_gate.py gates CI on ratio
+// invariants computed from them.
+//
+// Serialization reuses the serve/protocol.h JSON machinery, so doubles are
+// written with %.17g and round-trip exactly: ParseBenchRunJson(
+// BenchRunToJson(run)) reproduces `run` bit for bit.
+
+#ifndef FGR_UTIL_BENCH_JSON_H_
+#define FGR_UTIL_BENCH_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/table.h"
+
+namespace fgr {
+
+inline constexpr int kBenchJsonSchemaVersion = 1;
+
+// One emitted table: the figure/table name ("fig5a"), its title, the table
+// contents as printed (cells keep their formatted precision, so JSON and
+// CSV agree byte for byte), and how long producing it took.
+struct BenchCaseJson {
+  std::string name;
+  std::string title;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+};
+
+// One bench-executable invocation.
+struct BenchRunJson {
+  int schema_version = kBenchJsonSchemaVersion;
+  std::string bench;          // executable name, e.g. "bench_fig7_realworld"
+  std::string git_sha;        // FGR_GIT_SHA env, "unknown" when unset
+  std::string hostname;
+  std::string timestamp_utc;  // ISO 8601, e.g. "2026-08-07T12:00:00Z"
+  std::string data_dir;       // FGR_DATA_DIR ("" = mimic data)
+  int threads = 1;
+  int trials = 0;
+  double scale = 1.0;
+  bool full_scale = false;
+  std::vector<BenchCaseJson> cases;
+};
+
+// Fills provenance (bench name, git sha, hostname, timestamp, threads, env
+// knobs) for a run starting now.
+BenchRunJson MakeBenchRun(const std::string& bench_name);
+
+// Appends `table` to `run` as a case named `name`.
+void AddBenchCase(BenchRunJson& run, const Table& table,
+                  const std::string& name, const std::string& title,
+                  double wall_seconds, double cpu_seconds);
+
+// Compact single-line JSON (doubles as %.17g — exact round trip).
+std::string BenchRunToJson(const BenchRunJson& run);
+
+// Parses what BenchRunToJson wrote. InvalidArgument on malformed input or
+// an unsupported schema_version.
+Result<BenchRunJson> ParseBenchRunJson(const std::string& text);
+
+// Writes BenchRunToJson(run) + '\n' to `path` (atomic temp + rename, so a
+// crashed bench never leaves a half-written file for the orchestrator).
+Status WriteBenchRunJson(const BenchRunJson& run, const std::string& path);
+
+}  // namespace fgr
+
+#endif  // FGR_UTIL_BENCH_JSON_H_

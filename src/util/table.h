@@ -26,6 +26,10 @@ class Table {
 
   std::size_t num_rows() const { return rows_.size(); }
 
+  // Raw contents, in insertion order (the JSON emitter serializes these).
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   // Renders with aligned columns, e.g.
   //   f        DCEr    GS
   //   0.0100   0.812   0.815

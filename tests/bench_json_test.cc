@@ -1,0 +1,163 @@
+// The bench JSON emitter (util/bench_json.h): schema round-trips, doubles
+// survive the %.17g conventions bit for bit (the serve/protocol.h
+// contract), and malformed input fails with a useful status instead of a
+// half-parsed run.
+
+#include "util/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "util/table.h"
+
+namespace fgr {
+namespace {
+
+BenchRunJson SampleRun() {
+  BenchRunJson run;
+  run.bench = "bench_fig5a_nb_consistency";
+  run.git_sha = "0123abcd";
+  run.hostname = "ci-runner-7";
+  run.timestamp_utc = "2026-08-07T12:34:56Z";
+  run.data_dir = "/data/snap";
+  run.threads = 4;
+  run.trials = 3;
+  run.scale = 0.25;
+  run.full_scale = true;
+
+  Table table({"f", "DCEr", "GS"});
+  table.NewRow().Add(0.01, 4).Add(0.812, 3).Add(0.815, 3);
+  table.NewRow().Add(0.03, 4).Add(0.842, 3).Add(0.845, 3);
+  AddBenchCase(run, table, "fig5a", "Fig 5a: accuracy vs f",
+               /*wall_seconds=*/1.5, /*cpu_seconds=*/1.25);
+  return run;
+}
+
+TEST(BenchJsonTest, RoundTripsEveryField) {
+  const BenchRunJson run = SampleRun();
+  const std::string json = BenchRunToJson(run);
+  auto parsed = ParseBenchRunJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const BenchRunJson& back = parsed.value();
+
+  EXPECT_EQ(back.schema_version, kBenchJsonSchemaVersion);
+  EXPECT_EQ(back.bench, run.bench);
+  EXPECT_EQ(back.git_sha, run.git_sha);
+  EXPECT_EQ(back.hostname, run.hostname);
+  EXPECT_EQ(back.timestamp_utc, run.timestamp_utc);
+  EXPECT_EQ(back.data_dir, run.data_dir);
+  EXPECT_EQ(back.threads, run.threads);
+  EXPECT_EQ(back.trials, run.trials);
+  EXPECT_EQ(back.scale, run.scale);
+  EXPECT_EQ(back.full_scale, run.full_scale);
+  ASSERT_EQ(back.cases.size(), 1u);
+  const BenchCaseJson& c = back.cases.front();
+  EXPECT_EQ(c.name, "fig5a");
+  EXPECT_EQ(c.title, "Fig 5a: accuracy vs f");
+  EXPECT_EQ(c.columns, run.cases.front().columns);
+  EXPECT_EQ(c.rows, run.cases.front().rows);
+  EXPECT_EQ(c.wall_seconds, 1.5);
+  EXPECT_EQ(c.cpu_seconds, 1.25);
+
+  // Serializing the parse result reproduces the exact bytes: the schema is
+  // a fixed-order object, so JSON equality is string equality.
+  EXPECT_EQ(BenchRunToJson(back), json);
+}
+
+TEST(BenchJsonTest, DoublesRoundTripBitForBit) {
+  // Values %.17g must preserve exactly: non-representable decimals,
+  // next-after neighbours, huge/tiny magnitudes, and a denormal.
+  const double awkward[] = {
+      0.1,
+      1.0 / 3.0,
+      std::nextafter(1.0, 2.0),
+      6.02214076e23,
+      1e-300,
+      std::numeric_limits<double>::denorm_min(),
+      245e-3,
+      0.45e-3,
+  };
+  for (const double value : awkward) {
+    BenchRunJson run;
+    run.bench = "bench_roundtrip";
+    run.scale = value;
+    Table table({"v"});
+    table.NewRow().Add("x");
+    AddBenchCase(run, table, "case", "t", value, value);
+    auto parsed = ParseBenchRunJson(BenchRunToJson(run));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed.value().scale, value);
+    EXPECT_EQ(parsed.value().cases.front().wall_seconds, value);
+    EXPECT_EQ(parsed.value().cases.front().cpu_seconds, value);
+  }
+}
+
+TEST(BenchJsonTest, TableCellsKeepPrintedFormatting) {
+  // Cells are stored as the strings the table printed, so the JSON agrees
+  // byte for byte with the CSV/stdout rendering (fixed precision included).
+  Table table({"f", "seconds"});
+  table.NewRow().Add(0.001, 4).Add(245.0, 3);
+  BenchRunJson run;
+  AddBenchCase(run, table, "case", "t", 0.0, 0.0);
+  EXPECT_EQ(run.cases.front().rows.front()[0], "0.0010");
+  EXPECT_EQ(run.cases.front().rows.front()[1], "245.000");
+}
+
+TEST(BenchJsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseBenchRunJson("").ok());
+  EXPECT_FALSE(ParseBenchRunJson("[]").ok());
+  EXPECT_FALSE(ParseBenchRunJson("{\"schema_version\":1}").ok());  // no cases
+  EXPECT_FALSE(
+      ParseBenchRunJson(
+          "{\"schema_version\":999,\"bench\":\"x\",\"cases\":[]}")
+          .ok());  // future schema
+  // A case whose row width disagrees with its columns is corrupt, not data.
+  EXPECT_FALSE(ParseBenchRunJson(
+                   "{\"schema_version\":1,\"bench\":\"x\",\"cases\":["
+                   "{\"name\":\"c\",\"title\":\"t\",\"wall_seconds\":0,"
+                   "\"cpu_seconds\":0,\"columns\":[\"a\",\"b\"],"
+                   "\"rows\":[[\"1\"]]}]}")
+                   .ok());
+}
+
+TEST(BenchJsonTest, EmptyCasesParse) {
+  auto parsed = ParseBenchRunJson(
+      "{\"schema_version\":1,\"bench\":\"x\",\"cases\":[]}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value().cases.empty());
+}
+
+TEST(BenchJsonTest, WriteIsAtomicAndNewlineTerminated) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fgr_bench_json_test.json")
+          .string();
+  const BenchRunJson run = SampleRun();
+  ASSERT_TRUE(WriteBenchRunJson(run, path).ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), BenchRunToJson(run) + "\n");
+  std::remove(path.c_str());
+}
+
+TEST(BenchJsonTest, MakeBenchRunFillsProvenance) {
+  const BenchRunJson run = MakeBenchRun("bench_something");
+  EXPECT_EQ(run.bench, "bench_something");
+  EXPECT_FALSE(run.hostname.empty());
+  EXPECT_FALSE(run.git_sha.empty());
+  // ISO 8601 Zulu: "YYYY-MM-DDTHH:MM:SSZ".
+  ASSERT_EQ(run.timestamp_utc.size(), 20u);
+  EXPECT_EQ(run.timestamp_utc[10], 'T');
+  EXPECT_EQ(run.timestamp_utc.back(), 'Z');
+  EXPECT_GE(run.threads, 1);
+}
+
+}  // namespace
+}  // namespace fgr

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Golden-file test for the BENCHMARK_REPORT.md renderer.
+
+Builds fixture BENCH_* trajectories in code (two micro runs so the
+vs-previous-run delta column renders, one serve run, one figure run with a
+table case), renders them through bench_lib.render_report with the gates
+evaluated on the fixture metrics, and diffs the result against
+tests/golden/BENCHMARK_REPORT.golden.md byte for byte.
+
+On an intended rendering change, regenerate with:
+
+    FGR_UPDATE_GOLDEN=1 python3 tests/bench_report_golden_test.py
+"""
+
+import difflib
+import os
+import sys
+import unittest
+
+TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(TESTS_DIR, os.pardir, "tools"))
+import bench_lib  # noqa: E402
+
+GOLDEN_PATH = os.path.join(TESTS_DIR, "golden",
+                           "BENCHMARK_REPORT.golden.md")
+
+
+def run_entry(timestamp, metrics=None, benches=None, **overrides):
+    entry = {
+        "git_sha": "f1x7u2e00000",
+        "hostname": "ci-runner-7",
+        "timestamp_utc": timestamp,
+        "data_dir": "",
+        "threads": 4,
+        "trials": 3,
+        "scale": 1,
+        "full_scale": False,
+        "num_cpus": 4,
+    }
+    entry.update(overrides)
+    if metrics is not None:
+        entry["metrics"] = metrics
+    if benches is not None:
+        entry["benches"] = benches
+    return entry
+
+
+def trajectory(kind, runs):
+    base = bench_lib.empty_trajectory(kind)
+    base["runs"] = runs
+    return base
+
+
+def fixture_trajectories():
+    old_micro = {
+        "BM_SpMM/n:100000/k:5/threads:1":
+            {"real_time_s": 24.0e-3, "cpu_time_s": 24.0e-3},
+        "BM_SpMM/n:100000/k:5/threads:4":
+            {"real_time_s": 8.0e-3, "cpu_time_s": 30.0e-3},
+        "BM_GraphSummarization/n:100000/threads:1":
+            {"real_time_s": 100.0e-3, "cpu_time_s": 100.0e-3},
+    }
+    new_micro = {
+        "BM_SpMM/n:100000/k:5/threads:1":
+            {"real_time_s": 22.6e-3, "cpu_time_s": 22.6e-3},
+        "BM_SpMM/n:100000/k:5/threads:4":
+            {"real_time_s": 7.1e-3, "cpu_time_s": 27.0e-3},
+        "BM_GraphSummarization/n:100000/threads:1":
+            {"real_time_s": 109.0e-3, "cpu_time_s": 109.0e-3},
+        "BM_StreamingSummarization/n:100000/panel_rows:8192/threads:1":
+            {"real_time_s": 111.0e-3, "cpu_time_s": 111.0e-3},
+        "BM_NumericGradient/k:7/threads:1":
+            {"real_time_s": 39.0e-6, "cpu_time_s": 39.0e-6},
+    }
+    serve = {
+        "BM_ServeQueryCold/n:100000/threads:1":
+            {"real_time_s": 245.0e-3, "cpu_time_s": 245.0e-3},
+        "BM_ServeQueryWarm/n:100000/threads:1":
+            {"real_time_s": 0.45e-3, "cpu_time_s": 0.45e-3},
+        "BM_ServeQueryConcurrent/n:100000/clients:4":
+            {"real_time_s": 1.2, "cpu_time_s": 4.0},
+    }
+    figures = {
+        "bench_fig5a_nb_consistency": {
+            "threads": 4,
+            "cases": [{
+                "name": "fig5a",
+                "title": "Fig 5a: NB statistics are consistent",
+                "wall_seconds": 0.165,
+                "cpu_seconds": 0.160,
+                "columns": ["path_length", "H^l_true", "P_NB_mean"],
+                "rows": [["1", "0.6000", "0.6181"],
+                         ["2", "0.4400", "0.4389"]],
+            }],
+        },
+    }
+    return {
+        bench_lib.MICRO: trajectory(bench_lib.MICRO, [
+            run_entry("2026-08-01T10:00:00Z", metrics=old_micro,
+                      git_sha="0ld5eed00000"),
+            run_entry("2026-08-07T12:00:00Z", metrics=new_micro),
+        ]),
+        bench_lib.SERVE: trajectory(bench_lib.SERVE, [
+            run_entry("2026-08-07T12:05:00Z", metrics=serve),
+        ]),
+        bench_lib.FIGURES: trajectory(bench_lib.FIGURES, [
+            run_entry("2026-08-07T12:10:00Z", benches=figures,
+                      note="fixture"),
+        ]),
+    }
+
+
+def render_fixture():
+    trajectories = fixture_trajectories()
+    metrics = {
+        kind: bench_lib.latest_run(trajectories[kind])["metrics"]
+        for kind in (bench_lib.MICRO, bench_lib.SERVE)}
+    gate_results = bench_lib.evaluate_gates(metrics, num_cpus=4)
+    return bench_lib.render_report(
+        trajectories[bench_lib.MICRO], trajectories[bench_lib.SERVE],
+        trajectories[bench_lib.FIGURES], gate_results=gate_results)
+
+
+class BenchReportGoldenTest(unittest.TestCase):
+
+    def test_report_matches_golden(self):
+        rendered = render_fixture()
+        self.assertTrue(
+            os.path.exists(GOLDEN_PATH),
+            "golden file missing; generate with FGR_UPDATE_GOLDEN=1 "
+            "python3 tests/bench_report_golden_test.py")
+        with open(GOLDEN_PATH, encoding="utf-8") as handle:
+            golden = handle.read()
+        if rendered != golden:
+            diff = "\n".join(difflib.unified_diff(
+                golden.splitlines(), rendered.splitlines(),
+                fromfile="golden", tofile="rendered", lineterm=""))
+            self.fail(
+                "BENCHMARK_REPORT rendering changed; if intended, "
+                "regenerate with FGR_UPDATE_GOLDEN=1 python3 "
+                "tests/bench_report_golden_test.py\n" + diff)
+
+    def test_fixture_gates_pass(self):
+        # The fixture metrics describe a healthy run: the golden report must
+        # show every gate green, so a gate-table change is visible in review.
+        rendered = render_fixture()
+        self.assertIn("| spmm_4t_speedup |", rendered)
+        self.assertNotIn("| FAIL |", rendered)
+
+    def test_empty_trajectories_render_placeholders(self):
+        report = bench_lib.render_report(
+            bench_lib.empty_trajectory(bench_lib.MICRO),
+            bench_lib.empty_trajectory(bench_lib.SERVE),
+            bench_lib.empty_trajectory(bench_lib.FIGURES))
+        self.assertIn("_no runs recorded_", report)
+        self.assertIn("Latest data: none.", report)
+
+
+def main():
+    if os.environ.get("FGR_UPDATE_GOLDEN") == "1":
+        os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+        with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+            handle.write(render_fixture())
+        print("regenerated " + GOLDEN_PATH)
+        return
+    unittest.main()
+
+
+if __name__ == "__main__":
+    main()

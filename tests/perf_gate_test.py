@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Unit tests for the perf gate's comparators (tools/bench_lib.py).
+
+Run by ctest (label tier1) or directly: python3 tests/perf_gate_test.py.
+Covers the ratio-gate evaluator (tolerance math, skip/missing statuses),
+the cross-run baseline comparator (missing baseline, new/removed
+benchmarks), the google-benchmark normalizer the gates read through, and
+the end-to-end --self-test contract of tools/perf_gate.py.
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "tools"))
+import bench_lib  # noqa: E402
+import perf_gate  # noqa: E402
+
+
+def micro(**metrics):
+    return {bench_lib.MICRO: {name: {"real_time_s": value}
+                              for name, value in metrics.items()}}
+
+
+SPEEDUP = bench_lib.Gate(name="speedup", kind=bench_lib.MICRO,
+                         numerator="one_thread", denominator="four_threads",
+                         op=">=", bound=2.0, min_cpus=4)
+OVERHEAD = bench_lib.Gate(name="overhead", kind=bench_lib.MICRO,
+                          numerator="streamed", denominator="in_core",
+                          op="<=", bound=1.5)
+
+
+class GateEvaluationTest(unittest.TestCase):
+
+    def test_speedup_gate_boundary(self):
+        # ratio == bound passes; one part in a thousand under it fails.
+        at_bound = micro(one_thread=2.0, four_threads=1.0)
+        self.assertEqual(
+            bench_lib.evaluate_gate(SPEEDUP, at_bound, num_cpus=4).status,
+            "pass")
+        under = micro(one_thread=2.0, four_threads=1.001)
+        self.assertEqual(
+            bench_lib.evaluate_gate(SPEEDUP, under, num_cpus=4).status,
+            "fail")
+
+    def test_overhead_gate_boundary(self):
+        self.assertEqual(
+            bench_lib.evaluate_gate(
+                OVERHEAD, micro(streamed=1.5, in_core=1.0)).status, "pass")
+        self.assertEqual(
+            bench_lib.evaluate_gate(
+                OVERHEAD, micro(streamed=1.501, in_core=1.0)).status, "fail")
+
+    def test_ratio_is_reported(self):
+        result = bench_lib.evaluate_gate(
+            OVERHEAD, micro(streamed=1.1, in_core=1.0))
+        self.assertAlmostEqual(result.ratio, 1.1)
+        self.assertIn("1.1", result.detail)
+
+    def test_skips_below_min_cpus(self):
+        healthy = micro(one_thread=2.0, four_threads=0.5)
+        result = bench_lib.evaluate_gate(SPEEDUP, healthy, num_cpus=1)
+        self.assertEqual(result.status, "skip")
+        self.assertTrue(result.ok)
+        # Unknown core count evaluates (the metrics exist, so gate them).
+        self.assertEqual(
+            bench_lib.evaluate_gate(SPEEDUP, healthy, num_cpus=None).status,
+            "pass")
+
+    def test_missing_metric_names_the_absentee(self):
+        result = bench_lib.evaluate_gate(
+            OVERHEAD, micro(in_core=1.0))
+        self.assertEqual(result.status, "missing")
+        self.assertIn("streamed", result.detail)
+        self.assertTrue(result.ok)  # missing is not a failure by default
+
+    def test_non_positive_denominator_is_missing_not_a_crash(self):
+        result = bench_lib.evaluate_gate(
+            OVERHEAD, micro(streamed=1.0, in_core=0.0))
+        self.assertEqual(result.status, "missing")
+
+    def test_regression_side_matches_op(self):
+        # A regression inflates the protected metric: the numerator of a
+        # "<=" gate, the denominator of a ">=" speedup gate.
+        self.assertEqual(bench_lib.gate_regression_side(OVERHEAD), "streamed")
+        self.assertEqual(bench_lib.gate_regression_side(SPEEDUP),
+                         "four_threads")
+        for gate in bench_lib.DEFAULT_GATES:
+            side = bench_lib.gate_regression_side(gate)
+            self.assertIn(side, (gate.numerator, gate.denominator))
+
+    def test_default_gates_read_real_bench_names(self):
+        # The shipped invariants must reference cases bench_micro_kernels
+        # actually registers — a rename must break this test, not silently
+        # turn the gate into "missing".
+        path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, "bench", "bench_micro_kernels.cc")
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+        for gate in bench_lib.DEFAULT_GATES:
+            for name in (gate.numerator, gate.denominator):
+                function = name.split("/")[0]
+                self.assertIn(function, source,
+                              "%s references unknown case %s" %
+                              (gate.name, name))
+
+
+class BaselineComparatorTest(unittest.TestCase):
+
+    def metrics(self, **values):
+        return {name: {"real_time_s": value}
+                for name, value in values.items()}
+
+    def statuses(self, findings):
+        return {f.name: f.status for f in findings}
+
+    def test_tolerance_band(self):
+        current = self.metrics(a=1.49, b=1.51, c=0.68, d=0.66)
+        baseline = self.metrics(a=1.0, b=1.0, c=1.0, d=1.0)
+        self.assertEqual(
+            self.statuses(bench_lib.compare_to_baseline(
+                current, baseline, tolerance=1.5)),
+            {"a": "ok", "b": "regressed", "c": "ok", "d": "improved"})
+
+    def test_missing_baseline_classifies_all_as_new(self):
+        findings = bench_lib.compare_to_baseline(self.metrics(a=1.0), None)
+        self.assertEqual(self.statuses(findings), {"a": "new"})
+
+    def test_new_and_removed_benchmarks(self):
+        findings = bench_lib.compare_to_baseline(
+            self.metrics(kept=1.0, added=1.0),
+            self.metrics(kept=1.0, dropped=1.0))
+        self.assertEqual(self.statuses(findings),
+                         {"kept": "ok", "added": "new",
+                          "dropped": "removed"})
+
+    def test_zero_baseline_never_divides(self):
+        findings = bench_lib.compare_to_baseline(
+            self.metrics(a=1.0), self.metrics(a=0.0))
+        self.assertEqual(self.statuses(findings), {"a": "new"})
+
+
+class NormalizerTest(unittest.TestCase):
+
+    def test_google_benchmark_normalization(self):
+        obj = {
+            "context": {"host_name": "runner", "num_cpus": 8,
+                        "date": "2026-08-07T00:00:00+00:00"},
+            "benchmarks": [
+                {"name": "BM_SpMM/n:100/threads:1", "run_type": "iteration",
+                 "real_time": 2.0e6, "cpu_time": 1.5e6, "time_unit": "ns"},
+                {"name": "BM_ServeQueryWarm/n:100/threads:1",
+                 "run_type": "iteration",
+                 "real_time": 3.0, "cpu_time": 2.0, "time_unit": "ms"},
+                {"name": "BM_SpMM/n:100/threads:1_mean",
+                 "run_type": "aggregate",
+                 "real_time": 9.9e6, "cpu_time": 9.9e6, "time_unit": "ns"},
+            ],
+        }
+        self.assertTrue(bench_lib.is_google_benchmark_json(obj))
+        provenance, micro_metrics, serve_metrics = \
+            bench_lib.normalize_google_benchmark(obj)
+        self.assertEqual(provenance["num_cpus"], 8)
+        # ns and ms both land in seconds; aggregates are skipped.
+        self.assertEqual(list(micro_metrics), ["BM_SpMM/n:100/threads:1"])
+        self.assertAlmostEqual(
+            micro_metrics["BM_SpMM/n:100/threads:1"]["real_time_s"], 2.0e-3)
+        # BM_Serve* splits into the serve trajectory.
+        self.assertAlmostEqual(
+            serve_metrics["BM_ServeQueryWarm/n:100/threads:1"]["real_time_s"],
+            3.0e-3)
+        self.assertAlmostEqual(
+            serve_metrics["BM_ServeQueryWarm/n:100/threads:1"]["cpu_time_s"],
+            2.0e-3)
+
+
+class SelfTestContractTest(unittest.TestCase):
+
+    def test_self_test_passes(self):
+        # The CI step `perf_gate.py --self-test` must hold: healthy metrics
+        # pass, injected regressions trip.
+        self.assertEqual(perf_gate.self_test(), 0)
+
+    def test_healthy_template_covers_every_gate(self):
+        template = perf_gate.healthy_template()
+        for result in bench_lib.evaluate_gates(template, num_cpus=4):
+            self.assertEqual(result.status, "pass", result.detail)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,175 @@
+// Real-data regression tier: gates DCEr against the paper's Figures 7/8/14
+// claims on the actual SNAP downloads instead of the generated mimics.
+//
+// Opt-in by construction — the tier needs FGR_DATA_DIR to point at a
+// directory prepared by tools/fetch_datasets.sh (which derives the
+// pokec-gender / hep-th .edges/.labels slug files the dataset registry
+// probes). Without the environment variable, or with a dataset's files
+// absent, each test GTEST_SKIPs with instructions rather than failing, so
+// the default `ctest` path stays green and network-free. CI runs the tier
+// as `ctest -L realdata` on runners with a dataset cache.
+//
+// What is gated, per dataset:
+//   1. Shape sanity vs the published Fig. 8 sizes: exact class count, and
+//      node/edge counts within a documented band (the derivations induce
+//      the subgraph on *labeled* nodes and deduplicate directed edges, so
+//      counts land below the raw published totals).
+//   2. The measured gold-standard compatibility matrix sits near the
+//      paper's published Fig. 13 matrix (loose Frobenius band — the label
+//      derivation rules, e.g. Hep-Th's year banding, are reconstructed
+//      from the paper's description, not shipped by it).
+//   3. The paper's core claim (Fig. 7/14): DCEr at f = 1% estimates an H
+//      close to the measured gold standard in L2, and labeling with the
+//      estimated H tracks labeling with the gold H to within a few points
+//      of accuracy.
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fgr/fgr.h"
+
+namespace fgr {
+namespace {
+
+struct RealDataGates {
+  // Shape bands relative to the published Fig. 8 sizes.
+  double min_node_fraction = 0.3;
+  double min_edge_fraction = 0.3;
+  // Frobenius band for the measured gold vs the published Fig. 13 matrix.
+  double gold_vs_published_l2 = 0.0;
+  // Fig. 14-style gate: L2(H_DCEr, H_gold_measured) at f = 1%.
+  double dcer_l2_to_gold = 0.15;
+  // Fig. 7-style gates at f = 1%.
+  double min_accuracy = 0.0;          // absolute floor
+  double max_accuracy_gap_to_gs = 0.05;  // DCEr tracks GS
+};
+
+std::string DataFileOrSkipReason(const std::string& name,
+                                 std::string* skip_reason) {
+  const char* dir = std::getenv("FGR_DATA_DIR");
+  if (dir == nullptr || *dir == '\0') {
+    *skip_reason =
+        "FGR_DATA_DIR is not set; the realdata tier is opt-in — run "
+        "tools/fetch_datasets.sh and export FGR_DATA_DIR to enable it";
+    return "";
+  }
+  const std::string base = std::string(dir) + "/" + DatasetSlug(name);
+  for (const char* extension : {".fgrbin", ".edges"}) {
+    if (IsRegularFile(base + extension)) return base + extension;
+  }
+  *skip_reason = "no " + base + ".edges/.fgrbin under FGR_DATA_DIR; run "
+                 "tools/fetch_datasets.sh to derive it";
+  return "";
+}
+
+void RunRealDataGates(const std::string& name, const RealDataGates& gates) {
+  std::string skip_reason;
+  const std::string path = DataFileOrSkipReason(name, &skip_reason);
+  if (path.empty()) GTEST_SKIP() << skip_reason;
+
+  auto spec = FindDatasetSpec(name);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+
+  // Resolution must pick the FGR_DATA_DIR files over the registered mimic.
+  auto source = ResolveGraphSource(name);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  auto loaded = source.value()->Load(LoadOptions());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Graph& graph = loaded.value().graph;
+  const Labeling& truth = loaded.value().labels;
+
+  // --- Gate 1: shape vs Fig. 8 -------------------------------------------
+  EXPECT_EQ(truth.num_classes(), spec.value().num_classes) << name;
+  ASSERT_EQ(truth.NumLabeled(), graph.num_nodes())
+      << name << ": derived files must label every kept node";
+  const double node_fraction =
+      static_cast<double>(graph.num_nodes()) /
+      static_cast<double>(spec.value().num_nodes);
+  const double edge_fraction =
+      static_cast<double>(graph.num_edges()) /
+      static_cast<double>(spec.value().num_edges);
+  EXPECT_GE(node_fraction, gates.min_node_fraction) << name;
+  EXPECT_LE(node_fraction, 1.05) << name;
+  EXPECT_GE(edge_fraction, gates.min_edge_fraction) << name;
+  EXPECT_LE(edge_fraction, 1.05) << name;
+
+  // --- Gate 2: measured gold vs the published Fig. 13 matrix -------------
+  const DenseMatrix gold = GoldStandardCompatibility(graph, truth).h;
+  const double published_l2 =
+      FrobeniusDistance(gold, spec.value().gold_compatibility);
+  EXPECT_LE(published_l2, gates.gold_vs_published_l2)
+      << name << ": measured gold drifted from the published Fig. 13 matrix";
+
+  // --- Gate 3: DCEr at f = 1% tracks the measured gold (Fig. 7/14) -------
+  Rng seed_rng(977);
+  const Labeling seeds = SampleStratifiedSeeds(truth, 0.01, seed_rng);
+  DceOptions dce;
+  dce.restarts = 10;
+  dce.seed = 977;
+  const EstimationResult dcer = EstimateDce(graph, seeds, dce);
+  const double dcer_l2 = FrobeniusDistance(dcer.h, gold);
+  EXPECT_LE(dcer_l2, gates.dcer_l2_to_gold)
+      << name << ": DCEr H moved away from the measured gold standard";
+
+  LinBpOptions linbp;
+  linbp.rho_w_hint = SpectralRadius(graph.adjacency());
+  const auto accuracy_with = [&](const DenseMatrix& h) {
+    const LinBpResult propagation = RunLinBp(graph, seeds, h, linbp);
+    return MacroAccuracy(truth, LabelsFromBeliefs(propagation.beliefs, seeds),
+                         seeds);
+  };
+  const double gs_accuracy = accuracy_with(gold);
+  const double dcer_accuracy = accuracy_with(dcer.h);
+  EXPECT_GE(dcer_accuracy, gates.min_accuracy) << name;
+  EXPECT_GE(dcer_accuracy, gs_accuracy - gates.max_accuracy_gap_to_gs)
+      << name << ": DCEr stopped tracking the gold standard (GS accuracy "
+      << gs_accuracy << ")";
+
+  // Leave a breadcrumb in the test log so CI artifacts record the numbers
+  // the gates actually saw.
+  ::testing::Test::RecordProperty("n", static_cast<int>(graph.num_nodes()));
+  ::testing::Test::RecordProperty("gold_vs_published_l2",
+                                  std::to_string(published_l2));
+  ::testing::Test::RecordProperty("dcer_l2_to_gold", std::to_string(dcer_l2));
+  ::testing::Test::RecordProperty("gs_accuracy", std::to_string(gs_accuracy));
+  ::testing::Test::RecordProperty("dcer_accuracy",
+                                  std::to_string(dcer_accuracy));
+}
+
+TEST(RealDataRegressionTest, HepThTracksPaperFigures) {
+  RealDataGates gates;
+  // cit-HepTh-dates covers ~95% of the published 27,770 papers; the year
+  // banding is reconstructed from the paper's description, so the
+  // published-matrix band is the loosest of the gates (entries of an
+  // 11-class doubly-stochastic H are ~0.09, banding disagreements show up
+  // as mass shifted between adjacent year bands).
+  gates.min_node_fraction = 0.7;
+  gates.min_edge_fraction = 0.5;
+  gates.gold_vs_published_l2 = 0.45;
+  gates.dcer_l2_to_gold = 0.15;
+  // Fig. 7d: Hep-Th accuracy ~0.35-0.45 at f = 1% with k = 11 (chance is
+  // 0.09); floor set under the band to absorb label-derivation drift.
+  gates.min_accuracy = 0.20;
+  RunRealDataGates("Hep-Th", gates);
+}
+
+TEST(RealDataRegressionTest, PokecGenderTracksPaperFigures) {
+  RealDataGates gates;
+  // ~80% of the 1.6M profiles carry a 0/1 gender, and deduplicating the
+  // directed friendship list roughly halves the published edge count.
+  gates.min_node_fraction = 0.6;
+  gates.min_edge_fraction = 0.4;
+  // k = 2: the published matrix is fully determined by one number (0.56
+  // cross-gender mass), so the band can be tight.
+  gates.gold_vs_published_l2 = 0.15;
+  gates.dcer_l2_to_gold = 0.10;
+  // Fig. 7g: Pokec accuracy ~0.65 at f = 1% (chance 0.5); the mild
+  // heterophily signal is weak, so the floor sits just above chance.
+  gates.min_accuracy = 0.55;
+  RunRealDataGates("Pokec-Gender", gates);
+}
+
+}  // namespace
+}  // namespace fgr

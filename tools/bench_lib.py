@@ -1,0 +1,521 @@
+"""Shared library for the fgr benchmark harness.
+
+Three consumers import this module:
+
+  * tools/bench_orchestrator.py — build -> run -> collect -> merge -> report
+  * tools/perf_gate.py          — CI ratio-invariant gating + self-test
+  * tests/*_test.py             — unit tests for the comparator and the
+                                  BENCHMARK_REPORT.md golden rendering
+
+Data model
+----------
+Each bench executable writes one *run JSON* (see src/util/bench_json.h for
+the table benches; bench_micro_kernels writes native google-benchmark
+JSON). The orchestrator normalizes those into *run entries* and appends
+them to the three top-level trajectory files:
+
+  BENCH_micro.json    kernel timings   (google-benchmark, minus BM_Serve*)
+  BENCH_serve.json    serving latency  (the BM_Serve* cases)
+  BENCH_figures.json  paper-figure tables (all bench_fig*/bench_ablation*)
+
+A trajectory file is {"schema_version": 1, "kind": ..., "runs": [entry...]}
+with entries appended chronologically — the machine-readable perf history
+that replaces the prose snapshots docs/ARCHITECTURE.md carried up to PR 5.
+
+Gating
+------
+CI gates on *within-run ratio invariants* (1->4-thread SpMM speedup,
+streamed-vs-in-core overhead, serve warm/cold ratio), which are robust to
+absolute runner speed, plus an advisory cross-run comparison against the
+committed baselines. evaluate_gate()/compare_to_baseline() are pure
+functions so the gate logic itself is unit-tested.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import re
+import tempfile
+
+SCHEMA_VERSION = 1
+
+MICRO = "micro"
+SERVE = "serve"
+FIGURES = "figures"
+KINDS = (MICRO, SERVE, FIGURES)
+
+MERGED_FILENAMES = {
+    MICRO: "BENCH_micro.json",
+    SERVE: "BENCH_serve.json",
+    FIGURES: "BENCH_figures.json",
+}
+
+KIND_DESCRIPTIONS = {
+    MICRO: "micro-kernel timings from bench_micro_kernels "
+           "(google-benchmark; BM_Serve* cases live in BENCH_serve.json)",
+    SERVE: "serving-layer latency from the BM_Serve* benchmarks",
+    FIGURES: "paper-figure/table reproductions from the bench_fig* and "
+             "bench_ablation* executables",
+}
+
+_TIME_UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+# ---------------------------------------------------------------------------
+# JSON file helpers
+# ---------------------------------------------------------------------------
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_json(path, obj):
+    """Atomic write (temp + rename), pretty-printed, newline-terminated."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, temp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(obj, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        os.replace(temp, path)
+    except BaseException:
+        if os.path.exists(temp):
+            os.remove(temp)
+        raise
+
+
+# ---------------------------------------------------------------------------
+# Normalization: per-executable output -> run entries
+# ---------------------------------------------------------------------------
+
+def is_google_benchmark_json(obj):
+    return isinstance(obj, dict) and "benchmarks" in obj and "context" in obj
+
+
+def normalize_google_benchmark(obj):
+    """google-benchmark JSON -> (provenance, micro_metrics, serve_metrics).
+
+    Metrics map the full benchmark name (e.g. "BM_SpMM/n:100000/k:5/
+    threads:4") to {"real_time_s", "cpu_time_s"}. Aggregate rows (mean/
+    median/stddev from --benchmark_repetitions) are skipped — gates and
+    trajectories track the plain iteration timings.
+    """
+    context = obj.get("context", {})
+    provenance = {
+        "hostname": context.get("host_name", "unknown"),
+        "timestamp_utc": context.get("date", ""),
+        "num_cpus": context.get("num_cpus"),
+        "library_build_type": context.get("library_build_type"),
+    }
+    micro, serve = {}, {}
+    for entry in obj.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        name = entry.get("name")
+        if not name:
+            continue
+        unit = _TIME_UNIT_SECONDS.get(entry.get("time_unit", "ns"), 1e-9)
+        metric = {
+            "real_time_s": entry.get("real_time", 0.0) * unit,
+            "cpu_time_s": entry.get("cpu_time", 0.0) * unit,
+        }
+        (serve if name.startswith("BM_Serve") else micro)[name] = metric
+    return provenance, micro, serve
+
+
+def normalize_table_run(obj):
+    """bench_json.h run JSON -> (provenance, bench entry for FIGURES)."""
+    if obj.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            "unsupported bench run schema_version %r"
+            % obj.get("schema_version"))
+    provenance = {
+        "git_sha": obj.get("git_sha", "unknown"),
+        "hostname": obj.get("hostname", "unknown"),
+        "timestamp_utc": obj.get("timestamp_utc", ""),
+        "data_dir": obj.get("data_dir", ""),
+        "threads": obj.get("threads"),
+        "trials": obj.get("trials"),
+        "scale": obj.get("scale"),
+        "full_scale": obj.get("full_scale", False),
+    }
+    bench = {
+        "threads": obj.get("threads"),
+        "cases": obj.get("cases", []),
+    }
+    return provenance, bench
+
+
+def make_run_entry(provenance, metrics=None, benches=None, note=None):
+    entry = dict(provenance)
+    if note:
+        entry["note"] = note
+    if metrics is not None:
+        entry["metrics"] = metrics
+    if benches is not None:
+        entry["benches"] = benches
+    return entry
+
+
+# ---------------------------------------------------------------------------
+# Trajectory files
+# ---------------------------------------------------------------------------
+
+def empty_trajectory(kind):
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": kind,
+        "description": KIND_DESCRIPTIONS[kind],
+        "runs": [],
+    }
+
+
+def load_trajectory(path, kind):
+    if not os.path.exists(path):
+        return empty_trajectory(kind)
+    obj = load_json(path)
+    if obj.get("schema_version") != SCHEMA_VERSION or obj.get("kind") != kind:
+        raise ValueError(
+            "%s is not a schema-%d %r trajectory file" %
+            (path, SCHEMA_VERSION, kind))
+    return obj
+
+
+def append_run(path, kind, run_entry):
+    trajectory = load_trajectory(path, kind)
+    trajectory["runs"].append(run_entry)
+    save_json(path, trajectory)
+    return trajectory
+
+
+def latest_run(trajectory):
+    runs = trajectory.get("runs", [])
+    return runs[-1] if runs else None
+
+
+def previous_run(trajectory):
+    runs = trajectory.get("runs", [])
+    return runs[-2] if len(runs) >= 2 else None
+
+
+# ---------------------------------------------------------------------------
+# Ratio-invariant gates
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class Gate:
+    """numerator/denominator must satisfy `op bound` (op is "<=" or ">=")."""
+    name: str
+    kind: str            # which trajectory's metrics to read
+    numerator: str
+    denominator: str
+    op: str
+    bound: float
+    metric: str = "real_time_s"
+    min_cpus: int = 1    # skip (not fail) below this core count
+    description: str = ""
+
+
+# The shipped invariants. Each bound leaves real runner-noise headroom yet
+# sits within reach of a genuine regression (perf_gate.py --self-test pins
+# the trip behaviour):
+#  * PR 2's SpMM parallel backend must still speed up 1->4 threads
+#    (multi-core runners measure ~2.5-3.2x; a 2x slowdown of the threaded
+#    kernel drags the template's 3.2x under the 1.6 bound);
+#  * PR 4's streamed summarization must stay within 1.6x of in-core
+#    (measured ~1.01x at 8k-row panels; a 2x streamed slowdown trips);
+#  * PR 5's summary cache must keep warm estimates <= 5% of cold ones
+#    (measured ~0.2%, so the bound tolerates ~27x warm jitter while losing
+#    the cache — warm == cold — overshoots it by 20x).
+DEFAULT_GATES = (
+    Gate(
+        name="spmm_4t_speedup",
+        kind=MICRO,
+        numerator="BM_SpMM/n:100000/k:5/threads:1",
+        denominator="BM_SpMM/n:100000/k:5/threads:4",
+        op=">=",
+        bound=1.6,
+        min_cpus=4,
+        description="1->4-thread SpMM wall-clock speedup (n=100k, k=5)",
+    ),
+    Gate(
+        name="streamed_overhead",
+        kind=MICRO,
+        numerator="BM_StreamingSummarization/n:100000/panel_rows:8192/threads:1",
+        denominator="BM_GraphSummarization/n:100000/threads:1",
+        op="<=",
+        bound=1.6,
+        description="streamed vs in-core summarization overhead "
+                    "(8k-row panels, 1 thread)",
+    ),
+    Gate(
+        name="serve_warm_cold_ratio",
+        kind=SERVE,
+        numerator="BM_ServeQueryWarm/n:100000/threads:1",
+        denominator="BM_ServeQueryCold/n:100000/threads:1",
+        op="<=",
+        bound=0.05,
+        description="warm (summary-cache hit) vs cold serve latency",
+    ),
+)
+
+# Which metric a *regression* inflates, per gate op: a "<=" gate protects
+# its numerator (streamed path, warm path); a ">=" speedup gate protects
+# its denominator (the threaded kernel). Shared by the self-test and the
+# unit tests.
+def gate_regression_side(gate):
+    return gate.numerator if gate.op == "<=" else gate.denominator
+
+
+@dataclasses.dataclass
+class GateResult:
+    gate: Gate
+    status: str          # "pass" | "fail" | "skip" | "missing"
+    ratio: float = None
+    detail: str = ""
+
+    @property
+    def ok(self):
+        return self.status != "fail"
+
+
+def evaluate_gate(gate, metrics_by_kind, num_cpus=None):
+    """Pure comparator for one gate against this run's metrics.
+
+    * metrics missing (filtered-out bench, renamed case) -> "missing";
+    * fewer cores than the invariant needs -> "skip" (thread-scaling
+      ratios are meaningless on a 1-core box);
+    * zero/negative denominator -> "missing" (corrupt input, never a
+      divide crash).
+    """
+    if num_cpus is not None and num_cpus < gate.min_cpus:
+        return GateResult(gate, "skip",
+                          detail="needs >= %d cpus, runner has %d" %
+                                 (gate.min_cpus, num_cpus))
+    metrics = metrics_by_kind.get(gate.kind, {})
+    numerator = metrics.get(gate.numerator, {}).get(gate.metric)
+    denominator = metrics.get(gate.denominator, {}).get(gate.metric)
+    if numerator is None or denominator is None:
+        missing = [name for name, value in
+                   ((gate.numerator, numerator), (gate.denominator,
+                                                  denominator))
+                   if value is None]
+        return GateResult(gate, "missing",
+                          detail="no metric for " + ", ".join(missing))
+    if denominator <= 0.0 or numerator < 0.0:
+        return GateResult(gate, "missing",
+                          detail="non-positive timing (corrupt input)")
+    ratio = numerator / denominator
+    if gate.op == ">=":
+        ok = ratio >= gate.bound
+    elif gate.op == "<=":
+        ok = ratio <= gate.bound
+    else:
+        raise ValueError("unknown gate op %r" % gate.op)
+    detail = "%s / %s = %.4g (must be %s %g)" % (
+        gate.numerator, gate.denominator, ratio, gate.op, gate.bound)
+    return GateResult(gate, "pass" if ok else "fail", ratio=ratio,
+                      detail=detail)
+
+
+def evaluate_gates(metrics_by_kind, num_cpus=None, gates=DEFAULT_GATES):
+    return [evaluate_gate(gate, metrics_by_kind, num_cpus) for gate in gates]
+
+
+# ---------------------------------------------------------------------------
+# Cross-run baseline comparison (advisory by default)
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class BaselineFinding:
+    name: str
+    status: str          # "ok" | "regressed" | "improved" | "new" | "removed"
+    ratio: float = None  # current / baseline
+
+
+def compare_to_baseline(current_metrics, baseline_metrics, tolerance=1.5,
+                        metric="real_time_s"):
+    """Per-metric current-vs-baseline classification.
+
+    `tolerance` is a ratio: current > tolerance * baseline -> "regressed";
+    current < baseline / tolerance -> "improved". Cross-host absolute
+    timings are noisy, so the default tolerance is wide and the orchestrator
+    treats everything but the ratio gates as advisory.
+
+    baseline_metrics None (no baseline file / first run of a new kind)
+    classifies every current metric as "new" — the missing-baseline case.
+    """
+    findings = []
+    if baseline_metrics is None:
+        for name in sorted(current_metrics):
+            findings.append(BaselineFinding(name, "new"))
+        return findings
+    for name in sorted(set(current_metrics) | set(baseline_metrics)):
+        current = current_metrics.get(name, {}).get(metric)
+        baseline = baseline_metrics.get(name, {}).get(metric)
+        if current is None:
+            findings.append(BaselineFinding(name, "removed"))
+        elif baseline is None:
+            findings.append(BaselineFinding(name, "new"))
+        elif baseline <= 0.0:
+            findings.append(BaselineFinding(name, "new"))
+        else:
+            ratio = current / baseline
+            if ratio > tolerance:
+                status = "regressed"
+            elif ratio < 1.0 / tolerance:
+                status = "improved"
+            else:
+                status = "ok"
+            findings.append(BaselineFinding(name, status, ratio=ratio))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# BENCHMARK_REPORT.md rendering
+# ---------------------------------------------------------------------------
+
+def _markdown_escape(text):
+    return str(text).replace("|", "\\|")
+
+
+def _markdown_table(columns, rows):
+    lines = ["| " + " | ".join(_markdown_escape(c) for c in columns) + " |",
+             "|" + "---|" * len(columns)]
+    for row in rows:
+        lines.append("| " + " | ".join(_markdown_escape(c) for c in row) +
+                     " |")
+    return "\n".join(lines)
+
+
+def _format_seconds(seconds):
+    if seconds is None:
+        return "-"
+    if seconds >= 1.0:
+        return "%.3f s" % seconds
+    if seconds >= 1e-3:
+        return "%.3f ms" % (seconds * 1e3)
+    return "%.1f µs" % (seconds * 1e6)
+
+
+def gate_results_table(results):
+    rows = []
+    for result in results:
+        rows.append([
+            result.gate.name,
+            result.gate.description,
+            "-" if result.ratio is None else "%.4g" % result.ratio,
+            "%s %g" % (result.gate.op, result.gate.bound),
+            result.status.upper(),
+        ])
+    return _markdown_table(["gate", "what it protects", "ratio", "invariant",
+                            "status"], rows)
+
+
+def _metric_section(trajectory, title):
+    run = latest_run(trajectory)
+    lines = ["## " + title, ""]
+    if run is None or not run.get("metrics"):
+        lines.append("_no runs recorded_")
+        return "\n".join(lines)
+    prior = previous_run(trajectory)
+    prior_metrics = (prior or {}).get("metrics", {})
+    rows = []
+    for name in sorted(run["metrics"]):
+        metric = run["metrics"][name]
+        prior_metric = prior_metrics.get(name, {})
+        prior_time = prior_metric.get("real_time_s")
+        current_time = metric.get("real_time_s")
+        if prior_time and current_time:
+            delta = "%.2fx" % (current_time / prior_time)
+        else:
+            delta = "-"
+        rows.append([name, _format_seconds(current_time),
+                     _format_seconds(metric.get("cpu_time_s")), delta])
+    lines.append(_markdown_table(
+        ["benchmark", "wall", "cpu", "vs previous run"], rows))
+    provenance = "latest run: host `%s`, %s" % (
+        run.get("hostname", "unknown"), run.get("timestamp_utc", "?"))
+    if run.get("git_sha"):
+        provenance += ", sha `%s`" % run["git_sha"]
+    lines += ["", provenance]
+    return "\n".join(lines)
+
+
+def _figures_section(trajectory):
+    run = latest_run(trajectory)
+    lines = ["## Paper-figure reproductions", ""]
+    if run is None or not run.get("benches"):
+        lines.append("_no runs recorded_")
+        return "\n".join(lines)
+    for bench_name in sorted(run["benches"]):
+        bench = run["benches"][bench_name]
+        lines.append("### `%s`" % bench_name)
+        lines.append("")
+        for case in bench.get("cases", []):
+            lines.append("**%s** (%s, wall %s)" % (
+                case.get("title", case.get("name", "?")),
+                case.get("name", "?"),
+                _format_seconds(case.get("wall_seconds"))))
+            lines.append("")
+            lines.append(_markdown_table(case.get("columns", []),
+                                         case.get("rows", [])))
+            lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_report(micro, serve, figures, gate_results=None):
+    """BENCHMARK_REPORT.md content from the three trajectory files.
+
+    Deterministic in its inputs (no wall-clock reads) so the golden test
+    can pin the rendering byte for byte.
+    """
+    newest = None
+    for trajectory in (micro, serve, figures):
+        run = latest_run(trajectory)
+        if run and run.get("timestamp_utc"):
+            timestamp = run["timestamp_utc"]
+            if newest is None or timestamp > newest:
+                newest = timestamp
+    lines = [
+        "# fgr benchmark report",
+        "",
+        "Rendered by `tools/bench_orchestrator.py` from the committed "
+        "`BENCH_micro.json`, `BENCH_serve.json`, and `BENCH_figures.json` "
+        "trajectories.",
+        "Latest data: %s. Regenerate with `python3 "
+        "tools/bench_orchestrator.py --report-only`." % (newest or "none"),
+        "",
+    ]
+    if gate_results is not None:
+        lines += ["## Perf gates", "", gate_results_table(gate_results), ""]
+    lines.append(_metric_section(micro, "Micro-kernels"))
+    lines.append("")
+    lines.append(_metric_section(serve, "Serving layer"))
+    lines.append("")
+    lines.append(_figures_section(figures))
+    lines.append("")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Misc shared helpers
+# ---------------------------------------------------------------------------
+
+def classify_bench(name):
+    """Bench executable name -> trajectory kind ("micro" also covers serve:
+    bench_micro_kernels hosts the BM_Serve* cases)."""
+    if name == "bench_micro_kernels":
+        return MICRO
+    if re.match(r"bench_(fig|ablation)", name):
+        return FIGURES
+    return FIGURES
+
+
+def timestamp_dirname(when):
+    """Results-directory timestamp, e.g. 2026.08.07_14.02.33."""
+    return when.strftime("%Y.%m.%d_%H.%M.%S")

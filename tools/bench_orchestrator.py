@@ -1,0 +1,286 @@
+#!/usr/bin/env python3
+"""fgr benchmark orchestrator: build -> run -> collect -> merge -> report.
+
+One invocation produces:
+
+  bench/results/<hostname>/<YYYY.MM.DD_HH.MM.SS>/
+      <bench>.json       per-executable structured output (--json)
+      <bench>.log        captured stdout+stderr
+      *.csv              the CSVs each table bench writes
+      manifest.json      what ran, exit codes, wall time
+
+  BENCH_micro.json / BENCH_serve.json / BENCH_figures.json (repo root by
+      default) — one run entry appended to each trajectory
+  BENCHMARK_REPORT.md    rendered from the merged trajectories
+
+Examples:
+  # everything, paper defaults (slow):
+  python3 tools/bench_orchestrator.py
+
+  # CI perf smoke: micro kernels + one figure bench, quick knobs, gated:
+  python3 tools/bench_orchestrator.py --quick --filter 'micro|fig5a' \
+      --micro-args='--benchmark_min_time=0.05s' --gate
+
+  # re-render BENCHMARK_REPORT.md from the committed trajectories:
+  python3 tools/bench_orchestrator.py --report-only
+
+Figure reproduction (tools/reproduce_figures.sh) routes through this
+script, so perf collection and figure regeneration are one code path.
+"""
+
+import argparse
+import datetime
+import os
+import re
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_lib  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    parser.add_argument("--skip-build", action="store_true",
+                        help="use existing bench binaries as-is")
+    parser.add_argument("--quick", action="store_true",
+                        help="FGR_TRIALS=1 unless already set in the env")
+    parser.add_argument("--filter", default="",
+                        help="regex selecting bench executables by name")
+    parser.add_argument("--micro-args", default="",
+                        help="extra args for bench_micro_kernels, e.g. "
+                             "--micro-args='--benchmark_min_time=0.05s'")
+    parser.add_argument("--out-root",
+                        default=os.path.join(REPO_ROOT, "bench", "results"),
+                        help="per-host timestamped results land here")
+    parser.add_argument("--merge-dir", default=REPO_ROOT,
+                        help="directory holding the BENCH_*.json trajectories")
+    parser.add_argument("--no-merge", action="store_true",
+                        help="collect results but do not touch BENCH_*.json")
+    parser.add_argument("--report-path",
+                        default=os.path.join(REPO_ROOT, "BENCHMARK_REPORT.md"))
+    parser.add_argument("--no-report", action="store_true")
+    parser.add_argument("--report-only", action="store_true",
+                        help="skip build/run; just re-render the report "
+                             "from the merged trajectories")
+    parser.add_argument("--note", default="",
+                        help="free-form provenance note stored on the run")
+    parser.add_argument("--gate", action="store_true",
+                        help="evaluate the perf ratio gates on this run and "
+                             "exit non-zero when one fails")
+    parser.add_argument("--require-all", action="store_true",
+                        help="with --gate: a gate whose metrics are missing "
+                             "fails instead of being reported as MISSING")
+    return parser.parse_args(argv)
+
+
+def git_sha():
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True).stdout.strip()
+        return sha + ("-dirty" if dirty else "")
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def build(build_dir):
+    subprocess.run(["cmake", "-B", build_dir, "-S", REPO_ROOT,
+                    "-DFGR_BUILD_BENCH=ON"], check=True)
+    subprocess.run(["cmake", "--build", build_dir, "-j"], check=True)
+
+
+def discover_benches(build_dir, name_filter):
+    benches = []
+    for entry in sorted(os.listdir(build_dir)):
+        path = os.path.join(build_dir, entry)
+        if (entry.startswith("bench_") and os.path.isfile(path)
+                and os.access(path, os.X_OK)):
+            benches.append(entry)
+    if name_filter:
+        pattern = re.compile(name_filter)
+        benches = [b for b in benches if pattern.search(b)]
+    return benches
+
+
+def run_benches(args, benches, results_dir, sha):
+    env = dict(os.environ)
+    env["FGR_GIT_SHA"] = sha
+    if args.quick:
+        env.setdefault("FGR_TRIALS", "1")
+    manifest = {"git_sha": sha, "benches": {}}
+    failed = []
+    for bench in benches:
+        exe = os.path.join(args.build_dir, bench)
+        json_path = os.path.join(results_dir, bench + ".json")
+        cmd = [exe, "--json", json_path]
+        if bench == "bench_micro_kernels" and args.micro_args:
+            cmd += args.micro_args.split()
+        log_path = os.path.join(results_dir, bench + ".log")
+        print("=== %s" % bench, flush=True)
+        started = datetime.datetime.now()
+        with open(log_path, "w", encoding="utf-8") as log:
+            # cwd = results dir so the table benches' CSVs land there too.
+            proc = subprocess.run(cmd, cwd=results_dir, env=env,
+                                  stdout=log, stderr=subprocess.STDOUT)
+        wall = (datetime.datetime.now() - started).total_seconds()
+        manifest["benches"][bench] = {
+            "exit_code": proc.returncode,
+            "wall_seconds": round(wall, 3),
+            "json": os.path.basename(json_path)
+            if os.path.exists(json_path) else None,
+        }
+        if proc.returncode != 0:
+            failed.append(bench)
+            print("    FAILED (exit %d, log: %s)" % (proc.returncode,
+                                                     log_path))
+        else:
+            print("    ok (%.1fs)" % wall)
+    bench_lib.save_json(os.path.join(results_dir, "manifest.json"), manifest)
+    return manifest, failed
+
+
+def collect(results_dir, benches):
+    """Parse each produced JSON into (provenance, micro, serve, figures)."""
+    provenance = {}
+    micro_metrics, serve_metrics, figure_benches = {}, {}, {}
+    num_cpus = None
+    for bench in benches:
+        json_path = os.path.join(results_dir, bench + ".json")
+        if not os.path.exists(json_path):
+            continue
+        obj = bench_lib.load_json(json_path)
+        if bench_lib.is_google_benchmark_json(obj):
+            gb_provenance, micro, serve = \
+                bench_lib.normalize_google_benchmark(obj)
+            micro_metrics.update(micro)
+            serve_metrics.update(serve)
+            num_cpus = gb_provenance.get("num_cpus")
+            for key in ("hostname", "timestamp_utc"):
+                provenance.setdefault(key, gb_provenance.get(key))
+        else:
+            run_provenance, entry = bench_lib.normalize_table_run(obj)
+            figure_benches[bench] = entry
+            for key, value in run_provenance.items():
+                provenance.setdefault(key, value)
+    return provenance, micro_metrics, serve_metrics, figure_benches, num_cpus
+
+
+def merge(args, provenance, micro_metrics, serve_metrics, figure_benches,
+          sha, num_cpus):
+    provenance = dict(provenance)
+    provenance["git_sha"] = sha
+    if num_cpus is not None:
+        provenance["num_cpus"] = num_cpus
+    note = args.note or None
+    merged = {}
+    for kind, metrics in ((bench_lib.MICRO, micro_metrics),
+                          (bench_lib.SERVE, serve_metrics)):
+        path = os.path.join(args.merge_dir, bench_lib.MERGED_FILENAMES[kind])
+        if metrics:
+            merged[kind] = bench_lib.append_run(
+                path, kind,
+                bench_lib.make_run_entry(provenance, metrics=metrics,
+                                         note=note))
+        else:
+            merged[kind] = bench_lib.load_trajectory(path, kind)
+    figures_path = os.path.join(args.merge_dir,
+                                bench_lib.MERGED_FILENAMES[bench_lib.FIGURES])
+    if figure_benches:
+        merged[bench_lib.FIGURES] = bench_lib.append_run(
+            figures_path, bench_lib.FIGURES,
+            bench_lib.make_run_entry(provenance, benches=figure_benches,
+                                     note=note))
+    else:
+        merged[bench_lib.FIGURES] = bench_lib.load_trajectory(
+            figures_path, bench_lib.FIGURES)
+    return merged
+
+
+def load_trajectories(merge_dir):
+    return {kind: bench_lib.load_trajectory(
+        os.path.join(merge_dir, bench_lib.MERGED_FILENAMES[kind]), kind)
+        for kind in bench_lib.KINDS}
+
+
+def write_report(report_path, trajectories, gate_results):
+    content = bench_lib.render_report(
+        trajectories[bench_lib.MICRO], trajectories[bench_lib.SERVE],
+        trajectories[bench_lib.FIGURES], gate_results=gate_results)
+    with open(report_path, "w", encoding="utf-8") as handle:
+        handle.write(content)
+    print("report: %s" % report_path)
+
+
+def main(argv=None):
+    args = parse_args(argv)
+
+    if args.report_only:
+        trajectories = load_trajectories(args.merge_dir)
+        metrics = {
+            kind: (bench_lib.latest_run(trajectories[kind]) or {}).get(
+                "metrics", {})
+            for kind in (bench_lib.MICRO, bench_lib.SERVE)}
+        gate_results = bench_lib.evaluate_gates(metrics)
+        write_report(args.report_path, trajectories, gate_results)
+        return 0
+
+    if not args.skip_build:
+        build(args.build_dir)
+
+    benches = discover_benches(args.build_dir, args.filter)
+    if not benches:
+        print("no bench executables in %s match %r (build with "
+              "-DFGR_BUILD_BENCH=ON?)" % (args.build_dir, args.filter),
+              file=sys.stderr)
+        return 2
+
+    sha = git_sha()
+    hostname = os.uname().nodename
+    results_dir = os.path.join(
+        args.out_root, hostname,
+        bench_lib.timestamp_dirname(datetime.datetime.now()))
+    os.makedirs(results_dir, exist_ok=True)
+    print("results: %s" % results_dir)
+
+    manifest, failed = run_benches(args, benches, results_dir, sha)
+    provenance, micro_metrics, serve_metrics, figure_benches, num_cpus = \
+        collect(results_dir, benches)
+
+    if args.no_merge:
+        trajectories = load_trajectories(args.merge_dir)
+    else:
+        trajectories = merge(args, provenance, micro_metrics, serve_metrics,
+                             figure_benches, sha, num_cpus)
+
+    gate_results = bench_lib.evaluate_gates(
+        {bench_lib.MICRO: micro_metrics, bench_lib.SERVE: serve_metrics},
+        num_cpus=num_cpus)
+    if not args.no_report:
+        write_report(args.report_path, trajectories, gate_results)
+
+    if failed:
+        print("failed benches: %s" % " ".join(failed), file=sys.stderr)
+        return 1
+    if args.gate:
+        print(bench_lib.gate_results_table(gate_results))
+        bad = [r for r in gate_results
+               if r.status == "fail"
+               or (args.require_all and r.status == "missing")]
+        if bad:
+            for result in bad:
+                print("GATE %s: %s (%s)" % (result.status.upper(),
+                                            result.gate.name, result.detail),
+                      file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

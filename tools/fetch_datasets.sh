@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Downloads the two SNAP datasets the paper evaluates that are publicly
+# redistributable — Pokec (gender labels from profiles) and Hep-Th
+# (publication-year bands from the KDD Cup 2003 date file) — and derives
+# fgr-format .edges/.labels files in the slug layout the dataset registry
+# probes (src/data/registry.h): pokec-gender.edges/.labels,
+# hep-th.edges/.labels.
+#
+# Strictly opt-in: nothing in the build or the default test path calls
+# this. Usage:
+#
+#   FGR_DATA_DIR=/data/snap tools/fetch_datasets.sh [--hep-th-only]
+#
+# Afterwards `ctest -L realdata`, bench_fig7_realworld, and
+# bench_fig8_dataset_table pick the real graphs up automatically through
+# the FGR_DATA_DIR registry override.
+#
+# Downloads are cached: an already-present raw file is never re-fetched.
+# Integrity: every download is gunzip-tested, and its SHA-256 is recorded
+# in $FGR_DATA_DIR/SHA256SUMS on first fetch and verified against that
+# record on every later run (trust-on-first-use — SNAP does not publish
+# checksums), so a silently truncated or changed mirror copy fails loudly
+# instead of skewing the accuracy gates.
+
+set -euo pipefail
+
+DATA_DIR="${FGR_DATA_DIR:?set FGR_DATA_DIR to the directory that should hold the datasets}"
+BASE_URL="${FGR_SNAP_BASE_URL:-https://snap.stanford.edu/data}"
+TOOLS_DIR="$(cd "$(dirname "$0")" && pwd)"
+
+HEP_TH_ONLY=0
+for arg in "$@"; do
+  case "$arg" in
+    --hep-th-only) HEP_TH_ONLY=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+mkdir -p "$DATA_DIR"
+SUMS="$DATA_DIR/SHA256SUMS"
+touch "$SUMS"
+
+fetch() {
+  local name="$1"
+  local gz="$DATA_DIR/$name.gz"
+  local txt="$DATA_DIR/$name"
+  if [[ -f "$txt" ]]; then
+    echo "cached: $name"
+  else
+    if [[ ! -f "$gz" ]]; then
+      echo "fetching: $BASE_URL/$name.gz"
+      curl -fL --retry 3 -o "$gz.part" "$BASE_URL/$name.gz"
+      mv "$gz.part" "$gz"
+    fi
+    gunzip -t "$gz"
+    local sum
+    sum="$(sha256sum "$gz" | cut -d' ' -f1)"
+    local recorded
+    recorded="$(grep " $name.gz\$" "$SUMS" | cut -d' ' -f1 || true)"
+    if [[ -z "$recorded" ]]; then
+      echo "$sum  $name.gz" >>"$SUMS"
+      echo "recorded sha256 for $name.gz"
+    elif [[ "$recorded" != "$sum" ]]; then
+      echo "CHECKSUM MISMATCH for $name.gz:" >&2
+      echo "  recorded $recorded" >&2
+      echo "  actual   $sum" >&2
+      echo "delete $SUMS entry (and the .gz) to accept a new copy" >&2
+      exit 1
+    fi
+    gunzip -k "$gz"
+  fi
+}
+
+# Hep-Th: 27,770 papers, citation edges + submission dates (11 year bands).
+fetch cit-HepTh.txt
+fetch cit-HepTh-dates.txt
+python3 "$TOOLS_DIR/derive_labels.py" hep-th \
+  --edges "$DATA_DIR/cit-HepTh.txt" \
+  --dates "$DATA_DIR/cit-HepTh-dates.txt" \
+  --out-dir "$DATA_DIR"
+
+if [[ "$HEP_TH_ONLY" == "0" ]]; then
+  # Pokec: 1.6M profiles, 30.6M friendship edges (~1.7 GB unpacked).
+  fetch soc-pokec-relationships.txt
+  fetch soc-pokec-profiles.txt
+  python3 "$TOOLS_DIR/derive_labels.py" pokec-gender \
+    --edges "$DATA_DIR/soc-pokec-relationships.txt" \
+    --profiles "$DATA_DIR/soc-pokec-profiles.txt" \
+    --out-dir "$DATA_DIR"
+fi
+
+echo
+echo "done. point FGR_DATA_DIR=$DATA_DIR at the benches/tests:"
+echo "  FGR_DATA_DIR=$DATA_DIR ctest -L realdata --output-on-failure"

@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""CI perf gate: ratio invariants over the bench harness's JSON output.
+
+The gate checks *within-run ratios* (1->4-thread SpMM speedup, streamed
+vs in-core summarization overhead, serve warm/cold latency ratio — see
+bench_lib.DEFAULT_GATES), which encode "the optimization still exists"
+and are robust to absolute runner speed. It can additionally compare the
+run against the committed BENCH_*.json baselines, advisory by default
+because absolute cross-host timings are noisy.
+
+Inputs, in precedence order:
+  --results-dir DIR   a bench/results/<host>/<ts>/ directory produced by
+                      tools/bench_orchestrator.py (reads
+                      bench_micro_kernels.json)
+  --micro-json PATH   a raw google-benchmark JSON file
+  --trajectories DIR  BENCH_micro.json / BENCH_serve.json latest runs
+
+Modes:
+  (default)           evaluate gates, print a table, exit 1 on failure
+  --self-test         prove the gate trips: synthesize a healthy run,
+                      check every gate passes, then inject a 2x slowdown
+                      into each gated metric and require the gate to fail.
+                      Exits non-zero if any injection goes undetected.
+
+--summary PATH appends a markdown table (also auto-appended to
+$GITHUB_STEP_SUMMARY when that variable is set), so the gated ratios show
+up on the CI run page.
+"""
+
+import argparse
+import copy
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_lib  # noqa: E402
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results-dir")
+    parser.add_argument("--micro-json")
+    parser.add_argument("--trajectories")
+    parser.add_argument("--baseline-dir",
+                        help="directory with committed BENCH_*.json to "
+                             "compare against (advisory unless "
+                             "--strict-baseline)")
+    parser.add_argument("--baseline-tolerance", type=float, default=1.5,
+                        help="cross-run slowdown ratio flagged as regressed")
+    parser.add_argument("--strict-baseline", action="store_true",
+                        help="baseline regressions fail the gate instead of "
+                             "warning")
+    parser.add_argument("--require-all", action="store_true",
+                        help="a gate with missing metrics fails instead of "
+                             "reporting MISSING")
+    parser.add_argument("--summary",
+                        help="append the markdown gate table to this file")
+    parser.add_argument("--self-test", action="store_true")
+    return parser.parse_args(argv)
+
+
+def load_metrics(args):
+    """Returns ({kind: metrics}, num_cpus)."""
+    micro_json = args.micro_json
+    if args.results_dir and not micro_json:
+        candidate = os.path.join(args.results_dir,
+                                 "bench_micro_kernels.json")
+        if not os.path.exists(candidate):
+            raise FileNotFoundError(candidate)
+        micro_json = candidate
+    if micro_json:
+        obj = bench_lib.load_json(micro_json)
+        if not bench_lib.is_google_benchmark_json(obj):
+            raise ValueError("%s is not google-benchmark JSON" % micro_json)
+        provenance, micro, serve = bench_lib.normalize_google_benchmark(obj)
+        return ({bench_lib.MICRO: micro, bench_lib.SERVE: serve},
+                provenance.get("num_cpus"))
+    if args.trajectories:
+        metrics = {}
+        for kind in (bench_lib.MICRO, bench_lib.SERVE):
+            trajectory = bench_lib.load_trajectory(
+                os.path.join(args.trajectories,
+                             bench_lib.MERGED_FILENAMES[kind]), kind)
+            run = bench_lib.latest_run(trajectory) or {}
+            metrics[kind] = run.get("metrics", {})
+        num_cpus = (bench_lib.latest_run(
+            bench_lib.load_trajectory(
+                os.path.join(args.trajectories,
+                             bench_lib.MERGED_FILENAMES[bench_lib.MICRO]),
+                bench_lib.MICRO)) or {}).get("num_cpus")
+        return metrics, num_cpus
+    raise SystemExit(
+        "one of --results-dir / --micro-json / --trajectories is required "
+        "(or --self-test)")
+
+
+def append_summary(args, markdown):
+    paths = []
+    if args.summary:
+        paths.append(args.summary)
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        paths.append(step_summary)
+    for path in paths:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("## Perf gate\n\n" + markdown + "\n")
+
+
+def run_gates(args):
+    metrics, num_cpus = load_metrics(args)
+    results = bench_lib.evaluate_gates(metrics, num_cpus=num_cpus)
+    markdown = bench_lib.gate_results_table(results)
+    print(markdown)
+    exit_code = 0
+    for result in results:
+        if result.status == "fail" or (args.require_all
+                                       and result.status == "missing"):
+            print("GATE FAILED: %s — %s" % (result.gate.name, result.detail),
+                  file=sys.stderr)
+            exit_code = 1
+
+    if args.baseline_dir:
+        for kind in (bench_lib.MICRO, bench_lib.SERVE):
+            baseline_path = os.path.join(
+                args.baseline_dir, bench_lib.MERGED_FILENAMES[kind])
+            if os.path.exists(baseline_path):
+                baseline_run = bench_lib.latest_run(
+                    bench_lib.load_trajectory(baseline_path, kind))
+                baseline_metrics = (baseline_run or {}).get("metrics")
+            else:
+                baseline_metrics = None
+            findings = bench_lib.compare_to_baseline(
+                metrics.get(kind, {}), baseline_metrics,
+                tolerance=args.baseline_tolerance)
+            regressed = [f for f in findings if f.status == "regressed"]
+            fresh = [f for f in findings if f.status == "new"]
+            for finding in regressed:
+                line = "baseline %s: %s is %.2fx the committed baseline" % (
+                    kind, finding.name, finding.ratio)
+                print(("FAIL " if args.strict_baseline else "warn ") + line,
+                      file=sys.stderr)
+                if args.strict_baseline:
+                    exit_code = 1
+            if fresh:
+                print("note: %d %s benchmark(s) have no committed baseline "
+                      "yet" % (len(fresh), kind))
+    append_summary(args, markdown)
+    return exit_code
+
+
+# ---------------------------------------------------------------------------
+# Self-test: the gate must trip on an injected 2x slowdown
+# ---------------------------------------------------------------------------
+
+def healthy_template():
+    """Synthetic metrics shaped like a healthy multi-core CI run (values
+    seeded from the PR 2/4/5 snapshots in docs/ARCHITECTURE.md)."""
+    micro = {
+        "BM_SpMM/n:100000/k:5/threads:1": {"real_time_s": 22.6e-3,
+                                           "cpu_time_s": 22.6e-3},
+        "BM_SpMM/n:100000/k:5/threads:4": {"real_time_s": 7.1e-3,
+                                           "cpu_time_s": 27.0e-3},
+        "BM_GraphSummarization/n:100000/threads:1":
+            {"real_time_s": 109e-3, "cpu_time_s": 109e-3},
+        "BM_StreamingSummarization/n:100000/panel_rows:8192/threads:1":
+            {"real_time_s": 111e-3, "cpu_time_s": 111e-3},
+    }
+    serve = {
+        "BM_ServeQueryCold/n:100000/threads:1": {"real_time_s": 245e-3,
+                                                 "cpu_time_s": 245e-3},
+        "BM_ServeQueryWarm/n:100000/threads:1": {"real_time_s": 0.45e-3,
+                                                 "cpu_time_s": 0.45e-3},
+    }
+    return {bench_lib.MICRO: micro, bench_lib.SERVE: serve}
+
+
+def self_test():
+    failures = []
+    template = healthy_template()
+
+    def check(condition, what):
+        if condition:
+            print("self-test: " + what)
+        else:
+            failures.append(what)
+
+    results = bench_lib.evaluate_gates(template, num_cpus=4)
+    for result in results:
+        if result.status != "pass":
+            failures.append("healthy template: gate %s reported %s (%s)" %
+                            (result.gate.name, result.status, result.detail))
+
+    # A 2x slowdown of the metric each gate protects (the streamed path,
+    # the threaded kernel) must trip the gates whose bound sits within 2x
+    # of the healthy ratio — spmm_4t_speedup and streamed_overhead.
+    for gate in bench_lib.DEFAULT_GATES[:2]:
+        slowed = copy.deepcopy(template)
+        side = bench_lib.gate_regression_side(gate)
+        slowed[gate.kind][side]["real_time_s"] *= 2.0
+        result = bench_lib.evaluate_gate(gate, slowed, num_cpus=4)
+        check(result.status == "fail",
+              "gate %s trips on a 2x slowdown of %s" % (gate.name, side))
+
+    # serve_warm_cold_ratio keeps ~27x headroom for warm-path jitter by
+    # design, so a bare 2x warm slowdown must NOT trip it...
+    serve_gate = bench_lib.DEFAULT_GATES[2]
+    warm = bench_lib.gate_regression_side(serve_gate)
+    jitter = copy.deepcopy(template)
+    jitter[serve_gate.kind][warm]["real_time_s"] *= 2.0
+    check(bench_lib.evaluate_gate(serve_gate, jitter,
+                                  num_cpus=4).status == "pass",
+          "gate %s tolerates 2x warm jitter" % serve_gate.name)
+    # ...but losing the summary cache (warm == cold) must.
+    lost = copy.deepcopy(template)
+    lost[serve_gate.kind][warm]["real_time_s"] = \
+        lost[serve_gate.kind][serve_gate.denominator]["real_time_s"]
+    check(bench_lib.evaluate_gate(serve_gate, lost,
+                                  num_cpus=4).status == "fail",
+          "gate %s trips when the summary cache is lost" % serve_gate.name)
+
+    # The cross-run baseline comparator guarantees the literal 2x contract
+    # for EVERY metric (including ones the loose ratio bounds tolerate):
+    # a 2x slowdown vs the committed baseline is flagged as regressed.
+    for kind in (bench_lib.MICRO, bench_lib.SERVE):
+        slowed = {name: {"real_time_s": m["real_time_s"] * 2.0}
+                  for name, m in template[kind].items()}
+        findings = bench_lib.compare_to_baseline(
+            slowed, template[kind], tolerance=1.5)
+        regressed = {f.name for f in findings if f.status == "regressed"}
+        check(regressed == set(template[kind]),
+              "baseline comparator flags a 2x slowdown of every %s metric"
+              % kind)
+
+    # Comparator edge cases: missing baseline and new benchmarks classify,
+    # never crash or silently pass as "ok".
+    findings = bench_lib.compare_to_baseline(template[bench_lib.MICRO], None)
+    check(all(f.status == "new" for f in findings) and findings,
+          "missing baseline file classifies all metrics as new")
+
+    # And the low-core skip must hold (no false alarms on 1-core boxes).
+    check(bench_lib.evaluate_gate(bench_lib.DEFAULT_GATES[0], template,
+                                  num_cpus=1).status == "skip",
+          "thread-scaling gate skips on a 1-cpu runner")
+
+    if failures:
+        for failure in failures:
+            print("SELF-TEST FAILED: " + failure, file=sys.stderr)
+        return 1
+    print("self-test: OK (%d gates)" % len(bench_lib.DEFAULT_GATES))
+    return 0
+
+
+def main(argv=None):
+    args = parse_args(argv)
+    if args.self_test:
+        return self_test()
+    return run_gates(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

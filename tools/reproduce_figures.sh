@@ -3,40 +3,27 @@
 #
 #   tools/reproduce_figures.sh [build-dir] [out-dir]
 #
-# Configures with -DFGR_BUILD_BENCH=ON, builds, runs every bench_* binary,
-# and collects the CSVs each bench writes next to itself into out-dir
-# (default: <build-dir>/figures). Workload knobs pass through the
-# environment: FGR_TRIALS, FGR_SCALE, FGR_FULL=1 for paper-scale sweeps
-# (see bench/bench_util.h). docs/ARCHITECTURE.md maps each binary to its
-# paper figure.
+# Thin wrapper over tools/bench_orchestrator.py so figure regeneration and
+# perf collection are one code path: the orchestrator configures with
+# -DFGR_BUILD_BENCH=ON, builds, runs every bench_* binary with structured
+# --json output, and collects logs + CSVs + JSON into out-dir (default:
+# bench/results/<host>/<timestamp>/), appending one run entry to the
+# BENCH_*.json trajectories and re-rendering BENCHMARK_REPORT.md.
+#
+# Workload knobs pass through the environment: FGR_TRIALS, FGR_SCALE,
+# FGR_FULL=1 for paper-scale sweeps, FGR_DATA_DIR for real SNAP data (see
+# bench/bench_util.h and tools/fetch_datasets.sh). docs/ARCHITECTURE.md
+# maps each binary to its paper figure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 build_dir="${1:-build}"
-out_dir="${2:-$build_dir/figures}"
 
-cmake -B "$build_dir" -S . -DFGR_BUILD_BENCH=ON
-cmake --build "$build_dir" -j
-
-mkdir -p "$out_dir"
-failed=()
-for bench in "$build_dir"/bench_*; do
-  [[ -x "$bench" && ! -d "$bench" ]] || continue
-  name="$(basename "$bench")"
-  echo "=== $name"
-  if (cd "$(dirname "$bench")" && "./$name") \
-      > "$out_dir/$name.txt" 2>&1; then
-    tail -3 "$out_dir/$name.txt"
-  else
-    echo "    FAILED (log: $out_dir/$name.txt)"
-    failed+=("$name")
-  fi
-done
-mv -f "$build_dir"/*.csv "$out_dir"/ 2>/dev/null || true
-
-echo
-echo "outputs in $out_dir"
-if ((${#failed[@]})); then
-  echo "failed: ${failed[*]}" >&2
-  exit 1
+args=(--build-dir "$build_dir")
+if [[ $# -ge 2 ]]; then
+  # Explicit out-dir: put the timestamped results tree there and leave the
+  # committed trajectories/report untouched (ad-hoc sweep, not a record).
+  args+=(--out-root "$2" --no-merge --no-report)
 fi
+
+exec python3 tools/bench_orchestrator.py "${args[@]}"
