@@ -172,12 +172,7 @@ EstimationResult EstimateDceFromStatistics(const GraphStatistics& stats,
   return result;
 }
 
-EstimationResult EstimateDce(const Graph& graph, const Labeling& seeds,
-                             const DceOptions& options) {
-  const GraphStatistics stats =
-      ComputeGraphStatistics(graph, seeds, options.max_path_length,
-                             options.path_type, options.variant);
-  return EstimateDceFromStatistics(stats, seeds.num_classes(), options);
-}
+// EstimateDce lives in fgr/estimate.cc as a wrapper over fgr::Estimate —
+// every route into estimation funnels through the one router.
 
 }  // namespace fgr

@@ -34,15 +34,7 @@ Result<GraphStatistics> ComputeGraphStatisticsStreaming(
   return summarizer.Finish(variant);
 }
 
-Result<EstimationResult> EstimateDceStreaming(
-    const std::string& path, const Labeling& seeds, const DceOptions& options,
-    const BlockRowReaderOptions& reader_options) {
-  Result<GraphStatistics> stats = ComputeGraphStatisticsStreaming(
-      path, seeds, options.max_path_length, options.path_type,
-      options.variant, reader_options);
-  if (!stats.ok()) return stats.status();
-  return EstimateDceFromStatistics(stats.value(), seeds.num_classes(),
-                                   options);
-}
+// EstimateDceStreaming lives in fgr/estimate.cc as a wrapper over
+// fgr::Estimate, keeping both estimation routes behind the one router.
 
 }  // namespace fgr

@@ -1,0 +1,111 @@
+#include "fgr/estimate.h"
+
+#include <utility>
+
+#include "core/path_stats.h"
+#include "data/fgrbin.h"
+#include "data/graph_source.h"
+#include "data/streaming_estimation.h"
+#include "util/check.h"
+
+namespace fgr {
+namespace {
+
+EstimationResult EstimateInCore(const Graph& graph, const Labeling& seeds,
+                                const DceOptions& options) {
+  const GraphStatistics stats =
+      ComputeGraphStatistics(graph, seeds, options.max_path_length,
+                             options.path_type, options.variant);
+  return EstimateDceFromStatistics(stats, seeds.num_classes(), options);
+}
+
+}  // namespace
+
+Result<EstimationResult> Estimate(const DatasetRef& dataset,
+                                  const EstimateOptions& options) {
+  if (dataset.graph != nullptr && !dataset.path.empty()) {
+    return Status::InvalidArgument(
+        "DatasetRef names both an in-memory graph and a path; set one");
+  }
+
+  if (dataset.graph != nullptr) {
+    if (dataset.seeds == nullptr) {
+      return Status::InvalidArgument(
+          "in-memory estimation needs a seed labeling");
+    }
+    if (options.memory_budget_bytes.has_value()) {
+      return Status::InvalidArgument(
+          "memory_budget_bytes applies to .fgrbin-backed datasets; an "
+          "in-memory graph is already resident");
+    }
+    return EstimateInCore(*dataset.graph, *dataset.seeds, options.dce);
+  }
+
+  if (dataset.path.empty()) {
+    return Status::InvalidArgument(
+        "empty DatasetRef: set graph + seeds or a .fgrbin path");
+  }
+
+  if (options.memory_budget_bytes.has_value()) {
+    // Out-of-core: stream block-row panels under the budget.
+    BlockRowReaderOptions reader = options.reader;
+    reader.memory_budget_bytes = *options.memory_budget_bytes;
+    Labeling owned;
+    const Labeling* seeds = dataset.seeds;
+    if (seeds == nullptr) {
+      Result<Labeling> embedded = ReadFgrBinLabels(dataset.path);
+      if (!embedded.ok()) return embedded.status();
+      owned = std::move(embedded).value();
+      seeds = &owned;
+      if (seeds->NumLabeled() == 0) {
+        return Status::FailedPrecondition(
+            dataset.path + ": cache has no label section to seed from");
+      }
+    }
+    Result<GraphStatistics> stats = ComputeGraphStatisticsStreaming(
+        dataset.path, *seeds, options.dce.max_path_length,
+        options.dce.path_type, options.dce.variant, reader);
+    if (!stats.ok()) return stats.status();
+    return EstimateDceFromStatistics(stats.value(), seeds->num_classes(),
+                                     options.dce);
+  }
+
+  // In-core over a cache: load it whole, seed from the embedded labels
+  // unless the caller supplied their own.
+  Result<LabeledGraph> loaded = ReadFgrBin(dataset.path);
+  if (!loaded.ok()) return loaded.status();
+  const Labeling* seeds =
+      dataset.seeds != nullptr ? dataset.seeds : &loaded.value().labels;
+  if (dataset.seeds == nullptr && seeds->NumLabeled() == 0) {
+    return Status::FailedPrecondition(
+        dataset.path + ": cache has no label section to seed from");
+  }
+  return EstimateInCore(loaded.value().graph, *seeds, options.dce);
+}
+
+// Legacy entry points, kept as thin wrappers so the whole codebase funnels
+// through the one router above. Declared in core/dce.h and
+// data/streaming_estimation.h respectively.
+
+EstimationResult EstimateDce(const Graph& graph, const Labeling& seeds,
+                             const DceOptions& options) {
+  EstimateOptions unified;
+  unified.dce = options;
+  Result<EstimationResult> result =
+      Estimate(DatasetRef::InMemory(graph, seeds), unified);
+  // The in-memory route has no failure mode once graph + seeds are set.
+  FGR_CHECK(result.ok()) << result.status().message();
+  return std::move(result).value();
+}
+
+Result<EstimationResult> EstimateDceStreaming(
+    const std::string& path, const Labeling& seeds, const DceOptions& options,
+    const BlockRowReaderOptions& reader_options) {
+  EstimateOptions unified;
+  unified.dce = options;
+  unified.reader = reader_options;
+  unified.memory_budget_bytes = reader_options.memory_budget_bytes;
+  return Estimate(DatasetRef::FgrBin(path, &seeds), unified);
+}
+
+}  // namespace fgr

@@ -38,6 +38,7 @@
 #include "data/streaming_estimation.h"
 #include "eval/accuracy.h"
 #include "eval/confusion.h"
+#include "fgr/estimate.h"
 #include "gen/datasets.h"
 #include "gen/degree.h"
 #include "gen/planted.h"

@@ -1,0 +1,101 @@
+// ServerMetrics: the atomic counter surface behind fgrd's `metrics` verb.
+//
+// One instance lives in FgrServer for the life of the process. Counters
+// are bumped lock-free from the event thread and the worker pool
+// (relaxed ordering — each counter is an independent statistic, not a
+// synchronization edge) and read on demand by the `metrics` handler and
+// `fgrd --dump-metrics-on-exit`. Request latencies go into a fixed-size
+// ring of nanosecond samples; p50/p99 are computed over a snapshot at
+// read time, so the record path stays a single relaxed store.
+
+#ifndef FGR_SERVE_METRICS_H_
+#define FGR_SERVE_METRICS_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fgr {
+
+// Last-N request latencies, single writer cursor, lock-free readers. The
+// ring deliberately keeps recent history rather than a full-run sketch:
+// the serving tail of *current* traffic is what the p50/p99 gate cares
+// about.
+class LatencyRing {
+ public:
+  static constexpr std::size_t kSize = 4096;
+
+  void Record(std::int64_t nanos) {
+    const std::uint64_t slot =
+        cursor_.fetch_add(1, std::memory_order_relaxed);
+    samples_[slot % kSize].store(nanos, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+
+  // Latency quantile in seconds over the ring's current contents
+  // (nearest-rank). Returns 0 when no sample has been recorded.
+  double QuantileSeconds(double q) const {
+    const std::uint64_t recorded = count();
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(recorded, kSize));
+    if (n == 0) return 0.0;
+    std::vector<std::int64_t> snapshot(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      snapshot[i] = samples_[i].load(std::memory_order_relaxed);
+    }
+    std::size_t rank = static_cast<std::size_t>(q * static_cast<double>(n));
+    if (rank >= n) rank = n - 1;
+    std::nth_element(snapshot.begin(), snapshot.begin() + rank,
+                     snapshot.end());
+    return static_cast<double>(snapshot[rank]) * 1e-9;
+  }
+
+ private:
+  std::array<std::atomic<std::int64_t>, kSize> samples_{};
+  std::atomic<std::uint64_t> cursor_{0};
+};
+
+// All counters a production operator needs to see at a glance. Gauges
+// (active connections, queue depth) are maintained as inc/dec pairs by
+// the owning threads; everything else is monotonic.
+struct ServerMetrics {
+  // Connections.
+  std::atomic<std::int64_t> connections_accepted{0};
+  std::atomic<std::int64_t> connections_active{0};       // gauge
+  std::atomic<std::int64_t> connections_evicted_slow{0};
+  std::atomic<std::int64_t> connections_closed_idle{0};
+
+  // Requests by verb (bumped in HandleRequestLine so transport-free
+  // callers count too) plus the transport-level outcomes.
+  std::atomic<std::int64_t> requests_total{0};
+  std::atomic<std::int64_t> requests_estimate{0};
+  std::atomic<std::int64_t> requests_label{0};
+  std::atomic<std::int64_t> requests_stats{0};
+  std::atomic<std::int64_t> requests_datasets{0};
+  std::atomic<std::int64_t> requests_metrics{0};
+  std::atomic<std::int64_t> requests_errors{0};
+  std::atomic<std::int64_t> requests_shed{0};       // admission control
+  std::atomic<std::int64_t> requests_timed_out{0};  // per-request deadline
+
+  // Worker queue depth (gauge; the high-water mark is an option, not a
+  // metric).
+  std::atomic<std::int64_t> queue_depth{0};
+
+  // Socket I/O volume.
+  std::atomic<std::int64_t> bytes_read{0};
+  std::atomic<std::int64_t> bytes_written{0};
+
+  // End-to-end request latency (dispatch to completion, event-thread
+  // clock) for served — not shed — requests.
+  LatencyRing latency;
+};
+
+}  // namespace fgr
+
+#endif  // FGR_SERVE_METRICS_H_

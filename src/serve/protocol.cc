@@ -434,7 +434,64 @@ JsonWriter& JsonWriter::Value(bool value) {
   return *this;
 }
 
-Result<Request> ParseRequest(const std::string& line) {
+namespace {
+
+// Strict typed field accessors for request validation. A present but
+// wrong-typed, non-finite, or non-integral field is a bad_request — the
+// lenient Json::Get* fallbacks would clamp or default it silently, which
+// is exactly the bug class this guards against (a client sending
+// "restarts":3.7 or "lambda":1e999 must hear about it, not get a
+// different computation than it asked for).
+Status FieldError(const char* key, const std::string& what) {
+  return Status::InvalidArgument(std::string("\"") + key + "\" " + what);
+}
+
+Result<std::int64_t> StrictInt(const Json& json, const char* key,
+                               std::int64_t fallback) {
+  const Json* value = json.Find(key);
+  if (value == nullptr) return fallback;
+  if (value->type() != Json::Type::kNumber) {
+    return FieldError(key, "must be a number");
+  }
+  const double number = value->number_value();
+  if (!std::isfinite(number)) return FieldError(key, "must be finite");
+  if (number != std::floor(number)) {
+    return FieldError(key, "must be an integer");
+  }
+  constexpr double kLimit = 4.611686018427388e18;  // 2^62
+  if (!(number >= -kLimit && number <= kLimit)) {
+    return FieldError(key, "is out of range");
+  }
+  return static_cast<std::int64_t>(number);
+}
+
+Result<double> StrictFinite(const Json& json, const char* key,
+                            double fallback) {
+  const Json* value = json.Find(key);
+  if (value == nullptr) return fallback;
+  if (value->type() != Json::Type::kNumber) {
+    return FieldError(key, "must be a number");
+  }
+  if (!std::isfinite(value->number_value())) {
+    return FieldError(key, "must be finite");
+  }
+  return value->number_value();
+}
+
+Result<std::string> StrictString(const Json& json, const char* key,
+                                 const std::string& fallback) {
+  const Json* value = json.Find(key);
+  if (value == nullptr) return fallback;
+  if (value->type() != Json::Type::kString) {
+    return FieldError(key, "must be a string");
+  }
+  return value->string_value();
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(const std::string& line, int* version_out) {
+  if (version_out != nullptr) *version_out = 0;
   Result<Json> parsed = ParseJson(line);
   if (!parsed.ok()) return parsed.status();
   const Json& json = parsed.value();
@@ -443,7 +500,23 @@ Result<Request> ParseRequest(const std::string& line) {
   }
 
   Request request;
-  const std::string op = json.GetString("op", "");
+  Result<std::int64_t> version = StrictInt(json, "v", 0);
+  if (!version.ok()) return version.status();
+  if (version.value() != 0 && version.value() != kServeProtocolVersion) {
+    // The client clearly speaks the versioned protocol — answer it with
+    // the structured error shape.
+    if (version_out != nullptr) *version_out = kServeProtocolVersion;
+    return Status::InvalidArgument(
+        "unsupported protocol version " + std::to_string(version.value()) +
+        " (this server speaks v" + std::to_string(kServeProtocolVersion) +
+        ")");
+  }
+  request.version = static_cast<int>(version.value());
+  if (version_out != nullptr) *version_out = request.version;
+
+  Result<std::string> op_field = StrictString(json, "op", "");
+  if (!op_field.ok()) return op_field.status();
+  const std::string& op = op_field.value();
   if (op == "estimate") {
     request.op = RequestOp::kEstimate;
   } else if (op == "label") {
@@ -452,15 +525,19 @@ Result<Request> ParseRequest(const std::string& line) {
     request.op = RequestOp::kStats;
   } else if (op == "datasets") {
     request.op = RequestOp::kDatasets;
+  } else if (op == "metrics") {
+    request.op = RequestOp::kMetrics;
   } else if (op.empty()) {
     return Status::InvalidArgument("request is missing \"op\"");
   } else {
     return Status::InvalidArgument(
         "unknown op '" + op +
-        "'; expected estimate, label, stats, or datasets");
+        "'; expected estimate, label, stats, datasets, or metrics");
   }
 
-  request.dataset = json.GetString("dataset", "");
+  Result<std::string> dataset = StrictString(json, "dataset", "");
+  if (!dataset.ok()) return dataset.status();
+  request.dataset = dataset.value();
   if ((request.op == RequestOp::kEstimate ||
        request.op == RequestOp::kLabel) &&
       request.dataset.empty()) {
@@ -469,28 +546,41 @@ Result<Request> ParseRequest(const std::string& line) {
   }
 
   DceOptions& options = request.options;
-  options.restarts = static_cast<int>(json.GetInt("restarts", 10));
-  options.max_path_length = static_cast<int>(json.GetInt("lmax", 5));
-  options.lambda = json.GetNumber("lambda", 10.0);
-  options.seed = static_cast<std::uint64_t>(json.GetInt("seed", 7));
-  if (options.restarts < 1 || options.restarts > 1000) {
+  Result<std::int64_t> restarts = StrictInt(json, "restarts", 10);
+  if (!restarts.ok()) return restarts.status();
+  if (restarts.value() < 1 || restarts.value() > 1000) {
     return Status::InvalidArgument("restarts must be in [1, 1000]");
   }
-  if (options.max_path_length < 1 || options.max_path_length > 32) {
+  options.restarts = static_cast<int>(restarts.value());
+  Result<std::int64_t> lmax = StrictInt(json, "lmax", 5);
+  if (!lmax.ok()) return lmax.status();
+  if (lmax.value() < 1 || lmax.value() > 32) {
     return Status::InvalidArgument("lmax must be in [1, 32]");
   }
-  if (!(options.lambda > 0.0)) {
+  options.max_path_length = static_cast<int>(lmax.value());
+  Result<double> lambda = StrictFinite(json, "lambda", 10.0);
+  if (!lambda.ok()) return lambda.status();
+  if (!(lambda.value() > 0.0)) {
     return Status::InvalidArgument("lambda must be positive");
   }
-  const std::int64_t variant = json.GetInt("variant", 1);
-  if (variant < 1 || variant > 3) {
+  options.lambda = lambda.value();
+  Result<std::int64_t> seed = StrictInt(json, "seed", 7);
+  if (!seed.ok()) return seed.status();
+  if (seed.value() < 0) {
+    return Status::InvalidArgument("seed must be non-negative");
+  }
+  options.seed = static_cast<std::uint64_t>(seed.value());
+  Result<std::int64_t> variant = StrictInt(json, "variant", 1);
+  if (!variant.ok()) return variant.status();
+  if (variant.value() < 1 || variant.value() > 3) {
     return Status::InvalidArgument("variant must be 1, 2, or 3");
   }
-  options.variant = static_cast<NormalizationVariant>(variant);
-  const std::string path_type = json.GetString("path_type", "nb");
-  if (path_type == "nb") {
+  options.variant = static_cast<NormalizationVariant>(variant.value());
+  Result<std::string> path_type = StrictString(json, "path_type", "nb");
+  if (!path_type.ok()) return path_type.status();
+  if (path_type.value() == "nb") {
     options.path_type = PathType::kNonBacktracking;
-  } else if (path_type == "full") {
+  } else if (path_type.value() == "full") {
     options.path_type = PathType::kFull;
   } else {
     return Status::InvalidArgument("path_type must be \"nb\" or \"full\"");
@@ -498,12 +588,51 @@ Result<Request> ParseRequest(const std::string& line) {
   return request;
 }
 
-std::string ErrorResponseLine(const Status& status) {
+const char* ServeErrorCodeName(ServeErrorCode code) {
+  switch (code) {
+    case ServeErrorCode::kBadRequest: return "bad_request";
+    case ServeErrorCode::kUnknownDataset: return "unknown_dataset";
+    case ServeErrorCode::kOverBudget: return "over_budget";
+    case ServeErrorCode::kTimeout: return "timeout";
+    case ServeErrorCode::kOverloaded: return "overloaded";
+    case ServeErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+ServeErrorCode ServeErrorCodeFromStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInvalidArgument: return ServeErrorCode::kBadRequest;
+    case StatusCode::kNotFound: return ServeErrorCode::kUnknownDataset;
+    case StatusCode::kFailedPrecondition: return ServeErrorCode::kOverBudget;
+    default: return ServeErrorCode::kInternal;
+  }
+}
+
+std::string ErrorResponseLine(const Status& status, int version) {
+  if (version >= 1) {
+    return ServeErrorLine(ServeErrorCodeFromStatus(status.code()),
+                          status.message());
+  }
   JsonWriter writer;
   writer.BeginObject();
   writer.Key("ok").Value(false);
   writer.Key("code").Value(StatusCodeName(status.code()));
   writer.Key("error").Value(status.message());
+  writer.EndObject();
+  return writer.Take();
+}
+
+std::string ServeErrorLine(ServeErrorCode code, const std::string& message) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("v").Value(kServeProtocolVersion);
+  writer.Key("ok").Value(false);
+  writer.Key("error");
+  writer.BeginObject();
+  writer.Key("code").Value(ServeErrorCodeName(code));
+  writer.Key("message").Value(message);
+  writer.EndObject();
   writer.EndObject();
   return writer.Take();
 }

@@ -12,13 +12,26 @@
 //   {"op":"label", ...same fields...}
 //   {"op":"stats"}
 //   {"op":"datasets"}
+//   {"op":"metrics"}
 //
-// Responses: {"ok":true, ...op-specific fields...} or
+// The protocol is versioned via an optional "v" field. Version-less
+// requests get the legacy response shapes:
+//   {"ok":true, ...op-specific fields...} or
 //   {"ok":false,"code":"NotFound","error":"..."}.
+// Requests carrying "v":1 get the same success fields prefixed with
+// "v":1, and structured errors drawn from a closed taxonomy:
+//   {"v":1,"ok":false,"error":{"code":"bad_request","message":"..."}}
+// with codes bad_request, unknown_dataset, over_budget, timeout,
+// overloaded, internal. Errors the transport itself generates (a shed
+// request, a request timeout, an oversized line) always use the v1
+// structured shape — they can occur before any request is parsed.
 //
 // The estimate/label defaults match `fgr_cli estimate` exactly (restarts
 // 10, lmax 5, lambda 10, row-stochastic, non-backtracking, seed 7), so a
-// bare request reproduces the offline CLI bit for bit.
+// bare request reproduces the offline CLI bit for bit. Numeric knobs are
+// validated strictly: a wrong-typed field, a non-integral count, a
+// negative seed, or a non-finite lambda is rejected with bad_request
+// rather than silently clamped or defaulted.
 
 #ifndef FGR_SERVE_PROTOCOL_H_
 #define FGR_SERVE_PROTOCOL_H_
@@ -113,23 +126,57 @@ class JsonWriter {
 };
 
 // The operations fgrd serves.
-enum class RequestOp { kEstimate, kLabel, kStats, kDatasets };
+enum class RequestOp { kEstimate, kLabel, kStats, kDatasets, kMetrics };
+
+// Highest protocol version this build understands.
+inline constexpr int kServeProtocolVersion = 1;
 
 // A validated request. Estimation fields default to the fgr_cli defaults.
 struct Request {
   RequestOp op = RequestOp::kStats;
+  int version = 0;      // 0 = legacy shape, 1 = versioned shape
   std::string dataset;  // required for estimate/label
   DceOptions options;   // restarts/lmax/lambda/variant/path_type/seed
 };
 
 // Parses and validates one request line: JSON must parse, be an object,
 // carry a known "op", name a dataset when the op needs one, and keep the
-// numeric knobs in range. Returns InvalidArgument with a precise message
-// otherwise.
-Result<Request> ParseRequest(const std::string& line);
+// numeric knobs typed, integral where integers are expected, and in
+// range. Returns InvalidArgument with a precise message otherwise. When
+// `version_out` is non-null it is set to the request's protocol version
+// as soon as it is known — even on a validation failure — so the caller
+// can shape the error response correctly.
+Result<Request> ParseRequest(const std::string& line,
+                             int* version_out = nullptr);
 
-// {"ok":false,"code":...,"error":...} for a failed request.
-std::string ErrorResponseLine(const Status& status);
+// The protocol v1 error taxonomy. Every error a client can observe maps
+// to exactly one of these codes.
+enum class ServeErrorCode {
+  kBadRequest,      // malformed JSON, unknown op, out-of-range knob
+  kUnknownDataset,  // dataset not registered / file missing
+  kOverBudget,      // dataset exceeds the residency or streaming budget
+  kTimeout,         // request exceeded the per-request deadline
+  kOverloaded,      // shed by admission control at the queue high water
+  kInternal,        // anything else
+};
+
+// Wire spelling of a taxonomy code ("bad_request", ...).
+const char* ServeErrorCodeName(ServeErrorCode code);
+
+// Maps a handler Status to its taxonomy code (InvalidArgument →
+// bad_request, NotFound → unknown_dataset, FailedPrecondition →
+// over_budget, else internal).
+ServeErrorCode ServeErrorCodeFromStatus(StatusCode code);
+
+// Error line for a failed request. version 0 keeps the legacy
+// {"ok":false,"code":<StatusCodeName>,"error":<message>} shape; version 1
+// emits {"v":1,"ok":false,"error":{"code":...,"message":...}}.
+std::string ErrorResponseLine(const Status& status, int version = 0);
+
+// Transport-level error line (always the v1 structured shape): used for
+// shed, timeout, and oversized-line errors which the event loop emits
+// without a parsed request in hand.
+std::string ServeErrorLine(ServeErrorCode code, const std::string& message);
 
 // Reference client for the line protocol: one blocking TCP connection,
 // request line in → response line out, reusable across exchanges. The one

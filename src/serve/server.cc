@@ -1,11 +1,16 @@
 #include "serve/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <signal.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -22,6 +27,15 @@
 namespace fgr {
 namespace {
 
+using SteadyClock = std::chrono::steady_clock;
+
+// epoll user-data tags for the two non-connection fds. Connection ids
+// count up from 1, so these can never collide.
+constexpr std::uint64_t kListenTag = ~std::uint64_t{0};
+constexpr std::uint64_t kWakeTag = ~std::uint64_t{0} - 1;
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
 bool EndsWith(const std::string& text, const std::string& suffix) {
   return text.size() >= suffix.size() &&
          text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
@@ -33,21 +47,6 @@ std::string CanonicalPath(const std::string& path) {
   std::filesystem::path canonical =
       std::filesystem::weakly_canonical(std::filesystem::path(path), ec);
   return ec ? path : canonical.string();
-}
-
-// Sends the whole buffer; MSG_NOSIGNAL turns a dead peer into an error
-// return instead of SIGPIPE.
-bool SendAll(int fd, const char* data, std::size_t size) {
-  std::size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
 }
 
 DatasetSummary SummaryFromStatistics(GraphStatistics stats, PathType path_type,
@@ -76,6 +75,28 @@ void AppendMatrix(JsonWriter* writer, const DenseMatrix& m) {
 }
 
 }  // namespace
+
+// Per-connection state. Exclusively owned and mutated by the event
+// thread; workers only ever see the (conn_id, generation) pair.
+struct FgrServer::Connection {
+  int fd = -1;
+  std::uint64_t id = 0;
+  std::string read_buffer;   // unframed bytes
+  std::string write_buffer;  // unsent response bytes
+  std::size_t write_offset = 0;
+  std::deque<std::string> pending_lines;  // framed, not yet dispatched
+  bool in_flight = false;         // one request at a time per connection
+  bool want_write = false;        // EPOLLOUT armed
+  bool close_after_flush = false;
+  bool peer_closed = false;       // read side saw EOF
+  bool overflowed = false;        // partial line exceeded the size limit
+  // Generations make timer and completion delivery exact under reuse:
+  // a fired timer or a finished worker item whose generation no longer
+  // matches is stale and gets dropped.
+  std::uint64_t request_generation = 0;
+  std::uint64_t idle_generation = 0;
+  SteadyClock::time_point request_start{};
+};
 
 struct FgrServer::EstimateOutcome {
   std::shared_ptr<const MappedFgrBin> mapped;  // null when streamed
@@ -274,11 +295,13 @@ std::string FgrServer::HandleEstimate(const Request& request) {
   Status status = RunEstimate(request, /*need_graph=*/false, &outcome);
   if (!status.ok()) {
     ++errors_;
-    return ErrorResponseLine(status);
+    metrics_.requests_errors.fetch_add(1, kRelaxed);
+    return ErrorResponseLine(status, request.version);
   }
   ++estimates_;
   JsonWriter writer;
   writer.BeginObject();
+  if (request.version >= 1) writer.Key("v").Value(kServeProtocolVersion);
   writer.Key("ok").Value(true);
   writer.Key("op").Value("estimate");
   writer.Key("dataset").Value(request.dataset);
@@ -308,7 +331,8 @@ std::string FgrServer::HandleLabel(const Request& request) {
   Status status = RunEstimate(request, /*need_graph=*/true, &outcome);
   if (!status.ok()) {
     ++errors_;
-    return ErrorResponseLine(status);
+    metrics_.requests_errors.fetch_add(1, kRelaxed);
+    return ErrorResponseLine(status, request.version);
   }
   // Propagate straight over the mapped adjacency — the view overload runs
   // the identical kernels RunLinBp(graph, ...) runs in-core.
@@ -320,6 +344,7 @@ std::string FgrServer::HandleLabel(const Request& request) {
   ++labels_;
   JsonWriter writer;
   writer.BeginObject();
+  if (request.version >= 1) writer.Key("v").Value(kServeProtocolVersion);
   writer.Key("ok").Value(true);
   writer.Key("op").Value("label");
   writer.Key("dataset").Value(request.dataset);
@@ -344,11 +369,12 @@ std::string FgrServer::HandleLabel(const Request& request) {
   return writer.Take();
 }
 
-std::string FgrServer::HandleStats() {
+std::string FgrServer::HandleStats(int version) {
   const SummaryCache::Counters summary = summaries_.counters();
   const DatasetCache::Counters data = datasets_.counters();
   JsonWriter writer;
   writer.BeginObject();
+  if (version >= 1) writer.Key("v").Value(kServeProtocolVersion);
   writer.Key("ok").Value(true);
   writer.Key("op").Value("stats");
   writer.Key("uptime_seconds").Value(uptime_.Seconds());
@@ -356,7 +382,7 @@ std::string FgrServer::HandleStats() {
   writer.Key("errors").Value(errors_.load());
   writer.Key("estimates").Value(estimates_.load());
   writer.Key("labels").Value(labels_.load());
-  writer.Key("connections").Value(connections_.load());
+  writer.Key("connections").Value(connections_total_.load());
   writer.Key("workers").Value(options_.worker_threads);
   writer.Key("summary");
   writer.BeginObject();
@@ -379,9 +405,10 @@ std::string FgrServer::HandleStats() {
   return writer.Take();
 }
 
-std::string FgrServer::HandleDatasets() {
+std::string FgrServer::HandleDatasets(int version) {
   JsonWriter writer;
   writer.BeginObject();
+  if (version >= 1) writer.Key("v").Value(kServeProtocolVersion);
   writer.Key("ok").Value(true);
   writer.Key("op").Value("datasets");
   writer.Key("resident");
@@ -396,37 +423,123 @@ std::string FgrServer::HandleDatasets() {
   return writer.Take();
 }
 
+std::string FgrServer::MetricsJson(int version) const {
+  const SummaryCache::Counters summary = summaries_.counters();
+  const DatasetCache::Counters data = datasets_.counters();
+  JsonWriter writer;
+  writer.BeginObject();
+  if (version >= 1) writer.Key("v").Value(kServeProtocolVersion);
+  writer.Key("ok").Value(true);
+  writer.Key("op").Value("metrics");
+  writer.Key("uptime_seconds").Value(uptime_.Seconds());
+  writer.Key("connections");
+  writer.BeginObject();
+  writer.Key("accepted").Value(metrics_.connections_accepted.load(kRelaxed));
+  writer.Key("active").Value(metrics_.connections_active.load(kRelaxed));
+  writer.Key("evicted_slow")
+      .Value(metrics_.connections_evicted_slow.load(kRelaxed));
+  writer.Key("closed_idle")
+      .Value(metrics_.connections_closed_idle.load(kRelaxed));
+  writer.EndObject();
+  writer.Key("requests");
+  writer.BeginObject();
+  writer.Key("total").Value(metrics_.requests_total.load(kRelaxed));
+  writer.Key("estimate").Value(metrics_.requests_estimate.load(kRelaxed));
+  writer.Key("label").Value(metrics_.requests_label.load(kRelaxed));
+  writer.Key("stats").Value(metrics_.requests_stats.load(kRelaxed));
+  writer.Key("datasets").Value(metrics_.requests_datasets.load(kRelaxed));
+  writer.Key("metrics").Value(metrics_.requests_metrics.load(kRelaxed));
+  writer.Key("errors").Value(metrics_.requests_errors.load(kRelaxed));
+  writer.Key("shed").Value(metrics_.requests_shed.load(kRelaxed));
+  writer.Key("timed_out").Value(metrics_.requests_timed_out.load(kRelaxed));
+  writer.EndObject();
+  writer.Key("queue");
+  writer.BeginObject();
+  writer.Key("depth").Value(metrics_.queue_depth.load(kRelaxed));
+  writer.Key("high_water").Value(options_.queue_high_water);
+  writer.Key("workers").Value(options_.worker_threads);
+  writer.EndObject();
+  writer.Key("io");
+  writer.BeginObject();
+  writer.Key("bytes_read").Value(metrics_.bytes_read.load(kRelaxed));
+  writer.Key("bytes_written").Value(metrics_.bytes_written.load(kRelaxed));
+  writer.EndObject();
+  writer.Key("latency");
+  writer.BeginObject();
+  writer.Key("count")
+      .Value(static_cast<std::int64_t>(metrics_.latency.count()));
+  writer.Key("p50_ms").Value(metrics_.latency.QuantileSeconds(0.5) * 1e3);
+  writer.Key("p99_ms").Value(metrics_.latency.QuantileSeconds(0.99) * 1e3);
+  writer.EndObject();
+  writer.Key("summary");
+  writer.BeginObject();
+  writer.Key("memory_hits").Value(summary.memory_hits);
+  writer.Key("disk_hits").Value(summary.disk_hits);
+  writer.Key("computed").Value(summary.computed);
+  writer.Key("invalidations").Value(summary.invalidations);
+  writer.EndObject();
+  writer.Key("datasets");
+  writer.BeginObject();
+  writer.Key("hits").Value(data.hits);
+  writer.Key("misses").Value(data.misses);
+  writer.Key("evictions").Value(data.evictions);
+  writer.Key("resident").Value(datasets_.entries());
+  writer.Key("resident_bytes").Value(datasets_.resident_bytes());
+  writer.EndObject();
+  writer.EndObject();
+  return writer.Take();
+}
+
+std::string FgrServer::HandleMetrics(int version) {
+  return MetricsJson(version);
+}
+
 std::string FgrServer::HandleRequestLine(const std::string& line) {
   ++requests_;
+  metrics_.requests_total.fetch_add(1, kRelaxed);
   if (static_cast<std::int64_t>(line.size()) > options_.max_request_bytes) {
     ++errors_;
+    metrics_.requests_errors.fetch_add(1, kRelaxed);
     return ErrorResponseLine(Status::InvalidArgument(
         "request of " + std::to_string(line.size()) +
         " bytes exceeds the " + std::to_string(options_.max_request_bytes) +
         "-byte limit"));
   }
-  Result<Request> parsed = ParseRequest(line);
+  int version = 0;
+  Result<Request> parsed = ParseRequest(line, &version);
   if (!parsed.ok()) {
     ++errors_;
-    return ErrorResponseLine(parsed.status());
+    metrics_.requests_errors.fetch_add(1, kRelaxed);
+    return ErrorResponseLine(parsed.status(), version);
   }
-  switch (parsed.value().op) {
+  const Request& request = parsed.value();
+  switch (request.op) {
     case RequestOp::kEstimate:
-      return HandleEstimate(parsed.value());
+      metrics_.requests_estimate.fetch_add(1, kRelaxed);
+      return HandleEstimate(request);
     case RequestOp::kLabel:
-      return HandleLabel(parsed.value());
+      metrics_.requests_label.fetch_add(1, kRelaxed);
+      return HandleLabel(request);
     case RequestOp::kStats:
-      return HandleStats();
+      metrics_.requests_stats.fetch_add(1, kRelaxed);
+      return HandleStats(request.version);
     case RequestOp::kDatasets:
-      return HandleDatasets();
+      metrics_.requests_datasets.fetch_add(1, kRelaxed);
+      return HandleDatasets(request.version);
+    case RequestOp::kMetrics:
+      metrics_.requests_metrics.fetch_add(1, kRelaxed);
+      return HandleMetrics(request.version);
   }
   ++errors_;
+  metrics_.requests_errors.fetch_add(1, kRelaxed);
   return ErrorResponseLine(Status::Internal("unreachable op"));
 }
 
 Status FgrServer::Start() {
   if (running_.load()) return Status::FailedPrecondition("already started");
+  draining_.store(false);
   stopping_.store(false);
+  drained_.store(false);
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::Internal("socket() failed");
@@ -450,7 +563,7 @@ Status FgrServer::Start() {
                             std::to_string(options_.port) + " failed: " +
                             std::strerror(error));
   }
-  if (::listen(fd, 64) != 0) {
+  if (::listen(fd, 128) != 0) {
     ::close(fd);
     return Status::Internal("listen() failed");
   }
@@ -461,10 +574,46 @@ Status FgrServer::Start() {
     return Status::Internal("getsockname() failed");
   }
   port_ = static_cast<int>(ntohs(address.sin_port));
-  listen_fd_.store(fd);
+  // Non-blocking so the accept loop can drain the backlog to EAGAIN.
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+
+  const int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) {
+    ::close(fd);
+    return Status::Internal("epoll_create1() failed");
+  }
+  const int wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd < 0) {
+    ::close(epoll_fd);
+    ::close(fd);
+    return Status::Internal("eventfd() failed");
+  }
+  // The listen and wake fds are level-triggered (cheap, no starvation
+  // subtleties); client sockets are edge-triggered.
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(wake_fd);
+    ::close(epoll_fd);
+    ::close(fd);
+    return Status::Internal("epoll_ctl(listen) failed");
+  }
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &ev) != 0) {
+    ::close(wake_fd);
+    ::close(epoll_fd);
+    ::close(fd);
+    return Status::Internal("epoll_ctl(wake) failed");
+  }
+
+  listen_fd_ = fd;
+  epoll_fd_ = epoll_fd;
+  wake_fd_ = wake_fd;
 
   running_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  event_thread_ = std::thread([this] { EventLoop(); });
   const int workers = options_.worker_threads > 0 ? options_.worker_threads
                                                   : 1;
   workers_.reserve(static_cast<std::size_t>(workers));
@@ -476,129 +625,453 @@ Status FgrServer::Start() {
 
 void FgrServer::Stop() {
   if (!running_.exchange(false)) return;
+
+  // Phase 1 — drain: stop accepting, let queued and in-flight requests
+  // finish and their responses flush. The event thread reports completion
+  // through drained_.
+  draining_.store(true);
+  WakeEventThread();
+  const auto deadline =
+      SteadyClock::now() +
+      std::chrono::milliseconds(options_.drain_timeout_ms);
+  while (!drained_.load() && SteadyClock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Phase 2 — tear down: stop the event thread and workers, then close
+  // everything the event thread owned (safe only after the join).
   stopping_.store(true);
-
-  // Retire the listen fd (shutdown wakes a blocked accept on Linux) but
-  // close it only after the accept thread joins — closing first would let
-  // the kernel recycle the fd number into a racing accept() call.
-  const int listen_fd = listen_fd_.exchange(-1);
-  if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd >= 0) ::close(listen_fd);
-
   {
     // Empty critical section: a worker that evaluated its wait predicate
     // before stopping_ was set cannot block again until we release the
-    // queue mutex, so the notify below can never be lost.
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    // work mutex, so the notify below can never be lost.
+    std::lock_guard<std::mutex> lock(work_mutex_);
   }
-  queue_cv_.notify_all();
-  {
-    // Wake workers blocked in recv() on live connections.
-    std::lock_guard<std::mutex> lock(active_mutex_);
-    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
+  work_cv_.notify_all();
+  WakeEventThread();
+  if (event_thread_.joinable()) event_thread_.join();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
-  // Close connections that were queued but never picked up.
-  std::lock_guard<std::mutex> lock(queue_mutex_);
-  for (int fd : pending_connections_) ::close(fd);
-  pending_connections_.clear();
+
+  for (auto& [id, conn] : connections_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  connections_.clear();
+  metrics_.connections_active.store(0, kRelaxed);
+  {
+    std::lock_guard<std::mutex> lock(work_mutex_);
+    work_queue_.clear();
+  }
+  metrics_.queue_depth.store(0, kRelaxed);
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    completions_.clear();
+  }
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  epoll_fd_ = -1;
+  wake_fd_ = -1;
+  listen_fd_ = -1;
 }
 
-void FgrServer::AcceptLoop() {
-  while (!stopping_.load()) {
-    const int listen_fd = listen_fd_.load();
-    if (listen_fd < 0) return;
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (stopping_.load()) return;
-      if (errno == EINTR) continue;
-      // Transient resource pressure (fd exhaustion, a connection reset in
-      // the backlog) must not permanently stop a long-lived daemon from
-      // accepting; back off briefly and keep going. Anything else means
-      // the listen socket itself is gone.
-      if (errno == EMFILE || errno == ENFILE || errno == ECONNABORTED ||
-          errno == EAGAIN || errno == ENOBUFS || errno == ENOMEM ||
-          errno == EPROTO) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+void FgrServer::WakeEventThread() {
+  if (wake_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  // The eventfd counter saturates rather than blocks on overflow; a
+  // failed write means the event thread is already scheduled to wake.
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_fd_, &one, sizeof(one));
+}
+
+void FgrServer::EventLoop() {
+  timers_.Start(SteadyClock::now());
+  bool drain_started = false;
+  epoll_event events[64];
+  std::vector<TimerWheel::Entry> expired;
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::int64_t timeout_ms = timers_.MsUntilNext(SteadyClock::now());
+    if (timeout_ms < 0 || timeout_ms > 100) timeout_ms = 100;
+    const int n = ::epoll_wait(epoll_fd_, events, 64,
+                               static_cast<int>(timeout_ms));
+    if (n < 0 && errno != EINTR) break;
+
+    for (int i = 0; i < (n > 0 ? n : 0); ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag) {
+        AcceptNewConnections();
         continue;
       }
+      if (tag == kWakeTag) {
+        std::uint64_t count = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &count, sizeof(count));
+        continue;
+      }
+      auto found = connections_.find(tag);
+      if (found == connections_.end()) continue;  // closed earlier this batch
+      Connection* conn = found->second.get();
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConnection(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        FlushWrites(conn);
+        if (connections_.find(tag) == connections_.end()) continue;
+      }
+      if ((events[i].events & (EPOLLIN | EPOLLRDHUP)) != 0) {
+        HandleReadable(conn);
+      }
+    }
+
+    ProcessCompletions();
+    expired.clear();
+    timers_.Collect(SteadyClock::now(), &expired);
+    if (!expired.empty()) {
+      // FireTimers consumes the collected batch (see below).
+      for (const TimerWheel::Entry& entry : expired) {
+        auto found = connections_.find(entry.conn_id);
+        if (found == connections_.end()) continue;
+        Connection* conn = found->second.get();
+        if (entry.kind == TimerWheel::Kind::kRequest) {
+          if (!conn->in_flight ||
+              conn->request_generation != entry.generation) {
+            continue;  // stale: the request completed
+          }
+          metrics_.requests_timed_out.fetch_add(1, kRelaxed);
+          conn->in_flight = false;
+          // Orphan the worker's eventual completion and refuse to serve
+          // anything this connection already pipelined — its ordering
+          // contract is broken, so it gets the error and the door.
+          ++conn->request_generation;
+          conn->pending_lines.clear();
+          conn->close_after_flush = true;
+          QueueResponse(
+              conn,
+              ServeErrorLine(
+                  ServeErrorCode::kTimeout,
+                  "request exceeded the " +
+                      std::to_string(options_.request_timeout_ms) +
+                      " ms deadline; closing connection"));
+          FlushWrites(conn);  // may destroy conn
+        } else {
+          if (conn->idle_generation != entry.generation) continue;
+          if (conn->in_flight || !conn->pending_lines.empty() ||
+              conn->write_offset < conn->write_buffer.size()) {
+            ArmIdleTimer(conn);  // busy, not idle — re-arm
+            continue;
+          }
+          metrics_.connections_closed_idle.fetch_add(1, kRelaxed);
+          CloseConnection(conn);
+        }
+      }
+    }
+
+    if (draining_.load(std::memory_order_acquire)) {
+      if (!drain_started) {
+        drain_started = true;
+        // Stop accepting; queued connections in the backlog are dropped
+        // when the listen fd closes.
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      }
+      bool queue_empty;
+      {
+        std::lock_guard<std::mutex> lock(work_mutex_);
+        queue_empty = work_queue_.empty();
+      }
+      bool completions_empty;
+      {
+        std::lock_guard<std::mutex> lock(completion_mutex_);
+        completions_empty = completions_.empty();
+      }
+      bool settled = queue_empty && completions_empty;
+      if (settled) {
+        for (const auto& [id, conn] : connections_) {
+          if (conn->in_flight ||
+              conn->write_offset < conn->write_buffer.size()) {
+            settled = false;
+            break;
+          }
+        }
+      }
+      if (settled) drained_.store(true, std::memory_order_release);
+    }
+  }
+}
+
+void FgrServer::AcceptNewConnections() {
+  // Bounded batch per wakeup; the listen fd is level-triggered, so a
+  // longer backlog re-fires immediately.
+  for (int i = 0; i < 128; ++i) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EAGAIN: backlog drained. Anything else (EMFILE, ENFILE,
+      // ECONNABORTED, ENOBUFS...) is transient pressure — return and let
+      // the level-triggered listen fd retry on the next loop.
       return;
     }
-    ++connections_;
-    {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
-      pending_connections_.push_back(fd);
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      continue;
     }
-    queue_cv_.notify_one();
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    if (options_.send_buffer_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.send_buffer_bytes,
+                   sizeof(options_.send_buffer_bytes));
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    metrics_.connections_accepted.fetch_add(1, kRelaxed);
+    metrics_.connections_active.fetch_add(1, kRelaxed);
+    ++connections_total_;
+    Connection* raw = conn.get();
+    connections_.emplace(raw->id, std::move(conn));
+    ArmIdleTimer(raw);
+  }
+}
+
+void FgrServer::ArmIdleTimer(Connection* conn) {
+  ++conn->idle_generation;
+  timers_.Schedule(SteadyClock::now(), options_.idle_timeout_ms, conn->id,
+                   conn->idle_generation, TimerWheel::Kind::kIdle);
+}
+
+bool FgrServer::UpdateEpoll(Connection* conn, bool want_write) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+  if (want_write) ev.events |= EPOLLOUT;
+  ev.data.u64 = conn->id;
+  return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0;
+}
+
+void FgrServer::HandleReadable(Connection* conn) {
+  char chunk[16384];
+  while (true) {
+    const ssize_t got = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (got > 0) {
+      conn->read_buffer.append(chunk, static_cast<std::size_t>(got));
+      metrics_.bytes_read.fetch_add(got, kRelaxed);
+      continue;  // edge-triggered: drain until EAGAIN
+    }
+    if (got == 0) {
+      conn->peer_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(conn);
+    return;
+  }
+
+  // Frame complete lines into the pending queue.
+  std::size_t start = 0;
+  std::size_t newline;
+  bool activity = false;
+  while ((newline = conn->read_buffer.find('\n', start)) !=
+         std::string::npos) {
+    std::string line = conn->read_buffer.substr(start, newline - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    start = newline + 1;
+    conn->pending_lines.push_back(std::move(line));
+    activity = true;
+  }
+  if (start > 0) conn->read_buffer.erase(0, start);
+
+  // A partial line beyond the limit can never become a valid request;
+  // answer once and drop the connection instead of buffering forever.
+  if (!conn->overflowed &&
+      static_cast<std::int64_t>(conn->read_buffer.size()) >
+          options_.max_request_bytes) {
+    conn->overflowed = true;
+    ++requests_;
+    ++errors_;
+    metrics_.requests_total.fetch_add(1, kRelaxed);
+    metrics_.requests_errors.fetch_add(1, kRelaxed);
+    conn->read_buffer.clear();
+    conn->pending_lines.clear();
+    conn->close_after_flush = true;
+    QueueResponse(conn,
+                  ServeErrorLine(ServeErrorCode::kBadRequest,
+                                 "request exceeds the " +
+                                     std::to_string(
+                                         options_.max_request_bytes) +
+                                     "-byte limit"));
+    FlushWrites(conn);
+    return;
+  }
+
+  if (activity) ArmIdleTimer(conn);
+  DispatchPending(conn);
+  FlushWrites(conn);  // may destroy conn
+}
+
+void FgrServer::DispatchPending(Connection* conn) {
+  while (!conn->in_flight && !conn->pending_lines.empty() &&
+         !conn->close_after_flush) {
+    std::string line = std::move(conn->pending_lines.front());
+    conn->pending_lines.pop_front();
+    if (draining_.load(std::memory_order_acquire)) {
+      metrics_.requests_shed.fetch_add(1, kRelaxed);
+      QueueResponse(conn,
+                    ServeErrorLine(ServeErrorCode::kOverloaded,
+                                   "server is draining for shutdown"));
+      continue;
+    }
+    // Admission control: responses stay in order because a shed is
+    // answered synchronously, in the same position the real response
+    // would have taken.
+    if (metrics_.queue_depth.load(kRelaxed) >=
+        static_cast<std::int64_t>(options_.queue_high_water)) {
+      metrics_.requests_shed.fetch_add(1, kRelaxed);
+      QueueResponse(
+          conn,
+          ServeErrorLine(ServeErrorCode::kOverloaded,
+                         "server overloaded: worker queue is at its "
+                         "high-water mark (" +
+                             std::to_string(options_.queue_high_water) +
+                             "); retry later"));
+      continue;
+    }
+    conn->in_flight = true;
+    ++conn->request_generation;
+    conn->request_start = SteadyClock::now();
+    timers_.Schedule(conn->request_start, options_.request_timeout_ms,
+                     conn->id, conn->request_generation,
+                     TimerWheel::Kind::kRequest);
+    metrics_.queue_depth.fetch_add(1, kRelaxed);
+    {
+      std::lock_guard<std::mutex> lock(work_mutex_);
+      work_queue_.push_back(
+          {conn->id, conn->request_generation, std::move(line)});
+    }
+    work_cv_.notify_one();
+  }
+}
+
+void FgrServer::QueueResponse(Connection* conn,
+                              const std::string& response) {
+  conn->write_buffer += response;
+  conn->write_buffer.push_back('\n');
+}
+
+void FgrServer::FlushWrites(Connection* conn) {
+  // Compact a well-advanced buffer before growing it further.
+  if (conn->write_offset > 65536) {
+    conn->write_buffer.erase(0, conn->write_offset);
+    conn->write_offset = 0;
+  }
+  while (conn->write_offset < conn->write_buffer.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->write_buffer.data() + conn->write_offset,
+               conn->write_buffer.size() - conn->write_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->write_offset += static_cast<std::size_t>(n);
+      metrics_.bytes_written.fetch_add(n, kRelaxed);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    CloseConnection(conn);
+    return;
+  }
+  if (conn->write_offset >= conn->write_buffer.size()) {
+    conn->write_buffer.clear();
+    conn->write_offset = 0;
+    if (conn->want_write) {
+      conn->want_write = false;
+      UpdateEpoll(conn, false);
+    }
+    if (conn->close_after_flush ||
+        (conn->peer_closed && !conn->in_flight &&
+         conn->pending_lines.empty())) {
+      CloseConnection(conn);
+    }
+    return;
+  }
+  // Unsent backlog remains: evict a client that cannot keep up, else arm
+  // EPOLLOUT and let the event loop resume the flush when writable.
+  if (static_cast<std::int64_t>(conn->write_buffer.size() -
+                                conn->write_offset) >
+      options_.max_write_buffer_bytes) {
+    metrics_.connections_evicted_slow.fetch_add(1, kRelaxed);
+    CloseConnection(conn);
+    return;
+  }
+  if (!conn->want_write) {
+    conn->want_write = true;
+    UpdateEpoll(conn, true);
+  }
+}
+
+void FgrServer::CloseConnection(Connection* conn) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conn->fd = -1;
+  metrics_.connections_active.fetch_sub(1, kRelaxed);
+  connections_.erase(conn->id);  // destroys *conn; timers cancel lazily
+}
+
+void FgrServer::ProcessCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    batch.swap(completions_);
+  }
+  for (Completion& done : batch) {
+    auto found = connections_.find(done.conn_id);
+    if (found == connections_.end()) continue;  // connection died waiting
+    Connection* conn = found->second.get();
+    if (!conn->in_flight || conn->request_generation != done.generation) {
+      continue;  // timed out: the error response already went out
+    }
+    conn->in_flight = false;
+    metrics_.latency.Record(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            SteadyClock::now() - conn->request_start)
+            .count());
+    QueueResponse(conn, done.response);
+    ArmIdleTimer(conn);
+    DispatchPending(conn);
+    FlushWrites(conn);  // may destroy conn
   }
 }
 
 void FgrServer::WorkerLoop() {
   while (true) {
-    int fd = -1;
+    WorkItem item;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] {
-        return stopping_.load() || !pending_connections_.empty();
+      std::unique_lock<std::mutex> lock(work_mutex_);
+      work_cv_.wait(lock, [this] {
+        return stopping_.load() || !work_queue_.empty();
       });
-      if (pending_connections_.empty()) return;  // stopping
-      fd = pending_connections_.front();
-      pending_connections_.pop_front();
+      if (work_queue_.empty()) return;  // stopping
+      item = std::move(work_queue_.front());
+      work_queue_.pop_front();
     }
+    metrics_.queue_depth.fetch_sub(1, kRelaxed);
+    Completion done;
+    done.conn_id = item.conn_id;
+    done.generation = item.generation;
+    done.response = HandleRequestLine(item.line);
     {
-      std::lock_guard<std::mutex> lock(active_mutex_);
-      active_fds_.insert(fd);
+      std::lock_guard<std::mutex> lock(completion_mutex_);
+      completions_.push_back(std::move(done));
     }
-    ServeConnection(fd);
-    {
-      std::lock_guard<std::mutex> lock(active_mutex_);
-      active_fds_.erase(fd);
-    }
-    ::close(fd);
-  }
-}
-
-void FgrServer::ServeConnection(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  while (!stopping_.load()) {
-    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (got <= 0) {
-      if (got < 0 && errno == EINTR) continue;
-      return;  // peer closed or error
-    }
-    buffer.append(chunk, static_cast<std::size_t>(got));
-
-    std::size_t start = 0;
-    std::size_t newline;
-    while ((newline = buffer.find('\n', start)) != std::string::npos) {
-      std::string line = buffer.substr(start, newline - start);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      start = newline + 1;
-      const std::string response = HandleRequestLine(line) + "\n";
-      if (!SendAll(fd, response.data(), response.size())) return;
-    }
-    buffer.erase(0, start);
-
-    // A partial line beyond the limit can never become a valid request;
-    // answer once and drop the connection instead of buffering forever.
-    if (static_cast<std::int64_t>(buffer.size()) >
-        options_.max_request_bytes) {
-      ++requests_;
-      ++errors_;
-      const std::string response =
-          ErrorResponseLine(Status::InvalidArgument(
-              "request exceeds the " +
-              std::to_string(options_.max_request_bytes) +
-              "-byte limit")) +
-          "\n";
-      SendAll(fd, response.data(), response.size());
-      return;
-    }
+    WakeEventThread();
   }
 }
 
@@ -616,7 +1089,8 @@ std::vector<std::string> SplitCommaList(const std::string& list) {
 }
 
 Status RunDaemon(const std::string& name, const ServerOptions& options,
-                 const std::vector<std::string>& preload) {
+                 const std::vector<std::string>& preload,
+                 bool dump_metrics_on_exit) {
   // Block the shutdown signals before any thread spawns so every thread
   // inherits the mask and sigwait below is the one consumer.
   sigset_t signals;
@@ -648,7 +1122,12 @@ Status RunDaemon(const std::string& name, const ServerOptions& options,
   std::printf("%s: received %s, shutting down\n", name.c_str(),
               received == SIGINT ? "SIGINT" : "SIGTERM");
   std::fflush(stdout);
-  server.Stop();
+  server.Stop();  // graceful drain, bounded by drain_timeout_ms
+  if (dump_metrics_on_exit) {
+    std::printf("%s: metrics %s\n", name.c_str(),
+                server.MetricsJson().c_str());
+    std::fflush(stdout);
+  }
   return Status::Ok();
 }
 

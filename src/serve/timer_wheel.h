@@ -1,0 +1,138 @@
+// A slotted timer wheel for the serve event loop's request and idle
+// deadlines.
+//
+// Single-threaded by design: only the event thread schedules, collects,
+// and cancels. Cancellation is lazy — timers carry the connection id and
+// a generation counter, and a fired entry whose generation no longer
+// matches the connection's current one is simply stale (the request
+// completed, or the connection saw new activity and re-armed). This keeps
+// Schedule() to a push_back and avoids any per-timer handle bookkeeping.
+//
+// Entries land in slot (deadline_tick % num_slots) and keep their
+// absolute deadline tick, so deadlines further out than one wheel
+// revolution just stay in their slot until their tick actually arrives —
+// they cost one comparison per revolution, which is fine at serve scale
+// (hundreds of connections, two timers each).
+
+#ifndef FGR_SERVE_TIMER_WHEEL_H_
+#define FGR_SERVE_TIMER_WHEEL_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fgr {
+
+class TimerWheel {
+ public:
+  enum class Kind { kRequest, kIdle };
+
+  struct Entry {
+    std::uint64_t conn_id = 0;
+    std::uint64_t generation = 0;
+    Kind kind = Kind::kRequest;
+    std::int64_t deadline_tick = 0;
+  };
+
+  using Clock = std::chrono::steady_clock;
+
+  explicit TimerWheel(std::int64_t tick_ms = 5, std::size_t num_slots = 512)
+      : tick_ms_(tick_ms > 0 ? tick_ms : 1), slots_(num_slots) {}
+
+  void Start(Clock::time_point now) {
+    epoch_ = now;
+    current_tick_ = 0;
+    size_ = 0;
+    for (auto& slot : slots_) slot.clear();
+  }
+
+  void Schedule(Clock::time_point now, std::int64_t delay_ms,
+                std::uint64_t conn_id, std::uint64_t generation, Kind kind) {
+    // Round up so a timer never fires before its full delay has elapsed.
+    std::int64_t deadline =
+        TickFor(now) + (delay_ms + tick_ms_ - 1) / tick_ms_;
+    if (deadline <= current_tick_) deadline = current_tick_ + 1;
+    Entry entry;
+    entry.conn_id = conn_id;
+    entry.generation = generation;
+    entry.kind = kind;
+    entry.deadline_tick = deadline;
+    slots_[static_cast<std::size_t>(deadline) % slots_.size()].push_back(
+        entry);
+    ++size_;
+  }
+
+  // Advances the wheel to `now`, appending every expired entry to
+  // `expired` in tick order. Stale entries are the caller's problem —
+  // the wheel has no idea which generations are still live.
+  void Collect(Clock::time_point now, std::vector<Entry>* expired) {
+    const std::int64_t target = TickFor(now);
+    if (size_ == 0) {
+      current_tick_ = target;
+      return;
+    }
+    while (current_tick_ < target) {
+      ++current_tick_;
+      auto& slot =
+          slots_[static_cast<std::size_t>(current_tick_) % slots_.size()];
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < slot.size(); ++i) {
+        if (slot[i].deadline_tick <= current_tick_) {
+          expired->push_back(slot[i]);
+          --size_;
+        } else {
+          slot[kept++] = slot[i];
+        }
+      }
+      slot.resize(kept);
+      if (size_ == 0) {
+        current_tick_ = target;
+        return;
+      }
+    }
+  }
+
+  // Milliseconds until the earliest armed deadline (0 when already due),
+  // or -1 when no timer is armed. O(armed entries); the event loop calls
+  // this once per epoll_wait.
+  std::int64_t MsUntilNext(Clock::time_point now) const {
+    if (size_ == 0) return -1;
+    std::int64_t min_tick = 0;
+    bool found = false;
+    for (const auto& slot : slots_) {
+      for (const Entry& entry : slot) {
+        if (!found || entry.deadline_tick < min_tick) {
+          min_tick = entry.deadline_tick;
+          found = true;
+        }
+      }
+    }
+    if (!found) return -1;
+    const std::int64_t elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - epoch_)
+            .count();
+    const std::int64_t due_ms = min_tick * tick_ms_;
+    return due_ms > elapsed_ms ? due_ms - elapsed_ms : 0;
+  }
+
+  std::size_t size() const { return size_; }
+  std::int64_t tick_ms() const { return tick_ms_; }
+
+ private:
+  std::int64_t TickFor(Clock::time_point now) const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(now - epoch_)
+               .count() /
+           tick_ms_;
+  }
+
+  std::int64_t tick_ms_;
+  std::vector<std::vector<Entry>> slots_;
+  Clock::time_point epoch_{};
+  std::int64_t current_tick_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fgr
+
+#endif  // FGR_SERVE_TIMER_WHEEL_H_

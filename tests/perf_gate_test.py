@@ -10,6 +10,7 @@ the end-to-end --self-test contract of tools/perf_gate.py.
 
 import os
 import sys
+import tempfile
 import unittest
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
@@ -91,13 +92,18 @@ class GateEvaluationTest(unittest.TestCase):
             self.assertIn(side, (gate.numerator, gate.denominator))
 
     def test_default_gates_read_real_bench_names(self):
-        # The shipped invariants must reference cases bench_micro_kernels
-        # actually registers — a rename must break this test, not silently
-        # turn the gate into "missing".
-        path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                            os.pardir, "bench", "bench_micro_kernels.cc")
-        with open(path, encoding="utf-8") as handle:
-            source = handle.read()
+        # The shipped invariants must reference cases the harness actually
+        # emits — a rename must break this test, not silently turn the
+        # gate into "missing". BM_Serve* bench cases come from
+        # bench_micro_kernels.cc; BM_ServeLoadtest comes from the load
+        # generator.
+        root = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir)
+        source = ""
+        for rel in (("bench", "bench_micro_kernels.cc"),
+                    ("tools", "fgr_loadtest.cc")):
+            with open(os.path.join(root, *rel), encoding="utf-8") as handle:
+                source += handle.read()
         for gate in bench_lib.DEFAULT_GATES:
             for name in (gate.numerator, gate.denominator):
                 function = name.split("/")[0]
@@ -173,6 +179,61 @@ class NormalizerTest(unittest.TestCase):
         self.assertAlmostEqual(
             serve_metrics["BM_ServeQueryWarm/n:100/threads:1"]["cpu_time_s"],
             2.0e-3)
+
+    def test_loadtest_counters_ride_along(self):
+        obj = {
+            "context": {"host_name": "runner", "num_cpus": 1},
+            "benchmarks": [
+                {"name": "BM_ServeLoadtest/clients:64/p99",
+                 "run_type": "iteration",
+                 "real_time": 5.2e6, "cpu_time": 5.2e6, "time_unit": "ns",
+                 "counters": {"qps": 3715.0, "requests": 7437.0,
+                              "dropped": 0.0, "clients": 64.0}},
+            ],
+        }
+        _, micro_metrics, serve_metrics = \
+            bench_lib.normalize_google_benchmark(obj)
+        self.assertEqual(micro_metrics, {})
+        metric = serve_metrics["BM_ServeLoadtest/clients:64/p99"]
+        self.assertAlmostEqual(metric["real_time_s"], 5.2e-3)
+        self.assertEqual(metric["counters"]["qps"], 3715.0)
+        self.assertEqual(metric["counters"]["dropped"], 0.0)
+
+
+class LoadMetricsTest(unittest.TestCase):
+
+    def test_results_dir_merges_the_loadtest_json(self):
+        # perf_gate --results-dir must see BM_ServeLoadtest metrics when
+        # fgr_loadtest.json sits next to bench_micro_kernels.json, so the
+        # serve_loadtest_tail gate evaluates instead of going MISSING.
+        with tempfile.TemporaryDirectory() as results_dir:
+            bench_lib.save_json(
+                os.path.join(results_dir, "bench_micro_kernels.json"),
+                {"context": {"num_cpus": 4},
+                 "benchmarks": [
+                     {"name": "BM_ServeQueryWarm/n:100/threads:1",
+                      "run_type": "iteration", "real_time": 1.0,
+                      "cpu_time": 1.0, "time_unit": "ms"}]})
+            bench_lib.save_json(
+                os.path.join(results_dir, "fgr_loadtest.json"),
+                {"context": {"num_cpus": 4},
+                 "benchmarks": [
+                     {"name": "BM_ServeLoadtest/clients:64/p50",
+                      "run_type": "iteration", "real_time": 2.0e6,
+                      "cpu_time": 2.0e6, "time_unit": "ns"},
+                     {"name": "BM_ServeLoadtest/clients:64/p99",
+                      "run_type": "iteration", "real_time": 5.2e6,
+                      "cpu_time": 5.2e6, "time_unit": "ns"}]})
+            args = perf_gate.parse_args(["--results-dir", results_dir])
+            metrics, num_cpus = perf_gate.load_metrics(args)
+        self.assertEqual(num_cpus, 4)
+        serve = metrics[bench_lib.SERVE]
+        self.assertIn("BM_ServeQueryWarm/n:100/threads:1", serve)
+        self.assertIn("BM_ServeLoadtest/clients:64/p50", serve)
+        gate = bench_lib.DEFAULT_GATES[3]
+        result = bench_lib.evaluate_gate(gate, metrics, num_cpus=num_cpus)
+        self.assertEqual(result.status, "pass")
+        self.assertAlmostEqual(result.ratio, 2.6)
 
 
 class SelfTestContractTest(unittest.TestCase):

@@ -123,6 +123,11 @@ def normalize_google_benchmark(obj):
             "real_time_s": entry.get("real_time", 0.0) * unit,
             "cpu_time_s": entry.get("cpu_time", 0.0) * unit,
         }
+        # Custom counters (qps, dropped... from fgr_loadtest) ride along so
+        # the trajectory keeps throughput next to latency.
+        counters = entry.get("counters")
+        if isinstance(counters, dict) and counters:
+            metric["counters"] = counters
         (serve if name.startswith("BM_Serve") else micro)[name] = metric
     return provenance, micro, serve
 
@@ -260,6 +265,19 @@ DEFAULT_GATES = (
         op="<=",
         bound=0.05,
         description="warm (summary-cache hit) vs cold serve latency",
+    ),
+    # PR 7's epoll event loop must keep the tail under load: fgr_loadtest's
+    # 64-client closed loop measures p99/p50 ~3-4x on a healthy server, and
+    # a loop that stalls clients (a blocked event thread, an unfair queue)
+    # blows the tail out by orders of magnitude while barely moving p50.
+    Gate(
+        name="serve_loadtest_tail",
+        kind=SERVE,
+        numerator="BM_ServeLoadtest/clients:64/p99",
+        denominator="BM_ServeLoadtest/clients:64/p50",
+        op="<=",
+        bound=20.0,
+        description="p99 vs p50 serve latency under a 64-client load test",
     ),
 )
 

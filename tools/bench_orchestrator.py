@@ -97,11 +97,13 @@ def build(build_dir):
 
 
 def discover_benches(build_dir, name_filter):
+    # fgr_loadtest is not a bench_* target, but it emits the same JSON
+    # shape and feeds the serve_loadtest_tail gate, so it runs here too.
     benches = []
     for entry in sorted(os.listdir(build_dir)):
         path = os.path.join(build_dir, entry)
-        if (entry.startswith("bench_") and os.path.isfile(path)
-                and os.access(path, os.X_OK)):
+        if ((entry.startswith("bench_") or entry == "fgr_loadtest")
+                and os.path.isfile(path) and os.access(path, os.X_OK)):
             benches.append(entry)
     if name_filter:
         pattern = re.compile(name_filter)
@@ -122,6 +124,9 @@ def run_benches(args, benches, results_dir, sha):
         cmd = [exe, "--json", json_path]
         if bench == "bench_micro_kernels" and args.micro_args:
             cmd += args.micro_args.split()
+        if bench == "fgr_loadtest":
+            cmd += (["--duration", "2", "--nodes", "5000"] if args.quick
+                    else ["--duration", "10"])
         log_path = os.path.join(results_dir, bench + ".log")
         print("=== %s" % bench, flush=True)
         started = datetime.datetime.now()

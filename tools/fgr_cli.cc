@@ -44,7 +44,7 @@
 //   fgr_cli query estimate <dataset.fgrbin> [--restarts R] [--lmax L]
 //           [--lambda X] [--dce-seed N] [--port P] [--host H]
 //   fgr_cli query label <dataset.fgrbin> <out.txt> [--port P] [--host H]
-//   fgr_cli query stats | datasets [--port P] [--host H]
+//   fgr_cli query stats | datasets | metrics [--port P] [--host H]
 //       Send one request to a running fgrd and print the result. estimate
 //       prints the exact report the offline `estimate` subcommand prints
 //       (the JSON carries full-precision doubles, so the matrices match
@@ -67,6 +67,7 @@
 #include <vector>
 
 #include "fgr/fgr.h"
+#include "util/check.h"
 
 namespace fgr {
 namespace cli {
@@ -137,7 +138,7 @@ int Usage() {
       "  fgr_cli query estimate <dataset.fgrbin> [--restarts R] [--lmax L]\n"
       "          [--lambda X] [--dce-seed N] [--port P] [--host H]\n"
       "  fgr_cli query label <dataset.fgrbin> <out> [--port P] [--host H]\n"
-      "  fgr_cli query stats|datasets [--port P] [--host H]\n"
+      "  fgr_cli query stats|datasets|metrics [--port P] [--host H]\n"
       "(any subcommand: --threads N pins the kernel thread count;\n"
       " precedence --threads > FGR_NUM_THREADS > hardware)\n");
   return 2;
@@ -245,9 +246,17 @@ void PrintEstimateReport(std::int64_t num_nodes, std::int64_t num_edges,
               estimate.energy, estimate.h.ToString(4).c_str());
 }
 
+// Every CLI estimation path funnels through the unified fgr::Estimate
+// router (fgr/estimate.h); the in-memory route cannot fail once graph and
+// seeds are set.
 EstimationResult Estimate(const Graph& graph, const Labeling& seeds,
                           const Flags& flags) {
-  return EstimateDce(graph, seeds, MakeDceOptions(flags));
+  EstimateOptions options;
+  options.dce = MakeDceOptions(flags);
+  Result<EstimationResult> result =
+      fgr::Estimate(DatasetRef::InMemory(graph, seeds), options);
+  FGR_CHECK(result.ok()) << result.status().message();
+  return std::move(result).value();
 }
 
 int RunEndToEnd(const Flags& flags) {
@@ -376,10 +385,11 @@ int RunEstimateStreaming(const std::string& reference,
                           static_cast<ClassId>(flags.Int("classes", -1)));
   if (!seeds.ok()) return Fail(seeds.status().ToString());
 
-  BlockRowReaderOptions reader_options;
-  reader_options.memory_budget_bytes = budget_mb << 20;
-  auto estimate = EstimateDceStreaming(reference, seeds.value(),
-                                       MakeDceOptions(flags), reader_options);
+  EstimateOptions options;
+  options.dce = MakeDceOptions(flags);
+  options.memory_budget_bytes = budget_mb << 20;
+  auto estimate =
+      fgr::Estimate(DatasetRef::FgrBin(reference, &seeds.value()), options);
   if (!estimate.ok()) return Fail(estimate.status().ToString());
 
   PrintEstimateReport(info.value().num_nodes, info.value().nnz / 2,
@@ -578,7 +588,7 @@ int RunQuery(int argc, char** argv) {
   if (op == "label" && argc >= 5) {
     return RunQueryLabel(argv[3], argv[4], Flags(argc, argv, 5));
   }
-  if (op == "stats" || op == "datasets") {
+  if (op == "stats" || op == "datasets" || op == "metrics") {
     const Flags flags(argc, argv, 3);
     auto response = QueryServer(flags, "{\"op\":\"" + op + "\"}");
     if (!response.ok()) return Fail(response.status().ToString());

@@ -1,0 +1,363 @@
+// fgr_loadtest: closed-loop concurrency load generator for fgrd.
+//
+//   fgr_loadtest [--clients N] [--duration S] [--restarts R] [--lmax L]
+//                [--nodes N] [--workers W] [--json out.json]
+//                [--host H --port P --dataset path.fgrbin]
+//
+// Spawns `--clients` threads, each holding one TCP connection and issuing
+// back-to-back estimate requests until the deadline. Every response's "h"
+// matrix must be byte-identical to a reference answer captured up front
+// (the serve path promises bit-identity with the offline CLI; %.17g
+// serialization makes the comparison a substring check). Reports qps and
+// nearest-rank p50/p99 latency, and exits non-zero when any request is
+// dropped or any response mismatches.
+//
+// With no --port, the tool self-hosts: it generates a planted-graph
+// fixture, writes it as .fgrbin, and runs an in-process FgrServer on an
+// ephemeral port — so CI needs no separately managed daemon. With --port
+// (and --dataset) it drives an external fgrd instead.
+//
+// --json writes google-benchmark-shaped JSON with the cases
+//   BM_ServeLoadtest/clients:<N>/p50 and .../p99  (time_unit ns)
+// plus qps/requests/dropped counters, which bench_orchestrator.py merges
+// into the BENCH_serve.json trajectory and perf_gate.py gates on
+// (serve_loadtest_tail: p99 <= 20x p50).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "fgr/fgr.h"
+#include "util/check.h"
+
+namespace fgr {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: fgr_loadtest [--clients N] [--duration S] [--restarts R]\n"
+      "                    [--lmax L] [--nodes N] [--workers W]\n"
+      "                    [--json out.json]\n"
+      "                    [--host H --port P --dataset path.fgrbin]\n");
+  return 2;
+}
+
+// Nearest-rank quantile over sorted nanosecond latencies.
+std::int64_t QuantileNs(const std::vector<std::int64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+// The response fragment that must match bit for bit across every request:
+// from the "h" key through the matrix's closing "]]".
+Result<std::string> HSlice(const std::string& response) {
+  const std::size_t begin = response.find("\"h\":[[");
+  if (begin == std::string::npos) {
+    return Status::Internal("response has no \"h\" matrix: " + response);
+  }
+  const std::size_t end = response.find("]]", begin);
+  if (end == std::string::npos) {
+    return Status::Internal("unterminated \"h\" matrix");
+  }
+  return response.substr(begin, end + 2 - begin);
+}
+
+struct LoadtestConfig {
+  int clients = 64;
+  double duration_seconds = 10.0;
+  std::int64_t restarts = 4;
+  std::int64_t lmax = 4;
+  std::int64_t nodes = 20000;
+  int workers = 0;  // 0: hardware concurrency
+  std::string json_path;
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0: self-host an in-process server
+  std::string dataset;
+};
+
+struct LoadtestTotals {
+  std::int64_t requests = 0;
+  std::int64_t dropped = 0;
+  std::int64_t mismatched = 0;
+  double elapsed_seconds = 0.0;
+  std::vector<std::int64_t> latencies_ns;  // sorted
+};
+
+std::string EstimateRequestLine(const LoadtestConfig& config) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("v").Value(kServeProtocolVersion);
+  writer.Key("op").Value("estimate");
+  writer.Key("dataset").Value(config.dataset);
+  writer.Key("restarts").Value(config.restarts);
+  writer.Key("lmax").Value(config.lmax);
+  writer.EndObject();
+  return writer.Take();
+}
+
+int RunLoadtest(const LoadtestConfig& config, const std::string& reference_h,
+                LoadtestTotals* totals) {
+  const std::string request = EstimateRequestLine(config);
+  std::atomic<std::int64_t> requests{0}, dropped{0}, mismatched{0};
+  std::mutex latency_mutex;
+  std::vector<std::int64_t> all_latencies;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(config.duration_seconds));
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config.clients));
+  for (int c = 0; c < config.clients; ++c) {
+    threads.emplace_back([&] {
+      auto client = LineClient::Connect(config.host, config.port);
+      if (!client.ok()) {
+        dropped.fetch_add(1);
+        return;
+      }
+      std::vector<std::int64_t> local;
+      while (std::chrono::steady_clock::now() < deadline) {
+        const auto sent = std::chrono::steady_clock::now();
+        auto response = client.value().Exchange(request);
+        const auto received = std::chrono::steady_clock::now();
+        if (!response.ok()) {
+          dropped.fetch_add(1);
+          break;  // the connection is gone; this client is done
+        }
+        requests.fetch_add(1);
+        local.push_back(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            received - sent)
+                            .count());
+        auto h = HSlice(response.value());
+        if (!h.ok() || h.value() != reference_h) {
+          mismatched.fetch_add(1);
+        }
+      }
+      std::lock_guard<std::mutex> lock(latency_mutex);
+      all_latencies.insert(all_latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::sort(all_latencies.begin(), all_latencies.end());
+  totals->requests = requests.load();
+  totals->dropped = dropped.load();
+  totals->mismatched = mismatched.load();
+  totals->elapsed_seconds = elapsed;
+  totals->latencies_ns = std::move(all_latencies);
+  return 0;
+}
+
+Status WriteLoadtestJson(const LoadtestConfig& config,
+                         const LoadtestTotals& totals, std::int64_t p50_ns,
+                         std::int64_t p99_ns, double qps) {
+  // Provenance the same way the table benches stamp it.
+  const BenchRunJson provenance = MakeBenchRun("fgr_loadtest");
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("context").BeginObject();
+  writer.Key("date").Value(provenance.timestamp_utc);
+  writer.Key("host_name").Value(provenance.hostname);
+  writer.Key("num_cpus")
+      .Value(static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  writer.Key("library_build_type").Value("release");
+  writer.EndObject();
+  writer.Key("benchmarks").BeginArray();
+  const std::pair<const char*, std::int64_t> cases[] = {
+      {"p50", p50_ns}, {"p99", p99_ns}};
+  for (const auto& entry : cases) {
+    writer.BeginObject();
+    writer.Key("name").Value("BM_ServeLoadtest/clients:" +
+                             std::to_string(config.clients) + "/" +
+                             entry.first);
+    writer.Key("run_type").Value("iteration");
+    writer.Key("iterations").Value(totals.requests);
+    writer.Key("real_time").Value(static_cast<double>(entry.second));
+    writer.Key("cpu_time").Value(static_cast<double>(entry.second));
+    writer.Key("time_unit").Value("ns");
+    writer.Key("counters").BeginObject();
+    writer.Key("qps").Value(qps);
+    writer.Key("requests").Value(totals.requests);
+    writer.Key("dropped").Value(totals.dropped);
+    writer.Key("clients").Value(config.clients);
+    writer.EndObject();
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+
+  std::ofstream out(config.json_path, std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot write " + config.json_path);
+  }
+  out << writer.str() << "\n";
+  return Status::Ok();
+}
+
+int Main(int argc, char** argv) {
+  LoadtestConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--clients" && has_value) {
+      config.clients = std::atoi(argv[++i]);
+    } else if (arg == "--duration" && has_value) {
+      config.duration_seconds = std::atof(argv[++i]);
+    } else if (arg == "--restarts" && has_value) {
+      config.restarts = std::atoll(argv[++i]);
+    } else if (arg == "--lmax" && has_value) {
+      config.lmax = std::atoll(argv[++i]);
+    } else if (arg == "--nodes" && has_value) {
+      config.nodes = std::atoll(argv[++i]);
+    } else if (arg == "--workers" && has_value) {
+      config.workers = std::atoi(argv[++i]);
+    } else if (arg == "--json" && has_value) {
+      config.json_path = argv[++i];
+    } else if (arg == "--host" && has_value) {
+      config.host = argv[++i];
+    } else if (arg == "--port" && has_value) {
+      config.port = std::atoi(argv[++i]);
+    } else if (arg == "--dataset" && has_value) {
+      config.dataset = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  if (config.clients < 1 || config.duration_seconds <= 0.0 ||
+      config.restarts < 1 || config.lmax < 1 || config.nodes < 100 ||
+      config.port < 0 || config.port > 65535) {
+    return Usage();
+  }
+  if (config.port != 0 && config.dataset.empty()) {
+    std::fprintf(stderr, "fgr_loadtest: --port needs --dataset\n");
+    return Usage();
+  }
+
+  // Self-host when no external daemon was named: a planted fixture plus an
+  // in-process server on an ephemeral port.
+  std::unique_ptr<FgrServer> server;
+  std::string fixture_path;
+  if (config.port == 0) {
+    Rng rng(97);
+    auto planted = GeneratePlantedGraph(
+        MakeSkewConfig(config.nodes, 8.0, 3, 3.0), rng);
+    FGR_CHECK(planted.ok()) << planted.status().ToString();
+    LabeledGraph fixture;
+    fixture.name = "loadtest";
+    fixture.graph = std::move(planted.value().graph);
+    fixture.labels = SampleStratifiedSeeds(planted.value().labels, 0.05, rng);
+    fixture_path =
+        (std::filesystem::temp_directory_path() /
+         ("fgr_loadtest_" + std::to_string(::getpid()) + ".fgrbin"))
+            .string();
+    FGR_CHECK(WriteFgrBin(fixture, fixture_path).ok());
+    config.dataset = fixture_path;
+
+    ServerOptions options;
+    options.port = 0;
+    options.worker_threads =
+        config.workers > 0
+            ? config.workers
+            : std::max(2u, std::thread::hardware_concurrency());
+    // Admission control must never shed a well-behaved closed loop: each
+    // connection has at most one request in flight, so the queue can hold
+    // at most `clients` entries.
+    options.queue_high_water = std::max(256, 2 * config.clients);
+    options.persist_summaries = false;
+    server = std::make_unique<FgrServer>(options);
+    const Status started = server->Start();
+    FGR_CHECK(started.ok()) << started.ToString();
+    config.host = server->host();
+    config.port = server->port();
+  }
+
+  // The warm reference answer every response must reproduce byte for byte.
+  std::string reference_h;
+  {
+    auto client = LineClient::Connect(config.host, config.port);
+    if (!client.ok()) {
+      std::fprintf(stderr, "fgr_loadtest: connect %s:%d: %s\n",
+                   config.host.c_str(), config.port,
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    const std::string request = EstimateRequestLine(config);
+    for (int warm = 0; warm < 2; ++warm) {
+      auto response = client.value().Exchange(request);
+      if (!response.ok()) {
+        std::fprintf(stderr, "fgr_loadtest: warmup: %s\n",
+                     response.status().ToString().c_str());
+        return 1;
+      }
+      auto h = HSlice(response.value());
+      if (!h.ok()) {
+        std::fprintf(stderr, "fgr_loadtest: warmup: %s\n",
+                     h.status().ToString().c_str());
+        return 1;
+      }
+      reference_h = std::move(h).value();
+    }
+  }
+
+  LoadtestTotals totals;
+  RunLoadtest(config, reference_h, &totals);
+
+  const std::int64_t p50_ns = QuantileNs(totals.latencies_ns, 0.50);
+  const std::int64_t p99_ns = QuantileNs(totals.latencies_ns, 0.99);
+  const double qps = totals.elapsed_seconds > 0.0
+                         ? static_cast<double>(totals.requests) /
+                               totals.elapsed_seconds
+                         : 0.0;
+  std::printf(
+      "fgr_loadtest: %d clients, %.1fs: %lld requests (%.0f qps), "
+      "%lld dropped, %lld mismatched, p50 %.3f ms, p99 %.3f ms\n",
+      config.clients, totals.elapsed_seconds,
+      static_cast<long long>(totals.requests), qps,
+      static_cast<long long>(totals.dropped),
+      static_cast<long long>(totals.mismatched),
+      static_cast<double>(p50_ns) / 1e6, static_cast<double>(p99_ns) / 1e6);
+
+  if (!config.json_path.empty()) {
+    const Status written =
+        WriteLoadtestJson(config, totals, p50_ns, p99_ns, qps);
+    if (!written.ok()) {
+      std::fprintf(stderr, "fgr_loadtest: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("fgr_loadtest: wrote %s\n", config.json_path.c_str());
+  }
+
+  if (server != nullptr) {
+    server->Stop();
+    std::error_code ignored;
+    std::filesystem::remove(fixture_path, ignored);
+  }
+  return totals.dropped == 0 && totals.mismatched == 0 && totals.requests > 0
+             ? 0
+             : 1;
+}
+
+}  // namespace
+}  // namespace fgr
+
+int main(int argc, char** argv) { return fgr::Main(argc, argv); }

@@ -2,22 +2,34 @@
 //
 //   fgrd [--port N] [--host A.B.C.D] [--workers W] [--threads T]
 //        [--budget MB] [--streaming-budget MB] [--preload a.fgrbin,b.fgrbin]
-//        [--no-summaries]
+//        [--no-summaries] [--request-timeout-ms N] [--idle-timeout-ms N]
+//        [--max-write-buffer MB] [--queue-high-water N]
+//        [--drain-timeout-ms N] [--dump-metrics-on-exit]
 //
-// Serves estimate / label / stats / datasets requests over a line-delimited
-// JSON TCP protocol (see src/serve/protocol.h). Datasets are .fgrbin caches
-// referenced by path in each request; hot ones stay mmap-resident under
-// --budget, and per-dataset summarization statistics persist as .fgrsum
-// sidecars so a repeated estimate query skips the graph pass entirely.
+// Serves estimate / label / stats / datasets / metrics requests over a
+// line-delimited JSON TCP protocol (see src/serve/protocol.h). Datasets are
+// .fgrbin caches referenced by path in each request; hot ones stay
+// mmap-resident under --budget, and per-dataset summarization statistics
+// persist as .fgrsum sidecars so a repeated estimate query skips the graph
+// pass entirely. One epoll event thread owns every socket; --workers sizes
+// the compute pool behind it.
 //
 //   --port 0 picks an ephemeral port; the bound port is printed on the
 //     "fgrd: serving on host:port" line (flushed, scrapeable).
 //   --threads pins the compute-kernel thread count (fgr::SetNumThreads).
 //     Precedence: --threads > FGR_NUM_THREADS > hardware concurrency.
-//   --workers sizes the connection worker pool (concurrent requests).
+//   --workers sizes the request worker pool (concurrent requests).
 //   --preload maps the listed caches before accepting traffic.
 //   --no-summaries disables writing .fgrsum sidecars (summaries are then
 //     cached in memory only).
+//   --request-timeout-ms / --idle-timeout-ms bound a request's service
+//     time and a connection's idle lifetime.
+//   --max-write-buffer caps a connection's unsent response backlog before
+//     it is evicted as a slow client.
+//   --queue-high-water is the admission-control threshold: queued
+//     requests beyond it are shed with an `overloaded` error.
+//   --drain-timeout-ms bounds the graceful drain on SIGTERM.
+//   --dump-metrics-on-exit prints the metrics JSON after shutdown.
 //
 // Query it with `fgr_cli query` or any line-JSON client:
 //   printf '{"op":"estimate","dataset":"g.fgrbin"}\n' | nc 127.0.0.1 7411
@@ -37,7 +49,10 @@ int Usage() {
       stderr,
       "usage: fgrd [--port N] [--host A.B.C.D] [--workers W] [--threads T]\n"
       "            [--budget MB] [--streaming-budget MB]\n"
-      "            [--preload a.fgrbin,b.fgrbin] [--no-summaries]\n");
+      "            [--preload a.fgrbin,b.fgrbin] [--no-summaries]\n"
+      "            [--request-timeout-ms N] [--idle-timeout-ms N]\n"
+      "            [--max-write-buffer MB] [--queue-high-water N]\n"
+      "            [--drain-timeout-ms N] [--dump-metrics-on-exit]\n");
   return 2;
 }
 
@@ -47,6 +62,7 @@ int main(int argc, char** argv) {
   fgr::ServerOptions options;
   std::vector<std::string> preload;
   long long threads = 0;
+  bool dump_metrics = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -66,20 +82,36 @@ int main(int argc, char** argv) {
       preload = fgr::SplitCommaList(argv[++i]);
     } else if (arg == "--no-summaries") {
       options.persist_summaries = false;
+    } else if (arg == "--request-timeout-ms" && has_value) {
+      options.request_timeout_ms = std::atoll(argv[++i]);
+    } else if (arg == "--idle-timeout-ms" && has_value) {
+      options.idle_timeout_ms = std::atoll(argv[++i]);
+    } else if (arg == "--max-write-buffer" && has_value) {
+      options.max_write_buffer_bytes = std::atoll(argv[++i]) << 20;
+    } else if (arg == "--queue-high-water" && has_value) {
+      options.queue_high_water = std::atoi(argv[++i]);
+    } else if (arg == "--drain-timeout-ms" && has_value) {
+      options.drain_timeout_ms = std::atoll(argv[++i]);
+    } else if (arg == "--dump-metrics-on-exit") {
+      dump_metrics = true;
     } else {
       return Usage();
     }
   }
   if (options.port < 0 || options.port > 65535 ||
       options.worker_threads < 1 || options.dataset_budget_bytes < 0 ||
-      options.streaming_budget_bytes < 1 || threads < 0) {
+      options.streaming_budget_bytes < 1 || threads < 0 ||
+      options.request_timeout_ms < 1 || options.idle_timeout_ms < 1 ||
+      options.max_write_buffer_bytes < 1 || options.queue_high_water < 1 ||
+      options.drain_timeout_ms < 0) {
     return Usage();
   }
   // --threads wins over FGR_NUM_THREADS, which wins over the hardware
   // count (see util/parallel.h).
   if (threads > 0) fgr::SetNumThreads(static_cast<int>(threads));
 
-  const fgr::Status status = fgr::RunDaemon("fgrd", options, preload);
+  const fgr::Status status =
+      fgr::RunDaemon("fgrd", options, preload, dump_metrics);
   if (!status.ok()) {
     std::fprintf(stderr, "fgrd: %s\n", status.ToString().c_str());
     return 1;

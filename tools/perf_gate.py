@@ -2,8 +2,9 @@
 """CI perf gate: ratio invariants over the bench harness's JSON output.
 
 The gate checks *within-run ratios* (1->4-thread SpMM speedup, streamed
-vs in-core summarization overhead, serve warm/cold latency ratio — see
-bench_lib.DEFAULT_GATES), which encode "the optimization still exists"
+vs in-core summarization overhead, serve warm/cold latency ratio, and
+the loadtest p99/p50 tail ratio — see bench_lib.DEFAULT_GATES), which
+encode "the optimization still exists"
 and are robust to absolute runner speed. It can additionally compare the
 run against the committed BENCH_*.json baselines, advisory by default
 because absolute cross-host timings are noisy.
@@ -11,7 +12,8 @@ because absolute cross-host timings are noisy.
 Inputs, in precedence order:
   --results-dir DIR   a bench/results/<host>/<ts>/ directory produced by
                       tools/bench_orchestrator.py (reads
-                      bench_micro_kernels.json)
+                      bench_micro_kernels.json, plus fgr_loadtest.json
+                      when the load test ran)
   --micro-json PATH   a raw google-benchmark JSON file
   --trajectories DIR  BENCH_micro.json / BENCH_serve.json latest runs
 
@@ -62,19 +64,34 @@ def parse_args(argv):
 def load_metrics(args):
     """Returns ({kind: metrics}, num_cpus)."""
     micro_json = args.micro_json
-    if args.results_dir and not micro_json:
-        candidate = os.path.join(args.results_dir,
-                                 "bench_micro_kernels.json")
-        if not os.path.exists(candidate):
-            raise FileNotFoundError(candidate)
-        micro_json = candidate
-    if micro_json:
-        obj = bench_lib.load_json(micro_json)
-        if not bench_lib.is_google_benchmark_json(obj):
-            raise ValueError("%s is not google-benchmark JSON" % micro_json)
-        provenance, micro, serve = bench_lib.normalize_google_benchmark(obj)
-        return ({bench_lib.MICRO: micro, bench_lib.SERVE: serve},
-                provenance.get("num_cpus"))
+    loadtest_json = None
+    if args.results_dir:
+        candidate = os.path.join(args.results_dir, "fgr_loadtest.json")
+        if os.path.exists(candidate):
+            loadtest_json = candidate
+        if not micro_json:
+            candidate = os.path.join(args.results_dir,
+                                     "bench_micro_kernels.json")
+            if os.path.exists(candidate):
+                micro_json = candidate
+            elif not loadtest_json:
+                # Neither file: the dir holds nothing the gates can read.
+                raise FileNotFoundError(candidate)
+    if micro_json or loadtest_json:
+        micro, serve, num_cpus = {}, {}, None
+        for path in (micro_json, loadtest_json):
+            if not path:
+                continue
+            obj = bench_lib.load_json(path)
+            if not bench_lib.is_google_benchmark_json(obj):
+                raise ValueError("%s is not google-benchmark JSON" % path)
+            provenance, part_micro, part_serve = \
+                bench_lib.normalize_google_benchmark(obj)
+            micro.update(part_micro)
+            serve.update(part_serve)
+            if num_cpus is None:
+                num_cpus = provenance.get("num_cpus")
+        return {bench_lib.MICRO: micro, bench_lib.SERVE: serve}, num_cpus
     if args.trajectories:
         metrics = {}
         for kind in (bench_lib.MICRO, bench_lib.SERVE):
@@ -170,6 +187,10 @@ def healthy_template():
                                                  "cpu_time_s": 245e-3},
         "BM_ServeQueryWarm/n:100000/threads:1": {"real_time_s": 0.45e-3,
                                                  "cpu_time_s": 0.45e-3},
+        "BM_ServeLoadtest/clients:64/p50": {"real_time_s": 2.0e-3,
+                                            "cpu_time_s": 2.0e-3},
+        "BM_ServeLoadtest/clients:64/p99": {"real_time_s": 6.6e-3,
+                                            "cpu_time_s": 6.6e-3},
     }
     return {bench_lib.MICRO: micro, bench_lib.SERVE: serve}
 
@@ -217,6 +238,22 @@ def self_test():
     check(bench_lib.evaluate_gate(serve_gate, lost,
                                   num_cpus=4).status == "fail",
           "gate %s trips when the summary cache is lost" % serve_gate.name)
+
+    # serve_loadtest_tail bounds p99/p50 at 20x: ordinary 2x tail jitter
+    # must pass, while a stalled event loop (tail blown out ~40x while
+    # p50 holds) must trip.
+    tail_gate = bench_lib.DEFAULT_GATES[3]
+    tail = bench_lib.gate_regression_side(tail_gate)
+    tail_jitter = copy.deepcopy(template)
+    tail_jitter[tail_gate.kind][tail]["real_time_s"] *= 2.0
+    check(bench_lib.evaluate_gate(tail_gate, tail_jitter,
+                                  num_cpus=4).status == "pass",
+          "gate %s tolerates 2x tail jitter" % tail_gate.name)
+    stalled = copy.deepcopy(template)
+    stalled[tail_gate.kind][tail]["real_time_s"] *= 40.0
+    check(bench_lib.evaluate_gate(tail_gate, stalled,
+                                  num_cpus=4).status == "fail",
+          "gate %s trips when the tail blows out 40x" % tail_gate.name)
 
     # The cross-run baseline comparator guarantees the literal 2x contract
     # for EVERY metric (including ones the loose ratio bounds tolerate):
