@@ -81,6 +81,87 @@ BENCHMARK(BM_SpMM)
     ->ArgsProduct({{100000}, {5}, {1, 2, 4, 8}})
     ->ArgNames({"n", "k", "threads"});
 
+// Kernel-variant dimension: the same SpMM / transpose SpMM with the ISA
+// pinned via SetKernelIsaForTest, so the dispatch cost and the SIMD win are
+// measured head to head on one binary. Cases are registered at runtime
+// (RegisterKernelIsaBenches) because the variant list depends on what this
+// build compiled in and this CPU supports:
+//   * isa:scalar — always, the portable baseline;
+//   * isa:best   — the widest supported variant, only when that is not
+//                  scalar (its SetLabel carries the actual ISA name);
+//   * isa:avx2 / isa:avx512 at k=5, threads:1 — each supported variant
+//     individually, so the trajectory can tell the two apart.
+// The perf gate's simd_spmm_speedup invariant reads the k=5/threads:1
+// scalar-vs-best pair (tools/bench_lib.py).
+void RunSpmmIsa(benchmark::State& state, kernels::Isa isa, std::int64_t n,
+                std::int64_t k, int threads, bool transposed) {
+  FGR_CHECK(kernels::SetKernelIsaForTest(isa))
+      << "variant " << kernels::IsaName(isa) << " unavailable";
+  const Fixture& fixture = SharedFixture(n, 25.0);
+  SetNumThreads(threads);
+  const DenseMatrix x = RandomBeliefs(n, k);
+  DenseMatrix out;
+  for (auto _ : state) {
+    if (transposed) {
+      fixture.graph.adjacency().MultiplyTransposed(x, &out);
+    } else {
+      fixture.graph.adjacency().Multiply(x, &out);
+    }
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  SetNumThreads(0);
+  kernels::ResetKernelIsaForTest();
+  state.SetLabel(kernels::IsaName(isa));
+  state.counters["edges_per_sec"] = benchmark::Counter(
+      static_cast<double>(fixture.graph.num_edges() * 2),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void RegisterSpmmIsaCase(const std::string& isa_label, kernels::Isa isa,
+                         std::int64_t n, std::int64_t k, int threads,
+                         bool transposed) {
+  const std::string name =
+      std::string(transposed ? "BM_SpMMTransposedIsa" : "BM_SpMMIsa") +
+      "/isa:" + isa_label + "/n:" + std::to_string(n) +
+      "/k:" + std::to_string(k) + "/threads:" + std::to_string(threads);
+  benchmark::RegisterBenchmark(name.c_str(),
+                               [isa, n, k, threads,
+                                transposed](benchmark::State& state) {
+                                 RunSpmmIsa(state, isa, n, k, threads,
+                                            transposed);
+                               });
+}
+
+void RegisterKernelIsaBenches() {
+  kernels::Isa best = kernels::Isa::kScalar;
+  if (kernels::IsaAvailable(kernels::Isa::kAvx2)) {
+    best = kernels::Isa::kAvx2;
+  }
+  if (kernels::IsaAvailable(kernels::Isa::kAvx512)) {
+    best = kernels::Isa::kAvx512;
+  }
+  std::vector<std::pair<std::string, kernels::Isa>> variants;
+  variants.emplace_back("scalar", kernels::Isa::kScalar);
+  if (best != kernels::Isa::kScalar) variants.emplace_back("best", best);
+  for (const auto& [label, isa] : variants) {
+    for (std::int64_t k : {2, 5, 10}) {
+      for (int threads : {1, 4}) {
+        RegisterSpmmIsaCase(label, isa, 100000, k, threads, false);
+      }
+    }
+    for (int threads : {1, 4}) {
+      RegisterSpmmIsaCase(label, isa, 100000, 5, threads, true);
+    }
+  }
+  // Each supported SIMD variant under its own name, single-threaded k=5.
+  if (kernels::IsaAvailable(kernels::Isa::kAvx2)) {
+    RegisterSpmmIsaCase("avx2", kernels::Isa::kAvx2, 100000, 5, 1, false);
+  }
+  if (kernels::IsaAvailable(kernels::Isa::kAvx512)) {
+    RegisterSpmmIsaCase("avx512", kernels::Isa::kAvx512, 100000, 5, 1, false);
+  }
+}
+
 void BM_SpMMTransposed(benchmark::State& state) {
   const Fixture& fixture = SharedFixture(state.range(0), 25.0);
   const std::int64_t k = state.range(1);
@@ -483,6 +564,7 @@ BENCHMARK(BM_DeterministicShuffle)
 // --benchmark_out=<path> --benchmark_out_format=json and the orchestrator
 // normalizes that schema alongside the table benches' (bench_util.h).
 int main(int argc, char** argv) {
+  fgr::RegisterKernelIsaBenches();
   std::vector<char*> args;
   std::vector<std::string> owned;
   args.reserve(static_cast<std::size_t>(argc) + 2);

@@ -1,8 +1,10 @@
 #include "core/path_stats.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
+#include "util/arena.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
@@ -72,7 +74,15 @@ PanelSummarizer::PanelSummarizer(const Labeling& seeds, int max_length,
                                  PathType path_type)
     : seeds_(seeds), max_length_(max_length), path_type_(path_type) {
   FGR_CHECK_GE(max_length, 1);
-  x_ = seeds_.ToOneHot();
+  // The recurrence state (x_, n_curr_/n_prev_/n_prev2_) never leaves the
+  // summarizer, so it uses the padded row stride: every row starts on a
+  // cache-line boundary for the SIMD SpMM. Results are unaffected — only
+  // the k×k fold output (m_raw_) escapes, and that stays dense.
+  const DenseMatrix one_hot = seeds_.ToOneHot();
+  x_ = DenseMatrix::WithPaddedStride(one_hot.rows(), one_hot.cols());
+  for (std::int64_t i = 0; i < one_hot.rows(); ++i) {
+    std::copy_n(one_hot.RowPtr(i), one_hot.cols(), x_.RowPtr(i));
+  }
   degrees_.assign(static_cast<std::size_t>(seeds_.num_nodes()), 0.0);
   m_raw_.reserve(static_cast<std::size_t>(max_length));
 }
@@ -85,7 +95,7 @@ void PanelSummarizer::BeginPass(int length) {
   current_length_ = length;
   next_row_ = 0;
   if (n_curr_.rows() != x_.rows() || n_curr_.cols() != x_.cols()) {
-    n_curr_ = DenseMatrix(x_.rows(), x_.cols());
+    n_curr_ = DenseMatrix::WithPaddedStride(x_.rows(), x_.cols());
   }
   m_raw_.emplace_back(seeds_.num_classes(), seeds_.num_classes());
 }
@@ -140,12 +150,12 @@ void PanelSummarizer::FoldClassCounts(std::int64_t row_begin,
   const std::int64_t k = seeds_.num_classes();
   DenseMatrix& m = m_raw_.back();
   const auto accumulate = [&](std::int64_t lo, std::int64_t hi,
-                              DenseMatrix* target) {
+                              double* target) {
     for (std::int64_t i = lo; i < hi; ++i) {
       const ClassId c = seeds_.label(static_cast<NodeId>(i));
       if (c == kUnlabeled) continue;
       const double* n_row = n_curr_.RowPtr(i);
-      double* m_row = target->RowPtr(c);
+      double* m_row = target + c * k;
       for (std::int64_t j = 0; j < k; ++j) m_row[j] += n_row[j];
     }
   };
@@ -154,17 +164,30 @@ void PanelSummarizer::FoldClassCounts(std::int64_t row_begin,
     // Serial: accumulate straight into M, node by node in row order. Every
     // panel shape then produces the exact same addition sequence as the
     // in-core whole-matrix pass — bit-identical, not merely close.
-    accumulate(row_begin, row_end, &m);
+    accumulate(row_begin, row_end, m.RowPtr(0));
     return;
   }
-  std::vector<DenseMatrix> partials(static_cast<std::size_t>(shards),
-                                    DenseMatrix(k, k));
+  // Per-shard k×k partials come from the calling thread's arena, so the
+  // streaming path folds thousands of panels with zero steady-state heap
+  // allocations; combining in shard order keeps the historical order of
+  // additions into M (deterministic for a fixed thread count).
+  ArenaScope scope(ThreadLocalArena());
+  const std::size_t kk = static_cast<std::size_t>(k * k);
+  double* partials =
+      scope.AllocateArray<double>(static_cast<std::size_t>(shards) * kk);
+  std::fill(partials, partials + static_cast<std::size_t>(shards) * kk, 0.0);
   ParallelForShards(row_begin, row_end, shards,
                     [&](std::int64_t lo, std::int64_t hi, int shard) {
                       accumulate(lo, hi,
-                                 &partials[static_cast<std::size_t>(shard)]);
+                                 partials + static_cast<std::size_t>(shard) * kk);
                     });
-  for (const DenseMatrix& partial : partials) m.Add(partial);
+  for (int shard = 0; shard < shards; ++shard) {
+    const double* partial = partials + static_cast<std::size_t>(shard) * kk;
+    for (std::int64_t c = 0; c < k; ++c) {
+      double* m_row = m.RowPtr(c);
+      for (std::int64_t j = 0; j < k; ++j) m_row[j] += partial[c * k + j];
+    }
+  }
 }
 
 void PanelSummarizer::EndPass() {

@@ -49,6 +49,7 @@
 #include "graph/labels.h"
 #include "matrix/dense.h"
 #include "matrix/hashimoto.h"
+#include "matrix/kernels/kernels.h"
 #include "matrix/sparse.h"
 #include "matrix/spectral.h"
 #include "opt/gradient_descent.h"
@@ -62,6 +63,8 @@
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/summary_cache.h"
+#include "util/aligned.h"
+#include "util/arena.h"
 #include "util/bench_json.h"
 #include "util/env.h"
 #include "util/parallel.h"

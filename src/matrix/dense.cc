@@ -6,6 +6,19 @@
 
 namespace fgr {
 
+DenseMatrix DenseMatrix::WithPaddedStride(Index rows, Index cols) {
+  DenseMatrix result;
+  FGR_CHECK_GE(rows, 0);
+  FGR_CHECK_GE(cols, 0);
+  result.rows_ = rows;
+  result.cols_ = cols;
+  // 8 doubles = 64 bytes: rounding the stride to a full cache line keeps
+  // every row start on the buffer's 64-byte alignment.
+  result.stride_ = cols == 0 ? 0 : (cols + 7) / 8 * 8;
+  result.data_.assign(static_cast<std::size_t>(rows * result.stride_), 0.0);
+  return result;
+}
+
 DenseMatrix DenseMatrix::FromRows(
     std::initializer_list<std::initializer_list<double>> rows) {
   const Index r = static_cast<Index>(rows.size());
@@ -35,35 +48,56 @@ DenseMatrix DenseMatrix::Constant(Index rows, Index cols, double value) {
   return result;
 }
 
+// Writing the pad lanes in SetZero/Fill is allowed (they are storage, not
+// data); everything that *reads* must go row-wise below.
 void DenseMatrix::SetZero() { std::fill(data_.begin(), data_.end(), 0.0); }
 
 void DenseMatrix::Fill(double value) {
-  std::fill(data_.begin(), data_.end(), value);
+  for (Index i = 0; i < rows_; ++i) {
+    double* row = RowPtr(i);
+    for (Index j = 0; j < cols_; ++j) row[j] = value;
+  }
 }
 
 void DenseMatrix::Add(const DenseMatrix& other) {
   FGR_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  for (Index i = 0; i < rows_; ++i) {
+    double* row = RowPtr(i);
+    const double* o_row = other.RowPtr(i);
+    for (Index j = 0; j < cols_; ++j) row[j] += o_row[j];
+  }
 }
 
 void DenseMatrix::Sub(const DenseMatrix& other) {
   FGR_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  for (Index i = 0; i < rows_; ++i) {
+    double* row = RowPtr(i);
+    const double* o_row = other.RowPtr(i);
+    for (Index j = 0; j < cols_; ++j) row[j] -= o_row[j];
+  }
 }
 
 void DenseMatrix::Scale(double factor) {
-  for (double& value : data_) value *= factor;
+  for (Index i = 0; i < rows_; ++i) {
+    double* row = RowPtr(i);
+    for (Index j = 0; j < cols_; ++j) row[j] *= factor;
+  }
 }
 
 void DenseMatrix::AddScaled(const DenseMatrix& other, double factor) {
   FGR_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += factor * other.data_[i];
+  for (Index i = 0; i < rows_; ++i) {
+    double* row = RowPtr(i);
+    const double* o_row = other.RowPtr(i);
+    for (Index j = 0; j < cols_; ++j) row[j] += factor * o_row[j];
   }
 }
 
 void DenseMatrix::AddConstant(double value) {
-  for (double& entry : data_) entry += value;
+  for (Index i = 0; i < rows_; ++i) {
+    double* row = RowPtr(i);
+    for (Index j = 0; j < cols_; ++j) row[j] += value;
+  }
 }
 
 DenseMatrix DenseMatrix::Transpose() const {
@@ -105,19 +139,28 @@ DenseMatrix DenseMatrix::Power(int p) const {
 
 double DenseMatrix::FrobeniusNorm() const {
   double sum = 0.0;
-  for (double value : data_) sum += value * value;
+  for (Index i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    for (Index j = 0; j < cols_; ++j) sum += row[j] * row[j];
+  }
   return std::sqrt(sum);
 }
 
 double DenseMatrix::MaxAbs() const {
   double best = 0.0;
-  for (double value : data_) best = std::max(best, std::fabs(value));
+  for (Index i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    for (Index j = 0; j < cols_; ++j) best = std::max(best, std::fabs(row[j]));
+  }
   return best;
 }
 
 double DenseMatrix::Sum() const {
   double sum = 0.0;
-  for (double value : data_) sum += value;
+  for (Index i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    for (Index j = 0; j < cols_; ++j) sum += row[j];
+  }
   return sum;
 }
 

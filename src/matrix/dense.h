@@ -4,6 +4,17 @@
 // and for the k×k compatibility and statistics matrices. The class keeps the
 // operation set deliberately small and explicit; the heavy n-scale work goes
 // through SparseMatrix::Multiply (SpMM).
+//
+// Storage contract: the buffer is 64-byte aligned (AlignedAllocator), and
+// rows are laid out at a fixed `stride()` ≥ cols() doubles. The default
+// construction is dense (stride == cols, buffer size rows·cols — the shape
+// every serializer and bit-comparison relies on). WithPaddedStride() rounds
+// the stride up to a full cache line (8 doubles) so every row starts
+// 64-byte aligned; the pad lanes are storage only — no operation reads
+// them as data, and matrices that escape the process (serialized gold
+// labels, .fgrsum sidecars) stay unpadded. All element-wise operations
+// iterate row-wise in row-major order, so padded and unpadded operands
+// produce bit-identical results.
 
 #ifndef FGR_MATRIX_DENSE_H_
 #define FGR_MATRIX_DENSE_H_
@@ -13,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "util/aligned.h"
 #include "util/check.h"
 
 namespace fgr {
@@ -20,16 +32,24 @@ namespace fgr {
 class DenseMatrix {
  public:
   using Index = std::int64_t;
+  using Buffer = std::vector<double, AlignedAllocator<double, 64>>;
 
   // Zero-initialized rows×cols matrix. An empty (0×0) matrix is allowed and
   // is the default.
-  DenseMatrix() : rows_(0), cols_(0) {}
+  DenseMatrix() : rows_(0), cols_(0), stride_(0) {}
   DenseMatrix(Index rows, Index cols)
-      : rows_(rows), cols_(cols),
+      : rows_(rows), cols_(cols), stride_(cols),
         data_(static_cast<std::size_t>(rows * cols), 0.0) {
     FGR_CHECK_GE(rows, 0);
     FGR_CHECK_GE(cols, 0);
   }
+
+  // Zero-initialized matrix whose row stride is cols rounded up to a
+  // multiple of 8 doubles (one cache line), so every row starts 64-byte
+  // aligned. Use for internal scratch on SIMD hot paths only: data() then
+  // includes the pad lanes, so padded matrices must not be serialized or
+  // bit-compared against dense ones.
+  static DenseMatrix WithPaddedStride(Index rows, Index cols);
 
   // Builds from nested braces: DenseMatrix::FromRows({{1, 2}, {3, 4}}).
   static DenseMatrix FromRows(
@@ -40,27 +60,38 @@ class DenseMatrix {
 
   Index rows() const { return rows_; }
   Index cols() const { return cols_; }
+  // Doubles between consecutive row starts; stride() == cols() unless the
+  // matrix was built with WithPaddedStride.
+  Index stride() const { return stride_; }
   bool empty() const { return rows_ == 0 || cols_ == 0; }
 
   double operator()(Index i, Index j) const {
     FGR_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
-    return data_[static_cast<std::size_t>(i * cols_ + j)];
+    return data_[static_cast<std::size_t>(i * stride_ + j)];
   }
   double& operator()(Index i, Index j) {
     FGR_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
-    return data_[static_cast<std::size_t>(i * cols_ + j)];
+    return data_[static_cast<std::size_t>(i * stride_ + j)];
   }
 
   const double* RowPtr(Index i) const {
     FGR_DCHECK(i >= 0 && i < rows_);
-    return data_.data() + i * cols_;
+    return data_.data() + i * stride_;
   }
   double* RowPtr(Index i) {
     FGR_DCHECK(i >= 0 && i < rows_);
-    return data_.data() + i * cols_;
+    return data_.data() + i * stride_;
   }
 
-  const std::vector<double>& data() const { return data_; }
+  // The raw buffer start (row 0), with no row-range check — the kernel
+  // drivers use this to form base pointers for empty panels.
+  const double* raw() const { return data_.data(); }
+  double* raw() { return data_.data(); }
+
+  // The whole backing buffer, pad lanes included for padded matrices.
+  // Serializers and bit-for-bit comparisons use this on dense (unpadded)
+  // matrices, where it is exactly the rows·cols row-major payload.
+  const Buffer& data() const { return data_; }
 
   void SetZero();
   void Fill(double value);
@@ -99,7 +130,8 @@ class DenseMatrix {
  private:
   Index rows_;
   Index cols_;
-  std::vector<double> data_;
+  Index stride_;
+  Buffer data_;
 };
 
 // ‖a − b‖_F without materializing the difference.

@@ -1,0 +1,175 @@
+// Runtime kernel dispatch: resolves once (test pin → FGR_KERNEL → widest
+// CPU-supported variant), caches the table, and exposes the introspection
+// surface fgrd and `fgr_cli kernels` print. This TU is compiled for the
+// base target; only the variant TUs carry extended ISA flags.
+
+#include "matrix/kernels/kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace fgr {
+namespace kernels {
+
+const KernelTable& ScalarKernelTable();
+#ifdef FGR_HAVE_AVX2
+const KernelTable& Avx2KernelTable();
+#endif
+#ifdef FGR_HAVE_AVX512
+const KernelTable& Avx512KernelTable();
+#endif
+
+namespace {
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+bool CpuSupports(Isa isa) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+      // The AVX2 kernels use FMA, which is its own CPUID bit.
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case Isa::kAvx512:
+      return __builtin_cpu_supports("avx512f");
+  }
+  return false;
+#else
+  return isa == Isa::kScalar;
+#endif
+}
+
+const KernelTable* CompiledTable(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &ScalarKernelTable();
+    case Isa::kAvx2:
+#ifdef FGR_HAVE_AVX2
+      return &Avx2KernelTable();
+#else
+      return nullptr;
+#endif
+    case Isa::kAvx512:
+#ifdef FGR_HAVE_AVX512
+      return &Avx512KernelTable();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+Isa BestAvailable() {
+  if (IsaAvailable(Isa::kAvx512)) return Isa::kAvx512;
+  if (IsaAvailable(Isa::kAvx2)) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+// FGR_KERNEL=scalar|avx2|avx512|auto. Unknown values and unavailable
+// variants warn on stderr (once — Resolve runs once) and fall back to
+// auto, so a misconfigured environment degrades loudly but correctly.
+const KernelTable* Resolve() {
+  const char* env = std::getenv("FGR_KERNEL");
+  if (env != nullptr && *env != '\0' && std::strcmp(env, "auto") != 0) {
+    bool known = true;
+    Isa want = Isa::kScalar;
+    if (std::strcmp(env, "scalar") == 0) {
+      want = Isa::kScalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      want = Isa::kAvx2;
+    } else if (std::strcmp(env, "avx512") == 0) {
+      want = Isa::kAvx512;
+    } else {
+      known = false;
+      std::fprintf(stderr,
+                   "fgr: unknown FGR_KERNEL=%s (want scalar|avx2|avx512|auto);"
+                   " using auto\n",
+                   env);
+    }
+    if (known) {
+      if (IsaAvailable(want)) return CompiledTable(want);
+      std::fprintf(stderr,
+                   "fgr: FGR_KERNEL=%s %s on this build/CPU; falling back to"
+                   " %s\n",
+                   env, IsaCompiled(want) ? "unsupported" : "not compiled in",
+                   IsaName(BestAvailable()));
+    }
+  }
+  return CompiledTable(BestAvailable());
+}
+
+}  // namespace
+
+const KernelTable& ActiveKernels() {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    const KernelTable* resolved = Resolve();
+    const KernelTable* expected = nullptr;
+    if (!g_active.compare_exchange_strong(expected, resolved,
+                                          std::memory_order_acq_rel)) {
+      resolved = expected;  // another thread won the race
+    }
+    table = resolved;
+  }
+  return *table;
+}
+
+Isa ActiveIsa() { return ActiveKernels().isa; }
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool IsaCompiled(Isa isa) { return CompiledTable(isa) != nullptr; }
+
+bool IsaAvailable(Isa isa) { return IsaCompiled(isa) && CpuSupports(isa); }
+
+const KernelTable& KernelsFor(Isa isa) {
+  FGR_CHECK(IsaAvailable(isa))
+      << "kernel variant " << IsaName(isa) << " is unavailable";
+  return *CompiledTable(isa);
+}
+
+bool SetKernelIsaForTest(Isa isa) {
+  if (!IsaAvailable(isa)) return false;
+  g_active.store(CompiledTable(isa), std::memory_order_release);
+  return true;
+}
+
+void ResetKernelIsaForTest() {
+  g_active.store(nullptr, std::memory_order_release);
+}
+
+std::string DescribeKernels() {
+  std::ostringstream out;
+  out << "dispatched: " << IsaName(ActiveIsa());
+  const char* env = std::getenv("FGR_KERNEL");
+  if (env != nullptr && *env != '\0') out << " (FGR_KERNEL=" << env << ")";
+  out << "\n";
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+    out << IsaName(isa) << ": "
+        << (IsaCompiled(isa) ? "compiled" : "not compiled");
+    if (isa != Isa::kScalar && IsaCompiled(isa)) {
+      out << (CpuSupports(isa) ? ", cpu-supported" : ", no cpu support");
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace kernels
+}  // namespace fgr

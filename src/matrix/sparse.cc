@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "matrix/kernels/kernels.h"
+#include "util/arena.h"
 #include "util/parallel.h"
 
 namespace fgr {
@@ -16,37 +18,27 @@ void CsrPanelView::MultiplyInto(const DenseMatrix& x, DenseMatrix* out) const {
   FGR_CHECK(out != &x) << "SpMM output must not alias the input";
   FGR_CHECK_EQ(out->cols(), x.cols());
   FGR_CHECK_GE(out->rows(), first_row_ + rows_);
+  if (rows_ == 0) return;
   const Index k = x.cols();
-  const Index base = row_ptr_[0];
   // nnz-balanced shards: a row-count split stalls on hub rows of power-law
   // graphs; splitting by row_ptr prefix sums gives every worker the same
   // number of multiply-adds. Each row is still written by exactly one
-  // worker, so results stay bit-identical at any thread count. The weight
-  // accessor is a template parameter: unit-weight views (values_ == nullptr)
-  // get a loop with no values load at all, and 1.0·x == x exactly, so both
-  // instantiations produce identical bits.
-  const auto run = [&](auto value_at) {
-    ParallelForShards(
-        ShardByWeight(row_ptr_, rows_, NumShards(rows_)),
-        [&](Index row_begin, Index row_end, int /*shard*/) {
-          for (Index i = row_begin; i < row_end; ++i) {
-            double* out_row = out->RowPtr(first_row_ + i);
-            for (Index j = 0; j < k; ++j) out_row[j] = 0.0;
-            const Index begin = row_ptr_[i] - base;
-            const Index end = row_ptr_[i + 1] - base;
-            for (Index p = begin; p < end; ++p) {
-              const double v = value_at(p);
-              const double* x_row = x.RowPtr(col_idx_[p]);
-              for (Index j = 0; j < k; ++j) out_row[j] += v * x_row[j];
-            }
-          }
-        });
-  };
-  if (values_ == nullptr) {
-    run([](Index) { return 1.0; });
-  } else {
-    run([this](Index p) { return values_[p]; });
-  }
+  // worker, so results stay bit-identical at any thread count for a fixed
+  // kernel variant (dispatch: matrix/kernels). Unit-weight views
+  // (values_ == nullptr) take a kernel path with no values load at all;
+  // 1.0·x == x exactly, so unit and weighted panels agree bit for bit.
+  const kernels::KernelTable& kt = kernels::ActiveKernels();
+  const kernels::Csr csr{row_ptr_, col_idx_, values_};
+  const double* x_base = x.raw();
+  const Index x_stride = x.stride();
+  double* out_base = out->raw() + first_row_ * out->stride();
+  const Index out_stride = out->stride();
+  ParallelForShards(
+      ShardByWeight(row_ptr_, rows_, NumShards(rows_)),
+      [&](Index row_begin, Index row_end, int /*shard*/) {
+        kt.spmm(csr, row_begin, row_end, x_base, x_stride, out_base,
+                out_stride, k);
+      });
 }
 
 void CsrPanelView::MultiplyTransposedAddInto(const DenseMatrix& x,
@@ -62,66 +54,88 @@ void CsrPanelView::MultiplyTransposedAddInto(const DenseMatrix& x,
   // row-parallelism needs per-shard output buffers; they are combined in
   // shard order, which keeps results deterministic for a fixed thread
   // count. Shard boundaries are nnz-balanced so hub rows do not serialize
-  // the scatter.
-  const auto accumulate = [&](Index row_begin, Index row_end,
-                              DenseMatrix* target) {
-    const auto run = [&](auto value_at) {
-      for (Index i = row_begin; i < row_end; ++i) {
-        const double* x_row = x.RowPtr(first_row_ + i);
-        const Index begin = row_ptr_[i] - base;
-        const Index end = row_ptr_[i + 1] - base;
-        for (Index p = begin; p < end; ++p) {
-          const double v = value_at(p);
-          double* t_row = target->RowPtr(col_idx_[p]);
-          for (Index j = 0; j < k; ++j) t_row[j] += v * x_row[j];
-        }
-      }
-    };
-    if (values_ == nullptr) {
-      run([](Index) { return 1.0; });
-    } else {
-      run([this](Index p) { return values_[p]; });
-    }
-  };
+  // the scatter. The scatter is column-tiled: each shard's partial buffer
+  // covers one L2-sized tile of columns instead of a full cols×k matrix
+  // (the historical layout), and all scratch comes from the calling
+  // thread's arena so repeated calls perform no heap allocations. Columns
+  // ascend within each row, so per-row cursors sweep every entry exactly
+  // once across the ascending tiles, and each output row still receives
+  // its contributions in ascending source-row order — the serial
+  // full-width window is bit-identical to the historical direct scatter.
   const std::vector<Index> boundaries =
       ShardByWeight(row_ptr_, rows_, NumShards(rows_));
   const int shards = static_cast<int>(boundaries.size()) - 1;
   if (shards <= 0) return;
+  const kernels::KernelTable& kt = kernels::ActiveKernels();
+  const kernels::Csr csr{row_ptr_, col_idx_, values_};
+  const double* x_base = x.raw() + first_row_ * x.stride();
+  const Index x_stride = x.stride();
+  ArenaScope scope(ThreadLocalArena());
+  Index* cursors = scope.AllocateArray<Index>(static_cast<std::size_t>(rows_));
+  for (Index i = 0; i < rows_; ++i) cursors[i] = row_ptr_[i] - base;
   if (shards == 1) {
-    accumulate(boundaries[0], boundaries[1], out);
+    kt.spmm_t_add(csr, 0, rows_, cursors, x_base, x_stride, out->raw(),
+                  out->stride(), k, 0, cols_);
     return;
   }
-  std::vector<DenseMatrix> partials(static_cast<std::size_t>(shards),
-                                    DenseMatrix(cols_, k));
-  ParallelForShards(boundaries, [&](Index lo, Index hi, int shard) {
-    accumulate(lo, hi, &partials[static_cast<std::size_t>(shard)]);
-  });
-  ParallelFor(0, cols_, [&](Index i) {
-    double* out_row = out->RowPtr(i);
-    for (const DenseMatrix& partial : partials) {
-      const double* p_row = partial.RowPtr(i);
-      for (Index j = 0; j < k; ++j) out_row[j] += p_row[j];
-    }
-  });
+  // ~256 KB of scratch per shard: tall enough to amortize the per-tile
+  // fork/join, small enough to stay L2-resident during the scatter.
+  constexpr Index kTileScratchDoubles = 32768;
+  const Index tile_cols = std::min<Index>(
+      cols_, std::max<Index>(512, kTileScratchDoubles / std::max<Index>(k, 1)));
+  const Index tile_elems = tile_cols * k;
+  double* scratch = scope.AllocateArray<double>(
+      static_cast<std::size_t>(shards) * static_cast<std::size_t>(tile_elems));
+  bool* active = scope.AllocateArray<bool>(static_cast<std::size_t>(shards));
+  for (Index c0 = 0; c0 < cols_; c0 += tile_cols) {
+    const Index c1 = std::min(cols_, c0 + tile_cols);
+    ParallelForShards(boundaries, [&](Index lo, Index hi, int shard) {
+      // Entries before a cursor were consumed by earlier tiles, so the
+      // cursor's own column decides whether the shard has work here; idle
+      // shards skip the zeroing and are skipped again by the reduction.
+      bool has_work = false;
+      for (Index i = lo; i < hi; ++i) {
+        const Index p = cursors[i];
+        if (p < row_ptr_[i + 1] - base && col_idx_[p] < c1) {
+          has_work = true;
+          break;
+        }
+      }
+      active[shard] = has_work;
+      if (!has_work) return;
+      double* buf = scratch + shard * tile_elems;
+      std::fill(buf, buf + (c1 - c0) * k, 0.0);
+      kt.spmm_t_add(csr, lo, hi, cursors, x_base, x_stride, buf, k, k, c0, c1);
+    });
+    ParallelFor(c0, c1, [&](Index c) {
+      double* out_row = out->RowPtr(c);
+      for (int shard = 0; shard < shards; ++shard) {
+        if (!active[shard]) continue;
+        const double* p_row = scratch + shard * tile_elems + (c - c0) * k;
+        for (Index j = 0; j < k; ++j) out_row[j] += p_row[j];
+      }
+    });
+  }
 }
 
 void CsrPanelView::RowSumsInto(double* out) const {
-  const Index base = row_ptr_[0];
   if (values_ == nullptr) {
     // Unit weights: the row sum is the entry count. Small integers are
     // exact doubles, so this matches summing explicit 1.0s bit for bit.
+    // This fast path stays in the driver — the kernel tables only see
+    // weighted panels.
     ParallelFor(0, rows_, [&](Index i) {
       out[i] = static_cast<double>(row_ptr_[i + 1] - row_ptr_[i]);
     });
     return;
   }
-  ParallelFor(0, rows_, [&](Index i) {
-    double sum = 0.0;
-    const Index begin = row_ptr_[i] - base;
-    const Index end = row_ptr_[i + 1] - base;
-    for (Index p = begin; p < end; ++p) sum += values_[p];
-    out[i] = sum;
-  });
+  if (rows_ == 0) return;
+  const kernels::KernelTable& kt = kernels::ActiveKernels();
+  const kernels::Csr csr{row_ptr_, col_idx_, values_};
+  ParallelForShards(ShardByWeight(row_ptr_, rows_, NumShards(rows_)),
+                    [&](Index row_begin, Index row_end, int /*shard*/) {
+                      kt.row_sums(csr, row_begin, row_end, out);
+                    });
 }
 
 void CsrPanelView::MultiplyVectorInto(const std::vector<double>& x,
@@ -130,28 +144,15 @@ void CsrPanelView::MultiplyVectorInto(const std::vector<double>& x,
   FGR_CHECK(y != nullptr);
   FGR_CHECK(y != &x) << "SpMV output must not alias the input";
   FGR_CHECK_GE(static_cast<Index>(y->size()), first_row_ + rows_);
-  const Index base = row_ptr_[0];
-  const auto run = [&](auto value_at) {
-    ParallelForShards(
-        ShardByWeight(row_ptr_, rows_, NumShards(rows_)),
-        [&](Index row_begin, Index row_end, int /*shard*/) {
-          for (Index i = row_begin; i < row_end; ++i) {
-            double sum = 0.0;
-            const Index begin = row_ptr_[i] - base;
-            const Index end = row_ptr_[i + 1] - base;
-            for (Index p = begin; p < end; ++p) {
-              sum += value_at(p) *
-                     x[static_cast<std::size_t>(col_idx_[p])];
-            }
-            (*y)[static_cast<std::size_t>(first_row_ + i)] = sum;
-          }
-        });
-  };
-  if (values_ == nullptr) {
-    run([](Index) { return 1.0; });
-  } else {
-    run([this](Index p) { return values_[p]; });
-  }
+  if (rows_ == 0) return;
+  const kernels::KernelTable& kt = kernels::ActiveKernels();
+  const kernels::Csr csr{row_ptr_, col_idx_, values_};
+  const double* x_base = x.data();
+  double* y_base = y->data() + first_row_;
+  ParallelForShards(ShardByWeight(row_ptr_, rows_, NumShards(rows_)),
+                    [&](Index row_begin, Index row_end, int /*shard*/) {
+                      kt.spmv(csr, row_begin, row_end, x_base, y_base);
+                    });
 }
 
 SparseMatrix SparseMatrix::FromTriplets(Index rows, Index cols,

@@ -55,7 +55,9 @@ LinBpResult RunLinBp(const CsrPanelView& adjacency,
 
   const DenseMatrix x = seeds.ToOneHot();
   DenseMatrix f = x;
-  DenseMatrix wf(x.rows(), x.cols());  // W·F scratch
+  // W·F scratch never escapes, so it takes the SIMD-friendly padded row
+  // stride; f / f_next become result.beliefs and stay dense.
+  DenseMatrix wf = DenseMatrix::WithPaddedStride(x.rows(), x.cols());
   DenseMatrix f_next(x.rows(), x.cols());
 
   // Echo cancellation needs Ĥ² and the degree-scaled term.

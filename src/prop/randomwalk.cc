@@ -30,8 +30,11 @@ RandomWalkResult RunMultiRankWalk(const Graph& graph, const Labeling& seeds,
   const std::vector<double>& degrees = graph.degrees();
   RandomWalkResult result;
   DenseMatrix f = u;
-  DenseMatrix scaled(n, k);
-  DenseMatrix wf;
+  // SpMM scratch (degree-scaled operand and its product) never escapes —
+  // padded row stride for the SIMD kernels; f becomes result.scores and
+  // stays dense.
+  DenseMatrix scaled = DenseMatrix::WithPaddedStride(n, k);
+  DenseMatrix wf = DenseMatrix::WithPaddedStride(n, k);
   const double alpha = options.damping;
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {

@@ -22,6 +22,7 @@
 
 #include "core/dce.h"
 #include "data/streaming_estimation.h"
+#include "matrix/kernels/kernels.h"
 #include "prop/linbp.h"
 
 namespace fgr {
@@ -1115,6 +1116,8 @@ Status RunDaemon(const std::string& name, const ServerOptions& options,
       options.worker_threads,
       static_cast<long long>(options.dataset_budget_bytes >> 20),
       preload.size());
+  std::printf("%s: kernel backend: %s\n", name.c_str(),
+              kernels::IsaName(kernels::ActiveIsa()));
   std::fflush(stdout);  // scripts scrape the port from this line
 
   int received = 0;

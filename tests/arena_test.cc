@@ -1,0 +1,126 @@
+// Unit tests for the bump-pointer arena behind the kernel scratch buffers:
+// alignment guarantees, block reuse across Reset/scope exits (the
+// zero-steady-state-allocation property the hot paths rely on), the stats
+// counters that prove it, and scope nesting.
+
+#include <cstdint>
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "util/arena.h"
+
+namespace fgr {
+namespace {
+
+bool IsAligned(const void* p, std::size_t alignment) {
+  return reinterpret_cast<std::uintptr_t>(p) % alignment == 0;
+}
+
+TEST(ArenaTest, AllocationsAreCacheLineAligned) {
+  Arena arena;
+  // Odd sizes on purpose: the next allocation must still come back aligned.
+  for (std::size_t bytes : {1u, 3u, 17u, 64u, 65u, 1000u}) {
+    EXPECT_TRUE(IsAligned(arena.Allocate(bytes), Arena::kDefaultAlignment))
+        << bytes << " bytes";
+  }
+  EXPECT_TRUE(IsAligned(arena.AllocateArray<double>(7), 64));
+  EXPECT_TRUE(IsAligned(arena.AllocateArray<std::int64_t>(3), 64));
+}
+
+TEST(ArenaTest, ResetReusesTheSameBlock) {
+  Arena arena(/*min_block_bytes=*/1 << 12);
+  double* first = arena.AllocateArray<double>(100);
+  arena.Reset();
+  double* second = arena.AllocateArray<double>(100);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(arena.stats().blocks_allocated, 1u);
+}
+
+TEST(ArenaTest, StatsCountHeapBlocksSeparatelyFromAllocations) {
+  Arena arena(/*min_block_bytes=*/1 << 10);
+  for (int pass = 0; pass < 10; ++pass) {
+    arena.AllocateArray<double>(64);  // 512 B, fits the 1 KiB block
+    arena.AllocateArray<double>(32);
+    arena.Reset();
+  }
+  const Arena::Stats& stats = arena.stats();
+  EXPECT_EQ(stats.allocations, 20u);
+  EXPECT_EQ(stats.bytes_requested, 10u * (512 + 256));
+  EXPECT_EQ(stats.resets, 10u);
+  // The proof of steady-state reuse: ten passes, one heap block.
+  EXPECT_EQ(stats.blocks_allocated, 1u);
+  EXPECT_EQ(stats.bytes_reserved, 1u << 10);
+}
+
+TEST(ArenaTest, OversizedAllocationGetsItsOwnBlock) {
+  Arena arena(/*min_block_bytes=*/1 << 10);
+  void* big = arena.Allocate(1 << 14);  // 16 KiB > 1 KiB min block
+  EXPECT_TRUE(IsAligned(big, 64));
+  EXPECT_EQ(arena.stats().blocks_allocated, 1u);
+  EXPECT_GE(arena.stats().bytes_reserved, std::uint64_t{1} << 14);
+}
+
+TEST(ArenaTest, ScopeRewindsToItsWatermark) {
+  Arena arena(/*min_block_bytes=*/1 << 12);
+  double* outer = arena.AllocateArray<double>(8);
+  outer[0] = 1.0;
+  double* inner_first;
+  {
+    ArenaScope scope(arena);
+    inner_first = scope.AllocateArray<double>(16);
+    EXPECT_NE(inner_first, outer);
+  }
+  {
+    // A second scope at the same watermark reuses the same bytes.
+    ArenaScope scope(arena);
+    EXPECT_EQ(scope.AllocateArray<double>(16), inner_first);
+  }
+  // The outer allocation survived both scopes.
+  EXPECT_EQ(outer[0], 1.0);
+}
+
+TEST(ArenaTest, ScopesNest) {
+  Arena arena(/*min_block_bytes=*/1 << 12);
+  ArenaScope outer(arena);
+  double* a = outer.AllocateArray<double>(4);
+  double* b;
+  {
+    ArenaScope inner(arena);
+    b = inner.AllocateArray<double>(4);
+    EXPECT_NE(a, b);
+  }
+  // Inner scope released its bytes; the outer scope can claim them again.
+  EXPECT_EQ(outer.AllocateArray<double>(4), b);
+}
+
+TEST(ArenaTest, ScopeReuseAcrossBlockBoundaries) {
+  // A scope that spills into a second block must rewind cleanly and let the
+  // next scope walk the same block sequence.
+  Arena arena(/*min_block_bytes=*/1 << 10);
+  double* spill_first;
+  {
+    ArenaScope scope(arena);
+    scope.AllocateArray<double>(100);            // block 0
+    spill_first = scope.AllocateArray<double>(100);  // forces block 1
+  }
+  const std::uint64_t blocks = arena.stats().blocks_allocated;
+  {
+    ArenaScope scope(arena);
+    scope.AllocateArray<double>(100);
+    EXPECT_EQ(scope.AllocateArray<double>(100), spill_first);
+  }
+  EXPECT_EQ(arena.stats().blocks_allocated, blocks);
+}
+
+TEST(ArenaTest, ThreadLocalArenasAreDistinct) {
+  Arena* main_arena = &ThreadLocalArena();
+  Arena* worker_arena = nullptr;
+  std::thread worker([&] { worker_arena = &ThreadLocalArena(); });
+  worker.join();
+  EXPECT_NE(main_arena, worker_arena);
+  // Same thread, same arena.
+  EXPECT_EQ(main_arena, &ThreadLocalArena());
+}
+
+}  // namespace
+}  // namespace fgr

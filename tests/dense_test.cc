@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 namespace fgr {
 namespace {
@@ -139,6 +140,67 @@ TEST(DenseMatrixTest, AllCloseRespectsTolerance) {
   EXPECT_TRUE(AllClose(a, b, 1e-5));
   DenseMatrix c(2, 1);
   EXPECT_FALSE(AllClose(a, c));  // shape mismatch
+}
+
+TEST(DenseMatrixTest, StorageIsCacheLineAligned) {
+  // The SIMD kernels assume every matrix buffer starts on a cache line.
+  for (std::int64_t rows : {1, 3, 100}) {
+    DenseMatrix m(rows, 5);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.raw()) % 64, 0u);
+    DenseMatrix padded = DenseMatrix::WithPaddedStride(rows, 5);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(padded.raw()) % 64, 0u);
+  }
+}
+
+TEST(DenseMatrixTest, PaddedStrideRoundsUpToEightDoubles) {
+  EXPECT_EQ(DenseMatrix(4, 5).stride(), 5);
+  EXPECT_EQ(DenseMatrix::WithPaddedStride(4, 5).stride(), 8);
+  EXPECT_EQ(DenseMatrix::WithPaddedStride(4, 8).stride(), 8);
+  EXPECT_EQ(DenseMatrix::WithPaddedStride(4, 9).stride(), 16);
+  EXPECT_EQ(DenseMatrix::WithPaddedStride(4, 0).stride(), 0);
+  // Every row then starts on a cache-line boundary.
+  DenseMatrix m = DenseMatrix::WithPaddedStride(7, 5);
+  for (std::int64_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.RowPtr(i)) % 64, 0u) << i;
+  }
+}
+
+TEST(DenseMatrixTest, PaddingIsNeverReadAsData) {
+  // Poison the pad lanes; every reduction and element-wise op must produce
+  // exactly what the unpadded layout produces — NaN in any result means a
+  // pad lane leaked into the math.
+  DenseMatrix padded = DenseMatrix::WithPaddedStride(6, 5);
+  DenseMatrix dense(6, 5);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) {
+      const double v = static_cast<double>(i * 5 + j) - 13.5;
+      padded(i, j) = v;
+      dense(i, j) = v;
+    }
+    double* row = padded.RowPtr(i);
+    for (std::int64_t j = 5; j < padded.stride(); ++j) row[j] = std::nan("");
+  }
+  EXPECT_EQ(padded.Sum(), dense.Sum());
+  EXPECT_EQ(padded.FrobeniusNorm(), dense.FrobeniusNorm());
+  EXPECT_EQ(padded.MaxAbs(), dense.MaxAbs());
+  EXPECT_EQ(padded.RowSums(), dense.RowSums());
+  EXPECT_EQ(padded.ColSums(), dense.ColSums());
+  padded.Scale(2.0);
+  dense.Scale(2.0);
+  padded.AddConstant(1.0);
+  dense.AddConstant(1.0);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(padded(i, j), dense(i, j)) << i << "," << j;
+    }
+  }
+  const DenseMatrix h = DenseMatrix::FromRows({{1, 0, 0, 0, 1},
+                                               {0, 1, 0, 1, 0},
+                                               {0, 0, 2, 0, 0},
+                                               {0, 1, 0, 1, 0},
+                                               {1, 0, 0, 0, 1}});
+  EXPECT_EQ(padded.Multiply(h).data(), dense.Multiply(h).data());
+  EXPECT_EQ(padded.Transpose().data(), dense.Transpose().data());
 }
 
 TEST(DenseMatrixDeathTest, MultiplyShapeMismatchChecks) {

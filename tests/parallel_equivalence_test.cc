@@ -5,10 +5,12 @@
 // floating-point sums and must match within tolerance.
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "fgr/fgr.h"
 #include "gtest/gtest.h"
+#include "util/arena.h"
 #include "util/parallel.h"
 
 namespace fgr {
@@ -273,6 +275,103 @@ TEST(ParallelEquivalenceTest, EdgeListParsingMatchesAcrossThreadCounts) {
             serial.value().adjacency().col_idx());
   EXPECT_EQ(threaded.value().adjacency().values(),
             serial.value().adjacency().values());
+}
+
+class KernelIsaGuard {
+ public:
+  ~KernelIsaGuard() { kernels::ResetKernelIsaForTest(); }
+};
+
+// Relative agreement against the scalar variant (kernels.h contract).
+void ExpectWithinVariantTolerance(const DenseMatrix& scalar,
+                                  const DenseMatrix& simd) {
+  ASSERT_EQ(scalar.rows(), simd.rows());
+  ASSERT_EQ(scalar.cols(), simd.cols());
+  for (std::int64_t i = 0; i < scalar.rows(); ++i) {
+    for (std::int64_t j = 0; j < scalar.cols(); ++j) {
+      EXPECT_NEAR(scalar(i, j), simd(i, j),
+                  kernels::kKernelVariantTolerance *
+                      (1.0 + std::fabs(scalar(i, j))))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, KernelVariantsKeepThreadCountBitIdentity) {
+  // The PR 2 determinism contract, per variant: for any FIXED kernel ISA,
+  // row-partitioned SpMM/SpMV stay bit-identical across thread counts, and
+  // the SIMD results match scalar within the pinned tolerance.
+  ThreadGuard thread_guard;
+  KernelIsaGuard isa_guard;
+  const SparseMatrix w = RandomSparse(3000, 3000, 30000, 71);
+  const DenseMatrix x = RandomDense(3000, 5, 73);
+  Rng rng(79);
+  std::vector<double> xv(3000);
+  for (double& v : xv) v = rng.Uniform(-1.0, 1.0);
+
+  ASSERT_TRUE(kernels::SetKernelIsaForTest(kernels::Isa::kScalar));
+  SetNumThreads(1);
+  const DenseMatrix scalar_spmm = w.Multiply(x);
+  const DenseMatrix scalar_spmm_t = w.MultiplyTransposed(x);
+  std::vector<double> scalar_spmv;
+  w.MultiplyVector(xv, &scalar_spmv);
+
+  for (kernels::Isa isa :
+       {kernels::Isa::kScalar, kernels::Isa::kAvx2, kernels::Isa::kAvx512}) {
+    if (!kernels::IsaAvailable(isa)) continue;
+    ASSERT_TRUE(kernels::SetKernelIsaForTest(isa));
+    SetNumThreads(1);
+    const DenseMatrix serial_spmm = w.Multiply(x);
+    const DenseMatrix serial_spmm_t = w.MultiplyTransposed(x);
+    std::vector<double> serial_spmv;
+    w.MultiplyVector(xv, &serial_spmv);
+    if (isa == kernels::Isa::kScalar) {
+      // FGR_KERNEL=scalar is the historical code path, bit for bit.
+      ExpectBitIdentical(serial_spmm, scalar_spmm);
+      ExpectBitIdentical(serial_spmm_t, scalar_spmm_t);
+      EXPECT_EQ(serial_spmv, scalar_spmv);
+    } else {
+      ExpectWithinVariantTolerance(scalar_spmm, serial_spmm);
+      ExpectWithinVariantTolerance(scalar_spmm_t, serial_spmm_t);
+      ASSERT_EQ(scalar_spmv.size(), serial_spmv.size());
+      for (std::size_t i = 0; i < scalar_spmv.size(); ++i) {
+        EXPECT_NEAR(scalar_spmv[i], serial_spmv[i],
+                    kernels::kKernelVariantTolerance *
+                        (1.0 + std::fabs(scalar_spmv[i])))
+            << "spmv [" << i << "]";
+      }
+    }
+    for (int threads : {2, 4}) {
+      SetNumThreads(threads);
+      ExpectBitIdentical(w.Multiply(x), serial_spmm);
+      std::vector<double> threaded_spmv;
+      w.MultiplyVector(xv, &threaded_spmv);
+      EXPECT_EQ(threaded_spmv, serial_spmv);
+      // Sharded transpose reduction: tolerance, per the threading contract.
+      EXPECT_TRUE(
+          AllClose(w.MultiplyTransposed(x), serial_spmm_t, 1e-12));
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, TransposeScatterReusesArenaScratch) {
+  // Regression for the historical per-call allocation storm: every
+  // MultiplyTransposedAddInto used to build shards × DenseMatrix(cols, k)
+  // on the heap. The tiled version draws cursor/scratch space from the
+  // calling thread's arena, so repeated calls must not reserve new blocks.
+  ThreadGuard guard;
+  if (ParallelismEnabled()) SetNumThreads(4);
+  const SparseMatrix w = RandomSparse(3000, 2500, 40000, 83);
+  const DenseMatrix x = RandomDense(3000, 5, 89);
+  DenseMatrix out(2500, 5);
+  w.View().MultiplyTransposedAddInto(x, &out);  // warm the arena
+  const std::uint64_t blocks = ThreadLocalArena().stats().blocks_allocated;
+  const std::uint64_t bytes = ThreadLocalArena().stats().bytes_reserved;
+  for (int pass = 0; pass < 5; ++pass) {
+    w.View().MultiplyTransposedAddInto(x, &out);
+  }
+  EXPECT_EQ(ThreadLocalArena().stats().blocks_allocated, blocks);
+  EXPECT_EQ(ThreadLocalArena().stats().bytes_reserved, bytes);
 }
 
 TEST(ParallelEquivalenceTest, SummarizationMatchesAcrossThreadCounts) {

@@ -279,6 +279,23 @@ DEFAULT_GATES = (
         bound=20.0,
         description="p99 vs p50 serve latency under a 64-client load test",
     ),
+    # PR 8's SIMD kernel core: the widest-ISA SpMM must keep beating the
+    # scalar variant single-threaded (measured ~1.5-2x for k=5; losing
+    # vectorization makes best == scalar, ratio 1.0, well under the bound).
+    # The isa:best case is only registered when a SIMD variant is compiled
+    # in AND supported, so scalar-only builds report MISSING, not FAIL.
+    # NOTE: appended last on purpose — perf_gate.py's self-test indexes
+    # DEFAULT_GATES positionally.
+    Gate(
+        name="simd_spmm_speedup",
+        kind=MICRO,
+        numerator="BM_SpMMIsa/isa:scalar/n:100000/k:5/threads:1",
+        denominator="BM_SpMMIsa/isa:best/n:100000/k:5/threads:1",
+        op=">=",
+        bound=1.3,
+        description="scalar vs best-ISA SpMM speedup (n=100k, k=5, "
+                    "1 thread)",
+    ),
 )
 
 # Which metric a *regression* inflates, per gate op: a "<=" gate protects

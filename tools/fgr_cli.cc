@@ -139,8 +139,10 @@ int Usage() {
       "          [--lambda X] [--dce-seed N] [--port P] [--host H]\n"
       "  fgr_cli query label <dataset.fgrbin> <out> [--port P] [--host H]\n"
       "  fgr_cli query stats|datasets|metrics [--port P] [--host H]\n"
+      "  fgr_cli kernels\n"
       "(any subcommand: --threads N pins the kernel thread count;\n"
-      " precedence --threads > FGR_NUM_THREADS > hardware)\n");
+      " precedence --threads > FGR_NUM_THREADS > hardware;\n"
+      " FGR_KERNEL=scalar|avx2|avx512|auto forces the SIMD backend)\n");
   return 2;
 }
 
@@ -625,6 +627,13 @@ int RunServe(const Flags& flags) {
   return 0;
 }
 
+// Prints the dispatched kernel backend and which variants this build /
+// machine can run — the first line is what CI publishes to the job summary.
+int RunKernels() {
+  std::fputs(kernels::DescribeKernels().c_str(), stdout);
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   // --threads is global: it pins the kernel thread count for whichever
@@ -664,6 +673,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "serve") {
     return RunServe(Flags(argc, argv, 2));
+  }
+  if (command == "kernels") {
+    return RunKernels();
   }
   return Usage();
 }

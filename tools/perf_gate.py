@@ -181,6 +181,10 @@ def healthy_template():
             {"real_time_s": 109e-3, "cpu_time_s": 109e-3},
         "BM_StreamingSummarization/n:100000/panel_rows:8192/threads:1":
             {"real_time_s": 111e-3, "cpu_time_s": 111e-3},
+        "BM_SpMMIsa/isa:scalar/n:100000/k:5/threads:1":
+            {"real_time_s": 20.7e-3, "cpu_time_s": 20.7e-3},
+        "BM_SpMMIsa/isa:best/n:100000/k:5/threads:1":
+            {"real_time_s": 13.7e-3, "cpu_time_s": 13.7e-3},
     }
     serve = {
         "BM_ServeQueryCold/n:100000/threads:1": {"real_time_s": 245e-3,
@@ -254,6 +258,30 @@ def self_test():
     check(bench_lib.evaluate_gate(tail_gate, stalled,
                                   num_cpus=4).status == "fail",
           "gate %s trips when the tail blows out 40x" % tail_gate.name)
+
+    # simd_spmm_speedup bounds best-ISA SpMM at >= 1.3x over scalar: losing
+    # vectorization entirely (best == scalar timing, ratio 1.0) must trip...
+    simd_gate = bench_lib.DEFAULT_GATES[4]
+    best = bench_lib.gate_regression_side(simd_gate)  # the SIMD variant
+    devectorized = copy.deepcopy(template)
+    devectorized[simd_gate.kind][best]["real_time_s"] = \
+        devectorized[simd_gate.kind][simd_gate.numerator]["real_time_s"]
+    check(bench_lib.evaluate_gate(simd_gate, devectorized,
+                                  num_cpus=4).status == "fail",
+          "gate %s trips when vectorization is lost" % simd_gate.name)
+    # ...while 10% runner jitter on the SIMD case must not (healthy ratio
+    # ~1.51, 10% slower -> ~1.37, still over the 1.3 bound).
+    simd_jitter = copy.deepcopy(template)
+    simd_jitter[simd_gate.kind][best]["real_time_s"] *= 1.1
+    check(bench_lib.evaluate_gate(simd_gate, simd_jitter,
+                                  num_cpus=4).status == "pass",
+          "gate %s tolerates 10%% jitter of the SIMD case" % simd_gate.name)
+    # A scalar-only build never registers isa:best -> MISSING, never FAIL.
+    scalar_only = copy.deepcopy(template)
+    del scalar_only[simd_gate.kind][best]
+    check(bench_lib.evaluate_gate(simd_gate, scalar_only,
+                                  num_cpus=4).status == "missing",
+          "gate %s reports missing on a scalar-only build" % simd_gate.name)
 
     # The cross-run baseline comparator guarantees the literal 2x contract
     # for EVERY metric (including ones the loose ratio bounds tolerate):
