@@ -415,6 +415,35 @@ BENCHMARK(BM_StreamingSummarization)
     ->ArgsProduct({{100000}, {0, 1024, 8192, 65536}, {1, 4}})
     ->ArgNames({"n", "panel_rows", "threads"});
 
+// Sync vs prefetched panel pipeline: the same streamed summarization with
+// the producer thread off (prefetch:0, every panel read inline on the
+// compute thread) and on (prefetch:1, reads overlap compute through the
+// ring-queue double buffer). The prefetched column should sit at or below
+// the sync one — the prefetch_overlap perf gate holds that line.
+void BM_StreamingPipeline(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::string& path = IngestionFixturePath(n, true);
+  const Fixture& fixture = SharedFixture(n, 25.0);
+  SetNumThreads(static_cast<int>(state.range(3)));
+  BlockRowReaderOptions options;
+  options.rows_per_panel = state.range(1);
+  options.prefetch = state.range(2) != 0;
+  for (auto _ : state) {
+    auto stats = ComputeGraphStatisticsStreaming(
+        path, fixture.seeds, 5, PathType::kNonBacktracking,
+        NormalizationVariant::kRowStochastic, options);
+    FGR_CHECK(stats.ok()) << stats.status().ToString();
+    benchmark::DoNotOptimize(stats.value().p_hat.front()(0, 0));
+  }
+  SetNumThreads(0);
+  state.counters["edges_per_sec"] = benchmark::Counter(
+      static_cast<double>(fixture.graph.num_edges() * 2 * 5),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_StreamingPipeline)
+    ->ArgsProduct({{100000}, {1024, 8192}, {0, 1}, {1}})
+    ->ArgNames({"n", "panel_rows", "prefetch", "threads"});
+
 // Serving-layer benchmarks: a planted graph converted once to a .fgrbin
 // whose embedded labels are a 1% stratified seed set (the daemon's seed
 // contract), queried through the transport-free request path and over

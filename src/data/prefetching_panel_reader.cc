@@ -1,0 +1,100 @@
+#include "data/prefetching_panel_reader.h"
+
+#include <utility>
+
+namespace fgr {
+
+PrefetchingPanelReader::PrefetchingPanelReader(BlockRowReader reader,
+                                              int depth)
+    : reader_(std::move(reader)),
+      filled_(static_cast<std::size_t>(depth)),
+      free_(static_cast<std::size_t>(depth) + 1),
+      pool_size_(static_cast<std::size_t>(depth) + 1) {
+  // depth + 1 slots: `depth` may sit filled while the consumer holds none —
+  // the extra slot keeps the producer from stalling on the first recycle.
+  for (std::size_t i = 0; i < pool_size_; ++i) {
+    free_.Push(Slot{});
+  }
+  StartProducer();
+}
+
+PrefetchingPanelReader::~PrefetchingPanelReader() { StopProducer(); }
+
+void PrefetchingPanelReader::ProducerLoop() {
+  Slot slot;
+  while (free_.Pop(&slot)) {
+    if (reader_.Done()) {
+      free_.Push(std::move(slot));  // hand the unused buffer back
+      return;
+    }
+    slot.status = reader_.NextPanel(&slot.panel);
+    const bool error = !slot.status.ok();
+    if (!filled_.Push(std::move(slot))) return;  // consumer shut us down
+    if (error) return;  // the pass is poisoned; the error slot says why
+  }
+}
+
+void PrefetchingPanelReader::StartProducer() {
+  producer_ = std::thread([this] { ProducerLoop(); });
+}
+
+void PrefetchingPanelReader::StopProducer() {
+  filled_.Close();
+  free_.Close();
+  if (producer_.joinable()) producer_.join();
+  // Recycle any panels still in flight so the next pass reuses their
+  // buffers instead of allocating fresh ones.
+  Slot slot;
+  std::vector<Slot> drained;
+  while (filled_.TryPop(&slot)) drained.push_back(std::move(slot));
+  while (free_.TryPop(&slot)) drained.push_back(std::move(slot));
+  filled_.Reopen();
+  free_.Reopen();
+  // A producer caught between its free-list Pop and a failed filled Push
+  // drops its slot on shutdown; top the pool back up so later passes
+  // never starve. Normal pass boundaries keep every buffer.
+  while (drained.size() < pool_size_) drained.emplace_back();
+  for (Slot& s : drained) {
+    s.status = Status::Ok();
+    free_.Push(std::move(s));
+  }
+}
+
+Status PrefetchingPanelReader::NextPanel(CsrPanel* panel) {
+  if (failed_) {
+    return Status::FailedPrecondition(
+        "PrefetchingPanelReader: pass already failed; Rewind to retry");
+  }
+  Slot slot;
+  if (!filled_.Pop(&slot)) {
+    // The producer exited without filling the expected panel count and
+    // without an in-band error — only possible through StopProducer.
+    return Status::Internal(
+        "PrefetchingPanelReader: producer stopped mid-pass");
+  }
+  if (!slot.status.ok()) {
+    failed_ = true;
+    Status status = std::move(slot.status);
+    slot.status = Status::Ok();
+    free_.Push(std::move(slot));
+    return status;
+  }
+  // Hand the prefetched buffers to the caller and recycle the caller's
+  // previous ones; per-pass allocation stays O(1).
+  std::swap(*panel, slot.panel);
+  ++consumed_;
+  free_.Push(std::move(slot));
+  return Status::Ok();
+}
+
+Status PrefetchingPanelReader::Rewind() {
+  StopProducer();
+  consumed_ = 0;
+  failed_ = false;
+  Status rewound = reader_.Rewind();
+  if (!rewound.ok()) return rewound;
+  StartProducer();
+  return Status::Ok();
+}
+
+}  // namespace fgr

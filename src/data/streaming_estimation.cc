@@ -2,7 +2,41 @@
 
 #include <utility>
 
+#include "data/prefetching_panel_reader.h"
+#include "util/env.h"
+
 namespace fgr {
+
+namespace {
+
+// The per-ℓ pass loop, written once over either reader. Both readers hand
+// out the same panels in the same order, so the summarizer sees an
+// identical operation sequence — prefetching cannot perturb the result.
+template <typename Reader>
+Result<GraphStatistics> SummarizeStream(Reader& reader, const Labeling& seeds,
+                                        int max_length, PathType path_type,
+                                        NormalizationVariant variant) {
+  PanelSummarizer summarizer(seeds, max_length, path_type);
+  CsrPanel panel;
+  for (int length = 1; length <= max_length; ++length) {
+    Status rewound = reader.Rewind();
+    if (!rewound.ok()) return rewound;
+    summarizer.BeginPass(length);
+    while (!reader.Done()) {
+      Status status = reader.NextPanel(&panel);
+      if (!status.ok()) return status;
+      summarizer.AbsorbPanel(panel.View(reader.num_nodes()));
+    }
+    summarizer.EndPass();
+  }
+  return summarizer.Finish(variant);
+}
+
+}  // namespace
+
+bool StreamingPrefetchEnabled(const BlockRowReaderOptions& options) {
+  return options.prefetch && EnvInt64("FGR_PREFETCH", 1) != 0;
+}
 
 Result<GraphStatistics> ComputeGraphStatisticsStreaming(
     const std::string& path, const Labeling& seeds, int max_length,
@@ -18,20 +52,11 @@ Result<GraphStatistics> ComputeGraphStatisticsStreaming(
         std::to_string(seeds.num_nodes()));
   }
 
-  PanelSummarizer summarizer(seeds, max_length, path_type);
-  CsrPanel panel;
-  for (int length = 1; length <= max_length; ++length) {
-    Status rewound = reader.Rewind();
-    if (!rewound.ok()) return rewound;
-    summarizer.BeginPass(length);
-    while (!reader.Done()) {
-      Status status = reader.NextPanel(&panel);
-      if (!status.ok()) return status;
-      summarizer.AbsorbPanel(panel.View(reader.num_nodes()));
-    }
-    summarizer.EndPass();
+  if (StreamingPrefetchEnabled(reader_options)) {
+    PrefetchingPanelReader prefetcher(std::move(reader));
+    return SummarizeStream(prefetcher, seeds, max_length, path_type, variant);
   }
-  return summarizer.Finish(variant);
+  return SummarizeStream(reader, seeds, max_length, path_type, variant);
 }
 
 // EstimateDceStreaming lives in fgr/estimate.cc as a wrapper over

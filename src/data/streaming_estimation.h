@@ -24,6 +24,11 @@
 
 namespace fgr {
 
+// Resolves the async-pipeline knob: options.prefetch gated by the
+// FGR_PREFETCH environment escape hatch (FGR_PREFETCH=0 forces the
+// synchronous reader everywhere).
+bool StreamingPrefetchEnabled(const BlockRowReaderOptions& options);
+
 // Streams the ℓ-recurrence over the cache at `path` and returns the same
 // GraphStatistics ComputeGraphStatistics produces in-core. `seeds` must
 // match the cached graph's node count.

@@ -6,6 +6,7 @@
 #include "data/fgrbin.h"
 #include "data/graph_source.h"
 #include "data/streaming_estimation.h"
+#include "prop/linbp_streaming.h"
 #include "util/check.h"
 
 namespace fgr {
@@ -50,6 +51,7 @@ Result<EstimationResult> Estimate(const DatasetRef& dataset,
     // Out-of-core: stream block-row panels under the budget.
     BlockRowReaderOptions reader = options.reader;
     reader.memory_budget_bytes = *options.memory_budget_bytes;
+    reader.prefetch = options.prefetch && options.reader.prefetch;
     Labeling owned;
     const Labeling* seeds = dataset.seeds;
     if (seeds == nullptr) {
@@ -81,6 +83,69 @@ Result<EstimationResult> Estimate(const DatasetRef& dataset,
         dataset.path + ": cache has no label section to seed from");
   }
   return EstimateInCore(loaded.value().graph, *seeds, options.dce);
+}
+
+Result<LabelResult> Label(const DatasetRef& dataset,
+                          const LabelOptions& options) {
+  // In-memory and un-budgeted path routes propagate in core; the budgeted
+  // path route streams estimation and propagation over the same panels.
+  if (dataset.graph == nullptr && !dataset.path.empty() &&
+      options.estimate.memory_budget_bytes.has_value()) {
+    Labeling owned;
+    const Labeling* seeds = dataset.seeds;
+    if (seeds == nullptr) {
+      Result<Labeling> embedded = ReadFgrBinLabels(dataset.path);
+      if (!embedded.ok()) return embedded.status();
+      owned = std::move(embedded).value();
+      seeds = &owned;
+      if (seeds->NumLabeled() == 0) {
+        return Status::FailedPrecondition(
+            dataset.path + ": cache has no label section to seed from");
+      }
+    }
+    LabelResult result;
+    Result<EstimationResult> estimate =
+        Estimate(DatasetRef::FgrBin(dataset.path, seeds), options.estimate);
+    if (!estimate.ok()) return estimate.status();
+    result.estimate = std::move(estimate).value();
+
+    BlockRowReaderOptions reader = options.estimate.reader;
+    reader.memory_budget_bytes = *options.estimate.memory_budget_bytes;
+    reader.prefetch = options.estimate.prefetch &&
+                      options.estimate.reader.prefetch;
+    Result<LinBpResult> propagated = PropagateLinBPStreaming(
+        dataset.path, *seeds, result.estimate.h, options.linbp, reader);
+    if (!propagated.ok()) return propagated.status();
+    result.propagation = std::move(propagated).value();
+    result.labels = LabelsFromBeliefs(result.propagation.beliefs, *seeds);
+    return result;
+  }
+
+  if (dataset.graph == nullptr && !dataset.path.empty()) {
+    // Load the cache once and fall through to the in-memory route, so the
+    // file is not read twice (once to estimate, once to propagate).
+    Result<LabeledGraph> loaded = ReadFgrBin(dataset.path);
+    if (!loaded.ok()) return loaded.status();
+    const Labeling* seeds =
+        dataset.seeds != nullptr ? dataset.seeds : &loaded.value().labels;
+    if (dataset.seeds == nullptr && seeds->NumLabeled() == 0) {
+      return Status::FailedPrecondition(
+          dataset.path + ": cache has no label section to seed from");
+    }
+    LabelOptions in_core = options;
+    in_core.estimate.memory_budget_bytes.reset();
+    return Label(DatasetRef::InMemory(loaded.value().graph, *seeds), in_core);
+  }
+
+  Result<EstimationResult> estimate = Estimate(dataset, options.estimate);
+  if (!estimate.ok()) return estimate.status();
+  LabelResult result;
+  result.estimate = std::move(estimate).value();
+  result.propagation = RunLinBp(*dataset.graph, *dataset.seeds,
+                                result.estimate.h, options.linbp);
+  result.labels =
+      LabelsFromBeliefs(result.propagation.beliefs, *dataset.seeds);
+  return result;
 }
 
 // Legacy entry points, kept as thin wrappers so the whole codebase funnels

@@ -19,6 +19,7 @@
 
 #include "core/dce.h"
 #include "data/block_row_reader.h"
+#include "prop/linbp.h"
 #include "util/status.h"
 
 namespace fgr {
@@ -59,6 +60,10 @@ struct EstimateOptions {
   std::optional<std::int64_t> memory_budget_bytes;
   // Panel shaping for the streamed route (rows_per_panel etc).
   BlockRowReaderOptions reader;
+  // Streamed routes read panels on a producer thread ahead of compute (the
+  // async panel pipeline). Results are identical either way; FGR_PREFETCH=0
+  // in the environment forces this off as an escape hatch.
+  bool prefetch = true;
 };
 
 // Routes to the in-core or streaming estimator per the rules above.
@@ -66,6 +71,26 @@ struct EstimateOptions {
 // routes surface I/O and validation errors.
 Result<EstimationResult> Estimate(const DatasetRef& dataset,
                                   const EstimateOptions& options = {});
+
+// fgr::Label — estimate H, then propagate it to a full labeling. The same
+// router rules apply: in-memory and un-budgeted path routes load the graph
+// and run RunLinBp in core; a budgeted path route streams both the
+// estimation *and* the propagation block-row (PropagateLinBPStreaming), so
+// only the n×k belief state is ever resident. Streamed labels are
+// bit-identical to in-core at one thread.
+struct LabelOptions {
+  EstimateOptions estimate;
+  LinBpOptions linbp;
+};
+
+struct LabelResult {
+  EstimationResult estimate;   // the H the propagation used
+  LinBpResult propagation;     // beliefs, ε, spectra, iterations run
+  Labeling labels;             // argmax labels; seeds keep their labels
+};
+
+Result<LabelResult> Label(const DatasetRef& dataset,
+                          const LabelOptions& options = {});
 
 }  // namespace fgr
 

@@ -34,6 +34,7 @@
 #include "data/graph_source.h"
 #include "data/mimic_source.h"
 #include "data/mmap_fgrbin.h"
+#include "data/prefetching_panel_reader.h"
 #include "data/registry.h"
 #include "data/streaming_estimation.h"
 #include "eval/accuracy.h"
@@ -58,6 +59,7 @@
 #include "opt/objective.h"
 #include "prop/harmonic.h"
 #include "prop/linbp.h"
+#include "prop/linbp_streaming.h"
 #include "prop/randomwalk.h"
 #include "serve/dataset_cache.h"
 #include "serve/protocol.h"
@@ -69,6 +71,7 @@
 #include "util/env.h"
 #include "util/parallel.h"
 #include "util/random.h"
+#include "util/ring_queue.h"
 #include "util/shuffle.h"
 #include "util/status.h"
 #include "util/stopwatch.h"

@@ -1,51 +1,13 @@
 #include "matrix/spectral.h"
 
-#include <cmath>
 #include <vector>
 
 #include "util/check.h"
-#include "util/random.h"
 
 namespace fgr {
-namespace {
 
-double Norm2(const std::vector<double>& x) {
-  double sum = 0.0;
-  for (double v : x) sum += v * v;
-  return std::sqrt(sum);
-}
-
-// Shared power-iteration loop over an opaque y = A·x callback.
-template <typename MultiplyFn>
-double PowerIterate(std::int64_t n, MultiplyFn&& multiply,
-                    const PowerIterationOptions& options) {
-  if (n == 0) return 0.0;
-  Rng rng(options.seed);
-  std::vector<double> x(static_cast<std::size_t>(n));
-  for (double& v : x) v = rng.Uniform(-1.0, 1.0);
-  double norm = Norm2(x);
-  FGR_CHECK_GT(norm, 0.0);
-  for (double& v : x) v /= norm;
-
-  std::vector<double> y;
-  double lambda = 0.0;
-  for (int iter = 0; iter < options.max_iterations; ++iter) {
-    multiply(x, &y);
-    const double y_norm = Norm2(y);
-    if (y_norm == 0.0) return 0.0;  // x in the null space: radius estimate 0
-    // Rayleigh-style estimate |λ| = ‖Ax‖ for normalized x; valid for the
-    // symmetric matrices this routine is documented for.
-    const double next = y_norm;
-    for (std::size_t i = 0; i < y.size(); ++i) x[i] = y[i] / y_norm;
-    if (std::fabs(next - lambda) <= options.tolerance * std::fabs(next)) {
-      return next;
-    }
-    lambda = next;
-  }
-  return lambda;
-}
-
-}  // namespace
+// PowerIterate itself lives in spectral.h so the out-of-core propagation
+// path can drive it with a streamed multiply callback.
 
 double SpectralRadius(const SparseMatrix& matrix,
                       const PowerIterationOptions& options) {

@@ -11,10 +11,14 @@
 #ifndef FGR_MATRIX_SPECTRAL_H_
 #define FGR_MATRIX_SPECTRAL_H_
 
+#include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "matrix/dense.h"
 #include "matrix/sparse.h"
+#include "util/check.h"
+#include "util/random.h"
 
 namespace fgr {
 
@@ -23,6 +27,50 @@ struct PowerIterationOptions {
   double tolerance = 1e-7;
   std::uint64_t seed = 12345;
 };
+
+namespace spectral_internal {
+inline double Norm2(const std::vector<double>& x) {
+  double sum = 0.0;
+  for (double v : x) sum += v * v;
+  return std::sqrt(sum);
+}
+}  // namespace spectral_internal
+
+// Shared power-iteration loop over an opaque y = A·x callback. Exposed so
+// callers that only see the matrix one panel at a time (the out-of-core
+// propagation path) run the *identical* iteration — same seed, same start
+// vector, same convergence test — as the in-core SpectralRadius overloads,
+// which keeps streamed and in-core spectral radii bit-identical when the
+// callback reproduces A·x exactly.
+template <typename MultiplyFn>
+double PowerIterate(std::int64_t n, MultiplyFn&& multiply,
+                    const PowerIterationOptions& options = {}) {
+  using spectral_internal::Norm2;
+  if (n == 0) return 0.0;
+  Rng rng(options.seed);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (double& v : x) v = rng.Uniform(-1.0, 1.0);
+  double norm = Norm2(x);
+  FGR_CHECK_GT(norm, 0.0);
+  for (double& v : x) v /= norm;
+
+  std::vector<double> y;
+  double lambda = 0.0;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    multiply(x, &y);
+    const double y_norm = Norm2(y);
+    if (y_norm == 0.0) return 0.0;  // x in the null space: radius estimate 0
+    // Rayleigh-style estimate |λ| = ‖Ax‖ for normalized x; valid for the
+    // symmetric matrices this routine is documented for.
+    const double next = y_norm;
+    for (std::size_t i = 0; i < y.size(); ++i) x[i] = y[i] / y_norm;
+    if (std::fabs(next - lambda) <= options.tolerance * std::fabs(next)) {
+      return next;
+    }
+    lambda = next;
+  }
+  return lambda;
+}
 
 // Spectral radius of a symmetric sparse matrix. Returns 0 for empty matrices.
 double SpectralRadius(const SparseMatrix& matrix,

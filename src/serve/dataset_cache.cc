@@ -1,5 +1,7 @@
 #include "serve/dataset_cache.h"
 
+#include <sys/stat.h>
+
 #include <system_error>
 #include <utility>
 
@@ -17,6 +19,15 @@ Result<std::shared_ptr<const MappedFgrBin>> DatasetCache::Acquire(
   if (ec) return Status::NotFound("cannot stat " + key);
   const std::uintmax_t file_size = fs::file_size(key, ec);
   if (ec) return Status::NotFound("cannot stat " + key);
+  // The identity half of the freshness key: an mtime-preserving same-size
+  // rewrite (cp -p, rsync -t, temp+rename) is invisible to the two checks
+  // above but always lands the path on a fresh inode.
+  struct stat st;
+  if (::stat(key.c_str(), &st) != 0) {
+    return Status::NotFound("cannot stat " + key);
+  }
+  const std::uint64_t inode = static_cast<std::uint64_t>(st.st_ino);
+  const std::uint64_t device = static_cast<std::uint64_t>(st.st_dev);
 
   // Per-dataset open lock first, then the cache-wide lock only for map
   // and LRU bookkeeping: a multi-second cold open (validation + hashing
@@ -31,7 +42,8 @@ Result<std::shared_ptr<const MappedFgrBin>> DatasetCache::Acquire(
     auto found = index_.find(key);
     if (found != index_.end()) {
       Entry& entry = *found->second;
-      if (entry.mtime == mtime && entry.file_size == file_size) {
+      if (entry.mtime == mtime && entry.file_size == file_size &&
+          entry.inode == inode && entry.device == device) {
         lru_.splice(lru_.begin(), lru_, found->second);  // move to MRU
         ++counters_.hits;
         return std::shared_ptr<const MappedFgrBin>(entry.mapped);
@@ -61,6 +73,8 @@ Result<std::shared_ptr<const MappedFgrBin>> DatasetCache::Acquire(
       std::make_shared<const MappedFgrBin>(std::move(opened).value());
   entry.mtime = mtime;
   entry.file_size = file_size;
+  entry.inode = inode;
+  entry.device = device;
   std::shared_ptr<const MappedFgrBin> mapped = entry.mapped;
 
   std::lock_guard<std::mutex> lock(mutex_);

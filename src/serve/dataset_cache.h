@@ -8,9 +8,12 @@
 // with FailedPrecondition; the server then answers estimate queries for it
 // through the streaming summarizer instead of mapping it.
 //
-// Staleness: every Acquire hit re-stats the file; a changed size or mtime
-// forces a reopen, which re-hashes the bytes — that new content hash is
-// what flows into the summary cache and invalidates stale statistics.
+// Staleness: every Acquire hit re-stats the file; a changed size, mtime,
+// or inode/device pair forces a reopen, which re-hashes the bytes — that
+// new content hash is what flows into the summary cache and invalidates
+// stale statistics. The inode/device check catches mtime-preserving,
+// same-size rewrites (`rsync -t`, `cp -p`, tar extracts, atomic
+// temp+rename replacements), which always land on a fresh inode.
 
 #ifndef FGR_SERVE_DATASET_CACHE_H_
 #define FGR_SERVE_DATASET_CACHE_H_
@@ -64,6 +67,8 @@ class DatasetCache {
     std::shared_ptr<const MappedFgrBin> mapped;
     std::filesystem::file_time_type mtime;
     std::uintmax_t file_size = 0;
+    std::uint64_t inode = 0;   // st_ino at open
+    std::uint64_t device = 0;  // st_dev at open
   };
 
   // Drops LRU entries until the budget holds (never drops the MRU entry).

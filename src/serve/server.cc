@@ -24,6 +24,7 @@
 #include "data/streaming_estimation.h"
 #include "matrix/kernels/kernels.h"
 #include "prop/linbp.h"
+#include "prop/linbp_streaming.h"
 
 namespace fgr {
 namespace {
@@ -154,7 +155,7 @@ Status FgrServer::Preload(const std::string& path) {
   return Status::Ok();
 }
 
-Status FgrServer::RunEstimate(const Request& request, bool need_graph,
+Status FgrServer::RunEstimate(const Request& request,
                               EstimateOutcome* outcome) {
   const std::string& dataset = request.dataset;
   if (!EndsWith(dataset, kFgrBinExtension)) {
@@ -199,15 +200,11 @@ Status FgrServer::RunEstimate(const Request& request, bool need_graph,
           static_cast<std::int32_t>(mapped->labels().num_classes()));
     };
   } else if (acquired.status().code() == StatusCode::kFailedPrecondition) {
-    // Too large for residency: estimates stream, propagation is refused
-    // (LinBP needs ℓ·iterations random access to W's full width).
+    // Too large for residency: estimates stream, and label requests
+    // propagate block-row over the same panel stream (HandleLabel routes
+    // non-resident outcomes through PropagateLinBPStreaming).
     outcome->canonical_path = CanonicalPath(dataset);
     const std::string& path = outcome->canonical_path;
-    if (need_graph) {
-      return Status::FailedPrecondition(
-          path + ": dataset exceeds the residency budget; 'label' needs a "
-          "resident graph — raise --budget or use offline fgr_cli label");
-    }
     // The (mtime, size) the content hash is valid for; the compute
     // callback re-stats after streaming so a file rewritten mid-pass can
     // never be cached (or persisted) under the old hash.
@@ -293,7 +290,7 @@ Status FgrServer::RunEstimate(const Request& request, bool need_graph,
 
 std::string FgrServer::HandleEstimate(const Request& request) {
   EstimateOutcome outcome;
-  Status status = RunEstimate(request, /*need_graph=*/false, &outcome);
+  Status status = RunEstimate(request, &outcome);
   if (!status.ok()) {
     ++errors_;
     metrics_.requests_errors.fetch_add(1, kRelaxed);
@@ -329,17 +326,34 @@ std::string FgrServer::HandleEstimate(const Request& request) {
 
 std::string FgrServer::HandleLabel(const Request& request) {
   EstimateOutcome outcome;
-  Status status = RunEstimate(request, /*need_graph=*/true, &outcome);
+  Status status = RunEstimate(request, &outcome);
   if (!status.ok()) {
     ++errors_;
     metrics_.requests_errors.fetch_add(1, kRelaxed);
     return ErrorResponseLine(status, request.version);
   }
-  // Propagate straight over the mapped adjacency — the view overload runs
-  // the identical kernels RunLinBp(graph, ...) runs in-core.
-  const LinBpResult prop =
-      RunLinBp(outcome.mapped->View(), outcome.mapped->degrees(),
-               *outcome.seeds, outcome.estimate.h);
+  LinBpResult prop;
+  if (outcome.mapped != nullptr) {
+    // Propagate straight over the mapped adjacency — the view overload
+    // runs the identical kernels RunLinBp(graph, ...) runs in-core.
+    prop = RunLinBp(outcome.mapped->View(), outcome.mapped->degrees(),
+                    *outcome.seeds, outcome.estimate.h);
+  } else {
+    // Non-resident: block-row propagation over the same panel stream the
+    // summarization used; only the n×k belief state is resident. Labels
+    // match the resident path bit for bit in serial runs.
+    BlockRowReaderOptions reader_options;
+    reader_options.memory_budget_bytes = options_.streaming_budget_bytes;
+    Result<LinBpResult> streamed = PropagateLinBPStreaming(
+        outcome.canonical_path, *outcome.seeds, outcome.estimate.h,
+        LinBpOptions{}, reader_options);
+    if (!streamed.ok()) {
+      ++errors_;
+      metrics_.requests_errors.fetch_add(1, kRelaxed);
+      return ErrorResponseLine(streamed.status(), request.version);
+    }
+    prop = std::move(streamed).value();
+  }
   const Labeling predicted =
       LabelsFromBeliefs(prop.beliefs, *outcome.seeds);
   ++labels_;
@@ -349,7 +363,7 @@ std::string FgrServer::HandleLabel(const Request& request) {
   writer.Key("ok").Value(true);
   writer.Key("op").Value("label");
   writer.Key("dataset").Value(request.dataset);
-  writer.Key("resident").Value(true);
+  writer.Key("resident").Value(outcome.mapped != nullptr);
   writer.Key("summary_source").Value(SummarySourceName(outcome.source));
   writer.Key("n").Value(outcome.num_nodes);
   writer.Key("m").Value(outcome.num_edges);

@@ -18,7 +18,9 @@
 //                                     streaming pass for non-resident
 //                                     datasets)
 //     → EstimateDceFromStatistics    (k-scale restarts, graph-free)
-//     → [label only] RunLinBp over the mapped view + LabelsFromBeliefs.
+//     → [label only] RunLinBp over the mapped view — or, for non-resident
+//       datasets, PropagateLinBPStreaming block-row over the same panel
+//       stream — + LabelsFromBeliefs.
 //
 // Robustness: per-request and idle-connection deadlines run off a slotted
 // timer wheel; a connection whose write buffer outgrows its cap is evicted
@@ -68,8 +70,8 @@ struct ServerOptions {
   int port = 7411;  // 0: pick an ephemeral port (read it back via port())
   int worker_threads = 4;
   // Byte budget for mmap'd dataset residency (DatasetCache). Datasets
-  // larger than this are never mapped; their estimates run through the
-  // streaming summarizer and label requests are refused.
+  // larger than this are never mapped; estimate and label both fall back
+  // to the block-row streaming pipeline under streaming_budget_bytes.
   std::int64_t dataset_budget_bytes = std::int64_t{1} << 30;
   // Panel budget handed to BlockRowReader for non-resident datasets.
   std::int64_t streaming_budget_bytes = std::int64_t{64} << 20;
@@ -168,7 +170,7 @@ class FgrServer {
   // streamed analogue of the dataset cache's staleness check.
   Result<std::uint64_t> StreamingContentHash(const std::string& path);
 
-  Status RunEstimate(const Request& request, bool need_graph,
+  Status RunEstimate(const Request& request,
                      EstimateOutcome* outcome);
   std::string HandleEstimate(const Request& request);
   std::string HandleLabel(const Request& request);

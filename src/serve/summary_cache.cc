@@ -1,5 +1,7 @@
 #include "serve/summary_cache.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -30,6 +32,32 @@ std::int32_t PathTypeCode(PathType type) {
   return type == PathType::kNonBacktracking ? 1 : 2;
 }
 
+// Advisory writer lock for a sidecar, held for the lifetime of the object.
+// Locks a stable `<path>.lock` companion rather than the sidecar itself:
+// the temp+rename publish swaps the sidecar's inode, so a lock taken on
+// the old inode would not exclude a third writer locking the new one.
+// Best effort — a filesystem without flock (or a read-only directory)
+// degrades to the unsynchronized behavior, never to a write failure.
+class SidecarLock {
+ public:
+  explicit SidecarLock(const std::string& path) {
+    fd_ = ::open((path + ".lock").c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+                 0644);
+    if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~SidecarLock() {
+    if (fd_ >= 0) ::close(fd_);  // close releases the flock
+  }
+  SidecarLock(const SidecarLock&) = delete;
+  SidecarLock& operator=(const SidecarLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
 }  // namespace
 
 std::string FgrSumPathFor(const std::string& fgrbin_path,
@@ -41,6 +69,21 @@ std::string FgrSumPathFor(const std::string& fgrbin_path,
 
 Status WriteFgrSum(const DatasetSummary& summary, const std::string& path) {
   FGR_CHECK_EQ(static_cast<int>(summary.m_raw.size()), summary.max_length);
+  // Serialize concurrent writers (the multi-process fgrd story) and keep
+  // the longest prefix: re-read under the lock and skip the write when a
+  // competing writer already published the same dataset's statistics to a
+  // greater or equal ℓ — an unsynchronized last-writer-wins rename could
+  // otherwise clobber a just-written ℓ=10 sidecar with an ℓ=5 one.
+  SidecarLock lock(path);
+  {
+    Result<DatasetSummary> existing = ReadFgrSum(path);
+    if (existing.ok() &&
+        existing.value().content_hash == summary.content_hash &&
+        existing.value().path_type == summary.path_type &&
+        existing.value().max_length >= summary.max_length) {
+      return Status::Ok();  // the disk copy already subsumes ours
+    }
+  }
   Header header;
   std::memcpy(header.magic, kMagic, sizeof(kMagic));
   header.endian_check = kEndianCheck;

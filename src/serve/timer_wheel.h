@@ -44,6 +44,7 @@ class TimerWheel {
     epoch_ = now;
     current_tick_ = 0;
     size_ = 0;
+    earliest_tick_ = 0;
     for (auto& slot : slots_) slot.clear();
   }
 
@@ -61,6 +62,7 @@ class TimerWheel {
     slots_[static_cast<std::size_t>(deadline) % slots_.size()].push_back(
         entry);
     ++size_;
+    if (size_ == 1 || deadline < earliest_tick_) earliest_tick_ = deadline;
   }
 
   // Advances the wheel to `now`, appending every expired entry to
@@ -91,28 +93,23 @@ class TimerWheel {
         return;
       }
     }
+    // The advance expired every entry with deadline ≤ current_tick_, so a
+    // stale cached minimum means the previous earliest just fired: rescan
+    // once for the new one. Amortized this keeps Schedule/MsUntilNext O(1)
+    // — the scan runs only on wakeups that actually delivered a timer.
+    if (earliest_tick_ <= current_tick_) RecomputeEarliest();
   }
 
   // Milliseconds until the earliest armed deadline (0 when already due),
-  // or -1 when no timer is armed. O(armed entries); the event loop calls
-  // this once per epoll_wait.
+  // or -1 when no timer is armed. O(1): the earliest deadline tick is
+  // maintained incrementally by Schedule/Collect, so thousands of idle
+  // connections no longer tax every epoll_wait timeout computation.
   std::int64_t MsUntilNext(Clock::time_point now) const {
     if (size_ == 0) return -1;
-    std::int64_t min_tick = 0;
-    bool found = false;
-    for (const auto& slot : slots_) {
-      for (const Entry& entry : slot) {
-        if (!found || entry.deadline_tick < min_tick) {
-          min_tick = entry.deadline_tick;
-          found = true;
-        }
-      }
-    }
-    if (!found) return -1;
     const std::int64_t elapsed_ms =
         std::chrono::duration_cast<std::chrono::milliseconds>(now - epoch_)
             .count();
-    const std::int64_t due_ms = min_tick * tick_ms_;
+    const std::int64_t due_ms = earliest_tick_ * tick_ms_;
     return due_ms > elapsed_ms ? due_ms - elapsed_ms : 0;
   }
 
@@ -126,11 +123,26 @@ class TimerWheel {
            tick_ms_;
   }
 
+  void RecomputeEarliest() {
+    bool found = false;
+    for (const auto& slot : slots_) {
+      for (const Entry& entry : slot) {
+        if (!found || entry.deadline_tick < earliest_tick_) {
+          earliest_tick_ = entry.deadline_tick;
+          found = true;
+        }
+      }
+    }
+  }
+
   std::int64_t tick_ms_;
   std::vector<std::vector<Entry>> slots_;
   Clock::time_point epoch_{};
   std::int64_t current_tick_ = 0;
   std::size_t size_ = 0;
+  // Minimum deadline_tick over every armed entry; meaningful only when
+  // size_ > 0.
+  std::int64_t earliest_tick_ = 0;
 };
 
 }  // namespace fgr

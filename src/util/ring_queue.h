@@ -1,0 +1,119 @@
+// Bounded single-producer/single-consumer blocking queue.
+//
+// The async panel pipeline moves CsrPanel buffers between exactly two
+// threads: the prefetcher produces filled panels, the compute thread
+// consumes them and recycles the buffers back through a second queue. A
+// mutex+condvar ring is the right tool at panel granularity — a panel is
+// megabytes of I/O, so the handoff cost is noise and the blocking semantics
+// (producer sleeps when compute falls behind, consumer sleeps when I/O
+// falls behind) are exactly the backpressure the pipeline wants.
+//
+// Close/drain contract: Close() wakes every waiter; Push() fails once the
+// queue is closed, but Pop() keeps returning queued items until the ring is
+// empty, so in-flight panels (including an in-band error panel) are never
+// dropped on shutdown.
+
+#ifndef FGR_UTIL_RING_QUEUE_H_
+#define FGR_UTIL_RING_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fgr {
+
+template <typename T>
+class RingQueue {
+ public:
+  explicit RingQueue(std::size_t capacity) : ring_(capacity) {
+    FGR_CHECK(capacity > 0) << "RingQueue capacity must be positive";
+  }
+
+  RingQueue(const RingQueue&) = delete;
+  RingQueue& operator=(const RingQueue&) = delete;
+
+  // Blocks until there is space or the queue is closed. Returns false (and
+  // leaves `item` untouched) when closed.
+  bool Push(T&& item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return size_ < ring_.size() || closed_; });
+    if (closed_) return false;
+    ring_[(head_ + size_) % ring_.size()] = std::move(item);
+    ++size_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed *and* drained.
+  // Returns false only when no item will ever arrive.
+  bool Pop(T* item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return size_ > 0 || closed_; });
+    if (size_ == 0) return false;  // closed and drained
+    *item = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --size_;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Non-blocking pop; returns false when the ring is currently empty
+  // (regardless of closed state). Used to drain leftovers after shutdown.
+  bool TryPop(T* item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (size_ == 0) return false;
+    *item = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --size_;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Wakes all waiters; Push fails from now on, Pop drains the remainder.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  // Reopens a closed (and externally drained) queue for the next pass.
+  void Reopen() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = false;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<T> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace fgr
+
+#endif  // FGR_UTIL_RING_QUEUE_H_

@@ -1,0 +1,179 @@
+// Unit tests for the bounded SPSC blocking queue (src/util/ring_queue.h):
+// FIFO ordering, blocking backpressure in both directions, close/drain
+// semantics, TryPop, and Reopen for multi-pass reuse.
+
+#include "util/ring_queue.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace fgr {
+namespace {
+
+TEST(RingQueueTest, PreservesFifoOrder) {
+  RingQueue<int> queue(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.Push(int(i)));
+  EXPECT_EQ(queue.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    int value = -1;
+    EXPECT_TRUE(queue.Pop(&value));
+    EXPECT_EQ(value, i);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(RingQueueTest, WrapsAroundTheRing) {
+  RingQueue<int> queue(3);
+  int value = -1;
+  // Interleave pushes and pops so head_ walks past the ring boundary
+  // several times.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(queue.Push(int(i)));
+    EXPECT_TRUE(queue.Push(int(100 + i)));
+    EXPECT_TRUE(queue.Pop(&value));
+    EXPECT_EQ(value, i);
+    EXPECT_TRUE(queue.Pop(&value));
+    EXPECT_EQ(value, 100 + i);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(RingQueueTest, PushBlocksUntilConsumerMakesSpace) {
+  RingQueue<int> queue(1);
+  EXPECT_TRUE(queue.Push(1));
+
+  std::atomic<bool> second_push_done{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(2));  // blocks: the ring is full
+    second_push_done.store(true);
+  });
+
+  // The producer must be parked, not spinning through a full ring.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_push_done.load());
+
+  int value = -1;
+  EXPECT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 1);
+  producer.join();
+  EXPECT_TRUE(second_push_done.load());
+  EXPECT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 2);
+}
+
+TEST(RingQueueTest, PopBlocksUntilProducerDelivers) {
+  RingQueue<int> queue(2);
+  std::atomic<bool> popped{false};
+  int value = -1;
+  std::thread consumer([&] {
+    EXPECT_TRUE(queue.Pop(&value));  // blocks: the ring is empty
+    popped.store(true);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(popped.load());
+
+  EXPECT_TRUE(queue.Push(7));
+  consumer.join();
+  EXPECT_TRUE(popped.load());
+  EXPECT_EQ(value, 7);
+}
+
+TEST(RingQueueTest, CloseFailsPushButDrainsQueuedItems) {
+  RingQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+
+  EXPECT_FALSE(queue.Push(3));  // closed: no new items
+
+  // But the two in-flight items still come out, in order.
+  int value = -1;
+  EXPECT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 1);
+  EXPECT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 2);
+  EXPECT_FALSE(queue.Pop(&value));  // closed and drained
+}
+
+TEST(RingQueueTest, CloseWakesBlockedProducerAndConsumer) {
+  RingQueue<int> full(1);
+  EXPECT_TRUE(full.Push(1));
+  std::thread producer([&] {
+    EXPECT_FALSE(full.Push(2));  // parked on a full ring, woken by Close
+  });
+
+  RingQueue<int> empty(1);
+  std::thread consumer([&] {
+    int value = -1;
+    EXPECT_FALSE(empty.Pop(&value));  // parked on an empty ring
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  full.Close();
+  empty.Close();
+  producer.join();
+  consumer.join();
+}
+
+TEST(RingQueueTest, TryPopNeverBlocks) {
+  RingQueue<int> queue(2);
+  int value = -1;
+  EXPECT_FALSE(queue.TryPop(&value));  // empty, open
+  EXPECT_TRUE(queue.Push(5));
+  EXPECT_TRUE(queue.TryPop(&value));
+  EXPECT_EQ(value, 5);
+  queue.Close();
+  EXPECT_FALSE(queue.TryPop(&value));  // empty, closed
+}
+
+TEST(RingQueueTest, ReopenRestoresPushAfterDrain) {
+  RingQueue<int> queue(2);
+  EXPECT_TRUE(queue.Push(1));
+  queue.Close();
+  int value = -1;
+  EXPECT_TRUE(queue.Pop(&value));
+  EXPECT_FALSE(queue.Pop(&value));
+
+  queue.Reopen();
+  EXPECT_FALSE(queue.closed());
+  EXPECT_TRUE(queue.Push(9));
+  EXPECT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 9);
+}
+
+TEST(RingQueueTest, StreamsManyItemsAcrossThreads) {
+  constexpr int kItems = 10000;
+  RingQueue<int> queue(3);
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) EXPECT_TRUE(queue.Push(int(i)));
+    queue.Close();
+  });
+
+  std::vector<int> received;
+  received.reserve(kItems);
+  int value = -1;
+  while (queue.Pop(&value)) received.push_back(value);
+  producer.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(RingQueueTest, MoveOnlyPayloadsMoveThrough) {
+  RingQueue<std::unique_ptr<int>> queue(2);
+  EXPECT_TRUE(queue.Push(std::make_unique<int>(42)));
+  std::unique_ptr<int> out;
+  EXPECT_TRUE(queue.Pop(&out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+}  // namespace
+}  // namespace fgr

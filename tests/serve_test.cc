@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iterator>
@@ -377,6 +378,46 @@ TEST(FgrSumTest, RejectsCorruptFiles) {
   EXPECT_FALSE(ReadFgrSum(TempPath("missing.fgrsum")).ok());
 }
 
+TEST(FgrSumTest, WriteKeepsTheLongerPrefixUnderConcurrentWriters) {
+  const std::string path = TempPath("longer_prefix.fgrsum");
+  const std::uint64_t hash = 0x5eedull;
+  // A shorter write for the same bytes must not clobber a longer sidecar:
+  // ℓ=10's statistics subsume ℓ=5's (the recurrence's prefix property).
+  ASSERT_TRUE(WriteFgrSum(MakeSummary(10, hash), path).ok());
+  ASSERT_TRUE(WriteFgrSum(MakeSummary(5, hash), path).ok());
+  auto read = ReadFgrSum(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().max_length, 10);
+
+  // A changed content hash is not a prefix of anything: it must replace.
+  ASSERT_TRUE(WriteFgrSum(MakeSummary(5, hash + 1), path).ok());
+  read = ReadFgrSum(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().max_length, 5);
+  EXPECT_EQ(read.value().content_hash, hash + 1);
+
+  // Two writers interleaving under the advisory lock: whatever the
+  // schedule, the surviving sidecar is complete and carries the longest
+  // prefix either writer produced.
+  const std::string raced = TempPath("raced_prefix.fgrsum");
+  std::thread writer_a([&] {
+    for (int i = 0; i < 8; ++i) {
+      FGR_CHECK(WriteFgrSum(MakeSummary(10, hash), raced).ok());
+    }
+  });
+  std::thread writer_b([&] {
+    for (int i = 0; i < 8; ++i) {
+      FGR_CHECK(WriteFgrSum(MakeSummary(5, hash), raced).ok());
+    }
+  });
+  writer_a.join();
+  writer_b.join();
+  auto survived = ReadFgrSum(raced);
+  ASSERT_TRUE(survived.ok()) << survived.status().ToString();
+  EXPECT_EQ(survived.value().max_length, 10);
+  EXPECT_EQ(survived.value().content_hash, hash);
+}
+
 TEST(SummaryCacheTest, ComputesOnceThenHitsMemory) {
   SummaryCache cache(/*persist_sidecars=*/false);
   const std::string key = TempPath("cache_a.fgrbin");
@@ -553,6 +594,41 @@ TEST(DatasetCacheTest, ReopensWhenTheFileChanges) {
   EXPECT_GE(cache.counters().stale_reopens, 1);
 }
 
+TEST(DatasetCacheTest, ReopensOnMtimePreservingSameSizeRewrite) {
+  namespace fs = std::filesystem;
+  Fixture fixture = MakeFixture("inode_stale", 27);
+  DatasetCache cache(std::int64_t{64} << 20);
+  auto first = cache.Acquire(fixture.path);
+  ASSERT_TRUE(first.ok());
+  const std::uint64_t original_hash = first.value()->content_hash();
+
+  // Same graph (same generation seed), different seed labeling: identical
+  // file size, different bytes. Copy the original's mtime onto it and
+  // rename it over the original — the classic rsync -t / cp -p / atomic
+  // temp+rename shape. Only the inode changes.
+  Rng rng(27);
+  auto planted = GeneratePlantedGraph(MakeSkewConfig(400, 8.0, 3, 3.0), rng);
+  ASSERT_TRUE(planted.ok());
+  LabeledGraph rewrite;
+  rewrite.name = "inode_stale";
+  rewrite.graph = std::move(planted.value().graph);
+  Rng other_rng(9001);
+  rewrite.labels =
+      SampleStratifiedSeeds(planted.value().labels, 0.05, other_rng);
+  const std::string staged = TempPath("inode_stale_staged.fgrbin");
+  ASSERT_TRUE(WriteFgrBin(rewrite, staged).ok());
+  ASSERT_EQ(fs::file_size(staged), fs::file_size(fixture.path));
+  fs::last_write_time(staged, fs::last_write_time(fixture.path));
+  fs::rename(staged, fixture.path);
+
+  // (mtime, size) alone would call this a hit and serve the stale mapping
+  // (and its stale content hash); the inode/device check must reopen.
+  auto second = cache.Acquire(fixture.path);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache.counters().stale_reopens, 1);
+  EXPECT_NE(second.value()->content_hash(), original_hash);
+}
+
 // --- server handlers (transport-free) -------------------------------------
 
 TEST(ServerTest, RejectsUnknownDatasetAndWrongExtension) {
@@ -696,11 +772,14 @@ TEST(ServerTest, RewritingTheCacheInvalidatesTheSummary) {
   EXPECT_EQ(server.summaries().counters().invalidations, 1);
 }
 
-TEST(ServerTest, OverBudgetDatasetsStreamEstimatesAndRefuseLabels) {
+TEST(ServerTest, OverBudgetDatasetsStreamEstimatesAndLabels) {
   SetNumThreads(1);
   Fixture fixture = MakeFixture("serve_stream", 36);
   const EstimationResult offline =
       EstimateDce(fixture.data.graph, fixture.seeds, TestDceOptions());
+  const Labeling offline_labels = LabelsFromBeliefs(
+      RunLinBp(fixture.data.graph, fixture.seeds, offline.h).beliefs,
+      fixture.seeds);
 
   ServerOptions options;
   options.dataset_budget_bytes = 1024;  // nothing fits
@@ -709,18 +788,31 @@ TEST(ServerTest, OverBudgetDatasetsStreamEstimatesAndRefuseLabels) {
   FgrServer server(options);
   const Json estimate =
       MustParse(server.HandleRequestLine(EstimateRequest(fixture.path)));
-  SetNumThreads(0);
   ASSERT_TRUE(estimate.Find("ok")->bool_value())
       << estimate.GetString("error", "");
   EXPECT_FALSE(estimate.Find("resident")->bool_value());
   // Streamed serial summarization is bit-identical to in-core.
   EXPECT_EQ(MatrixFrom(estimate, "h").data(), offline.h.data());
 
+  // Label no longer needs residency: propagation streams block-row over
+  // the same panels, and serial streamed labels match in-core exactly.
   const Json label = MustParse(
       server.HandleRequestLine(EstimateRequest(fixture.path, "label")));
-  EXPECT_FALSE(label.Find("ok")->bool_value());
-  EXPECT_NE(label.GetString("error", "").find("residency budget"),
-            std::string::npos);
+  SetNumThreads(0);
+  ASSERT_TRUE(label.Find("ok")->bool_value())
+      << label.GetString("error", "");
+  EXPECT_FALSE(label.Find("resident")->bool_value());
+  const Json* labels = label.Find("labels");
+  ASSERT_NE(labels, nullptr);
+  ASSERT_EQ(static_cast<NodeId>(labels->items().size()),
+            offline_labels.num_nodes());
+  for (NodeId i = 0; i < offline_labels.num_nodes(); ++i) {
+    EXPECT_EQ(static_cast<ClassId>(
+                  labels->items()[static_cast<std::size_t>(i)]
+                      .number_value()),
+              offline_labels.label(i))
+        << "node " << i;
+  }
 }
 
 TEST(ServerTest, StatsAndDatasetsOpsReportCounters) {

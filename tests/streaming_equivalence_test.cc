@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -279,6 +280,308 @@ TEST(StreamingEquivalenceTest, RejectsSeedCountMismatch) {
   auto streamed = ComputeGraphStatisticsStreaming(fixture.path, wrong, 3);
   ASSERT_FALSE(streamed.ok());
   EXPECT_EQ(streamed.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- prefetched panel pipeline --------------------------------------------
+
+// Clones the fixture's .fgrbin so mutation tests never corrupt the file a
+// later test reuses.
+std::string CloneFixture(const StreamFixture& fixture,
+                         const std::string& name) {
+  const std::string copy = TempPath(name + ".fgrbin");
+  std::filesystem::copy_file(
+      fixture.path, copy, std::filesystem::copy_options::overwrite_existing);
+  return copy;
+}
+
+// Flips one bit of the row_ptr entry at `index` (a panel boundary makes the
+// next read of that panel fail the changed-since-Open check).
+void FlipRowPtrBit(const std::string& path, std::int64_t index) {
+  std::fstream file(path,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  FGR_CHECK(static_cast<bool>(file));
+  const std::streamoff offset = 40 + index * 8;  // header is 40 bytes
+  std::int64_t value = 0;
+  file.seekg(offset);
+  FGR_CHECK(static_cast<bool>(
+      file.read(reinterpret_cast<char*>(&value), sizeof(value))));
+  value ^= 1;
+  file.seekp(offset);
+  FGR_CHECK(static_cast<bool>(
+      file.write(reinterpret_cast<const char*>(&value), sizeof(value))));
+}
+
+TEST(PrefetchingPanelReaderTest, DeliversIdenticalPanelsAcrossPasses) {
+  const StreamFixture fixture =
+      MakeStreamFixture(500, "prefetch_panels", true);
+  auto sync = BlockRowReader::Open(fixture.path, PanelOptions(97));
+  ASSERT_TRUE(sync.ok());
+  auto async_reader = BlockRowReader::Open(fixture.path, PanelOptions(97));
+  ASSERT_TRUE(async_reader.ok());
+  PrefetchingPanelReader prefetched(std::move(async_reader).value());
+  EXPECT_EQ(prefetched.num_nodes(), sync.value().num_nodes());
+  EXPECT_EQ(prefetched.num_panels(), sync.value().num_panels());
+
+  // Two full passes with a Rewind in between — the producer restarts and
+  // must deliver the identical panel sequence again.
+  for (int pass = 0; pass < 2; ++pass) {
+    CsrPanel expected, got;
+    while (!sync.value().Done()) {
+      ASSERT_FALSE(prefetched.Done());
+      ASSERT_TRUE(sync.value().NextPanel(&expected).ok());
+      ASSERT_TRUE(prefetched.NextPanel(&got).ok());
+      EXPECT_EQ(got.first_row, expected.first_row);
+      EXPECT_EQ(got.row_ptr, expected.row_ptr);
+      EXPECT_EQ(got.col_idx, expected.col_idx);
+      EXPECT_EQ(got.values, expected.values);
+    }
+    EXPECT_TRUE(prefetched.Done());
+    ASSERT_TRUE(sync.value().Rewind().ok());
+    ASSERT_TRUE(prefetched.Rewind().ok());
+  }
+}
+
+TEST(PrefetchingPanelReaderTest, TruncationWhileProducerRunsFailsLoudly) {
+  const StreamFixture fixture = MakeStreamFixture(600, "prefetch_trunc");
+  const std::string copy = CloneFixture(fixture, "prefetch_trunc_copy");
+  auto opened = BlockRowReader::Open(copy, PanelOptions(16));
+  ASSERT_TRUE(opened.ok());
+  PrefetchingPanelReader reader(std::move(opened).value());
+
+  CsrPanel panel;
+  ASSERT_TRUE(reader.NextPanel(&panel).ok());
+  std::filesystem::resize_file(copy, std::filesystem::file_size(copy) / 2);
+
+  // The producer may have a couple of panels buffered ahead; the error must
+  // still surface in-band before the stream claims completion.
+  Status status = Status::Ok();
+  while (status.ok() && !reader.Done()) {
+    status = reader.NextPanel(&panel);
+  }
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("truncated"), std::string::npos)
+      << status.ToString();
+
+  // Once failed, the reader stays failed until Rewind...
+  EXPECT_FALSE(reader.NextPanel(&panel).ok());
+  // ...and the next pass over the still-truncated file fails loudly too.
+  ASSERT_TRUE(reader.Rewind().ok());
+  status = Status::Ok();
+  while (status.ok() && !reader.Done()) {
+    status = reader.NextPanel(&panel);
+  }
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PrefetchingPanelReaderTest, BitFlipBetweenPassesFailsTheNextPass) {
+  const StreamFixture fixture = MakeStreamFixture(400, "prefetch_flip");
+  const std::string copy = CloneFixture(fixture, "prefetch_flip_copy");
+  auto opened = BlockRowReader::Open(copy, PanelOptions(64));
+  ASSERT_TRUE(opened.ok());
+  PrefetchingPanelReader reader(std::move(opened).value());
+
+  CsrPanel panel;
+  while (!reader.Done()) ASSERT_TRUE(reader.NextPanel(&panel).ok());
+
+  // Corrupt the row_ptr entry on the boundary between panels 1 and 2
+  // (rows_per_panel = 64 → entry 128), then rewind into the next ℓ pass.
+  FlipRowPtrBit(copy, 128);
+  ASSERT_TRUE(reader.Rewind().ok());
+  Status status = Status::Ok();
+  while (status.ok() && !reader.Done()) {
+    status = reader.NextPanel(&panel);
+  }
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("changed since Open"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(BlockRowReaderTest, BitFlipBetweenPassesFailsTheSyncReader) {
+  const StreamFixture fixture = MakeStreamFixture(400, "sync_flip");
+  const std::string copy = CloneFixture(fixture, "sync_flip_copy");
+  auto reader = BlockRowReader::Open(copy, PanelOptions(64));
+  ASSERT_TRUE(reader.ok());
+
+  CsrPanel panel;
+  while (!reader.value().Done()) {
+    ASSERT_TRUE(reader.value().NextPanel(&panel).ok());
+  }
+  FlipRowPtrBit(copy, 128);
+  ASSERT_TRUE(reader.value().Rewind().ok());
+  Status status = Status::Ok();
+  while (status.ok() && !reader.value().Done()) {
+    status = reader.value().NextPanel(&panel);
+  }
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("changed since Open"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(StreamingEquivalenceTest, PrefetchedStatisticsAreBitIdenticalToSync) {
+  ThreadGuard guard;
+  const StreamFixture fixture = MakeStreamFixture(1200, "stats_prefetch");
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    for (std::int64_t rows : PanelSweep(1200)) {
+      BlockRowReaderOptions sync_options = PanelOptions(rows);
+      sync_options.prefetch = false;
+      auto sync = ComputeGraphStatisticsStreaming(
+          fixture.path, fixture.seeds, 5, PathType::kNonBacktracking,
+          NormalizationVariant::kRowStochastic, sync_options);
+      ASSERT_TRUE(sync.ok()) << sync.status().ToString();
+      auto prefetched = ComputeGraphStatisticsStreaming(
+          fixture.path, fixture.seeds, 5, PathType::kNonBacktracking,
+          NormalizationVariant::kRowStochastic, PanelOptions(rows));
+      ASSERT_TRUE(prefetched.ok()) << prefetched.status().ToString();
+      ASSERT_EQ(prefetched.value().m_raw.size(), sync.value().m_raw.size());
+      // Prefetching moves *where* reads happen, never panel order or
+      // content, so the match is bitwise at every thread count.
+      for (std::size_t l = 0; l < sync.value().m_raw.size(); ++l) {
+        EXPECT_EQ(prefetched.value().m_raw[l].data(),
+                  sync.value().m_raw[l].data())
+            << threads << " threads, panel rows " << rows << ", length "
+            << l + 1;
+      }
+    }
+  }
+}
+
+// --- streamed LinBP propagation -------------------------------------------
+
+TEST(StreamingEquivalenceTest, StreamedLinBpIsBitIdenticalInSerial) {
+  ThreadGuard guard;
+  SetNumThreads(1);
+  const StreamFixture fixture =
+      MakeStreamFixture(900, "linbp_stream", true);
+  DceOptions dce;
+  dce.restarts = 2;
+  const EstimationResult estimate =
+      EstimateDce(fixture.graph, fixture.seeds, dce);
+  const LinBpResult in_core =
+      RunLinBp(fixture.graph, fixture.seeds, estimate.h);
+
+  for (std::int64_t rows : PanelSweep(900)) {
+    for (bool prefetch : {false, true}) {
+      BlockRowReaderOptions options = PanelOptions(rows);
+      options.prefetch = prefetch;
+      auto streamed = PropagateLinBPStreaming(
+          fixture.path, fixture.seeds, estimate.h, LinBpOptions(), options);
+      ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+      EXPECT_EQ(streamed.value().beliefs.data(), in_core.beliefs.data())
+          << "panel rows " << rows << ", prefetch " << prefetch;
+      EXPECT_EQ(streamed.value().epsilon, in_core.epsilon);
+      EXPECT_EQ(streamed.value().rho_w, in_core.rho_w);
+      EXPECT_EQ(streamed.value().rho_h, in_core.rho_h);
+      EXPECT_EQ(streamed.value().iterations_run, in_core.iterations_run);
+    }
+  }
+}
+
+TEST(StreamingEquivalenceTest, StreamedLinBpMatchesToleranceWhenThreaded) {
+  ThreadGuard guard;
+  const StreamFixture fixture = MakeStreamFixture(900, "linbp_threaded");
+  SetNumThreads(1);
+  DceOptions dce;
+  dce.restarts = 2;
+  const EstimationResult estimate =
+      EstimateDce(fixture.graph, fixture.seeds, dce);
+  const LinBpResult reference =
+      RunLinBp(fixture.graph, fixture.seeds, estimate.h);
+
+  SetNumThreads(4);
+  auto streamed = PropagateLinBPStreaming(fixture.path, fixture.seeds,
+                                          estimate.h, LinBpOptions(),
+                                          PanelOptions(97));
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  EXPECT_TRUE(
+      AllClose(streamed.value().beliefs, reference.beliefs, 1e-9));
+}
+
+TEST(StreamingEquivalenceTest, StreamedLinBpEchoCancellationMatches) {
+  ThreadGuard guard;
+  SetNumThreads(1);
+  const StreamFixture fixture =
+      MakeStreamFixture(500, "linbp_echo", true);
+  DceOptions dce;
+  dce.restarts = 2;
+  const EstimationResult estimate =
+      EstimateDce(fixture.graph, fixture.seeds, dce);
+  LinBpOptions linbp;
+  linbp.echo_cancellation = true;
+  linbp.early_stop_tolerance = 1e-6;
+  const LinBpResult in_core =
+      RunLinBp(fixture.graph, fixture.seeds, estimate.h, linbp);
+  auto streamed = PropagateLinBPStreaming(
+      fixture.path, fixture.seeds, estimate.h, linbp, PanelOptions(97));
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  EXPECT_EQ(streamed.value().beliefs.data(), in_core.beliefs.data());
+  EXPECT_EQ(streamed.value().iterations_run, in_core.iterations_run);
+}
+
+TEST(StreamingEquivalenceTest, StreamedLinBpRejectsBadShapes) {
+  const StreamFixture fixture = MakeStreamFixture(300, "linbp_shapes");
+  const DenseMatrix wrong_h(2, 2);
+  auto bad_h = PropagateLinBPStreaming(fixture.path, fixture.seeds, wrong_h);
+  ASSERT_FALSE(bad_h.ok());
+  EXPECT_EQ(bad_h.status().code(), StatusCode::kInvalidArgument);
+
+  const Labeling wrong_seeds(299, 3);
+  const DenseMatrix h(3, 3);
+  auto bad_seeds = PropagateLinBPStreaming(fixture.path, wrong_seeds, h);
+  ASSERT_FALSE(bad_seeds.ok());
+  EXPECT_EQ(bad_seeds.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- fgr::Label routing ---------------------------------------------------
+
+TEST(StreamingEquivalenceTest, BudgetedLabelMatchesInCore) {
+  ThreadGuard guard;
+  SetNumThreads(1);
+  const StreamFixture fixture =
+      MakeStreamFixture(700, "label_budget", true);
+
+  LabelOptions in_core_options;
+  in_core_options.estimate.dce.restarts = 2;
+  auto in_core = Label(
+      DatasetRef::InMemory(fixture.graph, fixture.seeds), in_core_options);
+  ASSERT_TRUE(in_core.ok()) << in_core.status().ToString();
+
+  LabelOptions streamed_options = in_core_options;
+  // A budget far below the file size forces the whole pipeline — the
+  // estimation passes and the propagation — through the panel streamer.
+  streamed_options.estimate.memory_budget_bytes = 4096;
+  auto streamed = Label(DatasetRef::FgrBin(fixture.path, &fixture.seeds),
+                        streamed_options);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+
+  EXPECT_EQ(streamed.value().estimate.h.data(),
+            in_core.value().estimate.h.data());
+  EXPECT_EQ(streamed.value().propagation.beliefs.data(),
+            in_core.value().propagation.beliefs.data());
+  EXPECT_EQ(streamed.value().labels.raw(), in_core.value().labels.raw());
+  EXPECT_GT(streamed.value().labels.NumLabeled(),
+            fixture.seeds.NumLabeled());
+}
+
+TEST(StreamingEquivalenceTest, UnbudgetedPathLabelLoadsInCore) {
+  ThreadGuard guard;
+  SetNumThreads(1);
+  const StreamFixture fixture = MakeStreamFixture(400, "label_incore");
+  LabelOptions options;
+  options.estimate.dce.restarts = 2;
+  auto from_path =
+      Label(DatasetRef::FgrBin(fixture.path, &fixture.seeds), options);
+  ASSERT_TRUE(from_path.ok()) << from_path.status().ToString();
+  auto from_memory =
+      Label(DatasetRef::InMemory(fixture.graph, fixture.seeds), options);
+  ASSERT_TRUE(from_memory.ok());
+  EXPECT_EQ(from_path.value().labels.raw(), from_memory.value().labels.raw());
+  EXPECT_EQ(from_path.value().propagation.beliefs.data(),
+            from_memory.value().propagation.beliefs.data());
 }
 
 // --- LCE M/B panel accumulators -------------------------------------------

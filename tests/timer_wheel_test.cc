@@ -1,0 +1,161 @@
+// Unit tests for the serve timer wheel (src/serve/timer_wheel.h), focused
+// on the incrementally maintained earliest-deadline tick that backs the
+// O(1) MsUntilNext: every randomized Schedule/Collect interleaving must
+// agree with a brute-force scan over the armed entries.
+
+#include "serve/timer_wheel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+#include "gtest/gtest.h"
+
+namespace fgr {
+namespace {
+
+using Clock = TimerWheel::Clock;
+
+Clock::time_point At(Clock::time_point epoch, std::int64_t ms) {
+  return epoch + std::chrono::milliseconds(ms);
+}
+
+TEST(TimerWheelTest, EmptyWheelReportsNoDeadline) {
+  TimerWheel wheel(5, 16);
+  const Clock::time_point epoch = Clock::now();
+  wheel.Start(epoch);
+  EXPECT_EQ(wheel.MsUntilNext(epoch), -1);
+  EXPECT_EQ(wheel.MsUntilNext(At(epoch, 1000)), -1);
+}
+
+TEST(TimerWheelTest, SingleTimerCountsDownToZero) {
+  TimerWheel wheel(5, 16);
+  const Clock::time_point epoch = Clock::now();
+  wheel.Start(epoch);
+  wheel.Schedule(epoch, 40, 1, 1, TimerWheel::Kind::kRequest);
+  EXPECT_EQ(wheel.MsUntilNext(epoch), 40);
+  EXPECT_EQ(wheel.MsUntilNext(At(epoch, 25)), 15);
+  // Past-due deadlines clamp to zero (fire immediately), never negative.
+  EXPECT_EQ(wheel.MsUntilNext(At(epoch, 80)), 0);
+}
+
+TEST(TimerWheelTest, SchedulingEarlierTimerLowersTheDeadline) {
+  TimerWheel wheel(5, 16);
+  const Clock::time_point epoch = Clock::now();
+  wheel.Start(epoch);
+  wheel.Schedule(epoch, 200, 1, 1, TimerWheel::Kind::kIdle);
+  EXPECT_EQ(wheel.MsUntilNext(epoch), 200);
+  wheel.Schedule(epoch, 30, 2, 1, TimerWheel::Kind::kRequest);
+  EXPECT_EQ(wheel.MsUntilNext(epoch), 30);
+  // A later timer must not raise the cached earliest deadline.
+  wheel.Schedule(epoch, 500, 3, 1, TimerWheel::Kind::kIdle);
+  EXPECT_EQ(wheel.MsUntilNext(epoch), 30);
+}
+
+TEST(TimerWheelTest, CollectAdvancesTheDeadlineToTheSurvivor) {
+  TimerWheel wheel(5, 16);
+  const Clock::time_point epoch = Clock::now();
+  wheel.Start(epoch);
+  wheel.Schedule(epoch, 20, 1, 1, TimerWheel::Kind::kRequest);
+  wheel.Schedule(epoch, 300, 2, 1, TimerWheel::Kind::kIdle);
+
+  std::vector<TimerWheel::Entry> expired;
+  wheel.Collect(At(epoch, 25), &expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].conn_id, 1u);
+  // The cached earliest must now track the surviving 300ms timer, not the
+  // one that just fired.
+  EXPECT_EQ(wheel.MsUntilNext(At(epoch, 25)), 275);
+
+  expired.clear();
+  wheel.Collect(At(epoch, 400), &expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].conn_id, 2u);
+  EXPECT_EQ(wheel.MsUntilNext(At(epoch, 400)), -1);
+}
+
+TEST(TimerWheelTest, DeadlinesBeyondOneRevolutionWaitTheirTurn) {
+  // 8 slots x 5ms tick = one revolution every 40ms; a 100ms timer shares a
+  // slot with earlier ticks and must neither fire early nor be lost.
+  TimerWheel wheel(5, 8);
+  const Clock::time_point epoch = Clock::now();
+  wheel.Start(epoch);
+  wheel.Schedule(epoch, 100, 7, 3, TimerWheel::Kind::kIdle);
+  EXPECT_EQ(wheel.MsUntilNext(epoch), 100);
+
+  std::vector<TimerWheel::Entry> expired;
+  wheel.Collect(At(epoch, 60), &expired);  // one-and-a-half revolutions
+  EXPECT_TRUE(expired.empty());
+  EXPECT_EQ(wheel.MsUntilNext(At(epoch, 60)), 40);
+
+  wheel.Collect(At(epoch, 110), &expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].conn_id, 7u);
+  EXPECT_EQ(expired[0].generation, 3u);
+}
+
+// Randomized interleavings of Schedule and Collect, checked against a
+// brute-force shadow: a flat vector of armed deadline ticks replicating
+// the wheel's rounding (delay rounded up to whole ticks, never earlier
+// than current_tick_ + 1).
+TEST(TimerWheelTest, MatchesBruteForceShadowUnderRandomWorkload) {
+  constexpr std::int64_t kTickMs = 5;
+  TimerWheel wheel(kTickMs, 32);
+  const Clock::time_point epoch = Clock::now();
+  wheel.Start(epoch);
+
+  Rng rng(20240808);
+  std::vector<std::int64_t> shadow;  // armed deadline ticks
+  std::int64_t now_ms = 0;
+  std::int64_t shadow_tick = 0;
+  std::uint64_t next_conn = 1;
+
+  for (int step = 0; step < 2000; ++step) {
+    const double action = rng.Uniform();
+    if (action < 0.55) {
+      const std::int64_t delay_ms = static_cast<std::int64_t>(
+          rng.Uniform() * 400.0);
+      wheel.Schedule(At(epoch, now_ms), delay_ms, next_conn++, 1,
+                     TimerWheel::Kind::kRequest);
+      std::int64_t deadline =
+          now_ms / kTickMs + (delay_ms + kTickMs - 1) / kTickMs;
+      if (deadline <= shadow_tick) deadline = shadow_tick + 1;
+      shadow.push_back(deadline);
+    } else {
+      now_ms += static_cast<std::int64_t>(rng.Uniform() * 60.0);
+      std::vector<TimerWheel::Entry> expired;
+      wheel.Collect(At(epoch, now_ms), &expired);
+      const std::int64_t target = now_ms / kTickMs;
+      std::size_t kept = 0;
+      std::size_t fired = 0;
+      for (std::size_t i = 0; i < shadow.size(); ++i) {
+        if (shadow[i] <= target) {
+          ++fired;
+        } else {
+          shadow[kept++] = shadow[i];
+        }
+      }
+      shadow.resize(kept);
+      shadow_tick = target;
+      ASSERT_EQ(expired.size(), fired) << "step " << step;
+    }
+
+    ASSERT_EQ(wheel.size(), shadow.size()) << "step " << step;
+    const std::int64_t got = wheel.MsUntilNext(At(epoch, now_ms));
+    if (shadow.empty()) {
+      ASSERT_EQ(got, -1) << "step " << step;
+    } else {
+      const std::int64_t earliest =
+          *std::min_element(shadow.begin(), shadow.end());
+      const std::int64_t due_ms = earliest * kTickMs;
+      const std::int64_t want = due_ms > now_ms ? due_ms - now_ms : 0;
+      ASSERT_EQ(got, want) << "step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fgr

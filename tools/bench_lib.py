@@ -296,6 +296,27 @@ DEFAULT_GATES = (
         description="scalar vs best-ISA SpMM speedup (n=100k, k=5, "
                     "1 thread)",
     ),
+    # PR 9's async panel pipeline: with the producer thread overlapping
+    # reads with compute, the prefetched streamed summarization must not be
+    # slower than the synchronous streamed path (measured at or slightly
+    # below 1.0x; a prefetcher that serializes — a ring-queue deadlock
+    # retry, a producer that buffers nothing — shows up as > 1). The 1.15
+    # bound leaves runner-noise headroom on the two back-to-back runs.
+    # min_cpus=2: on a single core the producer thread steals the compute
+    # core and overlap is physically impossible.
+    Gate(
+        name="prefetch_overlap",
+        kind=MICRO,
+        numerator="BM_StreamingPipeline/n:100000/panel_rows:8192/"
+                  "prefetch:1/threads:1",
+        denominator="BM_StreamingPipeline/n:100000/panel_rows:8192/"
+                    "prefetch:0/threads:1",
+        op="<=",
+        bound=1.15,
+        min_cpus=2,
+        description="prefetched vs synchronous streamed summarization "
+                    "(8k-row panels, 1 compute thread)",
+    ),
 )
 
 # Which metric a *regression* inflates, per gate op: a "<=" gate protects

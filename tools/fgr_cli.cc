@@ -34,8 +34,12 @@
 //       for graphs larger than RAM).
 //
 //   fgr_cli label <name|edges.txt> <labels.txt> <out.txt> --classes K
-//           [--restarts R]
-//       Estimate + LinBP propagation; writes a fully labeled file.
+//           [--restarts R] [--memory-budget MB]
+//       Estimate + LinBP propagation; writes a fully labeled file. With
+//       --memory-budget the dataset must be a .fgrbin cache; estimation
+//       and propagation then both stream block-row under the budget
+//       (out-of-core labeling — only the n×k beliefs stay resident), with
+//       output byte-identical to the in-core path in serial runs.
 //
 //   fgr_cli serve [--port N] [--workers W] [--budget MB] [--preload ...]
 //       Run the fgrd serving daemon in-process (same protocol and flags as
@@ -132,6 +136,7 @@ int Usage() {
       "          [--lmax L] [--lambda X] [--memory-budget MB]\n"
       "  fgr_cli label <name|edges> <labels> <out> --classes K "
       "[--restarts R]\n"
+      "          [--memory-budget MB]\n"
       "  fgr_cli serve [--port N] [--host H] [--workers W] [--budget MB]\n"
       "          [--streaming-budget MB] [--preload a.fgrbin,b] "
       "[--no-summaries]\n"
@@ -423,10 +428,54 @@ int RunEstimate(const std::string& reference, const std::string& labels_path,
   return 0;
 }
 
+// Out-of-core labeling: estimation *and* LinBP propagation stream the
+// cache block-row under the budget — only the n×k belief state is
+// resident. Serial output files are byte-identical to the in-core label
+// path, so CI diffs the two directly.
+int RunLabelStreaming(const std::string& reference,
+                      const std::string& labels_path,
+                      const std::string& out_path, const Flags& flags,
+                      std::int64_t budget_mb) {
+  const std::string extension(kFgrBinExtension);
+  if (reference.size() < extension.size() ||
+      reference.compare(reference.size() - extension.size(),
+                        extension.size(), extension) != 0) {
+    return Fail("--memory-budget streams a .fgrbin cache; convert first: "
+                "fgr_cli datasets convert " + reference + " <out" +
+                extension + ">");
+  }
+  auto info = InspectFgrBin(reference);
+  if (!info.ok()) return Fail(info.status().ToString());
+  auto seeds = ReadLabels(labels_path, info.value().num_nodes,
+                          static_cast<ClassId>(flags.Int("classes", -1)));
+  if (!seeds.ok()) return Fail(seeds.status().ToString());
+
+  LabelOptions options;
+  options.estimate.dce = MakeDceOptions(flags);
+  options.estimate.memory_budget_bytes = budget_mb << 20;
+  auto labeled =
+      fgr::Label(DatasetRef::FgrBin(reference, &seeds.value()), options);
+  if (!labeled.ok()) return Fail(labeled.status().ToString());
+
+  const Status status = WriteLabels(labeled.value().labels, out_path);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("estimated H, propagated %d LinBP iterations, wrote %lld "
+              "labels to %s\n",
+              labeled.value().propagation.iterations_run,
+              static_cast<long long>(labeled.value().labels.num_nodes()),
+              out_path.c_str());
+  return 0;
+}
+
 int RunLabel(const std::string& reference, const std::string& labels_path,
              const std::string& out_path, const Flags& flags) {
   if (flags.Int("classes", 0) < 2) {
     return Fail("--classes K (K >= 2) is required");
+  }
+  const std::int64_t budget_mb = flags.Int("memory-budget", 0);
+  if (budget_mb > 0) {
+    return RunLabelStreaming(reference, labels_path, out_path, flags,
+                             budget_mb);
   }
   auto problem = MakeProblem(reference, labels_path, flags,
                              /*sample_when_full=*/false);

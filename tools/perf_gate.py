@@ -185,6 +185,10 @@ def healthy_template():
             {"real_time_s": 20.7e-3, "cpu_time_s": 20.7e-3},
         "BM_SpMMIsa/isa:best/n:100000/k:5/threads:1":
             {"real_time_s": 13.7e-3, "cpu_time_s": 13.7e-3},
+        "BM_StreamingPipeline/n:100000/panel_rows:8192/prefetch:0/threads:1":
+            {"real_time_s": 111e-3, "cpu_time_s": 111e-3},
+        "BM_StreamingPipeline/n:100000/panel_rows:8192/prefetch:1/threads:1":
+            {"real_time_s": 105e-3, "cpu_time_s": 112e-3},
     }
     serve = {
         "BM_ServeQueryCold/n:100000/threads:1": {"real_time_s": 245e-3,
@@ -282,6 +286,29 @@ def self_test():
     check(bench_lib.evaluate_gate(simd_gate, scalar_only,
                                   num_cpus=4).status == "missing",
           "gate %s reports missing on a scalar-only build" % simd_gate.name)
+
+    # prefetch_overlap bounds prefetched/sync streamed summarization at
+    # 1.15x: a prefetcher that stops overlapping (2x the prefetched run)
+    # must trip, while 5% runner jitter on the prefetched run must not
+    # (healthy ratio ~0.95, 5% slower -> ~0.99, still under the bound).
+    prefetch_gate = bench_lib.DEFAULT_GATES[5]
+    prefetched = bench_lib.gate_regression_side(prefetch_gate)
+    serialized = copy.deepcopy(template)
+    serialized[prefetch_gate.kind][prefetched]["real_time_s"] *= 2.0
+    check(bench_lib.evaluate_gate(prefetch_gate, serialized,
+                                  num_cpus=4).status == "fail",
+          "gate %s trips when the prefetcher stops overlapping"
+          % prefetch_gate.name)
+    prefetch_jitter = copy.deepcopy(template)
+    prefetch_jitter[prefetch_gate.kind][prefetched]["real_time_s"] *= 1.05
+    check(bench_lib.evaluate_gate(prefetch_gate, prefetch_jitter,
+                                  num_cpus=4).status == "pass",
+          "gate %s tolerates 5%% jitter of the prefetched run"
+          % prefetch_gate.name)
+    # A producer thread needs its own core: skip, never fail, on 1 cpu.
+    check(bench_lib.evaluate_gate(prefetch_gate, template,
+                                  num_cpus=1).status == "skip",
+          "gate %s skips on a 1-cpu runner" % prefetch_gate.name)
 
     # The cross-run baseline comparator guarantees the literal 2x contract
     # for EVERY metric (including ones the loose ratio bounds tolerate):
