@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "fgr/fgr.h"
+#include "obs/trace.h"
 
 namespace fgr {
 namespace {
@@ -80,6 +81,29 @@ BENCHMARK(BM_SpMM)
     ->ArgsProduct({{10000}, {2, 5, 10}, {1, 2, 4, 8}})
     ->ArgsProduct({{100000}, {5}, {1, 2, 4, 8}})
     ->ArgNames({"n", "k", "threads"});
+
+// One million *disabled* trace spans per iteration — the "near-zero cost
+// when off" contract, measured directly. A healthy disabled span is one
+// relaxed atomic load (~0.3 ns measured; 1M spans ≈ 0.3 ms), so the
+// tracing_off_overhead gate's ratio against the ~14 ms n=100k SpMM sits
+// near 0.02. Sneak a clock read into the disabled constructor and the
+// same loop costs ~20 ms (ratio ~1.4) — the 0.5 bound has an order of
+// magnitude of headroom on both sides, which short quick-mode benchmark
+// runs on a noisy runner cannot bridge.
+void BM_DisabledTraceSpans(benchmark::State& state) {
+  obs::DisableTracing();
+  const std::int64_t spans = state.range(0);
+  for (auto _ : state) {
+    for (std::int64_t span = 0; span < spans; ++span) {
+      FGR_TRACE_SPAN("bench/spmm_disabled");
+    }
+  }
+  state.counters["sec_per_span"] = benchmark::Counter(
+      static_cast<double>(spans),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_DisabledTraceSpans)->Arg(1000000)->ArgNames({"spans"});
 
 // Kernel-variant dimension: the same SpMM / transpose SpMM with the ISA
 // pinned via SetKernelIsaForTest, so the dispatch cost and the SIMD win are

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/arena.h"
 #include "util/check.h"
 #include "util/parallel.h"
@@ -223,6 +224,7 @@ GraphStatistics ComputeGraphStatistics(const Graph& graph,
   PanelSummarizer summarizer(seeds, max_length, path_type);
   const CsrPanelView whole = graph.adjacency().View();
   for (int length = 1; length <= max_length; ++length) {
+    FGR_TRACE_SPAN("summarize/pass", length);
     summarizer.BeginPass(length);
     summarizer.AbsorbPanel(whole);
     summarizer.EndPass();

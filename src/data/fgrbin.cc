@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace fgr {
 namespace {
 
@@ -204,6 +206,7 @@ Status WriteFgrBin(const Graph& graph, const Labeling* labels,
 }
 
 Result<LabeledGraph> ReadFgrBin(const std::string& path) {
+  FGR_TRACE_SPAN("io/load_fgrbin");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open " + path);
   Result<FgrBinInfo> inspected = InspectStream(in, path);

@@ -11,6 +11,7 @@
 #include <fstream>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace fgr {
@@ -36,6 +37,7 @@ std::uint64_t FnvAccumulate(std::uint64_t hash, const unsigned char* data,
 Status ValidateMappedCsr(const std::string& path, std::int64_t n,
                          std::int64_t nnz, const std::int64_t* row_ptr,
                          const std::int64_t* col_idx, const double* values) {
+  FGR_TRACE_SPAN("io/validate_fgrbin");
   if (row_ptr[0] != 0 || row_ptr[n] != nnz) {
     return Status::InvalidArgument(path +
                                    ": CSR row_ptr must span [0, nnz]");
@@ -192,6 +194,7 @@ MappedFgrBin& MappedFgrBin::operator=(MappedFgrBin&& other) noexcept {
 }
 
 Result<MappedFgrBin> MappedFgrBin::Open(const std::string& path) {
+  FGR_TRACE_SPAN("io/mmap_fgrbin");
   // Header validation is the shared InspectFgrBin pass, so a mapped open
   // rejects exactly the headers the streaming and copy readers reject.
   Result<FgrBinInfo> inspected = InspectFgrBin(path);

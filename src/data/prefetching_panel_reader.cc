@@ -1,8 +1,26 @@
 #include "data/prefetching_panel_reader.h"
 
+#include <chrono>
 #include <utility>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
+
 namespace fgr {
+namespace {
+
+// Nanoseconds spent in `fn` — the prefetch counters want wall time for
+// blocking queue ops and pread/decode, not CPU time.
+template <typename Fn>
+std::int64_t TimedNs(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 PrefetchingPanelReader::PrefetchingPanelReader(BlockRowReader reader,
                                               int depth)
@@ -21,13 +39,27 @@ PrefetchingPanelReader::PrefetchingPanelReader(BlockRowReader reader,
 PrefetchingPanelReader::~PrefetchingPanelReader() { StopProducer(); }
 
 void PrefetchingPanelReader::ProducerLoop() {
-  Slot slot;
-  while (free_.Pop(&slot)) {
+  // Producer side of the overlap ledger: time blocked on the recycle
+  // queue (consumer-bound) vs time spent reading and decoding
+  // (I/O-bound). The consumer's mirror-image stall lands in NextPanel.
+  for (;;) {
+    Slot slot;
+    bool popped = false;
+    obs::AddCounter(obs::PipelineCounter::kPrefetchProducerStallNs,
+                    TimedNs([&] { popped = free_.Pop(&slot); }));
+    if (!popped) return;
     if (reader_.Done()) {
       free_.Push(std::move(slot));  // hand the unused buffer back
       return;
     }
-    slot.status = reader_.NextPanel(&slot.panel);
+    {
+      FGR_TRACE_SPAN("prefetch/producer_read");
+      obs::AddCounter(obs::PipelineCounter::kPrefetchProducerReadNs,
+                      TimedNs([&] {
+                        slot.status = reader_.NextPanel(&slot.panel);
+                      }));
+    }
+    obs::AddCounter(obs::PipelineCounter::kPrefetchPanels, 1);
     const bool error = !slot.status.ok();
     if (!filled_.Push(std::move(slot))) return;  // consumer shut us down
     if (error) return;  // the pass is poisoned; the error slot says why
@@ -65,8 +97,19 @@ Status PrefetchingPanelReader::NextPanel(CsrPanel* panel) {
     return Status::FailedPrecondition(
         "PrefetchingPanelReader: pass already failed; Rewind to retry");
   }
+  // Depth sampled before the pop: how many panels sat ready — the direct
+  // measure of how far ahead the producer runs.
+  obs::AddCounter(obs::PipelineCounter::kPrefetchQueueDepthSum,
+                  static_cast<std::int64_t>(filled_.size()));
+  obs::AddCounter(obs::PipelineCounter::kPrefetchQueueDepthSamples, 1);
   Slot slot;
-  if (!filled_.Pop(&slot)) {
+  bool popped = false;
+  {
+    FGR_TRACE_SPAN("prefetch/consumer_wait");
+    obs::AddCounter(obs::PipelineCounter::kPrefetchConsumerStallNs,
+                    TimedNs([&] { popped = filled_.Pop(&slot); }));
+  }
+  if (!popped) {
     // The producer exited without filling the expected panel count and
     // without an in-band error — only possible through StopProducer.
     return Status::Internal(

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "data/prefetching_panel_reader.h"
+#include "obs/trace.h"
 #include "util/env.h"
 
 namespace fgr {
@@ -19,12 +20,14 @@ Result<GraphStatistics> SummarizeStream(Reader& reader, const Labeling& seeds,
   PanelSummarizer summarizer(seeds, max_length, path_type);
   CsrPanel panel;
   for (int length = 1; length <= max_length; ++length) {
+    FGR_TRACE_SPAN("summarize/stream_pass", length);
     Status rewound = reader.Rewind();
     if (!rewound.ok()) return rewound;
     summarizer.BeginPass(length);
     while (!reader.Done()) {
       Status status = reader.NextPanel(&panel);
       if (!status.ok()) return status;
+      FGR_TRACE_SPAN("summarize/absorb_panel");
       summarizer.AbsorbPanel(panel.View(reader.num_nodes()));
     }
     summarizer.EndPass();

@@ -21,6 +21,7 @@
 #include <unistd.h>
 #endif
 
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace fgr {
@@ -270,6 +271,7 @@ Result<Graph> ReadEdgeList(const std::string& path, NodeId num_nodes) {
 
 Result<Graph> ReadEdgeList(const std::string& path,
                            const EdgeListReadOptions& options) {
+  FGR_TRACE_SPAN("io/parse_edge_list");
   FGR_RETURN_IF_ERROR(RequireRegularFile(path));
   std::vector<Edge> edges;
   NodeId max_id = -1;

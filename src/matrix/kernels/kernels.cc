@@ -11,6 +11,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/log.h"
 #include "util/check.h"
 
 namespace fgr {
@@ -87,18 +88,17 @@ const KernelTable* Resolve() {
       want = Isa::kAvx512;
     } else {
       known = false;
-      std::fprintf(stderr,
-                   "fgr: unknown FGR_KERNEL=%s (want scalar|avx2|avx512|auto);"
-                   " using auto\n",
-                   env);
+      FGR_LOG(kWarn, "kernels")
+          << "unknown FGR_KERNEL=" << env
+          << " (want scalar|avx2|avx512|auto); using auto";
     }
     if (known) {
       if (IsaAvailable(want)) return CompiledTable(want);
-      std::fprintf(stderr,
-                   "fgr: FGR_KERNEL=%s %s on this build/CPU; falling back to"
-                   " %s\n",
-                   env, IsaCompiled(want) ? "unsupported" : "not compiled in",
-                   IsaName(BestAvailable()));
+      FGR_LOG(kWarn, "kernels")
+          << "FGR_KERNEL=" << env << ' '
+          << (IsaCompiled(want) ? "unsupported" : "not compiled in")
+          << " on this build/CPU; falling back to "
+          << IsaName(BestAvailable());
     }
   }
   return CompiledTable(BestAvailable());

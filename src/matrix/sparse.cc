@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "matrix/kernels/kernels.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/arena.h"
 #include "util/parallel.h"
 
@@ -19,6 +21,8 @@ void CsrPanelView::MultiplyInto(const DenseMatrix& x, DenseMatrix* out) const {
   FGR_CHECK_EQ(out->cols(), x.cols());
   FGR_CHECK_GE(out->rows(), first_row_ + rows_);
   if (rows_ == 0) return;
+  FGR_TRACE_SPAN("kernel/spmm");
+  obs::AddCounter(obs::PipelineCounter::kKernelSpmmCalls, 1);
   const Index k = x.cols();
   // nnz-balanced shards: a row-count split stalls on hub rows of power-law
   // graphs; splitting by row_ptr prefix sums gives every worker the same
@@ -48,6 +52,8 @@ void CsrPanelView::MultiplyTransposedAddInto(const DenseMatrix& x,
   FGR_CHECK_GE(x.rows(), first_row_ + rows_);
   FGR_CHECK_EQ(out->rows(), cols_);
   FGR_CHECK_EQ(out->cols(), x.cols());
+  FGR_TRACE_SPAN("kernel/spmm_t_add");
+  obs::AddCounter(obs::PipelineCounter::kKernelSpmmTCalls, 1);
   const Index k = x.cols();
   const Index base = row_ptr_[0];
   // Rows of the panel scatter into rows of the transposed product, so
@@ -130,6 +136,8 @@ void CsrPanelView::RowSumsInto(double* out) const {
     return;
   }
   if (rows_ == 0) return;
+  FGR_TRACE_SPAN("kernel/row_sums");
+  obs::AddCounter(obs::PipelineCounter::kKernelRowSumsCalls, 1);
   const kernels::KernelTable& kt = kernels::ActiveKernels();
   const kernels::Csr csr{row_ptr_, col_idx_, values_};
   ParallelForShards(ShardByWeight(row_ptr_, rows_, NumShards(rows_)),
@@ -145,6 +153,8 @@ void CsrPanelView::MultiplyVectorInto(const std::vector<double>& x,
   FGR_CHECK(y != &x) << "SpMV output must not alias the input";
   FGR_CHECK_GE(static_cast<Index>(y->size()), first_row_ + rows_);
   if (rows_ == 0) return;
+  FGR_TRACE_SPAN("kernel/spmv");
+  obs::AddCounter(obs::PipelineCounter::kKernelSpmvCalls, 1);
   const kernels::KernelTable& kt = kernels::ActiveKernels();
   const kernels::Csr csr{row_ptr_, col_idx_, values_};
   const double* x_base = x.data();

@@ -1,0 +1,97 @@
+#include "obs/log.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fgr {
+namespace obs {
+namespace internal {
+
+std::atomic<int> g_log_threshold{static_cast<int>(LogLevel::kWarn)};
+
+namespace {
+
+char LevelLetter(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return 'D';
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarn:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+  }
+  return '?';
+}
+
+double UptimeSeconds() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+void EmitLogLine(LogLevel level, const char* component,
+                 const std::string& message) {
+  char prefix[96];
+  const int n =
+      std::snprintf(prefix, sizeof(prefix), "%c%011.3f [%s] ",
+                    LevelLetter(level), UptimeSeconds(), component);
+  std::string line;
+  line.reserve(static_cast<std::size_t>(n) + message.size() + 1);
+  line.append(prefix, static_cast<std::size_t>(n));
+  line.append(message);
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace internal
+
+void SetLogLevel(LogLevel level) {
+  internal::g_log_threshold.store(static_cast<int>(level),
+                                  std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(
+      internal::g_log_threshold.load(std::memory_order_relaxed));
+}
+
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  if (text.empty()) return false;
+  switch (std::tolower(static_cast<unsigned char>(text[0]))) {
+    case 'd':
+      *out = LogLevel::kDebug;
+      return true;
+    case 'i':
+      *out = LogLevel::kInfo;
+      return true;
+    case 'w':
+      *out = LogLevel::kWarn;
+      return true;
+    case 'e':
+      *out = LogLevel::kError;
+      return true;
+    default:
+      return false;
+  }
+}
+
+void InitLogLevelFromEnv(LogLevel default_level) {
+  LogLevel level = default_level;
+  const char* env = std::getenv("FGR_LOG_LEVEL");
+  if (env != nullptr && env[0] != '\0') {
+    LogLevel parsed;
+    if (ParseLogLevel(env, &parsed)) level = parsed;
+  }
+  SetLogLevel(level);
+}
+
+}  // namespace obs
+}  // namespace fgr

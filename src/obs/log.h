@@ -1,0 +1,89 @@
+// Leveled structured logging with per-component tags.
+//
+//   FGR_LOG(kWarn, "kernels") << "unknown FGR_KERNEL value: " << value;
+//
+// emits one line to stderr:
+//
+//   W0000012.345 [kernels] unknown FGR_KERNEL value: avx1024
+//
+// (level letter, seconds since process start, component tag, message).
+// The whole line is built in a local buffer and written with a single
+// fwrite, so concurrent threads never interleave mid-line. A statement
+// below the active threshold costs one relaxed atomic load and skips the
+// stream machinery entirely.
+//
+// The threshold defaults to kWarn — library users and tests stay quiet —
+// and is controlled by FGR_LOG_LEVEL (debug|info|warn|error, or the
+// first letter) via InitLogLevelFromEnv(), which the daemons call at
+// startup; fgrd raises the default to kInfo so access logs flow.
+
+#ifndef FGR_OBS_LOG_H_
+#define FGR_OBS_LOG_H_
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace fgr {
+namespace obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+namespace internal {
+extern std::atomic<int> g_log_threshold;
+// Formats and writes one complete log line to stderr.
+void EmitLogLine(LogLevel level, const char* component,
+                 const std::string& message);
+}  // namespace internal
+
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         internal::g_log_threshold.load(std::memory_order_relaxed);
+}
+
+// Sets the minimum level that reaches stderr.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Parses "debug"/"info"/"warn"/"error" (or first letter, any case).
+// Returns false on an unrecognized string (level unchanged).
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+
+// Honors FGR_LOG_LEVEL when set; otherwise applies `default_level`.
+void InitLogLevelFromEnv(LogLevel default_level = LogLevel::kWarn);
+
+namespace internal {
+
+// Collects one statement's stream inserts, emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* component)
+      : level_(level), component_(component) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { EmitLogLine(level_, component_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+// Usage: FGR_LOG(kInfo, "serve") << "listening on " << port;
+// The if/else keeps the dangling-else shape safe and makes a disabled
+// statement cost only the LogEnabled check.
+#define FGR_LOG(level, component)                                    \
+  if (!::fgr::obs::LogEnabled(::fgr::obs::LogLevel::level)) {        \
+  } else                                                             \
+    ::fgr::obs::internal::LogMessage(::fgr::obs::LogLevel::level,    \
+                                     component)                      \
+        .stream()
+
+}  // namespace obs
+}  // namespace fgr
+
+#endif  // FGR_OBS_LOG_H_

@@ -1,0 +1,335 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace fgr {
+namespace obs {
+namespace internal {
+
+std::atomic<bool> g_trace_enabled{false};
+
+std::int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+
+enum class EventKind : std::uint8_t { kSpan, kCounter };
+
+struct Event {
+  const char* name = nullptr;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;   // counters: unused
+  std::int64_t arg = 0;      // counters: unused
+  double value = 0.0;        // spans: unused
+  EventKind kind = EventKind::kSpan;
+  bool has_arg = false;
+};
+
+constexpr std::size_t kChunkEvents = 4096;
+
+struct Chunk {
+  Event events[kChunkEvents];
+};
+
+std::atomic<std::int64_t> g_chunks_allocated{0};
+std::atomic<std::int64_t> g_threads_registered{0};
+
+// One buffer per recording thread. The owner appends without locks:
+// chunk interiors are written with plain stores, then `committed` is
+// release-stored so a reader that acquire-loads it sees fully written
+// events. The mutex guards only the chunk list (owner growth vs reader
+// snapshot) — never the per-event path.
+struct ThreadBuffer {
+  std::int64_t tid = 0;
+
+  // Owner-only cache of the tail chunk; avoids touching the mutex and
+  // the vector on the hot path.
+  Chunk* tail = nullptr;
+  std::size_t tail_used = 0;
+
+  std::atomic<std::int64_t> committed{0};
+
+  std::mutex chunks_mutex;
+  std::vector<std::unique_ptr<Chunk>> chunks;
+
+  void Append(const Event& e) {
+    if (tail_used == kChunkEvents || tail == nullptr) {
+      auto chunk = std::make_unique<Chunk>();
+      tail = chunk.get();
+      tail_used = 0;
+      g_chunks_allocated.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(chunks_mutex);
+      chunks.push_back(std::move(chunk));
+    }
+    tail->events[tail_used++] = e;
+    committed.fetch_add(1, std::memory_order_release);
+  }
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  // Bumped by ClearTrace so threads holding a cached buffer pointer
+  // re-register instead of writing into a discarded buffer.
+  std::atomic<std::uint64_t> generation{1};
+  std::int64_t next_tid = 1;
+  std::string path;  // export target; empty: memory only
+  bool atexit_registered = false;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives threads
+  return *registry;
+}
+
+ThreadBuffer* CurrentBuffer() {
+  // The shared_ptr keeps the buffer alive in the registry even after the
+  // thread exits; the cached raw pointer is revalidated via generation.
+  thread_local std::shared_ptr<ThreadBuffer> buffer;
+  thread_local std::uint64_t seen_generation = 0;
+  Registry& registry = GetRegistry();
+  const std::uint64_t gen =
+      registry.generation.load(std::memory_order_acquire);
+  if (!buffer || seen_generation != gen) {
+    buffer = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    buffer->tid = registry.next_tid++;
+    registry.buffers.push_back(buffer);
+    seen_generation = gen;
+    g_threads_registered.fetch_add(1, std::memory_order_relaxed);
+  }
+  return buffer.get();
+}
+
+void AppendJsonEscaped(std::string* out, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AtExitFlush() { FlushTrace(); }
+
+}  // namespace
+
+void CommitSpan(const char* name, std::int64_t start_ns, std::int64_t end_ns,
+                std::int64_t arg, bool has_arg) {
+  Event e;
+  e.name = name;
+  e.start_ns = start_ns;
+  e.dur_ns = end_ns - start_ns;
+  e.arg = arg;
+  e.has_arg = has_arg;
+  e.kind = EventKind::kSpan;
+  CurrentBuffer()->Append(e);
+}
+
+void CommitCounter(const char* name, std::int64_t ts_ns, double value) {
+  Event e;
+  e.name = name;
+  e.start_ns = ts_ns;
+  e.value = value;
+  e.kind = EventKind::kCounter;
+  CurrentBuffer()->Append(e);
+}
+
+}  // namespace internal
+
+void EnableTracing(const std::string& path) {
+  internal::Registry& registry = internal::GetRegistry();
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.path = path;
+    if (!path.empty() && !registry.atexit_registered) {
+      std::atexit(internal::AtExitFlush);
+      registry.atexit_registered = true;
+    }
+  }
+  internal::g_trace_enabled.store(true, std::memory_order_release);
+}
+
+void DisableTracing() {
+  internal::g_trace_enabled.store(false, std::memory_order_release);
+}
+
+bool InitTracingFromEnv() {
+  const char* path = std::getenv("FGR_TRACE");
+  if (path == nullptr || path[0] == '\0') return false;
+  EnableTracing(path);
+  return true;
+}
+
+namespace {
+
+struct EventSnapshot {
+  std::int64_t tid;
+  internal::Event event;
+};
+
+// Copies every committed event out of every registered buffer, ordered by
+// (tid, record order). Safe against concurrent recording: only events at
+// index < committed (acquire) are read.
+std::vector<EventSnapshot> SnapshotEvents() {
+  internal::Registry& registry = internal::GetRegistry();
+  std::vector<std::shared_ptr<internal::ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    buffers = registry.buffers;
+  }
+  std::vector<EventSnapshot> out;
+  for (const auto& buffer : buffers) {
+    const std::int64_t committed =
+        buffer->committed.load(std::memory_order_acquire);
+    std::vector<internal::Chunk*> chunks;
+    {
+      std::lock_guard<std::mutex> lock(buffer->chunks_mutex);
+      chunks.reserve(buffer->chunks.size());
+      for (const auto& chunk : buffer->chunks) chunks.push_back(chunk.get());
+    }
+    std::int64_t remaining = committed;
+    for (internal::Chunk* chunk : chunks) {
+      const std::int64_t take = std::min<std::int64_t>(
+          remaining, static_cast<std::int64_t>(internal::kChunkEvents));
+      for (std::int64_t i = 0; i < take; ++i) {
+        out.push_back({buffer->tid, chunk->events[i]});
+      }
+      remaining -= take;
+      if (remaining <= 0) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExportTraceJson() {
+  const std::vector<EventSnapshot> events = SnapshotEvents();
+  // Rebase timestamps so the trace starts near zero (chrome-trace `ts` is
+  // microseconds; double precision degrades at steady_clock epoch scale).
+  std::int64_t base_ns = 0;
+  bool have_base = false;
+  for (const EventSnapshot& s : events) {
+    if (!have_base || s.event.start_ns < base_ns) {
+      base_ns = s.event.start_ns;
+      have_base = true;
+    }
+  }
+  std::string out = "{\"traceEvents\":[";
+  char buf[128];
+  bool first = true;
+  for (const EventSnapshot& s : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    const internal::Event& e = s.event;
+    const double ts_us = static_cast<double>(e.start_ns - base_ns) * 1e-3;
+    if (e.kind == internal::EventKind::kSpan) {
+      const double dur_us = static_cast<double>(e.dur_ns) * 1e-3;
+      out.append("{\"name\":\"");
+      internal::AppendJsonEscaped(&out, e.name);
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"cat\":\"fgr\",\"ph\":\"X\",\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"pid\":1,\"tid\":%lld",
+                    ts_us, dur_us, static_cast<long long>(s.tid));
+      out.append(buf);
+      if (e.has_arg) {
+        std::snprintf(buf, sizeof(buf), ",\"args\":{\"arg\":%lld}",
+                      static_cast<long long>(e.arg));
+        out.append(buf);
+      }
+      out.push_back('}');
+    } else {
+      out.append("{\"name\":\"");
+      internal::AppendJsonEscaped(&out, e.name);
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"cat\":\"fgr\",\"ph\":\"C\",\"ts\":%.3f,"
+                    "\"pid\":1,\"tid\":%lld,\"args\":{\"value\":%.9g}",
+                    ts_us, static_cast<long long>(s.tid), e.value);
+      out.append(buf);
+      out.push_back('}');
+    }
+  }
+  out.append("]}");
+  return out;
+}
+
+bool FlushTrace() {
+  internal::Registry& registry = internal::GetRegistry();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    path = registry.path;
+  }
+  if (path.empty()) return true;
+  const std::string json = ExportTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+void ClearTrace() {
+  internal::Registry& registry = internal::GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.buffers.clear();
+  registry.next_tid = 1;
+  registry.generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::vector<StageTotal> StageTotals() {
+  const std::vector<EventSnapshot> events = SnapshotEvents();
+  std::vector<StageTotal> totals;
+  std::unordered_map<const char*, std::size_t> index;
+  for (const EventSnapshot& s : events) {
+    if (s.event.kind != internal::EventKind::kSpan) continue;
+    auto [it, inserted] = index.try_emplace(s.event.name, totals.size());
+    if (inserted) totals.push_back({s.event.name, 0, 0});
+    StageTotal& total = totals[it->second];
+    total.total_ns += s.event.dur_ns;
+    ++total.count;
+  }
+  return totals;
+}
+
+TraceStats GetTraceStats() {
+  TraceStats stats;
+  stats.chunks_allocated =
+      internal::g_chunks_allocated.load(std::memory_order_relaxed);
+  stats.threads_registered =
+      internal::g_threads_registered.load(std::memory_order_relaxed);
+  internal::Registry& registry = internal::GetRegistry();
+  std::vector<std::shared_ptr<internal::ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    buffers = registry.buffers;
+  }
+  for (const auto& buffer : buffers) {
+    stats.events_recorded +=
+        buffer->committed.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+}  // namespace obs
+}  // namespace fgr

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -20,6 +21,7 @@ HarmonicResult RunHarmonicFunctions(const Graph& graph, const Labeling& seeds,
   const std::vector<double>& degrees = graph.degrees();
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    FGR_TRACE_SPAN("prop/harmonic_iteration", iter);
     result.iterations_run = iter + 1;
     graph.adjacency().Multiply(f, &wf);
     // Row updates are independent; the convergence delta is a sharded
@@ -45,6 +47,7 @@ HarmonicResult RunHarmonicFunctions(const Graph& graph, const Labeling& seeds,
                       });
     double delta = 0.0;
     for (double local : shard_delta) delta = std::max(delta, local);
+    obs::TraceCounter("prop/harmonic_residual", delta);
     if (delta < options.tolerance) {
       result.converged = true;
       break;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "matrix/spectral.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -65,6 +66,7 @@ LinBpResult RunLinBp(const CsrPanelView& adjacency,
   if (options.echo_cancellation) h_prop_sq = h_prop.Multiply(h_prop);
 
   for (int iter = 0; iter < options.iterations; ++iter) {
+    FGR_TRACE_SPAN("prop/linbp_iteration", iter);
     result.iterations_run = iter + 1;
     adjacency.MultiplyInto(f, &wf);
     // f_next = X + (W F) H'   [row-block product with the small k×k matrix]
@@ -113,6 +115,7 @@ LinBpResult RunLinBp(const CsrPanelView& adjacency,
           });
       double delta = 0.0;
       for (double local : shard_delta) delta = std::max(delta, local);
+      obs::TraceCounter("prop/linbp_residual", delta);
       std::swap(f, f_next);
       if (delta < options.early_stop_tolerance) break;
     } else {

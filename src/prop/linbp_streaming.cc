@@ -8,6 +8,7 @@
 #include "data/prefetching_panel_reader.h"
 #include "data/streaming_estimation.h"
 #include "matrix/spectral.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace fgr {
@@ -106,6 +107,7 @@ Result<LinBpResult> PropagateStreamed(Reader& reader, const Labeling& seeds,
   if (options.echo_cancellation) h_prop_sq = h_prop.Multiply(h_prop);
 
   for (int iter = 0; iter < options.iterations; ++iter) {
+    FGR_TRACE_SPAN("prop/linbp_streaming_iteration", iter);
     result.iterations_run = iter + 1;
     // One pass: each panel fills its rows of W·F, then folds those rows
     // into f_next. The fold reads f (never f_next), so panel order cannot
@@ -159,6 +161,7 @@ Result<LinBpResult> PropagateStreamed(Reader& reader, const Labeling& seeds,
           });
       double delta = 0.0;
       for (double local : shard_delta) delta = std::max(delta, local);
+      obs::TraceCounter("prop/linbp_residual", delta);
       std::swap(f, f_next);
       if (delta < options.early_stop_tolerance) break;
     } else {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -38,6 +39,7 @@ RandomWalkResult RunMultiRankWalk(const Graph& graph, const Labeling& seeds,
   const double alpha = options.damping;
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    FGR_TRACE_SPAN("prop/mrw_iteration", iter);
     result.iterations_run = iter + 1;
     ParallelFor(0, n, [&](std::int64_t i) {
       const double d = degrees[static_cast<std::size_t>(i)];
@@ -69,6 +71,7 @@ RandomWalkResult RunMultiRankWalk(const Graph& graph, const Labeling& seeds,
                       });
     double delta = 0.0;
     for (double local : shard_delta) delta = std::max(delta, local);
+    obs::TraceCounter("prop/mrw_residual", delta);
     if (delta < options.tolerance) {
       result.converged = true;
       break;

@@ -11,55 +11,17 @@
 #ifndef FGR_SERVE_METRICS_H_
 #define FGR_SERVE_METRICS_H_
 
-#include <algorithm>
-#include <array>
 #include <atomic>
-#include <cstddef>
 #include <cstdint>
-#include <vector>
+
+#include "obs/histogram.h"
 
 namespace fgr {
 
-// Last-N request latencies, single writer cursor, lock-free readers. The
-// ring deliberately keeps recent history rather than a full-run sketch:
-// the serving tail of *current* traffic is what the p50/p99 gate cares
-// about.
-class LatencyRing {
- public:
-  static constexpr std::size_t kSize = 4096;
-
-  void Record(std::int64_t nanos) {
-    const std::uint64_t slot =
-        cursor_.fetch_add(1, std::memory_order_relaxed);
-    samples_[slot % kSize].store(nanos, std::memory_order_relaxed);
-  }
-
-  std::uint64_t count() const {
-    return cursor_.load(std::memory_order_relaxed);
-  }
-
-  // Latency quantile in seconds over the ring's current contents
-  // (nearest-rank). Returns 0 when no sample has been recorded.
-  double QuantileSeconds(double q) const {
-    const std::uint64_t recorded = count();
-    const std::size_t n =
-        static_cast<std::size_t>(std::min<std::uint64_t>(recorded, kSize));
-    if (n == 0) return 0.0;
-    std::vector<std::int64_t> snapshot(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      snapshot[i] = samples_[i].load(std::memory_order_relaxed);
-    }
-    std::size_t rank = static_cast<std::size_t>(q * static_cast<double>(n));
-    if (rank >= n) rank = n - 1;
-    std::nth_element(snapshot.begin(), snapshot.begin() + rank,
-                     snapshot.end());
-    return static_cast<double>(snapshot[rank]) * 1e-9;
-  }
-
- private:
-  std::array<std::atomic<std::int64_t>, kSize> samples_{};
-  std::atomic<std::uint64_t> cursor_{0};
-};
+// Last-N request latencies; multi-writer Record from any worker thread,
+// lock-free readers. The ring logic lives in obs/histogram.h so per-stage
+// histograms reuse it.
+using LatencyRing = obs::SampleRing<4096>;
 
 // All counters a production operator needs to see at a glance. Gauges
 // (active connections, queue depth) are maintained as inc/dec pairs by
@@ -94,6 +56,14 @@ struct ServerMetrics {
   // End-to-end request latency (dispatch to completion, event-thread
   // clock) for served — not shed — requests.
   LatencyRing latency;
+
+  // Stage breakdown of that end-to-end time (metrics v2):
+  //   queue wait  dispatch → worker pickup
+  //   compute     HandleRequestLine inside the worker
+  //   write       response flush on the event thread
+  LatencyRing stage_queue_wait;
+  LatencyRing stage_compute;
+  LatencyRing stage_write;
 };
 
 }  // namespace fgr

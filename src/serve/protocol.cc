@@ -502,7 +502,7 @@ Result<Request> ParseRequest(const std::string& line, int* version_out) {
   Request request;
   Result<std::int64_t> version = StrictInt(json, "v", 0);
   if (!version.ok()) return version.status();
-  if (version.value() != 0 && version.value() != kServeProtocolVersion) {
+  if (version.value() < 0 || version.value() > kServeProtocolVersion) {
     // The client clearly speaks the versioned protocol — answer it with
     // the structured error shape.
     if (version_out != nullptr) *version_out = kServeProtocolVersion;
@@ -612,7 +612,7 @@ ServeErrorCode ServeErrorCodeFromStatus(StatusCode code) {
 std::string ErrorResponseLine(const Status& status, int version) {
   if (version >= 1) {
     return ServeErrorLine(ServeErrorCodeFromStatus(status.code()),
-                          status.message());
+                          status.message(), version);
   }
   JsonWriter writer;
   writer.BeginObject();
@@ -623,10 +623,11 @@ std::string ErrorResponseLine(const Status& status, int version) {
   return writer.Take();
 }
 
-std::string ServeErrorLine(ServeErrorCode code, const std::string& message) {
+std::string ServeErrorLine(ServeErrorCode code, const std::string& message,
+                           int version) {
   JsonWriter writer;
   writer.BeginObject();
-  writer.Key("v").Value(kServeProtocolVersion);
+  writer.Key("v").Value(version);
   writer.Key("ok").Value(false);
   writer.Key("error");
   writer.BeginObject();

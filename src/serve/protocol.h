@@ -128,13 +128,16 @@ class JsonWriter {
 // The operations fgrd serves.
 enum class RequestOp { kEstimate, kLabel, kStats, kDatasets, kMetrics };
 
-// Highest protocol version this build understands.
-inline constexpr int kServeProtocolVersion = 1;
+// Highest protocol version this build understands. Responses echo the
+// *request's* version, so v1 clients keep seeing exactly the v1 shape;
+// v2 adds the stage/pipeline sections to `metrics` and the per-request
+// "stages" breakdown to estimate/label.
+inline constexpr int kServeProtocolVersion = 2;
 
 // A validated request. Estimation fields default to the fgr_cli defaults.
 struct Request {
   RequestOp op = RequestOp::kStats;
-  int version = 0;      // 0 = legacy shape, 1 = versioned shape
+  int version = 0;      // 0 = legacy shape, 1/2 = versioned shapes
   std::string dataset;  // required for estimate/label
   DceOptions options;   // restarts/lmax/lambda/variant/path_type/seed
 };
@@ -169,14 +172,15 @@ const char* ServeErrorCodeName(ServeErrorCode code);
 ServeErrorCode ServeErrorCodeFromStatus(StatusCode code);
 
 // Error line for a failed request. version 0 keeps the legacy
-// {"ok":false,"code":<StatusCodeName>,"error":<message>} shape; version 1
-// emits {"v":1,"ok":false,"error":{"code":...,"message":...}}.
+// {"ok":false,"code":<StatusCodeName>,"error":<message>} shape; version
+// ≥ 1 emits {"v":<version>,"ok":false,"error":{"code":...,"message":...}}.
 std::string ErrorResponseLine(const Status& status, int version = 0);
 
-// Transport-level error line (always the v1 structured shape): used for
-// shed, timeout, and oversized-line errors which the event loop emits
-// without a parsed request in hand.
-std::string ServeErrorLine(ServeErrorCode code, const std::string& message);
+// Structured error line. `version` is echoed as "v"; the transport-level
+// emitters (shed, timeout, oversized line — no parsed request in hand)
+// use the default, the server's own version.
+std::string ServeErrorLine(ServeErrorCode code, const std::string& message,
+                           int version = kServeProtocolVersion);
 
 // Reference client for the line protocol: one blocking TCP connection,
 // request line in → response line out, reusable across exchanges. The one

@@ -23,6 +23,9 @@
 #include "core/dce.h"
 #include "data/streaming_estimation.h"
 #include "matrix/kernels/kernels.h"
+#include "obs/counters.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "prop/linbp.h"
 #include "prop/linbp_streaming.h"
 
@@ -112,6 +115,12 @@ struct FgrServer::EstimateOutcome {
   std::int64_t num_edges = 0;
   SummarySource source = SummarySource::kComputed;
   EstimationResult estimate;
+  // Per-request stage breakdown, echoed as the "stages" object in
+  // versioned estimate/label responses.
+  double seconds_acquire = 0.0;    // dataset resolve + seed load
+  double seconds_summarize = 0.0;  // SummaryCache::GetOrCompute
+  double seconds_optimize = 0.0;   // EstimateDceFromStatistics
+  double seconds_propagate = 0.0;  // label only: LinBP
 };
 
 FgrServer::FgrServer(ServerOptions options)
@@ -157,6 +166,8 @@ Status FgrServer::Preload(const std::string& path) {
 
 Status FgrServer::RunEstimate(const Request& request,
                               EstimateOutcome* outcome) {
+  FGR_TRACE_SPAN("serve/run_estimate");
+  Stopwatch stage_timer;
   const std::string& dataset = request.dataset;
   if (!EndsWith(dataset, kFgrBinExtension)) {
     return Status::InvalidArgument(
@@ -190,6 +201,7 @@ Status FgrServer::RunEstimate(const Request& request,
       PanelSummarizer summarizer(mapped->labels(), max_length, path_type);
       const CsrPanelView whole = mapped->View();
       for (int length = 1; length <= max_length; ++length) {
+        FGR_TRACE_SPAN("summarize/pass", length);
         summarizer.BeginPass(length);
         summarizer.AbsorbPanel(whole);
         summarizer.EndPass();
@@ -268,12 +280,18 @@ Status FgrServer::RunEstimate(const Request& request,
     return Status::FailedPrecondition(
         path + ": cache labels have fewer than 2 classes");
   }
+  outcome->seconds_acquire = stage_timer.Seconds();
 
-  Result<std::shared_ptr<const DatasetSummary>> summary =
-      summaries_.GetOrCompute(path, content_hash, path_type,
-                              request.options.max_path_length, compute,
-                              &outcome->source);
+  stage_timer.Restart();
+  Result<std::shared_ptr<const DatasetSummary>> summary = [&] {
+    FGR_TRACE_SPAN("serve/summarize");
+    return summaries_.GetOrCompute(path, content_hash, path_type,
+                                   request.options.max_path_length, compute,
+                                   &outcome->source);
+  }();
   if (!summary.ok()) return summary.status();
+  outcome->seconds_summarize = stage_timer.Seconds();
+  stage_timer.Restart();
 
   GraphStatistics stats = StatisticsFromSummary(
       *summary.value(), request.options.max_path_length,
@@ -283,8 +301,12 @@ Status FgrServer::RunEstimate(const Request& request,
     // hits report 0, which is the point.
     stats.seconds = summary.value()->seconds;
   }
-  outcome->estimate = EstimateDceFromStatistics(
-      stats, outcome->seeds->num_classes(), request.options);
+  {
+    FGR_TRACE_SPAN("serve/optimize");
+    outcome->estimate = EstimateDceFromStatistics(
+        stats, outcome->seeds->num_classes(), request.options);
+  }
+  outcome->seconds_optimize = stage_timer.Seconds();
   return Status::Ok();
 }
 
@@ -299,7 +321,7 @@ std::string FgrServer::HandleEstimate(const Request& request) {
   ++estimates_;
   JsonWriter writer;
   writer.BeginObject();
-  if (request.version >= 1) writer.Key("v").Value(kServeProtocolVersion);
+  if (request.version >= 1) writer.Key("v").Value(request.version);
   writer.Key("ok").Value(true);
   writer.Key("op").Value("estimate");
   writer.Key("dataset").Value(request.dataset);
@@ -318,6 +340,14 @@ std::string FgrServer::HandleEstimate(const Request& request) {
       .Value(outcome.estimate.seconds_summarization);
   writer.Key("seconds_optimization")
       .Value(outcome.estimate.seconds_optimization);
+  if (request.version >= 1) {
+    writer.Key("stages");
+    writer.BeginObject();
+    writer.Key("acquire_ms").Value(outcome.seconds_acquire * 1e3);
+    writer.Key("summarize_ms").Value(outcome.seconds_summarize * 1e3);
+    writer.Key("optimize_ms").Value(outcome.seconds_optimize * 1e3);
+    writer.EndObject();
+  }
   writer.Key("h");
   AppendMatrix(&writer, outcome.estimate.h);
   writer.EndObject();
@@ -333,15 +363,18 @@ std::string FgrServer::HandleLabel(const Request& request) {
     return ErrorResponseLine(status, request.version);
   }
   LinBpResult prop;
+  Stopwatch propagate_timer;
   if (outcome.mapped != nullptr) {
     // Propagate straight over the mapped adjacency — the view overload
     // runs the identical kernels RunLinBp(graph, ...) runs in-core.
+    FGR_TRACE_SPAN("serve/propagate");
     prop = RunLinBp(outcome.mapped->View(), outcome.mapped->degrees(),
                     *outcome.seeds, outcome.estimate.h);
   } else {
     // Non-resident: block-row propagation over the same panel stream the
     // summarization used; only the n×k belief state is resident. Labels
     // match the resident path bit for bit in serial runs.
+    FGR_TRACE_SPAN("serve/propagate");
     BlockRowReaderOptions reader_options;
     reader_options.memory_budget_bytes = options_.streaming_budget_bytes;
     Result<LinBpResult> streamed = PropagateLinBPStreaming(
@@ -354,12 +387,13 @@ std::string FgrServer::HandleLabel(const Request& request) {
     }
     prop = std::move(streamed).value();
   }
+  outcome.seconds_propagate = propagate_timer.Seconds();
   const Labeling predicted =
       LabelsFromBeliefs(prop.beliefs, *outcome.seeds);
   ++labels_;
   JsonWriter writer;
   writer.BeginObject();
-  if (request.version >= 1) writer.Key("v").Value(kServeProtocolVersion);
+  if (request.version >= 1) writer.Key("v").Value(request.version);
   writer.Key("ok").Value(true);
   writer.Key("op").Value("label");
   writer.Key("dataset").Value(request.dataset);
@@ -372,6 +406,15 @@ std::string FgrServer::HandleLabel(const Request& request) {
   writer.Key("labeled").Value(outcome.seeds->NumLabeled());
   writer.Key("energy").Value(outcome.estimate.energy);
   writer.Key("linbp_iterations").Value(prop.iterations_run);
+  if (request.version >= 1) {
+    writer.Key("stages");
+    writer.BeginObject();
+    writer.Key("acquire_ms").Value(outcome.seconds_acquire * 1e3);
+    writer.Key("summarize_ms").Value(outcome.seconds_summarize * 1e3);
+    writer.Key("optimize_ms").Value(outcome.seconds_optimize * 1e3);
+    writer.Key("propagate_ms").Value(outcome.seconds_propagate * 1e3);
+    writer.EndObject();
+  }
   writer.Key("h");
   AppendMatrix(&writer, outcome.estimate.h);
   writer.Key("labels");
@@ -389,7 +432,7 @@ std::string FgrServer::HandleStats(int version) {
   const DatasetCache::Counters data = datasets_.counters();
   JsonWriter writer;
   writer.BeginObject();
-  if (version >= 1) writer.Key("v").Value(kServeProtocolVersion);
+  if (version >= 1) writer.Key("v").Value(version);
   writer.Key("ok").Value(true);
   writer.Key("op").Value("stats");
   writer.Key("uptime_seconds").Value(uptime_.Seconds());
@@ -423,7 +466,7 @@ std::string FgrServer::HandleStats(int version) {
 std::string FgrServer::HandleDatasets(int version) {
   JsonWriter writer;
   writer.BeginObject();
-  if (version >= 1) writer.Key("v").Value(kServeProtocolVersion);
+  if (version >= 1) writer.Key("v").Value(version);
   writer.Key("ok").Value(true);
   writer.Key("op").Value("datasets");
   writer.Key("resident");
@@ -443,7 +486,7 @@ std::string FgrServer::MetricsJson(int version) const {
   const DatasetCache::Counters data = datasets_.counters();
   JsonWriter writer;
   writer.BeginObject();
-  if (version >= 1) writer.Key("v").Value(kServeProtocolVersion);
+  if (version >= 1) writer.Key("v").Value(version);
   writer.Key("ok").Value(true);
   writer.Key("op").Value("metrics");
   writer.Key("uptime_seconds").Value(uptime_.Seconds());
@@ -501,6 +544,41 @@ std::string FgrServer::MetricsJson(int version) const {
   writer.Key("resident").Value(datasets_.entries());
   writer.Key("resident_bytes").Value(datasets_.resident_bytes());
   writer.EndObject();
+  if (version >= 2) {
+    // v2: per-stage request histograms (queue wait → worker compute →
+    // response write) and pipeline/kernel counters from src/obs.
+    writer.Key("stages");
+    writer.BeginObject();
+    const auto emit_ring = [&writer](const char* key,
+                                     const LatencyRing& ring) {
+      writer.Key(key);
+      writer.BeginObject();
+      writer.Key("count").Value(static_cast<std::int64_t>(ring.count()));
+      writer.Key("p50_ms").Value(ring.QuantileSeconds(0.5) * 1e3);
+      writer.Key("p99_ms").Value(ring.QuantileSeconds(0.99) * 1e3);
+      writer.EndObject();
+    };
+    emit_ring("queue_wait", metrics_.stage_queue_wait);
+    emit_ring("compute", metrics_.stage_compute);
+    emit_ring("write", metrics_.stage_write);
+    writer.EndObject();
+    writer.Key("pipeline");
+    writer.BeginObject();
+    for (int c = 0; c < static_cast<int>(obs::PipelineCounter::kCount);
+         ++c) {
+      const auto counter = static_cast<obs::PipelineCounter>(c);
+      writer.Key(obs::CounterName(counter)).Value(obs::GetCounter(counter));
+    }
+    const std::int64_t depth_samples =
+        obs::GetCounter(obs::PipelineCounter::kPrefetchQueueDepthSamples);
+    writer.Key("prefetch_queue_depth_mean")
+        .Value(depth_samples > 0
+                   ? static_cast<double>(obs::GetCounter(
+                         obs::PipelineCounter::kPrefetchQueueDepthSum)) /
+                         static_cast<double>(depth_samples)
+                   : 0.0);
+    writer.EndObject();
+  }
   writer.EndObject();
   return writer.Take();
 }
@@ -510,44 +588,75 @@ std::string FgrServer::HandleMetrics(int version) {
 }
 
 std::string FgrServer::HandleRequestLine(const std::string& line) {
-  ++requests_;
+  // Request-scoped id, shared with the access-log line below so log
+  // entries from a busy daemon can be correlated per request.
+  const std::int64_t request_id = ++requests_;
   metrics_.requests_total.fetch_add(1, kRelaxed);
+  const SteadyClock::time_point started = SteadyClock::now();
+  const char* op_name = "?";
+  std::string dataset;
+  bool ok = true;
+  std::string response;
   if (static_cast<std::int64_t>(line.size()) > options_.max_request_bytes) {
     ++errors_;
     metrics_.requests_errors.fetch_add(1, kRelaxed);
-    return ErrorResponseLine(Status::InvalidArgument(
+    ok = false;
+    response = ErrorResponseLine(Status::InvalidArgument(
         "request of " + std::to_string(line.size()) +
         " bytes exceeds the " + std::to_string(options_.max_request_bytes) +
         "-byte limit"));
+  } else {
+    int version = 0;
+    Result<Request> parsed = ParseRequest(line, &version);
+    if (!parsed.ok()) {
+      ++errors_;
+      metrics_.requests_errors.fetch_add(1, kRelaxed);
+      ok = false;
+      response = ErrorResponseLine(parsed.status(), version);
+    } else {
+      const Request& request = parsed.value();
+      dataset = request.dataset;
+      const std::int64_t errors_before = errors_.load(kRelaxed);
+      switch (request.op) {
+        case RequestOp::kEstimate:
+          op_name = "estimate";
+          metrics_.requests_estimate.fetch_add(1, kRelaxed);
+          response = HandleEstimate(request);
+          break;
+        case RequestOp::kLabel:
+          op_name = "label";
+          metrics_.requests_label.fetch_add(1, kRelaxed);
+          response = HandleLabel(request);
+          break;
+        case RequestOp::kStats:
+          op_name = "stats";
+          metrics_.requests_stats.fetch_add(1, kRelaxed);
+          response = HandleStats(request.version);
+          break;
+        case RequestOp::kDatasets:
+          op_name = "datasets";
+          metrics_.requests_datasets.fetch_add(1, kRelaxed);
+          response = HandleDatasets(request.version);
+          break;
+        case RequestOp::kMetrics:
+          op_name = "metrics";
+          metrics_.requests_metrics.fetch_add(1, kRelaxed);
+          response = HandleMetrics(request.version);
+          break;
+      }
+      ok = errors_.load(kRelaxed) == errors_before;
+    }
   }
-  int version = 0;
-  Result<Request> parsed = ParseRequest(line, &version);
-  if (!parsed.ok()) {
-    ++errors_;
-    metrics_.requests_errors.fetch_add(1, kRelaxed);
-    return ErrorResponseLine(parsed.status(), version);
-  }
-  const Request& request = parsed.value();
-  switch (request.op) {
-    case RequestOp::kEstimate:
-      metrics_.requests_estimate.fetch_add(1, kRelaxed);
-      return HandleEstimate(request);
-    case RequestOp::kLabel:
-      metrics_.requests_label.fetch_add(1, kRelaxed);
-      return HandleLabel(request);
-    case RequestOp::kStats:
-      metrics_.requests_stats.fetch_add(1, kRelaxed);
-      return HandleStats(request.version);
-    case RequestOp::kDatasets:
-      metrics_.requests_datasets.fetch_add(1, kRelaxed);
-      return HandleDatasets(request.version);
-    case RequestOp::kMetrics:
-      metrics_.requests_metrics.fetch_add(1, kRelaxed);
-      return HandleMetrics(request.version);
-  }
-  ++errors_;
-  metrics_.requests_errors.fetch_add(1, kRelaxed);
-  return ErrorResponseLine(Status::Internal("unreachable op"));
+  const double millis =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          SteadyClock::now() - started)
+          .count();
+  FGR_LOG(kInfo, "serve")
+      << "req=" << request_id << " op=" << op_name
+      << (dataset.empty() ? std::string()
+                          : std::string(" dataset=") + dataset)
+      << " ok=" << (ok ? 1 : 0) << " ms=" << millis;
+  return response;
 }
 
 Status FgrServer::Start() {
@@ -970,8 +1079,8 @@ void FgrServer::DispatchPending(Connection* conn) {
     metrics_.queue_depth.fetch_add(1, kRelaxed);
     {
       std::lock_guard<std::mutex> lock(work_mutex_);
-      work_queue_.push_back(
-          {conn->id, conn->request_generation, std::move(line)});
+      work_queue_.push_back({conn->id, conn->request_generation,
+                             std::move(line), conn->request_start});
     }
     work_cv_.notify_one();
   }
@@ -1058,10 +1167,15 @@ void FgrServer::ProcessCompletions() {
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             SteadyClock::now() - conn->request_start)
             .count());
+    const SteadyClock::time_point write_start = SteadyClock::now();
     QueueResponse(conn, done.response);
     ArmIdleTimer(conn);
     DispatchPending(conn);
     FlushWrites(conn);  // may destroy conn
+    metrics_.stage_write.Record(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            SteadyClock::now() - write_start)
+            .count());
   }
 }
 
@@ -1078,10 +1192,19 @@ void FgrServer::WorkerLoop() {
       work_queue_.pop_front();
     }
     metrics_.queue_depth.fetch_sub(1, kRelaxed);
+    const SteadyClock::time_point picked_up = SteadyClock::now();
+    metrics_.stage_queue_wait.Record(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            picked_up - item.enqueued)
+            .count());
     Completion done;
     done.conn_id = item.conn_id;
     done.generation = item.generation;
     done.response = HandleRequestLine(item.line);
+    metrics_.stage_compute.Record(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            SteadyClock::now() - picked_up)
+            .count());
     {
       std::lock_guard<std::mutex> lock(completion_mutex_);
       completions_.push_back(std::move(done));
@@ -1142,7 +1265,7 @@ Status RunDaemon(const std::string& name, const ServerOptions& options,
   server.Stop();  // graceful drain, bounded by drain_timeout_ms
   if (dump_metrics_on_exit) {
     std::printf("%s: metrics %s\n", name.c_str(),
-                server.MetricsJson().c_str());
+                server.MetricsJson(kServeProtocolVersion).c_str());
     std::fflush(stdout);
   }
   return Status::Ok();

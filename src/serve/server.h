@@ -158,6 +158,9 @@ class FgrServer {
     std::uint64_t conn_id = 0;
     std::uint64_t generation = 0;
     std::string line;
+    // When the event thread enqueued the item; the worker that picks it
+    // up records now-enqueued into metrics_.stage_queue_wait.
+    std::chrono::steady_clock::time_point enqueued{};
   };
   struct Completion {
     std::uint64_t conn_id = 0;

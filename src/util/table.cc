@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/log.h"
 #include "util/check.h"
 
 namespace fgr {
@@ -85,7 +86,7 @@ void Table::Print(const std::string& title) const {
 bool Table::WriteCsv(const std::string& path) const {
   std::ofstream out(path);
   if (!out) {
-    std::fprintf(stderr, "fgr: could not write %s\n", path.c_str());
+    FGR_LOG(kError, "table") << "could not write " << path;
     return false;
   }
   out << ToCsv();

@@ -1,0 +1,86 @@
+#include "obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fgr {
+namespace obs {
+namespace {
+
+// Restores the process-wide threshold around each test.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST_F(LogTest, ThresholdGatesStatements) {
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_TRUE(LogEnabled(LogLevel::kDebug));
+
+  SetLogLevel(LogLevel::kError);
+  EXPECT_FALSE(LogEnabled(LogLevel::kWarn));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+}
+
+TEST_F(LogTest, ParseAcceptsNamesAndFirstLetters) {
+  LogLevel level = LogLevel::kWarn;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("w", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("E", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST_F(LogTest, ParseRejectsUnknownStringsWithoutClobbering) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+}
+
+TEST_F(LogTest, EmittedLineCarriesLevelComponentAndMessage) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  FGR_LOG(kWarn, "obs_test") << "value=" << 42;
+  const std::string line = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(line.front(), 'W');
+  EXPECT_NE(line.find("[obs_test]"), std::string::npos);
+  EXPECT_NE(line.find("value=42"), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+}
+
+TEST_F(LogTest, SuppressedStatementEmitsNothing) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  FGR_LOG(kInfo, "obs_test") << "should not appear";
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+// The macro must compose safely with an un-braced if/else.
+TEST_F(LogTest, MacroIsDanglingElseSafe) {
+  SetLogLevel(LogLevel::kError);
+  bool else_ran = false;
+  if (false)
+    FGR_LOG(kError, "obs_test") << "never";
+  else
+    else_ran = true;
+  EXPECT_TRUE(else_ran);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fgr

@@ -270,8 +270,9 @@ TEST(ProtocolV1Test, ErrorTaxonomyMapsStatusCodes) {
 
 TEST(ProtocolV1Test, UnsupportedVersionIsAStructuredError) {
   FgrServer server(ServerOptions{});
-  const Json response =
-      MustParse(server.HandleRequestLine("{\"v\":2,\"op\":\"stats\"}"));
+  const Json response = MustParse(server.HandleRequestLine(
+      "{\"v\":" + std::to_string(kServeProtocolVersion + 1) +
+      ",\"op\":\"stats\"}"));
   EXPECT_FALSE(response.Find("ok")->bool_value());
   const Json* error = response.Find("error");
   ASSERT_NE(error, nullptr);
@@ -279,6 +280,57 @@ TEST(ProtocolV1Test, UnsupportedVersionIsAStructuredError) {
   EXPECT_EQ(error->GetString("code", ""), "bad_request");
   EXPECT_NE(error->GetString("message", "").find("unsupported protocol"),
             std::string::npos);
+}
+
+// v2 is additive: a v2 request echoes "v":2 and the metrics verb grows
+// the per-stage histograms and the pipeline counter section, while a v1
+// request keeps the exact v1 shape (no stages, no pipeline).
+TEST(ProtocolV2Test, MetricsGrowsStageAndPipelineSections) {
+  FgrServer server(ServerOptions{});
+  const Json v2 =
+      MustParse(server.HandleRequestLine("{\"v\":2,\"op\":\"metrics\"}"));
+  EXPECT_EQ(v2.GetInt("v", 0), 2);
+  EXPECT_TRUE(v2.Find("ok")->bool_value());
+  const Json* stages = v2.Find("stages");
+  ASSERT_NE(stages, nullptr);
+  for (const char* stage : {"queue_wait", "compute", "write"}) {
+    const Json* ring = stages->Find(stage);
+    ASSERT_NE(ring, nullptr) << stage;
+    EXPECT_NE(ring->Find("count"), nullptr);
+    EXPECT_NE(ring->Find("p50_ms"), nullptr);
+    EXPECT_NE(ring->Find("p99_ms"), nullptr);
+  }
+  const Json* pipeline = v2.Find("pipeline");
+  ASSERT_NE(pipeline, nullptr);
+  EXPECT_NE(pipeline->Find("prefetch_producer_stall_ns"), nullptr);
+  EXPECT_NE(pipeline->Find("kernel_spmm_calls"), nullptr);
+  EXPECT_NE(pipeline->Find("prefetch_queue_depth_mean"), nullptr);
+
+  const Json v1 =
+      MustParse(server.HandleRequestLine("{\"v\":1,\"op\":\"metrics\"}"));
+  EXPECT_EQ(v1.GetInt("v", 0), 1);
+  EXPECT_EQ(v1.Find("stages"), nullptr);
+  EXPECT_EQ(v1.Find("pipeline"), nullptr);
+}
+
+// Estimate/label responses at v >= 1 carry a per-request "stages"
+// breakdown; the wall-clock stage sum must be consistent (each stage
+// non-negative, and the acquire/summarize/optimize pieces present).
+TEST(ProtocolV2Test, EstimateCarriesStageBreakdown) {
+  Fixture fixture = MakeFixture("v2_stages", 83);
+  FgrServer server(ServerOptions{});
+  const Json response = MustParse(server.HandleRequestLine(
+      "{\"v\":2,\"op\":\"estimate\",\"dataset\":" +
+      JsonQuote(fixture.path) + "}"));
+  ASSERT_TRUE(response.Find("ok")->bool_value());
+  EXPECT_EQ(response.GetInt("v", 0), 2);
+  const Json* stages = response.Find("stages");
+  ASSERT_NE(stages, nullptr);
+  for (const char* key : {"acquire_ms", "summarize_ms", "optimize_ms"}) {
+    const Json* value = stages->Find(key);
+    ASSERT_NE(value, nullptr) << key;
+    EXPECT_GE(value->number_value(), 0.0) << key;
+  }
 }
 
 TEST(ProtocolV1Test, MetricsVerbCountsObservedRequests) {

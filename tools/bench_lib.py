@@ -317,6 +317,24 @@ DEFAULT_GATES = (
         description="prefetched vs synchronous streamed summarization "
                     "(8k-row panels, 1 compute thread)",
     ),
+    # PR 10's tracing subsystem: an FGR_TRACE_SPAN with tracing disabled
+    # must cost nothing measurable — one relaxed atomic load (~0.3 ns).
+    # One MILLION disabled spans (~0.3 ms) are gated against a single
+    # n=100k SpMM (~14 ms): healthy ratio ~0.02, so even the short
+    # quick-mode runs cannot jitter it near the 0.5 bound, while any
+    # real per-span cost lands far above it (a clock read: ~20 ms for
+    # the loop, ratio ~1.4; an allocation or a lock: multiples more).
+    # The bound doubles as a per-span ceiling: 0.5 SpMM / 1M ≈ 7 ns.
+    Gate(
+        name="tracing_off_overhead",
+        kind=MICRO,
+        numerator="BM_DisabledTraceSpans/spans:1000000",
+        denominator="BM_SpMM/n:100000/k:5/threads:1",
+        op="<=",
+        bound=0.5,
+        description="1M disabled trace spans vs one SpMM "
+                    "(n=100k, k=5, 1 thread; caps a span at ~7 ns)",
+    ),
 )
 
 # Which metric a *regression* inflates, per gate op: a "<=" gate protects

@@ -71,6 +71,8 @@
 #include <vector>
 
 #include "fgr/fgr.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace fgr {
@@ -147,7 +149,10 @@ int Usage() {
       "  fgr_cli kernels\n"
       "(any subcommand: --threads N pins the kernel thread count;\n"
       " precedence --threads > FGR_NUM_THREADS > hardware;\n"
-      " FGR_KERNEL=scalar|avx2|avx512|auto forces the SIMD backend)\n");
+      " FGR_KERNEL=scalar|avx2|avx512|auto forces the SIMD backend;\n"
+      " --trace out.json writes a chrome-trace of the run (or FGR_TRACE);\n"
+      " --timings prints a per-stage time breakdown after the command;\n"
+      " FGR_LOG_LEVEL=debug|info|warn|error sets log verbosity)\n");
   return 2;
 }
 
@@ -683,18 +688,26 @@ int RunKernels() {
   return 0;
 }
 
-int Main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  // --threads is global: it pins the kernel thread count for whichever
-  // subcommand runs. Precedence: --threads > FGR_NUM_THREADS > hardware.
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
-      const long long threads = std::atoll(argv[i + 1]);
-      if (threads < 1) return Fail("--threads must be >= 1");
-      SetNumThreads(static_cast<int>(threads));
-      break;
-    }
+// Prints the per-stage aggregate the tracer collected over the run. Only
+// reached when --timings was passed (which records spans in memory even
+// without --trace), so default stdout stays byte-stable for CI diffs.
+void PrintStageTimings() {
+  const std::vector<obs::StageTotal> totals = obs::StageTotals();
+  if (totals.empty()) {
+    std::printf("\n== stage timings ==\n(no spans recorded)\n");
+    return;
   }
+  Table table({"stage", "calls", "total_ms"});
+  for (const obs::StageTotal& stage : totals) {
+    table.NewRow()
+        .Add(stage.name)
+        .Add(stage.count)
+        .Add(static_cast<double>(stage.total_ns) * 1e-6, 3);
+  }
+  table.Print("stage timings");
+}
+
+int RunCommand(int argc, char** argv) {
   const std::string command = argv[1];
   if (command.rfind("--", 0) == 0) {
     // No subcommand: the end-to-end path, e.g. `fgr_cli --dataset Cora`.
@@ -727,6 +740,32 @@ int Main(int argc, char** argv) {
     return RunKernels();
   }
   return Usage();
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  // Global flags, valid anywhere on the line for every subcommand.
+  // --threads pins the kernel thread count (precedence: --threads >
+  // FGR_NUM_THREADS > hardware). --trace/--timings turn the tracer on;
+  // --timings records in memory only and prints the aggregate at exit.
+  bool timings = false;
+  obs::InitLogLevelFromEnv();
+  obs::InitTracingFromEnv();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const long long threads = std::atoll(argv[i + 1]);
+      if (threads < 1) return Fail("--threads must be >= 1");
+      SetNumThreads(static_cast<int>(threads));
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      obs::EnableTracing(argv[i + 1]);  // flag wins over FGR_TRACE
+    } else if (std::strcmp(argv[i], "--timings") == 0) {
+      timings = true;
+    }
+  }
+  if (timings && !obs::TracingEnabled()) obs::EnableTracing("");
+  const int rc = RunCommand(argc, argv);
+  if (timings) PrintStageTimings();
+  return rc;
 }
 
 }  // namespace

@@ -21,7 +21,11 @@
 //   BM_ServeLoadtest/clients:<N>/p50 and .../p99  (time_unit ns)
 // plus qps/requests/dropped counters, which bench_orchestrator.py merges
 // into the BENCH_serve.json trajectory and perf_gate.py gates on
-// (serve_loadtest_tail: p99 <= 20x p50).
+// (serve_loadtest_tail: p99 <= 20x p50). When the server speaks protocol
+// v2, the tool also pulls the stage histograms from `metrics` and emits
+//   .../queue_wait_p50|p99, .../compute_p50|p99, .../write_p50|p99
+// rows, splitting end-to-end latency into queue wait vs worker compute
+// vs response write.
 
 #include <algorithm>
 #include <atomic>
@@ -99,6 +103,39 @@ struct LoadtestTotals {
   std::vector<std::int64_t> latencies_ns;  // sorted
 };
 
+// One server-side stage histogram, as reported by the v2 metrics verb.
+struct StageQuantile {
+  const char* key;  // wire + benchmark-row name
+  std::int64_t p50_ns = 0;
+  std::int64_t p99_ns = 0;
+  bool present = false;
+};
+
+// Pulls the per-stage breakdown from a v2 `metrics` response. Stays
+// all-absent (and the rows are skipped) against an older daemon.
+std::vector<StageQuantile> FetchStageQuantiles(const LoadtestConfig& config) {
+  std::vector<StageQuantile> stages = {
+      {"queue_wait"}, {"compute"}, {"write"}};
+  auto client = LineClient::Connect(config.host, config.port);
+  if (!client.ok()) return stages;
+  auto response = client.value().Exchange("{\"v\":2,\"op\":\"metrics\"}");
+  if (!response.ok()) return stages;
+  auto parsed = ParseJson(response.value());
+  if (!parsed.ok()) return stages;
+  const Json* section = parsed.value().Find("stages");
+  if (section == nullptr) return stages;
+  for (StageQuantile& stage : stages) {
+    const Json* ring = section->Find(stage.key);
+    if (ring == nullptr || ring->GetInt("count", 0) == 0) continue;
+    stage.p50_ns =
+        static_cast<std::int64_t>(ring->GetNumber("p50_ms", 0.0) * 1e6);
+    stage.p99_ns =
+        static_cast<std::int64_t>(ring->GetNumber("p99_ms", 0.0) * 1e6);
+    stage.present = true;
+  }
+  return stages;
+}
+
 std::string EstimateRequestLine(const LoadtestConfig& config) {
   JsonWriter writer;
   writer.BeginObject();
@@ -170,7 +207,8 @@ int RunLoadtest(const LoadtestConfig& config, const std::string& reference_h,
 
 Status WriteLoadtestJson(const LoadtestConfig& config,
                          const LoadtestTotals& totals, std::int64_t p50_ns,
-                         std::int64_t p99_ns, double qps) {
+                         std::int64_t p99_ns, double qps,
+                         const std::vector<StageQuantile>& stages) {
   // Provenance the same way the table benches stamp it.
   const BenchRunJson provenance = MakeBenchRun("fgr_loadtest");
   JsonWriter writer;
@@ -183,8 +221,15 @@ Status WriteLoadtestJson(const LoadtestConfig& config,
   writer.Key("library_build_type").Value("release");
   writer.EndObject();
   writer.Key("benchmarks").BeginArray();
-  const std::pair<const char*, std::int64_t> cases[] = {
+  // The /p50 and /p99 names are pinned by perf_gate.py; the per-stage
+  // rows are additive.
+  std::vector<std::pair<std::string, std::int64_t>> cases = {
       {"p50", p50_ns}, {"p99", p99_ns}};
+  for (const StageQuantile& stage : stages) {
+    if (!stage.present) continue;
+    cases.emplace_back(std::string(stage.key) + "_p50", stage.p50_ns);
+    cases.emplace_back(std::string(stage.key) + "_p99", stage.p99_ns);
+  }
   for (const auto& entry : cases) {
     writer.BeginObject();
     writer.Key("name").Value("BM_ServeLoadtest/clients:" +
@@ -321,6 +366,7 @@ int Main(int argc, char** argv) {
 
   LoadtestTotals totals;
   RunLoadtest(config, reference_h, &totals);
+  const std::vector<StageQuantile> stages = FetchStageQuantiles(config);
 
   const std::int64_t p50_ns = QuantileNs(totals.latencies_ns, 0.50);
   const std::int64_t p99_ns = QuantileNs(totals.latencies_ns, 0.99);
@@ -336,10 +382,16 @@ int Main(int argc, char** argv) {
       static_cast<long long>(totals.dropped),
       static_cast<long long>(totals.mismatched),
       static_cast<double>(p50_ns) / 1e6, static_cast<double>(p99_ns) / 1e6);
+  for (const StageQuantile& stage : stages) {
+    if (!stage.present) continue;
+    std::printf("fgr_loadtest: stage %s p50 %.3f ms, p99 %.3f ms\n",
+                stage.key, static_cast<double>(stage.p50_ns) / 1e6,
+                static_cast<double>(stage.p99_ns) / 1e6);
+  }
 
   if (!config.json_path.empty()) {
     const Status written =
-        WriteLoadtestJson(config, totals, p50_ns, p99_ns, qps);
+        WriteLoadtestJson(config, totals, p50_ns, p99_ns, qps, stages);
     if (!written.ok()) {
       std::fprintf(stderr, "fgr_loadtest: %s\n", written.ToString().c_str());
       return 1;

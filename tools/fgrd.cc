@@ -5,6 +5,7 @@
 //        [--no-summaries] [--request-timeout-ms N] [--idle-timeout-ms N]
 //        [--max-write-buffer MB] [--queue-high-water N]
 //        [--drain-timeout-ms N] [--dump-metrics-on-exit]
+//        [--trace out.json] [--log-level debug|info|warn|error]
 //
 // Serves estimate / label / stats / datasets / metrics requests over a
 // line-delimited JSON TCP protocol (see src/serve/protocol.h). Datasets are
@@ -29,7 +30,13 @@
 //   --queue-high-water is the admission-control threshold: queued
 //     requests beyond it are shed with an `overloaded` error.
 //   --drain-timeout-ms bounds the graceful drain on SIGTERM.
-//   --dump-metrics-on-exit prints the metrics JSON after shutdown.
+//   --dump-metrics-on-exit prints the metrics JSON (protocol v2 shape,
+//     with stage histograms and pipeline counters) after shutdown.
+//   --trace writes a chrome-trace JSON of every span recorded over the
+//     daemon's lifetime (same as FGR_TRACE=<path>; the flag wins).
+//   --log-level sets the structured-log threshold (FGR_LOG_LEVEL also
+//     works; the flag wins). The daemon defaults to info, which emits
+//     one access-log line per request.
 //
 // Query it with `fgr_cli query` or any line-JSON client:
 //   printf '{"op":"estimate","dataset":"g.fgrbin"}\n' | nc 127.0.0.1 7411
@@ -41,6 +48,8 @@
 #include <vector>
 
 #include "fgr/fgr.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -52,7 +61,8 @@ int Usage() {
       "            [--preload a.fgrbin,b.fgrbin] [--no-summaries]\n"
       "            [--request-timeout-ms N] [--idle-timeout-ms N]\n"
       "            [--max-write-buffer MB] [--queue-high-water N]\n"
-      "            [--drain-timeout-ms N] [--dump-metrics-on-exit]\n");
+      "            [--drain-timeout-ms N] [--dump-metrics-on-exit]\n"
+      "            [--trace out.json] [--log-level debug|info|warn|error]\n");
   return 2;
 }
 
@@ -63,6 +73,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> preload;
   long long threads = 0;
   bool dump_metrics = false;
+  std::string trace_path;
+  std::string log_level;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -94,6 +106,10 @@ int main(int argc, char** argv) {
       options.drain_timeout_ms = std::atoll(argv[++i]);
     } else if (arg == "--dump-metrics-on-exit") {
       dump_metrics = true;
+    } else if (arg == "--trace" && has_value) {
+      trace_path = argv[++i];
+    } else if (arg == "--log-level" && has_value) {
+      log_level = argv[++i];
     } else {
       return Usage();
     }
@@ -109,6 +125,17 @@ int main(int argc, char** argv) {
   // --threads wins over FGR_NUM_THREADS, which wins over the hardware
   // count (see util/parallel.h).
   if (threads > 0) fgr::SetNumThreads(static_cast<int>(threads));
+
+  // Observability: env first, then flags override. The daemon's default
+  // log threshold is info so each request leaves one access-log line.
+  fgr::obs::InitLogLevelFromEnv(fgr::obs::LogLevel::kInfo);
+  if (!log_level.empty()) {
+    fgr::obs::LogLevel parsed = fgr::obs::LogLevel::kInfo;
+    if (!fgr::obs::ParseLogLevel(log_level, &parsed)) return Usage();
+    fgr::obs::SetLogLevel(parsed);
+  }
+  fgr::obs::InitTracingFromEnv();
+  if (!trace_path.empty()) fgr::obs::EnableTracing(trace_path);
 
   const fgr::Status status =
       fgr::RunDaemon("fgrd", options, preload, dump_metrics);

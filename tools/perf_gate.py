@@ -189,6 +189,8 @@ def healthy_template():
             {"real_time_s": 111e-3, "cpu_time_s": 111e-3},
         "BM_StreamingPipeline/n:100000/panel_rows:8192/prefetch:1/threads:1":
             {"real_time_s": 105e-3, "cpu_time_s": 112e-3},
+        "BM_DisabledTraceSpans/spans:1000000":
+            {"real_time_s": 0.31e-3, "cpu_time_s": 0.31e-3},
     }
     serve = {
         "BM_ServeQueryCold/n:100000/threads:1": {"real_time_s": 245e-3,
@@ -309,6 +311,26 @@ def self_test():
     check(bench_lib.evaluate_gate(prefetch_gate, template,
                                   num_cpus=1).status == "skip",
           "gate %s skips on a 1-cpu runner" % prefetch_gate.name)
+
+    # tracing_off_overhead pins a million disabled spans at half an SpMM
+    # (~7 ns per span): a clock read in the disabled constructor makes
+    # the span loop ~60x (0.3 ms -> ~20 ms, ratio ~1.4 vs the 0.5 bound)
+    # and must trip, while the healthy ~0.02 ratio is so far under the
+    # bound that even a 10x jitter of the span loop passes.
+    tracing_gate = bench_lib.DEFAULT_GATES[6]
+    span_loop = bench_lib.gate_regression_side(tracing_gate)
+    costly_span = copy.deepcopy(template)
+    costly_span[tracing_gate.kind][span_loop]["real_time_s"] *= 60.0
+    check(bench_lib.evaluate_gate(tracing_gate, costly_span,
+                                  num_cpus=4).status == "fail",
+          "gate %s trips when disabled spans grow a clock read"
+          % tracing_gate.name)
+    span_jitter = copy.deepcopy(template)
+    span_jitter[tracing_gate.kind][span_loop]["real_time_s"] *= 10.0
+    check(bench_lib.evaluate_gate(tracing_gate, span_jitter,
+                                  num_cpus=4).status == "pass",
+          "gate %s tolerates 10x jitter of the tiny span loop"
+          % tracing_gate.name)
 
     # The cross-run baseline comparator guarantees the literal 2x contract
     # for EVERY metric (including ones the loose ratio bounds tolerate):

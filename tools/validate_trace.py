@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Validates a chrome-trace JSON file produced by FGR_TRACE / --trace.
+
+    validate_trace.py TRACE.json [required-span-name ...]
+
+Checks that the file is loadable JSON in the chrome-trace array-of-events
+form, that every event carries the keys Perfetto requires (name, ph, ts,
+pid, tid), that phases are limited to the two kinds the tracer emits
+("X" complete spans, which also need a dur, and "C" counters), and that
+each span name given on the command line appears at least once. Exits
+non-zero with a diagnostic on the first violation — CI's serve-e2e job
+runs it against the daemon's trace.
+"""
+
+import json
+import sys
+
+
+def fail(message):
+    print("validate_trace: FAIL: %s" % message, file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path, required = argv[1], argv[2:]
+    try:
+        with open(path) as f:
+            document = json.load(f)
+    except (OSError, ValueError) as error:
+        return fail("%s: %s" % (path, error))
+
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return fail("no traceEvents array")
+    if not events:
+        return fail("traceEvents is empty")
+
+    span_names = set()
+    for i, event in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                return fail("event %d lacks %r: %r" % (i, key, event))
+        if event["ph"] not in ("X", "C"):
+            return fail("event %d has unexpected ph %r" % (i, event["ph"]))
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            return fail("event %d has bad ts %r" % (i, event["ts"]))
+        if event["ph"] == "X":
+            if "dur" not in event:
+                return fail("span event %d lacks dur" % i)
+            if event["dur"] < 0:
+                return fail("span event %d has negative dur" % i)
+            span_names.add(event["name"])
+
+    missing = [name for name in required if name not in span_names]
+    if missing:
+        return fail("required span(s) absent: %s (have: %s)" %
+                    (", ".join(missing), ", ".join(sorted(span_names)[:20])))
+
+    print("validate_trace: OK: %d events, %d distinct spans" %
+          (len(events), len(span_names)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
